@@ -1,0 +1,64 @@
+// Reproduces Figure 7: the distribution of KBT scores across websites with
+// at least 5 (expected) correctly extracted triples. The paper observes a
+// peak around 0.8 with 52% of websites above 0.8.
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "dataflow/parallel.h"
+#include "exp/kv_sim.h"
+#include "exp/table_printer.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "core/kbt_score.h"
+#include "core/multilayer_model.h"
+
+int main() {
+  using namespace kbt;
+
+  const auto kv = exp::BuildKvSim(exp::KvSimConfig::Default());
+  if (!kv.ok()) {
+    std::fprintf(stderr, "kv-sim failed: %s\n",
+                 kv.status().ToString().c_str());
+    return 1;
+  }
+  const auto assignment = granularity::FinestAssignment(kv->data);
+  const auto matrix = extract::CompiledMatrix::Build(kv->data, assignment);
+  if (!matrix.ok()) return 1;
+  core::MultiLayerConfig config;
+  config.num_false_override = 10;
+  const auto result = core::MultiLayerModel::Run(
+      *matrix, config, {}, &dataflow::DefaultExecutor());
+  if (!result.ok()) return 1;
+
+  const auto scores = core::ComputeWebsiteKbt(
+      *matrix, *result, static_cast<uint32_t>(kv->corpus.num_websites()));
+
+  Histogram hist = Histogram::UniformProbabilityBuckets(20);
+  size_t scored = 0;
+  size_t above_08 = 0;
+  for (const auto& s : scores) {
+    if (!s.HasScore(5.0)) continue;
+    ++scored;
+    hist.Add(s.kbt);
+    if (s.kbt > 0.8) ++above_08;
+  }
+
+  exp::PrintBanner("Figure 7: distribution of website KBT (evidence >= 5)");
+  exp::TablePrinter table({"KBT bucket", "%websites"});
+  for (size_t b = 0; b < hist.num_buckets(); ++b) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "[%.2f,%.2f)", hist.bucket_lower(b),
+                  0.05 * static_cast<double>(b + 1));
+    table.AddRow({label, exp::TablePrinter::Fmt(100.0 * hist.Fraction(b), 1)});
+  }
+  table.Print();
+  std::printf(
+      "\n%zu of %zu websites have >= 5 expected correctly-extracted triples\n"
+      "(paper: 5.6M of 26M sites); %.0f%% of them have KBT > 0.8 (paper: "
+      "52%%).\n",
+      scored, scores.size(),
+      scored > 0 ? 100.0 * static_cast<double>(above_08) /
+                       static_cast<double>(scored)
+                 : 0.0);
+  return 0;
+}

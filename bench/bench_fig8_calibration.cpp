@@ -1,0 +1,87 @@
+// Reproduces Figure 8: calibration curves (predicted probability vs real
+// accuracy per WDev bucket) for SINGLELAYER+, MULTILAYER+ and
+// MULTILAYERSM+ on the KV simulation.
+#include <cstdio>
+#include <map>
+
+#include "dataflow/parallel.h"
+#include "eval/gold_standard.h"
+#include "eval/metrics.h"
+#include "exp/kv_sim.h"
+#include "exp/runners.h"
+#include "exp/table_printer.h"
+
+namespace {
+
+using namespace kbt;
+
+/// Calibration curve of one finished run against the gold standard.
+std::vector<eval::CalibrationPoint> CurveFor(const exp::MethodRun& run,
+                                             const eval::GoldStandard& gold) {
+  std::vector<double> probs;
+  std::vector<uint8_t> truth;
+  for (const auto& p : run.predictions) {
+    if (!p.covered) continue;
+    const auto label = gold.Label(p.item, p.value);
+    if (!label.has_value()) continue;
+    probs.push_back(p.probability);
+    truth.push_back(*label ? 1 : 0);
+  }
+  return eval::CalibrationCurve(probs, truth);
+}
+
+}  // namespace
+
+int main() {
+  const auto kv = exp::BuildKvSim(exp::KvSimConfig::Default());
+  if (!kv.ok()) {
+    std::fprintf(stderr, "kv-sim failed\n");
+    return 1;
+  }
+  const eval::GoldStandard gold(kv->partial_kb, kv->corpus.world());
+
+  exp::PrintBanner("Figure 8: calibration curves (predicted vs real)");
+  exp::TablePrinter table({"Predicted bucket", "SingleLayer+", "MultiLayer+",
+                           "MultiLayerSM+", "Ideal"});
+
+  // Gather per-method curves keyed by bucket mean so rows align.
+  std::map<int, std::array<double, 3>> rows;  // percent-bucket -> accuracies
+  std::map<int, double> bucket_center;
+  const exp::Method methods[3] = {exp::Method::kSingleLayer,
+                                  exp::Method::kMultiLayer,
+                                  exp::Method::kMultiLayerSM};
+  for (int m = 0; m < 3; ++m) {
+    exp::RunnerOptions options;
+    options.smart_init = true;
+    const auto run = exp::RunMethodOnKv(methods[m], *kv, gold, options,
+                                        &dataflow::DefaultExecutor());
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed\n");
+      return 1;
+    }
+    for (const auto& point : CurveFor(*run, gold)) {
+      const int key = static_cast<int>(point.predicted_mean * 20.0);
+      auto [it, inserted] = rows.emplace(key, std::array<double, 3>{
+                                                  -1.0, -1.0, -1.0});
+      it->second[static_cast<size_t>(m)] = point.empirical_accuracy;
+      bucket_center[key] = 0.05 * key + 0.025;
+    }
+  }
+
+  for (const auto& [key, accs] : rows) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "[%.2f,%.2f)", 0.05 * key,
+                  0.05 * (key + 1));
+    std::vector<std::string> cells{label};
+    for (double a : accs) {
+      cells.push_back(a < 0 ? "-" : exp::TablePrinter::Fmt(a, 3));
+    }
+    cells.push_back(exp::TablePrinter::Fmt(bucket_center[key], 3));
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: all three methods track the diagonal (well "
+      "calibrated);\nthe multi-layer variants are closest to ideal.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Figure 9: precision-recall curves for SINGLELAYER+,
+// MULTILAYER+ and MULTILAYERSM+ on the KV simulation. Printed as precision
+// sampled on a fixed recall grid.
+#include <cstdio>
+#include <vector>
+
+#include "dataflow/parallel.h"
+#include "eval/gold_standard.h"
+#include "eval/metrics.h"
+#include "exp/kv_sim.h"
+#include "exp/runners.h"
+#include "exp/table_printer.h"
+
+namespace {
+
+using namespace kbt;
+
+std::vector<eval::PrPoint> PrFor(const exp::MethodRun& run,
+                                 const eval::GoldStandard& gold) {
+  std::vector<double> probs;
+  std::vector<uint8_t> truth;
+  for (const auto& p : run.predictions) {
+    if (!p.covered) continue;
+    const auto label = gold.Label(p.item, p.value);
+    if (!label.has_value()) continue;
+    probs.push_back(p.probability);
+    truth.push_back(*label ? 1 : 0);
+  }
+  return eval::PrCurve(probs, truth);
+}
+
+/// Precision of the first curve point at recall >= r.
+double PrecisionAt(const std::vector<eval::PrPoint>& curve, double recall) {
+  for (const auto& p : curve) {
+    if (p.recall >= recall) return p.precision;
+  }
+  return curve.empty() ? 0.0 : curve.back().precision;
+}
+
+}  // namespace
+
+int main() {
+  const auto kv = exp::BuildKvSim(exp::KvSimConfig::Default());
+  if (!kv.ok()) {
+    std::fprintf(stderr, "kv-sim failed\n");
+    return 1;
+  }
+  const eval::GoldStandard gold(kv->partial_kb, kv->corpus.world());
+
+  std::vector<std::vector<eval::PrPoint>> curves;
+  double aucs[3] = {0, 0, 0};
+  const exp::Method methods[3] = {exp::Method::kSingleLayer,
+                                  exp::Method::kMultiLayer,
+                                  exp::Method::kMultiLayerSM};
+  for (int m = 0; m < 3; ++m) {
+    exp::RunnerOptions options;
+    options.smart_init = true;
+    const auto run = exp::RunMethodOnKv(methods[m], *kv, gold, options,
+                                        &dataflow::DefaultExecutor());
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed\n");
+      return 1;
+    }
+    curves.push_back(PrFor(*run, gold));
+    aucs[m] = run->metrics.auc_pr;
+  }
+
+  exp::PrintBanner("Figure 9: PR curves (precision at recall grid)");
+  exp::TablePrinter table(
+      {"Recall", "SingleLayer+", "MultiLayer+", "MultiLayerSM+"});
+  for (double recall = 0.05; recall <= 1.0; recall += 0.05) {
+    table.AddRow({exp::TablePrinter::Fmt(recall, 2),
+                  exp::TablePrinter::Fmt(PrecisionAt(curves[0], recall), 3),
+                  exp::TablePrinter::Fmt(PrecisionAt(curves[1], recall), 3),
+                  exp::TablePrinter::Fmt(PrecisionAt(curves[2], recall), 3)});
+  }
+  table.Print();
+  std::printf("\nAUC-PR: SingleLayer+ %.3f, MultiLayer+ %.3f, MultiLayerSM+ "
+              "%.3f\n(paper: 0.630 / 0.693 / 0.631 — multi-layer has the "
+              "best curve).\n",
+              aucs[0], aucs[1], aucs[2]);
+  return 0;
+}

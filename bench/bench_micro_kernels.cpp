@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks of the inference kernels: vote
+// computation, sigmoid/log-sum-exp, matrix compilation, one EM iteration,
+// and a PageRank sweep. These are the building blocks whose cost the
+// Table 7 stage timings aggregate.
+#include <benchmark/benchmark.h>
+
+#include "common/math.h"
+#include "corpus/link_graph.h"
+#include "exp/synthetic.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "pagerank/pagerank.h"
+#include "core/multilayer_model.h"
+
+namespace {
+
+using namespace kbt;
+
+void BM_Sigmoid(benchmark::State& state) {
+  double x = -8.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sigmoid(x));
+    x += 0.001;
+    if (x > 8.0) x = -8.0;
+  }
+}
+BENCHMARK(BM_Sigmoid);
+
+void BM_VoteComputation(benchmark::State& state) {
+  double r = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeVotes(r, 0.2 * r, 1.0));
+    r += 1e-4;
+    if (r > 0.95) r = 0.1;
+  }
+}
+BENCHMARK(BM_VoteComputation);
+
+void BM_LogSumExp(benchmark::State& state) {
+  std::vector<double> xs(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i % 37) - 18.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogSumExp(xs));
+  }
+}
+BENCHMARK(BM_LogSumExp)->Arg(4)->Arg(64)->Arg(1024);
+
+exp::SyntheticData& SharedSynthetic() {
+  static exp::SyntheticData data = [] {
+    exp::SyntheticConfig config;
+    config.num_sources = 50;
+    config.num_subjects = 40;
+    config.num_predicates = 5;
+    config.num_extractors = 10;
+    return exp::GenerateSynthetic(config);
+  }();
+  return data;
+}
+
+void BM_CompileMatrix(benchmark::State& state) {
+  const auto& synthetic = SharedSynthetic();
+  const auto assignment =
+      granularity::PageSourcePlainExtractor(synthetic.data);
+  for (auto _ : state) {
+    auto matrix = extract::CompiledMatrix::Build(synthetic.data, assignment);
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(synthetic.data.size()));
+}
+BENCHMARK(BM_CompileMatrix);
+
+void BM_MultiLayerIteration(benchmark::State& state) {
+  const auto& synthetic = SharedSynthetic();
+  const auto assignment =
+      granularity::PageSourcePlainExtractor(synthetic.data);
+  const auto matrix =
+      extract::CompiledMatrix::Build(synthetic.data, assignment);
+  core::MultiLayerConfig config;
+  config.max_iterations = static_cast<int>(state.range(0));
+  config.convergence_tol = 0.0;
+  config.min_source_support = 1;
+  config.min_extractor_support = 1;
+  config.num_false_override = 10;
+  for (auto _ : state) {
+    auto result = core::MultiLayerModel::Run(*matrix, config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(matrix->num_slots()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MultiLayerIteration)->Arg(1)->Arg(5);
+
+void BM_SplitAndMerge(benchmark::State& state) {
+  const auto& synthetic = SharedSynthetic();
+  granularity::SplitMergeOptions source_options;
+  source_options.min_size = 3;
+  source_options.max_size = 50;
+  granularity::SplitMergeOptions extractor_options = source_options;
+  for (auto _ : state) {
+    auto assignment = granularity::SplitMergeAssignment(
+        synthetic.data, source_options, extractor_options);
+    benchmark::DoNotOptimize(assignment);
+  }
+}
+BENCHMARK(BM_SplitAndMerge);
+
+void BM_PageRank(benchmark::State& state) {
+  std::vector<corpus::Website> sites(
+      static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < sites.size(); ++i) {
+    sites[i].id = static_cast<uint32_t>(i);
+    sites[i].popularity = 1.0 / static_cast<double>(i + 1);
+  }
+  Rng rng(5);
+  const auto graph = corpus::LinkGraph::Generate(sites, 8.0, rng);
+  for (auto _ : state) {
+    auto rank = pagerank::ComputePageRank(graph);
+    benchmark::DoNotOptimize(rank);
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces Table 5: SqV / WDev / AUC-PR / Cov for the three methods
+// (SINGLELAYER, MULTILAYER, MULTILAYERSM) with default and gold-standard
+// ("+") initialization, on the KV-scale simulation with an LCWA +
+// type-checking gold standard.
+#include <cstdio>
+
+#include "dataflow/parallel.h"
+#include "eval/gold_standard.h"
+#include "exp/kv_sim.h"
+#include "exp/runners.h"
+#include "exp/table_printer.h"
+
+int main() {
+  using namespace kbt;
+  using exp::Method;
+
+  const auto kv = exp::BuildKvSim(exp::KvSimConfig::Default());
+  if (!kv.ok()) {
+    std::fprintf(stderr, "kv-sim failed: %s\n",
+                 kv.status().ToString().c_str());
+    return 1;
+  }
+  const eval::GoldStandard gold(kv->partial_kb, kv->corpus.world());
+
+  exp::PrintBanner("Table 5: comparison of methods on the KV simulation");
+  std::printf("corpus: %zu sites, %zu pages, %zu observations; gold: LCWA on "
+              "a %zu-fact partial KB + type checking\n",
+              kv->corpus.num_websites(), kv->corpus.num_pages(),
+              kv->data.size(), kv->partial_kb.num_facts());
+
+  exp::TablePrinter table({"Method", "SqV", "WDev", "AUC-PR", "Cov"});
+  for (bool smart : {false, true}) {
+    for (Method method : {Method::kSingleLayer, Method::kMultiLayer,
+                          Method::kMultiLayerSM}) {
+      exp::RunnerOptions options;
+      options.smart_init = smart;
+      const auto run = exp::RunMethodOnKv(method, *kv, gold, options,
+                                          &dataflow::DefaultExecutor());
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", exp::MethodName(method).data(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({std::string(exp::MethodName(method)) + (smart ? "+" : ""),
+                    exp::TablePrinter::Fmt(run->metrics.sqv),
+                    exp::TablePrinter::Fmt(run->metrics.wdev, 4),
+                    exp::TablePrinter::Fmt(run->metrics.auc_pr),
+                    exp::TablePrinter::Fmt(run->metrics.coverage)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Table 5):\n"
+      "  SingleLayer    0.131 0.061  0.454 0.952\n"
+      "  MultiLayer     0.105 0.042  0.439 0.849\n"
+      "  MultiLayerSM   0.090 0.021  0.449 0.939\n"
+      "  SingleLayer+   0.063 0.0043 0.630 0.953\n"
+      "  MultiLayer+    0.054 0.0040 0.693 0.864\n"
+      "  MultiLayerSM+  0.059 0.0039 0.631 0.955\n"
+      "Shape checks: multi-layer beats single-layer on SqV/WDev; SM beats\n"
+      "plain multi-layer without smart init; smart init raises coverage.\n");
+  return 0;
+}

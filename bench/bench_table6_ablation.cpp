@@ -1,0 +1,71 @@
+// Reproduces Table 6: contribution of the inference components, ablating
+// one piece of MULTILAYER+ at a time:
+//   p(Vd|C-hat)        — MAP C in the value step instead of Section 3.3.3's
+//                         uncertainty-weighted version;
+//   Not updating alpha — freeze the prior p(C=1) (Section 3.3.4 off);
+//   I(X > phi)         — threshold confidences at 0 instead of Section 3.5's
+//                         soft weighting.
+#include <cstdio>
+
+#include "dataflow/parallel.h"
+#include "eval/gold_standard.h"
+#include "exp/kv_sim.h"
+#include "exp/runners.h"
+#include "exp/table_printer.h"
+
+int main() {
+  using namespace kbt;
+
+  const auto kv = exp::BuildKvSim(exp::KvSimConfig::Default());
+  if (!kv.ok()) {
+    std::fprintf(stderr, "kv-sim failed: %s\n",
+                 kv.status().ToString().c_str());
+    return 1;
+  }
+  const eval::GoldStandard gold(kv->partial_kb, kv->corpus.world());
+
+  struct Variant {
+    const char* name;
+    void (*tweak)(exp::RunnerOptions&);
+  };
+  const Variant variants[] = {
+      {"MultiLayer+ (baseline)", [](exp::RunnerOptions&) {}},
+      {"p(Vd|C-hat) (MAP C)",
+       [](exp::RunnerOptions& o) {
+         o.multilayer.weighted_value_votes = false;
+       }},
+      {"Not updating alpha",
+       [](exp::RunnerOptions& o) { o.multilayer.update_alpha = false; }},
+      {"I(X>phi) thresholded",
+       [](exp::RunnerOptions& o) {
+         o.multilayer.use_confidence_weights = false;
+         o.multilayer.confidence_threshold = 0.0;
+       }},
+  };
+
+  exp::PrintBanner("Table 6: contribution of inference components");
+  exp::TablePrinter table({"Variant", "SqV", "WDev", "AUC-PR", "Cov"});
+  for (const Variant& variant : variants) {
+    exp::RunnerOptions options;
+    options.smart_init = true;
+    variant.tweak(options);
+    const auto run =
+        exp::RunMethodOnKv(exp::Method::kMultiLayer, *kv, gold, options,
+                           &dataflow::DefaultExecutor());
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", variant.name,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({variant.name, exp::TablePrinter::Fmt(run->metrics.sqv),
+                  exp::TablePrinter::Fmt(run->metrics.wdev, 4),
+                  exp::TablePrinter::Fmt(run->metrics.auc_pr),
+                  exp::TablePrinter::Fmt(run->metrics.coverage)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Table 6): MAP C degrades AUC-PR sharply; freezing\n"
+      "alpha hurts calibration (WDev); thresholding confidences is roughly\n"
+      "neutral (some extractors are bad at predicting confidence).\n");
+  return 0;
+}

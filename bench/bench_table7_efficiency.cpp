@@ -1,0 +1,160 @@
+// Reproduces Table 7: relative running time of one MULTILAYER iteration and
+// of the preparation step, for three granularity strategies on a heavily
+// skewed KV simulation:
+//   Normal       — finest granularity, no preparation;
+//   Split        — SPLITANDMERGE with merging disabled;
+//   Split&Merge  — full SPLITANDMERGE (m=5).
+// Stage scheduling mirrors MapReduce: one task per source / extractor
+// group, so giant groups serialize a stage until they are split.
+#include <algorithm>
+#include <cstdio>
+
+#include "dataflow/parallel.h"
+#include "dataflow/stage_timer.h"
+#include "exp/kv_sim.h"
+#include "exp/table_printer.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "core/multilayer_model.h"
+
+namespace {
+
+using namespace kbt;
+
+struct StrategyTiming {
+  double prep_source = 0.0;
+  double prep_extractor = 0.0;
+  double ext_corr = 0.0;
+  double triple_pr = 0.0;
+  double src_accu = 0.0;
+  double ext_quality = 0.0;
+  size_t num_sources = 0;
+  size_t num_groups = 0;
+  size_t biggest_group = 0;
+
+  double PrepTotal() const { return prep_source + prep_extractor; }
+  double IterTotal() const {
+    return ext_corr + triple_pr + src_accu + ext_quality;
+  }
+};
+
+StrategyTiming RunStrategy(const exp::KvSimData& kv,
+                           const extract::GroupAssignment& assignment,
+                           dataflow::StageTimers& timers) {
+  StrategyTiming t;
+  t.prep_source = timers.TotalSeconds("Prep.Source");
+  t.prep_extractor = timers.TotalSeconds("Prep.Extractor");
+
+  const auto matrix = extract::CompiledMatrix::Build(kv.data, assignment);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "compile failed\n");
+    std::exit(1);
+  }
+  t.num_sources = matrix->num_sources();
+  t.num_groups = matrix->num_extractor_groups();
+  for (uint32_t g = 0; g < matrix->num_extractor_groups(); ++g) {
+    const auto [b, e] = matrix->ExtractorEdges(g);
+    t.biggest_group = std::max<size_t>(t.biggest_group, e - b);
+  }
+
+  core::MultiLayerConfig config;
+  config.num_false_override = 10;
+  config.max_iterations = 5;
+  config.convergence_tol = 0.0;  // Always run all 5 iterations.
+  const auto result = core::MultiLayerModel::Run(
+      *matrix, config, {}, &dataflow::DefaultExecutor(), &timers);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed\n");
+    std::exit(1);
+  }
+  const double iters = static_cast<double>(result->iterations);
+  t.ext_corr = timers.TotalSeconds("I.ExtCorr") / iters;
+  t.triple_pr = timers.TotalSeconds("II.TriplePr") / iters;
+  t.src_accu = timers.TotalSeconds("III.SrcAccu") / iters;
+  t.ext_quality = timers.TotalSeconds("IV.ExtQuality") / iters;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const auto kv = exp::BuildKvSim(exp::KvSimConfig::Skewed());
+  if (!kv.ok()) {
+    std::fprintf(stderr, "kv-sim failed\n");
+    return 1;
+  }
+  std::printf("skewed corpus: %zu sites, %zu pages, %zu observations\n",
+              kv->corpus.num_websites(), kv->corpus.num_pages(),
+              kv->data.size());
+
+  // ---- Normal: finest granularity, no prep ----
+  dataflow::StageTimers normal_timers;
+  const auto normal_assignment = granularity::FinestAssignment(kv->data);
+  const StrategyTiming normal =
+      RunStrategy(*kv, normal_assignment, normal_timers);
+
+  // ---- Split only ----
+  granularity::SplitMergeOptions split_source;
+  split_source.min_size = 1;
+  split_source.enable_merge = false;
+  split_source.max_size = 500;
+  granularity::SplitMergeOptions split_extractor = split_source;
+  dataflow::StageTimers split_timers;
+  const auto split_assignment = granularity::SplitMergeAssignment(
+      kv->data, split_source, split_extractor, &split_timers);
+  if (!split_assignment.ok()) return 1;
+  const StrategyTiming split =
+      RunStrategy(*kv, *split_assignment, split_timers);
+
+  // ---- Split & merge ----
+  granularity::SplitMergeOptions sm_source;
+  sm_source.min_size = 5;
+  sm_source.max_size = 500;
+  granularity::SplitMergeOptions sm_extractor = sm_source;
+  dataflow::StageTimers sm_timers;
+  const auto sm_assignment = granularity::SplitMergeAssignment(
+      kv->data, sm_source, sm_extractor, &sm_timers);
+  if (!sm_assignment.ok()) return 1;
+  const StrategyTiming sm = RunStrategy(*kv, *sm_assignment, sm_timers);
+
+  // ---- Report, normalized by one Normal iteration (the paper's unit) ----
+  const double unit = normal.IterTotal();
+  const auto rel = [unit](double seconds) {
+    return exp::TablePrinter::Fmt(seconds / unit, 3);
+  };
+  exp::PrintBanner("Table 7: relative running time (1 = one Normal iteration)");
+  exp::TablePrinter table({"Task", "Normal", "Split", "Split&Merge"});
+  table.AddRow({"Prep.Source", "0", rel(split.prep_source),
+                rel(sm.prep_source)});
+  table.AddRow({"Prep.Extractor", "0", rel(split.prep_extractor),
+                rel(sm.prep_extractor)});
+  table.AddRow({"Prep.Total", "0", rel(split.PrepTotal()),
+                rel(sm.PrepTotal())});
+  table.AddRow({"I.ExtCorr", rel(normal.ext_corr), rel(split.ext_corr),
+                rel(sm.ext_corr)});
+  table.AddRow({"II.TriplePr", rel(normal.triple_pr), rel(split.triple_pr),
+                rel(sm.triple_pr)});
+  table.AddRow({"III.SrcAccu", rel(normal.src_accu), rel(split.src_accu),
+                rel(sm.src_accu)});
+  table.AddRow({"IV.ExtQuality", rel(normal.ext_quality),
+                rel(split.ext_quality), rel(sm.ext_quality)});
+  table.AddRow({"Iteration total", rel(normal.IterTotal()),
+                rel(split.IterTotal()), rel(sm.IterTotal())});
+  table.AddRow({"Total (prep + 5 iters)",
+                rel(5 * normal.IterTotal()),
+                rel(split.PrepTotal() + 5 * split.IterTotal()),
+                rel(sm.PrepTotal() + 5 * sm.IterTotal())});
+  table.Print();
+
+  std::printf("\ngroup structure: Normal %zu sources / %zu extractor groups "
+              "(biggest %zu edges);\nSplit %zu/%zu (biggest %zu); "
+              "Split&Merge %zu/%zu (biggest %zu)\n",
+              normal.num_sources, normal.num_groups, normal.biggest_group,
+              split.num_sources, split.num_groups, split.biggest_group,
+              sm.num_sources, sm.num_groups, sm.biggest_group);
+  std::printf(
+      "\nPaper shape: splitting giant extractor groups speeds up\n"
+      "IV.ExtQuality by ~8.8x and halves overall time; merging adds modest\n"
+      "prep cost without slowing iterations.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Demonstrates Section 4's SPLITANDMERGE: how the choice of source
+// granularity trades statistical strength against computational balance.
+// Runs the same skewed dataset at several (m, M) settings and reports group
+// structure, coverage and wall-clock.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "dataflow/parallel.h"
+#include "exp/kv_sim.h"
+#include "exp/table_printer.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "granularity/split_merge.h"
+#include "core/multilayer_model.h"
+
+namespace {
+
+using namespace kbt;
+
+struct Outcome {
+  size_t sources = 0;
+  size_t extractor_groups = 0;
+  size_t biggest_source = 0;
+  double covered_fraction = 0.0;
+  double seconds = 0.0;
+};
+
+Outcome RunWith(const exp::KvSimData& kv,
+                const extract::GroupAssignment& assignment) {
+  Outcome out;
+  Stopwatch watch;
+  const auto matrix = extract::CompiledMatrix::Build(kv.data, assignment);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "compile failed\n");
+    std::exit(1);
+  }
+  out.sources = matrix->num_sources();
+  out.extractor_groups = matrix->num_extractor_groups();
+  for (uint32_t w = 0; w < matrix->num_sources(); ++w) {
+    const auto [b, e] = matrix->SourceSlots(w);
+    out.biggest_source = std::max<size_t>(out.biggest_source, e - b);
+  }
+  core::MultiLayerConfig config;
+  config.num_false_override = 10;
+  const auto result = core::MultiLayerModel::Run(
+      *matrix, config, {}, &dataflow::DefaultExecutor());
+  if (!result.ok()) std::exit(1);
+  size_t covered = 0;
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    covered += result->slot_covered[s];
+  }
+  out.covered_fraction =
+      static_cast<double>(covered) /
+      static_cast<double>(std::max<size_t>(1, matrix->num_slots()));
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto config = exp::KvSimConfig::Default();
+  const auto kv = exp::BuildKvSim(config);
+  if (!kv.ok()) {
+    std::fprintf(stderr, "kv-sim failed\n");
+    return 1;
+  }
+
+  exp::PrintBanner("Granularity tuning on the same observation cube");
+  exp::TablePrinter table({"Strategy", "sources", "ext groups",
+                           "biggest source", "coverage", "seconds"});
+
+  const auto add_row = [&table](const char* name, const Outcome& o) {
+    table.AddRow({name, exp::TablePrinter::FmtCount(o.sources),
+                  exp::TablePrinter::FmtCount(o.extractor_groups),
+                  exp::TablePrinter::FmtCount(o.biggest_source),
+                  exp::TablePrinter::Fmt(o.covered_fraction, 3),
+                  exp::TablePrinter::Fmt(o.seconds, 2)});
+  };
+
+  add_row("finest <site,pred,page>",
+          RunWith(*kv, granularity::FinestAssignment(kv->data)));
+  add_row("page-level", RunWith(*kv, granularity::PageSourcePlainExtractor(
+                                    kv->data)));
+  add_row("website-level",
+          RunWith(*kv, granularity::WebsiteSourceAssignment(kv->data)));
+
+  for (const auto& [label, m, M] :
+       {std::tuple<const char*, size_t, size_t>{"split&merge m=5  M=10K", 5,
+                                                10000},
+        std::tuple<const char*, size_t, size_t>{"split&merge m=2  M=10K", 2,
+                                                10000},
+        std::tuple<const char*, size_t, size_t>{"split&merge m=20 M=1K", 20,
+                                                1000}}) {
+    granularity::SplitMergeOptions source_options;
+    source_options.min_size = m;
+    source_options.max_size = M;
+    granularity::SplitMergeOptions extractor_options = source_options;
+    const auto assignment = granularity::SplitMergeAssignment(
+        kv->data, source_options, extractor_options);
+    if (!assignment.ok()) return 1;
+    add_row(label, RunWith(*kv, *assignment));
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading the table: finer sources are more faithful but leave many\n"
+      "of them below the support threshold (lower coverage); merging small\n"
+      "sources recovers coverage, splitting bounds the biggest group (and\n"
+      "with it the slowest reducer). The paper settles on m=5, M=10K.\n");
+  return 0;
+}

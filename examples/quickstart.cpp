@@ -1,0 +1,105 @@
+// Quickstart: estimate Knowledge-Based Trust for three tiny "websites"
+// observed through two extractors, using the public API end to end:
+//
+//   1. describe extraction events in a RawDataset (the sparse X_ewdv cube);
+//   2. pick a granularity (here: one source per page, one group per
+//      extractor);
+//   3. compile the cube and run the multi-layer model;
+//   4. read back source accuracies (KBT), extractor quality and triple
+//      probabilities.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "extract/observation_matrix.h"
+#include "extract/raw_dataset.h"
+#include "granularity/assignments.h"
+#include "core/kbt_score.h"
+#include "core/multilayer_model.h"
+
+int main() {
+  using namespace kbt;
+
+  // ---- 1. The observation cube ----------------------------------------
+  // Entities: 0 = "Marie Curie"; values: 1 = "Warsaw", 2 = "Paris".
+  // Data item d = (Curie, born_in). Truth: Warsaw.
+  const kb::DataItemId born_in = kb::MakeDataItem(0, 0);
+
+  extract::RawDataset data;
+  data.num_false_by_predicate = {10};  // n = 10 false values in the domain.
+  data.num_websites = 3;
+  data.num_pages = 3;
+  data.num_extractors = 2;
+  data.num_patterns = 2;
+
+  // site 0 and site 1 state "Warsaw"; site 2 states "Paris".
+  // Extractor 0 reads all three pages correctly. Extractor 1 is sloppy: it
+  // reads site 0 correctly but hallucinates "Paris" on site 1.
+  struct Event {
+    uint32_t extractor, page;
+    kb::ValueId value;
+    float confidence;
+  };
+  const Event events[] = {
+      {0, 0, 1, 1.0f}, {0, 1, 1, 1.0f}, {0, 2, 2, 1.0f},
+      {1, 0, 1, 0.9f}, {1, 1, 2, 0.4f},  // The hallucination, low confidence.
+  };
+  for (const Event& e : events) {
+    extract::RawObservation obs;
+    obs.extractor = e.extractor;
+    obs.pattern = e.extractor;  // One pattern per extractor here.
+    obs.website = e.page;       // One page per site.
+    obs.page = e.page;
+    obs.item = born_in;
+    obs.value = e.value;
+    obs.confidence = e.confidence;
+    data.observations.push_back(obs);
+  }
+
+  // ---- 2. Granularity ---------------------------------------------------
+  const extract::GroupAssignment assignment =
+      granularity::PageSourcePlainExtractor(data);
+
+  // ---- 3. Compile + infer ------------------------------------------------
+  const auto matrix = extract::CompiledMatrix::Build(data, assignment);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 matrix.status().ToString().c_str());
+    return 1;
+  }
+  core::MultiLayerConfig config;
+  config.min_source_support = 1;   // Tiny demo: keep every source.
+  config.min_extractor_support = 1;
+  const auto result = core::MultiLayerModel::Run(*matrix, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- 4. Read the results ------------------------------------------------
+  std::printf("triple probabilities p(V_d = v | X):\n");
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    std::printf("  site %u claims value %u: p(provided)=%.3f  p(true)=%.3f\n",
+                matrix->slot_source(s), matrix->slot_value(s),
+                result->slot_correct_prob[s], result->slot_value_prob[s]);
+  }
+
+  const auto kbt = core::ComputeWebsiteKbt(*matrix, *result, 3);
+  std::printf("\nKnowledge-Based Trust per site:\n");
+  for (uint32_t w = 0; w < 3; ++w) {
+    std::printf("  site %u: KBT=%.3f (evidence %.2f triples)\n", w,
+                kbt[w].kbt, kbt[w].evidence);
+  }
+
+  std::printf("\nextractor quality estimates:\n");
+  for (uint32_t g = 0; g < matrix->num_extractor_groups(); ++g) {
+    std::printf("  extractor %u: precision=%.3f recall=%.3f Q=%.4f\n", g,
+                result->extractor_precision[g], result->extractor_recall[g],
+                result->extractor_q[g]);
+  }
+  std::printf("\nSites agreeing with the crowd (Warsaw) earn higher KBT;\n"
+              "the model explains site 1's 'Paris' as extractor noise.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef KBT_COMMON_HISTOGRAM_H_
+#define KBT_COMMON_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace kbt {
+
+/// Weighted histogram over explicit bucket edges. Bucket i covers
+/// [edges[i], edges[i+1]); a final catch-all bucket covers values >= the last
+/// edge. Used for the paper's distribution figures (Figures 5, 6, 7) and for
+/// the WDev calibration buckets.
+class Histogram {
+ public:
+  /// `edges` must be strictly increasing with at least one entry.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Buckets matching the paper's Figure 5 x-axis for counts per
+  /// URL/pattern: 1, 2, ..., 10, 11-100, 100-1K, 1K-10K, 10K-100K,
+  /// 100K-1M, >1M.
+  static Histogram TripleCountBuckets();
+
+  /// `n` equal-width buckets over [0, 1] (probabilities). The final bucket
+  /// includes 1.0.
+  static Histogram UniformProbabilityBuckets(int n);
+
+  /// The paper's non-uniform WDev buckets: [0,0.01)...[0.04,0.05),
+  /// [0.05,0.1)...[0.9,0.95), [0.95,0.96)...[0.99,1), [1,1].
+  static Histogram WDevBuckets();
+
+  void Add(double value, double weight = 1.0);
+
+  /// Index of the bucket `value` falls into.
+  size_t BucketIndex(double value) const;
+
+  size_t num_buckets() const { return counts_.size(); }
+  double bucket_count(size_t i) const { return counts_[i]; }
+  double bucket_lower(size_t i) const { return edges_[i]; }
+  /// Upper edge; the last bucket reports +inf.
+  double bucket_upper(size_t i) const;
+  double total_weight() const { return total_; }
+
+  /// Fraction of total weight in bucket i (0 when empty).
+  double Fraction(size_t i) const;
+
+  /// Human-readable label for bucket i, e.g. "[0.05,0.10)".
+  std::string BucketLabel(size_t i) const;
+
+  /// Resets all counts, keeping the edges.
+  void Clear();
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,65 @@
+#ifndef KBT_COMMON_LOGGING_H_
+#define KBT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kbt {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement. Accumulates into a stream and flushes (with a
+/// timestamp and level tag) to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define KBT_LOG(level)                                               \
+  ::kbt::internal::LogMessage(::kbt::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+/// Fatal-on-false invariant check that survives NDEBUG builds.
+#define KBT_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::kbt::internal::CheckFailed(#cond, __FILE__, __LINE__);            \
+    }                                                                     \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line);
+}  // namespace internal
+
+}  // namespace kbt
+
+#endif  // KBT_COMMON_LOGGING_H_

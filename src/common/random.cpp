@@ -1,0 +1,198 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kbt {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  state_ = SplitMix64(sm);
+  inc_ = SplitMix64(sm) | 1u;
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  uint64_t sm = state_ ^ (0xda3e39cb94b95bdbULL + stream * 0x9e3779b97f4a7c15ULL);
+  const uint64_t new_state = SplitMix64(sm);
+  const uint64_t new_inc = SplitMix64(sm);
+  return Rng(new_state, new_inc);
+}
+
+uint32_t Rng::NextU32() {
+  // PCG32 (XSH RR).
+  const uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextU64());  // Full 64-bit range.
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t value;
+  do {
+    value = NextU64();
+  } while (value >= limit);
+  return lo + static_cast<int64_t>(value % range);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box-Muller; one draw per call keeps forked streams independent.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gamma(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+    const double u = std::max(NextDouble(), 1e-300);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x;
+    double v;
+    do {
+      x = Gaussian(0.0, 1.0);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double Rng::Beta(double a, double b) {
+  const double x = Gamma(a, 1.0);
+  const double y = Gamma(b, 1.0);
+  if (x + y <= 0.0) return 0.5;
+  return x / (x + y);
+}
+
+int Rng::Poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = sum;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  cdf_.back() = 1.0;  // Guard against round-off at the top.
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t i) const {
+  assert(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  assert(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  pmf_.resize(n);
+  prob_.resize(n);
+  alias_.resize(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    pmf_[i] = weights[i] / total;
+    scaled[i] = pmf_[i] * static_cast<double>(n);
+  }
+
+  std::vector<size_t> small;
+  std::vector<size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) prob_[i] = 1.0;
+  for (size_t i : small) prob_[i] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  const size_t n = prob_.size();
+  const size_t column = static_cast<size_t>(rng.UniformInt(0, n - 1));
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace kbt

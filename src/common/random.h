@@ -1,0 +1,108 @@
+#ifndef KBT_COMMON_RANDOM_H_
+#define KBT_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kbt {
+
+/// Deterministic, fork-able pseudo-random generator (PCG32 core seeded via
+/// SplitMix64). Every stochastic component of the library draws through an
+/// Rng so that experiments are exactly reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derives an independent stream; forking with distinct `stream` values
+  /// yields generators that do not correlate with the parent or each other.
+  Rng Fork(uint64_t stream) const;
+
+  uint32_t NextU32();
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+  /// Gamma(shape, scale) via Marsaglia-Tsang (with the shape<1 boost).
+  double Gamma(double shape, double scale);
+
+  /// Beta(a, b) via two Gamma draws.
+  double Beta(double a, double b);
+
+  /// Poisson(lambda) via Knuth's method (lambda expected to be small; the
+  /// corpus uses it for page out-degrees and hallucination counts).
+  int Poisson(double lambda);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, i - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  Rng(uint64_t state, uint64_t inc) : state_(state), inc_(inc | 1u) {}
+
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Zipf(s) sampler over {0, 1, ..., n-1} with rank-1 most likely, backed by a
+/// precomputed CDF (O(log n) per sample). Models the long-tailed size
+/// distributions of Figure 5 (triples per URL / per extraction pattern).
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `exponent` is the Zipf skew (1.0 is classic).
+  ZipfSampler(size_t n, double exponent);
+
+  /// Draws an index in [0, n); index 0 is the most probable.
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of index `i`.
+  double Pmf(size_t i) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Walker/Vose alias-method sampler over an arbitrary discrete distribution;
+/// O(1) per sample after O(n) setup. Used by the POPACCU false-value model
+/// and by the corpus generator's categorical draws.
+class AliasSampler {
+ public:
+  /// `weights` must be non-empty with non-negative entries and positive sum.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  size_t Sample(Rng& rng) const;
+
+  /// Normalized probability of index `i`.
+  double Pmf(size_t i) const { return pmf_[i]; }
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_COMMON_RANDOM_H_

@@ -1,0 +1,29 @@
+#ifndef KBT_COMMON_STOPWATCH_H_
+#define KBT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kbt {
+
+/// Monotonic wall-clock stopwatch used by the Table 7 stage timings.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_COMMON_STOPWATCH_H_

@@ -1,0 +1,27 @@
+#include "common/string_pool.h"
+
+#include <cassert>
+
+namespace kbt {
+
+uint32_t StringPool::Intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(storage_.size());
+  storage_.emplace_back(s);
+  index_.emplace(std::string_view(storage_.back()), id);
+  return id;
+}
+
+std::optional<uint32_t> StringPool::Find(std::string_view s) const {
+  const auto it = index_.find(s);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view StringPool::Get(uint32_t id) const {
+  assert(id < storage_.size());
+  return storage_[id];
+}
+
+}  // namespace kbt

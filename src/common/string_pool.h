@@ -1,0 +1,46 @@
+#ifndef KBT_COMMON_STRING_POOL_H_
+#define KBT_COMMON_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace kbt {
+
+/// Interning pool mapping strings <-> dense uint32 ids. All entity,
+/// predicate, value, website and pattern names in the library are interned
+/// once and referenced by id afterwards, so the hot inference loops never
+/// touch strings.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  /// Returns the id of `s`, inserting it on first sight. Ids are assigned
+  /// densely starting at 0 in insertion order.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id of `s` if present.
+  std::optional<uint32_t> Find(std::string_view s) const;
+
+  /// Returns the string for a valid id. The view stays stable for the pool's
+  /// lifetime (storage is a deque of owned strings).
+  std::string_view Get(uint32_t id) const;
+
+  size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+
+ private:
+  std::deque<std::string> storage_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_COMMON_STRING_POOL_H_

@@ -1,0 +1,47 @@
+#ifndef KBT_COMMON_THREAD_POOL_H_
+#define KBT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kbt {
+
+/// Fixed-size worker pool with a FIFO task queue. `Wait()` blocks until every
+/// task submitted so far has finished, which is the synchronization primitive
+/// the dataflow layer's parallel stages are built on.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_COMMON_THREAD_POOL_H_

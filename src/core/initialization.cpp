@@ -1,0 +1,75 @@
+#include "core/initialization.h"
+
+#include <vector>
+
+#include "common/math.h"
+
+namespace kbt::core {
+
+InitialQuality InitialQualityFromLabels(const extract::CompiledMatrix& matrix,
+                                        const TripleLabelFn& label,
+                                        const MultiLayerConfig& config,
+                                        const SmartInitOptions& options) {
+  InitialQuality init;
+  const uint32_t num_sources = matrix.num_sources();
+  const uint32_t num_groups = matrix.num_extractor_groups();
+
+  // Cache one label per slot (the label depends only on (item, value)).
+  const size_t num_slots = matrix.num_slots();
+  // -1 unknown, 0 false, 1 true.
+  std::vector<int8_t> slot_label(num_slots, -1);
+  for (size_t s = 0; s < num_slots; ++s) {
+    const auto l = label(matrix.item_id(matrix.slot_item(s)),
+                         matrix.slot_value(s));
+    if (l.has_value()) slot_label[s] = *l ? 1 : 0;
+  }
+
+  // ---- Source accuracy: fraction of labeled-correct provided triples ----
+  init.source_accuracy.assign(num_sources, config.default_source_accuracy);
+  init.source_trusted.assign(num_sources, 0);
+  for (uint32_t w = 0; w < num_sources; ++w) {
+    const auto [b, e] = matrix.SourceSlots(w);
+    double labeled = 0.0;
+    double correct = 0.0;
+    for (uint32_t k = b; k < e; ++k) {
+      const uint32_t s = matrix.source_slot_index()[k];
+      if (slot_label[s] < 0) continue;
+      labeled += 1.0;
+      correct += slot_label[s];
+    }
+    if (labeled >= options.min_labeled) {
+      init.source_accuracy[w] =
+          (correct + options.smoothing * config.default_source_accuracy) /
+          (labeled + options.smoothing);
+      init.source_trusted[w] = 1;
+    }
+  }
+
+  // ---- Extractor precision: fraction of labeled-correct extractions ----
+  if (!options.initialize_extractors) return init;
+  const double default_precision =
+      PrecisionFromQ(config.default_q, config.default_recall, config.gamma);
+  init.extractor_precision.assign(num_groups, default_precision);
+  init.extractor_recall.assign(num_groups, config.default_recall);
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    const auto [b, e] = matrix.ExtractorEdges(g);
+    double labeled = 0.0;
+    double correct = 0.0;
+    for (uint32_t k = b; k < e; ++k) {
+      const uint32_t edge = matrix.extractor_edge_index()[k];
+      const int8_t l = slot_label[matrix.ext_slot(edge)];
+      if (l < 0) continue;
+      labeled += 1.0;
+      correct += l;
+    }
+    if (labeled >= options.min_labeled) {
+      init.extractor_precision[g] =
+          (correct + options.smoothing * default_precision) /
+          (labeled + options.smoothing);
+    }
+  }
+
+  return init;
+}
+
+}  // namespace kbt::core

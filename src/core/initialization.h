@@ -1,0 +1,47 @@
+#ifndef KBT_CORE_INITIALIZATION_H_
+#define KBT_CORE_INITIALIZATION_H_
+
+#include <functional>
+#include <optional>
+
+#include "extract/observation_matrix.h"
+#include "core/multilayer_config.h"
+#include "core/multilayer_result.h"
+#include "kb/ids.h"
+
+namespace kbt::core {
+
+/// Gold-standard lookup: returns true/false when the triple's correctness is
+/// known (e.g. LCWA against a Freebase-like KB plus type checking), nullopt
+/// when unknown.
+using TripleLabelFn =
+    std::function<std::optional<bool>(kb::DataItemId, kb::ValueId)>;
+
+/// Options of the smart ("+") initialization of Section 5: source accuracy
+/// is initialized to the fraction of labeled-correct triples extracted from
+/// the source, smoothed toward the default; extractor precision likewise
+/// over its extraction edges (triple truth is a proxy for extraction
+/// correctness: a labeled-true triple is overwhelmingly a correctly
+/// extracted one, per the type-check labelling method).
+struct SmartInitOptions {
+  /// Groups with fewer labeled data points keep the default quality.
+  int min_labeled = 3;
+  /// Pseudo-count pulling the estimate toward the config default.
+  double smoothing = 2.0;
+  /// Also initialize extractor precision from the labels. The paper
+  /// describes smart initialization for *source* accuracy only; labeled
+  /// extractions skew heavily toward LCWA-false triples, so label-derived
+  /// extractor precision is biased low — leave this off unless the label
+  /// base rate is balanced.
+  bool initialize_extractors = true;
+};
+
+/// Builds the "+"-variant initial quality for `matrix` from a labeler.
+InitialQuality InitialQualityFromLabels(const extract::CompiledMatrix& matrix,
+                                        const TripleLabelFn& label,
+                                        const MultiLayerConfig& config,
+                                        const SmartInitOptions& options = {});
+
+}  // namespace kbt::core
+
+#endif  // KBT_CORE_INITIALIZATION_H_

@@ -1,0 +1,106 @@
+#include "core/kbt_extensions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace kbt::core {
+
+std::vector<std::vector<uint32_t>> WebsiteTopics(
+    const extract::CompiledMatrix& matrix, uint32_t num_websites,
+    const TopicOptions& options) {
+  // Per site: predicate -> slot count.
+  std::vector<std::unordered_map<uint32_t, double>> counts(num_websites);
+  std::vector<double> totals(num_websites, 0.0);
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    const uint32_t site = matrix.slot_website(s);
+    if (site >= num_websites) continue;
+    counts[site][matrix.slot_predicate(s)] += 1.0;
+    totals[site] += 1.0;
+  }
+
+  std::vector<std::vector<uint32_t>> topics(num_websites);
+  for (uint32_t w = 0; w < num_websites; ++w) {
+    if (totals[w] <= 0.0) continue;
+    std::vector<std::pair<uint32_t, double>> ranked(counts[w].begin(),
+                                                    counts[w].end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      const double share = ranked[i].second / totals[w];
+      if (static_cast<int>(i) < options.top_k || share >= options.min_share) {
+        topics[w].push_back(ranked[i].first);
+      }
+    }
+    std::sort(topics[w].begin(), topics[w].end());
+  }
+  return topics;
+}
+
+std::vector<KbtScore> ComputeTopicalKbt(
+    const extract::CompiledMatrix& matrix, const MultiLayerResult& result,
+    uint32_t num_websites,
+    const std::vector<std::vector<uint32_t>>& topics) {
+  std::vector<KbtScore> scores(num_websites);
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    const uint32_t site = matrix.slot_website(s);
+    if (site >= num_websites) continue;
+    const auto& site_topics = topics[site];
+    if (!std::binary_search(site_topics.begin(), site_topics.end(),
+                            matrix.slot_predicate(s))) {
+      continue;  // Off-topic triple: not this site's business.
+    }
+    const double c = result.slot_correct_prob[s];
+    scores[site].kbt += c * result.slot_value_prob[s];
+    scores[site].evidence += c;
+  }
+  for (KbtScore& s : scores) {
+    s.kbt = s.evidence > 1e-12 ? s.kbt / s.evidence : 0.0;
+  }
+  return scores;
+}
+
+std::vector<double> SlotIdfWeights(const extract::CompiledMatrix& matrix) {
+  // (predicate, value) -> #slots, and predicate -> #slots.
+  std::unordered_map<uint64_t, double> pv_counts;
+  std::unordered_map<uint32_t, double> p_counts;
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    const uint64_t key = (static_cast<uint64_t>(matrix.slot_predicate(s))
+                          << 32) |
+                         matrix.slot_value(s);
+    pv_counts[key] += 1.0;
+    p_counts[matrix.slot_predicate(s)] += 1.0;
+  }
+  std::vector<double> weights(matrix.num_slots(), 0.0);
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    const uint64_t key = (static_cast<uint64_t>(matrix.slot_predicate(s))
+                          << 32) |
+                         matrix.slot_value(s);
+    weights[s] =
+        std::log(1.0 + p_counts[matrix.slot_predicate(s)] / pv_counts[key]);
+  }
+  return weights;
+}
+
+std::vector<KbtScore> ComputeIdfWeightedKbt(
+    const extract::CompiledMatrix& matrix, const MultiLayerResult& result,
+    uint32_t num_websites) {
+  const std::vector<double> idf = SlotIdfWeights(matrix);
+  std::vector<KbtScore> scores(num_websites);
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    const uint32_t site = matrix.slot_website(s);
+    if (site >= num_websites) continue;
+    const double weight = result.slot_correct_prob[s] * idf[s];
+    scores[site].kbt += weight * result.slot_value_prob[s];
+    scores[site].evidence += weight;
+  }
+  for (KbtScore& s : scores) {
+    s.kbt = s.evidence > 1e-12 ? s.kbt / s.evidence : 0.0;
+  }
+  return scores;
+}
+
+}  // namespace kbt::core

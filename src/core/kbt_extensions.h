@@ -1,0 +1,60 @@
+#ifndef KBT_CORE_KBT_EXTENSIONS_H_
+#define KBT_CORE_KBT_EXTENSIONS_H_
+
+#include <vector>
+
+#include "extract/observation_matrix.h"
+#include "core/kbt_score.h"
+#include "core/multilayer_result.h"
+
+namespace kbt::core {
+
+/// Implementations of the KBT refinements the paper sketches as future work
+/// (Section 5.4.2):
+///
+///  1. *Topic relevance*: only evaluate a website on triples whose predicate
+///     belongs to the site's main topics, so off-topic extractions (e.g.
+///     city facts scraped from a business directory's navigation) do not
+///     pollute the score.
+///  2. *Triviality / IDF weighting*: a predicate whose objects have little
+///     variety carries little information ("every movie on a Hindi-movie
+///     site is in Hindi"); weight each triple by the inverse popularity of
+///     its value within its predicate so trivial triples contribute less.
+
+/// Options for topic extraction.
+struct TopicOptions {
+  /// A predicate is a topic of the site when it covers at least this
+  /// fraction of the site's extracted triples...
+  double min_share = 0.1;
+  /// ...or is among the site's top-k predicates (the paper's manual
+  /// evaluation used the top 3).
+  int top_k = 3;
+};
+
+/// Main topics (predicates) per website, from the site's slot distribution.
+std::vector<std::vector<uint32_t>> WebsiteTopics(
+    const extract::CompiledMatrix& matrix, uint32_t num_websites,
+    const TopicOptions& options = {});
+
+/// KBT restricted to each site's own topics: slots whose predicate is not a
+/// topic of the site are excluded from its score.
+std::vector<KbtScore> ComputeTopicalKbt(
+    const extract::CompiledMatrix& matrix, const MultiLayerResult& result,
+    uint32_t num_websites,
+    const std::vector<std::vector<uint32_t>>& topics);
+
+/// IDF weight per slot: log(1 + N_p / n_pv), where N_p is the number of
+/// slots of the slot's predicate and n_pv the number of slots stating the
+/// slot's value under that predicate. Values stated everywhere (trivial)
+/// approach weight log(2); rare informative values weigh more.
+std::vector<double> SlotIdfWeights(const extract::CompiledMatrix& matrix);
+
+/// KBT with each slot weighted by p(C=1|X) * idf instead of p(C=1|X):
+/// trivially-redundant triples stop inflating trust scores.
+std::vector<KbtScore> ComputeIdfWeightedKbt(
+    const extract::CompiledMatrix& matrix, const MultiLayerResult& result,
+    uint32_t num_websites);
+
+}  // namespace kbt::core
+
+#endif  // KBT_CORE_KBT_EXTENSIONS_H_

@@ -1,0 +1,45 @@
+#include "core/kbt_score.h"
+
+namespace kbt::core {
+
+namespace {
+
+void Accumulate(KbtScore& score, double c, double v) {
+  score.kbt += c * v;  // Numerator until Finalize.
+  score.evidence += c;
+}
+
+void Finalize(std::vector<KbtScore>& scores) {
+  for (KbtScore& s : scores) {
+    s.kbt = s.evidence > 1e-12 ? s.kbt / s.evidence : 0.0;
+  }
+}
+
+}  // namespace
+
+std::vector<KbtScore> ComputeWebsiteKbt(const extract::CompiledMatrix& matrix,
+                                        const MultiLayerResult& result,
+                                        uint32_t num_websites) {
+  std::vector<KbtScore> scores(num_websites);
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    const uint32_t site = matrix.slot_website(s);
+    if (site >= num_websites) continue;
+    Accumulate(scores[site], result.slot_correct_prob[s],
+               result.slot_value_prob[s]);
+  }
+  Finalize(scores);
+  return scores;
+}
+
+std::vector<KbtScore> ComputeSourceKbt(const extract::CompiledMatrix& matrix,
+                                       const MultiLayerResult& result) {
+  std::vector<KbtScore> scores(matrix.num_sources());
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    Accumulate(scores[matrix.slot_source(s)], result.slot_correct_prob[s],
+               result.slot_value_prob[s]);
+  }
+  Finalize(scores);
+  return scores;
+}
+
+}  // namespace kbt::core

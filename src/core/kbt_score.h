@@ -1,0 +1,40 @@
+#ifndef KBT_CORE_KBT_SCORE_H_
+#define KBT_CORE_KBT_SCORE_H_
+
+#include <vector>
+
+#include "extract/observation_matrix.h"
+#include "core/multilayer_result.h"
+
+namespace kbt::core {
+
+/// Knowledge-Based Trust of one website (or page): the probability-weighted
+/// accuracy of the facts the model believes the site provides. This is
+/// Eq. 28 aggregated at reporting granularity:
+///   KBT = sum_slots p(C=1|X) p(V=v|X) / sum_slots p(C=1|X).
+/// `evidence` is the denominator — the expected number of correctly
+/// extracted triples; the paper only reports KBT for sources with at least
+/// 5 of them (Section 5.4).
+struct KbtScore {
+  double kbt = 0.0;
+  double evidence = 0.0;
+
+  bool HasScore(double min_evidence = 5.0) const {
+    return evidence >= min_evidence;
+  }
+};
+
+/// Aggregates slot posteriors to per-website KBT. `num_websites` must cover
+/// every slot_website value in the matrix.
+std::vector<KbtScore> ComputeWebsiteKbt(const extract::CompiledMatrix& matrix,
+                                        const MultiLayerResult& result,
+                                        uint32_t num_websites);
+
+/// Aggregates slot posteriors per source group (page-level KBT when sources
+/// are pages).
+std::vector<KbtScore> ComputeSourceKbt(const extract::CompiledMatrix& matrix,
+                                       const MultiLayerResult& result);
+
+}  // namespace kbt::core
+
+#endif  // KBT_CORE_KBT_SCORE_H_

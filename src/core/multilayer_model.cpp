@@ -1,0 +1,559 @@
+#include "core/multilayer_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/math.h"
+
+namespace kbt::core {
+
+namespace {
+
+using extract::CompiledMatrix;
+using extract::ExtractorScope;
+using extract::kAnyScope;
+
+uint64_t PackPredSite(uint32_t pred, uint32_t site) {
+  return (static_cast<uint64_t>(pred) << 32) | site;
+}
+
+/// Per-scope additive totals. Two uses per iteration:
+///  * absence universe: each extractor group deposits its weighted absence
+///    vote into the bucket matching its scope; a slot's total absence
+///    evidence is the SUM over all four bucket levels covering it;
+///  * recall denominators: each slot deposits p(C=1|X) into its exact
+///    (predicate, website) bucket plus the coarser levels; a group reads the
+///    ONE bucket matching its scope.
+class ScopeTable {
+ public:
+  void Clear() {
+    global_ = 0.0;
+    by_pred_.clear();
+    by_site_.clear();
+    by_pred_site_.clear();
+  }
+
+  /// Deposits `v` into the bucket identified by `scope` (group-side use).
+  void AddForScope(const ExtractorScope& scope, double v) {
+    const bool any_pred = scope.predicate == kAnyScope;
+    const bool any_site = scope.website == kAnyScope;
+    if (any_pred && any_site) {
+      global_ += v;
+    } else if (!any_pred && any_site) {
+      by_pred_[scope.predicate] += v;
+    } else if (any_pred && !any_site) {
+      by_site_[scope.website] += v;
+    } else {
+      by_pred_site_[PackPredSite(scope.predicate, scope.website)] += v;
+    }
+  }
+
+  /// Deposits `v` into every level covering (pred, site) (slot-side use).
+  void AddForSlot(uint32_t pred, uint32_t site, double v) {
+    global_ += v;
+    by_pred_[pred] += v;
+    by_site_[site] += v;
+    by_pred_site_[PackPredSite(pred, site)] += v;
+  }
+
+  /// Total over all buckets covering a slot at (pred, site).
+  double SumCovering(uint32_t pred, uint32_t site) const {
+    double total = global_;
+    if (const auto it = by_pred_.find(pred); it != by_pred_.end()) {
+      total += it->second;
+    }
+    if (const auto it = by_site_.find(site); it != by_site_.end()) {
+      total += it->second;
+    }
+    if (const auto it = by_pred_site_.find(PackPredSite(pred, site));
+        it != by_pred_site_.end()) {
+      total += it->second;
+    }
+    return total;
+  }
+
+  /// Value of the single bucket matching `scope`.
+  double AtScope(const ExtractorScope& scope) const {
+    const bool any_pred = scope.predicate == kAnyScope;
+    const bool any_site = scope.website == kAnyScope;
+    if (any_pred && any_site) return global_;
+    if (!any_pred && any_site) {
+      const auto it = by_pred_.find(scope.predicate);
+      return it == by_pred_.end() ? 0.0 : it->second;
+    }
+    if (any_pred && !any_site) {
+      const auto it = by_site_.find(scope.website);
+      return it == by_site_.end() ? 0.0 : it->second;
+    }
+    const auto it =
+        by_pred_site_.find(PackPredSite(scope.predicate, scope.website));
+    return it == by_pred_site_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  double global_ = 0.0;
+  std::unordered_map<uint32_t, double> by_pred_;
+  std::unordered_map<uint32_t, double> by_site_;
+  std::unordered_map<uint64_t, double> by_pred_site_;
+};
+
+/// Serial fallbacks when no executor is supplied.
+void ForRange(dataflow::Executor* ex, size_t n,
+              const std::function<void(size_t, size_t)>& fn) {
+  if (ex != nullptr) {
+    ex->ParallelForRanges(n, fn);
+  } else if (n > 0) {
+    fn(0, n);
+  }
+}
+
+void ForGroups(dataflow::Executor* ex, size_t n,
+               const std::function<void(size_t)>& fn) {
+  if (ex != nullptr) {
+    ex->ParallelForGroups(n, fn);
+  } else {
+    for (size_t g = 0; g < n; ++g) fn(g);
+  }
+}
+
+}  // namespace
+
+ExtractorVotes ComputeVotes(double recall, double q, double absence_weight) {
+  ExtractorVotes v;
+  v.presence = PresenceVote(recall, q);
+  v.weighted_absence = absence_weight * AbsenceVote(recall, q);
+  return v;
+}
+
+double UpdatedAlpha(double value_prob, double source_accuracy) {
+  return value_prob * source_accuracy +
+         (1.0 - value_prob) * (1.0 - source_accuracy);
+}
+
+StatusOr<MultiLayerResult> MultiLayerModel::Run(
+    const CompiledMatrix& matrix, const MultiLayerConfig& config,
+    const InitialQuality& initial, dataflow::Executor* executor,
+    dataflow::StageTimers* timers) {
+  const size_t num_slots = matrix.num_slots();
+  const size_t num_items = matrix.num_items();
+  const uint32_t num_sources = matrix.num_sources();
+  const uint32_t num_groups = matrix.num_extractor_groups();
+
+  if (!initial.source_accuracy.empty() &&
+      initial.source_accuracy.size() != num_sources) {
+    return Status::InvalidArgument("initial source_accuracy size mismatch");
+  }
+  if (!initial.extractor_precision.empty() &&
+      initial.extractor_precision.size() != num_groups) {
+    return Status::InvalidArgument("initial extractor_precision size mismatch");
+  }
+  if (!initial.extractor_recall.empty() &&
+      initial.extractor_recall.size() != num_groups) {
+    return Status::InvalidArgument("initial extractor_recall size mismatch");
+  }
+  if (config.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  const auto clampP = [&config](double p) {
+    return Clamp(p, config.min_probability, config.max_probability);
+  };
+
+  MultiLayerResult r;
+  // ---- Parameter initialization (Section 3.1 / Section 5 smart init) ----
+  r.source_accuracy.assign(num_sources, config.default_source_accuracy);
+  if (!initial.source_accuracy.empty()) {
+    for (uint32_t w = 0; w < num_sources; ++w) {
+      r.source_accuracy[w] = clampP(initial.source_accuracy[w]);
+    }
+  }
+  double default_recall = config.default_recall;
+  double default_q = config.default_q;
+  if (config.adaptive_initial_recall && initial.extractor_recall.empty() &&
+      num_slots > 0) {
+    // Method-of-moments starting point: match the initial R to the observed
+    // extraction density so iteration 1's absence evidence is well-scaled
+    // (see multilayer_config.h).
+    ScopeTable universe;
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      universe.AddForScope(matrix.extractor_scope(g), 1.0);
+    }
+    double applicable = 0.0;
+    for (size_t s = 0; s < num_slots; ++s) {
+      applicable +=
+          universe.SumCovering(matrix.slot_predicate(s), matrix.slot_website(s));
+    }
+    const double mean_universe =
+        std::max(1.0, applicable / static_cast<double>(num_slots));
+    const double edges_per_slot =
+        static_cast<double>(matrix.num_extractions()) /
+        static_cast<double>(num_slots);
+    default_recall = Clamp(edges_per_slot / mean_universe, 0.05,
+                           config.default_recall);
+    default_q = std::min(config.default_q, default_recall / 2.0);
+  }
+  r.extractor_recall.assign(num_groups, default_recall);
+  if (!initial.extractor_recall.empty()) {
+    for (uint32_t e = 0; e < num_groups; ++e) {
+      r.extractor_recall[e] = clampP(initial.extractor_recall[e]);
+    }
+  }
+  if (!initial.extractor_q.empty() &&
+      initial.extractor_q.size() != num_groups) {
+    return Status::InvalidArgument("initial extractor_q size mismatch");
+  }
+  r.extractor_q.assign(num_groups, default_q);
+  r.extractor_precision.assign(num_groups, 0.0);
+  if (!initial.extractor_q.empty()) {
+    // Direct Q initialization (paper examples / default-style init).
+    for (uint32_t e = 0; e < num_groups; ++e) {
+      r.extractor_q[e] = clampP(initial.extractor_q[e]);
+      r.extractor_precision[e] = PrecisionFromQ(
+          r.extractor_q[e], r.extractor_recall[e], config.gamma);
+    }
+  } else if (!initial.extractor_precision.empty()) {
+    for (uint32_t e = 0; e < num_groups; ++e) {
+      r.extractor_precision[e] = clampP(initial.extractor_precision[e]);
+      r.extractor_q[e] = QFromPrecisionRecall(r.extractor_precision[e],
+                                              r.extractor_recall[e],
+                                              config.gamma);
+    }
+  } else {
+    for (uint32_t e = 0; e < num_groups; ++e) {
+      r.extractor_precision[e] = PrecisionFromQ(
+          r.extractor_q[e], r.extractor_recall[e], config.gamma);
+    }
+  }
+
+  if (!initial.source_trusted.empty() &&
+      initial.source_trusted.size() != num_sources) {
+    return Status::InvalidArgument("initial source_trusted size mismatch");
+  }
+
+  // ---- Support flags (static: structure does not change) ----
+  r.source_supported.assign(num_sources, 0);
+  for (uint32_t w = 0; w < num_sources; ++w) {
+    const auto [b, e] = matrix.SourceSlots(w);
+    const bool trusted =
+        !initial.source_trusted.empty() && initial.source_trusted[w] != 0;
+    r.source_supported[w] =
+        (trusted || static_cast<int>(e - b) >= config.min_source_support)
+            ? 1
+            : 0;
+  }
+  r.extractor_supported.assign(num_groups, 0);
+  for (uint32_t g = 0; g < num_groups; ++g) {
+    const auto [b, e] = matrix.ExtractorEdges(g);
+    r.extractor_supported[g] =
+        (static_cast<int>(e - b) >= config.min_extractor_support) ? 1 : 0;
+  }
+
+  // ---- Effective confidence per extraction edge (Section 3.5) ----
+  std::vector<float> conf(matrix.num_extractions());
+  for (size_t e = 0; e < conf.size(); ++e) {
+    const float raw = matrix.ext_conf()[e];
+    conf[e] = config.use_confidence_weights
+                  ? raw
+                  : (raw > config.confidence_threshold ? 1.0f : 0.0f);
+  }
+
+  // ---- POPACCU empirical value popularity per slot ----
+  std::vector<double> slot_popularity;
+  if (config.value_model == ValueModel::kPopAccu) {
+    slot_popularity.resize(num_slots, 0.0);
+    for (size_t i = 0; i < num_items; ++i) {
+      const auto [b, e] = matrix.ItemSlots(i);
+      std::unordered_map<uint32_t, double> counts;
+      for (uint32_t s = b; s < e; ++s) counts[matrix.slot_value(s)] += 1.0;
+      const double total = static_cast<double>(e - b);
+      for (uint32_t s = b; s < e; ++s) {
+        slot_popularity[s] = counts[matrix.slot_value(s)] / total;
+      }
+    }
+  }
+
+  // ---- Latent state ----
+  r.slot_correct_prob.assign(num_slots, 0.5);
+  r.slot_value_prob.assign(num_slots, 0.5);
+  r.slot_alpha.assign(num_slots, config.initial_alpha);
+  r.slot_covered.assign(num_slots, 0);
+  r.item_unobserved_value_prob.assign(num_items, 0.0);
+
+  std::vector<ExtractorVotes> votes(num_groups);
+  std::vector<double> slot_logodds(num_slots, 0.0);
+  ScopeTable absence_universe;
+  ScopeTable slot_mass;
+
+  const auto refresh_votes = [&]() {
+    absence_universe.Clear();
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      const ExtractorScope& scope = matrix.extractor_scope(g);
+      votes[g] = ComputeVotes(r.extractor_recall[g], r.extractor_q[g],
+                              scope.absence_weight);
+      absence_universe.AddForScope(scope, votes[g].weighted_absence);
+    }
+  };
+  refresh_votes();
+
+  std::vector<double> delta_per_chunk;  // Convergence tracking.
+  std::mutex delta_mutex;
+
+  for (int iteration = 1; iteration <= config.max_iterations; ++iteration) {
+    double max_delta = 0.0;
+    const auto note_delta = [&](double d) {
+      std::lock_guard<std::mutex> lock(delta_mutex);
+      max_delta = std::max(max_delta, d);
+    };
+
+    // ============ Stage I: extraction correctness p(C|X), Eq. 15 ============
+    {
+      std::unique_ptr<dataflow::StageTimers::Scope> t;
+      if (timers) {
+        t = std::make_unique<dataflow::StageTimers::Scope>(*timers,
+                                                           "I.ExtCorr");
+      }
+      // Log-odds per slot, before the shared calibration intercept.
+      ForRange(executor, num_slots, [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          double vcc = absence_universe.SumCovering(matrix.slot_predicate(s),
+                                                    matrix.slot_website(s));
+          const auto [eb, ee] = matrix.SlotExtractions(s);
+          for (uint32_t e = eb; e < ee; ++e) {
+            const uint32_t g = matrix.ext_group()[e];
+            vcc += static_cast<double>(conf[e]) *
+                   (votes[g].presence - votes[g].weighted_absence);
+          }
+          slot_logodds[s] = vcc + Logit(r.slot_alpha[s]);
+        }
+      });
+
+      // Shared intercept: mean p(C|X) is pinned to the expected provided
+      // fraction (see multilayer_config.h). Bisection on a monotone mean.
+      double tau = 0.0;
+      if (config.calibrate_correctness && num_slots > 0) {
+        const double target = Clamp(config.expected_provided_fraction,
+                                    0.01, 0.99);
+        double lo = -30.0;
+        double hi = 30.0;
+        for (int step = 0; step < 60; ++step) {
+          tau = 0.5 * (lo + hi);
+          double mean = 0.0;
+          for (size_t s = 0; s < num_slots; ++s) {
+            mean += Sigmoid(slot_logodds[s] + tau);
+          }
+          mean /= static_cast<double>(num_slots);
+          if (mean < target) {
+            lo = tau;
+          } else {
+            hi = tau;
+          }
+        }
+      }
+
+      ForRange(executor, num_slots, [&](size_t begin, size_t end) {
+        double local_delta = 0.0;
+        for (size_t s = begin; s < end; ++s) {
+          const double c = Sigmoid(slot_logodds[s] + tau);
+          local_delta = std::max(local_delta,
+                                 std::fabs(c - r.slot_correct_prob[s]));
+          r.slot_correct_prob[s] = c;
+        }
+        note_delta(local_delta);
+      });
+    }
+
+    // Per-scope mass of p(C=1), the recall denominator of Eq. 33.
+    slot_mass.Clear();
+    for (size_t s = 0; s < num_slots; ++s) {
+      slot_mass.AddForSlot(matrix.slot_predicate(s), matrix.slot_website(s),
+                           r.slot_correct_prob[s]);
+    }
+
+    // ============ Stage II: triple truth p(V_d|X), Eqs. 21/25 ============
+    {
+      std::unique_ptr<dataflow::StageTimers::Scope> t;
+      if (timers) {
+        t = std::make_unique<dataflow::StageTimers::Scope>(*timers,
+                                                           "II.TriplePr");
+      }
+      ForRange(executor, num_items, [&](size_t begin, size_t end) {
+        double local_delta = 0.0;
+        // Reused per-item scratch.
+        std::vector<uint32_t> values;
+        std::vector<double> value_votes;
+        for (size_t i = begin; i < end; ++i) {
+          const auto [b, e] = matrix.ItemSlots(i);
+          values.clear();
+          value_votes.clear();
+          bool covered = false;
+          for (uint32_t s = b; s < e; ++s) {
+            const uint32_t w = matrix.slot_source(s);
+            double vote = 0.0;
+            if (r.source_supported[w]) {
+              covered = true;
+              const double wc =
+                  config.weighted_value_votes
+                      ? r.slot_correct_prob[s]
+                      : (r.slot_correct_prob[s] > 0.5 ? 1.0 : 0.0);
+              const int n = config.num_false_override >= 1
+                                ? config.num_false_override
+                                : matrix.item_num_false(i);
+              if (config.value_model == ValueModel::kAccu) {
+                vote = wc * SourceVote(r.source_accuracy[w], n);
+              } else {
+                const double a = ClampProbability(r.source_accuracy[w]);
+                vote = wc * (std::log(a / (1.0 - a)) -
+                             SafeLog(slot_popularity[s]));
+              }
+            }
+            // Accumulate by value (values per item are few; linear scan).
+            const uint32_t v = matrix.slot_value(s);
+            size_t vi = 0;
+            for (; vi < values.size(); ++vi) {
+              if (values[vi] == v) break;
+            }
+            if (vi == values.size()) {
+              values.push_back(v);
+              value_votes.push_back(0.0);
+            }
+            value_votes[vi] += vote;
+          }
+
+          const int n = config.num_false_override >= 1
+                            ? config.num_false_override
+                            : matrix.item_num_false(i);
+          const int unobserved =
+              std::max(0, n + 1 - static_cast<int>(values.size()));
+          std::vector<double> log_terms(value_votes);
+          if (unobserved > 0) {
+            log_terms.push_back(std::log(static_cast<double>(unobserved)));
+          }
+          const double log_z = LogSumExp(log_terms);
+
+          r.item_unobserved_value_prob[i] =
+              unobserved > 0 ? std::exp(-log_z) : 0.0;
+          for (uint32_t s = b; s < e; ++s) {
+            const uint32_t v = matrix.slot_value(s);
+            size_t vi = 0;
+            for (; vi < values.size(); ++vi) {
+              if (values[vi] == v) break;
+            }
+            const double pv = std::exp(value_votes[vi] - log_z);
+            local_delta =
+                std::max(local_delta, std::fabs(pv - r.slot_value_prob[s]));
+            r.slot_value_prob[s] = pv;
+            r.slot_covered[s] = covered ? 1 : 0;
+          }
+        }
+        note_delta(local_delta);
+      });
+    }
+
+    // ============ Stage III: source accuracy A_w, Eq. 27/28 ============
+    if (config.update_source_accuracy) {
+      std::unique_ptr<dataflow::StageTimers::Scope> t;
+      if (timers) {
+        t = std::make_unique<dataflow::StageTimers::Scope>(*timers,
+                                                           "III.SrcAccu");
+      }
+      ForGroups(executor, num_sources, [&](size_t w) {
+        if (!r.source_supported[w]) return;  // Stays at initial value.
+        const auto [b, e] = matrix.SourceSlots(static_cast<uint32_t>(w));
+        double num = 0.0;
+        double den = 0.0;
+        for (uint32_t k = b; k < e; ++k) {
+          const uint32_t s = matrix.source_slot_index()[k];
+          double wc;
+          if (config.weighted_value_votes) {
+            // Eq. 28: weight every slot by p(C=1|X). Extraction-noise slots
+            // contribute little because their posterior is small.
+            wc = r.slot_correct_prob[s];
+          } else {
+            // Eq. 27: MAP estimate — only slots with C-hat = 1 count.
+            if (r.slot_correct_prob[s] <= 0.5) continue;
+            wc = 1.0;
+          }
+          num += wc * r.slot_value_prob[s];
+          den += wc;
+        }
+        if (den > 1e-12) {
+          r.source_accuracy[w] = clampP(num / den);
+        }
+      });
+    }
+
+    // ---- Prior update for alpha (Eq. 26), Section 3.3.4 ----
+    if (config.update_alpha &&
+        iteration >= config.alpha_update_start_iteration) {
+      ForRange(executor, num_slots, [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          const double v = r.slot_value_prob[s];
+          const double a_src = r.source_accuracy[matrix.slot_source(s)];
+          double false_mass = (1.0 - v) * (1.0 - a_src);
+          if (config.alpha_update_rule == AlphaUpdateRule::kDomainNormalized) {
+            const int n = config.num_false_override >= 1
+                              ? config.num_false_override
+                              : matrix.item_num_false(matrix.slot_item(s));
+            false_mass /= std::max(1, n);
+          }
+          r.slot_alpha[s] = clampP(v * a_src + false_mass);
+        }
+      });
+    }
+
+    // ============ Stage IV: extractor quality, Eqs. 32-33 + Eq. 7 ============
+    if (config.update_extractor_quality) {
+      std::unique_ptr<dataflow::StageTimers::Scope> t;
+      if (timers) {
+        t = std::make_unique<dataflow::StageTimers::Scope>(*timers,
+                                                           "IV.ExtQuality");
+      }
+      ForGroups(executor, num_groups, [&](size_t g) {
+        if (!r.extractor_supported[g]) return;
+        const auto [b, e] = matrix.ExtractorEdges(static_cast<uint32_t>(g));
+        double sum_conf = 0.0;
+        double sum_joint = 0.0;
+        for (uint32_t k = b; k < e; ++k) {
+          const uint32_t edge = matrix.extractor_edge_index()[k];
+          const double c = r.slot_correct_prob[matrix.ext_slot(edge)];
+          sum_conf += conf[edge];
+          sum_joint += conf[edge] * c;
+        }
+        const ExtractorScope& scope =
+            matrix.extractor_scope(static_cast<uint32_t>(g));
+        const double denom_r = slot_mass.AtScope(scope) * scope.absence_weight;
+        if (sum_conf > 1e-12) {
+          r.extractor_precision[g] = clampP(sum_joint / sum_conf);
+        }
+        if (denom_r > 1e-12) {
+          r.extractor_recall[g] = clampP(sum_joint / denom_r);
+        }
+        // Eq. 7, with a stability guard: Q is capped at R. An extractor that
+        // would extract unprovided triples more readily than provided ones
+        // carries no signal (Q = R zeroes both votes, like E5 in Table 3);
+        // letting Q exceed R flips absence votes into positive evidence and
+        // destabilizes EM.
+        r.extractor_q[g] = std::min(
+            QFromPrecisionRecall(r.extractor_precision[g],
+                                 r.extractor_recall[g], config.gamma),
+            r.extractor_recall[g]);
+      });
+    }
+
+    refresh_votes();
+    r.iterations = iteration;
+    if (max_delta < config.convergence_tol) {
+      r.converged = true;
+      break;
+    }
+  }
+
+  return r;
+}
+
+}  // namespace kbt::core

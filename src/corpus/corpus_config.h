@@ -1,0 +1,79 @@
+#ifndef KBT_CORPUS_CORPUS_CONFIG_H_
+#define KBT_CORPUS_CORPUS_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/web_source.h"
+
+namespace kbt::corpus {
+
+/// Per-category generation parameters. Site accuracy is drawn from
+/// Beta(accuracy_alpha, accuracy_beta); popularity mass is multiplied by
+/// popularity_boost.
+struct CategoryProfile {
+  SourceCategory category = SourceCategory::kReference;
+  /// Mixture weight (relative count of sites in this category).
+  double weight = 1.0;
+  double accuracy_alpha = 8.0;
+  double accuracy_beta = 2.0;
+  double popularity_boost = 1.0;
+};
+
+/// Knobs of the synthetic web-world generator. Defaults produce a small but
+/// structurally KV-like corpus: long-tailed pages-per-site and
+/// triples-per-page, site specialization in a few predicates, and a
+/// category mix that decorrelates accuracy from popularity.
+struct CorpusConfig {
+  uint64_t seed = 42;
+
+  // ---- World (the "real world" the KB snapshot and websites describe) ----
+  /// Entities available as subjects.
+  int num_subjects = 2000;
+  /// Number of predicates in the schema.
+  int num_predicates = 12;
+  /// Values in each predicate's domain; the paper's n (false values) is
+  /// values_per_domain - 1.
+  int values_per_domain = 26;
+  /// Fraction of (subject, predicate) pairs that exist as world facts.
+  double item_density = 0.4;
+
+  // ---- Websites and pages ----
+  int num_websites = 300;
+  /// Pages per site follow Zipf(pages_zipf_exponent) capped at
+  /// max_pages_per_site (long tail: most sites have few pages).
+  double pages_zipf_exponent = 1.4;
+  int max_pages_per_site = 64;
+  /// Triples stated per page ~ Zipf over [min,max].
+  double triples_zipf_exponent = 1.2;
+  int min_triples_per_page = 1;
+  int max_triples_per_page = 40;
+  /// Each site specializes in this many predicates.
+  int predicates_per_site = 3;
+  /// Page accuracy = site accuracy + Uniform(-jitter, +jitter), clamped.
+  double page_accuracy_jitter = 0.05;
+  /// Popularity skew of data items (head items are stated by many pages).
+  double item_popularity_zipf = 1.1;
+  /// When a page states a wrong value, with this probability the wrong
+  /// value is drawn from the *popular* wrong values of the item (shared
+  /// misconception, e.g. "Obama born in Kenya") instead of uniformly.
+  double popular_error_fraction = 0.5;
+  /// Number of distinct popular misconceptions per item.
+  int num_popular_errors = 2;
+
+  /// Category mix; empty selects DefaultCategoryMix().
+  std::vector<CategoryProfile> categories;
+
+  // ---- Hyperlink graph ----
+  /// Mean out-degree of the site-level link graph.
+  double mean_out_degree = 8.0;
+
+  /// Default mix used when `categories` is empty: reference/news/specialist/
+  /// gossip/forum/scraper with accuracy and popularity profiles matching
+  /// Section 5.4.1's qualitative description.
+  static std::vector<CategoryProfile> DefaultCategoryMix();
+};
+
+}  // namespace kbt::corpus
+
+#endif  // KBT_CORPUS_CORPUS_CONFIG_H_

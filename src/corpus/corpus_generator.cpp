@@ -1,0 +1,377 @@
+#include "corpus/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/math.h"
+#include "kb/schema.h"
+
+namespace kbt::corpus {
+
+namespace {
+
+using kb::DataItemId;
+using kb::EntityId;
+using kb::EntityType;
+using kb::PredicateId;
+using kb::ValueId;
+
+/// Object types cycled across generated predicates. Mixing types gives the
+/// type checker real work (rule 2) and numeric predicates exercise rule 3.
+constexpr EntityType kObjectTypeCycle[] = {
+    EntityType::kPlace, EntityType::kOrganization, EntityType::kDate,
+    EntityType::kNumber, EntityType::kString};
+
+struct PredicatePools {
+  std::vector<std::vector<ValueId>> value_pool;       // type-correct domain
+  std::vector<std::vector<ValueId>> corruption_pool;  // type-violating
+  std::vector<std::vector<DataItemId>> items;         // world items
+};
+
+}  // namespace
+
+std::vector<CategoryProfile> CorpusConfig::DefaultCategoryMix() {
+  // Accuracy ~ Beta(alpha,beta): reference ~0.88, news ~0.8, specialist
+  // ~0.93, gossip ~0.35, forum ~0.45, scraper inherits its victim.
+  return {
+      {SourceCategory::kReference, 0.25, 14.0, 2.0, 2.0},
+      {SourceCategory::kNews, 0.20, 8.0, 2.0, 3.0},
+      {SourceCategory::kSpecialist, 0.25, 26.0, 2.0, 0.2},
+      {SourceCategory::kGossip, 0.10, 3.5, 6.5, 8.0},
+      {SourceCategory::kForum, 0.15, 4.5, 5.5, 1.5},
+      {SourceCategory::kScraper, 0.05, 1.0, 1.0, 0.5},
+  };
+}
+
+Status CorpusGenerator::Validate() const {
+  const CorpusConfig& c = config_;
+  if (c.num_subjects <= 0) return Status::InvalidArgument("num_subjects <= 0");
+  if (c.num_predicates <= 0) {
+    return Status::InvalidArgument("num_predicates <= 0");
+  }
+  if (c.values_per_domain < 2) {
+    return Status::InvalidArgument("values_per_domain < 2");
+  }
+  if (c.item_density <= 0.0 || c.item_density > 1.0) {
+    return Status::InvalidArgument("item_density outside (0,1]");
+  }
+  if (c.num_websites <= 0) return Status::InvalidArgument("num_websites <= 0");
+  if (c.max_pages_per_site < 1) {
+    return Status::InvalidArgument("max_pages_per_site < 1");
+  }
+  if (c.min_triples_per_page < 1 ||
+      c.max_triples_per_page < c.min_triples_per_page) {
+    return Status::InvalidArgument("bad triples_per_page bounds");
+  }
+  if (c.predicates_per_site < 1) {
+    return Status::InvalidArgument("predicates_per_site < 1");
+  }
+  if (c.popular_error_fraction < 0.0 || c.popular_error_fraction > 1.0) {
+    return Status::InvalidArgument("popular_error_fraction outside [0,1]");
+  }
+  return Status::OK();
+}
+
+StatusOr<WebCorpus> CorpusGenerator::Generate() const {
+  KBT_RETURN_IF_ERROR(Validate());
+  const CorpusConfig& cfg = config_;
+  Rng root(cfg.seed);
+  Rng world_rng = root.Fork(1);
+  Rng site_rng = root.Fork(2);
+  Rng page_rng = root.Fork(3);
+
+  WebCorpus corpus;
+  kb::KnowledgeBase world;
+
+  // ---- Subjects ----
+  std::vector<EntityId> subjects;
+  subjects.reserve(static_cast<size_t>(cfg.num_subjects));
+  for (int i = 0; i < cfg.num_subjects; ++i) {
+    subjects.push_back(
+        world.AddEntity("subject_" + std::to_string(i), EntityType::kPerson));
+  }
+
+  // ---- Predicates and their value domains ----
+  PredicatePools pools;
+  pools.value_pool.resize(static_cast<size_t>(cfg.num_predicates));
+  pools.corruption_pool.resize(static_cast<size_t>(cfg.num_predicates));
+  pools.items.resize(static_cast<size_t>(cfg.num_predicates));
+  for (int p = 0; p < cfg.num_predicates; ++p) {
+    const EntityType object_type =
+        kObjectTypeCycle[static_cast<size_t>(p) % std::size(kObjectTypeCycle)];
+    kb::PredicateSchema schema;
+    schema.name = "predicate_" + std::to_string(p);
+    schema.subject_type = EntityType::kPerson;
+    schema.object_type = object_type;
+    schema.functional = true;
+    schema.num_false_values = cfg.values_per_domain - 1;
+    if (object_type == EntityType::kNumber) {
+      schema.numeric_min = 0.0;
+      schema.numeric_max = 1000.0;
+    }
+    const PredicateId pid = world.AddPredicate(schema);
+
+    // Type-correct domain values.
+    auto& pool = pools.value_pool[pid];
+    pool.reserve(static_cast<size_t>(cfg.values_per_domain));
+    for (int v = 0; v < cfg.values_per_domain; ++v) {
+      double numeric = std::nan("");
+      if (object_type == EntityType::kNumber) {
+        numeric = world_rng.Uniform(1.0, 999.0);
+      }
+      pool.push_back(world.AddEntity(
+          "p" + std::to_string(p) + "_value_" + std::to_string(v), object_type,
+          numeric));
+    }
+    // Type-violating corruption candidates: a wrong-typed entity and, for
+    // numeric predicates, out-of-range numbers.
+    auto& bad = pools.corruption_pool[pid];
+    const EntityType wrong_type = object_type == EntityType::kPlace
+                                      ? EntityType::kOrganization
+                                      : EntityType::kPlace;
+    for (int v = 0; v < 4; ++v) {
+      bad.push_back(world.AddEntity(
+          "p" + std::to_string(p) + "_badtype_" + std::to_string(v),
+          wrong_type));
+    }
+    if (object_type == EntityType::kNumber) {
+      for (int v = 0; v < 4; ++v) {
+        bad.push_back(world.AddEntity(
+            "p" + std::to_string(p) + "_badrange_" + std::to_string(v),
+            EntityType::kNumber, world_rng.Uniform(2000.0, 100000.0)));
+      }
+    }
+  }
+
+  // ---- World facts ----
+  for (EntityId s : subjects) {
+    for (int p = 0; p < cfg.num_predicates; ++p) {
+      if (!world_rng.Bernoulli(cfg.item_density)) continue;
+      const auto& pool = pools.value_pool[static_cast<size_t>(p)];
+      const ValueId truth =
+          pool[static_cast<size_t>(world_rng.UniformInt(0, pool.size() - 1))];
+      const Status st = world.AddFact(s, static_cast<PredicateId>(p), truth);
+      if (!st.ok()) return st;
+      pools.items[static_cast<size_t>(p)].push_back(
+          kb::MakeDataItem(s, static_cast<PredicateId>(p)));
+    }
+  }
+
+  // Popular misconceptions: per item, a couple of wrong values that many
+  // inaccurate sites share.
+  std::unordered_map<DataItemId, std::vector<ValueId>> popular_errors;
+  for (int p = 0; p < cfg.num_predicates; ++p) {
+    const auto& pool = pools.value_pool[static_cast<size_t>(p)];
+    for (DataItemId item : pools.items[static_cast<size_t>(p)]) {
+      const ValueId truth = *world.ValueOf(item);
+      auto& errs = popular_errors[item];
+      int attempts = 0;
+      while (static_cast<int>(errs.size()) < cfg.num_popular_errors &&
+             attempts++ < 50) {
+        const ValueId v = pool[static_cast<size_t>(
+            world_rng.UniformInt(0, pool.size() - 1))];
+        if (v != truth &&
+            std::find(errs.begin(), errs.end(), v) == errs.end()) {
+          errs.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Per-predicate item popularity (head items are widely stated).
+  std::vector<ZipfSampler> item_popularity;
+  item_popularity.reserve(static_cast<size_t>(cfg.num_predicates));
+  for (int p = 0; p < cfg.num_predicates; ++p) {
+    const size_t n = std::max<size_t>(1, pools.items[static_cast<size_t>(p)].size());
+    item_popularity.emplace_back(n, cfg.item_popularity_zipf);
+  }
+
+  // ---- Websites ----
+  const std::vector<CategoryProfile> mix =
+      cfg.categories.empty() ? CorpusConfig::DefaultCategoryMix()
+                             : cfg.categories;
+  std::vector<double> mix_weights;
+  mix_weights.reserve(mix.size());
+  for (const auto& m : mix) mix_weights.push_back(m.weight);
+  AliasSampler category_sampler(mix_weights);
+
+  // Base popularity ranks are a random permutation so that rank does not
+  // correlate with category by construction.
+  std::vector<int> rank(static_cast<size_t>(cfg.num_websites));
+  for (int i = 0; i < cfg.num_websites; ++i) rank[static_cast<size_t>(i)] = i;
+  site_rng.Shuffle(rank);
+
+  ZipfSampler page_count_zipf(static_cast<size_t>(cfg.max_pages_per_site),
+                              cfg.pages_zipf_exponent);
+
+  std::vector<Website> sites;
+  sites.reserve(static_cast<size_t>(cfg.num_websites));
+  std::vector<std::vector<PredicateId>> site_predicates(
+      static_cast<size_t>(cfg.num_websites));
+  for (int i = 0; i < cfg.num_websites; ++i) {
+    const CategoryProfile& profile = mix[category_sampler.Sample(site_rng)];
+    Website site;
+    site.id = static_cast<kb::WebsiteId>(i);
+    site.domain = std::string(SourceCategoryName(profile.category)) + "_" +
+                  std::to_string(i) + ".example.com";
+    site.category = profile.category;
+    site.accuracy = Clamp(
+        site_rng.Beta(profile.accuracy_alpha, profile.accuracy_beta), 0.05,
+        0.98);
+    site.popularity =
+        profile.popularity_boost /
+        std::pow(static_cast<double>(rank[static_cast<size_t>(i)]) + 1.0, 0.9);
+    site.num_pages =
+        static_cast<uint32_t>(page_count_zipf.Sample(site_rng)) + 1;
+    if (profile.category == SourceCategory::kScraper && i > 0) {
+      site.scrape_victim =
+          static_cast<kb::WebsiteId>(site_rng.UniformInt(0, i - 1));
+    }
+    // Topic predicates.
+    auto& preds = site_predicates[static_cast<size_t>(i)];
+    const int k = std::min(cfg.predicates_per_site, cfg.num_predicates);
+    std::unordered_set<PredicateId> chosen;
+    while (static_cast<int>(chosen.size()) < k) {
+      chosen.insert(static_cast<PredicateId>(
+          site_rng.UniformInt(0, cfg.num_predicates - 1)));
+    }
+    preds.assign(chosen.begin(), chosen.end());
+    std::sort(preds.begin(), preds.end());
+    sites.push_back(std::move(site));
+  }
+
+  // ---- Pages and provided triples ----
+  ZipfSampler triple_count_zipf(
+      static_cast<size_t>(cfg.max_triples_per_page - cfg.min_triples_per_page +
+                          1),
+      cfg.triples_zipf_exponent);
+
+  corpus.set_world(std::move(world));
+  const kb::KnowledgeBase& w = corpus.world();
+
+  uint32_t next_page = 0;
+  for (auto& site : sites) {
+    site.first_page = next_page;
+    next_page += site.num_pages;
+  }
+
+  // First pass: non-scraper sites state their own triples.
+  std::vector<std::vector<ProvidedTriple>> by_page(next_page);
+  for (const auto& site : sites) {
+    if (site.category == SourceCategory::kScraper &&
+        site.scrape_victim != kb::kInvalidId) {
+      continue;  // Second pass.
+    }
+    Rng rng = page_rng.Fork(site.id);
+    const auto& preds = site_predicates[site.id];
+    for (uint32_t pg = 0; pg < site.num_pages; ++pg) {
+      const kb::PageId page_id = site.first_page + pg;
+      const double page_accuracy =
+          Clamp(site.accuracy + rng.Uniform(-cfg.page_accuracy_jitter,
+                                            cfg.page_accuracy_jitter),
+                0.02, 0.99);
+      const int want = cfg.min_triples_per_page +
+                       static_cast<int>(triple_count_zipf.Sample(rng));
+      std::unordered_set<DataItemId> used;
+      for (int t = 0; t < want; ++t) {
+        const PredicateId pred = preds[static_cast<size_t>(
+            rng.UniformInt(0, preds.size() - 1))];
+        const auto& items = pools.items[pred];
+        if (items.empty()) continue;
+        DataItemId item = 0;
+        bool found = false;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          item = items[item_popularity[pred].Sample(rng)];
+          if (used.insert(item).second) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) continue;
+        const ValueId truth = *w.ValueOf(item);
+        ValueId stated = truth;
+        if (!rng.Bernoulli(page_accuracy)) {
+          const auto& errs = popular_errors[item];
+          if (!errs.empty() && rng.Bernoulli(cfg.popular_error_fraction)) {
+            stated = errs[static_cast<size_t>(
+                rng.UniformInt(0, errs.size() - 1))];
+          } else {
+            const auto& pool = pools.value_pool[pred];
+            // Rejection: any domain value other than the truth.
+            do {
+              stated = pool[static_cast<size_t>(
+                  rng.UniformInt(0, pool.size() - 1))];
+            } while (stated == truth);
+          }
+        }
+        by_page[page_id].push_back(
+            ProvidedTriple{page_id, item, stated, stated == truth});
+      }
+      corpus.add_page(Webpage{page_id, site.id, page_accuracy});
+    }
+  }
+
+  // Second pass: scrapers copy a victim's triples.
+  for (const auto& site : sites) {
+    if (site.category != SourceCategory::kScraper ||
+        site.scrape_victim == kb::kInvalidId) {
+      continue;
+    }
+    Rng rng = page_rng.Fork(0x5c4a9e5ULL + site.id);
+    const Website& victim = sites[site.scrape_victim];
+    // Collect the victim's triples.
+    std::vector<ProvidedTriple> victim_triples;
+    for (uint32_t pg = victim.first_page;
+         pg < victim.first_page + victim.num_pages; ++pg) {
+      for (const auto& t : by_page[pg]) victim_triples.push_back(t);
+    }
+    for (uint32_t pg = 0; pg < site.num_pages; ++pg) {
+      const kb::PageId page_id = site.first_page + pg;
+      const double page_accuracy = victim_triples.empty()
+                                       ? site.accuracy
+                                       : victim.accuracy;
+      if (!victim_triples.empty()) {
+        const int want =
+            cfg.min_triples_per_page +
+            static_cast<int>(triple_count_zipf.Sample(rng));
+        std::unordered_set<DataItemId> used;
+        for (int t = 0; t < want; ++t) {
+          const auto& src = victim_triples[static_cast<size_t>(
+              rng.UniformInt(0, victim_triples.size() - 1))];
+          if (!used.insert(src.item).second) continue;
+          by_page[page_id].push_back(
+              ProvidedTriple{page_id, src.item, src.value, src.is_true});
+        }
+      }
+      corpus.add_page(Webpage{page_id, site.id, page_accuracy});
+    }
+  }
+
+  // Pages were added out of page-id order (two passes); re-sort.
+  {
+    std::vector<Webpage> pages(corpus.pages());
+    std::sort(pages.begin(), pages.end(),
+              [](const Webpage& a, const Webpage& b) { return a.id < b.id; });
+    // Rebuild via a fresh corpus-internal vector: use the builder API.
+    // (WebCorpus keeps pages by value; simplest is to mutate through a copy.)
+    WebCorpus rebuilt;
+    rebuilt.set_world(std::move(corpus.mutable_world()));
+    for (auto& s : sites) rebuilt.add_website(std::move(s));
+    for (const auto& p : pages) rebuilt.add_page(p);
+    for (uint32_t pg = 0; pg < next_page; ++pg) {
+      for (const auto& t : by_page[pg]) rebuilt.add_provided(t);
+    }
+    rebuilt.FinalizeOffsets();
+    rebuilt.set_value_pools(std::move(pools.value_pool));
+    rebuilt.set_corruption_pools(std::move(pools.corruption_pool));
+    rebuilt.set_items_by_predicate(std::move(pools.items));
+    return rebuilt;
+  }
+}
+
+}  // namespace kbt::corpus

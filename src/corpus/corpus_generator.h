@@ -1,0 +1,37 @@
+#ifndef KBT_CORPUS_CORPUS_GENERATOR_H_
+#define KBT_CORPUS_CORPUS_GENERATOR_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "corpus/corpus_config.h"
+#include "corpus/web_corpus.h"
+
+namespace kbt::corpus {
+
+/// Generates a complete synthetic web world from a CorpusConfig:
+///  1. a world KB (entities, typed predicate schemas, single-truth facts);
+///  2. websites with category-driven accuracy/popularity and Zipf page
+///     counts;
+///  3. per-page stated triples: correct with the page's accuracy, otherwise
+///    a popular misconception or a uniform false value;
+///  4. scraper sites that restate a victim site's triples verbatim.
+///
+/// Determinism: the same config (including seed) always produces the same
+/// corpus, bit for bit.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusConfig config) : config_(std::move(config)) {}
+
+  /// Validates the config and generates the corpus.
+  StatusOr<WebCorpus> Generate() const;
+
+  /// Config sanity checks (positive counts, probabilities in range, ...).
+  Status Validate() const;
+
+ private:
+  CorpusConfig config_;
+};
+
+}  // namespace kbt::corpus
+
+#endif  // KBT_CORPUS_CORPUS_GENERATOR_H_

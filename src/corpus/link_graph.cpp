@@ -1,0 +1,53 @@
+#include "corpus/link_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kbt::corpus {
+
+LinkGraph LinkGraph::Generate(const std::vector<Website>& sites,
+                              double mean_out_degree, Rng& rng) {
+  const size_t n = sites.size();
+  assert(n > 0);
+  std::vector<double> popularity(n);
+  for (size_t i = 0; i < n; ++i) {
+    popularity[i] = std::max(sites[i].popularity, 1e-9);
+  }
+  AliasSampler target_sampler(popularity);
+
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(static_cast<size_t>(static_cast<double>(n) * mean_out_degree));
+  for (uint32_t src = 0; src < n; ++src) {
+    const int degree = 1 + rng.Poisson(std::max(0.0, mean_out_degree - 1.0));
+    for (int d = 0; d < degree; ++d) {
+      uint32_t dst = static_cast<uint32_t>(target_sampler.Sample(rng));
+      if (dst == src) continue;  // No self-loops.
+      edges.emplace_back(src, dst);
+    }
+  }
+  return FromEdges(n, std::move(edges));
+}
+
+LinkGraph LinkGraph::FromEdges(
+    size_t num_nodes, std::vector<std::pair<uint32_t, uint32_t>> edges) {
+  // Collapse duplicates.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  LinkGraph g(num_nodes);
+  for (const auto& [src, dst] : edges) {
+    assert(src < num_nodes && dst < num_nodes);
+    g.offsets_[src + 1]++;
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.targets_.resize(edges.size());
+  std::vector<uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [src, dst] : edges) {
+    g.targets_[cursor[src]++] = dst;
+  }
+  return g;
+}
+
+}  // namespace kbt::corpus

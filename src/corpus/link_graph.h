@@ -1,0 +1,51 @@
+#ifndef KBT_CORPUS_LINK_GRAPH_H_
+#define KBT_CORPUS_LINK_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "corpus/web_source.h"
+
+namespace kbt::corpus {
+
+/// Directed site-level hyperlink graph in CSR form, the input to the
+/// PageRank substrate. Generated with popularity-proportional preferential
+/// attachment: popular (gossip/news) sites accumulate in-links regardless of
+/// their factual accuracy, which is exactly why PageRank and KBT end up
+/// orthogonal (Figure 10).
+class LinkGraph {
+ public:
+  LinkGraph() = default;
+  explicit LinkGraph(size_t num_nodes) : offsets_(num_nodes + 1, 0) {}
+
+  /// Builds a graph over `sites` with Poisson(mean_out_degree) out-degrees
+  /// and targets sampled proportionally to popularity (self-loops removed,
+  /// duplicates collapsed).
+  static LinkGraph Generate(const std::vector<Website>& sites,
+                            double mean_out_degree, Rng& rng);
+
+  /// Builds from an explicit edge list (used by tests).
+  static LinkGraph FromEdges(size_t num_nodes,
+                             std::vector<std::pair<uint32_t, uint32_t>> edges);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  size_t num_edges() const { return targets_.size(); }
+
+  /// Out-neighbours of `node` as a [begin, end) index range into targets().
+  std::pair<uint32_t, uint32_t> OutRange(uint32_t node) const {
+    return {offsets_[node], offsets_[node + 1]};
+  }
+  const std::vector<uint32_t>& targets() const { return targets_; }
+  uint32_t out_degree(uint32_t node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> targets_;
+};
+
+}  // namespace kbt::corpus
+
+#endif  // KBT_CORPUS_LINK_GRAPH_H_

@@ -1,0 +1,58 @@
+#include "corpus/web_corpus.h"
+
+#include <cassert>
+
+namespace kbt::corpus {
+
+std::string_view SourceCategoryName(SourceCategory category) {
+  switch (category) {
+    case SourceCategory::kReference:
+      return "reference";
+    case SourceCategory::kNews:
+      return "news";
+    case SourceCategory::kSpecialist:
+      return "specialist";
+    case SourceCategory::kGossip:
+      return "gossip";
+    case SourceCategory::kForum:
+      return "forum";
+    case SourceCategory::kScraper:
+      return "scraper";
+  }
+  return "unknown";
+}
+
+void WebCorpus::FinalizeOffsets() {
+  page_offsets_.assign(pages_.size() + 1, 0);
+  for (const ProvidedTriple& t : provided_) {
+    assert(t.page < pages_.size());
+    page_offsets_[t.page + 1]++;
+  }
+  for (size_t i = 1; i < page_offsets_.size(); ++i) {
+    page_offsets_[i] += page_offsets_[i - 1];
+  }
+#ifndef NDEBUG
+  // Verify triples really are in page order (CSR contract).
+  for (size_t i = 1; i < provided_.size(); ++i) {
+    assert(provided_[i - 1].page <= provided_[i].page);
+  }
+#endif
+}
+
+double WebCorpus::EmpiricalSiteAccuracy(kb::WebsiteId id) const {
+  const Website& site = websites_[id];
+  size_t total = 0;
+  size_t correct = 0;
+  for (uint32_t p = site.first_page; p < site.first_page + site.num_pages;
+       ++p) {
+    const auto [begin, end] = PageTripleRange(p);
+    for (uint32_t i = begin; i < end; ++i) {
+      ++total;
+      correct += provided_[i].is_true ? 1 : 0;
+    }
+  }
+  if (total == 0) return site.accuracy;
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace kbt::corpus

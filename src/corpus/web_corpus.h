@@ -1,0 +1,95 @@
+#ifndef KBT_CORPUS_WEB_CORPUS_H_
+#define KBT_CORPUS_WEB_CORPUS_H_
+
+#include <vector>
+
+#include "corpus/web_source.h"
+#include "kb/knowledge_base.h"
+
+namespace kbt::corpus {
+
+/// A fully generated synthetic web: the complete world KB (ground truth),
+/// the websites/pages, and every fact each page states. This is the
+/// substrate standing in for the 2B+ webpages KV crawled; inference never
+/// sees it directly — the extraction simulator turns it into the noisy
+/// observation cube.
+class WebCorpus {
+ public:
+  WebCorpus() = default;
+  WebCorpus(const WebCorpus&) = delete;
+  WebCorpus& operator=(const WebCorpus&) = delete;
+  WebCorpus(WebCorpus&&) = default;
+  WebCorpus& operator=(WebCorpus&&) = default;
+
+  const kb::KnowledgeBase& world() const { return world_; }
+  kb::KnowledgeBase& mutable_world() { return world_; }
+
+  const std::vector<Website>& websites() const { return websites_; }
+  const std::vector<Webpage>& pages() const { return pages_; }
+  const std::vector<ProvidedTriple>& provided() const { return provided_; }
+
+  const Website& website(kb::WebsiteId id) const { return websites_[id]; }
+  const Webpage& page(kb::PageId id) const { return pages_[id]; }
+
+  /// Triples stated by `page`, as a [begin, end) range into provided().
+  std::pair<uint32_t, uint32_t> PageTripleRange(kb::PageId page) const {
+    return {page_offsets_[page], page_offsets_[page + 1]};
+  }
+
+  size_t num_websites() const { return websites_.size(); }
+  size_t num_pages() const { return pages_.size(); }
+  size_t num_provided() const { return provided_.size(); }
+
+  /// True accuracy of a website measured from its actually-stated triples
+  /// (the gold standard for SqA at website granularity). Returns the
+  /// configured accuracy when the site states nothing.
+  double EmpiricalSiteAccuracy(kb::WebsiteId id) const;
+
+  /// Type-correct candidate objects for `predicate` (its value domain).
+  const std::vector<kb::ValueId>& ValuePool(kb::PredicateId predicate) const {
+    return value_pools_[predicate];
+  }
+  /// Type-violating objects for `predicate` (wrong type or out-of-range
+  /// numbers); the extraction simulator draws corruptions from here.
+  const std::vector<kb::ValueId>& CorruptionPool(
+      kb::PredicateId predicate) const {
+    return corruption_pools_[predicate];
+  }
+  /// All world data items whose predicate is `predicate`.
+  const std::vector<kb::DataItemId>& ItemsOfPredicate(
+      kb::PredicateId predicate) const {
+    return items_by_predicate_[predicate];
+  }
+
+  // -- Builder-side mutators (used by CorpusGenerator) --
+  void set_world(kb::KnowledgeBase world) { world_ = std::move(world); }
+  void add_website(Website w) { websites_.push_back(std::move(w)); }
+  void add_page(Webpage p) { pages_.push_back(p); }
+  void add_provided(ProvidedTriple t) { provided_.push_back(t); }
+  /// Must be called once after all pages/triples are added, with triples
+  /// appended in page-id order.
+  void FinalizeOffsets();
+  void set_value_pools(std::vector<std::vector<kb::ValueId>> pools) {
+    value_pools_ = std::move(pools);
+  }
+  void set_corruption_pools(std::vector<std::vector<kb::ValueId>> pools) {
+    corruption_pools_ = std::move(pools);
+  }
+  void set_items_by_predicate(std::vector<std::vector<kb::DataItemId>> items) {
+    items_by_predicate_ = std::move(items);
+  }
+
+ private:
+  kb::KnowledgeBase world_;
+  std::vector<Website> websites_;
+  std::vector<Webpage> pages_;
+  std::vector<ProvidedTriple> provided_;
+  std::vector<uint32_t> page_offsets_;  // CSR over provided_, by page.
+  std::vector<std::vector<kb::ValueId>> value_pools_;
+  std::vector<std::vector<kb::ValueId>> corruption_pools_;
+  std::vector<std::vector<kb::DataItemId>> items_by_predicate_;
+};
+
+}  // namespace kbt::corpus
+
+#endif  // KBT_CORPUS_WEB_CORPUS_H_

@@ -1,0 +1,70 @@
+#ifndef KBT_CORPUS_WEB_SOURCE_H_
+#define KBT_CORPUS_WEB_SOURCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kb/ids.h"
+
+namespace kbt::corpus {
+
+/// Behavioural archetypes for generated websites. Categories control the
+/// joint distribution of *accuracy* and *popularity*, which is what the
+/// KBT-vs-PageRank experiments (Figure 10, Section 5.4.1) probe:
+///  * gossip sites are popular but inaccurate (high PageRank, low KBT);
+///  * specialist tail sites are accurate but unpopular (low PageRank,
+///    high KBT);
+///  * forums are mid-popularity, low accuracy (user-generated claims);
+///  * scrapers copy other sites' content wholesale.
+enum class SourceCategory : uint8_t {
+  kReference = 0,   // encyclopedic: accurate, moderately popular
+  kNews = 1,        // mostly accurate, popular
+  kSpecialist = 2,  // tail sites: very accurate, unpopular
+  kGossip = 3,      // popular, inaccurate
+  kForum = 4,       // mid popularity, inaccurate
+  kScraper = 5,     // copies content from a victim site
+};
+
+inline constexpr int kNumSourceCategories = 6;
+
+std::string_view SourceCategoryName(SourceCategory category);
+
+/// A generated website.
+struct Website {
+  kb::WebsiteId id = kb::kInvalidId;
+  std::string domain;
+  SourceCategory category = SourceCategory::kReference;
+  /// True accuracy A*_w: probability that a fact this site states is
+  /// correct. Hidden from inference; used as gold standard for SqA.
+  double accuracy = 0.8;
+  /// Relative popularity mass used by the hyperlink generator; correlates
+  /// with category, NOT with accuracy.
+  double popularity = 1.0;
+  /// Pages of this site occupy ids [first_page, first_page + num_pages).
+  kb::PageId first_page = 0;
+  uint32_t num_pages = 0;
+  /// For kScraper sites, the site whose content is copied.
+  kb::WebsiteId scrape_victim = kb::kInvalidId;
+};
+
+/// A generated webpage.
+struct Webpage {
+  kb::PageId id = kb::kInvalidId;
+  kb::WebsiteId website = kb::kInvalidId;
+  /// Page-level true accuracy (site accuracy plus a small jitter).
+  double accuracy = 0.8;
+};
+
+/// One fact stated by a page: the corpus ground truth for C*_wdv = 1.
+struct ProvidedTriple {
+  kb::PageId page = kb::kInvalidId;
+  kb::DataItemId item = 0;
+  kb::ValueId value = kb::kInvalidId;
+  /// Whether `value` matches the world truth (source error when false).
+  bool is_true = false;
+};
+
+}  // namespace kbt::corpus
+
+#endif  // KBT_CORPUS_WEB_SOURCE_H_

@@ -1,0 +1,56 @@
+#include "dataflow/parallel.h"
+
+#include <algorithm>
+
+namespace kbt::dataflow {
+
+Executor::Executor(int num_threads)
+    : pool_(std::make_unique<ThreadPool>(num_threads)) {}
+
+void Executor::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForRanges(
+      n,
+      [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      },
+      /*num_chunks=*/0);
+}
+
+void Executor::ParallelForRanges(
+    size_t n, const std::function<void(size_t, size_t)>& fn, int num_chunks) {
+  if (n == 0) return;
+  size_t chunks = num_chunks > 0
+                      ? static_cast<size_t>(num_chunks)
+                      : static_cast<size_t>(pool_->num_threads()) * 4;
+  chunks = std::min(chunks, n);
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    const size_t end = std::min(begin + chunk_size, n);
+    pool_->Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  pool_->Wait();
+}
+
+void Executor::ParallelForGroups(size_t num_groups,
+                                 const std::function<void(size_t)>& fn) {
+  if (num_groups == 0) return;
+  if (num_groups == 1) {
+    fn(0);
+    return;
+  }
+  for (size_t g = 0; g < num_groups; ++g) {
+    pool_->Submit([&fn, g] { fn(g); });
+  }
+  pool_->Wait();
+}
+
+Executor& DefaultExecutor() {
+  static Executor executor(0);
+  return executor;
+}
+
+}  // namespace kbt::dataflow

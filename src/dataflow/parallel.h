@@ -1,0 +1,54 @@
+#ifndef KBT_DATAFLOW_PARALLEL_H_
+#define KBT_DATAFLOW_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "common/thread_pool.h"
+
+namespace kbt::dataflow {
+
+/// Shared-memory stand-in for the paper's FlumeJava/MapReduce substrate.
+///
+/// Two scheduling modes matter for reproducing Table 7:
+///  * `ParallelFor` chunks an index range evenly across workers - the
+///    best case with no data skew.
+///  * `ParallelForGroups` submits ONE task per group (per source / per
+///    extractor), mirroring a MapReduce reducer per key. A group holding a
+///    hundred times more triples than its peers becomes a straggler and
+///    dominates the stage's wall clock - exactly the pathology
+///    SPLITANDMERGE (Section 4) removes.
+class Executor {
+ public:
+  /// `num_threads` <= 0 selects hardware concurrency.
+  explicit Executor(int num_threads = 0);
+
+  int num_threads() const { return pool_->num_threads(); }
+
+  /// Runs `fn(i)` for every i in [0, n), chunked evenly. Blocks until done.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Runs `fn(begin, end)` over contiguous chunks covering [0, n).
+  /// `num_chunks` <= 0 picks 4 chunks per worker. Blocks until done.
+  void ParallelForRanges(size_t n,
+                         const std::function<void(size_t, size_t)>& fn,
+                         int num_chunks = 0);
+
+  /// Runs `fn(g)` for each group g in [0, num_groups), one task per group.
+  /// Blocks until done. Group sizes are invisible to the scheduler, so a
+  /// skewed group serializes the stage (the Table 7 "Normal" column).
+  void ParallelForGroups(size_t num_groups,
+                         const std::function<void(size_t)>& fn);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Process-wide default executor (hardware concurrency), used when callers
+/// do not supply their own.
+Executor& DefaultExecutor();
+
+}  // namespace kbt::dataflow
+
+#endif  // KBT_DATAFLOW_PARALLEL_H_

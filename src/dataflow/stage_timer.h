@@ -1,0 +1,67 @@
+#ifndef KBT_DATAFLOW_STAGE_TIMER_H_
+#define KBT_DATAFLOW_STAGE_TIMER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace kbt::dataflow {
+
+/// Accumulates wall-clock time per named pipeline stage. The Table 7
+/// reproduction reads stage totals for "Prep.Source", "Prep.Extractor",
+/// "I.ExtCorr", "II.TriplePr", "III.SrcAccu", "IV.ExtQuality".
+class StageTimers {
+ public:
+  StageTimers() = default;
+  StageTimers(const StageTimers&) = delete;
+  StageTimers& operator=(const StageTimers&) = delete;
+
+  /// Adds `seconds` to `stage`'s total and bumps its invocation count.
+  void Add(const std::string& stage, double seconds);
+
+  /// Total seconds accumulated for `stage` (0 when unknown).
+  double TotalSeconds(const std::string& stage) const;
+
+  /// Invocations recorded for `stage`.
+  int Count(const std::string& stage) const;
+
+  /// Mean seconds per invocation (0 when never recorded).
+  double MeanSeconds(const std::string& stage) const;
+
+  /// All (stage, total seconds) pairs in lexicographic stage order.
+  std::vector<std::pair<std::string, double>> Entries() const;
+
+  void Clear();
+
+  /// RAII scope: records elapsed time into `timers` under `stage` when
+  /// destroyed.
+  class Scope {
+   public:
+    Scope(StageTimers& timers, std::string stage)
+        : timers_(timers), stage_(std::move(stage)) {}
+    ~Scope() { timers_.Add(stage_, watch_.ElapsedSeconds()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StageTimers& timers_;
+    std::string stage_;
+    Stopwatch watch_;
+  };
+
+ private:
+  struct Entry {
+    double total_seconds = 0.0;
+    int count = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace kbt::dataflow
+
+#endif  // KBT_DATAFLOW_STAGE_TIMER_H_

@@ -1,0 +1,106 @@
+#include "eval/copy_detection.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kbt::eval {
+
+namespace {
+
+uint64_t PackPair(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+struct PairStats {
+  int shared = 0;
+  int shared_false = 0;
+  /// Shared false claims weighted by rarity: a false value stated by only
+  /// two sites weighs 1; a popular misconception stated web-wide weighs
+  /// next to nothing (honest-but-wrong sites share those without copying).
+  double weighted_false = 0.0;
+};
+
+}  // namespace
+
+std::vector<CopyPair> DetectCopying(const extract::CompiledMatrix& matrix,
+                                    const std::vector<double>& slot_value_prob,
+                                    uint32_t num_websites,
+                                    const CopyDetectionConfig& config) {
+  // Distinct claims per website, and the inverted claim -> site lists.
+  // Claims are (item, value) pairs; a website may host the same claim in
+  // several slots (pages), which counts once.
+  std::vector<double> claims_per_site(num_websites, 0.0);
+
+  std::vector<CopyPair> out;
+  std::unordered_map<uint64_t, PairStats> pair_stats;
+
+  // Slots are grouped by item; within an item, gather (value -> sites).
+  for (size_t i = 0; i < matrix.num_items(); ++i) {
+    const auto [b, e] = matrix.ItemSlots(i);
+    // value -> deduped site list (few values/sites per item).
+    std::unordered_map<uint32_t, std::vector<uint32_t>> by_value;
+    std::unordered_map<uint32_t, double> value_prob;
+    for (uint32_t s = b; s < e; ++s) {
+      const uint32_t site = matrix.slot_website(s);
+      if (site >= num_websites) continue;
+      auto& sites = by_value[matrix.slot_value(s)];
+      if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+        sites.push_back(site);
+      }
+      value_prob[matrix.slot_value(s)] = slot_value_prob[s];
+    }
+    for (auto& [value, sites] : by_value) {
+      const bool is_false =
+          value_prob[value] < config.false_claim_threshold;
+      const double rarity =
+          2.0 / static_cast<double>(std::max<size_t>(2, sites.size()));
+      std::sort(sites.begin(), sites.end());
+      for (uint32_t site : sites) claims_per_site[site] += 1.0;
+      for (size_t x = 0; x < sites.size(); ++x) {
+        for (size_t y = x + 1; y < sites.size(); ++y) {
+          PairStats& stats = pair_stats[PackPair(sites[x], sites[y])];
+          stats.shared += 1;
+          if (is_false) {
+            stats.shared_false += 1;
+            stats.weighted_false += rarity;
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, stats] : pair_stats) {
+    if (stats.shared < config.min_shared_claims) continue;
+    const uint32_t a = static_cast<uint32_t>(key >> 32);
+    const uint32_t b = static_cast<uint32_t>(key & 0xffffffffu);
+    const double size_a = claims_per_site[a];
+    const double size_b = claims_per_site[b];
+    const double smaller = std::max(1.0, std::min(size_a, size_b));
+    const double uni = std::max(1.0, size_a + size_b - stats.shared);
+
+    CopyPair pair;
+    pair.site_a = a;
+    pair.site_b = b;
+    pair.shared_claims = stats.shared;
+    pair.shared_false_claims = stats.shared_false;
+    pair.jaccard = static_cast<double>(stats.shared) / uni;
+    // Containment of the smaller site in the larger one, with shared FALSE
+    // claims counted extra: a scraper's claim set is (mostly) contained in
+    // its victim's, mistakes included, while honest sources only share the
+    // truth.
+    const double containment = static_cast<double>(stats.shared) / smaller;
+    const double false_containment = stats.weighted_false / smaller;
+    pair.score =
+        containment + config.false_claim_weight * false_containment;
+    if (pair.score >= config.min_score) out.push_back(pair);
+  }
+
+  std::sort(out.begin(), out.end(), [](const CopyPair& x, const CopyPair& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return PackPair(x.site_a, x.site_b) < PackPair(y.site_a, y.site_b);
+  });
+  return out;
+}
+
+}  // namespace kbt::eval

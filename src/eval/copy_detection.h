@@ -1,0 +1,59 @@
+#ifndef KBT_EVAL_COPY_DETECTION_H_
+#define KBT_EVAL_COPY_DETECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/observation_matrix.h"
+
+namespace kbt::eval {
+
+/// Section 5.4.2 (future work, item 4): "Some websites scrape data from
+/// other websites. Identifying such websites requires copy detection."
+///
+/// This implements the classic accuracy-based copy signal of Dong et
+/// al. (PVLDB'09) at web scale: two sources sharing many claims is weak
+/// evidence of copying (truth is shared by honest sources too), but sharing
+/// *false* claims — values the fusion layer believes are wrong — is strong
+/// evidence, because independent sources err independently.
+struct CopyDetectionConfig {
+  /// Minimum number of shared (item, value) claims before a pair is scored.
+  int min_shared_claims = 5;
+  /// Claims with p(V_d = v | X) below this are treated as false claims.
+  double false_claim_threshold = 0.5;
+  /// Weight of a shared false claim relative to a shared true claim.
+  double false_claim_weight = 5.0;
+  /// Minimum score to report a pair. Score = containment of the smaller
+  /// site's claims in the larger site's, plus weighted false-claim
+  /// containment; honest same-topic pairs typically score < 0.7 while
+  /// scrapers exceed 1.
+  double min_score = 0.8;
+};
+
+/// One suspected copying relationship (undirected; a < b).
+struct CopyPair {
+  uint32_t site_a = 0;
+  uint32_t site_b = 0;
+  /// Claims stated by both sites.
+  int shared_claims = 0;
+  /// Shared claims the model believes are false.
+  int shared_false_claims = 0;
+  /// Jaccard similarity of the two sites' claim sets.
+  double jaccard = 0.0;
+  /// Weighted copy score in [0, 1+]: overlap fraction with false claims
+  /// up-weighted; > ~0.5 is a strong copying signal.
+  double score = 0.0;
+};
+
+/// Scans the compiled matrix for website pairs with suspicious claim
+/// overlap. `slot_value_prob` is a finished model's p(V_d=v|X) per slot.
+/// Runtime is linear in total claim-list lengths (inverted-index join), so
+/// only sites actually sharing claims are ever paired.
+std::vector<CopyPair> DetectCopying(const extract::CompiledMatrix& matrix,
+                                    const std::vector<double>& slot_value_prob,
+                                    uint32_t num_websites,
+                                    const CopyDetectionConfig& config = {});
+
+}  // namespace kbt::eval
+
+#endif  // KBT_EVAL_COPY_DETECTION_H_

@@ -1,0 +1,80 @@
+#include "eval/gold_standard.h"
+
+#include "eval/metrics.h"
+
+namespace kbt::eval {
+
+std::vector<TriplePrediction> TriplePredictions(
+    const extract::CompiledMatrix& matrix,
+    const std::vector<double>& slot_value_prob,
+    const std::vector<uint8_t>& slot_covered) {
+  std::vector<TriplePrediction> out;
+  out.reserve(matrix.num_slots() / 2);
+  for (size_t i = 0; i < matrix.num_items(); ++i) {
+    const auto [b, e] = matrix.ItemSlots(i);
+    // Slots are contiguous per item; collect distinct values (few per item).
+    for (uint32_t s = b; s < e; ++s) {
+      bool seen = false;
+      for (uint32_t t = b; t < s; ++t) {
+        if (matrix.slot_value(t) == matrix.slot_value(s)) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      out.push_back(TriplePrediction{matrix.item_id(i), matrix.slot_value(s),
+                                     slot_value_prob[s],
+                                     slot_covered[s] != 0});
+    }
+  }
+  return out;
+}
+
+std::optional<bool> GoldStandard::Label(kb::DataItemId item,
+                                        kb::ValueId value) const {
+  if (IsTypeError(item, value)) return false;
+  switch (reference_kb_.Label(item, value)) {
+    case kb::LcwaLabel::kTrue:
+      return true;
+    case kb::LcwaLabel::kFalse:
+      return false;
+    case kb::LcwaLabel::kUnknown:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool GoldStandard::IsTypeError(kb::DataItemId item, kb::ValueId value) const {
+  return !checker_.IsWellTyped(item, value);
+}
+
+TripleMetrics EvaluateTriples(const std::vector<TriplePrediction>& predictions,
+                              const GoldStandard& gold) {
+  TripleMetrics m;
+  std::vector<double> probs;
+  std::vector<uint8_t> labels;
+  std::vector<double> labels_double;
+  size_t num_true = 0;
+  for (const TriplePrediction& p : predictions) {
+    const std::optional<bool> label = gold.Label(p.item, p.value);
+    if (!label.has_value()) continue;
+    ++m.num_labeled;
+    num_true += *label ? 1 : 0;
+    if (!p.covered) continue;
+    ++m.num_covered;
+    probs.push_back(p.probability);
+    labels.push_back(*label ? 1 : 0);
+    labels_double.push_back(*label ? 1.0 : 0.0);
+  }
+  if (m.num_labeled == 0) return m;
+  m.coverage = static_cast<double>(m.num_covered) /
+               static_cast<double>(m.num_labeled);
+  m.fraction_true =
+      static_cast<double>(num_true) / static_cast<double>(m.num_labeled);
+  m.sqv = SquareLoss(probs, labels_double);
+  m.wdev = WeightedDeviation(probs, labels);
+  m.auc_pr = AucPr(probs, labels);
+  return m;
+}
+
+}  // namespace kbt::eval

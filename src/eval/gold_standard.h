@@ -1,0 +1,76 @@
+#ifndef KBT_EVAL_GOLD_STANDARD_H_
+#define KBT_EVAL_GOLD_STANDARD_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "extract/observation_matrix.h"
+#include "fusion/single_layer.h"
+#include "kb/knowledge_base.h"
+#include "kb/type_checker.h"
+#include "core/multilayer_result.h"
+
+namespace kbt::eval {
+
+/// One distinct extracted triple (d, v) with the model's belief in it.
+struct TriplePrediction {
+  kb::DataItemId item = 0;
+  kb::ValueId value = kb::kInvalidId;
+  double probability = 0.0;
+  bool covered = false;
+};
+
+/// Deduplicates the multi-layer posterior to one prediction per distinct
+/// (d, v); slots of the same triple share p(V_d = v | X) by construction.
+std::vector<TriplePrediction> TriplePredictions(
+    const extract::CompiledMatrix& matrix,
+    const std::vector<double>& slot_value_prob,
+    const std::vector<uint8_t>& slot_covered);
+
+/// Gold standard of Section 5.3.1 over a fixed set of triples, combining:
+///  * LCWA labels against a (partial) Freebase-like KB: in-KB -> true;
+///    KB knows another value for the data item -> false; else unknown;
+///  * type checking against the world schema: violations -> false AND
+///    extraction error.
+class GoldStandard {
+ public:
+  /// `reference_kb`: the partial KB (Freebase stand-in) for LCWA.
+  /// `schema_kb`: the KB carrying entity types / predicate schemas for type
+  /// checking (usually the world KB; only schema tables are read).
+  GoldStandard(const kb::KnowledgeBase& reference_kb,
+               const kb::KnowledgeBase& schema_kb)
+      : reference_kb_(reference_kb), checker_(schema_kb) {}
+
+  /// Label for one triple: true/false, or nullopt (unknown -> excluded from
+  /// the evaluation set, as in the paper).
+  std::optional<bool> Label(kb::DataItemId item, kb::ValueId value) const;
+
+  /// Whether the triple violates the type rules (these are also counted as
+  /// extraction mistakes, Figure 6's "type-error triples").
+  bool IsTypeError(kb::DataItemId item, kb::ValueId value) const;
+
+ private:
+  const kb::KnowledgeBase& reference_kb_;
+  kb::TypeChecker checker_;
+};
+
+/// The four headline metrics of Table 5 computed over gold-labeled triples.
+/// Coverage is the fraction of labeled triples that have a prediction; the
+/// other metrics are computed over the covered ones.
+struct TripleMetrics {
+  double sqv = 0.0;
+  double wdev = 0.0;
+  double auc_pr = 0.0;
+  double coverage = 0.0;
+  size_t num_labeled = 0;
+  size_t num_covered = 0;
+  double fraction_true = 0.0;
+};
+
+TripleMetrics EvaluateTriples(const std::vector<TriplePrediction>& predictions,
+                              const GoldStandard& gold);
+
+}  // namespace kbt::eval
+
+#endif  // KBT_EVAL_GOLD_STANDARD_H_

@@ -1,0 +1,54 @@
+#ifndef KBT_EVAL_METRICS_H_
+#define KBT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace kbt::eval {
+
+/// Mean squared error between predictions and {0,1} truths — the paper's
+/// SqV/SqC/SqA depending on what is being compared. Returns 0 on empty
+/// input.
+double SquareLoss(const std::vector<double>& predicted,
+                  const std::vector<double>& truth);
+
+/// Weighted deviation (Section 5.1.1): triples are bucketed by predicted
+/// probability into the paper's non-uniform buckets (fine near 0 and 1);
+/// per bucket, the squared difference between the mean prediction and the
+/// empirical accuracy is averaged, weighted by bucket size. Lower is better.
+double WeightedDeviation(const std::vector<double>& predicted,
+                         const std::vector<uint8_t>& truth);
+
+/// One point of a PR curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double threshold = 0.0;
+};
+
+/// Precision-recall curve, sweeping the decision threshold over the sorted
+/// predictions (one point per distinct threshold, ties collapsed).
+std::vector<PrPoint> PrCurve(const std::vector<double>& predicted,
+                             const std::vector<uint8_t>& truth);
+
+/// Area under the PR curve, computed by the standard step-wise
+/// interpolation (average precision). Higher is better. Returns 0 when
+/// there are no positive labels.
+double AucPr(const std::vector<double>& predicted,
+             const std::vector<uint8_t>& truth);
+
+/// One calibration bucket: mean predicted probability vs empirical accuracy.
+struct CalibrationPoint {
+  double predicted_mean = 0.0;
+  double empirical_accuracy = 0.0;
+  double weight = 0.0;  // Number of triples in the bucket.
+};
+
+/// Calibration curve over the paper's WDev buckets (Figure 8). Empty
+/// buckets are omitted.
+std::vector<CalibrationPoint> CalibrationCurve(
+    const std::vector<double>& predicted, const std::vector<uint8_t>& truth);
+
+}  // namespace kbt::eval
+
+#endif  // KBT_EVAL_METRICS_H_

@@ -1,0 +1,49 @@
+#ifndef KBT_EXP_KV_SIM_H_
+#define KBT_EXP_KV_SIM_H_
+
+#include "common/status.h"
+#include "corpus/corpus_config.h"
+#include "corpus/web_corpus.h"
+#include "extract/extraction_simulator.h"
+#include "extract/raw_dataset.h"
+#include "kb/knowledge_base.h"
+
+namespace kbt::exp {
+
+/// Configuration of the KV-scale simulation (the stand-in for the paper's
+/// 2.8B-triple Knowledge Vault snapshot). The generated cube keeps KV's
+/// structural pathologies — Zipf page/pattern sizes, a fleet of extractors
+/// of wildly different quality, type-error extractions — at a size that
+/// runs in seconds.
+struct KvSimConfig {
+  uint64_t seed = 2014;
+  corpus::CorpusConfig corpus;
+  int num_extractors = 16;
+  /// Fraction of world facts the partial "Freebase" KB knows; the paper
+  /// could decide truthfulness of 26% of its triples via LCWA.
+  double kb_coverage = 0.3;
+
+  /// Benchmark-scale defaults (hundreds of sites, ~10^5 observations).
+  static KvSimConfig Default();
+  /// Small variant for unit/integration tests.
+  static KvSimConfig Small();
+  /// Heavily skewed variant for the Table 7 efficiency study: a few whale
+  /// sites with thousands of pages create giant extractor groups.
+  static KvSimConfig Skewed();
+};
+
+/// A fully materialized KV-sim world. NOTE: construct eval::GoldStandard
+/// from `partial_kb` and `corpus.world()` only after this object has
+/// reached its final address (GoldStandard holds references).
+struct KvSimData {
+  corpus::WebCorpus corpus;
+  extract::RawDataset data;
+  kb::KnowledgeBase partial_kb;
+};
+
+/// Generates corpus + extraction cube + partial KB.
+StatusOr<KvSimData> BuildKvSim(const KvSimConfig& config);
+
+}  // namespace kbt::exp
+
+#endif  // KBT_EXP_KV_SIM_H_

@@ -1,0 +1,128 @@
+#include "exp/motivating_example.h"
+
+namespace kbt::exp {
+
+namespace {
+
+using extract::RawObservation;
+
+/// One extraction of the fixture: extractor (0-based), page (0-based),
+/// value, and whether the page really states that value.
+struct Cell {
+  int extractor;
+  int page;
+  kb::ValueId value;
+};
+
+/// The full Table 2 extraction matrix (see header for the layout).
+constexpr Cell kCells[] = {
+    // W1: E1-E4 extract USA, E5 extracts Kenya.
+    {0, 0, MotivatingExample::kUsa},
+    {1, 0, MotivatingExample::kUsa},
+    {2, 0, MotivatingExample::kUsa},
+    {3, 0, MotivatingExample::kUsa},
+    {4, 0, MotivatingExample::kKenya},
+    // W2: E1,E2,E3 USA; E4 N.Amer.
+    {0, 1, MotivatingExample::kUsa},
+    {1, 1, MotivatingExample::kUsa},
+    {2, 1, MotivatingExample::kUsa},
+    {3, 1, MotivatingExample::kNAmerica},
+    // W3: E1,E3 USA; E4 N.Amer.
+    {0, 2, MotivatingExample::kUsa},
+    {2, 2, MotivatingExample::kUsa},
+    {3, 2, MotivatingExample::kNAmerica},
+    // W4: E1,E3 USA; E5 Kenya.
+    {0, 3, MotivatingExample::kUsa},
+    {2, 3, MotivatingExample::kUsa},
+    {4, 3, MotivatingExample::kKenya},
+    // W5: everyone extracts Kenya.
+    {0, 4, MotivatingExample::kKenya},
+    {1, 4, MotivatingExample::kKenya},
+    {2, 4, MotivatingExample::kKenya},
+    {3, 4, MotivatingExample::kKenya},
+    {4, 4, MotivatingExample::kKenya},
+    // W6: E1,E3 Kenya; E4 USA.
+    {0, 5, MotivatingExample::kKenya},
+    {2, 5, MotivatingExample::kKenya},
+    {3, 5, MotivatingExample::kUsa},
+    // W7: E3,E5 Kenya (page provides nothing).
+    {2, 6, MotivatingExample::kKenya},
+    {4, 6, MotivatingExample::kKenya},
+    // W8: E4 Kenya (page provides nothing).
+    {3, 7, MotivatingExample::kKenya},
+};
+
+}  // namespace
+
+kb::DataItemId MotivatingExample::Item() {
+  return kb::MakeDataItem(kObama, kNationality);
+}
+
+std::array<kb::ValueId, 8> MotivatingExample::ProvidedValues() {
+  return {kUsa,   kUsa,   kUsa,         kUsa,
+          kKenya, kKenya, kb::kInvalidId, kb::kInvalidId};
+}
+
+extract::RawDataset MotivatingExample::Dataset() {
+  extract::RawDataset data;
+  const std::array<kb::ValueId, 8> provided = ProvidedValues();
+  for (const Cell& cell : kCells) {
+    RawObservation obs;
+    obs.extractor = static_cast<kb::ExtractorId>(cell.extractor);
+    obs.pattern = static_cast<kb::PatternId>(cell.extractor);  // One each.
+    obs.website = static_cast<kb::WebsiteId>(cell.page);  // Site == page.
+    obs.page = static_cast<kb::PageId>(cell.page);
+    obs.item = Item();
+    obs.value = cell.value;
+    obs.confidence = 1.0f;
+    obs.provided =
+        provided[static_cast<size_t>(cell.page)] == cell.value;
+    data.observations.push_back(obs);
+  }
+  data.true_values.emplace(Item(), kUsa);
+  // Example 3.2 uses n = 10 for this data item.
+  data.num_false_by_predicate = {10};
+  data.num_websites = 8;
+  data.num_pages = 8;
+  data.num_extractors = 5;
+  data.num_patterns = 5;
+  return data;
+}
+
+std::array<MotivatingExample::ExtractorQuality, 5>
+MotivatingExample::Table3Rows() {
+  // Table 3: Q(E_i), R(E_i), P(E_i) with gamma = 0.25.
+  return {{{0.01, 0.99, 0.99},
+           {0.01, 0.50, 0.99},
+           {0.06, 0.99, 0.85},
+           {0.22, 0.33, 0.33},
+           {0.17, 0.17, 0.25}}};
+}
+
+core::InitialQuality MotivatingExample::Table3Quality() {
+  core::InitialQuality init;
+  for (const ExtractorQuality& row : Table3Rows()) {
+    init.extractor_recall.push_back(row.r);
+    init.extractor_precision.push_back(row.p);
+    // The paper's vote counts use Table 3's printed Q values directly.
+    init.extractor_q.push_back(row.q);
+  }
+  // Example 3.2: all sources share A_w = 0.6.
+  init.source_accuracy.assign(8, 0.6);
+  return init;
+}
+
+std::vector<MotivatingExample::Table4Entry> MotivatingExample::Table4() {
+  return {
+      {0, kUsa, 1.0},      {0, kKenya, 0.0},
+      {1, kUsa, 1.0},      {1, kNAmerica, 0.0},
+      {2, kUsa, 1.0},      {2, kNAmerica, 0.0},
+      {3, kUsa, 1.0},      {3, kKenya, 0.0},
+      {4, kKenya, 1.0},
+      {5, kKenya, 1.0},    {5, kUsa, 0.0},
+      {6, kKenya, 0.07},
+      {7, kKenya, 0.0},
+  };
+}
+
+}  // namespace kbt::exp

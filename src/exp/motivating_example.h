@@ -1,0 +1,74 @@
+#ifndef KBT_EXP_MOTIVATING_EXAMPLE_H_
+#define KBT_EXP_MOTIVATING_EXAMPLE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "extract/raw_dataset.h"
+#include "core/multilayer_result.h"
+
+namespace kbt::exp {
+
+/// The paper's running example (Tables 2-4, Examples 2.1/3.1/3.2/3.3):
+/// 8 webpages W1..W8 and 5 extractors E1..E5 on the single data item
+/// (Barack Obama, nationality).
+///
+/// The extraction matrix is reconstructed so that every number printed in
+/// the paper reproduces exactly:
+///   W1: E1..E4 -> USA,            E5 -> Kenya   (page states USA)
+///   W2: E1,E2,E3 -> USA,          E4 -> N.Amer. (page states USA)
+///   W3: E1,E3 -> USA,             E4 -> N.Amer. (page states USA)
+///   W4: E1,E3 -> USA,             E5 -> Kenya   (page states USA)
+///   W5: E1..E5 -> Kenya                         (page states Kenya)
+///   W6: E1,E3 -> Kenya,           E4 -> USA     (page states Kenya)
+///   W7: E3,E5 -> Kenya                          (page states nothing)
+///   W8: E4 -> Kenya                             (page states nothing)
+/// With Table 3's extractor quality this yields vote counts 11.7 for
+/// (W1, USA), -9.4 for (W6, USA) (Example 3.1) and -2.65 for (W7, Kenya)
+/// (Example 3.3), and Table 4's correctness probabilities.
+struct MotivatingExample {
+  /// Entity/value ids used by the fixture.
+  static constexpr kb::EntityId kObama = 0;
+  static constexpr kb::ValueId kUsa = 1;
+  static constexpr kb::ValueId kKenya = 2;
+  static constexpr kb::ValueId kNAmerica = 3;
+  static constexpr kb::PredicateId kNationality = 0;
+
+  /// The single data item (Obama, nationality).
+  static kb::DataItemId Item();
+
+  /// The observation cube of Table 2 (confidences all 1).
+  static extract::RawDataset Dataset();
+
+  /// Table 3's given extractor quality (Q, R, P), indexed E1..E5, as
+  /// initial quality for a run with frozen parameters. Vectors are aligned
+  /// with granularity::PageSourcePlainExtractor's extractor group order
+  /// (E1..E5 in id order).
+  static core::InitialQuality Table3Quality();
+
+  /// Per-extractor (Q, R, P) triples from Table 3.
+  struct ExtractorQuality {
+    double q;
+    double r;
+    double p;
+  };
+  static std::array<ExtractorQuality, 5> Table3Rows();
+
+  /// The "Value" column of Table 2: what each page truly provides
+  /// (kInvalidId for W7/W8 which provide nothing).
+  static std::array<kb::ValueId, 8> ProvidedValues();
+
+  /// Expected Table 4 posterior p(C_wdv=1|X) for the (page, value) pairs
+  /// the paper prints: {page index 0-7, value, probability}.
+  struct Table4Entry {
+    int page;
+    kb::ValueId value;
+    double probability;
+  };
+  static std::vector<Table4Entry> Table4();
+};
+
+}  // namespace kbt::exp
+
+#endif  // KBT_EXP_MOTIVATING_EXAMPLE_H_

@@ -1,0 +1,121 @@
+#include "exp/runners.h"
+
+#include "extract/observation_matrix.h"
+#include "core/initialization.h"
+#include "core/multilayer_model.h"
+
+namespace kbt::exp {
+
+std::string_view MethodName(Method method) {
+  switch (method) {
+    case Method::kSingleLayer:
+      return "SingleLayer";
+    case Method::kMultiLayer:
+      return "MultiLayer";
+    case Method::kMultiLayerSM:
+      return "MultiLayerSM";
+  }
+  return "unknown";
+}
+
+RunnerOptions::RunnerOptions() {
+  multilayer.num_false_override = 10;    // Paper: n = 10 for multi-layer.
+  single_layer.num_false_override = 100;  // Paper: n = 100 for single-layer.
+  sm_source.min_size = 5;
+  sm_source.max_size = 10000;
+  sm_extractor.min_size = 5;
+  sm_extractor.max_size = 10000;
+}
+
+namespace {
+
+core::TripleLabelFn MakeLabelFn(const eval::GoldStandard& gold) {
+  return [&gold](kb::DataItemId item, kb::ValueId value) {
+    return gold.Label(item, value);
+  };
+}
+
+core::SmartInitOptions KvSmartInit() {
+  core::SmartInitOptions options;
+  // Source-side only (the paper's description); LCWA labels are too skewed
+  // toward false to estimate extractor precision from.
+  options.initialize_extractors = false;
+  // A single gold-labeled triple anchors a source: this is what lets thin
+  // sources participate in the "+" variants (they would otherwise fall
+  // under the support threshold and be ignored).
+  options.min_labeled = 1;
+  options.smoothing = 1.0;
+  return options;
+}
+
+}  // namespace
+
+StatusOr<MethodRun> RunMethodOnKv(Method method, const KvSimData& kv,
+                                  const eval::GoldStandard& gold,
+                                  const RunnerOptions& options,
+                                  dataflow::Executor* executor,
+                                  dataflow::StageTimers* timers) {
+  // ---- Choose granularity ----
+  extract::GroupAssignment assignment;
+  switch (method) {
+    case Method::kSingleLayer:
+      assignment = granularity::ProvenanceAssignment(kv.data);
+      break;
+    case Method::kMultiLayer:
+      assignment = granularity::FinestAssignment(kv.data);
+      break;
+    case Method::kMultiLayerSM: {
+      StatusOr<extract::GroupAssignment> sm = granularity::SplitMergeAssignment(
+          kv.data, options.sm_source, options.sm_extractor, timers);
+      if (!sm.ok()) return sm.status();
+      assignment = std::move(*sm);
+      break;
+    }
+  }
+
+  StatusOr<extract::CompiledMatrix> matrix =
+      extract::CompiledMatrix::Build(kv.data, assignment);
+  if (!matrix.ok()) return matrix.status();
+
+  MethodRun run;
+  run.num_sources = matrix->num_sources();
+  run.num_extractor_groups = matrix->num_extractor_groups();
+  run.num_slots = matrix->num_slots();
+
+  if (method == Method::kSingleLayer) {
+    std::vector<double> initial;
+    std::vector<uint8_t> trusted;
+    if (options.smart_init) {
+      core::InitialQuality init = core::InitialQualityFromLabels(
+          *matrix, MakeLabelFn(gold), options.multilayer, KvSmartInit());
+      initial = std::move(init.source_accuracy);
+      trusted = std::move(init.source_trusted);
+    }
+    StatusOr<fusion::SingleLayerResult> result = fusion::SingleLayerModel::Run(
+        *matrix, options.single_layer, initial, executor, timers, trusted);
+    if (!result.ok()) return result.status();
+    run.predictions = eval::TriplePredictions(*matrix, result->slot_value_prob,
+                                              result->slot_covered);
+    run.iterations = result->iterations;
+    run.converged = result->converged;
+  } else {
+    core::InitialQuality initial;
+    if (options.smart_init) {
+      initial = core::InitialQualityFromLabels(*matrix, MakeLabelFn(gold),
+                                               options.multilayer,
+                                               KvSmartInit());
+    }
+    StatusOr<core::MultiLayerResult> result = core::MultiLayerModel::Run(
+        *matrix, options.multilayer, initial, executor, timers);
+    if (!result.ok()) return result.status();
+    run.predictions = eval::TriplePredictions(*matrix, result->slot_value_prob,
+                                              result->slot_covered);
+    run.iterations = result->iterations;
+    run.converged = result->converged;
+  }
+
+  run.metrics = eval::EvaluateTriples(run.predictions, gold);
+  return run;
+}
+
+}  // namespace kbt::exp

@@ -1,0 +1,65 @@
+#ifndef KBT_EXP_RUNNERS_H_
+#define KBT_EXP_RUNNERS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/parallel.h"
+#include "dataflow/stage_timer.h"
+#include "eval/gold_standard.h"
+#include "exp/kv_sim.h"
+#include "fusion/single_layer.h"
+#include "granularity/assignments.h"
+#include "core/multilayer_config.h"
+#include "core/multilayer_result.h"
+
+namespace kbt::exp {
+
+/// The three methods compared throughout Section 5.
+enum class Method {
+  kSingleLayer = 0,   // Section 2.2 baseline on provenance 4-tuples.
+  kMultiLayer = 1,    // Section 3 at the finest granularity.
+  kMultiLayerSM = 2,  // Section 4: SPLITANDMERGE + multi-layer.
+};
+
+std::string_view MethodName(Method method);
+
+/// Options shared by the method runners. Defaults match Section 5.1.2:
+/// n=100 for the single layer, n=10 for the multi-layer models, gamma=0.25,
+/// 5 iterations, m=5 / M=10K for SPLITANDMERGE.
+struct RunnerOptions {
+  RunnerOptions();
+
+  /// Initialize source/extractor quality from the gold standard (the "+"
+  /// variants of Table 5).
+  bool smart_init = false;
+
+  core::MultiLayerConfig multilayer;
+  fusion::SingleLayerConfig single_layer;
+  granularity::SplitMergeOptions sm_source;
+  granularity::SplitMergeOptions sm_extractor;
+};
+
+/// Everything a bench needs from one method run.
+struct MethodRun {
+  std::vector<eval::TriplePrediction> predictions;
+  eval::TripleMetrics metrics;
+  int iterations = 0;
+  bool converged = false;
+  size_t num_sources = 0;
+  size_t num_extractor_groups = 0;
+  size_t num_slots = 0;
+};
+
+/// Runs `method` over a KV-sim world and evaluates against `gold`.
+/// `executor`/`timers` may be null.
+StatusOr<MethodRun> RunMethodOnKv(Method method, const KvSimData& kv,
+                                  const eval::GoldStandard& gold,
+                                  const RunnerOptions& options,
+                                  dataflow::Executor* executor = nullptr,
+                                  dataflow::StageTimers* timers = nullptr);
+
+}  // namespace kbt::exp
+
+#endif  // KBT_EXP_RUNNERS_H_

@@ -1,0 +1,165 @@
+#include "exp/synthetic.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace kbt::exp {
+
+namespace {
+
+using kb::DataItemId;
+using kb::ValueId;
+
+/// Packs (page, item, value) for provided-set membership.
+struct PageTripleKey {
+  kb::PageId page;
+  DataItemId item;
+  ValueId value;
+  bool operator==(const PageTripleKey& o) const {
+    return page == o.page && item == o.item && value == o.value;
+  }
+};
+
+struct PageTripleKeyHash {
+  size_t operator()(const PageTripleKey& k) const {
+    uint64_t h = k.item;
+    h ^= (static_cast<uint64_t>(k.page) + 0x9e3779b9u) * 0xff51afd7ed558ccdULL;
+    h ^= (static_cast<uint64_t>(k.value) + 0x85ebca6bu) * 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+SyntheticData GenerateSynthetic(const SyntheticConfig& config) {
+  Rng rng(config.seed);
+  SyntheticData out;
+  extract::RawDataset& data = out.data;
+
+  const int num_items = config.num_subjects * config.num_predicates;
+  const int domain = config.num_false_values + 1;
+
+  // World truth: every (subject, predicate) grid cell has a true value drawn
+  // from its predicate's domain {0..n}. Values are encoded per predicate so
+  // that predicate-corrupted extractions stay within the new predicate's
+  // domain: value id = predicate * domain + index.
+  const auto value_id = [&](int predicate, int index) {
+    return static_cast<ValueId>(predicate * domain + index);
+  };
+  std::vector<DataItemId> items;
+  items.reserve(static_cast<size_t>(num_items));
+  for (int s = 0; s < config.num_subjects; ++s) {
+    for (int p = 0; p < config.num_predicates; ++p) {
+      const DataItemId item =
+          kb::MakeDataItem(static_cast<kb::EntityId>(s),
+                           static_cast<kb::PredicateId>(p));
+      items.push_back(item);
+      data.true_values[item] =
+          value_id(p, static_cast<int>(rng.UniformInt(0, domain - 1)));
+    }
+  }
+  data.num_false_by_predicate.assign(
+      static_cast<size_t>(config.num_predicates), config.num_false_values);
+
+  // Source statements: each source states one value per item, correct with
+  // probability A (Eq. 1's generative story).
+  out.true_source_accuracy.assign(static_cast<size_t>(config.num_sources),
+                                  config.source_accuracy);
+  std::vector<std::vector<ValueId>> stated(
+      static_cast<size_t>(config.num_sources));
+  std::unordered_set<PageTripleKey, PageTripleKeyHash> provided_set;
+  for (int w = 0; w < config.num_sources; ++w) {
+    auto& row = stated[static_cast<size_t>(w)];
+    row.resize(static_cast<size_t>(num_items));
+    for (int i = 0; i < num_items; ++i) {
+      const DataItemId item = items[static_cast<size_t>(i)];
+      const int pred = static_cast<int>(kb::DataItemPredicate(item));
+      const ValueId truth = data.true_values[item];
+      ValueId v = truth;
+      if (!rng.Bernoulli(config.source_accuracy)) {
+        do {
+          v = value_id(pred, static_cast<int>(rng.UniformInt(0, domain - 1)));
+        } while (v == truth);
+      }
+      row[static_cast<size_t>(i)] = v;
+      provided_set.insert(
+          PageTripleKey{static_cast<kb::PageId>(w), item, v});
+    }
+  }
+
+  // Extraction: per (extractor, source) with prob delta; per triple with
+  // prob R; each component corrupted with prob 1-P.
+  for (int e = 0; e < config.num_extractors; ++e) {
+    for (int w = 0; w < config.num_sources; ++w) {
+      if (!rng.Bernoulli(config.page_coverage)) continue;
+      std::unordered_map<uint64_t, size_t> local;  // Dedup per (e,w).
+      for (int i = 0; i < num_items; ++i) {
+        if (!rng.Bernoulli(config.recall)) continue;
+        DataItemId item = items[static_cast<size_t>(i)];
+        ValueId value = stated[static_cast<size_t>(w)][static_cast<size_t>(i)];
+
+        // Subject corruption: another subject, same predicate.
+        if (!rng.Bernoulli(config.component_accuracy) &&
+            config.num_subjects > 1) {
+          kb::EntityId subj;
+          do {
+            subj = static_cast<kb::EntityId>(
+                rng.UniformInt(0, config.num_subjects - 1));
+          } while (subj == kb::DataItemSubject(item));
+          item = kb::MakeDataItem(subj, kb::DataItemPredicate(item));
+        }
+        // Predicate corruption: move to another predicate; the value is
+        // remapped into that predicate's domain slot.
+        if (!rng.Bernoulli(config.component_accuracy) &&
+            config.num_predicates > 1) {
+          kb::PredicateId pred;
+          do {
+            pred = static_cast<kb::PredicateId>(
+                rng.UniformInt(0, config.num_predicates - 1));
+          } while (pred == kb::DataItemPredicate(item));
+          const int index = static_cast<int>(value) % domain;
+          item = kb::MakeDataItem(kb::DataItemSubject(item), pred);
+          value = value_id(static_cast<int>(pred), index);
+        }
+        // Object corruption: another value of the item's predicate.
+        if (!rng.Bernoulli(config.component_accuracy) && domain > 1) {
+          const int pred = static_cast<int>(kb::DataItemPredicate(item));
+          ValueId v;
+          do {
+            v = value_id(pred, static_cast<int>(rng.UniformInt(0, domain - 1)));
+          } while (v == value);
+          value = v;
+        }
+
+        const bool is_provided = provided_set.count(PageTripleKey{
+                                     static_cast<kb::PageId>(w), item,
+                                     value}) > 0;
+        const uint64_t key = item * 0x9e3779b97f4a7c15ULL ^ value;
+        if (local.count(key) > 0) continue;
+        local.emplace(key, data.observations.size());
+
+        extract::RawObservation obs;
+        obs.extractor = static_cast<kb::ExtractorId>(e);
+        obs.pattern = static_cast<kb::PatternId>(e);
+        obs.website = static_cast<kb::WebsiteId>(w);
+        obs.page = static_cast<kb::PageId>(w);
+        obs.item = item;
+        obs.value = value;
+        obs.confidence = 1.0f;
+        obs.provided = is_provided;
+        data.observations.push_back(obs);
+      }
+    }
+  }
+
+  data.num_websites = static_cast<uint32_t>(config.num_sources);
+  data.num_pages = static_cast<uint32_t>(config.num_sources);
+  data.num_extractors = static_cast<uint32_t>(config.num_extractors);
+  data.num_patterns = static_cast<uint32_t>(config.num_extractors);
+  return out;
+}
+
+}  // namespace kbt::exp

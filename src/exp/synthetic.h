@@ -1,0 +1,44 @@
+#ifndef KBT_EXP_SYNTHETIC_H_
+#define KBT_EXP_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "extract/raw_dataset.h"
+
+namespace kbt::exp {
+
+/// The synthetic setup of Section 5.2.1: `num_sources` sources each provide
+/// a value for every shared data item with accuracy A; each extractor
+/// processes a source with probability delta, extracts each provided triple
+/// with probability R, and corrupts each of subject/predicate/object with
+/// probability 1-P (so its triple precision is ~P^3).
+struct SyntheticConfig {
+  int num_sources = 10;
+  int num_extractors = 5;
+  /// Data items form a subjects x predicates grid; the paper's "100 triples
+  /// per source" is 20 x 5.
+  int num_subjects = 20;
+  int num_predicates = 5;
+  double source_accuracy = 0.7;     // A
+  double page_coverage = 0.5;       // delta
+  double recall = 0.5;              // R
+  double component_accuracy = 0.8;  // P
+  int num_false_values = 10;        // n
+  uint64_t seed = 1;
+};
+
+/// Generated data plus the exact ground truth the synthetic metrics (SqV,
+/// SqC, SqA) compare against.
+struct SyntheticData {
+  extract::RawDataset data;
+  /// True accuracy A*_w of each source (== config value; kept per source for
+  /// generality).
+  std::vector<double> true_source_accuracy;
+};
+
+SyntheticData GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace kbt::exp
+
+#endif  // KBT_EXP_SYNTHETIC_H_

@@ -1,0 +1,135 @@
+#include "exp/synthetic_eval.h"
+
+#include <vector>
+
+#include "common/math.h"
+#include "eval/gold_standard.h"
+#include "granularity/assignments.h"
+#include "core/multilayer_model.h"
+
+namespace kbt::exp {
+
+namespace {
+
+/// SqV over distinct extracted (d, v) triples.
+double TripleLoss(const extract::CompiledMatrix& matrix,
+                  const std::vector<double>& slot_value_prob,
+                  const SyntheticData& synthetic) {
+  const std::vector<uint8_t> covered(matrix.num_slots(), 1);
+  const auto predictions =
+      eval::TriplePredictions(matrix, slot_value_prob, covered);
+  if (predictions.empty()) return 0.0;
+  double loss = 0.0;
+  for (const auto& p : predictions) {
+    const auto it = synthetic.data.true_values.find(p.item);
+    const double truth =
+        (it != synthetic.data.true_values.end() && it->second == p.value)
+            ? 1.0
+            : 0.0;
+    loss += SquaredError(p.probability, truth);
+  }
+  return loss / static_cast<double>(predictions.size());
+}
+
+double SourceLossFromAccuracies(const std::vector<double>& by_site,
+                                const SyntheticData& synthetic) {
+  const size_t n = synthetic.true_source_accuracy.size();
+  if (n == 0) return 0.0;
+  double loss = 0.0;
+  for (size_t w = 0; w < n; ++w) {
+    loss += SquaredError(by_site[w], synthetic.true_source_accuracy[w]);
+  }
+  return loss / static_cast<double>(n);
+}
+
+}  // namespace
+
+SyntheticLosses EvaluateMultiLayer(const extract::CompiledMatrix& matrix,
+                                   const core::MultiLayerResult& result,
+                                   const SyntheticData& synthetic) {
+  SyntheticLosses losses;
+  losses.sqv = TripleLoss(matrix, result.slot_value_prob, synthetic);
+
+  // SqC over slots against the provided-truth flags.
+  if (matrix.num_slots() > 0) {
+    double loss = 0.0;
+    for (size_t s = 0; s < matrix.num_slots(); ++s) {
+      loss += SquaredError(result.slot_correct_prob[s],
+                           matrix.slot_provided_truth(s) ? 1.0 : 0.0);
+    }
+    losses.sqc = loss / static_cast<double>(matrix.num_slots());
+  }
+
+  // SqA: map source groups to original sources via the website field (the
+  // synthetic generator makes website == source index).
+  std::vector<double> by_site(synthetic.true_source_accuracy.size(), 0.0);
+  std::vector<double> counts(by_site.size(), 0.0);
+  for (uint32_t w = 0; w < matrix.num_sources(); ++w) {
+    const uint32_t site = matrix.source_info(w).website;
+    if (site >= by_site.size()) continue;
+    by_site[site] += result.source_accuracy[w];
+    counts[site] += 1.0;
+  }
+  for (size_t i = 0; i < by_site.size(); ++i) {
+    by_site[i] = counts[i] > 0 ? by_site[i] / counts[i] : 0.8;
+  }
+  losses.sqa = SourceLossFromAccuracies(by_site, synthetic);
+  return losses;
+}
+
+SyntheticLosses EvaluateSingleLayer(const extract::CompiledMatrix& matrix,
+                                    const fusion::SingleLayerResult& result,
+                                    const SyntheticData& synthetic) {
+  SyntheticLosses losses;
+  losses.sqv = TripleLoss(matrix, result.slot_value_prob, synthetic);
+  // SqC intentionally NaN: the single layer has no extraction layer.
+  const auto by_site = fusion::AccuracyByWebsite(
+      matrix, result.slot_value_prob,
+      static_cast<uint32_t>(synthetic.true_source_accuracy.size()), 0.8);
+  losses.sqa = SourceLossFromAccuracies(by_site, synthetic);
+  return losses;
+}
+
+StatusOr<SyntheticComparison> RunSyntheticComparison(
+    const SyntheticConfig& config) {
+  const SyntheticData synthetic = GenerateSynthetic(config);
+  SyntheticComparison out;
+
+  // ---- Multi-layer on page-level sources ----
+  {
+    const auto assignment =
+        granularity::PageSourcePlainExtractor(synthetic.data);
+    StatusOr<extract::CompiledMatrix> matrix =
+        extract::CompiledMatrix::Build(synthetic.data, assignment);
+    if (!matrix.ok()) return matrix.status();
+    core::MultiLayerConfig ml;
+    ml.max_iterations = 5;
+    ml.min_source_support = 1;
+    ml.min_extractor_support = 1;
+    ml.num_false_override = config.num_false_values;
+    StatusOr<core::MultiLayerResult> result =
+        core::MultiLayerModel::Run(*matrix, ml);
+    if (!result.ok()) return result.status();
+    out.multi_layer = EvaluateMultiLayer(*matrix, *result, synthetic);
+  }
+
+  // ---- Single-layer on provenance sources ----
+  {
+    const auto assignment = granularity::ProvenanceAssignment(synthetic.data);
+    StatusOr<extract::CompiledMatrix> matrix =
+        extract::CompiledMatrix::Build(synthetic.data, assignment);
+    if (!matrix.ok()) return matrix.status();
+    fusion::SingleLayerConfig sl;
+    sl.max_iterations = 5;
+    sl.min_source_support = 1;
+    sl.num_false_override = config.num_false_values;
+    StatusOr<fusion::SingleLayerResult> result =
+        fusion::SingleLayerModel::Run(*matrix, sl);
+    if (!result.ok()) return result.status();
+    out.single_layer = EvaluateSingleLayer(*matrix, *result, synthetic);
+  }
+
+  return out;
+}
+
+}  // namespace kbt::exp

@@ -1,0 +1,38 @@
+#ifndef KBT_EXP_TABLE_PRINTER_H_
+#define KBT_EXP_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace kbt::exp {
+
+/// Fixed-width ASCII table, used by every bench binary to print the rows
+/// the paper's tables/figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::ostream& os = std::cout) const;
+
+  /// Fixed-precision double formatting ("0.054").
+  static std::string Fmt(double value, int precision = 3);
+  /// Integer with thousands grouping ("2,816,344").
+  static std::string FmtCount(size_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== Table 5: ... ==").
+void PrintBanner(const std::string& title, std::ostream& os = std::cout);
+
+}  // namespace kbt::exp
+
+#endif  // KBT_EXP_TABLE_PRINTER_H_

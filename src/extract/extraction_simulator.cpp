@@ -1,0 +1,249 @@
+#include "extract/extraction_simulator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/math.h"
+
+namespace kbt::extract {
+
+namespace {
+
+using kb::DataItemId;
+using kb::PredicateId;
+using kb::ValueId;
+
+/// Key identifying one stated triple of one page, for provided-set lookups.
+struct ProvidedKey {
+  kb::PageId page;
+  DataItemId item;
+  ValueId value;
+  bool operator==(const ProvidedKey& o) const {
+    return page == o.page && item == o.item && value == o.value;
+  }
+};
+
+struct ProvidedKeyHash {
+  size_t operator()(const ProvidedKey& k) const {
+    uint64_t h = k.item;
+    h ^= (static_cast<uint64_t>(k.page) << 1) * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(k.value) + 0x85ebca6bULL) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Draws a confidence score. Correct extractions skew high, incorrect ones
+/// low; `calibration`=0 collapses both to the same Beta(2,2).
+float DrawConfidence(bool correct, double calibration, Rng& rng) {
+  const double sharp = 6.0 * calibration;
+  const double a = correct ? 2.0 + sharp : 2.0;
+  const double b = correct ? 2.0 : 2.0 + sharp;
+  return static_cast<float>(Clamp(rng.Beta(a, b), 0.0, 1.0));
+}
+
+}  // namespace
+
+Status ExtractionSimulator::Validate() const {
+  if (config_.extractors.empty()) {
+    return Status::InvalidArgument("no extractors configured");
+  }
+  for (const auto& e : config_.extractors) {
+    if (e.page_coverage < 0 || e.page_coverage > 1) {
+      return Status::InvalidArgument("page_coverage outside [0,1]");
+    }
+    if (e.recall < 0 || e.recall > 1) {
+      return Status::InvalidArgument("recall outside [0,1]");
+    }
+    if (e.component_accuracy <= 0 || e.component_accuracy > 1) {
+      return Status::InvalidArgument("component_accuracy outside (0,1]");
+    }
+    if (e.patterns_per_predicate < 1) {
+      return Status::InvalidArgument("patterns_per_predicate < 1");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<RawDataset> ExtractionSimulator::Run(
+    const corpus::WebCorpus& corpus) const {
+  KBT_RETURN_IF_ERROR(Validate());
+  const kb::KnowledgeBase& world = corpus.world();
+  const int num_predicates = static_cast<int>(world.num_predicates());
+
+  // Provided-set membership, to label corrupted/hallucinated extractions.
+  std::unordered_set<ProvidedKey, ProvidedKeyHash> provided_set;
+  provided_set.reserve(corpus.num_provided() * 2);
+  for (const auto& t : corpus.provided()) {
+    provided_set.insert(ProvidedKey{t.page, t.item, t.value});
+  }
+
+  RawDataset out;
+  out.num_websites = static_cast<uint32_t>(corpus.num_websites());
+  out.num_pages = static_cast<uint32_t>(corpus.num_pages());
+  out.num_extractors = static_cast<uint32_t>(config_.extractors.size());
+  out.num_false_by_predicate.resize(static_cast<size_t>(num_predicates));
+  for (int p = 0; p < num_predicates; ++p) {
+    out.num_false_by_predicate[static_cast<size_t>(p)] =
+        world.predicate(static_cast<PredicateId>(p)).num_false_values;
+  }
+  for (const auto& [item, value] : world.facts()) {
+    out.true_values.emplace(item, value);
+  }
+  uint32_t max_pattern = 0;
+
+  Rng root(config_.seed);
+  for (const ExtractorProfile& profile : config_.extractors) {
+    Rng ext_rng = root.Fork(profile.id + 1);
+    for (const auto& pat : profile.patterns) {
+      max_pattern = std::max(max_pattern, pat.id + 1);
+    }
+    // Zipf-biased pattern choice: the head pattern of each predicate does
+    // most of the extracting, tail patterns fire rarely.
+    const ZipfSampler pattern_zipf(
+        static_cast<size_t>(profile.patterns_per_predicate), 1.6);
+    for (kb::PageId page_id = 0; page_id < corpus.num_pages(); ++page_id) {
+      if (!ext_rng.Bernoulli(profile.page_coverage)) continue;
+      const corpus::Webpage& page = corpus.page(page_id);
+      const kb::WebsiteId website = page.website;
+      const auto [begin, end] = corpus.PageTripleRange(page_id);
+
+      // Per-(extractor,page) dedup: (item,value) -> index in out.observations.
+      std::unordered_map<uint64_t, size_t> local;
+
+      auto emit = [&](kb::PatternId pattern, DataItemId item, ValueId value,
+                      float conf, bool is_provided) {
+        const uint64_t key = item * 0x9e3779b97f4a7c15ULL ^ value;
+        const auto it = local.find(key);
+        if (it != local.end()) {
+          // Same triple extracted twice (e.g. by two patterns): keep the
+          // higher confidence.
+          RawObservation& existing = out.observations[it->second];
+          existing.confidence = std::max(existing.confidence, conf);
+          return;
+        }
+        local.emplace(key, out.observations.size());
+        out.observations.push_back(RawObservation{
+            profile.id, pattern, website, page_id, item, value, conf,
+            is_provided});
+      };
+
+      // ---- Provided triples: misses and corruptions ----
+      for (uint32_t i = begin; i < end; ++i) {
+        const corpus::ProvidedTriple& t = corpus.provided()[i];
+        const PredicateId pred = kb::DataItemPredicate(t.item);
+        // Pick one of the extractor's patterns for this predicate.
+        const int variant = static_cast<int>(pattern_zipf.Sample(ext_rng));
+        const size_t pat_index =
+            static_cast<size_t>(pred) *
+                static_cast<size_t>(profile.patterns_per_predicate) +
+            static_cast<size_t>(variant);
+        if (pat_index >= profile.patterns.size()) continue;
+        const PatternProfile& pattern = profile.patterns[pat_index];
+
+        if (!ext_rng.Bernoulli(profile.recall * pattern.recall_multiplier)) {
+          continue;  // Missed (false negative).
+        }
+
+        // Component corruptions.
+        DataItemId item = t.item;
+        ValueId value = t.value;
+        const double pc = pattern.component_accuracy;
+        bool corrupted = false;
+        // Subject misreconciliation: swap in a different subject.
+        if (!ext_rng.Bernoulli(pc)) {
+          const auto& items = corpus.ItemsOfPredicate(pred);
+          if (items.size() > 1) {
+            item = items[static_cast<size_t>(
+                ext_rng.UniformInt(0, items.size() - 1))];
+            corrupted = true;
+          }
+        }
+        // Predicate misclassification: move the triple to another predicate.
+        if (!ext_rng.Bernoulli(pc) && num_predicates > 1) {
+          PredicateId other;
+          do {
+            other = static_cast<PredicateId>(
+                ext_rng.UniformInt(0, num_predicates - 1));
+          } while (other == kb::DataItemPredicate(item));
+          item = kb::MakeDataItem(kb::DataItemSubject(item), other);
+          corrupted = true;
+        }
+        // Object misreconciliation: sibling value or type-violating entity.
+        if (!ext_rng.Bernoulli(pc)) {
+          const PredicateId ipred = kb::DataItemPredicate(item);
+          const auto& bad_pool = corpus.CorruptionPool(ipred);
+          if (ext_rng.Bernoulli(profile.type_error_fraction) &&
+              !bad_pool.empty()) {
+            // Type violation: s=o sometimes, otherwise a wrong-typed value.
+            if (ext_rng.Bernoulli(0.25)) {
+              value = kb::DataItemSubject(item);
+            } else {
+              value = bad_pool[static_cast<size_t>(
+                  ext_rng.UniformInt(0, bad_pool.size() - 1))];
+            }
+          } else {
+            const auto& pool = corpus.ValuePool(ipred);
+            if (!pool.empty()) {
+              value = pool[static_cast<size_t>(
+                  ext_rng.UniformInt(0, pool.size() - 1))];
+            }
+          }
+          corrupted = true;
+        }
+
+        const bool is_provided =
+            !corrupted ||
+            provided_set.count(ProvidedKey{page_id, item, value}) > 0;
+        const float conf =
+            profile.emits_confidence
+                ? DrawConfidence(is_provided, profile.confidence_calibration,
+                                 ext_rng)
+                : 1.0f;
+        emit(pattern.id, item, value, conf, is_provided);
+      }
+
+      // ---- Hallucinations: triples the page never stated ----
+      const int num_fake = ext_rng.Poisson(profile.hallucination_rate);
+      for (int f = 0; f < num_fake; ++f) {
+        const PredicateId pred = static_cast<PredicateId>(
+            ext_rng.UniformInt(0, num_predicates - 1));
+        const auto& items = corpus.ItemsOfPredicate(pred);
+        if (items.empty()) continue;
+        const DataItemId item = items[static_cast<size_t>(
+            ext_rng.UniformInt(0, items.size() - 1))];
+        ValueId value;
+        const auto& bad_pool = corpus.CorruptionPool(pred);
+        if (ext_rng.Bernoulli(profile.type_error_fraction) &&
+            !bad_pool.empty()) {
+          value = bad_pool[static_cast<size_t>(
+              ext_rng.UniformInt(0, bad_pool.size() - 1))];
+        } else {
+          const auto& pool = corpus.ValuePool(pred);
+          if (pool.empty()) continue;
+          value = pool[static_cast<size_t>(
+              ext_rng.UniformInt(0, pool.size() - 1))];
+        }
+        const int variant = static_cast<int>(pattern_zipf.Sample(ext_rng));
+        const size_t pat_index =
+            static_cast<size_t>(pred) *
+                static_cast<size_t>(profile.patterns_per_predicate) +
+            static_cast<size_t>(variant);
+        if (pat_index >= profile.patterns.size()) continue;
+        const bool is_provided =
+            provided_set.count(ProvidedKey{page_id, item, value}) > 0;
+        const float conf =
+            profile.emits_confidence
+                ? DrawConfidence(is_provided, profile.confidence_calibration,
+                                 ext_rng)
+                : 1.0f;
+        emit(profile.patterns[pat_index].id, item, value, conf, is_provided);
+      }
+    }
+  }
+  out.num_patterns = max_pattern;
+  return out;
+}
+
+}  // namespace kbt::extract

@@ -1,0 +1,46 @@
+#ifndef KBT_EXTRACT_EXTRACTION_SIMULATOR_H_
+#define KBT_EXTRACT_EXTRACTION_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "corpus/web_corpus.h"
+#include "extract/extractor_profile.h"
+#include "extract/raw_dataset.h"
+
+namespace kbt::extract {
+
+/// Configuration of the extraction pass over a corpus.
+struct ExtractionConfig {
+  uint64_t seed = 7;
+  std::vector<ExtractorProfile> extractors;
+};
+
+/// Runs a fleet of simulated extractors over a generated corpus and emits
+/// the sparse observation cube (RawDataset). Error channels mirror the ones
+/// the paper attributes to real extractors:
+///  * misses: a provided triple is skipped (recall / pattern recall);
+///  * corruptions: subject, predicate or object is misread - entity
+///    reconciliation picking a wrong (possibly type-violating) entity;
+///  * hallucinations: triples extracted although the page never stated them
+///    (false positives, rate Q_e);
+///  * confidence noise: scores correlate with correctness only as much as
+///    the extractor's calibration allows; some extractors emit none (1.0).
+class ExtractionSimulator {
+ public:
+  explicit ExtractionSimulator(ExtractionConfig config)
+      : config_(std::move(config)) {}
+
+  /// Simulates every extractor over every page of `corpus`.
+  StatusOr<RawDataset> Run(const corpus::WebCorpus& corpus) const;
+
+  Status Validate() const;
+
+ private:
+  ExtractionConfig config_;
+};
+
+}  // namespace kbt::extract
+
+#endif  // KBT_EXTRACT_EXTRACTION_SIMULATOR_H_

@@ -1,0 +1,77 @@
+#include "extract/extractor_profile.h"
+
+#include <algorithm>
+
+#include "common/math.h"
+
+namespace kbt::extract {
+
+void InstantiatePatterns(ExtractorProfile& profile, int num_predicates,
+                         kb::PatternId& next_pattern_id, Rng& rng) {
+  profile.first_pattern = next_pattern_id;
+  profile.patterns.clear();
+  profile.patterns.reserve(static_cast<size_t>(num_predicates) *
+                           static_cast<size_t>(profile.patterns_per_predicate));
+  for (int p = 0; p < num_predicates; ++p) {
+    for (int k = 0; k < profile.patterns_per_predicate; ++k) {
+      PatternProfile pat;
+      pat.id = next_pattern_id++;
+      pat.predicate = static_cast<kb::PredicateId>(p);
+      pat.recall_multiplier = Clamp(rng.Uniform(0.6, 1.0), 0.05, 1.0);
+      pat.component_accuracy =
+          Clamp(profile.component_accuracy + rng.Uniform(-0.08, 0.08), 0.3,
+                0.995);
+      profile.patterns.push_back(pat);
+    }
+  }
+}
+
+std::vector<ExtractorProfile> MakeDefaultExtractors(int count,
+                                                    int num_predicates,
+                                                    Rng& rng) {
+  std::vector<ExtractorProfile> out;
+  out.reserve(static_cast<size_t>(count));
+  kb::PatternId next_pattern = 0;
+  for (int i = 0; i < count; ++i) {
+    ExtractorProfile e;
+    e.id = static_cast<kb::ExtractorId>(i);
+    e.name = "extractor_" + std::to_string(i);
+    // Tiered fleet: ~1/3 strong, ~1/3 mid, ~1/3 weak, echoing the spread of
+    // E1..E5 in Table 3.
+    const int tier = i % 3;
+    switch (tier) {
+      case 0:  // strong
+        e.page_coverage = rng.Uniform(0.6, 0.9);
+        e.recall = rng.Uniform(0.7, 0.95);
+        e.component_accuracy = rng.Uniform(0.93, 0.99);
+        e.hallucination_rate = rng.Uniform(0.01, 0.1);
+        e.confidence_calibration = rng.Uniform(0.7, 0.95);
+        break;
+      case 1:  // mid
+        e.page_coverage = rng.Uniform(0.4, 0.7);
+        e.recall = rng.Uniform(0.4, 0.7);
+        e.component_accuracy = rng.Uniform(0.85, 0.95);
+        e.hallucination_rate = rng.Uniform(0.1, 0.3);
+        e.confidence_calibration = rng.Uniform(0.5, 0.8);
+        break;
+      default:  // weak
+        e.page_coverage = rng.Uniform(0.2, 0.5);
+        e.recall = rng.Uniform(0.15, 0.4);
+        e.component_accuracy = rng.Uniform(0.6, 0.8);
+        e.hallucination_rate = rng.Uniform(0.4, 1.0);
+        e.confidence_calibration = rng.Uniform(0.2, 0.5);
+        break;
+    }
+    e.type_error_fraction = rng.Uniform(0.3, 0.6);
+    e.emits_confidence = (i % 4) != 3;  // Some extractors emit no confidence.
+    // A handful of patterns per predicate; the simulator picks them with a
+    // Zipf bias, so head patterns dominate while tail patterns extract only
+    // a few triples each (the Figure 5 long tail).
+    e.patterns_per_predicate = 3 + static_cast<int>(rng.UniformInt(0, 3));
+    InstantiatePatterns(e, num_predicates, next_pattern, rng);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace kbt::extract

@@ -1,0 +1,73 @@
+#ifndef KBT_EXTRACT_EXTRACTOR_PROFILE_H_
+#define KBT_EXTRACT_EXTRACTOR_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "kb/ids.h"
+
+namespace kbt::extract {
+
+/// One extraction pattern of an extractor, tied to a predicate. Patterns are
+/// the finest quality unit on the extractor side of the paper's granularity
+/// hierarchy <extractor, pattern, predicate, website>: two patterns of the
+/// same extractor may have very different precision.
+struct PatternProfile {
+  kb::PatternId id = kb::kInvalidId;  // Globally unique.
+  kb::PredicateId predicate = kb::kInvalidId;
+  /// Multiplies the extractor's base recall for triples of this predicate.
+  double recall_multiplier = 1.0;
+  /// Per-component (subject/predicate/object) extraction accuracy for this
+  /// pattern; the pattern's triple precision is roughly the cube of this
+  /// (the paper's synthetic setup uses Pe = P^3).
+  double component_accuracy = 0.9;
+};
+
+/// Quality profile of one simulated extraction system (the stand-in for one
+/// of KV's 16 extractors).
+struct ExtractorProfile {
+  kb::ExtractorId id = kb::kInvalidId;
+  std::string name;
+  /// delta: probability the extractor processes a given page at all.
+  double page_coverage = 0.5;
+  /// R: probability of extracting a triple the page provides (before the
+  /// pattern multiplier).
+  double recall = 0.5;
+  /// Base per-component accuracy; per-pattern values jitter around it.
+  double component_accuracy = 0.8;
+  /// Mean number of hallucinated (unprovided) triples per processed page.
+  double hallucination_rate = 0.3;
+  /// Fraction of corruptions/hallucinations that are type-violating
+  /// (feeding the type-check gold standard of Section 5.3.1).
+  double type_error_fraction = 0.4;
+  /// Extractors that do not emit confidences report 1.0 (Section 5.1.2).
+  bool emits_confidence = true;
+  /// 0 = confidence carries no signal; 1 = sharply separates correct from
+  /// incorrect extractions.
+  double confidence_calibration = 0.7;
+  /// Patterns instantiated per predicate.
+  int patterns_per_predicate = 2;
+
+  /// First global pattern id of this extractor (assigned at setup);
+  /// pattern for (predicate p, variant k) is
+  /// first_pattern + p * patterns_per_predicate + k.
+  kb::PatternId first_pattern = 0;
+  std::vector<PatternProfile> patterns;
+};
+
+/// Builds a diverse KV-like fleet: a couple of high-precision extractors, a
+/// mid tier, and deliberately noisy ones, mirroring E1..E5 of the paper's
+/// running example. Deterministic in `rng`.
+std::vector<ExtractorProfile> MakeDefaultExtractors(int count,
+                                                    int num_predicates,
+                                                    Rng& rng);
+
+/// Instantiates per-predicate patterns for `profile` (filling `patterns` and
+/// assigning global ids starting at `next_pattern_id`, which is advanced).
+void InstantiatePatterns(ExtractorProfile& profile, int num_predicates,
+                         kb::PatternId& next_pattern_id, Rng& rng);
+
+}  // namespace kbt::extract
+
+#endif  // KBT_EXTRACT_EXTRACTOR_PROFILE_H_

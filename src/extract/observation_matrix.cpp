@@ -1,0 +1,203 @@
+#include "extract/observation_matrix.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kbt::extract {
+
+namespace {
+
+/// Temporary slot key during compilation.
+struct SlotKey {
+  uint32_t source;
+  kb::DataItemId item;
+  kb::ValueId value;
+  bool operator==(const SlotKey& o) const {
+    return source == o.source && item == o.item && value == o.value;
+  }
+};
+
+struct SlotKeyHash {
+  size_t operator()(const SlotKey& k) const {
+    uint64_t h = k.item;
+    h ^= (static_cast<uint64_t>(k.source) + 0x9e3779b9u) * 0xff51afd7ed558ccdULL;
+    h ^= (static_cast<uint64_t>(k.value) + 0x85ebca6bu) * 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+struct EdgeRec {
+  uint32_t slot;
+  uint32_t group;
+  float conf;
+};
+
+}  // namespace
+
+StatusOr<CompiledMatrix> CompiledMatrix::Build(
+    const RawDataset& data, const GroupAssignment& assignment) {
+  const size_t n = data.observations.size();
+  if (assignment.observation_source.size() != n ||
+      assignment.observation_extractor.size() != n) {
+    return Status::InvalidArgument(
+        "assignment arrays must parallel the observation array");
+  }
+  if (assignment.source_infos.size() != assignment.num_source_groups) {
+    return Status::InvalidArgument("source_infos size mismatch");
+  }
+  if (assignment.extractor_scopes.size() != assignment.num_extractor_groups) {
+    return Status::InvalidArgument("extractor_scopes size mismatch");
+  }
+
+  CompiledMatrix m;
+  m.num_sources_ = assignment.num_source_groups;
+  m.num_extractor_groups_ = assignment.num_extractor_groups;
+  m.source_infos_ = assignment.source_infos;
+  m.extractor_scopes_ = assignment.extractor_scopes;
+
+  // ---- Pass 1: discover slots ----
+  std::unordered_map<SlotKey, uint32_t, SlotKeyHash> slot_index;
+  slot_index.reserve(n * 2);
+  struct ProtoSlot {
+    SlotKey key;
+    uint8_t provided;
+  };
+  std::vector<ProtoSlot> proto;
+  proto.reserve(n);
+  std::vector<EdgeRec> edges;
+  edges.reserve(n);
+
+  for (size_t o = 0; o < n; ++o) {
+    const RawObservation& obs = data.observations[o];
+    const uint32_t src = assignment.observation_source[o];
+    const uint32_t grp = assignment.observation_extractor[o];
+    if (src >= m.num_sources_) {
+      return Status::OutOfRange("observation_source out of range");
+    }
+    if (grp >= m.num_extractor_groups_) {
+      return Status::OutOfRange("observation_extractor out of range");
+    }
+    const SlotKey key{src, obs.item, obs.value};
+    auto [it, inserted] = slot_index.emplace(
+        key, static_cast<uint32_t>(proto.size()));
+    if (inserted) {
+      proto.push_back(ProtoSlot{key, obs.provided ? uint8_t{1} : uint8_t{0}});
+    } else if (obs.provided) {
+      proto[it->second].provided = 1;
+    }
+    edges.push_back(EdgeRec{it->second, grp, obs.confidence});
+  }
+
+  // ---- Pass 2: order slots by item, assign dense item indices ----
+  const size_t num_slots = proto.size();
+  std::vector<uint32_t> order(num_slots);
+  for (uint32_t i = 0; i < num_slots; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&proto](uint32_t a, uint32_t b) {
+    if (proto[a].key.item != proto[b].key.item) {
+      return proto[a].key.item < proto[b].key.item;
+    }
+    if (proto[a].key.source != proto[b].key.source) {
+      return proto[a].key.source < proto[b].key.source;
+    }
+    return proto[a].key.value < proto[b].key.value;
+  });
+  std::vector<uint32_t> new_id(num_slots);
+  for (uint32_t pos = 0; pos < num_slots; ++pos) new_id[order[pos]] = pos;
+
+  m.slot_source_.resize(num_slots);
+  m.slot_item_.resize(num_slots);
+  m.slot_value_.resize(num_slots);
+  m.slot_website_.resize(num_slots);
+  m.slot_predicate_.resize(num_slots);
+  m.slot_provided_.resize(num_slots);
+
+  kb::DataItemId prev_item = 0;
+  for (uint32_t pos = 0; pos < num_slots; ++pos) {
+    const ProtoSlot& p = proto[order[pos]];
+    if (pos == 0 || p.key.item != prev_item) {
+      m.item_ids_.push_back(p.key.item);
+      m.item_offsets_.push_back(pos);
+      m.item_num_false_.push_back(data.NumFalseValues(p.key.item));
+      prev_item = p.key.item;
+    }
+    m.slot_source_[pos] = p.key.source;
+    m.slot_item_[pos] = static_cast<uint32_t>(m.item_ids_.size() - 1);
+    m.slot_value_[pos] = p.key.value;
+    m.slot_website_[pos] = m.source_infos_[p.key.source].website;
+    m.slot_predicate_[pos] = kb::DataItemPredicate(p.key.item);
+    m.slot_provided_[pos] = p.provided;
+  }
+  m.item_offsets_.push_back(static_cast<uint32_t>(num_slots));
+
+  // ---- Pass 3: collapse duplicate (slot, group) edges, keep max conf ----
+  for (EdgeRec& e : edges) e.slot = new_id[e.slot];
+  std::sort(edges.begin(), edges.end(), [](const EdgeRec& a, const EdgeRec& b) {
+    if (a.slot != b.slot) return a.slot < b.slot;
+    if (a.group != b.group) return a.group < b.group;
+    return a.conf > b.conf;  // Max-conf first so unique keeps it.
+  });
+  std::vector<EdgeRec> dedup;
+  dedup.reserve(edges.size());
+  for (const EdgeRec& e : edges) {
+    if (!dedup.empty() && dedup.back().slot == e.slot &&
+        dedup.back().group == e.group) {
+      continue;
+    }
+    dedup.push_back(e);
+  }
+
+  const size_t num_edges = dedup.size();
+  m.slot_ext_offsets_.assign(num_slots + 1, 0);
+  for (const EdgeRec& e : dedup) m.slot_ext_offsets_[e.slot + 1]++;
+  for (size_t i = 1; i <= num_slots; ++i) {
+    m.slot_ext_offsets_[i] += m.slot_ext_offsets_[i - 1];
+  }
+  m.ext_group_.resize(num_edges);
+  m.ext_conf_.resize(num_edges);
+  m.ext_slot_.resize(num_edges);
+  // dedup is already sorted by slot, so a single linear copy fills CSR order.
+  for (size_t i = 0; i < num_edges; ++i) {
+    m.ext_group_[i] = dedup[i].group;
+    m.ext_conf_[i] = dedup[i].conf;
+    m.ext_slot_[i] = dedup[i].slot;
+  }
+
+  // ---- Pass 4: source CSR over slots ----
+  m.source_offsets_.assign(m.num_sources_ + 1, 0);
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    m.source_offsets_[m.slot_source_[s] + 1]++;
+  }
+  for (size_t i = 1; i <= m.num_sources_; ++i) {
+    m.source_offsets_[i] += m.source_offsets_[i - 1];
+  }
+  m.source_slot_index_.resize(num_slots);
+  {
+    std::vector<uint32_t> cursor(m.source_offsets_.begin(),
+                                 m.source_offsets_.end() - 1);
+    for (uint32_t s = 0; s < num_slots; ++s) {
+      m.source_slot_index_[cursor[m.slot_source_[s]]++] = s;
+    }
+  }
+
+  // ---- Pass 5: extractor CSR over edges ----
+  m.extractor_offsets_.assign(m.num_extractor_groups_ + 1, 0);
+  for (size_t e = 0; e < num_edges; ++e) {
+    m.extractor_offsets_[m.ext_group_[e] + 1]++;
+  }
+  for (size_t i = 1; i <= m.num_extractor_groups_; ++i) {
+    m.extractor_offsets_[i] += m.extractor_offsets_[i - 1];
+  }
+  m.extractor_edge_index_.resize(num_edges);
+  {
+    std::vector<uint32_t> cursor(m.extractor_offsets_.begin(),
+                                 m.extractor_offsets_.end() - 1);
+    for (uint32_t e = 0; e < num_edges; ++e) {
+      m.extractor_edge_index_[cursor[m.ext_group_[e]]++] = e;
+    }
+  }
+
+  return m;
+}
+
+}  // namespace kbt::extract

@@ -1,0 +1,164 @@
+#ifndef KBT_EXTRACT_OBSERVATION_MATRIX_H_
+#define KBT_EXTRACT_OBSERVATION_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "extract/raw_dataset.h"
+#include "kb/ids.h"
+
+namespace kbt::extract {
+
+/// Wildcard marker for scope dimensions.
+inline constexpr uint32_t kAnyScope = kb::kInvalidId;
+
+/// The (predicate, website) region an extractor group is responsible for.
+/// Absence votes (Eq. 13/14) are cast by every group whose scope covers a
+/// slot — an extractor that *could* have extracted a triple but did not is
+/// evidence against it. Scopes let merged groups cover wider regions and
+/// keep the absence universe well-defined at any granularity:
+///   finest  <extractor, pattern, predicate, website>: one predicate+website;
+///   merged  <extractor, pattern, predicate>          : one predicate, any site;
+///   merged  <extractor, pattern> / <extractor>       : everything.
+struct ExtractorScope {
+  uint32_t predicate = kAnyScope;
+  uint32_t website = kAnyScope;
+  /// Down-weights absence votes of split sub-groups (a bucket holding 1/k of
+  /// a giant group casts 1/k of its absence evidence, so splitting does not
+  /// multiply absence mass k times).
+  double absence_weight = 1.0;
+};
+
+/// Metadata of one source group (a "web source" w at the chosen
+/// granularity). Groups never span websites, so each carries its site.
+struct SourceGroupInfo {
+  uint32_t website = kb::kInvalidId;
+};
+
+/// Mapping from raw observations to source groups and extractor groups.
+/// Produced by the granularity layer (finest / page / site / SPLITANDMERGE)
+/// and consumed by CompiledMatrix::Build.
+struct GroupAssignment {
+  uint32_t num_source_groups = 0;
+  uint32_t num_extractor_groups = 0;
+  /// Per raw observation (parallel to RawDataset::observations).
+  std::vector<uint32_t> observation_source;
+  std::vector<uint32_t> observation_extractor;
+  std::vector<SourceGroupInfo> source_infos;
+  std::vector<ExtractorScope> extractor_scopes;
+};
+
+/// The compiled, index-complete form of the observation cube at a fixed
+/// granularity. All inference (multi-layer and single-layer) runs on this.
+///
+/// Terminology:
+///  * a *slot* is one (source w, data item d, value v) triple — the unit
+///    carrying the latent C_wdv;
+///  * an *extraction* is one (slot, extractor group, confidence) edge — the
+///    observed X_ewdv (confidence-weighted, Section 3.5);
+///  * an *item* is one data item d, whose slots across sources vote on V_d.
+class CompiledMatrix {
+ public:
+  /// Compiles `data` under `assignment`. Duplicate (slot, extractor) edges
+  /// are collapsed keeping the maximum confidence.
+  static StatusOr<CompiledMatrix> Build(const RawDataset& data,
+                                        const GroupAssignment& assignment);
+
+  // ---- Sizes ----
+  size_t num_slots() const { return slot_source_.size(); }
+  size_t num_items() const { return item_ids_.size(); }
+  size_t num_extractions() const { return ext_group_.size(); }
+  uint32_t num_sources() const { return num_sources_; }
+  uint32_t num_extractor_groups() const { return num_extractor_groups_; }
+
+  // ---- Per-slot ----
+  uint32_t slot_source(size_t s) const { return slot_source_[s]; }
+  uint32_t slot_item(size_t s) const { return slot_item_[s]; }
+  kb::ValueId slot_value(size_t s) const { return slot_value_[s]; }
+  uint32_t slot_website(size_t s) const { return slot_website_[s]; }
+  uint32_t slot_predicate(size_t s) const { return slot_predicate_[s]; }
+  /// Ground-truth C* for synthetic data: > 0 when any constituent raw
+  /// observation was really provided by the page(s) behind this slot.
+  bool slot_provided_truth(size_t s) const { return slot_provided_[s] != 0; }
+
+  /// Extractions of slot `s`: [begin, end) into ext_group()/ext_conf().
+  std::pair<uint32_t, uint32_t> SlotExtractions(size_t s) const {
+    return {slot_ext_offsets_[s], slot_ext_offsets_[s + 1]};
+  }
+  const std::vector<uint32_t>& ext_group() const { return ext_group_; }
+  const std::vector<float>& ext_conf() const { return ext_conf_; }
+  /// Slot owning extraction edge `e` (inverse of SlotExtractions).
+  uint32_t ext_slot(size_t e) const { return ext_slot_[e]; }
+
+  // ---- Per-item ----
+  kb::DataItemId item_id(size_t i) const { return item_ids_[i]; }
+  int item_num_false(size_t i) const { return item_num_false_[i]; }
+  /// Slots of item `i`: [begin, end) into slot indices (slots are stored
+  /// contiguously by item, so this is a plain range of slot ids).
+  std::pair<uint32_t, uint32_t> ItemSlots(size_t i) const {
+    return {item_offsets_[i], item_offsets_[i + 1]};
+  }
+
+  // ---- Per-source ----
+  /// Slot ids of source group `w`.
+  std::pair<uint32_t, uint32_t> SourceSlots(uint32_t w) const {
+    return {source_offsets_[w], source_offsets_[w + 1]};
+  }
+  const std::vector<uint32_t>& source_slot_index() const {
+    return source_slot_index_;
+  }
+  const SourceGroupInfo& source_info(uint32_t w) const {
+    return source_infos_[w];
+  }
+
+  // ---- Per-extractor-group ----
+  /// Extraction edge ids of group `e`.
+  std::pair<uint32_t, uint32_t> ExtractorEdges(uint32_t e) const {
+    return {extractor_offsets_[e], extractor_offsets_[e + 1]};
+  }
+  const std::vector<uint32_t>& extractor_edge_index() const {
+    return extractor_edge_index_;
+  }
+  const ExtractorScope& extractor_scope(uint32_t e) const {
+    return extractor_scopes_[e];
+  }
+
+ private:
+  uint32_t num_sources_ = 0;
+  uint32_t num_extractor_groups_ = 0;
+
+  // Slots, stored contiguously grouped by item.
+  std::vector<uint32_t> slot_source_;
+  std::vector<uint32_t> slot_item_;
+  std::vector<kb::ValueId> slot_value_;
+  std::vector<uint32_t> slot_website_;
+  std::vector<uint32_t> slot_predicate_;
+  std::vector<uint8_t> slot_provided_;
+  std::vector<uint32_t> slot_ext_offsets_;
+
+  // Extraction edges, aligned with slot_ext_offsets_.
+  std::vector<uint32_t> ext_group_;
+  std::vector<float> ext_conf_;
+  std::vector<uint32_t> ext_slot_;
+
+  // Items.
+  std::vector<kb::DataItemId> item_ids_;
+  std::vector<int> item_num_false_;
+  std::vector<uint32_t> item_offsets_;
+
+  // Source CSR.
+  std::vector<uint32_t> source_offsets_;
+  std::vector<uint32_t> source_slot_index_;
+  std::vector<SourceGroupInfo> source_infos_;
+
+  // Extractor CSR (indices into extraction edges).
+  std::vector<uint32_t> extractor_offsets_;
+  std::vector<uint32_t> extractor_edge_index_;
+  std::vector<ExtractorScope> extractor_scopes_;
+};
+
+}  // namespace kbt::extract
+
+#endif  // KBT_EXTRACT_OBSERVATION_MATRIX_H_

@@ -1,0 +1,60 @@
+#ifndef KBT_EXTRACT_RAW_DATASET_H_
+#define KBT_EXTRACT_RAW_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/ids.h"
+
+namespace kbt::extract {
+
+/// One extraction event: extractor `extractor` using `pattern` claims that
+/// page `page` (of `website`) states (item, value), with a confidence score.
+/// `provided` is the synthetic ground truth C*_wdv (whether the page really
+/// states that triple); it is hidden from inference and used only for
+/// evaluation.
+struct RawObservation {
+  kb::ExtractorId extractor = kb::kInvalidId;
+  kb::PatternId pattern = kb::kInvalidId;
+  kb::WebsiteId website = kb::kInvalidId;
+  kb::PageId page = kb::kInvalidId;
+  kb::DataItemId item = 0;
+  kb::ValueId value = kb::kInvalidId;
+  float confidence = 1.0f;
+  bool provided = false;
+};
+
+/// The full set of extraction events for one experiment, together with the
+/// bookkeeping inference needs (domain sizes) and evaluation needs (true
+/// values). This is the X = {X_ewdv} of the paper in sparse form; everything
+/// downstream (granularity selection, compilation, inference) reads it.
+struct RawDataset {
+  std::vector<RawObservation> observations;
+
+  /// World truth V*_d for data items (synthetic gold; partial KBs used for
+  /// LCWA labels are carried separately by the eval layer).
+  std::unordered_map<kb::DataItemId, kb::ValueId> true_values;
+
+  /// n (number of false values) per predicate, indexed by PredicateId.
+  std::vector<int> num_false_by_predicate;
+
+  uint32_t num_websites = 0;
+  uint32_t num_pages = 0;
+  uint32_t num_extractors = 0;
+  uint32_t num_patterns = 0;
+
+  size_t size() const { return observations.size(); }
+
+  /// n for a data item, falling back to `fallback` for unknown predicates.
+  int NumFalseValues(kb::DataItemId item, int fallback = 10) const {
+    const kb::PredicateId p = kb::DataItemPredicate(item);
+    if (p < num_false_by_predicate.size()) return num_false_by_predicate[p];
+    return fallback;
+  }
+};
+
+}  // namespace kbt::extract
+
+#endif  // KBT_EXTRACT_RAW_DATASET_H_

@@ -1,0 +1,236 @@
+#include "fusion/single_layer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/math.h"
+
+namespace kbt::fusion {
+
+namespace {
+
+using core::ValueModel;
+using extract::CompiledMatrix;
+
+void ForRange(dataflow::Executor* ex, size_t n,
+              const std::function<void(size_t, size_t)>& fn) {
+  if (ex != nullptr) {
+    ex->ParallelForRanges(n, fn);
+  } else if (n > 0) {
+    fn(0, n);
+  }
+}
+
+void ForGroups(dataflow::Executor* ex, size_t n,
+               const std::function<void(size_t)>& fn) {
+  if (ex != nullptr) {
+    ex->ParallelForGroups(n, fn);
+  } else {
+    for (size_t g = 0; g < n; ++g) fn(g);
+  }
+}
+
+}  // namespace
+
+StatusOr<SingleLayerResult> SingleLayerModel::Run(
+    const CompiledMatrix& matrix, const SingleLayerConfig& config,
+    const std::vector<double>& initial_accuracy, dataflow::Executor* executor,
+    dataflow::StageTimers* timers, const std::vector<uint8_t>& initial_trusted) {
+  const size_t num_slots = matrix.num_slots();
+  const size_t num_items = matrix.num_items();
+  const uint32_t num_sources = matrix.num_sources();
+
+  if (!initial_accuracy.empty() && initial_accuracy.size() != num_sources) {
+    return Status::InvalidArgument("initial_accuracy size mismatch");
+  }
+  if (!initial_trusted.empty() && initial_trusted.size() != num_sources) {
+    return Status::InvalidArgument("initial_trusted size mismatch");
+  }
+  if (config.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  const auto clampP = [&config](double p) {
+    return Clamp(p, config.min_probability, config.max_probability);
+  };
+
+  SingleLayerResult r;
+  r.source_accuracy.assign(num_sources, config.default_accuracy);
+  if (!initial_accuracy.empty()) {
+    for (uint32_t s = 0; s < num_sources; ++s) {
+      r.source_accuracy[s] = clampP(initial_accuracy[s]);
+    }
+  }
+  r.source_supported.assign(num_sources, 0);
+  for (uint32_t w = 0; w < num_sources; ++w) {
+    const auto [b, e] = matrix.SourceSlots(w);
+    const bool trusted = !initial_trusted.empty() && initial_trusted[w] != 0;
+    r.source_supported[w] =
+        (trusted || static_cast<int>(e - b) >= config.min_source_support)
+            ? 1
+            : 0;
+  }
+  r.slot_value_prob.assign(num_slots, 0.5);
+  r.slot_covered.assign(num_slots, 0);
+  r.item_unobserved_value_prob.assign(num_items, 0.0);
+
+  // Claim weight per slot: max extraction confidence (the provenance's own
+  // confidence in the claim), or a 0/1 threshold.
+  std::vector<double> claim_weight(num_slots, 0.0);
+  for (size_t s = 0; s < num_slots; ++s) {
+    const auto [eb, ee] = matrix.SlotExtractions(s);
+    float best = 0.0f;
+    for (uint32_t e = eb; e < ee; ++e) {
+      best = std::max(best, matrix.ext_conf()[e]);
+    }
+    claim_weight[s] = config.use_confidence_weights
+                          ? best
+                          : (best > config.confidence_threshold ? 1.0 : 0.0);
+  }
+
+  // POPACCU popularity.
+  std::vector<double> slot_popularity;
+  if (config.value_model == ValueModel::kPopAccu) {
+    slot_popularity.resize(num_slots, 0.0);
+    for (size_t i = 0; i < num_items; ++i) {
+      const auto [b, e] = matrix.ItemSlots(i);
+      std::unordered_map<uint32_t, double> counts;
+      for (uint32_t s = b; s < e; ++s) counts[matrix.slot_value(s)] += 1.0;
+      const double total = static_cast<double>(e - b);
+      for (uint32_t s = b; s < e; ++s) {
+        slot_popularity[s] = counts[matrix.slot_value(s)] / total;
+      }
+    }
+  }
+
+  std::mutex delta_mutex;
+  for (int iteration = 1; iteration <= config.max_iterations; ++iteration) {
+    double max_delta = 0.0;
+
+    // ---- E step: p(V_d | X, A), Eq. 2 ----
+    {
+      std::unique_ptr<dataflow::StageTimers::Scope> t;
+      if (timers) {
+        t = std::make_unique<dataflow::StageTimers::Scope>(
+            *timers, "SL.TriplePr");
+      }
+      ForRange(executor, num_items, [&](size_t begin, size_t end) {
+        double local_delta = 0.0;
+        std::vector<uint32_t> values;
+        std::vector<double> value_votes;
+        for (size_t i = begin; i < end; ++i) {
+          const auto [b, e] = matrix.ItemSlots(i);
+          values.clear();
+          value_votes.clear();
+          bool covered = false;
+          const int n = config.num_false_override >= 1
+                            ? config.num_false_override
+                            : matrix.item_num_false(i);
+          for (uint32_t s = b; s < e; ++s) {
+            const uint32_t w = matrix.slot_source(s);
+            double vote = 0.0;
+            if (r.source_supported[w] && claim_weight[s] > 0.0) {
+              covered = true;
+              if (config.value_model == ValueModel::kAccu) {
+                vote = claim_weight[s] * SourceVote(r.source_accuracy[w], n);
+              } else {
+                const double a = ClampProbability(r.source_accuracy[w]);
+                vote = claim_weight[s] * (std::log(a / (1.0 - a)) -
+                                          SafeLog(slot_popularity[s]));
+              }
+            }
+            const uint32_t v = matrix.slot_value(s);
+            size_t vi = 0;
+            for (; vi < values.size(); ++vi) {
+              if (values[vi] == v) break;
+            }
+            if (vi == values.size()) {
+              values.push_back(v);
+              value_votes.push_back(0.0);
+            }
+            value_votes[vi] += vote;
+          }
+
+          const int unobserved =
+              std::max(0, n + 1 - static_cast<int>(values.size()));
+          std::vector<double> log_terms(value_votes);
+          if (unobserved > 0) {
+            log_terms.push_back(std::log(static_cast<double>(unobserved)));
+          }
+          const double log_z = LogSumExp(log_terms);
+          r.item_unobserved_value_prob[i] =
+              unobserved > 0 ? std::exp(-log_z) : 0.0;
+
+          for (uint32_t s = b; s < e; ++s) {
+            const uint32_t v = matrix.slot_value(s);
+            size_t vi = 0;
+            for (; vi < values.size(); ++vi) {
+              if (values[vi] == v) break;
+            }
+            const double pv = std::exp(value_votes[vi] - log_z);
+            local_delta =
+                std::max(local_delta, std::fabs(pv - r.slot_value_prob[s]));
+            r.slot_value_prob[s] = pv;
+            r.slot_covered[s] = covered ? 1 : 0;
+          }
+        }
+        std::lock_guard<std::mutex> lock(delta_mutex);
+        max_delta = std::max(max_delta, local_delta);
+      });
+    }
+
+    // ---- M step: A_s, Eq. 4 ----
+    {
+      std::unique_ptr<dataflow::StageTimers::Scope> t;
+      if (timers) {
+        t = std::make_unique<dataflow::StageTimers::Scope>(
+            *timers, "SL.SrcAccu");
+      }
+      ForGroups(executor, num_sources, [&](size_t w) {
+        if (!r.source_supported[w]) return;
+        const auto [b, e] = matrix.SourceSlots(static_cast<uint32_t>(w));
+        double num = 0.0;
+        double den = 0.0;
+        for (uint32_t k = b; k < e; ++k) {
+          const uint32_t s = matrix.source_slot_index()[k];
+          num += claim_weight[s] * r.slot_value_prob[s];
+          den += claim_weight[s];
+        }
+        if (den > 1e-12) r.source_accuracy[w] = clampP(num / den);
+      });
+    }
+
+    r.iterations = iteration;
+    if (max_delta < config.convergence_tol) {
+      r.converged = true;
+      break;
+    }
+  }
+
+  return r;
+}
+
+std::vector<double> AccuracyByWebsite(const extract::CompiledMatrix& matrix,
+                                      const std::vector<double>& slot_probs,
+                                      uint32_t num_websites,
+                                      double default_accuracy) {
+  std::vector<double> sums(num_websites, 0.0);
+  std::vector<double> counts(num_websites, 0.0);
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    const uint32_t site = matrix.slot_website(s);
+    if (site >= num_websites) continue;
+    sums[site] += slot_probs[s];
+    counts[site] += 1.0;
+  }
+  std::vector<double> out(num_websites, default_accuracy);
+  for (uint32_t w = 0; w < num_websites; ++w) {
+    if (counts[w] > 0.0) out[w] = sums[w] / counts[w];
+  }
+  return out;
+}
+
+}  // namespace kbt::fusion

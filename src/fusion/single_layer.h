@@ -1,0 +1,83 @@
+#ifndef KBT_FUSION_SINGLE_LAYER_H_
+#define KBT_FUSION_SINGLE_LAYER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/parallel.h"
+#include "dataflow/stage_timer.h"
+#include "extract/observation_matrix.h"
+#include "core/multilayer_config.h"
+
+namespace kbt::fusion {
+
+/// Configuration of the single-layer baseline (Section 2.2), the
+/// state-of-the-art knowledge-fusion method of Dong et al. PVLDB'14 that the
+/// paper compares against. The paper's settings: each source is the
+/// provenance 4-tuple <extractor, website, predicate, pattern>, n = 100,
+/// 5 iterations.
+struct SingleLayerConfig {
+  int max_iterations = 5;
+  double convergence_tol = 1e-4;
+  double default_accuracy = 0.8;
+  /// n for Eq. (1); the paper uses 100 for the single-layer model. < 1 uses
+  /// the per-item schema value.
+  int num_false_override = 100;
+  core::ValueModel value_model = core::ValueModel::kAccu;
+  /// Weight claims by extraction confidence; when false, threshold at
+  /// `confidence_threshold`.
+  bool use_confidence_weights = true;
+  double confidence_threshold = 0.0;
+  /// Provenances with fewer claims keep default accuracy and are excluded
+  /// from fusion (the paper's coverage rule, Section 5.1.2).
+  int min_source_support = 3;
+  double min_probability = 1e-4;
+  double max_probability = 1.0 - 1e-4;
+};
+
+/// Output of the single-layer EM.
+struct SingleLayerResult {
+  /// A_s per provenance group ((w,e) pair at the configured granularity).
+  std::vector<double> source_accuracy;
+  std::vector<uint8_t> source_supported;
+  /// p(V_d = v_slot | X) per claim slot.
+  std::vector<double> slot_value_prob;
+  std::vector<uint8_t> slot_covered;
+  /// Probability mass per item left to each unobserved domain value.
+  std::vector<double> item_unobserved_value_prob;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// The ACCU/POPACCU single-layer EM of Section 2.2 (Eqs. 1-4). It runs on a
+/// CompiledMatrix whose *source groups are provenances*
+/// (granularity::ProvenanceAssignment); the extraction layer of the matrix
+/// is ignored — an extracted triple is taken at face value as a claim of its
+/// provenance, which is exactly the baseline's weakness the multi-layer
+/// model fixes.
+class SingleLayerModel {
+ public:
+  /// `initial_trusted` marks provenances whose accuracy was anchored by a
+  /// gold standard; they participate even below min_source_support (the
+  /// paper's "accuracy does not remain default" coverage rule).
+  static StatusOr<SingleLayerResult> Run(
+      const extract::CompiledMatrix& matrix, const SingleLayerConfig& config,
+      const std::vector<double>& initial_accuracy = {},
+      dataflow::Executor* executor = nullptr,
+      dataflow::StageTimers* timers = nullptr,
+      const std::vector<uint8_t>& initial_trusted = {});
+};
+
+/// Mean predicted truth probability of all claim slots grouped by website:
+/// the baseline's way of scoring a web source, "considering all extracted
+/// triples as provided by the source" (used for the SqA comparison in
+/// Figure 3 and the single-layer KBT proxy).
+std::vector<double> AccuracyByWebsite(const extract::CompiledMatrix& matrix,
+                                      const std::vector<double>& slot_probs,
+                                      uint32_t num_websites,
+                                      double default_accuracy);
+
+}  // namespace kbt::fusion
+
+#endif  // KBT_FUSION_SINGLE_LAYER_H_

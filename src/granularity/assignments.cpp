@@ -1,0 +1,259 @@
+#include "granularity/assignments.h"
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <unordered_map>
+
+namespace kbt::granularity {
+
+namespace {
+
+using extract::ExtractorScope;
+using extract::GroupAssignment;
+using extract::kAnyScope;
+using extract::RawDataset;
+using extract::RawObservation;
+using extract::SourceGroupInfo;
+
+/// Dense-id interning over arbitrary ordered tuples.
+template <typename Key>
+class KeyInterner {
+ public:
+  uint32_t Intern(const Key& key) {
+    const auto [it, inserted] =
+        index_.emplace(key, static_cast<uint32_t>(index_.size()));
+    (void)inserted;
+    return it->second;
+  }
+  size_t size() const { return index_.size(); }
+  const std::map<Key, uint32_t>& index() const { return index_; }
+
+ private:
+  std::map<Key, uint32_t> index_;
+};
+
+}  // namespace
+
+GroupAssignment FinestAssignment(const RawDataset& data) {
+  GroupAssignment out;
+  out.observation_source.resize(data.size());
+  out.observation_extractor.resize(data.size());
+
+  using SourceKey = std::tuple<uint32_t, uint32_t, uint32_t>;  // site,pred,page
+  using ExtractorKey =
+      std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>;  // e,pat,pred,site
+  KeyInterner<SourceKey> sources;
+  KeyInterner<ExtractorKey> extractors;
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    const RawObservation& o = data.observations[i];
+    const uint32_t pred = kb::DataItemPredicate(o.item);
+    const uint32_t src =
+        sources.Intern(SourceKey{o.website, pred, o.page});
+    const uint32_t ext = extractors.Intern(
+        ExtractorKey{o.extractor, o.pattern, pred, o.website});
+    out.observation_source[i] = src;
+    out.observation_extractor[i] = ext;
+  }
+
+  out.num_source_groups = static_cast<uint32_t>(sources.size());
+  out.source_infos.resize(out.num_source_groups);
+  for (const auto& [key, id] : sources.index()) {
+    out.source_infos[id].website = std::get<0>(key);
+  }
+  out.num_extractor_groups = static_cast<uint32_t>(extractors.size());
+  out.extractor_scopes.resize(out.num_extractor_groups);
+  for (const auto& [key, id] : extractors.index()) {
+    out.extractor_scopes[id].predicate = std::get<2>(key);
+    out.extractor_scopes[id].website = std::get<3>(key);
+  }
+  return out;
+}
+
+GroupAssignment PageSourcePlainExtractor(const RawDataset& data) {
+  GroupAssignment out;
+  out.observation_source.resize(data.size());
+  out.observation_extractor.resize(data.size());
+
+  KeyInterner<uint32_t> sources;
+  KeyInterner<uint32_t> extractors;
+  std::vector<uint32_t> source_site;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const RawObservation& o = data.observations[i];
+    const uint32_t src = sources.Intern(o.page);
+    if (src >= source_site.size()) source_site.push_back(o.website);
+    out.observation_source[i] = src;
+    out.observation_extractor[i] = extractors.Intern(o.extractor);
+  }
+  out.num_source_groups = static_cast<uint32_t>(sources.size());
+  out.source_infos.resize(out.num_source_groups);
+  for (const auto& [page, id] : sources.index()) {
+    (void)page;
+    out.source_infos[id].website = source_site[id];
+  }
+  out.num_extractor_groups = static_cast<uint32_t>(extractors.size());
+  out.extractor_scopes.assign(out.num_extractor_groups, ExtractorScope{});
+  return out;
+}
+
+GroupAssignment WebsiteSourceAssignment(const RawDataset& data) {
+  GroupAssignment out;
+  out.observation_source.resize(data.size());
+  out.observation_extractor.resize(data.size());
+
+  KeyInterner<uint32_t> sources;
+  KeyInterner<uint32_t> extractors;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const RawObservation& o = data.observations[i];
+    out.observation_source[i] = sources.Intern(o.website);
+    out.observation_extractor[i] = extractors.Intern(o.extractor);
+  }
+  out.num_source_groups = static_cast<uint32_t>(sources.size());
+  out.source_infos.resize(out.num_source_groups);
+  for (const auto& [site, id] : sources.index()) {
+    out.source_infos[id].website = site;
+  }
+  out.num_extractor_groups = static_cast<uint32_t>(extractors.size());
+  out.extractor_scopes.assign(out.num_extractor_groups, ExtractorScope{});
+  return out;
+}
+
+GroupAssignment ProvenanceAssignment(const RawDataset& data) {
+  GroupAssignment out;
+  out.observation_source.resize(data.size());
+  out.observation_extractor.assign(data.size(), 0);
+
+  using ProvKey = std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>;
+  KeyInterner<ProvKey> provenances;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const RawObservation& o = data.observations[i];
+    const uint32_t pred = kb::DataItemPredicate(o.item);
+    out.observation_source[i] = provenances.Intern(
+        ProvKey{o.extractor, o.website, pred, o.pattern});
+  }
+  out.num_source_groups = static_cast<uint32_t>(provenances.size());
+  out.source_infos.resize(out.num_source_groups);
+  for (const auto& [key, id] : provenances.index()) {
+    out.source_infos[id].website = std::get<1>(key);
+  }
+  out.num_extractor_groups = 1;
+  out.extractor_scopes.assign(1, ExtractorScope{});
+  return out;
+}
+
+StatusOr<GroupAssignment> SplitMergeAssignment(
+    const RawDataset& data, const SplitMergeOptions& source_options,
+    const SplitMergeOptions& extractor_options,
+    dataflow::StageTimers* timers) {
+  GroupAssignment out;
+  out.observation_source.resize(data.size());
+  out.observation_extractor.resize(data.size());
+
+  // ---------- Source side ----------
+  {
+    std::unique_ptr<dataflow::StageTimers::Scope> scope;
+    if (timers != nullptr) {
+      scope = std::make_unique<dataflow::StageTimers::Scope>(*timers,
+                                                             "Prep.Source");
+    }
+    // Atoms are distinct (leaf, item, value) slots; observations reference
+    // their atom so they can follow it to its final group.
+    using LeafKey = std::tuple<uint32_t, uint32_t, uint32_t>;  // site,pred,page
+    using AtomKey = std::tuple<uint32_t, uint64_t, uint32_t>;  // leaf,item,val
+    KeyInterner<LeafKey> leaf_ids;
+    std::map<AtomKey, uint64_t> atom_ids;
+    std::vector<uint64_t> observation_atom(data.size());
+    std::vector<std::vector<uint64_t>> leaf_atoms;
+    std::vector<LeafKey> leaf_keys;
+
+    for (size_t i = 0; i < data.size(); ++i) {
+      const RawObservation& o = data.observations[i];
+      const uint32_t pred = kb::DataItemPredicate(o.item);
+      const LeafKey lkey{o.website, pred, o.page};
+      const uint32_t leaf = leaf_ids.Intern(lkey);
+      if (leaf >= leaf_atoms.size()) {
+        leaf_atoms.emplace_back();
+        leaf_keys.push_back(lkey);
+      }
+      const AtomKey akey{leaf, o.item, o.value};
+      const auto [it, inserted] =
+          atom_ids.emplace(akey, static_cast<uint64_t>(atom_ids.size()));
+      if (inserted) leaf_atoms[leaf].push_back(it->second);
+      observation_atom[i] = it->second;
+    }
+
+    std::vector<LeafNode> leaves(leaf_atoms.size());
+    for (size_t l = 0; l < leaf_atoms.size(); ++l) {
+      leaves[l].path = {std::get<0>(leaf_keys[l]), std::get<1>(leaf_keys[l]),
+                        std::get<2>(leaf_keys[l])};
+      leaves[l].atoms = std::move(leaf_atoms[l]);
+    }
+    StatusOr<SplitMergeResult> result = SplitAndMerge(leaves, source_options);
+    if (!result.ok()) return result.status();
+
+    out.num_source_groups = result->num_groups;
+    out.source_infos.resize(result->num_groups);
+    for (uint32_t g = 0; g < result->num_groups; ++g) {
+      out.source_infos[g].website =
+          static_cast<uint32_t>(result->groups[g].path_prefix[0]);
+    }
+    for (size_t i = 0; i < data.size(); ++i) {
+      out.observation_source[i] = result->atom_group.at(observation_atom[i]);
+    }
+  }
+
+  // ---------- Extractor side ----------
+  {
+    std::unique_ptr<dataflow::StageTimers::Scope> scope;
+    if (timers != nullptr) {
+      scope = std::make_unique<dataflow::StageTimers::Scope>(*timers,
+                                                             "Prep.Extractor");
+    }
+    using LeafKey = std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>;
+    std::map<LeafKey, std::vector<uint64_t>> leaf_atoms;
+    for (size_t i = 0; i < data.size(); ++i) {
+      const RawObservation& o = data.observations[i];
+      const uint32_t pred = kb::DataItemPredicate(o.item);
+      leaf_atoms[LeafKey{o.extractor, o.pattern, pred, o.website}].push_back(
+          static_cast<uint64_t>(i));
+    }
+    std::vector<LeafNode> leaves;
+    leaves.reserve(leaf_atoms.size());
+    for (auto& [key, atoms] : leaf_atoms) {
+      LeafNode leaf;
+      leaf.path = {std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                   std::get<3>(key)};
+      leaf.atoms = std::move(atoms);
+      leaves.push_back(std::move(leaf));
+    }
+    StatusOr<SplitMergeResult> result =
+        SplitAndMerge(leaves, extractor_options);
+    if (!result.ok()) return result.status();
+
+    out.num_extractor_groups = result->num_groups;
+    out.extractor_scopes.resize(result->num_groups);
+    for (uint32_t g = 0; g < result->num_groups; ++g) {
+      const GroupMeta& meta = result->groups[g];
+      ExtractorScope& scope_out = out.extractor_scopes[g];
+      // path = {extractor, pattern, predicate, website}: level 3 scopes to
+      // (predicate, website); level 2 to (predicate, any); below that the
+      // group covers everything.
+      if (meta.level >= 2) {
+        scope_out.predicate = static_cast<uint32_t>(meta.path_prefix[2]);
+      }
+      if (meta.level >= 3) {
+        scope_out.website = static_cast<uint32_t>(meta.path_prefix[3]);
+      }
+      scope_out.absence_weight = 1.0 / static_cast<double>(meta.num_buckets);
+    }
+    for (size_t i = 0; i < data.size(); ++i) {
+      out.observation_extractor[i] =
+          result->atom_group.at(static_cast<uint64_t>(i));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace kbt::granularity

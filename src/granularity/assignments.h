@@ -1,0 +1,49 @@
+#ifndef KBT_GRANULARITY_ASSIGNMENTS_H_
+#define KBT_GRANULARITY_ASSIGNMENTS_H_
+
+#include "common/status.h"
+#include "dataflow/stage_timer.h"
+#include "extract/observation_matrix.h"
+#include "extract/raw_dataset.h"
+#include "granularity/split_merge.h"
+
+namespace kbt::granularity {
+
+/// Builders producing the GroupAssignment consumed by
+/// extract::CompiledMatrix. They decide what a "web source" w and an
+/// "extractor" e mean for one inference run (Section 4).
+
+/// The paper's finest granularity (the MULTILAYER default of Section 5.1.2):
+/// source = <website, predicate, webpage>,
+/// extractor = <extractor, pattern, predicate, website>.
+extract::GroupAssignment FinestAssignment(const extract::RawDataset& data);
+
+/// Plain granularity for small studies and the motivating example:
+/// source = webpage, extractor = extraction system. This matches the setup
+/// of Tables 2-4 where E1..E5 are whole extractors and W1..W8 whole pages.
+extract::GroupAssignment PageSourcePlainExtractor(
+    const extract::RawDataset& data);
+
+/// Coarse source granularity: source = website, extractor = extraction
+/// system (used for website-level KBT reports).
+extract::GroupAssignment WebsiteSourceAssignment(
+    const extract::RawDataset& data);
+
+/// The single-layer baseline's provenance grouping (Section 5.1.2): each
+/// "source" is the 4-tuple <extractor, website, predicate, pattern>; the
+/// extraction layer is unused (one dummy extractor group).
+extract::GroupAssignment ProvenanceAssignment(const extract::RawDataset& data);
+
+/// Algorithm 2 applied to both hierarchies starting from the finest
+/// granularity. `source_options`/`extractor_options` carry (m, M) per side;
+/// set enable_merge=false for the Table 7 "Split" column. When `timers` is
+/// non-null, preparation costs are recorded under "Prep.Source" and
+/// "Prep.Extractor".
+StatusOr<extract::GroupAssignment> SplitMergeAssignment(
+    const extract::RawDataset& data, const SplitMergeOptions& source_options,
+    const SplitMergeOptions& extractor_options,
+    dataflow::StageTimers* timers = nullptr);
+
+}  // namespace kbt::granularity
+
+#endif  // KBT_GRANULARITY_ASSIGNMENTS_H_

@@ -1,0 +1,106 @@
+#include "granularity/split_merge.h"
+
+#include <algorithm>
+#include <map>
+
+namespace kbt::granularity {
+
+namespace {
+
+/// Node accumulated during staged processing: a key-path prefix plus the
+/// atoms gathered from its (possibly merged) descendants.
+struct PendingNode {
+  std::vector<uint64_t> path_prefix;
+  std::vector<uint64_t> atoms;
+};
+
+void EmitGroup(SplitMergeResult& result, const PendingNode& node,
+               uint32_t bucket, uint32_t num_buckets,
+               const std::vector<uint64_t>& atoms) {
+  const uint32_t group_id = result.num_groups++;
+  GroupMeta meta;
+  meta.level = static_cast<int>(node.path_prefix.size()) - 1;
+  meta.path_prefix = node.path_prefix;
+  meta.bucket = bucket;
+  meta.num_buckets = num_buckets;
+  meta.size = static_cast<uint32_t>(atoms.size());
+  result.groups.push_back(std::move(meta));
+  for (uint64_t atom : atoms) result.atom_group[atom] = group_id;
+}
+
+/// Splits `node` into ceil(size/M) balanced buckets (uniform random
+/// distribution of atoms, exact balance via shuffled round-robin).
+void SplitNode(SplitMergeResult& result, PendingNode& node, size_t max_size,
+               Rng& rng) {
+  const size_t size = node.atoms.size();
+  const size_t num_buckets = (size + max_size - 1) / max_size;
+  rng.Shuffle(node.atoms);
+  std::vector<std::vector<uint64_t>> buckets(num_buckets);
+  for (auto& b : buckets) b.reserve(size / num_buckets + 1);
+  for (size_t i = 0; i < size; ++i) {
+    buckets[i % num_buckets].push_back(node.atoms[i]);
+  }
+  for (size_t b = 0; b < num_buckets; ++b) {
+    EmitGroup(result, node, static_cast<uint32_t>(b),
+              static_cast<uint32_t>(num_buckets), buckets[b]);
+  }
+}
+
+}  // namespace
+
+StatusOr<SplitMergeResult> SplitAndMerge(const std::vector<LeafNode>& leaves,
+                                         const SplitMergeOptions& options) {
+  if (options.min_size > options.max_size) {
+    return Status::InvalidArgument("min_size > max_size");
+  }
+  if (options.max_size == 0) {
+    return Status::InvalidArgument("max_size must be positive");
+  }
+  if (leaves.empty()) return SplitMergeResult{};
+  const size_t depth = leaves.front().path.size();
+  if (depth == 0) return Status::InvalidArgument("empty leaf path");
+  for (const LeafNode& leaf : leaves) {
+    if (leaf.path.size() != depth) {
+      return Status::InvalidArgument("leaves must share path depth");
+    }
+  }
+
+  Rng rng(options.seed);
+  SplitMergeResult result;
+
+  // Stage `level` holds the nodes currently under examination at that level,
+  // keyed by their path prefix (ordered map for determinism).
+  std::map<std::vector<uint64_t>, PendingNode> current;
+  for (const LeafNode& leaf : leaves) {
+    PendingNode& node = current[leaf.path];
+    if (node.path_prefix.empty()) node.path_prefix = leaf.path;
+    node.atoms.insert(node.atoms.end(), leaf.atoms.begin(), leaf.atoms.end());
+  }
+
+  for (int level = static_cast<int>(depth) - 1; level >= 0; --level) {
+    std::map<std::vector<uint64_t>, PendingNode> parents;
+    for (auto& [key, node] : current) {
+      const size_t size = node.atoms.size();
+      if (options.enable_split && size > options.max_size) {
+        SplitNode(result, node, options.max_size, rng);
+      } else if (options.enable_merge && size < options.min_size &&
+                 level > 0) {
+        // Merge into the parent node at level-1.
+        std::vector<uint64_t> parent_key(key.begin(), key.end() - 1);
+        PendingNode& parent = parents[parent_key];
+        if (parent.path_prefix.empty()) parent.path_prefix = parent_key;
+        parent.atoms.insert(parent.atoms.end(), node.atoms.begin(),
+                            node.atoms.end());
+      } else {
+        // Desired size, or a too-small root node (kept as-is per Ln 8-9 of
+        // Algorithm 2).
+        EmitGroup(result, node, 0, 1, node.atoms);
+      }
+    }
+    current = std::move(parents);
+  }
+
+  return result;
+}
+
+}  // namespace kbt::granularity

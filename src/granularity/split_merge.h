@@ -1,0 +1,74 @@
+#ifndef KBT_GRANULARITY_SPLIT_MERGE_H_
+#define KBT_GRANULARITY_SPLIT_MERGE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace kbt::granularity {
+
+/// One finest-granularity node of a source/extractor hierarchy, described by
+/// the chain of keys from root to leaf (e.g. for sources:
+/// path = {website, predicate, webpage}; for extractors:
+/// path = {extractor, pattern, predicate, website}), holding the atoms
+/// (triple slots / extraction events) that belong to it. Leaves with equal
+/// paths must be pre-merged by the caller.
+struct LeafNode {
+  std::vector<uint64_t> path;
+  std::vector<uint64_t> atoms;
+};
+
+/// Metadata of one output group of SPLITANDMERGE.
+struct GroupMeta {
+  /// Hierarchy level of the node this group came from: path_prefix.size()-1.
+  /// A leaf-level group has level = depth-1; a fully merged group has 0.
+  int level = 0;
+  /// Keys from the root down to the node (length level+1).
+  std::vector<uint64_t> path_prefix;
+  /// Which split bucket this group is (0 when the node was not split).
+  uint32_t bucket = 0;
+  /// Total buckets the node was split into (1 when not split).
+  uint32_t num_buckets = 1;
+  /// Number of atoms in this group.
+  uint32_t size = 0;
+};
+
+/// Output of SPLITANDMERGE: a partition of all atoms into groups.
+struct SplitMergeResult {
+  uint32_t num_groups = 0;
+  /// atom id -> final group id.
+  std::unordered_map<uint64_t, uint32_t> atom_group;
+  std::vector<GroupMeta> groups;
+};
+
+/// Options for one side (sources or extractors) of Algorithm 2.
+struct SplitMergeOptions {
+  /// m: nodes smaller than this merge into their parent.
+  size_t min_size = 5;
+  /// M: nodes larger than this split into ceil(size/M) balanced buckets.
+  size_t max_size = 10000;
+  /// Disables merging (the Table 7 "Split" column applies splits only).
+  bool enable_merge = true;
+  /// Disables splitting.
+  bool enable_split = true;
+  uint64_t seed = 99;
+};
+
+/// The paper's Algorithm 2 (SPLITANDMERGE), processed level by level from
+/// the finest granularity to the root:
+///  * a node larger than M is split into ceil(size/M) equal buckets by
+///    uniformly distributing its atoms (Example 4.2 ends with two buckets of
+///    500);
+///  * a node smaller than m is merged into its parent (children sharing a
+///    parent combine); at the root it is kept as-is;
+///  * nodes in [m, M] become groups unchanged.
+/// All leaves must share the same path depth.
+StatusOr<SplitMergeResult> SplitAndMerge(const std::vector<LeafNode>& leaves,
+                                         const SplitMergeOptions& options);
+
+}  // namespace kbt::granularity
+
+#endif  // KBT_GRANULARITY_SPLIT_MERGE_H_

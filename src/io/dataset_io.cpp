@@ -1,0 +1,185 @@
+#include "io/dataset_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace kbt::io {
+
+namespace {
+
+constexpr char kDatasetHeader[] = "# kbt-raw-dataset v1";
+constexpr char kPredictionsHeader[] = "# kbt-predictions v1";
+constexpr char kScoresHeader[] = "# kbt-scores v1";
+
+Status ExpectHeader(std::istream& in, const char* expected) {
+  std::string line;
+  if (!std::getline(in, line) || line != expected) {
+    return Status::InvalidArgument(std::string("missing header '") +
+                                   expected + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteRawDataset(const std::string& path,
+                       const extract::RawDataset& dataset) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << kDatasetHeader << "\n";
+  out << "meta " << dataset.num_websites << " " << dataset.num_pages << " "
+      << dataset.num_extractors << " " << dataset.num_patterns << "\n";
+  for (size_t p = 0; p < dataset.num_false_by_predicate.size(); ++p) {
+    out << "nfalse " << p << " " << dataset.num_false_by_predicate[p] << "\n";
+  }
+  for (const auto& [item, value] : dataset.true_values) {
+    out << "truth " << item << " " << value << "\n";
+  }
+  char buf[64];
+  for (const auto& obs : dataset.observations) {
+    // %.9g round-trips float exactly.
+    std::snprintf(buf, sizeof(buf), "%.9g", obs.confidence);
+    out << "obs " << obs.extractor << " " << obs.pattern << " " << obs.website
+        << " " << obs.page << " " << obs.item << " " << obs.value << " "
+        << buf << " " << (obs.provided ? 1 : 0) << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  KBT_RETURN_IF_ERROR(ExpectHeader(in, kDatasetHeader));
+
+  extract::RawDataset dataset;
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "meta") {
+      fields >> dataset.num_websites >> dataset.num_pages >>
+          dataset.num_extractors >> dataset.num_patterns;
+    } else if (tag == "nfalse") {
+      size_t pred = 0;
+      int n = 0;
+      fields >> pred >> n;
+      if (dataset.num_false_by_predicate.size() <= pred) {
+        dataset.num_false_by_predicate.resize(pred + 1, 10);
+      }
+      dataset.num_false_by_predicate[pred] = n;
+    } else if (tag == "truth") {
+      kb::DataItemId item = 0;
+      kb::ValueId value = 0;
+      fields >> item >> value;
+      dataset.true_values[item] = value;
+    } else if (tag == "obs") {
+      extract::RawObservation obs;
+      int provided = 0;
+      fields >> obs.extractor >> obs.pattern >> obs.website >> obs.page >>
+          obs.item >> obs.value >> obs.confidence >> provided;
+      obs.provided = provided != 0;
+      dataset.observations.push_back(obs);
+    } else {
+      return Status::InvalidArgument("unknown tag '" + tag + "' at line " +
+                                     std::to_string(line_no));
+    }
+    if (fields.fail()) {
+      return Status::InvalidArgument("malformed line " +
+                                     std::to_string(line_no));
+    }
+  }
+  return dataset;
+}
+
+Status WriteTriplePredictions(
+    const std::string& path,
+    const std::vector<eval::TriplePrediction>& predictions) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << kPredictionsHeader << "\n";
+  char buf[64];
+  for (const auto& p : predictions) {
+    std::snprintf(buf, sizeof(buf), "%.17g", p.probability);
+    out << p.item << " " << p.value << " " << buf << " "
+        << (p.covered ? 1 : 0) << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<std::vector<eval::TriplePrediction>> ReadTriplePredictions(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  KBT_RETURN_IF_ERROR(ExpectHeader(in, kPredictionsHeader));
+  std::vector<eval::TriplePrediction> out;
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    eval::TriplePrediction p;
+    int covered = 0;
+    fields >> p.item >> p.value >> p.probability >> covered;
+    if (fields.fail()) {
+      return Status::InvalidArgument("malformed line " +
+                                     std::to_string(line_no));
+    }
+    p.covered = covered != 0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+Status WriteKbtScores(const std::string& path,
+                      const std::vector<core::KbtScore>& scores) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << kScoresHeader << "\n";
+  char kbt_buf[64];
+  char ev_buf[64];
+  for (size_t w = 0; w < scores.size(); ++w) {
+    std::snprintf(kbt_buf, sizeof(kbt_buf), "%.17g", scores[w].kbt);
+    std::snprintf(ev_buf, sizeof(ev_buf), "%.17g", scores[w].evidence);
+    out << w << " " << kbt_buf << " " << ev_buf << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<std::vector<core::KbtScore>> ReadKbtScores(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  KBT_RETURN_IF_ERROR(ExpectHeader(in, kScoresHeader));
+  std::vector<core::KbtScore> out;
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    size_t site = 0;
+    core::KbtScore score;
+    fields >> site >> score.kbt >> score.evidence;
+    if (fields.fail()) {
+      return Status::InvalidArgument("malformed line " +
+                                     std::to_string(line_no));
+    }
+    if (out.size() <= site) out.resize(site + 1);
+    out[site] = score;
+  }
+  return out;
+}
+
+}  // namespace kbt::io

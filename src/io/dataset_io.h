@@ -1,0 +1,51 @@
+#ifndef KBT_IO_DATASET_IO_H_
+#define KBT_IO_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/gold_standard.h"
+#include "extract/raw_dataset.h"
+#include "core/kbt_score.h"
+
+namespace kbt::io {
+
+/// Plain-text (TSV) persistence for the library's main artifacts, so that
+/// extraction cubes can be produced once and re-analyzed, and results can
+/// be consumed by external tooling. Formats are versioned, deterministic
+/// and round-trip exactly (confidences stored with full float precision).
+
+/// Writes a RawDataset:
+///   # kbt-raw-dataset v1
+///   meta <num_websites> <num_pages> <num_extractors> <num_patterns>
+///   nfalse <predicate> <n>              (one per predicate)
+///   truth <item> <value>                (one per known true value)
+///   obs <extractor> <pattern> <website> <page> <item> <value> <conf> <provided>
+Status WriteRawDataset(const std::string& path,
+                       const extract::RawDataset& dataset);
+
+/// Reads a file written by WriteRawDataset.
+StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path);
+
+/// Writes triple predictions:
+///   # kbt-predictions v1
+///   <item> <value> <probability> <covered>
+Status WriteTriplePredictions(
+    const std::string& path,
+    const std::vector<eval::TriplePrediction>& predictions);
+
+StatusOr<std::vector<eval::TriplePrediction>> ReadTriplePredictions(
+    const std::string& path);
+
+/// Writes per-website KBT scores:
+///   # kbt-scores v1
+///   <website> <kbt> <evidence>
+Status WriteKbtScores(const std::string& path,
+                      const std::vector<core::KbtScore>& scores);
+
+StatusOr<std::vector<core::KbtScore>> ReadKbtScores(const std::string& path);
+
+}  // namespace kbt::io
+
+#endif  // KBT_IO_DATASET_IO_H_

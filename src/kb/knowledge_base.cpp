@@ -1,0 +1,105 @@
+#include "kb/knowledge_base.h"
+
+#include <cassert>
+
+namespace kbt::kb {
+
+std::string_view EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson:
+      return "person";
+    case EntityType::kPlace:
+      return "place";
+    case EntityType::kOrganization:
+      return "organization";
+    case EntityType::kCreativeWork:
+      return "creative_work";
+    case EntityType::kNumber:
+      return "number";
+    case EntityType::kDate:
+      return "date";
+    case EntityType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+EntityId KnowledgeBase::AddEntity(std::string name, EntityType type,
+                                  double numeric_value) {
+  const EntityId id = static_cast<EntityId>(entities_.size());
+  entities_.push_back(Entity{std::move(name), type, numeric_value});
+  return id;
+}
+
+PredicateId KnowledgeBase::AddPredicate(PredicateSchema schema) {
+  const PredicateId id = static_cast<PredicateId>(predicates_.size());
+  schema.id = id;
+  predicates_.push_back(std::move(schema));
+  return id;
+}
+
+Status KnowledgeBase::AddFact(EntityId subject, PredicateId predicate,
+                              ValueId object) {
+  if (subject >= entities_.size()) {
+    return Status::InvalidArgument("unknown subject entity");
+  }
+  if (predicate >= predicates_.size()) {
+    return Status::InvalidArgument("unknown predicate");
+  }
+  if (object >= entities_.size()) {
+    return Status::InvalidArgument("unknown object entity");
+  }
+  facts_[MakeDataItem(subject, predicate)] = object;
+  return Status::OK();
+}
+
+std::optional<ValueId> KnowledgeBase::ValueOf(DataItemId d) const {
+  const auto it = facts_.find(d);
+  if (it == facts_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KnowledgeBase::ContainsFact(DataItemId d, ValueId v) const {
+  const auto it = facts_.find(d);
+  return it != facts_.end() && it->second == v;
+}
+
+LcwaLabel KnowledgeBase::Label(DataItemId d, ValueId v) const {
+  const auto it = facts_.find(d);
+  if (it == facts_.end()) return LcwaLabel::kUnknown;
+  return it->second == v ? LcwaLabel::kTrue : LcwaLabel::kFalse;
+}
+
+const std::string& KnowledgeBase::entity_name(EntityId id) const {
+  assert(id < entities_.size());
+  return entities_[id].name;
+}
+
+EntityType KnowledgeBase::entity_type(EntityId id) const {
+  assert(id < entities_.size());
+  return entities_[id].type;
+}
+
+double KnowledgeBase::entity_numeric(EntityId id) const {
+  assert(id < entities_.size());
+  return entities_[id].numeric_value;
+}
+
+const PredicateSchema& KnowledgeBase::predicate(PredicateId id) const {
+  assert(id < predicates_.size());
+  return predicates_[id];
+}
+
+KnowledgeBase KnowledgeBase::SampleSubset(double coverage, Rng& rng) const {
+  KnowledgeBase out;
+  out.entities_ = entities_;
+  out.predicates_ = predicates_;
+  out.facts_.reserve(
+      static_cast<size_t>(static_cast<double>(facts_.size()) * coverage));
+  for (const auto& [item, value] : facts_) {
+    if (rng.Bernoulli(coverage)) out.facts_.emplace(item, value);
+  }
+  return out;
+}
+
+}  // namespace kbt::kb

@@ -1,0 +1,96 @@
+#ifndef KBT_KB_KNOWLEDGE_BASE_H_
+#define KBT_KB_KNOWLEDGE_BASE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "kb/ids.h"
+#include "kb/schema.h"
+
+namespace kbt::kb {
+
+/// Label assigned to a triple by the Local-Closed-World Assumption
+/// (Section 5.3.1): true when present in the KB; false when the KB knows a
+/// different value for the same data item; unknown when the KB has no row
+/// for the data item.
+enum class LcwaLabel : uint8_t {
+  kTrue = 0,
+  kFalse = 1,
+  kUnknown = 2,
+};
+
+/// In-memory single-truth knowledge base, the stand-in for Freebase.
+///
+/// Two roles:
+///  * the *world* KB produced by the corpus generator holds the complete
+///    ground truth (used for exact synthetic-data metrics, Figures 3-4);
+///  * a *partial* KB sampled from the world (SampleSubset) models Freebase's
+///    limited coverage and supplies LCWA gold labels and the smart
+///    initialization of source quality (Table 5's "+" variants).
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  /// Registers an entity (or literal value-entity). `numeric_value` is used
+  /// by the type checker's range rule for kNumber entities.
+  EntityId AddEntity(std::string name, EntityType type,
+                     double numeric_value = std::nan(""));
+
+  /// Registers a predicate; the schema's `id` field is overwritten with the
+  /// assigned id, which is also returned.
+  PredicateId AddPredicate(PredicateSchema schema);
+
+  /// Inserts/overwrites the (single) true value of (subject, predicate).
+  Status AddFact(EntityId subject, PredicateId predicate, ValueId object);
+
+  /// The KB's value for data item `d`, if any.
+  std::optional<ValueId> ValueOf(DataItemId d) const;
+
+  /// True iff the KB contains exactly (subject(d), predicate(d), v).
+  bool ContainsFact(DataItemId d, ValueId v) const;
+
+  /// LCWA label for (d, v) against this KB.
+  LcwaLabel Label(DataItemId d, ValueId v) const;
+
+  size_t num_entities() const { return entities_.size(); }
+  size_t num_predicates() const { return predicates_.size(); }
+  size_t num_facts() const { return facts_.size(); }
+
+  const std::string& entity_name(EntityId id) const;
+  EntityType entity_type(EntityId id) const;
+  double entity_numeric(EntityId id) const;
+  const PredicateSchema& predicate(PredicateId id) const;
+
+  /// All (data item, value) facts, in insertion-independent (hash) order.
+  const std::unordered_map<DataItemId, ValueId>& facts() const {
+    return facts_;
+  }
+
+  /// Builds a partial copy sharing this KB's entity/predicate tables but
+  /// keeping each fact independently with probability `coverage`. Models
+  /// Freebase knowing only a fraction of the world.
+  KnowledgeBase SampleSubset(double coverage, Rng& rng) const;
+
+ private:
+  struct Entity {
+    std::string name;
+    EntityType type;
+    double numeric_value;
+  };
+
+  std::vector<Entity> entities_;
+  std::vector<PredicateSchema> predicates_;
+  std::unordered_map<DataItemId, ValueId> facts_;
+};
+
+}  // namespace kbt::kb
+
+#endif  // KBT_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,47 @@
+#ifndef KBT_KB_SCHEMA_H_
+#define KBT_KB_SCHEMA_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "kb/ids.h"
+
+namespace kbt::kb {
+
+/// Coarse entity types, enough to express the paper's type-checking gold
+/// standard (Section 5.3.1): person/place/organization entities, plus
+/// literal kinds for numeric/date/string objects.
+enum class EntityType : uint8_t {
+  kPerson = 0,
+  kPlace = 1,
+  kOrganization = 2,
+  kCreativeWork = 3,
+  kNumber = 4,
+  kDate = 5,
+  kString = 6,
+};
+
+std::string_view EntityTypeName(EntityType type);
+
+/// Schema of one predicate: the types it connects and the size of its value
+/// domain. `num_false_values` is the paper's n, i.e. |dom(d)| = n + 1.
+struct PredicateSchema {
+  PredicateId id = kInvalidId;
+  std::string name;
+  EntityType subject_type = EntityType::kPerson;
+  EntityType object_type = EntityType::kPlace;
+  /// Single-truth predicates (nationality, date-of-birth). The library
+  /// adopts the paper's single-truth assumption throughout; the flag is
+  /// recorded so corpora can mark set-valued predicates for documentation.
+  bool functional = true;
+  /// n: number of false values in dom(d) (Eq. 1 / Eq. 5 denominator).
+  int num_false_values = 10;
+  /// Valid numeric range for kNumber objects; NaN bounds disable the check.
+  double numeric_min = std::nan("");
+  double numeric_max = std::nan("");
+};
+
+}  // namespace kbt::kb
+
+#endif  // KBT_KB_SCHEMA_H_

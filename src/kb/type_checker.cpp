@@ -1,0 +1,52 @@
+#include "kb/type_checker.h"
+
+#include <cmath>
+
+namespace kbt::kb {
+
+std::string_view TypeViolationName(TypeViolation violation) {
+  switch (violation) {
+    case TypeViolation::kNone:
+      return "none";
+    case TypeViolation::kSubjectEqualsObject:
+      return "subject_equals_object";
+    case TypeViolation::kSubjectTypeMismatch:
+      return "subject_type_mismatch";
+    case TypeViolation::kObjectTypeMismatch:
+      return "object_type_mismatch";
+    case TypeViolation::kValueOutOfRange:
+      return "value_out_of_range";
+  }
+  return "unknown";
+}
+
+TypeViolation TypeChecker::Check(DataItemId item, ValueId value) const {
+  const EntityId subject = DataItemSubject(item);
+  const PredicateId pred_id = DataItemPredicate(item);
+  const PredicateSchema& schema = kb_.predicate(pred_id);
+
+  // Rule 1: s = o.
+  if (subject == value) return TypeViolation::kSubjectEqualsObject;
+
+  // Rule 2: type compatibility.
+  if (kb_.entity_type(subject) != schema.subject_type) {
+    return TypeViolation::kSubjectTypeMismatch;
+  }
+  if (kb_.entity_type(value) != schema.object_type) {
+    return TypeViolation::kObjectTypeMismatch;
+  }
+
+  // Rule 3: numeric range.
+  if (schema.object_type == EntityType::kNumber) {
+    const double x = kb_.entity_numeric(value);
+    if (!std::isnan(schema.numeric_min) && x < schema.numeric_min) {
+      return TypeViolation::kValueOutOfRange;
+    }
+    if (!std::isnan(schema.numeric_max) && x > schema.numeric_max) {
+      return TypeViolation::kValueOutOfRange;
+    }
+  }
+  return TypeViolation::kNone;
+}
+
+}  // namespace kbt::kb

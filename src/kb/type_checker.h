@@ -1,0 +1,49 @@
+#ifndef KBT_KB_TYPE_CHECKER_H_
+#define KBT_KB_TYPE_CHECKER_H_
+
+#include <string>
+
+#include "kb/ids.h"
+#include "kb/knowledge_base.h"
+
+namespace kbt::kb {
+
+/// Why a triple failed the type check (Section 5.3.1's second labelling
+/// method). Triples failing any rule are treated both as false facts and as
+/// extraction mistakes when assembling the gold standard.
+enum class TypeViolation : uint8_t {
+  kNone = 0,
+  /// Rule 1: subject equals object.
+  kSubjectEqualsObject = 1,
+  /// Rule 2a: subject's type is incompatible with the predicate schema.
+  kSubjectTypeMismatch = 2,
+  /// Rule 2b: object's type is incompatible with the predicate schema.
+  kObjectTypeMismatch = 3,
+  /// Rule 3: numeric object outside the predicate's expected range
+  /// (e.g. an athlete weighing over 1000 pounds).
+  kValueOutOfRange = 4,
+};
+
+std::string_view TypeViolationName(TypeViolation violation);
+
+/// Stateless rule evaluator over a KB's entity/predicate tables.
+class TypeChecker {
+ public:
+  /// The checker borrows `kb`; the KB must outlive it.
+  explicit TypeChecker(const KnowledgeBase& kb) : kb_(kb) {}
+
+  /// Applies the three rules in order and returns the first violation.
+  TypeViolation Check(DataItemId item, ValueId value) const;
+
+  /// Convenience: true iff Check(...) == kNone.
+  bool IsWellTyped(DataItemId item, ValueId value) const {
+    return Check(item, value) == TypeViolation::kNone;
+  }
+
+ private:
+  const KnowledgeBase& kb_;
+};
+
+}  // namespace kbt::kb
+
+#endif  // KBT_KB_TYPE_CHECKER_H_

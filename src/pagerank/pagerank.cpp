@@ -1,0 +1,96 @@
+#include "pagerank/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace kbt::pagerank {
+
+StatusOr<std::vector<double>> ComputePageRank(const corpus::LinkGraph& graph,
+                                              const PageRankConfig& config) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (config.damping < 0.0 || config.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0,1)");
+  }
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+    for (uint32_t u = 0; u < n; ++u) {
+      const uint32_t degree = graph.out_degree(u);
+      if (degree == 0) {
+        dangling_mass += rank[u];
+        continue;
+      }
+      const double share = rank[u] / degree;
+      const auto [b, e] = graph.OutRange(u);
+      for (uint32_t k = b; k < e; ++k) {
+        next[graph.targets()[k]] += share;
+      }
+    }
+    const double teleport =
+        (1.0 - config.damping) / static_cast<double>(n) +
+        config.damping * dangling_mass / static_cast<double>(n);
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      next[i] = teleport + config.damping * next[i];
+      delta += std::fabs(next[i] - rank[i]);
+    }
+    rank.swap(next);
+    if (delta < config.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<double> NormalizeToUnitInterval(std::vector<double> scores) {
+  double max_score = 0.0;
+  for (double s : scores) max_score = std::max(max_score, s);
+  if (max_score > 0.0) {
+    for (double& s : scores) s /= max_score;
+  }
+  return scores;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+std::vector<size_t> DescendingRanks(const std::vector<double>& values) {
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](size_t a, size_t b) {
+    if (values[a] != values[b]) return values[a] > values[b];
+    return a < b;
+  });
+  std::vector<size_t> ranks(values.size());
+  for (size_t pos = 0; pos < order.size(); ++pos) ranks[order[pos]] = pos;
+  return ranks;
+}
+
+}  // namespace kbt::pagerank

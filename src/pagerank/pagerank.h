@@ -1,0 +1,40 @@
+#ifndef KBT_PAGERANK_PAGERANK_H_
+#define KBT_PAGERANK_PAGERANK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/link_graph.h"
+
+namespace kbt::pagerank {
+
+/// Parameters of the power-iteration PageRank used as the exogenous-signal
+/// baseline of Section 5.4.1 (Figure 10).
+struct PageRankConfig {
+  double damping = 0.85;
+  int max_iterations = 100;
+  /// L1 change below which iteration stops.
+  double tolerance = 1e-10;
+};
+
+/// Computes PageRank over `graph`. Dangling-node mass is redistributed
+/// uniformly. The returned scores sum to 1.
+StatusOr<std::vector<double>> ComputePageRank(const corpus::LinkGraph& graph,
+                                              const PageRankConfig& config = {});
+
+/// The paper normalizes PageRank scores to [0, 1] before plotting
+/// (Section 5.4.1); this divides by the maximum score.
+std::vector<double> NormalizeToUnitInterval(std::vector<double> scores);
+
+/// Pearson correlation between two equally-sized signals; the Figure 10
+/// claim is that corr(KBT, PageRank) is near zero ("orthogonal signals").
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Rank of each element (0 = largest). Used for the "top 15% PageRank /
+/// bottom 50% KBT" style statements of Section 5.4.1.
+std::vector<size_t> DescendingRanks(const std::vector<double>& values);
+
+}  // namespace kbt::pagerank
+
+#endif  // KBT_PAGERANK_PAGERANK_H_

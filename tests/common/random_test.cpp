@@ -1,0 +1,204 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kbt {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng parent(99);
+  Rng f1 = parent.Fork(0);
+  Rng f2 = parent.Fork(1);
+  Rng f1_again = parent.Fork(0);
+  EXPECT_EQ(f1.NextU64(), f1_again.NextU64());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.NextU32() == f2.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    counts[static_cast<size_t>(v - 2)]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // ~1000 expected per bucket.
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(RngTest, BetaMomentsMatch) {
+  Rng rng(17);
+  const double a = 8.0;
+  const double b = 2.0;
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Beta(a, b);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, a / (a + b), 0.01);
+}
+
+TEST(RngTest, GammaMeanMatches) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gamma(3.0, 2.0);
+  EXPECT_NEAR(sum / n, 6.0, 0.15);
+}
+
+TEST(RngTest, GammaShapeBelowOne) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gamma(0.5, 1.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfSamplerTest, RankOneMostFrequent) {
+  Rng rng(31);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], 5 * counts[9]);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(1000, 1.2);
+  double sum = 0.0;
+  for (size_t i = 0; i < zipf.size(); ++i) sum += zipf.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfFollowsPowerLaw) {
+  ZipfSampler zipf(1000, 2.0);
+  // p(1)/p(2) = 2^2 = 4.
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), 4.0, 1e-6);
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  Rng rng(37);
+  ZipfSampler zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(41);
+  AliasSampler alias({1.0, 2.0, 7.0});
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[alias.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(AliasSamplerTest, PmfNormalized) {
+  AliasSampler alias({3.0, 0.0, 1.0});
+  EXPECT_NEAR(alias.Pmf(0), 0.75, 1e-12);
+  EXPECT_NEAR(alias.Pmf(1), 0.0, 1e-12);
+  EXPECT_NEAR(alias.Pmf(2), 0.25, 1e-12);
+}
+
+TEST(AliasSamplerTest, NeverSamplesZeroWeight) {
+  Rng rng(43);
+  AliasSampler alias({1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(alias.Sample(rng), 1u);
+  }
+}
+
+TEST(AliasSamplerTest, UniformCase) {
+  Rng rng(47);
+  AliasSampler alias(std::vector<double>(8, 1.0));
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) counts[alias.Sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c / 80000.0, 0.125, 0.01);
+}
+
+}  // namespace
+}  // namespace kbt

@@ -1,0 +1,45 @@
+#include "common/stopwatch.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace kbt {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.02);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.02);
+}
+
+TEST(StopwatchTest, MillisMatchesSeconds) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  EXPECT_NEAR(millis, seconds * 1000.0, 5.0);
+}
+
+TEST(StopwatchTest, TimeIsMonotone) {
+  Stopwatch watch;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = watch.ElapsedSeconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace kbt

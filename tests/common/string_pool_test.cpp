@@ -1,0 +1,58 @@
+#include "common/string_pool.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace kbt {
+namespace {
+
+TEST(StringPoolTest, InternAssignsDenseIds) {
+  StringPool pool;
+  EXPECT_EQ(pool.Intern("alpha"), 0u);
+  EXPECT_EQ(pool.Intern("beta"), 1u);
+  EXPECT_EQ(pool.Intern("gamma"), 2u);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(StringPoolTest, InternIsIdempotent) {
+  StringPool pool;
+  const uint32_t a = pool.Intern("x");
+  const uint32_t b = pool.Intern("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPoolTest, GetRoundTrips) {
+  StringPool pool;
+  const uint32_t id = pool.Intern("wiki.com/page1");
+  EXPECT_EQ(pool.Get(id), "wiki.com/page1");
+}
+
+TEST(StringPoolTest, FindMissingReturnsNullopt) {
+  StringPool pool;
+  pool.Intern("present");
+  EXPECT_TRUE(pool.Find("present").has_value());
+  EXPECT_FALSE(pool.Find("absent").has_value());
+}
+
+TEST(StringPoolTest, ViewsSurviveGrowth) {
+  StringPool pool;
+  const uint32_t first = pool.Intern("first");
+  const std::string_view view = pool.Get(first);
+  for (int i = 0; i < 10000; ++i) {
+    pool.Intern("filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "first");
+  EXPECT_EQ(pool.Get(first), "first");
+}
+
+TEST(StringPoolTest, EmptyStringIsValidKey) {
+  StringPool pool;
+  const uint32_t id = pool.Intern("");
+  EXPECT_EQ(pool.Get(id), "");
+  EXPECT_EQ(pool.Find("").value(), id);
+}
+
+}  // namespace
+}  // namespace kbt

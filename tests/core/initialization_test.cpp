@@ -1,0 +1,127 @@
+#include "core/initialization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "exp/motivating_example.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "core/multilayer_model.h"
+
+namespace kbt::core {
+namespace {
+
+using exp::MotivatingExample;
+using extract::CompiledMatrix;
+
+class InitializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = MotivatingExample::Dataset();
+    assignment_ = granularity::PageSourcePlainExtractor(data_);
+    auto matrix = CompiledMatrix::Build(data_, assignment_);
+    ASSERT_TRUE(matrix.ok());
+    matrix_ = std::make_unique<CompiledMatrix>(std::move(*matrix));
+  }
+
+  /// The oracle labeler: USA true, everything else false (single-truth).
+  static std::optional<bool> Oracle(kb::DataItemId item, kb::ValueId value) {
+    (void)item;
+    return value == MotivatingExample::kUsa;
+  }
+
+  extract::RawDataset data_;
+  extract::GroupAssignment assignment_;
+  std::unique_ptr<CompiledMatrix> matrix_;
+  MultiLayerConfig config_;
+};
+
+TEST_F(InitializationTest, SourcesWithTrueTriplesGetHigherAccuracy) {
+  SmartInitOptions options;
+  options.min_labeled = 1;
+  options.smoothing = 0.5;
+  const InitialQuality init =
+      InitialQualityFromLabels(*matrix_, Oracle, config_, options);
+  ASSERT_EQ(init.source_accuracy.size(), 8u);
+  // W1 (mostly USA slots) must beat W5 (all Kenya slots).
+  EXPECT_GT(init.source_accuracy[0], init.source_accuracy[4]);
+  // W5's initial accuracy is pulled well below the default.
+  EXPECT_LT(init.source_accuracy[4], config_.default_source_accuracy - 0.2);
+}
+
+TEST_F(InitializationTest, UnknownLabelsFallBackToDefault) {
+  const auto unknown = [](kb::DataItemId, kb::ValueId) {
+    return std::optional<bool>();
+  };
+  const InitialQuality init =
+      InitialQualityFromLabels(*matrix_, unknown, config_);
+  for (double a : init.source_accuracy) {
+    EXPECT_DOUBLE_EQ(a, config_.default_source_accuracy);
+  }
+  for (double p : init.extractor_precision) {
+    EXPECT_DOUBLE_EQ(
+        p, PrecisionFromQ(config_.default_q, config_.default_recall,
+                          config_.gamma));
+  }
+}
+
+TEST_F(InitializationTest, MinLabeledGate) {
+  SmartInitOptions options;
+  options.min_labeled = 100;  // No group has that many labels.
+  const InitialQuality init =
+      InitialQualityFromLabels(*matrix_, Oracle, config_, options);
+  for (double a : init.source_accuracy) {
+    EXPECT_DOUBLE_EQ(a, config_.default_source_accuracy);
+  }
+}
+
+TEST_F(InitializationTest, SmoothingPullsTowardDefault) {
+  SmartInitOptions light;
+  light.min_labeled = 1;
+  light.smoothing = 0.1;
+  SmartInitOptions heavy;
+  heavy.min_labeled = 1;
+  heavy.smoothing = 100.0;
+  const InitialQuality a =
+      InitialQualityFromLabels(*matrix_, Oracle, config_, light);
+  const InitialQuality b =
+      InitialQualityFromLabels(*matrix_, Oracle, config_, heavy);
+  // Heavy smoothing keeps W5 near the default; light smoothing does not.
+  EXPECT_NEAR(b.source_accuracy[4], config_.default_source_accuracy, 0.05);
+  EXPECT_LT(a.source_accuracy[4], 0.2);
+}
+
+TEST_F(InitializationTest, ExtractorPrecisionReflectsLabels) {
+  SmartInitOptions options;
+  options.min_labeled = 1;
+  options.smoothing = 0.5;
+  const InitialQuality init =
+      InitialQualityFromLabels(*matrix_, Oracle, config_, options);
+  ASSERT_EQ(init.extractor_precision.size(), 5u);
+  // E1 (all USA extractions on truthful pages... it extracts 4 USA + 2
+  // Kenya) still beats E5 (all Kenya).
+  EXPECT_GT(init.extractor_precision[0], init.extractor_precision[4]);
+}
+
+TEST_F(InitializationTest, InitialQualityFeedsRun) {
+  SmartInitOptions options;
+  options.min_labeled = 1;
+  const InitialQuality init =
+      InitialQualityFromLabels(*matrix_, Oracle, config_, options);
+  MultiLayerConfig config;
+  config.max_iterations = 2;
+  config.min_source_support = 1;
+  config.min_extractor_support = 1;
+  config.num_false_override = 10;
+  const auto result = MultiLayerModel::Run(*matrix_, config, init);
+  ASSERT_TRUE(result.ok());
+  // Smart init should give USA a decisive win.
+  for (size_t s = 0; s < matrix_->num_slots(); ++s) {
+    if (matrix_->slot_value(s) == MotivatingExample::kUsa) {
+      EXPECT_GT(result->slot_value_prob[s], 0.9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kbt::core

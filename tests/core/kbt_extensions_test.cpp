@@ -1,0 +1,154 @@
+#include "core/kbt_extensions.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+
+namespace kbt::core {
+namespace {
+
+/// A site that mostly covers predicate 0 (its topic) with a few predicate-1
+/// strays, and a trivial site that repeats one value for everything.
+struct Fixture {
+  extract::RawDataset data;
+  extract::GroupAssignment assignment;
+  MultiLayerResult result;
+
+  void Add(uint32_t site, uint32_t subject, uint32_t predicate,
+           kb::ValueId value) {
+    extract::RawObservation obs;
+    obs.extractor = 0;
+    obs.pattern = 0;
+    obs.website = site;
+    obs.page = site;
+    obs.item = kb::MakeDataItem(subject, predicate);
+    obs.value = value;
+    data.observations.push_back(obs);
+  }
+
+  void Finish() {
+    data.num_false_by_predicate = {10, 10};
+    data.num_websites = 2;
+    data.num_pages = 2;
+    data.num_extractors = 1;
+    data.num_patterns = 1;
+    assignment = granularity::PageSourcePlainExtractor(data);
+  }
+};
+
+TEST(KbtExtensionsTest, WebsiteTopicsPickDominantPredicates) {
+  Fixture f;
+  for (uint32_t t = 0; t < 9; ++t) f.Add(0, t, 0, 100 + t);  // Topic: pred 0.
+  f.Add(0, 50, 1, 200);  // A stray off-topic triple.
+  for (uint32_t t = 0; t < 5; ++t) f.Add(1, t, 1, 300 + t);
+  f.Finish();
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+
+  TopicOptions options;
+  options.top_k = 1;
+  options.min_share = 0.5;
+  const auto topics = WebsiteTopics(*matrix, 2, options);
+  ASSERT_EQ(topics.size(), 2u);
+  EXPECT_EQ(topics[0], std::vector<uint32_t>{0});
+  EXPECT_EQ(topics[1], std::vector<uint32_t>{1});
+}
+
+TEST(KbtExtensionsTest, TopicalKbtIgnoresOffTopicTriples) {
+  Fixture f;
+  for (uint32_t t = 0; t < 9; ++t) f.Add(0, t, 0, 100 + t);
+  f.Add(0, 50, 1, 200);  // Off-topic and false.
+  f.Finish();
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+
+  MultiLayerResult result;
+  result.slot_correct_prob.assign(matrix->num_slots(), 1.0);
+  result.slot_value_prob.assign(matrix->num_slots(), 1.0);
+  // The off-topic triple is false.
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    if (matrix->slot_predicate(s) == 1) result.slot_value_prob[s] = 0.0;
+  }
+
+  const auto plain = ComputeWebsiteKbt(*matrix, result, 2);
+  TopicOptions options;
+  options.top_k = 1;
+  options.min_share = 0.5;
+  const auto topics = WebsiteTopics(*matrix, 2, options);
+  const auto topical = ComputeTopicalKbt(*matrix, result, 2, topics);
+
+  // Plain KBT is dragged down by the off-topic false triple; topical
+  // scoring judges the site only on its own subject matter.
+  EXPECT_LT(plain[0].kbt, 0.95);
+  EXPECT_NEAR(topical[0].kbt, 1.0, 1e-9);
+}
+
+TEST(KbtExtensionsTest, IdfWeightsPenalizeRepeatedValues) {
+  Fixture f;
+  // Predicate 0: ten slots all stating THE SAME value (trivial).
+  for (uint32_t t = 0; t < 10; ++t) f.Add(0, t, 0, 777);
+  // Predicate 0 on site 1: ten slots with distinct values (informative).
+  for (uint32_t t = 10; t < 20; ++t) f.Add(1, t, 0, 800 + t);
+  f.Finish();
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+
+  const auto weights = SlotIdfWeights(*matrix);
+  double trivial = 0.0;
+  double informative = 0.0;
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    if (matrix->slot_value(s) == 777) {
+      trivial = weights[s];
+    } else {
+      informative = weights[s];
+    }
+  }
+  EXPECT_GT(informative, trivial * 2);
+}
+
+TEST(KbtExtensionsTest, IdfWeightedKbtDiscountsTrivialAgreement) {
+  Fixture f;
+  // Site 0: nine trivial true triples (same value) and one informative
+  // false triple. Site 1 supplies variety for the IDF statistics.
+  for (uint32_t t = 0; t < 9; ++t) f.Add(0, t, 0, 777);
+  f.Add(0, 60, 0, 900);
+  for (uint32_t t = 10; t < 30; ++t) f.Add(1, t, 0, 800 + t);
+  f.Finish();
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+
+  MultiLayerResult result;
+  result.slot_correct_prob.assign(matrix->num_slots(), 1.0);
+  result.slot_value_prob.assign(matrix->num_slots(), 1.0);
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    if (matrix->slot_value(s) == 900) result.slot_value_prob[s] = 0.0;
+  }
+
+  const auto plain = ComputeWebsiteKbt(*matrix, result, 2);
+  const auto idf = ComputeIdfWeightedKbt(*matrix, result, 2);
+  // Under plain KBT the site looks 90% accurate; IDF weighting sees one
+  // informative-and-wrong triple against nine trivial ones and scores it
+  // substantially lower.
+  EXPECT_GT(plain[0].kbt, 0.85);
+  EXPECT_LT(idf[0].kbt, plain[0].kbt - 0.1);
+}
+
+TEST(KbtExtensionsTest, EmptySitesGetZeroScores) {
+  Fixture f;
+  f.Add(0, 1, 0, 100);
+  f.Finish();
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+  MultiLayerResult result;
+  result.slot_correct_prob.assign(matrix->num_slots(), 1.0);
+  result.slot_value_prob.assign(matrix->num_slots(), 1.0);
+  // Ask for more sites than exist in the matrix.
+  const auto idf = ComputeIdfWeightedKbt(*matrix, result, 5);
+  ASSERT_EQ(idf.size(), 5u);
+  EXPECT_DOUBLE_EQ(idf[4].kbt, 0.0);
+  EXPECT_DOUBLE_EQ(idf[4].evidence, 0.0);
+}
+
+}  // namespace
+}  // namespace kbt::core

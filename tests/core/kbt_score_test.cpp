@@ -1,0 +1,94 @@
+#include "core/kbt_score.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/motivating_example.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "core/multilayer_model.h"
+
+namespace kbt::core {
+namespace {
+
+using exp::MotivatingExample;
+using extract::CompiledMatrix;
+
+class KbtScoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = MotivatingExample::Dataset();
+    const auto assignment = granularity::PageSourcePlainExtractor(data_);
+    auto matrix = CompiledMatrix::Build(data_, assignment);
+    ASSERT_TRUE(matrix.ok());
+    matrix_ = std::make_unique<CompiledMatrix>(std::move(*matrix));
+
+    MultiLayerConfig config;
+    config.max_iterations = 5;
+    config.min_source_support = 1;
+    config.min_extractor_support = 1;
+    config.num_false_override = 10;
+    auto result = MultiLayerModel::Run(*matrix_, config,
+                                       MotivatingExample::Table3Quality());
+    ASSERT_TRUE(result.ok());
+    result_ = std::make_unique<MultiLayerResult>(std::move(*result));
+  }
+
+  extract::RawDataset data_;
+  std::unique_ptr<CompiledMatrix> matrix_;
+  std::unique_ptr<MultiLayerResult> result_;
+};
+
+TEST_F(KbtScoreTest, TruthfulPagesScoreHigherThanFalsePages) {
+  const auto scores = ComputeWebsiteKbt(*matrix_, *result_, 8);
+  ASSERT_EQ(scores.size(), 8u);
+  for (int good = 0; good < 4; ++good) {
+    for (int bad = 4; bad < 6; ++bad) {
+      EXPECT_GT(scores[static_cast<size_t>(good)].kbt,
+                scores[static_cast<size_t>(bad)].kbt)
+          << "W" << good + 1 << " vs W" << bad + 1;
+    }
+  }
+}
+
+TEST_F(KbtScoreTest, EvidenceTracksCorrectlyExtractedTriples) {
+  const auto scores = ComputeWebsiteKbt(*matrix_, *result_, 8);
+  // W1 has one solidly-provided triple (USA) plus a spurious Kenya slot with
+  // p(C)~0: evidence close to 1.
+  EXPECT_NEAR(scores[0].evidence, 1.0, 0.15);
+  // W7/W8 provide nothing; their slots have tiny p(C).
+  EXPECT_LT(scores[6].evidence, 0.2);
+  EXPECT_LT(scores[7].evidence, 0.2);
+}
+
+TEST_F(KbtScoreTest, HasScoreGatesOnEvidence) {
+  KbtScore score;
+  score.evidence = 4.0;
+  EXPECT_FALSE(score.HasScore(5.0));
+  score.evidence = 5.0;
+  EXPECT_TRUE(score.HasScore(5.0));
+}
+
+TEST_F(KbtScoreTest, SourceKbtMatchesWebsiteKbtWhenSourceIsPage) {
+  // In this fixture source == page == website, so both aggregations agree.
+  const auto by_site = ComputeWebsiteKbt(*matrix_, *result_, 8);
+  const auto by_source = ComputeSourceKbt(*matrix_, *result_);
+  ASSERT_EQ(by_source.size(), 8u);
+  for (size_t w = 0; w < 8; ++w) {
+    EXPECT_NEAR(by_site[w].kbt, by_source[w].kbt, 1e-12);
+    EXPECT_NEAR(by_site[w].evidence, by_source[w].evidence, 1e-12);
+  }
+}
+
+TEST_F(KbtScoreTest, ZeroEvidenceYieldsZeroScore) {
+  MultiLayerResult empty;
+  empty.slot_correct_prob.assign(matrix_->num_slots(), 0.0);
+  empty.slot_value_prob.assign(matrix_->num_slots(), 1.0);
+  const auto scores = ComputeWebsiteKbt(*matrix_, empty, 8);
+  for (const auto& s : scores) {
+    EXPECT_DOUBLE_EQ(s.kbt, 0.0);
+    EXPECT_DOUBLE_EQ(s.evidence, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace kbt::core

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "exp/motivating_example.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "core/multilayer_model.h"
+
+namespace kbt::core {
+namespace {
+
+using exp::MotivatingExample;
+using extract::CompiledMatrix;
+
+/// Runs one frozen-parameter iteration on the Table 2 fixture with Table 3
+/// quality — the exact setting of the paper's worked examples.
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = MotivatingExample::Dataset();
+    assignment_ = granularity::PageSourcePlainExtractor(data_);
+    auto matrix = CompiledMatrix::Build(data_, assignment_);
+    ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+    matrix_ = std::make_unique<CompiledMatrix>(std::move(*matrix));
+
+    config_.max_iterations = 1;
+    config_.update_source_accuracy = false;
+    config_.update_extractor_quality = false;
+    config_.update_alpha = false;
+    config_.min_source_support = 1;
+    config_.min_extractor_support = 1;
+    config_.num_false_override = 10;
+    config_.gamma = 0.25;
+    // The worked examples assume the paper's stated alpha = 0.5 (so that
+    // p(C|X) = sigma(VCC) exactly) and check raw, uncalibrated posteriors.
+    config_.initial_alpha = 0.5;
+    config_.calibrate_correctness = false;
+  }
+
+  /// Slot index for (page, value) in the compiled matrix.
+  std::optional<size_t> FindSlot(int page, kb::ValueId value) const {
+    for (size_t s = 0; s < matrix_->num_slots(); ++s) {
+      if (matrix_->slot_source(s) == static_cast<uint32_t>(page) &&
+          matrix_->slot_value(s) == value) {
+        return s;
+      }
+    }
+    return std::nullopt;
+  }
+
+  extract::RawDataset data_;
+  extract::GroupAssignment assignment_;
+  std::unique_ptr<CompiledMatrix> matrix_;
+  MultiLayerConfig config_;
+};
+
+TEST_F(PaperExampleTest, MatrixShape) {
+  // 8 sources, 5 extractor groups, 1 item; 13 distinct (w,d,v) slots.
+  EXPECT_EQ(matrix_->num_sources(), 8u);
+  EXPECT_EQ(matrix_->num_extractor_groups(), 5u);
+  EXPECT_EQ(matrix_->num_items(), 1u);
+  EXPECT_EQ(matrix_->num_slots(), 13u);
+  EXPECT_EQ(matrix_->num_extractions(), 26u);
+}
+
+TEST_F(PaperExampleTest, Table4ExtractionCorrectness) {
+  const auto result = MultiLayerModel::Run(
+      *matrix_, config_, MotivatingExample::Table3Quality());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  for (const auto& expected : MotivatingExample::Table4()) {
+    const auto slot = FindSlot(expected.page, expected.value);
+    ASSERT_TRUE(slot.has_value())
+        << "missing slot W" << (expected.page + 1) << " value "
+        << expected.value;
+    EXPECT_NEAR(result->slot_correct_prob[*slot], expected.probability, 0.01)
+        << "W" << (expected.page + 1) << " value " << expected.value;
+  }
+}
+
+TEST_F(PaperExampleTest, Example31VoteCountsViaLogit) {
+  const auto result = MultiLayerModel::Run(
+      *matrix_, config_, MotivatingExample::Table3Quality());
+  ASSERT_TRUE(result.ok());
+  // With alpha = 0.5 the posterior is sigma(VCC), so logit recovers VCC.
+  const auto w7 = FindSlot(6, MotivatingExample::kKenya);
+  ASSERT_TRUE(w7.has_value());
+  EXPECT_NEAR(Logit(result->slot_correct_prob[*w7]), -2.65, 0.05);
+
+  const auto w1 = FindSlot(0, MotivatingExample::kUsa);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_NEAR(Logit(result->slot_correct_prob[*w1]), 11.7, 0.1);
+
+  const auto w6 = FindSlot(5, MotivatingExample::kUsa);
+  ASSERT_TRUE(w6.has_value());
+  EXPECT_NEAR(Logit(result->slot_correct_prob[*w6]), -9.4, 0.1);
+}
+
+TEST_F(PaperExampleTest, Table4ValuePosteriorWeighted) {
+  const auto result = MultiLayerModel::Run(
+      *matrix_, config_, MotivatingExample::Table3Quality());
+  ASSERT_TRUE(result.ok());
+  // Improved (weighted) estimator: close to the paper's 0.995 / 0.004.
+  const auto usa = FindSlot(0, MotivatingExample::kUsa);
+  const auto kenya = FindSlot(4, MotivatingExample::kKenya);
+  ASSERT_TRUE(usa.has_value());
+  ASSERT_TRUE(kenya.has_value());
+  EXPECT_NEAR(result->slot_value_prob[*usa], 0.995, 0.003);
+  EXPECT_NEAR(result->slot_value_prob[*kenya], 0.005, 0.003);
+  // N.Amer gets essentially zero.
+  const auto namer = FindSlot(1, MotivatingExample::kNAmerica);
+  ASSERT_TRUE(namer.has_value());
+  EXPECT_LT(result->slot_value_prob[*namer], 1e-3);
+}
+
+TEST_F(PaperExampleTest, Example32MapVariantExact) {
+  // With the MAP estimate C-hat (Section 3.3.2, not the improved weighted
+  // version) the numbers of Example 3.2 are exact: vote 2.7 per source,
+  // p(USA)=0.9954, p(Kenya)=0.0044.
+  MultiLayerConfig map_config = config_;
+  map_config.weighted_value_votes = false;
+  const auto result = MultiLayerModel::Run(
+      *matrix_, map_config, MotivatingExample::Table3Quality());
+  ASSERT_TRUE(result.ok());
+
+  const double vote = SourceVote(0.6, 10);
+  const double z = std::exp(4 * vote) + std::exp(2 * vote) + 9.0;
+  const auto usa = FindSlot(0, MotivatingExample::kUsa);
+  const auto kenya = FindSlot(4, MotivatingExample::kKenya);
+  ASSERT_TRUE(usa.has_value());
+  ASSERT_TRUE(kenya.has_value());
+  EXPECT_NEAR(result->slot_value_prob[*usa], std::exp(4 * vote) / z, 1e-6);
+  EXPECT_NEAR(result->slot_value_prob[*kenya], std::exp(2 * vote) / z, 1e-6);
+  EXPECT_NEAR(result->slot_value_prob[*usa], 0.995, 0.001);
+  EXPECT_NEAR(result->slot_value_prob[*kenya], 0.004, 0.001);
+  // The unobserved-value mass: 9 values share 9/z.
+  EXPECT_NEAR(result->item_unobserved_value_prob[0], 1.0 / z, 1e-9);
+}
+
+TEST_F(PaperExampleTest, Example33PriorUpdateLowersFalsePositive) {
+  // Second iteration with alpha re-estimation: W7's Kenya slot drops from
+  // 0.066 toward ~0.04 (Example 3.3).
+  MultiLayerConfig two_iter = config_;
+  two_iter.max_iterations = 2;
+  two_iter.update_alpha = true;
+  two_iter.alpha_update_start_iteration = 1;
+  two_iter.alpha_update_rule = AlphaUpdateRule::kPaperEq26;
+  const auto result = MultiLayerModel::Run(
+      *matrix_, two_iter, MotivatingExample::Table3Quality());
+  ASSERT_TRUE(result.ok());
+  const auto w7 = FindSlot(6, MotivatingExample::kKenya);
+  ASSERT_TRUE(w7.has_value());
+  EXPECT_GT(result->slot_correct_prob[*w7], 0.02);
+  EXPECT_LT(result->slot_correct_prob[*w7], 0.06);
+  // And the stored alpha reflects Eq. 26 with A_w = 0.6.
+  EXPECT_NEAR(result->slot_alpha[*w7],
+              UpdatedAlpha(result->slot_value_prob[*w7], 0.6), 1e-9);
+}
+
+TEST_F(PaperExampleTest, Example34ConfidenceWeighting) {
+  // E1 extracts from W3/W4 with confidence .85, E3 with .5; collectively we
+  // should still be fairly confident W3 provides (Obama,nationality,USA).
+  extract::RawDataset soft = MotivatingExample::Dataset();
+  for (auto& obs : soft.observations) {
+    if ((obs.page == 2 || obs.page == 3) &&
+        obs.value == MotivatingExample::kUsa) {
+      if (obs.extractor == 0) obs.confidence = 0.85f;
+      if (obs.extractor == 2) obs.confidence = 0.5f;
+    }
+  }
+  const auto assignment = granularity::PageSourcePlainExtractor(soft);
+  auto matrix = CompiledMatrix::Build(soft, assignment);
+  ASSERT_TRUE(matrix.ok());
+
+  const auto weighted = MultiLayerModel::Run(
+      *matrix, config_, MotivatingExample::Table3Quality());
+  ASSERT_TRUE(weighted.ok());
+
+  MultiLayerConfig thresholded_config = config_;
+  thresholded_config.use_confidence_weights = false;
+  thresholded_config.confidence_threshold = 0.7;
+  const auto thresholded = MultiLayerModel::Run(
+      *matrix, thresholded_config, MotivatingExample::Table3Quality());
+  ASSERT_TRUE(thresholded.ok());
+
+  size_t w3_usa = 0;
+  bool found = false;
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    if (matrix->slot_source(s) == 2 &&
+        matrix->slot_value(s) == MotivatingExample::kUsa) {
+      w3_usa = s;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  // Soft evidence: sigma(1.51) ~ 0.82 -> fairly confident.
+  EXPECT_NEAR(weighted->slot_correct_prob[w3_usa], 0.82, 0.05);
+  // Thresholding at 0.7 discards E3's extraction and loses the signal.
+  EXPECT_LT(thresholded->slot_correct_prob[w3_usa],
+            weighted->slot_correct_prob[w3_usa] - 0.3);
+}
+
+TEST_F(PaperExampleTest, SourceAccuracyUpdateSeparatesGoodAndBadSources) {
+  // Full run with parameter updates: W1-W4 (truthful pages) must end more
+  // accurate than W5-W6 (pages stating Kenya).
+  MultiLayerConfig full = config_;
+  full.max_iterations = 5;
+  full.update_source_accuracy = true;
+  full.update_extractor_quality = true;
+  full.update_alpha = true;
+  const auto result = MultiLayerModel::Run(
+      *matrix_, full, MotivatingExample::Table3Quality());
+  ASSERT_TRUE(result.ok());
+  for (int good = 0; good < 4; ++good) {
+    for (int bad = 4; bad < 6; ++bad) {
+      EXPECT_GT(result->source_accuracy[static_cast<size_t>(good)],
+                result->source_accuracy[static_cast<size_t>(bad)])
+          << "W" << good + 1 << " vs W" << bad + 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kbt::core

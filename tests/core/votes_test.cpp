@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "exp/motivating_example.h"
+#include "core/multilayer_model.h"
+
+namespace kbt::core {
+namespace {
+
+using exp::MotivatingExample;
+
+// Table 3 of the paper: presence/absence votes from (Q, R).
+TEST(VotesTest, Table3PresenceAbsenceVotes) {
+  const auto rows = MotivatingExample::Table3Rows();
+  const double expected_pre[5] = {4.6, 3.9, 2.8, 0.4, 0.0};
+  const double expected_abs[5] = {-4.6, -0.7, -4.5, -0.15, 0.0};
+  for (int i = 0; i < 5; ++i) {
+    const ExtractorVotes v = ComputeVotes(rows[static_cast<size_t>(i)].r,
+                                          rows[static_cast<size_t>(i)].q, 1.0);
+    EXPECT_NEAR(v.presence, expected_pre[i], 0.05) << "E" << (i + 1);
+    EXPECT_NEAR(v.weighted_absence, expected_abs[i], 0.05) << "E" << (i + 1);
+  }
+}
+
+TEST(VotesTest, AbsenceWeightScalesAbsenceOnly) {
+  const ExtractorVotes full = ComputeVotes(0.8, 0.1, 1.0);
+  const ExtractorVotes half = ComputeVotes(0.8, 0.1, 0.5);
+  EXPECT_DOUBLE_EQ(full.presence, half.presence);
+  EXPECT_NEAR(half.weighted_absence, full.weighted_absence * 0.5, 1e-12);
+}
+
+// Example 3.1: vote count for (W1, USA) is 11.7; for (W6, USA) it is -9.4.
+TEST(VotesTest, Example31VoteCounts) {
+  const auto rows = MotivatingExample::Table3Rows();
+  double pre[5];
+  double abs[5];
+  for (int i = 0; i < 5; ++i) {
+    const ExtractorVotes v = ComputeVotes(rows[static_cast<size_t>(i)].r,
+                                          rows[static_cast<size_t>(i)].q, 1.0);
+    pre[i] = v.presence;
+    abs[i] = v.weighted_absence;
+  }
+  // W1/USA: E1..E4 extract, E5 absent.
+  const double w1 = pre[0] + pre[1] + pre[2] + pre[3] + abs[4];
+  EXPECT_NEAR(w1, 11.7, 0.1);
+  EXPECT_NEAR(Sigmoid(w1), 1.0, 1e-4);
+  // W6/USA: only E4 extracts.
+  const double w6 = pre[3] + abs[0] + abs[1] + abs[2] + abs[4];
+  EXPECT_NEAR(w6, -9.4, 0.1);
+  EXPECT_NEAR(Sigmoid(w6), 0.0, 1e-4);
+  // W7/Kenya (Example 3.3): E3 and E5 extract.
+  const double w7 = pre[2] + pre[4] + abs[0] + abs[1] + abs[3];
+  EXPECT_NEAR(w7, -2.65, 0.05);
+  EXPECT_NEAR(Sigmoid(w7), 0.066, 0.005);
+}
+
+// Example 3.2: source vote ln(10*0.6/0.4) = 2.7; posterior 0.995 / 0.004.
+TEST(VotesTest, Example32SourceVotesAndPosterior) {
+  const double vote = SourceVote(0.6, 10);
+  EXPECT_NEAR(vote, 2.7, 0.01);
+  const double usa = vote * 4;
+  const double kenya = vote * 2;
+  const double z = std::exp(usa) + std::exp(kenya) + 9.0;
+  EXPECT_NEAR(std::exp(usa) / z, 0.995, 0.001);
+  EXPECT_NEAR(std::exp(kenya) / z, 0.004, 0.001);
+}
+
+// Example 3.3: updated prior 0.004*0.6 + 0.996*0.4 = 0.4, and the updated
+// posterior sigma(-2.65 + logit(0.4)) = 0.04.
+TEST(VotesTest, Example33AlphaUpdate) {
+  const double alpha = UpdatedAlpha(0.004, 0.6);
+  EXPECT_NEAR(alpha, 0.4, 0.005);
+  const double posterior = Sigmoid(-2.65 + Logit(alpha));
+  EXPECT_NEAR(posterior, 0.04, 0.01);
+}
+
+TEST(VotesTest, AlphaUpdateBounds) {
+  // A certain-true triple from a perfect source keeps a high prior.
+  EXPECT_NEAR(UpdatedAlpha(1.0, 0.99), 0.99, 1e-9);
+  // A certain-false triple from a perfect source gets a low prior.
+  EXPECT_NEAR(UpdatedAlpha(0.0, 0.99), 0.01, 1e-9);
+  // An uninformative source yields an uninformative prior.
+  EXPECT_NEAR(UpdatedAlpha(0.3, 0.5), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace kbt::core

@@ -1,0 +1,196 @@
+#include "corpus/corpus_generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace kbt::corpus {
+namespace {
+
+CorpusConfig SmallConfig() {
+  CorpusConfig config;
+  config.seed = 5;
+  config.num_subjects = 200;
+  config.num_predicates = 6;
+  config.values_per_domain = 12;
+  config.num_websites = 60;
+  config.max_pages_per_site = 16;
+  config.max_triples_per_page = 20;
+  return config;
+}
+
+TEST(CorpusGeneratorTest, GeneratesConsistentStructure) {
+  const auto corpus = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->num_websites(), 60u);
+  EXPECT_GT(corpus->num_pages(), 60u);  // At least one page per site.
+  EXPECT_GT(corpus->num_provided(), 0u);
+
+  // Page ids are dense and owned by their sites.
+  for (const auto& site : corpus->websites()) {
+    for (uint32_t p = site.first_page; p < site.first_page + site.num_pages;
+         ++p) {
+      EXPECT_EQ(corpus->page(p).website, site.id);
+    }
+  }
+  // Every provided triple references a valid page and a real data item.
+  for (const auto& t : corpus->provided()) {
+    EXPECT_LT(t.page, corpus->num_pages());
+    EXPECT_TRUE(corpus->world().ValueOf(t.item).has_value());
+  }
+}
+
+TEST(CorpusGeneratorTest, DeterministicGivenSeed) {
+  const auto a = CorpusGenerator(SmallConfig()).Generate();
+  const auto b = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_provided(), b->num_provided());
+  for (size_t i = 0; i < a->num_provided(); ++i) {
+    EXPECT_EQ(a->provided()[i].page, b->provided()[i].page);
+    EXPECT_EQ(a->provided()[i].item, b->provided()[i].item);
+    EXPECT_EQ(a->provided()[i].value, b->provided()[i].value);
+  }
+}
+
+TEST(CorpusGeneratorTest, IsTrueFlagsMatchWorld) {
+  const auto corpus = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(corpus.ok());
+  for (const auto& t : corpus->provided()) {
+    const auto truth = corpus->world().ValueOf(t.item);
+    ASSERT_TRUE(truth.has_value());
+    EXPECT_EQ(t.is_true, *truth == t.value);
+  }
+}
+
+TEST(CorpusGeneratorTest, SiteAccuracyControlsErrorRate) {
+  const auto corpus = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(corpus.ok());
+  // Sites with high configured accuracy state mostly-true triples; the
+  // empirical rate should track the configured one.
+  double err = 0.0;
+  int counted = 0;
+  for (const auto& site : corpus->websites()) {
+    if (site.category == SourceCategory::kScraper) continue;
+    size_t total = 0;
+    for (uint32_t p = site.first_page; p < site.first_page + site.num_pages;
+         ++p) {
+      const auto [b, e] = corpus->PageTripleRange(p);
+      total += e - b;
+    }
+    if (total < 30) continue;  // Too small to compare rates.
+    err += std::fabs(corpus->EmpiricalSiteAccuracy(site.id) - site.accuracy);
+    ++counted;
+  }
+  ASSERT_GT(counted, 3);
+  EXPECT_LT(err / counted, 0.12);
+}
+
+TEST(CorpusGeneratorTest, CategoriesShapeAccuracy) {
+  CorpusConfig config = SmallConfig();
+  config.num_websites = 400;
+  const auto corpus = CorpusGenerator(config).Generate();
+  ASSERT_TRUE(corpus.ok());
+  double specialist = 0.0;
+  double gossip = 0.0;
+  int ns = 0;
+  int ng = 0;
+  for (const auto& site : corpus->websites()) {
+    if (site.category == SourceCategory::kSpecialist) {
+      specialist += site.accuracy;
+      ++ns;
+    }
+    if (site.category == SourceCategory::kGossip) {
+      gossip += site.accuracy;
+      ++ng;
+    }
+  }
+  ASSERT_GT(ns, 5);
+  ASSERT_GT(ng, 5);
+  EXPECT_GT(specialist / ns, gossip / ng + 0.3);
+}
+
+TEST(CorpusGeneratorTest, ScrapersCopyVictimContent) {
+  CorpusConfig config = SmallConfig();
+  config.num_websites = 300;
+  const auto corpus = CorpusGenerator(config).Generate();
+  ASSERT_TRUE(corpus.ok());
+  int scrapers_with_victims = 0;
+  for (const auto& site : corpus->websites()) {
+    if (site.category != SourceCategory::kScraper ||
+        site.scrape_victim == kb::kInvalidId) {
+      continue;
+    }
+    ++scrapers_with_victims;
+    // Every scraped triple appears in the victim's provided set.
+    const auto& victim = corpus->website(site.scrape_victim);
+    std::set<std::pair<kb::DataItemId, kb::ValueId>> victim_triples;
+    for (uint32_t p = victim.first_page;
+         p < victim.first_page + victim.num_pages; ++p) {
+      const auto [b, e] = corpus->PageTripleRange(p);
+      for (uint32_t i = b; i < e; ++i) {
+        victim_triples.emplace(corpus->provided()[i].item,
+                               corpus->provided()[i].value);
+      }
+    }
+    for (uint32_t p = site.first_page; p < site.first_page + site.num_pages;
+         ++p) {
+      const auto [b, e] = corpus->PageTripleRange(p);
+      for (uint32_t i = b; i < e; ++i) {
+        EXPECT_TRUE(victim_triples.count({corpus->provided()[i].item,
+                                          corpus->provided()[i].value}) > 0);
+      }
+    }
+  }
+  EXPECT_GT(scrapers_with_victims, 0);
+}
+
+TEST(CorpusGeneratorTest, ValuePoolsSupportTypeChecking) {
+  const auto corpus = CorpusGenerator(SmallConfig()).Generate();
+  ASSERT_TRUE(corpus.ok());
+  const auto& world = corpus->world();
+  for (uint32_t p = 0; p < world.num_predicates(); ++p) {
+    const auto& schema = world.predicate(p);
+    for (kb::ValueId v : corpus->ValuePool(p)) {
+      EXPECT_EQ(world.entity_type(v), schema.object_type);
+    }
+    // Corruption-pool entries must violate type or range rules.
+    EXPECT_FALSE(corpus->CorruptionPool(p).empty());
+  }
+}
+
+TEST(CorpusGeneratorTest, ValidatesConfig) {
+  CorpusConfig bad = SmallConfig();
+  bad.num_websites = 0;
+  EXPECT_FALSE(CorpusGenerator(bad).Generate().ok());
+  bad = SmallConfig();
+  bad.values_per_domain = 1;
+  EXPECT_FALSE(CorpusGenerator(bad).Generate().ok());
+  bad = SmallConfig();
+  bad.item_density = 0.0;
+  EXPECT_FALSE(CorpusGenerator(bad).Generate().ok());
+  bad = SmallConfig();
+  bad.min_triples_per_page = 5;
+  bad.max_triples_per_page = 2;
+  EXPECT_FALSE(CorpusGenerator(bad).Generate().ok());
+}
+
+TEST(CorpusGeneratorTest, PagesPerSiteAreLongTailed) {
+  CorpusConfig config = SmallConfig();
+  config.num_websites = 300;
+  config.max_pages_per_site = 64;
+  const auto corpus = CorpusGenerator(config).Generate();
+  ASSERT_TRUE(corpus.ok());
+  size_t single_page = 0;
+  size_t big = 0;
+  for (const auto& site : corpus->websites()) {
+    if (site.num_pages == 1) ++single_page;
+    if (site.num_pages >= 16) ++big;
+  }
+  // Zipf: most sites tiny, a few big ones exist.
+  EXPECT_GT(single_page, corpus->num_websites() / 3);
+  EXPECT_GT(big, 0u);
+}
+
+}  // namespace
+}  // namespace kbt::corpus

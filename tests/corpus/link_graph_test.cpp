@@ -1,0 +1,68 @@
+#include "corpus/link_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace kbt::corpus {
+namespace {
+
+TEST(LinkGraphTest, FromEdgesBuildsCsr) {
+  LinkGraph g = LinkGraph::FromEdges(4, {{0, 1}, {0, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  const auto [b, e] = g.OutRange(0);
+  std::vector<uint32_t> targets(g.targets().begin() + b,
+                                g.targets().begin() + e);
+  EXPECT_EQ(targets, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(LinkGraphTest, DuplicateEdgesCollapse) {
+  LinkGraph g = LinkGraph::FromEdges(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(LinkGraphTest, GenerateAvoidsSelfLoops) {
+  std::vector<Website> sites(50);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    sites[i].id = static_cast<uint32_t>(i);
+    sites[i].popularity = 1.0;
+  }
+  Rng rng(9);
+  LinkGraph g = LinkGraph::Generate(sites, 5.0, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_GT(g.num_edges(), 50u);
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    const auto [b, e] = g.OutRange(u);
+    for (uint32_t k = b; k < e; ++k) {
+      EXPECT_NE(g.targets()[k], u);
+    }
+  }
+}
+
+TEST(LinkGraphTest, PopularityAttractsInLinks) {
+  std::vector<Website> sites(100);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    sites[i].id = static_cast<uint32_t>(i);
+    sites[i].popularity = i == 0 ? 100.0 : 1.0;
+  }
+  Rng rng(11);
+  LinkGraph g = LinkGraph::Generate(sites, 8.0, rng);
+  std::vector<int> in_degree(100, 0);
+  for (uint32_t t : g.targets()) in_degree[t]++;
+  int max_other = 0;
+  for (size_t i = 1; i < 100; ++i) {
+    max_other = std::max(max_other, in_degree[i]);
+  }
+  EXPECT_GT(in_degree[0], max_other);
+}
+
+TEST(LinkGraphTest, EmptyGraphIsValid) {
+  LinkGraph g = LinkGraph::FromEdges(3, {});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+}
+
+}  // namespace
+}  // namespace kbt::corpus

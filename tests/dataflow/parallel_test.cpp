@@ -1,0 +1,80 @@
+#include "dataflow/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kbt::dataflow {
+namespace {
+
+TEST(ParallelTest, ParallelForVisitsEveryIndexOnce) {
+  Executor exec(4);
+  std::vector<std::atomic<int>> visits(1000);
+  exec.ParallelFor(1000, [&visits](size_t i) { visits[i].fetch_add(1); });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelTest, ParallelForZeroIsNoop) {
+  Executor exec(2);
+  exec.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelTest, ParallelForComputesCorrectSum) {
+  Executor exec(8);
+  std::vector<long long> values(10000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<long long> total{0};
+  exec.ParallelForRanges(values.size(), [&](size_t begin, size_t end) {
+    long long local = 0;
+    for (size_t i = begin; i < end; ++i) local += values[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ParallelTest, ParallelForRangesCoversWithoutOverlap) {
+  Executor exec(4);
+  std::vector<std::atomic<int>> visits(777);
+  exec.ParallelForRanges(
+      777,
+      [&visits](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+      },
+      /*num_chunks=*/13);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelTest, ParallelForGroupsRunsEachGroup) {
+  Executor exec(4);
+  std::vector<std::atomic<int>> visits(57);
+  exec.ParallelForGroups(57, [&visits](size_t g) { visits[g].fetch_add(1); });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelTest, SingleThreadExecutorStillCorrect) {
+  Executor exec(1);
+  std::atomic<int> count{0};
+  exec.ParallelFor(100, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelTest, ExecutorIsReusableAcrossStages) {
+  Executor exec(4);
+  std::atomic<int> count{0};
+  for (int stage = 0; stage < 10; ++stage) {
+    exec.ParallelFor(100, [&count](size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ParallelTest, DefaultExecutorIsSingleton) {
+  Executor& a = DefaultExecutor();
+  Executor& b = DefaultExecutor();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace kbt::dataflow

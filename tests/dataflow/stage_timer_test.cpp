@@ -1,0 +1,73 @@
+#include "dataflow/stage_timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace kbt::dataflow {
+namespace {
+
+TEST(StageTimersTest, AddAccumulates) {
+  StageTimers timers;
+  timers.Add("ExtCorr", 1.5);
+  timers.Add("ExtCorr", 0.5);
+  timers.Add("TriplePr", 2.0);
+  EXPECT_DOUBLE_EQ(timers.TotalSeconds("ExtCorr"), 2.0);
+  EXPECT_DOUBLE_EQ(timers.TotalSeconds("TriplePr"), 2.0);
+  EXPECT_EQ(timers.Count("ExtCorr"), 2);
+  EXPECT_DOUBLE_EQ(timers.MeanSeconds("ExtCorr"), 1.0);
+}
+
+TEST(StageTimersTest, UnknownStageIsZero) {
+  StageTimers timers;
+  EXPECT_DOUBLE_EQ(timers.TotalSeconds("nope"), 0.0);
+  EXPECT_EQ(timers.Count("nope"), 0);
+  EXPECT_DOUBLE_EQ(timers.MeanSeconds("nope"), 0.0);
+}
+
+TEST(StageTimersTest, ScopeRecordsElapsedTime) {
+  StageTimers timers;
+  {
+    StageTimers::Scope scope(timers, "stage");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(timers.TotalSeconds("stage"), 0.015);
+  EXPECT_EQ(timers.Count("stage"), 1);
+}
+
+TEST(StageTimersTest, EntriesSortedByName) {
+  StageTimers timers;
+  timers.Add("b", 1.0);
+  timers.Add("a", 2.0);
+  timers.Add("c", 3.0);
+  const auto entries = timers.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "a");
+  EXPECT_EQ(entries[1].first, "b");
+  EXPECT_EQ(entries[2].first, "c");
+}
+
+TEST(StageTimersTest, ClearResets) {
+  StageTimers timers;
+  timers.Add("x", 1.0);
+  timers.Clear();
+  EXPECT_TRUE(timers.Entries().empty());
+  EXPECT_DOUBLE_EQ(timers.TotalSeconds("x"), 0.0);
+}
+
+TEST(StageTimersTest, ConcurrentAddsAreSafe) {
+  StageTimers timers;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&timers] {
+      for (int i = 0; i < 1000; ++i) timers.Add("shared", 0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(timers.Count("shared"), 8000);
+  EXPECT_NEAR(timers.TotalSeconds("shared"), 8.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace kbt::dataflow

@@ -1,0 +1,132 @@
+#include "eval/copy_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+
+namespace kbt::eval {
+namespace {
+
+/// Builds a matrix with three sites:
+///  site 0 ("original"): claims t0..t9, of which t8/t9 are false claims;
+///  site 1 ("scraper"): copies t0..t7 AND the false t8/t9;
+///  site 2 ("honest peer"): independently claims the true t0..t7 only.
+struct Fixture {
+  extract::RawDataset data;
+  extract::GroupAssignment assignment;
+  std::vector<double> value_prob;
+
+  Fixture() {
+    auto add = [this](uint32_t site, uint32_t subject, kb::ValueId value) {
+      extract::RawObservation obs;
+      obs.extractor = 0;
+      obs.pattern = 0;
+      obs.website = site;
+      obs.page = site;  // One page per site.
+      obs.item = kb::MakeDataItem(subject, 0);
+      obs.value = value;
+      data.observations.push_back(obs);
+    };
+    for (uint32_t t = 0; t < 10; ++t) {
+      add(0, t, /*value=*/100 + t);                    // Original.
+      add(1, t, 100 + t);                              // Scraper copies all.
+      if (t < 8) add(2, t, 100 + t);                   // Honest peer: truths.
+    }
+    data.num_false_by_predicate = {10};
+    data.num_websites = 3;
+    data.num_pages = 3;
+    data.num_extractors = 1;
+    data.num_patterns = 1;
+    assignment = granularity::PageSourcePlainExtractor(data);
+  }
+};
+
+TEST(CopyDetectionTest, ScraperScoresAboveHonestPeer) {
+  Fixture f;
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+  // Truth probabilities: t0..t7 true (0.95), t8/t9 false (0.05).
+  std::vector<double> probs(matrix->num_slots(), 0.95);
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    const uint32_t subject =
+        kb::DataItemSubject(matrix->item_id(matrix->slot_item(s)));
+    if (subject >= 8) probs[s] = 0.05;
+  }
+
+  CopyDetectionConfig config;
+  config.min_shared_claims = 3;
+  config.min_score = 0.0;  // Report everything; we check the ordering.
+  const auto pairs = DetectCopying(*matrix, probs, 3, config);
+
+  double scraper_score = -1.0;
+  double honest_score = -1.0;
+  for (const auto& p : pairs) {
+    if (p.site_a == 0 && p.site_b == 1) scraper_score = p.score;
+    if (p.site_a == 0 && p.site_b == 2) honest_score = p.score;
+  }
+  ASSERT_GE(scraper_score, 0.0) << "scraper pair not found";
+  ASSERT_GE(honest_score, 0.0) << "honest pair not found";
+  // The scraper shares the false claims; the honest site does not.
+  EXPECT_GT(scraper_score, honest_score + 0.5);
+}
+
+TEST(CopyDetectionTest, SharedFalseClaimsAreCounted) {
+  Fixture f;
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+  std::vector<double> probs(matrix->num_slots(), 0.95);
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    const uint32_t subject =
+        kb::DataItemSubject(matrix->item_id(matrix->slot_item(s)));
+    if (subject >= 8) probs[s] = 0.05;
+  }
+  CopyDetectionConfig config;
+  config.min_shared_claims = 3;
+  config.min_score = 0.0;
+  const auto pairs = DetectCopying(*matrix, probs, 3, config);
+  for (const auto& p : pairs) {
+    if (p.site_a == 0 && p.site_b == 1) {
+      EXPECT_EQ(p.shared_claims, 10);
+      EXPECT_EQ(p.shared_false_claims, 2);
+      EXPECT_NEAR(p.jaccard, 1.0, 1e-9);
+    }
+    if (p.site_a == 0 && p.site_b == 2) {
+      EXPECT_EQ(p.shared_claims, 8);
+      EXPECT_EQ(p.shared_false_claims, 0);
+    }
+  }
+}
+
+TEST(CopyDetectionTest, MinSharedClaimsFilters) {
+  Fixture f;
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+  const std::vector<double> probs(matrix->num_slots(), 0.9);
+  CopyDetectionConfig config;
+  config.min_shared_claims = 100;
+  config.min_score = 0.0;
+  EXPECT_TRUE(DetectCopying(*matrix, probs, 3, config).empty());
+}
+
+TEST(CopyDetectionTest, ResultsAreSortedByScore) {
+  Fixture f;
+  const auto matrix = extract::CompiledMatrix::Build(f.data, f.assignment);
+  ASSERT_TRUE(matrix.ok());
+  std::vector<double> probs(matrix->num_slots(), 0.95);
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    const uint32_t subject =
+        kb::DataItemSubject(matrix->item_id(matrix->slot_item(s)));
+    if (subject >= 8) probs[s] = 0.05;
+  }
+  CopyDetectionConfig config;
+  config.min_shared_claims = 3;
+  config.min_score = 0.0;
+  const auto pairs = DetectCopying(*matrix, probs, 3, config);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_GE(pairs[i - 1].score, pairs[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace kbt::eval

@@ -1,0 +1,124 @@
+#include "eval/gold_standard.h"
+
+#include <gtest/gtest.h>
+
+#include "kb/schema.h"
+
+namespace kbt::eval {
+namespace {
+
+class GoldStandardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // World: person -> place nationality facts.
+    person_a_ = world_.AddEntity("a", kb::EntityType::kPerson);
+    person_b_ = world_.AddEntity("b", kb::EntityType::kPerson);
+    usa_ = world_.AddEntity("usa", kb::EntityType::kPlace);
+    kenya_ = world_.AddEntity("kenya", kb::EntityType::kPlace);
+    kb::PredicateSchema schema;
+    schema.name = "nationality";
+    schema.subject_type = kb::EntityType::kPerson;
+    schema.object_type = kb::EntityType::kPlace;
+    pred_ = world_.AddPredicate(schema);
+
+    ASSERT_TRUE(world_.AddFact(person_a_, pred_, usa_).ok());
+    // Partial KB knows only person_a's fact.
+    partial_ = std::make_unique<kb::KnowledgeBase>();
+    *partial_ = world_.SampleSubset(0.0, rng_);  // Schema only...
+    // ...then add the one known fact deterministically.
+    ASSERT_TRUE(partial_->AddFact(person_a_, pred_, usa_).ok());
+  }
+
+  Rng rng_{1};
+  kb::KnowledgeBase world_;
+  std::unique_ptr<kb::KnowledgeBase> partial_;
+  kb::EntityId person_a_ = 0;
+  kb::EntityId person_b_ = 0;
+  kb::ValueId usa_ = 0;
+  kb::ValueId kenya_ = 0;
+  kb::PredicateId pred_ = 0;
+};
+
+TEST_F(GoldStandardTest, LcwaLabels) {
+  GoldStandard gold(*partial_, world_);
+  const kb::DataItemId item_a = kb::MakeDataItem(person_a_, pred_);
+  const kb::DataItemId item_b = kb::MakeDataItem(person_b_, pred_);
+  // In-KB triple: true.
+  EXPECT_EQ(gold.Label(item_a, usa_), std::optional<bool>(true));
+  // Same data item, other value: false under LCWA.
+  EXPECT_EQ(gold.Label(item_a, kenya_), std::optional<bool>(false));
+  // Unknown data item: no label.
+  EXPECT_EQ(gold.Label(item_b, usa_), std::nullopt);
+}
+
+TEST_F(GoldStandardTest, TypeErrorsAreFalseEvenWhenUnknown) {
+  GoldStandard gold(*partial_, world_);
+  const kb::DataItemId item_b = kb::MakeDataItem(person_b_, pred_);
+  // person_b is unknown to the KB, but (b, nationality, person_a) violates
+  // the object type rule -> labeled false.
+  EXPECT_TRUE(gold.IsTypeError(item_b, person_a_));
+  EXPECT_EQ(gold.Label(item_b, person_a_), std::optional<bool>(false));
+  // s = o violation.
+  EXPECT_TRUE(gold.IsTypeError(item_b, person_b_));
+}
+
+TEST_F(GoldStandardTest, EvaluateTriplesComputesCoverage) {
+  GoldStandard gold(*partial_, world_);
+  const kb::DataItemId item_a = kb::MakeDataItem(person_a_, pred_);
+  std::vector<TriplePrediction> preds;
+  preds.push_back(TriplePrediction{item_a, usa_, 0.9, true});
+  preds.push_back(TriplePrediction{item_a, kenya_, 0.2, false});  // Uncovered.
+  preds.push_back(
+      TriplePrediction{kb::MakeDataItem(person_b_, pred_), usa_, 0.5, true});
+
+  const TripleMetrics m = EvaluateTriples(preds, gold);
+  EXPECT_EQ(m.num_labeled, 2u);   // person_b triple is unknown.
+  EXPECT_EQ(m.num_covered, 1u);
+  EXPECT_DOUBLE_EQ(m.coverage, 0.5);
+  EXPECT_DOUBLE_EQ(m.fraction_true, 0.5);
+  // Only the covered true triple enters SqV: (1 - 0.9)^2.
+  EXPECT_NEAR(m.sqv, 0.01, 1e-12);
+}
+
+TEST_F(GoldStandardTest, TriplePredictionsDeduplicate) {
+  // Two sources providing the same (d, v) yield one prediction.
+  extract::RawDataset data;
+  extract::RawObservation obs;
+  obs.extractor = 0;
+  obs.pattern = 0;
+  obs.item = kb::MakeDataItem(person_a_, pred_);
+  obs.value = usa_;
+  obs.website = 0;
+  obs.page = 0;
+  data.observations.push_back(obs);
+  obs.page = 1;
+  obs.website = 1;
+  data.observations.push_back(obs);
+  obs.value = kenya_;
+  data.observations.push_back(obs);
+  data.num_false_by_predicate = {10};
+  data.num_websites = 2;
+  data.num_pages = 2;
+  data.num_extractors = 1;
+  data.num_patterns = 1;
+
+  extract::GroupAssignment assignment;
+  assignment.num_source_groups = 2;
+  assignment.num_extractor_groups = 1;
+  assignment.observation_source = {0, 1, 1};
+  assignment.observation_extractor = {0, 0, 0};
+  assignment.source_infos = {extract::SourceGroupInfo{0},
+                             extract::SourceGroupInfo{1}};
+  assignment.extractor_scopes = {extract::ExtractorScope{}};
+  const auto matrix = extract::CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  ASSERT_EQ(matrix->num_slots(), 3u);
+
+  const std::vector<double> probs = {0.8, 0.8, 0.1};
+  const std::vector<uint8_t> covered = {1, 1, 1};
+  const auto preds = TriplePredictions(*matrix, probs, covered);
+  EXPECT_EQ(preds.size(), 2u);  // (a,usa) deduped; (a,kenya) separate.
+}
+
+}  // namespace
+}  // namespace kbt::eval

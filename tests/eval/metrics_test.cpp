@@ -1,0 +1,121 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace kbt::eval {
+namespace {
+
+TEST(MetricsTest, SquareLossBasics) {
+  EXPECT_DOUBLE_EQ(SquareLoss({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SquareLoss({1.0, 0.0}, {1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SquareLoss({0.5}, {1.0}), 0.25);
+  EXPECT_DOUBLE_EQ(SquareLoss({0.0, 1.0}, {1.0, 0.0}), 1.0);
+}
+
+TEST(MetricsTest, WDevZeroForPerfectCalibration) {
+  // Predictions equal to empirical accuracy inside each bucket.
+  std::vector<double> pred;
+  std::vector<uint8_t> truth;
+  // 10 triples at 0.5: exactly 5 true.
+  for (int i = 0; i < 10; ++i) {
+    pred.push_back(0.52);
+    truth.push_back(i < 5 ? 1 : 0);
+  }
+  const double wdev = WeightedDeviation(pred, truth);
+  EXPECT_NEAR(wdev, (0.52 - 0.5) * (0.52 - 0.5), 1e-12);
+}
+
+TEST(MetricsTest, WDevPenalizesMiscalibration) {
+  // Everything predicted 0.99 but only half true.
+  std::vector<double> pred(100, 0.992);
+  std::vector<uint8_t> truth(100, 0);
+  for (int i = 0; i < 50; ++i) truth[static_cast<size_t>(i)] = 1;
+  EXPECT_GT(WeightedDeviation(pred, truth), 0.2);
+}
+
+TEST(MetricsTest, WDevUsesFineBucketsAtExtremes) {
+  // 0.005 vs 0.045 land in different buckets; a coarse [0,0.05) bucket
+  // would hide the miscalibration of one of them.
+  std::vector<double> pred = {0.005, 0.005, 0.045, 0.045};
+  std::vector<uint8_t> truth = {0, 0, 1, 1};
+  // Bucket [0,0.01): perfect (acc 0). Bucket [0.04,0.05): acc 1, pred .045.
+  const double wdev = WeightedDeviation(pred, truth);
+  EXPECT_NEAR(wdev, 0.5 * (1.0 - 0.045) * (1.0 - 0.045) +
+                        0.5 * (0.005 - 0.0) * (0.005 - 0.0),
+              1e-9);
+}
+
+TEST(MetricsTest, AucPrPerfectRanking) {
+  const std::vector<double> pred = {0.9, 0.8, 0.7, 0.2, 0.1};
+  const std::vector<uint8_t> truth = {1, 1, 1, 0, 0};
+  EXPECT_NEAR(AucPr(pred, truth), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, AucPrInvertedRankingIsPoor) {
+  const std::vector<double> pred = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<uint8_t> truth = {0, 0, 1, 1};
+  EXPECT_LT(AucPr(pred, truth), 0.5);
+}
+
+TEST(MetricsTest, AucPrRandomScoresNearPrevalence) {
+  // For uninformative scores AUC-PR approaches the positive fraction.
+  std::vector<double> pred;
+  std::vector<uint8_t> truth;
+  for (int i = 0; i < 2000; ++i) {
+    pred.push_back((i * 2654435761u % 1000) / 1000.0);
+    truth.push_back(i % 5 == 0 ? 1 : 0);  // 20% positive.
+  }
+  EXPECT_NEAR(AucPr(pred, truth), 0.2, 0.05);
+}
+
+TEST(MetricsTest, AucPrNoPositives) {
+  EXPECT_DOUBLE_EQ(AucPr({0.5, 0.2}, {0, 0}), 0.0);
+}
+
+TEST(MetricsTest, PrCurveIsMonotonicInRecall) {
+  std::vector<double> pred;
+  std::vector<uint8_t> truth;
+  for (int i = 0; i < 500; ++i) {
+    pred.push_back((i % 100) / 100.0);
+    truth.push_back(i % 3 == 0 ? 1 : 0);
+  }
+  const auto curve = PrCurve(pred, truth);
+  ASSERT_FALSE(curve.empty());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+  EXPECT_NEAR(curve.back().recall, 1.0, 1e-9);
+}
+
+TEST(MetricsTest, PrCurveCollapsesTies) {
+  const std::vector<double> pred = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<uint8_t> truth = {1, 0, 1, 0};
+  const auto curve = PrCurve(pred, truth);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 0.5);
+}
+
+TEST(MetricsTest, CalibrationCurveRecoversAccuracy) {
+  std::vector<double> pred;
+  std::vector<uint8_t> truth;
+  // Bucket near 0.3: 30% true. Bucket near 0.8: 80% true.
+  for (int i = 0; i < 100; ++i) {
+    pred.push_back(0.31);
+    truth.push_back(i < 30 ? 1 : 0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    pred.push_back(0.81);
+    truth.push_back(i < 80 ? 1 : 0);
+  }
+  const auto curve = CalibrationCurve(pred, truth);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_NEAR(curve[0].predicted_mean, 0.31, 1e-9);
+  EXPECT_NEAR(curve[0].empirical_accuracy, 0.30, 1e-9);
+  EXPECT_NEAR(curve[1].predicted_mean, 0.81, 1e-9);
+  EXPECT_NEAR(curve[1].empirical_accuracy, 0.80, 1e-9);
+  EXPECT_DOUBLE_EQ(curve[0].weight, 100.0);
+}
+
+}  // namespace
+}  // namespace kbt::eval

@@ -1,0 +1,64 @@
+#include "exp/kv_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/gold_standard.h"
+
+namespace kbt::exp {
+namespace {
+
+TEST(KvSimTest, SmallConfigBuilds) {
+  const auto kv = BuildKvSim(KvSimConfig::Small());
+  ASSERT_TRUE(kv.ok()) << kv.status().ToString();
+  EXPECT_EQ(kv->corpus.num_websites(), 120u);
+  EXPECT_GT(kv->data.size(), 1000u);
+  EXPECT_GT(kv->partial_kb.num_facts(), 0u);
+  EXPECT_LT(kv->partial_kb.num_facts(), kv->corpus.world().num_facts());
+}
+
+TEST(KvSimTest, DeterministicGivenConfig) {
+  const auto a = BuildKvSim(KvSimConfig::Small());
+  const auto b = BuildKvSim(KvSimConfig::Small());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->data.size(), b->data.size());
+  EXPECT_EQ(a->partial_kb.num_facts(), b->partial_kb.num_facts());
+  for (size_t i = 0; i < a->data.size(); ++i) {
+    EXPECT_EQ(a->data.observations[i].item, b->data.observations[i].item);
+    EXPECT_EQ(a->data.observations[i].value, b->data.observations[i].value);
+  }
+}
+
+TEST(KvSimTest, GoldStandardLabelsAMeaningfulFraction) {
+  const auto kv = BuildKvSim(KvSimConfig::Small());
+  ASSERT_TRUE(kv.ok());
+  const eval::GoldStandard gold(kv->partial_kb, kv->corpus.world());
+  size_t labeled = 0;
+  size_t total = 0;
+  size_t type_errors = 0;
+  for (const auto& obs : kv->data.observations) {
+    ++total;
+    if (gold.Label(obs.item, obs.value).has_value()) ++labeled;
+    if (gold.IsTypeError(obs.item, obs.value)) ++type_errors;
+  }
+  // The paper could label 26% of triples + 20% type errors; our partial KB
+  // should label a similar order of magnitude.
+  EXPECT_GT(static_cast<double>(labeled) / total, 0.1);
+  EXPECT_LT(static_cast<double>(labeled) / total, 0.9);
+  EXPECT_GT(type_errors, total / 100);
+}
+
+TEST(KvSimTest, SkewedConfigHasWhales) {
+  const auto kv = BuildKvSim(KvSimConfig::Skewed());
+  ASSERT_TRUE(kv.ok());
+  uint32_t biggest = 0;
+  for (const auto& site : kv->corpus.websites()) {
+    biggest = std::max(biggest, site.num_pages);
+  }
+  // The skewed world exists to stress SPLITANDMERGE: at least one site with
+  // hundreds of pages.
+  EXPECT_GT(biggest, 200u);
+}
+
+}  // namespace
+}  // namespace kbt::exp

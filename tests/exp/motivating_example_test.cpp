@@ -1,0 +1,72 @@
+#include "exp/motivating_example.h"
+
+#include <gtest/gtest.h>
+
+namespace kbt::exp {
+namespace {
+
+TEST(MotivatingExampleTest, DatasetMatchesTable2Counts) {
+  const auto data = MotivatingExample::Dataset();
+  EXPECT_EQ(data.size(), 26u);
+  EXPECT_EQ(data.num_websites, 8u);
+  EXPECT_EQ(data.num_extractors, 5u);
+  // Extraction counts per extractor: E1=6, E2=3, E3=7, E4=6, E5=4.
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (const auto& obs : data.observations) counts[obs.extractor]++;
+  EXPECT_EQ(counts[0], 6);
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 7);
+  EXPECT_EQ(counts[3], 6);
+  EXPECT_EQ(counts[4], 4);
+}
+
+TEST(MotivatingExampleTest, ProvidedFlagsMatchValueColumn) {
+  const auto data = MotivatingExample::Dataset();
+  const auto provided = MotivatingExample::ProvidedValues();
+  for (const auto& obs : data.observations) {
+    const bool should_be_provided =
+        provided[obs.page] != kb::kInvalidId && provided[obs.page] == obs.value;
+    EXPECT_EQ(obs.provided, should_be_provided)
+        << "E" << obs.extractor + 1 << " on W" << obs.page + 1;
+  }
+}
+
+TEST(MotivatingExampleTest, E1AndE2ExtractOnlyProvidedTriples) {
+  // Table 2's narrative: E1 extracts all provided triples correctly; E2
+  // misses some but never errs.
+  const auto data = MotivatingExample::Dataset();
+  for (const auto& obs : data.observations) {
+    if (obs.extractor == 0 || obs.extractor == 1) {
+      EXPECT_TRUE(obs.provided);
+    }
+  }
+}
+
+TEST(MotivatingExampleTest, E3ErrsOnlyOnW7) {
+  const auto data = MotivatingExample::Dataset();
+  for (const auto& obs : data.observations) {
+    if (obs.extractor != 2) continue;
+    EXPECT_EQ(obs.provided, obs.page != 6);
+  }
+}
+
+TEST(MotivatingExampleTest, SingleDataItem) {
+  const auto data = MotivatingExample::Dataset();
+  for (const auto& obs : data.observations) {
+    EXPECT_EQ(obs.item, MotivatingExample::Item());
+  }
+  EXPECT_EQ(data.true_values.at(MotivatingExample::Item()),
+            MotivatingExample::kUsa);
+}
+
+TEST(MotivatingExampleTest, Table3QualityAligned) {
+  const auto init = MotivatingExample::Table3Quality();
+  EXPECT_EQ(init.extractor_q.size(), 5u);
+  EXPECT_EQ(init.extractor_recall.size(), 5u);
+  EXPECT_EQ(init.source_accuracy.size(), 8u);
+  // E5 is the uninformative extractor: Q == R.
+  EXPECT_DOUBLE_EQ(init.extractor_q[4], init.extractor_recall[4]);
+}
+
+}  // namespace
+}  // namespace kbt::exp

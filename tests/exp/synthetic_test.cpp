@@ -1,0 +1,96 @@
+#include "exp/synthetic.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace kbt::exp {
+namespace {
+
+TEST(SyntheticTest, DefaultMatchesSection521Shape) {
+  // 10 sources x (20 subjects x 5 predicates) = 100 triples per source.
+  const SyntheticData data = GenerateSynthetic(SyntheticConfig{});
+  EXPECT_EQ(data.true_source_accuracy.size(), 10u);
+  EXPECT_EQ(data.data.num_websites, 10u);
+  EXPECT_EQ(data.data.num_extractors, 5u);
+  EXPECT_EQ(data.data.true_values.size(), 100u);
+  EXPECT_GT(data.data.size(), 100u);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticConfig config;
+  config.seed = 77;
+  const auto a = GenerateSynthetic(config);
+  const auto b = GenerateSynthetic(config);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (size_t i = 0; i < a.data.size(); ++i) {
+    EXPECT_EQ(a.data.observations[i].item, b.data.observations[i].item);
+    EXPECT_EQ(a.data.observations[i].value, b.data.observations[i].value);
+  }
+}
+
+TEST(SyntheticTest, ExtractionVolumeScalesWithCoverageAndRecall) {
+  SyntheticConfig low;
+  low.page_coverage = 0.2;
+  low.recall = 0.2;
+  SyntheticConfig high = low;
+  high.page_coverage = 0.9;
+  high.recall = 0.9;
+  const auto a = GenerateSynthetic(low);
+  const auto b = GenerateSynthetic(high);
+  EXPECT_GT(b.data.size(), a.data.size() * 5);
+}
+
+TEST(SyntheticTest, ProvidedFlagsReflectSourceStatements) {
+  SyntheticConfig config;
+  config.component_accuracy = 1.0;  // No corruption.
+  const auto data = GenerateSynthetic(config);
+  // With perfect extraction components every observation is provided.
+  for (const auto& obs : data.data.observations) {
+    EXPECT_TRUE(obs.provided);
+  }
+}
+
+TEST(SyntheticTest, CorruptionCreatesUnprovidedObservations) {
+  SyntheticConfig config;
+  config.component_accuracy = 0.6;
+  const auto data = GenerateSynthetic(config);
+  size_t unprovided = 0;
+  for (const auto& obs : data.data.observations) {
+    unprovided += obs.provided ? 0 : 1;
+  }
+  // 1 - 0.6^3 ~ 78% of extractions touch at least one corrupted component.
+  EXPECT_GT(unprovided, data.data.size() / 2);
+}
+
+TEST(SyntheticTest, ProvidedShareOfTrueValuesTracksSourceAccuracy) {
+  SyntheticConfig config;
+  config.source_accuracy = 0.7;
+  config.component_accuracy = 1.0;  // Observations mirror statements.
+  config.recall = 1.0;
+  config.page_coverage = 1.0;
+  config.num_extractors = 1;
+  const auto data = GenerateSynthetic(config);
+  size_t correct = 0;
+  for (const auto& obs : data.data.observations) {
+    const auto it = data.data.true_values.find(obs.item);
+    ASSERT_NE(it, data.data.true_values.end());
+    correct += (it->second == obs.value) ? 1 : 0;
+  }
+  const double share =
+      static_cast<double>(correct) / static_cast<double>(data.data.size());
+  EXPECT_NEAR(share, 0.7, 0.05);
+}
+
+TEST(SyntheticTest, ValuesStayWithinPredicateDomains) {
+  const auto data = GenerateSynthetic(SyntheticConfig{});
+  const int domain = 11;  // n + 1.
+  for (const auto& obs : data.data.observations) {
+    const int pred = static_cast<int>(kb::DataItemPredicate(obs.item));
+    EXPECT_GE(static_cast<int>(obs.value), pred * domain);
+    EXPECT_LT(static_cast<int>(obs.value), (pred + 1) * domain);
+  }
+}
+
+}  // namespace
+}  // namespace kbt::exp

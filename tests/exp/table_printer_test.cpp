@@ -1,0 +1,58 @@
+#include "exp/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace kbt::exp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.AddRow({"a", "1.0"});
+  table.AddRow({"longer-name", "2.25"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| name        | v    |"), std::string::npos);
+  EXPECT_NE(text.find("| longer-name | 2.25 |"), std::string::npos);
+  // Rules above/below header and at the end: 3 rule lines.
+  size_t rules = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(TablePrinterTest, ShortRowsPadWithEmptyCells) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("| x |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(0.123456, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Fmt(0.1, 1), "0.1");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Fmt(-1.5, 2), "-1.50");
+}
+
+TEST(TablePrinterTest, FmtCountGroupsThousands) {
+  EXPECT_EQ(TablePrinter::FmtCount(0), "0");
+  EXPECT_EQ(TablePrinter::FmtCount(999), "999");
+  EXPECT_EQ(TablePrinter::FmtCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::FmtCount(2816344), "2,816,344");
+}
+
+TEST(TablePrinterTest, BannerFormat) {
+  std::ostringstream out;
+  PrintBanner("Table 5", out);
+  EXPECT_EQ(out.str(), "\n== Table 5 ==\n");
+}
+
+}  // namespace
+}  // namespace kbt::exp

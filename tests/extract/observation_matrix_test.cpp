@@ -1,0 +1,155 @@
+#include "extract/observation_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/motivating_example.h"
+#include "granularity/assignments.h"
+
+namespace kbt::extract {
+namespace {
+
+using exp::MotivatingExample;
+
+class ObservationMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = MotivatingExample::Dataset();
+    assignment_ = granularity::PageSourcePlainExtractor(data_);
+  }
+
+  extract::RawDataset data_;
+  GroupAssignment assignment_;
+};
+
+TEST_F(ObservationMatrixTest, SlotsGroupObservationsBySourceItemValue) {
+  const auto matrix = CompiledMatrix::Build(data_, assignment_);
+  ASSERT_TRUE(matrix.ok());
+  // W1 has two slots (USA from E1-E4, Kenya from E5).
+  int w1_slots = 0;
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    if (matrix->slot_source(s) == 0) ++w1_slots;
+  }
+  EXPECT_EQ(w1_slots, 2);
+  // The USA slot of W1 aggregates four extraction edges.
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    if (matrix->slot_source(s) == 0 &&
+        matrix->slot_value(s) == MotivatingExample::kUsa) {
+      const auto [b, e] = matrix->SlotExtractions(s);
+      EXPECT_EQ(e - b, 4u);
+    }
+  }
+}
+
+TEST_F(ObservationMatrixTest, SlotsAreContiguousByItem) {
+  const auto matrix = CompiledMatrix::Build(data_, assignment_);
+  ASSERT_TRUE(matrix.ok());
+  ASSERT_EQ(matrix->num_items(), 1u);
+  const auto [b, e] = matrix->ItemSlots(0);
+  EXPECT_EQ(b, 0u);
+  EXPECT_EQ(e, matrix->num_slots());
+  EXPECT_EQ(matrix->item_id(0), MotivatingExample::Item());
+  EXPECT_EQ(matrix->item_num_false(0), 10);
+}
+
+TEST_F(ObservationMatrixTest, SourceCsrIsConsistent) {
+  const auto matrix = CompiledMatrix::Build(data_, assignment_);
+  ASSERT_TRUE(matrix.ok());
+  size_t total = 0;
+  for (uint32_t w = 0; w < matrix->num_sources(); ++w) {
+    const auto [b, e] = matrix->SourceSlots(w);
+    for (uint32_t k = b; k < e; ++k) {
+      const uint32_t s = matrix->source_slot_index()[k];
+      EXPECT_EQ(matrix->slot_source(s), w);
+    }
+    total += e - b;
+  }
+  EXPECT_EQ(total, matrix->num_slots());
+}
+
+TEST_F(ObservationMatrixTest, ExtractorCsrIsConsistent) {
+  const auto matrix = CompiledMatrix::Build(data_, assignment_);
+  ASSERT_TRUE(matrix.ok());
+  size_t total = 0;
+  for (uint32_t g = 0; g < matrix->num_extractor_groups(); ++g) {
+    const auto [b, e] = matrix->ExtractorEdges(g);
+    for (uint32_t k = b; k < e; ++k) {
+      const uint32_t edge = matrix->extractor_edge_index()[k];
+      EXPECT_EQ(matrix->ext_group()[edge], g);
+      // ext_slot inverts SlotExtractions.
+      const uint32_t slot = matrix->ext_slot(edge);
+      const auto [sb, se] = matrix->SlotExtractions(slot);
+      EXPECT_GE(edge, sb);
+      EXPECT_LT(edge, se);
+    }
+    total += e - b;
+  }
+  EXPECT_EQ(total, matrix->num_extractions());
+}
+
+TEST_F(ObservationMatrixTest, DuplicateEdgesKeepMaxConfidence) {
+  extract::RawDataset data;
+  extract::RawObservation obs;
+  obs.extractor = 0;
+  obs.pattern = 0;
+  obs.website = 0;
+  obs.page = 0;
+  obs.item = kb::MakeDataItem(1, 0);
+  obs.value = 2;
+  obs.confidence = 0.3f;
+  data.observations.push_back(obs);
+  obs.confidence = 0.9f;
+  obs.pattern = 1;  // Different pattern, same extractor group below.
+  data.observations.push_back(obs);
+  data.num_false_by_predicate = {10};
+  data.num_websites = 1;
+  data.num_pages = 1;
+  data.num_extractors = 1;
+  data.num_patterns = 2;
+
+  const auto assignment = granularity::PageSourcePlainExtractor(data);
+  const auto matrix = CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  ASSERT_EQ(matrix->num_slots(), 1u);
+  ASSERT_EQ(matrix->num_extractions(), 1u);
+  EXPECT_FLOAT_EQ(matrix->ext_conf()[0], 0.9f);
+}
+
+TEST_F(ObservationMatrixTest, ProvidedTruthIsSticky) {
+  const auto matrix = CompiledMatrix::Build(data_, assignment_);
+  ASSERT_TRUE(matrix.ok());
+  // W1's USA slot is provided; its Kenya slot is not.
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    if (matrix->slot_source(s) != 0) continue;
+    if (matrix->slot_value(s) == MotivatingExample::kUsa) {
+      EXPECT_TRUE(matrix->slot_provided_truth(s));
+    } else {
+      EXPECT_FALSE(matrix->slot_provided_truth(s));
+    }
+  }
+}
+
+TEST_F(ObservationMatrixTest, RejectsMismatchedAssignment) {
+  GroupAssignment bad = assignment_;
+  bad.observation_source.pop_back();
+  EXPECT_FALSE(CompiledMatrix::Build(data_, bad).ok());
+
+  bad = assignment_;
+  bad.observation_source[0] = bad.num_source_groups + 5;
+  EXPECT_FALSE(CompiledMatrix::Build(data_, bad).ok());
+
+  bad = assignment_;
+  bad.source_infos.pop_back();
+  EXPECT_FALSE(CompiledMatrix::Build(data_, bad).ok());
+}
+
+TEST_F(ObservationMatrixTest, WebsiteAndPredicatePropagate) {
+  const auto matrix = CompiledMatrix::Build(data_, assignment_);
+  ASSERT_TRUE(matrix.ok());
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    EXPECT_EQ(matrix->slot_website(s), matrix->slot_source(s));  // Fixture.
+    EXPECT_EQ(matrix->slot_predicate(s), MotivatingExample::kNationality);
+  }
+}
+
+}  // namespace
+}  // namespace kbt::extract

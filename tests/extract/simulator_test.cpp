@@ -1,0 +1,178 @@
+#include "extract/extraction_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus_generator.h"
+#include "extract/extractor_profile.h"
+#include "kb/type_checker.h"
+
+namespace kbt::extract {
+namespace {
+
+corpus::WebCorpus MakeCorpus() {
+  corpus::CorpusConfig config;
+  config.seed = 21;
+  config.num_subjects = 150;
+  config.num_predicates = 5;
+  config.values_per_domain = 10;
+  config.num_websites = 40;
+  config.max_pages_per_site = 8;
+  config.max_triples_per_page = 15;
+  auto corpus = corpus::CorpusGenerator(config).Generate();
+  EXPECT_TRUE(corpus.ok());
+  return std::move(*corpus);
+}
+
+ExtractionConfig MakeExtraction(int num_extractors, uint64_t seed = 31) {
+  ExtractionConfig config;
+  config.seed = seed;
+  Rng rng(seed);
+  config.extractors = MakeDefaultExtractors(num_extractors, 5, rng);
+  return config;
+}
+
+TEST(ExtractionSimulatorTest, ProducesObservations) {
+  const auto corpus = MakeCorpus();
+  const auto data = ExtractionSimulator(MakeExtraction(6)).Run(corpus);
+  ASSERT_TRUE(data.ok());
+  EXPECT_GT(data->size(), corpus.num_provided() / 2);
+  EXPECT_EQ(data->num_extractors, 6u);
+  EXPECT_EQ(data->num_websites, corpus.num_websites());
+  for (const auto& obs : data->observations) {
+    EXPECT_LT(obs.page, corpus.num_pages());
+    EXPECT_EQ(obs.website, corpus.page(obs.page).website);
+    EXPECT_GE(obs.confidence, 0.0f);
+    EXPECT_LE(obs.confidence, 1.0f);
+  }
+}
+
+TEST(ExtractionSimulatorTest, DeterministicGivenSeed) {
+  const auto corpus = MakeCorpus();
+  const auto a = ExtractionSimulator(MakeExtraction(4)).Run(corpus);
+  const auto b = ExtractionSimulator(MakeExtraction(4)).Run(corpus);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->observations[i].item, b->observations[i].item);
+    EXPECT_EQ(a->observations[i].value, b->observations[i].value);
+    EXPECT_FLOAT_EQ(a->observations[i].confidence,
+                    b->observations[i].confidence);
+  }
+}
+
+TEST(ExtractionSimulatorTest, ProvidedFlagMatchesCorpus) {
+  const auto corpus = MakeCorpus();
+  const auto data = ExtractionSimulator(MakeExtraction(6)).Run(corpus);
+  ASSERT_TRUE(data.ok());
+  // Rebuild the provided set and verify each flag.
+  std::set<std::tuple<kb::PageId, kb::DataItemId, kb::ValueId>> provided;
+  for (const auto& t : corpus.provided()) {
+    provided.emplace(t.page, t.item, t.value);
+  }
+  size_t true_flags = 0;
+  for (const auto& obs : data->observations) {
+    const bool expected =
+        provided.count({obs.page, obs.item, obs.value}) > 0;
+    EXPECT_EQ(obs.provided, expected);
+    true_flags += obs.provided;
+  }
+  // Extraction is mostly faithful: most observations are real.
+  EXPECT_GT(true_flags, data->size() / 3);
+  EXPECT_LT(true_flags, data->size());  // But noise exists.
+}
+
+TEST(ExtractionSimulatorTest, NoConfidenceExtractorsReportOne) {
+  const auto corpus = MakeCorpus();
+  ExtractionConfig config = MakeExtraction(8);
+  for (auto& e : config.extractors) e.emits_confidence = false;
+  const auto data = ExtractionSimulator(std::move(config)).Run(corpus);
+  ASSERT_TRUE(data.ok());
+  for (const auto& obs : data->observations) {
+    EXPECT_FLOAT_EQ(obs.confidence, 1.0f);
+  }
+}
+
+TEST(ExtractionSimulatorTest, ConfidencesSeparateWhenCalibrated) {
+  const auto corpus = MakeCorpus();
+  ExtractionConfig config = MakeExtraction(6);
+  for (auto& e : config.extractors) {
+    e.emits_confidence = true;
+    e.confidence_calibration = 0.95;
+  }
+  const auto data = ExtractionSimulator(std::move(config)).Run(corpus);
+  ASSERT_TRUE(data.ok());
+  double provided_conf = 0.0;
+  double noise_conf = 0.0;
+  size_t np = 0;
+  size_t nn = 0;
+  for (const auto& obs : data->observations) {
+    if (obs.provided) {
+      provided_conf += obs.confidence;
+      ++np;
+    } else {
+      noise_conf += obs.confidence;
+      ++nn;
+    }
+  }
+  ASSERT_GT(np, 0u);
+  ASSERT_GT(nn, 0u);
+  EXPECT_GT(provided_conf / np, noise_conf / nn + 0.3);
+}
+
+TEST(ExtractionSimulatorTest, TypeErrorsAppearAmongCorruptions) {
+  const auto corpus = MakeCorpus();
+  ExtractionConfig config = MakeExtraction(6);
+  for (auto& e : config.extractors) {
+    e.component_accuracy = 0.7;  // Plenty of corruption.
+    e.type_error_fraction = 0.8;
+    for (auto& p : e.patterns) p.component_accuracy = 0.7;
+  }
+  const auto data = ExtractionSimulator(std::move(config)).Run(corpus);
+  ASSERT_TRUE(data.ok());
+  kb::TypeChecker checker(corpus.world());
+  size_t violations = 0;
+  for (const auto& obs : data->observations) {
+    if (!checker.IsWellTyped(obs.item, obs.value)) ++violations;
+  }
+  // A visible share of extractions violates type rules (Figure 6's
+  // "type-error triples"), and they are all labeled unprovided.
+  EXPECT_GT(violations, data->size() / 50);
+  for (const auto& obs : data->observations) {
+    if (!checker.IsWellTyped(obs.item, obs.value)) {
+      EXPECT_FALSE(obs.provided);
+    }
+  }
+}
+
+TEST(ExtractionSimulatorTest, HigherRecallExtractsMore) {
+  const auto corpus = MakeCorpus();
+  ExtractionConfig low = MakeExtraction(4, 77);
+  ExtractionConfig high = MakeExtraction(4, 77);
+  for (auto& e : low.extractors) {
+    e.recall = 0.2;
+    e.page_coverage = 0.5;
+  }
+  for (auto& e : high.extractors) {
+    e.recall = 0.9;
+    e.page_coverage = 0.9;
+  }
+  const auto a = ExtractionSimulator(std::move(low)).Run(corpus);
+  const auto b = ExtractionSimulator(std::move(high)).Run(corpus);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->size(), a->size() * 2);
+}
+
+TEST(ExtractionSimulatorTest, ValidatesConfig) {
+  const auto corpus = MakeCorpus();
+  ExtractionConfig empty;
+  EXPECT_FALSE(ExtractionSimulator(std::move(empty)).Run(corpus).ok());
+
+  ExtractionConfig bad = MakeExtraction(2);
+  bad.extractors[0].recall = 1.5;
+  EXPECT_FALSE(ExtractionSimulator(std::move(bad)).Run(corpus).ok());
+}
+
+}  // namespace
+}  // namespace kbt::extract

@@ -1,0 +1,184 @@
+#include "fusion/single_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/motivating_example.h"
+#include "exp/synthetic.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+
+namespace kbt::fusion {
+namespace {
+
+using exp::MotivatingExample;
+using extract::CompiledMatrix;
+
+SingleLayerConfig TestConfig() {
+  SingleLayerConfig config;
+  config.min_source_support = 1;
+  config.num_false_override = 10;
+  return config;
+}
+
+CompiledMatrix FixtureMatrix() {
+  const auto data = MotivatingExample::Dataset();
+  const auto assignment = granularity::ProvenanceAssignment(data);
+  auto matrix = CompiledMatrix::Build(data, assignment);
+  EXPECT_TRUE(matrix.ok());
+  return std::move(*matrix);
+}
+
+TEST(SingleLayerTest, UsaWinsOnFixture) {
+  // 12 provenances extract USA and 12 extract Kenya in Table 2 — but with
+  // uniform accuracies the single-layer model cannot distinguish them
+  // (Section 2.3's first criticism). Probabilities must come out equal.
+  const CompiledMatrix matrix = FixtureMatrix();
+  SingleLayerConfig config = TestConfig();
+  config.max_iterations = 1;  // Keep accuracies at the uniform default.
+  const auto result = SingleLayerModel::Run(matrix, config);
+  ASSERT_TRUE(result.ok());
+
+  double usa_prob = -1.0;
+  double kenya_prob = -1.0;
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    if (matrix.slot_value(s) == MotivatingExample::kUsa) {
+      usa_prob = result->slot_value_prob[s];
+    }
+    if (matrix.slot_value(s) == MotivatingExample::kKenya) {
+      kenya_prob = result->slot_value_prob[s];
+    }
+  }
+  ASSERT_GE(usa_prob, 0.0);
+  ASSERT_GE(kenya_prob, 0.0);
+  // 12 sources each: equal vote counts, equal posterior — the failure mode
+  // the multi-layer model fixes by explaining Kenya away as extraction
+  // error.
+  EXPECT_NEAR(usa_prob, kenya_prob, 1e-9);
+}
+
+TEST(SingleLayerTest, RecoversAccuracyOnSyntheticData) {
+  exp::SyntheticConfig sc;
+  sc.seed = 3;
+  sc.num_extractors = 8;
+  sc.component_accuracy = 0.98;  // Nearly clean extraction.
+  sc.recall = 0.8;
+  sc.page_coverage = 1.0;
+  const auto syn = exp::GenerateSynthetic(sc);
+  // With near-perfect extractors, (w,e) provenance accuracy ~ source
+  // accuracy; the single layer should find accuracies near 0.7.
+  const auto assignment = granularity::ProvenanceAssignment(syn.data);
+  auto matrix = CompiledMatrix::Build(syn.data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  const auto result = SingleLayerModel::Run(*matrix, TestConfig());
+  ASSERT_TRUE(result.ok());
+
+  double mean = 0.0;
+  for (double a : result->source_accuracy) mean += a;
+  mean /= static_cast<double>(result->source_accuracy.size());
+  EXPECT_NEAR(mean, 0.7, 0.12);
+}
+
+TEST(SingleLayerTest, TruthfulValuesGetHigherProbability) {
+  exp::SyntheticConfig sc;
+  sc.seed = 5;
+  sc.num_extractors = 8;
+  sc.component_accuracy = 0.95;
+  sc.recall = 0.7;
+  sc.page_coverage = 0.9;
+  const auto syn = exp::GenerateSynthetic(sc);
+  const auto assignment = granularity::ProvenanceAssignment(syn.data);
+  auto matrix = CompiledMatrix::Build(syn.data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  const auto result = SingleLayerModel::Run(*matrix, TestConfig());
+  ASSERT_TRUE(result.ok());
+
+  double true_mean = 0.0;
+  double false_mean = 0.0;
+  size_t true_n = 0;
+  size_t false_n = 0;
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    const auto it = syn.data.true_values.find(
+        matrix->item_id(matrix->slot_item(s)));
+    if (it == syn.data.true_values.end()) continue;
+    if (it->second == matrix->slot_value(s)) {
+      true_mean += result->slot_value_prob[s];
+      ++true_n;
+    } else {
+      false_mean += result->slot_value_prob[s];
+      ++false_n;
+    }
+  }
+  ASSERT_GT(true_n, 0u);
+  ASSERT_GT(false_n, 0u);
+  EXPECT_GT(true_mean / true_n, false_mean / false_n + 0.4);
+}
+
+TEST(SingleLayerTest, CoverageRuleExcludesThinProvenances) {
+  const CompiledMatrix matrix = FixtureMatrix();
+  SingleLayerConfig config = TestConfig();
+  config.min_source_support = 3;  // Provenances here have 1-2 claims.
+  const auto result = SingleLayerModel::Run(matrix, config);
+  ASSERT_TRUE(result.ok());
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    EXPECT_EQ(result->slot_covered[s], 0);
+  }
+}
+
+TEST(SingleLayerTest, InitialAccuracySeedsTheRun) {
+  const CompiledMatrix matrix = FixtureMatrix();
+  // Mark provenances extracting USA as accurate, others poor.
+  std::vector<double> initial(matrix.num_sources(), 0.3);
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    if (matrix.slot_value(s) == MotivatingExample::kUsa) {
+      initial[matrix.slot_source(s)] = 0.95;
+    }
+  }
+  SingleLayerConfig config = TestConfig();
+  const auto result = SingleLayerModel::Run(matrix, config, initial);
+  ASSERT_TRUE(result.ok());
+  for (size_t s = 0; s < matrix.num_slots(); ++s) {
+    if (matrix.slot_value(s) == MotivatingExample::kUsa) {
+      EXPECT_GT(result->slot_value_prob[s], 0.9);
+    } else {
+      EXPECT_LT(result->slot_value_prob[s], 0.1);
+    }
+  }
+}
+
+TEST(SingleLayerTest, PopAccuVariantRuns) {
+  const CompiledMatrix matrix = FixtureMatrix();
+  SingleLayerConfig config = TestConfig();
+  config.value_model = core::ValueModel::kPopAccu;
+  const auto result = SingleLayerModel::Run(matrix, config);
+  ASSERT_TRUE(result.ok());
+  for (double p : result->slot_value_prob) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(SingleLayerTest, RejectsBadInputs) {
+  const CompiledMatrix matrix = FixtureMatrix();
+  SingleLayerConfig config = TestConfig();
+  config.max_iterations = 0;
+  EXPECT_FALSE(SingleLayerModel::Run(matrix, config).ok());
+  EXPECT_FALSE(SingleLayerModel::Run(matrix, TestConfig(),
+                                     std::vector<double>(3, 0.5))
+                   .ok());
+}
+
+TEST(SingleLayerTest, AccuracyByWebsiteAggregates) {
+  const CompiledMatrix matrix = FixtureMatrix();
+  const auto result = SingleLayerModel::Run(matrix, TestConfig());
+  ASSERT_TRUE(result.ok());
+  const auto by_site =
+      AccuracyByWebsite(matrix, result->slot_value_prob, 8, 0.8);
+  ASSERT_EQ(by_site.size(), 8u);
+  for (double a : by_site) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace kbt::fusion

@@ -1,0 +1,134 @@
+#include "granularity/assignments.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "exp/motivating_example.h"
+#include "exp/synthetic.h"
+#include "extract/observation_matrix.h"
+
+namespace kbt::granularity {
+namespace {
+
+using exp::MotivatingExample;
+
+TEST(AssignmentsTest, PageSourcePlainExtractorOnFixture) {
+  const auto data = MotivatingExample::Dataset();
+  const auto a = PageSourcePlainExtractor(data);
+  EXPECT_EQ(a.num_source_groups, 8u);
+  EXPECT_EQ(a.num_extractor_groups, 5u);
+  ASSERT_EQ(a.observation_source.size(), data.size());
+  // Scopes are unrestricted and unweighted.
+  for (const auto& scope : a.extractor_scopes) {
+    EXPECT_EQ(scope.predicate, extract::kAnyScope);
+    EXPECT_EQ(scope.website, extract::kAnyScope);
+    EXPECT_DOUBLE_EQ(scope.absence_weight, 1.0);
+  }
+  // Source infos carry the website (site == page in the fixture).
+  for (size_t i = 0; i < data.size(); ++i) {
+    const uint32_t src = a.observation_source[i];
+    EXPECT_EQ(a.source_infos[src].website, data.observations[i].website);
+  }
+}
+
+TEST(AssignmentsTest, FinestAssignmentScopes) {
+  const auto data = MotivatingExample::Dataset();
+  const auto a = FinestAssignment(data);
+  // One data item & one predicate: finest sources are (site, pred, page) =
+  // 8 groups; extractor groups are (e, pattern, pred, site) pairs: each
+  // extractor on each page it extracted from.
+  EXPECT_EQ(a.num_source_groups, 8u);
+  EXPECT_EQ(a.num_extractor_groups, 26u);  // One per extraction here.
+  for (const auto& scope : a.extractor_scopes) {
+    EXPECT_EQ(scope.predicate, MotivatingExample::kNationality);
+    EXPECT_NE(scope.website, extract::kAnyScope);
+    EXPECT_DOUBLE_EQ(scope.absence_weight, 1.0);
+  }
+}
+
+TEST(AssignmentsTest, ProvenanceAssignmentGroupsByTuple) {
+  const auto data = MotivatingExample::Dataset();
+  const auto a = ProvenanceAssignment(data);
+  // (extractor, website, predicate, pattern): pattern == extractor here, so
+  // one provenance per (extractor, page) pair with >= 1 extraction = 26.
+  EXPECT_EQ(a.num_source_groups, 26u);
+  EXPECT_EQ(a.num_extractor_groups, 1u);
+  const auto matrix = extract::CompiledMatrix::Build(data, a);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix->num_slots(), data.size());  // Claims are per provenance.
+}
+
+TEST(AssignmentsTest, WebsiteSourceGroupsBySite) {
+  exp::SyntheticConfig sc;
+  sc.num_sources = 6;
+  const auto syn = exp::GenerateSynthetic(sc);
+  const auto a = WebsiteSourceAssignment(syn.data);
+  EXPECT_LE(a.num_source_groups, 6u);
+  for (size_t i = 0; i < syn.data.size(); ++i) {
+    const uint32_t src = a.observation_source[i];
+    EXPECT_EQ(a.source_infos[src].website, syn.data.observations[i].website);
+  }
+}
+
+TEST(AssignmentsTest, SplitMergeAssignmentCoversAllObservations) {
+  exp::SyntheticConfig sc;
+  sc.num_sources = 10;
+  sc.num_extractors = 5;
+  const auto syn = exp::GenerateSynthetic(sc);
+  SplitMergeOptions source_options;
+  source_options.min_size = 3;
+  source_options.max_size = 50;
+  SplitMergeOptions extractor_options;
+  extractor_options.min_size = 3;
+  extractor_options.max_size = 200;
+  const auto a =
+      SplitMergeAssignment(syn.data, source_options, extractor_options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(a->observation_source.size(), syn.data.size());
+  for (size_t i = 0; i < syn.data.size(); ++i) {
+    EXPECT_LT(a->observation_source[i], a->num_source_groups);
+    EXPECT_LT(a->observation_extractor[i], a->num_extractor_groups);
+  }
+  // Compiles cleanly.
+  const auto matrix = extract::CompiledMatrix::Build(syn.data, *a);
+  EXPECT_TRUE(matrix.ok());
+}
+
+TEST(AssignmentsTest, SplitMergeRecordsPrepTimers) {
+  exp::SyntheticConfig sc;
+  const auto syn = exp::GenerateSynthetic(sc);
+  dataflow::StageTimers timers;
+  const auto a = SplitMergeAssignment(syn.data, SplitMergeOptions{},
+                                      SplitMergeOptions{}, &timers);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(timers.Count("Prep.Source"), 1);
+  EXPECT_EQ(timers.Count("Prep.Extractor"), 1);
+}
+
+TEST(AssignmentsTest, SplitMergeAbsenceWeightReflectsBuckets) {
+  // Force splitting on the extractor side with a tiny max size.
+  exp::SyntheticConfig sc;
+  sc.num_sources = 10;
+  sc.num_extractors = 3;
+  sc.recall = 0.9;
+  sc.page_coverage = 1.0;
+  const auto syn = exp::GenerateSynthetic(sc);
+  SplitMergeOptions source_options;  // Defaults: no-op-ish.
+  SplitMergeOptions extractor_options;
+  extractor_options.min_size = 1;
+  extractor_options.max_size = 10;  // Heavy splitting.
+  const auto a =
+      SplitMergeAssignment(syn.data, source_options, extractor_options);
+  ASSERT_TRUE(a.ok());
+  bool saw_split = false;
+  for (const auto& scope : a->extractor_scopes) {
+    EXPECT_GT(scope.absence_weight, 0.0);
+    EXPECT_LE(scope.absence_weight, 1.0);
+    if (scope.absence_weight < 1.0) saw_split = true;
+  }
+  EXPECT_TRUE(saw_split);
+}
+
+}  // namespace
+}  // namespace kbt::granularity

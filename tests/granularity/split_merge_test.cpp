@@ -1,0 +1,235 @@
+#include "granularity/split_merge.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace kbt::granularity {
+namespace {
+
+/// Builds a leaf with a sequential atom range.
+LeafNode MakeLeaf(std::vector<uint64_t> path, uint64_t first_atom,
+                  size_t count) {
+  LeafNode leaf;
+  leaf.path = std::move(path);
+  for (size_t i = 0; i < count; ++i) leaf.atoms.push_back(first_atom + i);
+  return leaf;
+}
+
+size_t TotalAtoms(const SplitMergeResult& result) {
+  return result.atom_group.size();
+}
+
+TEST(SplitMergeTest, InRangeLeavesPassThrough) {
+  std::vector<LeafNode> leaves;
+  leaves.push_back(MakeLeaf({1, 10, 100}, 0, 7));
+  leaves.push_back(MakeLeaf({1, 10, 101}, 100, 9));
+  SplitMergeOptions options;
+  options.min_size = 5;
+  options.max_size = 10;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_groups, 2u);
+  EXPECT_EQ(TotalAtoms(*result), 16u);
+  for (const auto& g : result->groups) {
+    EXPECT_EQ(g.level, 2);
+    EXPECT_EQ(g.num_buckets, 1u);
+  }
+}
+
+// Example 4.1: three small sources under one site merge into the parent.
+TEST(SplitMergeTest, Example41MergeSiblings) {
+  std::vector<LeafNode> leaves;
+  leaves.push_back(MakeLeaf({7, 0}, 0, 2));   // (website1, date_of_birth)
+  leaves.push_back(MakeLeaf({7, 1}, 10, 2));  // (website1, place_of_birth)
+  leaves.push_back(MakeLeaf({7, 2}, 20, 2));  // (website1, gender)
+  SplitMergeOptions options;
+  options.min_size = 5;
+  options.max_size = 100;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  // One merged source <website1> of size 2*3 = 6.
+  ASSERT_EQ(result->num_groups, 1u);
+  EXPECT_EQ(result->groups[0].level, 0);
+  EXPECT_EQ(result->groups[0].path_prefix, std::vector<uint64_t>{7});
+  EXPECT_EQ(result->groups[0].size, 6u);
+}
+
+// Example 4.2: 1000 sources <W, Pi, URLi>, one triple each, bounds [5, 500]:
+// two stages of merging then one split, ending with 2 sources of 500.
+TEST(SplitMergeTest, Example42MergeThenSplit) {
+  std::vector<LeafNode> leaves;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    leaves.push_back(MakeLeaf({42, 1000 + i, 2000 + i}, i, 1));
+  }
+  SplitMergeOptions options;
+  options.min_size = 5;
+  options.max_size = 500;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_groups, 2u);
+  for (const auto& g : result->groups) {
+    EXPECT_EQ(g.level, 0);
+    EXPECT_EQ(g.size, 500u);
+    EXPECT_EQ(g.num_buckets, 2u);
+  }
+  EXPECT_EQ(TotalAtoms(*result), 1000u);
+}
+
+TEST(SplitMergeTest, SplitProducesBalancedBuckets) {
+  std::vector<LeafNode> leaves;
+  leaves.push_back(MakeLeaf({1, 2, 3}, 0, 1003));
+  SplitMergeOptions options;
+  options.min_size = 1;
+  options.max_size = 100;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  // ceil(1003/100) = 11 buckets of 91 or 92 atoms.
+  ASSERT_EQ(result->num_groups, 11u);
+  for (const auto& g : result->groups) {
+    EXPECT_GE(g.size, 91u);
+    EXPECT_LE(g.size, 92u);
+    EXPECT_EQ(g.num_buckets, 11u);
+  }
+}
+
+TEST(SplitMergeTest, AtomPartitionIsExact) {
+  // Every atom lands in exactly one group regardless of merge/split mix.
+  std::vector<LeafNode> leaves;
+  uint64_t atom = 0;
+  for (uint64_t site = 0; site < 5; ++site) {
+    for (uint64_t pred = 0; pred < 4; ++pred) {
+      for (uint64_t page = 0; page < 3; ++page) {
+        const size_t size = 1 + ((site * 7 + pred * 3 + page) % 40);
+        leaves.push_back(
+            MakeLeaf({site, pred * 10, page * 100}, atom, size));
+        atom += size;
+      }
+    }
+  }
+  SplitMergeOptions options;
+  options.min_size = 8;
+  options.max_size = 30;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(TotalAtoms(*result), atom);
+  // Group sizes from metadata match the atom map.
+  std::vector<size_t> counted(result->num_groups, 0);
+  for (const auto& [a, g] : result->atom_group) {
+    (void)a;
+    counted[g]++;
+  }
+  for (uint32_t g = 0; g < result->num_groups; ++g) {
+    EXPECT_EQ(counted[g], result->groups[g].size);
+  }
+}
+
+TEST(SplitMergeTest, RootLevelSmallNodeKeptAsIs) {
+  // A lone tiny hierarchy cannot merge further; Algorithm 2 keeps it.
+  std::vector<LeafNode> leaves;
+  leaves.push_back(MakeLeaf({3, 1, 0}, 0, 1));
+  SplitMergeOptions options;
+  options.min_size = 5;
+  options.max_size = 100;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_groups, 1u);
+  EXPECT_EQ(result->groups[0].size, 1u);
+  EXPECT_EQ(result->groups[0].level, 0);
+}
+
+TEST(SplitMergeTest, MergeDisabledKeepsSmallLeaves) {
+  std::vector<LeafNode> leaves;
+  leaves.push_back(MakeLeaf({1, 2, 3}, 0, 1));
+  leaves.push_back(MakeLeaf({1, 2, 4}, 10, 1));
+  SplitMergeOptions options;
+  options.min_size = 5;
+  options.max_size = 100;
+  options.enable_merge = false;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_groups, 2u);
+  for (const auto& g : result->groups) EXPECT_EQ(g.level, 2);
+}
+
+TEST(SplitMergeTest, SplitDisabledKeepsBigLeaves) {
+  std::vector<LeafNode> leaves;
+  leaves.push_back(MakeLeaf({1, 2, 3}, 0, 1000));
+  SplitMergeOptions options;
+  options.min_size = 5;
+  options.max_size = 100;
+  options.enable_split = false;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_groups, 1u);
+  EXPECT_EQ(result->groups[0].size, 1000u);
+}
+
+TEST(SplitMergeTest, MergedParentThatBecomesTooLargeIsSplit) {
+  // 50 children of one parent, 4 atoms each -> parent has 200 > M=80 ->
+  // split into 3 buckets.
+  std::vector<LeafNode> leaves;
+  for (uint64_t i = 0; i < 50; ++i) {
+    leaves.push_back(MakeLeaf({9, i, i}, i * 10, 4));
+  }
+  SplitMergeOptions options;
+  options.min_size = 5;
+  options.max_size = 80;
+  const auto result = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  // Children merge to (9, i) singletons (still small), then to (9): 200
+  // atoms, split into ceil(200/80)=3.
+  ASSERT_EQ(result->num_groups, 3u);
+  size_t total = 0;
+  for (const auto& g : result->groups) {
+    EXPECT_EQ(g.level, 0);
+    EXPECT_EQ(g.num_buckets, 3u);
+    total += g.size;
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(SplitMergeTest, DeterministicGivenSeed) {
+  std::vector<LeafNode> leaves;
+  leaves.push_back(MakeLeaf({1, 2, 3}, 0, 1000));
+  SplitMergeOptions options;
+  options.min_size = 1;
+  options.max_size = 100;
+  options.seed = 7;
+  const auto a = SplitAndMerge(leaves, options);
+  const auto b = SplitAndMerge(leaves, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const auto& [atom, group] : a->atom_group) {
+    EXPECT_EQ(b->atom_group.at(atom), group);
+  }
+}
+
+TEST(SplitMergeTest, RejectsInvalidOptionsAndLeaves) {
+  std::vector<LeafNode> leaves;
+  leaves.push_back(MakeLeaf({1}, 0, 3));
+  SplitMergeOptions bad;
+  bad.min_size = 10;
+  bad.max_size = 5;
+  EXPECT_FALSE(SplitAndMerge(leaves, bad).ok());
+
+  SplitMergeOptions ok_options;
+  std::vector<LeafNode> uneven;
+  uneven.push_back(MakeLeaf({1, 2}, 0, 3));
+  uneven.push_back(MakeLeaf({1}, 10, 3));
+  EXPECT_FALSE(SplitAndMerge(uneven, ok_options).ok());
+
+  std::vector<LeafNode> empty_path;
+  empty_path.push_back(MakeLeaf({}, 0, 3));
+  EXPECT_FALSE(SplitAndMerge(empty_path, ok_options).ok());
+}
+
+TEST(SplitMergeTest, EmptyInputYieldsEmptyResult) {
+  const auto result = SplitAndMerge({}, SplitMergeOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_groups, 0u);
+}
+
+}  // namespace
+}  // namespace kbt::granularity

@@ -1,0 +1,186 @@
+// Integration tests over the full pipeline:
+// corpus -> extraction -> granularity -> compilation -> inference -> eval.
+#include <gtest/gtest.h>
+
+#include "corpus/link_graph.h"
+#include "eval/gold_standard.h"
+#include "exp/kv_sim.h"
+#include "exp/runners.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "pagerank/pagerank.h"
+#include "core/kbt_score.h"
+#include "core/multilayer_model.h"
+
+namespace kbt {
+namespace {
+
+/// Shared small KV world (built once; the tests only read it).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto kv = exp::BuildKvSim(exp::KvSimConfig::Small());
+    ASSERT_TRUE(kv.ok()) << kv.status().ToString();
+    kv_ = new exp::KvSimData(std::move(*kv));
+    gold_ = new eval::GoldStandard(kv_->partial_kb, kv_->corpus.world());
+  }
+  static void TearDownTestSuite() {
+    delete gold_;
+    gold_ = nullptr;
+    delete kv_;
+    kv_ = nullptr;
+  }
+
+  static exp::KvSimData* kv_;
+  static eval::GoldStandard* gold_;
+};
+
+exp::KvSimData* EndToEndTest::kv_ = nullptr;
+eval::GoldStandard* EndToEndTest::gold_ = nullptr;
+
+TEST_F(EndToEndTest, AllThreeMethodsProduceSaneMetrics) {
+  for (const exp::Method method :
+       {exp::Method::kSingleLayer, exp::Method::kMultiLayer,
+        exp::Method::kMultiLayerSM}) {
+    exp::RunnerOptions options;
+    const auto run = exp::RunMethodOnKv(method, *kv_, *gold_, options);
+    ASSERT_TRUE(run.ok()) << exp::MethodName(method);
+    EXPECT_GT(run->metrics.num_labeled, 100u) << exp::MethodName(method);
+    EXPECT_GT(run->metrics.coverage, 0.3) << exp::MethodName(method);
+    EXPECT_LE(run->metrics.coverage, 1.0) << exp::MethodName(method);
+    EXPECT_GT(run->metrics.auc_pr, 0.3) << exp::MethodName(method);
+    EXPECT_LT(run->metrics.sqv, 0.25) << exp::MethodName(method);
+    for (const auto& p : run->predictions) {
+      ASSERT_GE(p.probability, 0.0);
+      ASSERT_LE(p.probability, 1.0);
+    }
+  }
+}
+
+TEST_F(EndToEndTest, MultiLayerBeatsSingleLayerOnSqV) {
+  exp::RunnerOptions options;
+  const auto single =
+      exp::RunMethodOnKv(exp::Method::kSingleLayer, *kv_, *gold_, options);
+  const auto multi =
+      exp::RunMethodOnKv(exp::Method::kMultiLayer, *kv_, *gold_, options);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(multi.ok());
+  // The paper's headline Table 5 ordering.
+  EXPECT_LT(multi->metrics.sqv, single->metrics.sqv);
+  EXPECT_LT(multi->metrics.wdev, single->metrics.wdev);
+}
+
+TEST_F(EndToEndTest, SmartInitRaisesCoverage) {
+  exp::RunnerOptions plain;
+  exp::RunnerOptions smart;
+  smart.smart_init = true;
+  const auto base =
+      exp::RunMethodOnKv(exp::Method::kMultiLayer, *kv_, *gold_, plain);
+  const auto plus =
+      exp::RunMethodOnKv(exp::Method::kMultiLayer, *kv_, *gold_, smart);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(plus.ok());
+  EXPECT_GT(plus->metrics.coverage, base->metrics.coverage);
+}
+
+TEST_F(EndToEndTest, TypeErrorSlotsGetLowCorrectness) {
+  const auto assignment = granularity::FinestAssignment(kv_->data);
+  const auto matrix = extract::CompiledMatrix::Build(kv_->data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  core::MultiLayerConfig config;
+  config.num_false_override = 10;
+  const auto result = core::MultiLayerModel::Run(*matrix, config);
+  ASSERT_TRUE(result.ok());
+
+  double type_error_mean = 0.0;
+  double kb_true_mean = 0.0;
+  size_t nt = 0;
+  size_t nk = 0;
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    const kb::DataItemId item = matrix->item_id(matrix->slot_item(s));
+    const kb::ValueId value = matrix->slot_value(s);
+    if (gold_->IsTypeError(item, value)) {
+      type_error_mean += result->slot_correct_prob[s];
+      ++nt;
+    } else if (kv_->partial_kb.Label(item, value) == kb::LcwaLabel::kTrue) {
+      kb_true_mean += result->slot_correct_prob[s];
+      ++nk;
+    }
+  }
+  ASSERT_GT(nt, 50u);
+  ASSERT_GT(nk, 50u);
+  // Figure 6's separation.
+  EXPECT_LT(type_error_mean / nt + 0.3, kb_true_mean / nk);
+}
+
+TEST_F(EndToEndTest, KbtTracksTrueSiteAccuracy) {
+  const auto assignment = granularity::FinestAssignment(kv_->data);
+  const auto matrix = extract::CompiledMatrix::Build(kv_->data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  core::MultiLayerConfig config;
+  config.num_false_override = 10;
+  const auto result = core::MultiLayerModel::Run(*matrix, config);
+  ASSERT_TRUE(result.ok());
+  const auto kbt = core::ComputeWebsiteKbt(
+      *matrix, *result, static_cast<uint32_t>(kv_->corpus.num_websites()));
+
+  std::vector<double> kbt_scores;
+  std::vector<double> true_accuracy;
+  for (uint32_t w = 0; w < kv_->corpus.num_websites(); ++w) {
+    if (!kbt[w].HasScore(5.0)) continue;
+    kbt_scores.push_back(kbt[w].kbt);
+    true_accuracy.push_back(kv_->corpus.EmpiricalSiteAccuracy(w));
+  }
+  ASSERT_GT(kbt_scores.size(), 20u);
+  // KBT correlates strongly with the true accuracy it estimates.
+  EXPECT_GT(pagerank::PearsonCorrelation(kbt_scores, true_accuracy), 0.5);
+}
+
+TEST_F(EndToEndTest, KbtIsOrthogonalToPageRank) {
+  const auto assignment = granularity::FinestAssignment(kv_->data);
+  const auto matrix = extract::CompiledMatrix::Build(kv_->data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  core::MultiLayerConfig config;
+  config.num_false_override = 10;
+  const auto result = core::MultiLayerModel::Run(*matrix, config);
+  ASSERT_TRUE(result.ok());
+  const auto kbt = core::ComputeWebsiteKbt(
+      *matrix, *result, static_cast<uint32_t>(kv_->corpus.num_websites()));
+
+  Rng rng(7);
+  const auto graph =
+      corpus::LinkGraph::Generate(kv_->corpus.websites(), 8.0, rng);
+  const auto pr = pagerank::ComputePageRank(graph);
+  ASSERT_TRUE(pr.ok());
+
+  std::vector<double> kbt_scores;
+  std::vector<double> pr_scores;
+  for (uint32_t w = 0; w < kv_->corpus.num_websites(); ++w) {
+    if (!kbt[w].HasScore(5.0)) continue;
+    kbt_scores.push_back(kbt[w].kbt);
+    pr_scores.push_back((*pr)[w]);
+  }
+  // "Almost orthogonal": |corr| well below a meaningful association.
+  EXPECT_LT(std::fabs(pagerank::PearsonCorrelation(kbt_scores, pr_scores)),
+            0.35);
+}
+
+TEST_F(EndToEndTest, PipelineIsDeterministic) {
+  exp::RunnerOptions options;
+  const auto a =
+      exp::RunMethodOnKv(exp::Method::kMultiLayerSM, *kv_, *gold_, options);
+  const auto b =
+      exp::RunMethodOnKv(exp::Method::kMultiLayerSM, *kv_, *gold_, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->metrics.sqv, b->metrics.sqv);
+  EXPECT_DOUBLE_EQ(a->metrics.auc_pr, b->metrics.auc_pr);
+  ASSERT_EQ(a->predictions.size(), b->predictions.size());
+  for (size_t i = 0; i < a->predictions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->predictions[i].probability,
+                     b->predictions[i].probability);
+  }
+}
+
+}  // namespace
+}  // namespace kbt

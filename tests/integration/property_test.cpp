@@ -1,0 +1,231 @@
+// Property-based tests (parameterized sweeps) over model invariants: for a
+// grid of synthetic-world configurations, the inference outputs must satisfy
+// structural properties regardless of the random draw.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "exp/synthetic.h"
+#include "exp/synthetic_eval.h"
+#include "extract/observation_matrix.h"
+#include "granularity/assignments.h"
+#include "granularity/split_merge.h"
+#include "fusion/single_layer.h"
+#include "core/multilayer_model.h"
+
+namespace kbt {
+namespace {
+
+/// (seed, #extractors, recall, component accuracy).
+using Params = std::tuple<uint64_t, int, double, double>;
+
+class ModelPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  exp::SyntheticConfig Config() const {
+    const auto [seed, extractors, recall, precision] = GetParam();
+    exp::SyntheticConfig config;
+    config.seed = seed;
+    config.num_extractors = extractors;
+    config.recall = recall;
+    config.component_accuracy = precision;
+    return config;
+  }
+};
+
+TEST_P(ModelPropertyTest, PosteriorsAreProbabilities) {
+  const auto synthetic = exp::GenerateSynthetic(Config());
+  const auto assignment =
+      granularity::PageSourcePlainExtractor(synthetic.data);
+  const auto matrix =
+      extract::CompiledMatrix::Build(synthetic.data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  core::MultiLayerConfig config;
+  config.min_source_support = 1;
+  config.min_extractor_support = 1;
+  config.num_false_override = 10;
+  const auto result = core::MultiLayerModel::Run(*matrix, config);
+  ASSERT_TRUE(result.ok());
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    ASSERT_GE(result->slot_correct_prob[s], 0.0);
+    ASSERT_LE(result->slot_correct_prob[s], 1.0);
+    ASSERT_GE(result->slot_value_prob[s], 0.0);
+    ASSERT_LE(result->slot_value_prob[s], 1.0);
+    ASSERT_FALSE(std::isnan(result->slot_alpha[s]));
+  }
+  for (uint32_t w = 0; w < matrix->num_sources(); ++w) {
+    ASSERT_GT(result->source_accuracy[w], 0.0);
+    ASSERT_LT(result->source_accuracy[w], 1.0);
+  }
+  for (uint32_t g = 0; g < matrix->num_extractor_groups(); ++g) {
+    ASSERT_GT(result->extractor_precision[g], 0.0);
+    ASSERT_LE(result->extractor_q[g], result->extractor_recall[g] + 1e-12);
+  }
+}
+
+TEST_P(ModelPropertyTest, PerItemValueMassIsSubNormalized) {
+  const auto synthetic = exp::GenerateSynthetic(Config());
+  const auto assignment =
+      granularity::PageSourcePlainExtractor(synthetic.data);
+  const auto matrix =
+      extract::CompiledMatrix::Build(synthetic.data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  core::MultiLayerConfig config;
+  config.min_source_support = 1;
+  config.min_extractor_support = 1;
+  config.num_false_override = 10;
+  const auto result = core::MultiLayerModel::Run(*matrix, config);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < matrix->num_items(); ++i) {
+    const auto [b, e] = matrix->ItemSlots(i);
+    double mass = 0.0;
+    std::vector<uint32_t> seen;
+    for (uint32_t s = b; s < e; ++s) {
+      bool duplicate = false;
+      for (uint32_t v : seen) duplicate |= (v == matrix->slot_value(s));
+      if (duplicate) continue;
+      seen.push_back(matrix->slot_value(s));
+      mass += result->slot_value_prob[s];
+    }
+    // Observed mass plus unobserved mass can never exceed 1.
+    const int unobserved =
+        std::max(0, 10 + 1 - static_cast<int>(seen.size()));
+    mass += result->item_unobserved_value_prob[i] * unobserved;
+    ASSERT_LE(mass, 1.0 + 1e-6) << "item " << i;
+  }
+}
+
+TEST_P(ModelPropertyTest, SingleLayerSlotProbsAreNormalizedToo) {
+  const auto synthetic = exp::GenerateSynthetic(Config());
+  const auto assignment = granularity::ProvenanceAssignment(synthetic.data);
+  const auto matrix =
+      extract::CompiledMatrix::Build(synthetic.data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  fusion::SingleLayerConfig config;
+  config.min_source_support = 1;
+  config.num_false_override = 10;
+  const auto result = fusion::SingleLayerModel::Run(*matrix, config);
+  ASSERT_TRUE(result.ok());
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    ASSERT_GE(result->slot_value_prob[s], 0.0);
+    ASSERT_LE(result->slot_value_prob[s], 1.0);
+  }
+}
+
+TEST_P(ModelPropertyTest, RaisingSupportThresholdOnlyShrinksCoverage) {
+  const auto synthetic = exp::GenerateSynthetic(Config());
+  const auto assignment =
+      granularity::PageSourcePlainExtractor(synthetic.data);
+  const auto matrix =
+      extract::CompiledMatrix::Build(synthetic.data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  size_t prev_covered = matrix->num_slots() + 1;
+  for (int support : {1, 50, 200, 100000}) {
+    core::MultiLayerConfig config;
+    config.min_source_support = support;
+    config.min_extractor_support = 1;
+    config.num_false_override = 10;
+    const auto result = core::MultiLayerModel::Run(*matrix, config);
+    ASSERT_TRUE(result.ok());
+    size_t covered = 0;
+    for (size_t s = 0; s < matrix->num_slots(); ++s) {
+      covered += result->slot_covered[s];
+    }
+    ASSERT_LE(covered, prev_covered) << "support " << support;
+    prev_covered = covered;
+  }
+}
+
+TEST_P(ModelPropertyTest, SplitMergePartitionsAtoms) {
+  const auto synthetic = exp::GenerateSynthetic(Config());
+  granularity::SplitMergeOptions source_options;
+  source_options.min_size = 4;
+  source_options.max_size = 60;
+  granularity::SplitMergeOptions extractor_options;
+  extractor_options.min_size = 2;
+  extractor_options.max_size = 300;
+  const auto assignment = granularity::SplitMergeAssignment(
+      synthetic.data, source_options, extractor_options);
+  ASSERT_TRUE(assignment.ok());
+  // Every observation maps into range; the compiled matrix preserves the
+  // total extraction count (dedup only collapses same-slot duplicates).
+  for (size_t i = 0; i < synthetic.data.size(); ++i) {
+    ASSERT_LT(assignment->observation_source[i],
+              assignment->num_source_groups);
+    ASSERT_LT(assignment->observation_extractor[i],
+              assignment->num_extractor_groups);
+  }
+  const auto matrix =
+      extract::CompiledMatrix::Build(synthetic.data, *assignment);
+  ASSERT_TRUE(matrix.ok());
+  ASSERT_LE(matrix->num_extractions(), synthetic.data.size());
+  ASSERT_GT(matrix->num_extractions(), 0u);
+}
+
+TEST_P(ModelPropertyTest, MultiLayerNotWorseThanChanceOnTruth) {
+  const auto run = exp::RunSyntheticComparison(Config());
+  ASSERT_TRUE(run.ok());
+  // Predicting 0.5 for everything would score SqV = 0.25.
+  ASSERT_LT(run->multi_layer.sqv, 0.25);
+  ASSERT_LT(run->multi_layer.sqc, 0.5);
+  ASSERT_LT(run->multi_layer.sqa, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SyntheticGrid, ModelPropertyTest,
+    ::testing::Values(
+        Params{11, 3, 0.5, 0.8}, Params{12, 5, 0.5, 0.8},
+        Params{13, 8, 0.5, 0.8}, Params{14, 5, 0.2, 0.8},
+        Params{15, 5, 0.9, 0.8}, Params{16, 5, 0.5, 0.6},
+        Params{17, 5, 0.5, 0.95}, Params{18, 10, 0.7, 0.9},
+        Params{19, 2, 0.3, 0.7}));
+
+/// Property sweep over SplitAndMerge bounds.
+class SplitMergePropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(SplitMergePropertyTest, GroupSizesRespectBoundsWherePossible) {
+  const auto [m, M] = GetParam();
+  // Random-ish hierarchy of 3 levels.
+  std::vector<granularity::LeafNode> leaves;
+  uint64_t atom = 0;
+  Rng rng(m * 131 + M);
+  for (uint64_t site = 0; site < 12; ++site) {
+    const int pages = 1 + static_cast<int>(rng.UniformInt(0, 20));
+    for (int p = 0; p < pages; ++p) {
+      granularity::LeafNode leaf;
+      leaf.path = {site, site * 100 + static_cast<uint64_t>(p) % 3,
+                   static_cast<uint64_t>(p)};
+      const int size = 1 + static_cast<int>(rng.UniformInt(0, 120));
+      for (int a = 0; a < size; ++a) leaf.atoms.push_back(atom++);
+      leaves.push_back(std::move(leaf));
+    }
+  }
+  granularity::SplitMergeOptions options;
+  options.min_size = m;
+  options.max_size = M;
+  const auto result = granularity::SplitAndMerge(leaves, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->atom_group.size(), atom);
+  for (const auto& group : result->groups) {
+    // Upper bound is hard.
+    ASSERT_LE(group.size, M);
+    // Lower bound can only be violated at the hierarchy root (no parent to
+    // merge into) or by a split remainder.
+    if (group.size < m) {
+      ASSERT_TRUE(group.level == 0 || group.num_buckets > 1)
+          << "size " << group.size << " level " << group.level;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SplitMergePropertyTest,
+                         ::testing::Values(std::tuple<size_t, size_t>{1, 50},
+                                           std::tuple<size_t, size_t>{5, 100},
+                                           std::tuple<size_t, size_t>{10, 40},
+                                           std::tuple<size_t, size_t>{2, 500},
+                                           std::tuple<size_t, size_t>{30,
+                                                                      3000}));
+
+}  // namespace
+}  // namespace kbt

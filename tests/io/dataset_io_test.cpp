@@ -1,0 +1,145 @@
+#include "io/dataset_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "exp/synthetic.h"
+
+namespace kbt::io {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(DatasetIoTest, RawDatasetRoundTrips) {
+  exp::SyntheticConfig config;
+  config.num_sources = 5;
+  config.num_extractors = 3;
+  const auto synthetic = exp::GenerateSynthetic(config);
+  const std::string path = TempPath("dataset.tsv");
+
+  ASSERT_TRUE(WriteRawDataset(path, synthetic.data).ok());
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_websites, synthetic.data.num_websites);
+  EXPECT_EQ(loaded->num_pages, synthetic.data.num_pages);
+  EXPECT_EQ(loaded->num_extractors, synthetic.data.num_extractors);
+  EXPECT_EQ(loaded->num_patterns, synthetic.data.num_patterns);
+  EXPECT_EQ(loaded->num_false_by_predicate,
+            synthetic.data.num_false_by_predicate);
+  EXPECT_EQ(loaded->true_values, synthetic.data.true_values);
+  ASSERT_EQ(loaded->size(), synthetic.data.size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    const auto& a = loaded->observations[i];
+    const auto& b = synthetic.data.observations[i];
+    EXPECT_EQ(a.extractor, b.extractor);
+    EXPECT_EQ(a.pattern, b.pattern);
+    EXPECT_EQ(a.website, b.website);
+    EXPECT_EQ(a.page, b.page);
+    EXPECT_EQ(a.item, b.item);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_FLOAT_EQ(a.confidence, b.confidence);
+    EXPECT_EQ(a.provided, b.provided);
+  }
+}
+
+TEST(DatasetIoTest, ConfidenceRoundTripsExactly) {
+  extract::RawDataset data;
+  extract::RawObservation obs;
+  obs.item = kb::MakeDataItem(1, 0);
+  obs.value = 2;
+  obs.confidence = 0.123456789f;
+  data.observations.push_back(obs);
+  data.num_false_by_predicate = {10};
+
+  const std::string path = TempPath("conf.tsv");
+  ASSERT_TRUE(WriteRawDataset(path, data).ok());
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->observations[0].confidence, obs.confidence);
+}
+
+TEST(DatasetIoTest, MissingFileIsNotFound) {
+  const auto result = ReadRawDataset(TempPath("does_not_exist.tsv"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, WrongHeaderRejected) {
+  const std::string path = TempPath("bad_header.tsv");
+  {
+    std::ofstream out(path);
+    out << "# some other file\nobs 0 0 0 0 1 2 1.0 1\n";
+  }
+  const auto result = ReadRawDataset(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, MalformedLineRejected) {
+  const std::string path = TempPath("malformed.tsv");
+  {
+    std::ofstream out(path);
+    out << "# kbt-raw-dataset v1\nobs 0 zero 0\n";
+  }
+  EXPECT_FALSE(ReadRawDataset(path).ok());
+}
+
+TEST(DatasetIoTest, UnknownTagRejected) {
+  const std::string path = TempPath("unknown_tag.tsv");
+  {
+    std::ofstream out(path);
+    out << "# kbt-raw-dataset v1\nwhatever 1 2 3\n";
+  }
+  EXPECT_FALSE(ReadRawDataset(path).ok());
+}
+
+TEST(DatasetIoTest, PredictionsRoundTrip) {
+  std::vector<eval::TriplePrediction> preds;
+  preds.push_back(eval::TriplePrediction{kb::MakeDataItem(3, 1), 7,
+                                         0.123456789012345, true});
+  preds.push_back(eval::TriplePrediction{kb::MakeDataItem(4, 0), 9, 1e-9,
+                                         false});
+  const std::string path = TempPath("preds.tsv");
+  ASSERT_TRUE(WriteTriplePredictions(path, preds).ok());
+  const auto loaded = ReadTriplePredictions(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].item, preds[0].item);
+  EXPECT_EQ((*loaded)[0].value, preds[0].value);
+  EXPECT_DOUBLE_EQ((*loaded)[0].probability, preds[0].probability);
+  EXPECT_TRUE((*loaded)[0].covered);
+  EXPECT_FALSE((*loaded)[1].covered);
+}
+
+TEST(DatasetIoTest, KbtScoresRoundTrip) {
+  std::vector<core::KbtScore> scores(3);
+  scores[0].kbt = 0.875;
+  scores[0].evidence = 12.5;
+  scores[2].kbt = 0.25;
+  scores[2].evidence = 5.0;
+  const std::string path = TempPath("scores.tsv");
+  ASSERT_TRUE(WriteKbtScores(path, scores).ok());
+  const auto loaded = ReadKbtScores(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_DOUBLE_EQ((*loaded)[0].kbt, 0.875);
+  EXPECT_DOUBLE_EQ((*loaded)[0].evidence, 12.5);
+  EXPECT_DOUBLE_EQ((*loaded)[2].kbt, 0.25);
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundTrips) {
+  extract::RawDataset empty;
+  const std::string path = TempPath("empty.tsv");
+  ASSERT_TRUE(WriteRawDataset(path, empty).ok());
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+}  // namespace
+}  // namespace kbt::io

@@ -1,0 +1,137 @@
+#include "kb/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+#include "kb/ids.h"
+#include "kb/schema.h"
+
+namespace kbt::kb {
+namespace {
+
+KnowledgeBase MakeSmallKb() {
+  KnowledgeBase kb;
+  const EntityId obama = kb.AddEntity("Barack Obama", EntityType::kPerson);
+  const EntityId usa = kb.AddEntity("USA", EntityType::kPlace);
+  kb.AddEntity("Kenya", EntityType::kPlace);
+  PredicateSchema nationality;
+  nationality.name = "nationality";
+  nationality.subject_type = EntityType::kPerson;
+  nationality.object_type = EntityType::kPlace;
+  const PredicateId pred = kb.AddPredicate(nationality);
+  EXPECT_TRUE(kb.AddFact(obama, pred, usa).ok());
+  return kb;
+}
+
+TEST(DataItemIdTest, PackAndUnpackRoundTrip) {
+  const DataItemId d = MakeDataItem(0xdeadbeefu, 0x12345678u);
+  EXPECT_EQ(DataItemSubject(d), 0xdeadbeefu);
+  EXPECT_EQ(DataItemPredicate(d), 0x12345678u);
+}
+
+TEST(KnowledgeBaseTest, EntitiesGetDenseIds) {
+  KnowledgeBase kb;
+  EXPECT_EQ(kb.AddEntity("a", EntityType::kPerson), 0u);
+  EXPECT_EQ(kb.AddEntity("b", EntityType::kPlace), 1u);
+  EXPECT_EQ(kb.num_entities(), 2u);
+  EXPECT_EQ(kb.entity_name(1), "b");
+  EXPECT_EQ(kb.entity_type(0), EntityType::kPerson);
+}
+
+TEST(KnowledgeBaseTest, PredicateSchemaIsStored) {
+  KnowledgeBase kb;
+  PredicateSchema s;
+  s.name = "date_of_birth";
+  s.object_type = EntityType::kDate;
+  s.num_false_values = 50;
+  const PredicateId id = kb.AddPredicate(s);
+  EXPECT_EQ(kb.predicate(id).name, "date_of_birth");
+  EXPECT_EQ(kb.predicate(id).num_false_values, 50);
+  EXPECT_EQ(kb.predicate(id).id, id);
+}
+
+TEST(KnowledgeBaseTest, AddFactValidatesIds) {
+  KnowledgeBase kb;
+  const EntityId e = kb.AddEntity("e", EntityType::kPerson);
+  PredicateSchema s;
+  s.name = "p";
+  const PredicateId p = kb.AddPredicate(s);
+  EXPECT_TRUE(kb.AddFact(e, p, e).ok());
+  EXPECT_FALSE(kb.AddFact(e + 10, p, e).ok());
+  EXPECT_FALSE(kb.AddFact(e, p + 10, e).ok());
+  EXPECT_FALSE(kb.AddFact(e, p, e + 10).ok());
+}
+
+TEST(KnowledgeBaseTest, ValueOfReturnsSingleTruth) {
+  KnowledgeBase kb = MakeSmallKb();
+  const DataItemId item = MakeDataItem(0, 0);  // (Obama, nationality)
+  ASSERT_TRUE(kb.ValueOf(item).has_value());
+  EXPECT_EQ(*kb.ValueOf(item), 1u);  // USA
+  EXPECT_FALSE(kb.ValueOf(MakeDataItem(1, 0)).has_value());
+}
+
+TEST(KnowledgeBaseTest, AddFactOverwritesValue) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_TRUE(kb.AddFact(0, 0, 2).ok());  // Re-assert with Kenya.
+  EXPECT_EQ(*kb.ValueOf(MakeDataItem(0, 0)), 2u);
+  EXPECT_EQ(kb.num_facts(), 1u);
+}
+
+TEST(KnowledgeBaseTest, LcwaLabels) {
+  KnowledgeBase kb = MakeSmallKb();
+  const DataItemId known = MakeDataItem(0, 0);
+  // (Obama, nationality, USA) in KB -> true.
+  EXPECT_EQ(kb.Label(known, 1), LcwaLabel::kTrue);
+  // (Obama, nationality, Kenya): KB knows another value -> false.
+  EXPECT_EQ(kb.Label(known, 2), LcwaLabel::kFalse);
+  // (Kenya, nationality, *): data item absent -> unknown.
+  EXPECT_EQ(kb.Label(MakeDataItem(2, 0), 1), LcwaLabel::kUnknown);
+}
+
+TEST(KnowledgeBaseTest, ContainsFact) {
+  KnowledgeBase kb = MakeSmallKb();
+  EXPECT_TRUE(kb.ContainsFact(MakeDataItem(0, 0), 1));
+  EXPECT_FALSE(kb.ContainsFact(MakeDataItem(0, 0), 2));
+  EXPECT_FALSE(kb.ContainsFact(MakeDataItem(1, 0), 1));
+}
+
+TEST(KnowledgeBaseTest, SampleSubsetKeepsSchemaDropsFacts) {
+  KnowledgeBase kb;
+  const EntityId s = kb.AddEntity("s", EntityType::kPerson);
+  PredicateSchema schema;
+  schema.name = "p";
+  schema.subject_type = EntityType::kPerson;
+  schema.object_type = EntityType::kPlace;
+  const PredicateId p = kb.AddPredicate(schema);
+  std::vector<EntityId> objects;
+  for (int i = 0; i < 2000; ++i) {
+    objects.push_back(
+        kb.AddEntity("o" + std::to_string(i), EntityType::kPlace));
+  }
+  // Distinct subjects so each fact is a distinct data item.
+  for (int i = 0; i < 2000; ++i) {
+    const EntityId subj =
+        kb.AddEntity("s" + std::to_string(i), EntityType::kPerson);
+    ASSERT_TRUE(kb.AddFact(subj, p, objects[static_cast<size_t>(i)]).ok());
+  }
+  (void)s;
+
+  Rng rng(5);
+  const KnowledgeBase half = kb.SampleSubset(0.5, rng);
+  EXPECT_EQ(half.num_entities(), kb.num_entities());
+  EXPECT_EQ(half.num_predicates(), kb.num_predicates());
+  EXPECT_NEAR(static_cast<double>(half.num_facts()), 1000.0, 100.0);
+  // Every retained fact matches the world.
+  for (const auto& [item, value] : half.facts()) {
+    EXPECT_TRUE(kb.ContainsFact(item, value));
+  }
+}
+
+TEST(KnowledgeBaseTest, SampleSubsetFullAndEmpty) {
+  KnowledgeBase kb = MakeSmallKb();
+  Rng rng(6);
+  EXPECT_EQ(kb.SampleSubset(1.0, rng).num_facts(), kb.num_facts());
+  EXPECT_EQ(kb.SampleSubset(0.0, rng).num_facts(), 0u);
+}
+
+}  // namespace
+}  // namespace kbt::kb

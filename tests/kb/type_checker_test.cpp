@@ -1,0 +1,103 @@
+#include "kb/type_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+#include "kb/schema.h"
+
+namespace kbt::kb {
+namespace {
+
+class TypeCheckerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = kb_.AddEntity("athlete", EntityType::kPerson);
+    place_ = kb_.AddEntity("USA", EntityType::kPlace);
+    other_person_ = kb_.AddEntity("coach", EntityType::kPerson);
+    weight_ok_ = kb_.AddEntity("180", EntityType::kNumber, 180.0);
+    weight_bad_ = kb_.AddEntity("1200", EntityType::kNumber, 1200.0);
+
+    PredicateSchema nationality;
+    nationality.name = "nationality";
+    nationality.subject_type = EntityType::kPerson;
+    nationality.object_type = EntityType::kPlace;
+    nationality_ = kb_.AddPredicate(nationality);
+
+    PredicateSchema weight;
+    weight.name = "weight_lbs";
+    weight.subject_type = EntityType::kPerson;
+    weight.object_type = EntityType::kNumber;
+    weight.numeric_min = 0.0;
+    weight.numeric_max = 1000.0;  // Paper: athlete weight over 1000 lbs fails.
+    weight_pred_ = kb_.AddPredicate(weight);
+  }
+
+  KnowledgeBase kb_;
+  EntityId person_ = 0;
+  EntityId place_ = 0;
+  EntityId other_person_ = 0;
+  EntityId weight_ok_ = 0;
+  EntityId weight_bad_ = 0;
+  PredicateId nationality_ = 0;
+  PredicateId weight_pred_ = 0;
+};
+
+TEST_F(TypeCheckerTest, WellTypedTriplePasses) {
+  TypeChecker checker(kb_);
+  EXPECT_EQ(checker.Check(MakeDataItem(person_, nationality_), place_),
+            TypeViolation::kNone);
+  EXPECT_TRUE(checker.IsWellTyped(MakeDataItem(person_, nationality_), place_));
+}
+
+TEST_F(TypeCheckerTest, SubjectEqualsObjectFails) {
+  TypeChecker checker(kb_);
+  EXPECT_EQ(checker.Check(MakeDataItem(person_, nationality_), person_),
+            TypeViolation::kSubjectEqualsObject);
+}
+
+TEST_F(TypeCheckerTest, SubjectTypeMismatchFails) {
+  TypeChecker checker(kb_);
+  // Place as subject of nationality: the subject rule fires first even when
+  // the object is also incompatible.
+  EXPECT_EQ(checker.Check(MakeDataItem(place_, nationality_), other_person_),
+            TypeViolation::kSubjectTypeMismatch);
+  const EntityId another_place = kb_.AddEntity("Wales", EntityType::kPlace);
+  EXPECT_EQ(checker.Check(MakeDataItem(place_, nationality_), another_place),
+            TypeViolation::kSubjectTypeMismatch);
+}
+
+TEST_F(TypeCheckerTest, ObjectTypeMismatchFails) {
+  TypeChecker checker(kb_);
+  EXPECT_EQ(checker.Check(MakeDataItem(person_, nationality_), other_person_),
+            TypeViolation::kObjectTypeMismatch);
+}
+
+TEST_F(TypeCheckerTest, NumericRangeEnforced) {
+  TypeChecker checker(kb_);
+  EXPECT_EQ(checker.Check(MakeDataItem(person_, weight_pred_), weight_ok_),
+            TypeViolation::kNone);
+  EXPECT_EQ(checker.Check(MakeDataItem(person_, weight_pred_), weight_bad_),
+            TypeViolation::kValueOutOfRange);
+}
+
+TEST_F(TypeCheckerTest, NanBoundsDisableRangeCheck) {
+  PredicateSchema unbounded;
+  unbounded.name = "count";
+  unbounded.subject_type = EntityType::kPerson;
+  unbounded.object_type = EntityType::kNumber;
+  const PredicateId p = kb_.AddPredicate(unbounded);
+  TypeChecker checker(kb_);
+  EXPECT_EQ(checker.Check(MakeDataItem(person_, p), weight_bad_),
+            TypeViolation::kNone);
+}
+
+TEST_F(TypeCheckerTest, ViolationNamesAreStable) {
+  EXPECT_EQ(TypeViolationName(TypeViolation::kNone), "none");
+  EXPECT_EQ(TypeViolationName(TypeViolation::kSubjectEqualsObject),
+            "subject_equals_object");
+  EXPECT_EQ(TypeViolationName(TypeViolation::kValueOutOfRange),
+            "value_out_of_range");
+}
+
+}  // namespace
+}  // namespace kbt::kb

@@ -1,0 +1,107 @@
+#include "pagerank/pagerank.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "corpus/link_graph.h"
+
+namespace kbt::pagerank {
+namespace {
+
+using corpus::LinkGraph;
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRankTest, UniformOnSymmetricCycle) {
+  // 0 -> 1 -> 2 -> 3 -> 0: perfect symmetry, uniform rank.
+  LinkGraph g = LinkGraph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto rank = ComputePageRank(g);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_NEAR(Sum(*rank), 1.0, 1e-9);
+  for (double r : *rank) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, HubAccumulatesRank) {
+  // Star: everyone links to node 0.
+  LinkGraph g = LinkGraph::FromEdges(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  const auto rank = ComputePageRank(g);
+  ASSERT_TRUE(rank.ok());
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_GT((*rank)[0], (*rank)[static_cast<size_t>(i)] * 3);
+  }
+  EXPECT_NEAR(Sum(*rank), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, DanglingMassIsRedistributed) {
+  // Node 1 has no out-links; rank must still sum to 1.
+  LinkGraph g = LinkGraph::FromEdges(3, {{0, 1}, {2, 1}});
+  const auto rank = ComputePageRank(g);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_NEAR(Sum(*rank), 1.0, 1e-9);
+  EXPECT_GT((*rank)[1], (*rank)[0]);
+}
+
+TEST(PageRankTest, TwoNodeExactSolution) {
+  // 0 <-> 1 symmetric: rank 0.5 each.
+  LinkGraph g = LinkGraph::FromEdges(2, {{0, 1}, {1, 0}});
+  const auto rank = ComputePageRank(g);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_NEAR((*rank)[0], 0.5, 1e-9);
+  EXPECT_NEAR((*rank)[1], 0.5, 1e-9);
+}
+
+TEST(PageRankTest, RejectsBadInputs) {
+  LinkGraph empty;
+  EXPECT_FALSE(ComputePageRank(empty).ok());
+  LinkGraph g = LinkGraph::FromEdges(2, {{0, 1}});
+  PageRankConfig bad;
+  bad.damping = 1.0;
+  EXPECT_FALSE(ComputePageRank(g, bad).ok());
+}
+
+TEST(PageRankTest, NormalizeToUnitInterval) {
+  const auto normalized = NormalizeToUnitInterval({0.1, 0.4, 0.2});
+  EXPECT_DOUBLE_EQ(normalized[1], 1.0);
+  EXPECT_DOUBLE_EQ(normalized[0], 0.25);
+  EXPECT_DOUBLE_EQ(normalized[2], 0.5);
+}
+
+TEST(PageRankTest, PearsonCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 1, 2}, {5, 5, 6, 6}), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+}
+
+TEST(PageRankTest, DescendingRanks) {
+  const auto ranks = DescendingRanks({0.1, 0.9, 0.5});
+  EXPECT_EQ(ranks[0], 2u);
+  EXPECT_EQ(ranks[1], 0u);
+  EXPECT_EQ(ranks[2], 1u);
+}
+
+TEST(PageRankTest, PopularSitesOutrankTailSites) {
+  // A preferential-attachment graph generated from site popularity: the
+  // most popular sites should land in the top ranks.
+  std::vector<corpus::Website> sites(100);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    sites[i].id = static_cast<uint32_t>(i);
+    sites[i].popularity = i < 5 ? 50.0 : 0.5;  // Five celebrity sites.
+  }
+  Rng rng(4);
+  LinkGraph g = LinkGraph::Generate(sites, 6.0, rng);
+  const auto rank = ComputePageRank(g);
+  ASSERT_TRUE(rank.ok());
+  const auto ranks = DescendingRanks(*rank);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_LT(ranks[i], 15u) << "celebrity site " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kbt::pagerank
