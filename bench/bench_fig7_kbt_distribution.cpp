@@ -1,16 +1,10 @@
 // Reproduces Figure 7: the distribution of KBT scores across websites with
-// at least 5 (expected) correctly extracted triples. The paper observes a
-// peak around 0.8 with 52% of websites above 0.8.
+// at least 5 (expected) correctly extracted triples, read straight off a
+// facade TrustReport. The paper observes a peak around 0.8 with 52% of
+// websites above 0.8.
 #include <cstdio>
 
-#include "common/histogram.h"
-#include "dataflow/parallel.h"
-#include "exp/kv_sim.h"
-#include "exp/table_printer.h"
-#include "extract/observation_matrix.h"
-#include "granularity/assignments.h"
-#include "core/kbt_score.h"
-#include "core/multilayer_model.h"
+#include "kbt/kbt.h"
 
 int main() {
   using namespace kbt;
@@ -21,17 +15,22 @@ int main() {
                  kv.status().ToString().c_str());
     return 1;
   }
-  const auto assignment = granularity::FinestAssignment(kv->data);
-  const auto matrix = extract::CompiledMatrix::Build(kv->data, assignment);
-  if (!matrix.ok()) return 1;
-  core::MultiLayerConfig config;
-  config.num_false_override = 10;
-  const auto result = core::MultiLayerModel::Run(
-      *matrix, config, {}, &dataflow::DefaultExecutor());
-  if (!result.ok()) return 1;
-
-  const auto scores = core::ComputeWebsiteKbt(
-      *matrix, *result, static_cast<uint32_t>(kv->corpus.num_websites()));
+  api::Options options;
+  options.granularity = api::Granularity::kFinest;
+  options.multilayer.num_false_override = 10;
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(&kv->data)
+                      .WithOptions(options)
+                      .WithExecutor(&dataflow::DefaultExecutor())
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+  const auto report = pipeline->Run();
+  if (!report.ok()) return 1;
+  const auto& scores = report->website_kbt;
 
   Histogram hist = Histogram::UniformProbabilityBuckets(20);
   size_t scored = 0;

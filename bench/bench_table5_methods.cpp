@@ -1,18 +1,14 @@
 // Reproduces Table 5: SqV / WDev / AUC-PR / Cov for the three methods
 // (SINGLELAYER, MULTILAYER, MULTILAYERSM) with default and gold-standard
 // ("+") initialization, on the KV-scale simulation with an LCWA +
-// type-checking gold standard.
+// type-checking gold standard. Each method is one facade pipeline over the
+// shared cube.
 #include <cstdio>
 
-#include "dataflow/parallel.h"
-#include "eval/gold_standard.h"
-#include "exp/kv_sim.h"
-#include "exp/runners.h"
-#include "exp/table_printer.h"
+#include "kbt/kbt.h"
 
 int main() {
   using namespace kbt;
-  using exp::Method;
 
   const auto kv = exp::BuildKvSim(exp::KvSimConfig::Default());
   if (!kv.ok()) {
@@ -28,24 +24,47 @@ int main() {
               kv->corpus.num_websites(), kv->corpus.num_pages(),
               kv->data.size(), kv->partial_kb.num_facts());
 
+  struct MethodSpec {
+    const char* name;
+    api::Model model;
+    api::Granularity granularity;
+  };
+  const MethodSpec methods[] = {
+      {"SingleLayer", api::Model::kSingleLayer, api::Granularity::kProvenance},
+      {"MultiLayer", api::Model::kMultiLayer, api::Granularity::kFinest},
+      {"MultiLayerSM", api::Model::kMultiLayer, api::Granularity::kSplitMerge},
+  };
+
   exp::TablePrinter table({"Method", "SqV", "WDev", "AUC-PR", "Cov"});
   for (bool smart : {false, true}) {
-    for (Method method : {Method::kSingleLayer, Method::kMultiLayer,
-                          Method::kMultiLayerSM}) {
-      exp::RunnerOptions options;
+    for (const MethodSpec& method : methods) {
+      api::Options options = api::Options::Paper();
+      options.model = method.model;
+      options.granularity = method.granularity;
       options.smart_init = smart;
-      const auto run = exp::RunMethodOnKv(method, *kv, gold, options,
-                                          &dataflow::DefaultExecutor());
-      if (!run.ok()) {
-        std::fprintf(stderr, "%s failed: %s\n", exp::MethodName(method).data(),
-                     run.status().ToString().c_str());
+      auto pipeline = api::PipelineBuilder()
+                          .FromDataset(&kv->data)
+                          .WithGoldStandard(&gold)
+                          .WithOptions(options)
+                          .WithExecutor(&dataflow::DefaultExecutor())
+                          .Build();
+      if (!pipeline.ok()) {
+        std::fprintf(stderr, "%s build failed: %s\n", method.name,
+                     pipeline.status().ToString().c_str());
         return 1;
       }
-      table.AddRow({std::string(exp::MethodName(method)) + (smart ? "+" : ""),
-                    exp::TablePrinter::Fmt(run->metrics.sqv),
-                    exp::TablePrinter::Fmt(run->metrics.wdev, 4),
-                    exp::TablePrinter::Fmt(run->metrics.auc_pr),
-                    exp::TablePrinter::Fmt(run->metrics.coverage)});
+      const auto report = pipeline->Run();
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", method.name,
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      const eval::TripleMetrics& metrics = *report->metrics;
+      table.AddRow({std::string(method.name) + (smart ? "+" : ""),
+                    exp::TablePrinter::Fmt(metrics.sqv),
+                    exp::TablePrinter::Fmt(metrics.wdev, 4),
+                    exp::TablePrinter::Fmt(metrics.auc_pr),
+                    exp::TablePrinter::Fmt(metrics.coverage)});
     }
   }
   table.Print();

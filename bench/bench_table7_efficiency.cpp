@@ -6,16 +6,13 @@
 //   Split&Merge  — full SPLITANDMERGE (m=5).
 // Stage scheduling mirrors MapReduce: one task per source / extractor
 // group, so giant groups serialize a stage until they are split.
+//
+// Each strategy is one facade pipeline run with StageTimers attached; the
+// stage totals also land in BENCH_table7.json for trend tooling.
 #include <algorithm>
 #include <cstdio>
 
-#include "dataflow/parallel.h"
-#include "dataflow/stage_timer.h"
-#include "exp/kv_sim.h"
-#include "exp/table_printer.h"
-#include "extract/observation_matrix.h"
-#include "granularity/assignments.h"
-#include "core/multilayer_model.h"
+#include "kbt/kbt.h"
 
 namespace {
 
@@ -39,40 +36,63 @@ struct StrategyTiming {
 };
 
 StrategyTiming RunStrategy(const exp::KvSimData& kv,
-                           const extract::GroupAssignment& assignment,
+                           const api::Options& options,
                            dataflow::StageTimers& timers) {
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(&kv.data)
+                      .WithOptions(options)
+                      .WithExecutor(&dataflow::DefaultExecutor())
+                      .WithStageTimers(&timers)
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+  const auto report = pipeline->Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+
   StrategyTiming t;
   t.prep_source = timers.TotalSeconds("Prep.Source");
   t.prep_extractor = timers.TotalSeconds("Prep.Extractor");
-
-  const auto matrix = extract::CompiledMatrix::Build(kv.data, assignment);
-  if (!matrix.ok()) {
-    std::fprintf(stderr, "compile failed\n");
-    std::exit(1);
-  }
-  t.num_sources = matrix->num_sources();
-  t.num_groups = matrix->num_extractor_groups();
+  t.num_sources = report->counts.num_sources;
+  t.num_groups = report->counts.num_extractor_groups;
+  const auto* matrix = pipeline->compiled_matrix();
   for (uint32_t g = 0; g < matrix->num_extractor_groups(); ++g) {
     const auto [b, e] = matrix->ExtractorEdges(g);
     t.biggest_group = std::max<size_t>(t.biggest_group, e - b);
   }
-
-  core::MultiLayerConfig config;
-  config.num_false_override = 10;
-  config.max_iterations = 5;
-  config.convergence_tol = 0.0;  // Always run all 5 iterations.
-  const auto result = core::MultiLayerModel::Run(
-      *matrix, config, {}, &dataflow::DefaultExecutor(), &timers);
-  if (!result.ok()) {
-    std::fprintf(stderr, "run failed\n");
-    std::exit(1);
-  }
-  const double iters = static_cast<double>(result->iterations);
+  const double iters = static_cast<double>(report->iterations());
   t.ext_corr = timers.TotalSeconds("I.ExtCorr") / iters;
   t.triple_pr = timers.TotalSeconds("II.TriplePr") / iters;
   t.src_accu = timers.TotalSeconds("III.SrcAccu") / iters;
   t.ext_quality = timers.TotalSeconds("IV.ExtQuality") / iters;
   return t;
+}
+
+void WriteJsonStrategy(std::FILE* out, const char* name,
+                       const StrategyTiming& t, bool last) {
+  std::fprintf(
+      out,
+      "    \"%s\": {\n"
+      "      \"prep_source_seconds\": %.6f,\n"
+      "      \"prep_extractor_seconds\": %.6f,\n"
+      "      \"iter_ext_corr_seconds\": %.6f,\n"
+      "      \"iter_triple_pr_seconds\": %.6f,\n"
+      "      \"iter_src_accu_seconds\": %.6f,\n"
+      "      \"iter_ext_quality_seconds\": %.6f,\n"
+      "      \"iteration_total_seconds\": %.6f,\n"
+      "      \"num_sources\": %zu,\n"
+      "      \"num_extractor_groups\": %zu,\n"
+      "      \"biggest_group_edges\": %zu\n"
+      "    }%s\n",
+      name, t.prep_source, t.prep_extractor, t.ext_corr, t.triple_pr,
+      t.src_accu, t.ext_quality, t.IterTotal(), t.num_sources, t.num_groups,
+      t.biggest_group, last ? "" : ",");
 }
 
 }  // namespace
@@ -87,35 +107,36 @@ int main() {
               kv->corpus.num_websites(), kv->corpus.num_pages(),
               kv->data.size());
 
+  api::Options base;
+  base.multilayer.num_false_override = 10;
+  base.multilayer.max_iterations = 5;
+  base.multilayer.convergence_tol = 0.0;  // Always run all 5 iterations.
+
   // ---- Normal: finest granularity, no prep ----
+  api::Options normal_options = base;
+  normal_options.granularity = api::Granularity::kFinest;
   dataflow::StageTimers normal_timers;
-  const auto normal_assignment = granularity::FinestAssignment(kv->data);
-  const StrategyTiming normal =
-      RunStrategy(*kv, normal_assignment, normal_timers);
+  const StrategyTiming normal = RunStrategy(*kv, normal_options,
+                                            normal_timers);
 
   // ---- Split only ----
-  granularity::SplitMergeOptions split_source;
-  split_source.min_size = 1;
-  split_source.enable_merge = false;
-  split_source.max_size = 500;
-  granularity::SplitMergeOptions split_extractor = split_source;
+  api::Options split_options = base;
+  split_options.granularity = api::Granularity::kSplitMerge;
+  split_options.sm_source.min_size = 1;
+  split_options.sm_source.enable_merge = false;
+  split_options.sm_source.max_size = 500;
+  split_options.sm_extractor = split_options.sm_source;
   dataflow::StageTimers split_timers;
-  const auto split_assignment = granularity::SplitMergeAssignment(
-      kv->data, split_source, split_extractor, &split_timers);
-  if (!split_assignment.ok()) return 1;
-  const StrategyTiming split =
-      RunStrategy(*kv, *split_assignment, split_timers);
+  const StrategyTiming split = RunStrategy(*kv, split_options, split_timers);
 
   // ---- Split & merge ----
-  granularity::SplitMergeOptions sm_source;
-  sm_source.min_size = 5;
-  sm_source.max_size = 500;
-  granularity::SplitMergeOptions sm_extractor = sm_source;
+  api::Options sm_options = base;
+  sm_options.granularity = api::Granularity::kSplitMerge;
+  sm_options.sm_source.min_size = 5;
+  sm_options.sm_source.max_size = 500;
+  sm_options.sm_extractor = sm_options.sm_source;
   dataflow::StageTimers sm_timers;
-  const auto sm_assignment = granularity::SplitMergeAssignment(
-      kv->data, sm_source, sm_extractor, &sm_timers);
-  if (!sm_assignment.ok()) return 1;
-  const StrategyTiming sm = RunStrategy(*kv, *sm_assignment, sm_timers);
+  const StrategyTiming sm = RunStrategy(*kv, sm_options, sm_timers);
 
   // ---- Report, normalized by one Normal iteration (the paper's unit) ----
   const double unit = normal.IterTotal();
@@ -156,5 +177,28 @@ int main() {
       "\nPaper shape: splitting giant extractor groups speeds up\n"
       "IV.ExtQuality by ~8.8x and halves overall time; merging adds modest\n"
       "prep cost without slowing iterations.\n");
+
+  // ---- Machine-readable output for the perf trajectory ----
+  const char* json_path = "BENCH_table7.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"table7_efficiency\",\n"
+               "  \"corpus\": {\"sites\": %zu, \"pages\": %zu, "
+               "\"observations\": %zu},\n"
+               "  \"unit_seconds\": %.6f,\n"
+               "  \"strategies\": {\n",
+               kv->corpus.num_websites(), kv->corpus.num_pages(),
+               kv->data.size(), unit);
+  WriteJsonStrategy(out, "normal", normal, false);
+  WriteJsonStrategy(out, "split", split, false);
+  WriteJsonStrategy(out, "split_merge", sm, true);
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", json_path);
   return 0;
 }

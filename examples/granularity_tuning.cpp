@@ -1,18 +1,11 @@
-// Demonstrates Section 4's SPLITANDMERGE: how the choice of source
-// granularity trades statistical strength against computational balance.
-// Runs the same skewed dataset at several (m, M) settings and reports group
-// structure, coverage and wall-clock.
+// Demonstrates Section 4's SPLITANDMERGE through the facade: how the choice
+// of source granularity trades statistical strength against computational
+// balance. Runs the same skewed dataset at several (m, M) settings and
+// reports group structure, coverage and wall-clock.
 #include <algorithm>
 #include <cstdio>
 
-#include "common/stopwatch.h"
-#include "dataflow/parallel.h"
-#include "exp/kv_sim.h"
-#include "exp/table_printer.h"
-#include "extract/observation_matrix.h"
-#include "granularity/assignments.h"
-#include "granularity/split_merge.h"
-#include "core/multilayer_model.h"
+#include "kbt/kbt.h"
 
 namespace {
 
@@ -26,33 +19,29 @@ struct Outcome {
   double seconds = 0.0;
 };
 
-Outcome RunWith(const exp::KvSimData& kv,
-                const extract::GroupAssignment& assignment) {
+Outcome RunWith(const exp::KvSimData& kv, const api::Options& options) {
   Outcome out;
   Stopwatch watch;
-  const auto matrix = extract::CompiledMatrix::Build(kv.data, assignment);
-  if (!matrix.ok()) {
-    std::fprintf(stderr, "compile failed\n");
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(&kv.data)
+                      .WithOptions(options)
+                      .WithExecutor(&dataflow::DefaultExecutor())
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 pipeline.status().ToString().c_str());
     std::exit(1);
   }
-  out.sources = matrix->num_sources();
-  out.extractor_groups = matrix->num_extractor_groups();
+  const auto report = pipeline->Run();
+  if (!report.ok()) std::exit(1);
+  out.sources = report->counts.num_sources;
+  out.extractor_groups = report->counts.num_extractor_groups;
+  const auto* matrix = pipeline->compiled_matrix();
   for (uint32_t w = 0; w < matrix->num_sources(); ++w) {
     const auto [b, e] = matrix->SourceSlots(w);
     out.biggest_source = std::max<size_t>(out.biggest_source, e - b);
   }
-  core::MultiLayerConfig config;
-  config.num_false_override = 10;
-  const auto result = core::MultiLayerModel::Run(
-      *matrix, config, {}, &dataflow::DefaultExecutor());
-  if (!result.ok()) std::exit(1);
-  size_t covered = 0;
-  for (size_t s = 0; s < matrix->num_slots(); ++s) {
-    covered += result->slot_covered[s];
-  }
-  out.covered_fraction =
-      static_cast<double>(covered) /
-      static_cast<double>(std::max<size_t>(1, matrix->num_slots()));
+  out.covered_fraction = report->CoveredFraction();
   out.seconds = watch.ElapsedSeconds();
   return out;
 }
@@ -79,12 +68,20 @@ int main() {
                   exp::TablePrinter::Fmt(o.seconds, 2)});
   };
 
-  add_row("finest <site,pred,page>",
-          RunWith(*kv, granularity::FinestAssignment(kv->data)));
-  add_row("page-level", RunWith(*kv, granularity::PageSourcePlainExtractor(
-                                    kv->data)));
-  add_row("website-level",
-          RunWith(*kv, granularity::WebsiteSourceAssignment(kv->data)));
+  api::Options base;
+  base.multilayer.num_false_override = 10;
+
+  api::Options finest = base;
+  finest.granularity = api::Granularity::kFinest;
+  add_row("finest <site,pred,page>", RunWith(*kv, finest));
+
+  api::Options page = base;
+  page.granularity = api::Granularity::kPageSource;
+  add_row("page-level", RunWith(*kv, page));
+
+  api::Options website = base;
+  website.granularity = api::Granularity::kWebsiteSource;
+  add_row("website-level", RunWith(*kv, website));
 
   for (const auto& [label, m, M] :
        {std::tuple<const char*, size_t, size_t>{"split&merge m=5  M=10K", 5,
@@ -93,14 +90,12 @@ int main() {
                                                 10000},
         std::tuple<const char*, size_t, size_t>{"split&merge m=20 M=1K", 20,
                                                 1000}}) {
-    granularity::SplitMergeOptions source_options;
-    source_options.min_size = m;
-    source_options.max_size = M;
-    granularity::SplitMergeOptions extractor_options = source_options;
-    const auto assignment = granularity::SplitMergeAssignment(
-        kv->data, source_options, extractor_options);
-    if (!assignment.ok()) return 1;
-    add_row(label, RunWith(*kv, *assignment));
+    api::Options sm = base;
+    sm.granularity = api::Granularity::kSplitMerge;
+    sm.sm_source.min_size = m;
+    sm.sm_source.max_size = M;
+    sm.sm_extractor = sm.sm_source;
+    add_row(label, RunWith(*kv, sm));
   }
   table.Print();
 

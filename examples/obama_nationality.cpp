@@ -5,20 +5,44 @@
 //
 // The single-layer baseline sees 12 (page, extractor) sources for "USA" and
 // 12 for "Kenya" and cannot tell them apart; the multi-layer model explains
-// the Kenya votes of the bad extractors away.
+// the Kenya votes of the bad extractors away. Everything runs through the
+// public kbt::api facade — each scenario is one Pipeline.
 #include <cstdio>
 
-#include "common/math.h"
-#include "exp/motivating_example.h"
-#include "extract/observation_matrix.h"
-#include "fusion/single_layer.h"
-#include "granularity/assignments.h"
-#include "core/multilayer_model.h"
+#include "kbt/kbt.h"
+
+namespace {
+
+using namespace kbt;
+using exp::MotivatingExample;
+
+/// Builds a pipeline over the Tables 2-4 cube with the given options.
+api::Pipeline MustBuild(const api::Options& options) {
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(MotivatingExample::Dataset())
+                      .WithOptions(options)
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*pipeline);
+}
+
+/// p(V_d = v | X) for one value, read off a report through the matrix.
+double ValueProb(const api::Pipeline& pipeline, const api::TrustReport& report,
+                 kb::ValueId value) {
+  const auto* matrix = pipeline.compiled_matrix();
+  for (size_t s = 0; s < matrix->num_slots(); ++s) {
+    if (matrix->slot_value(s) == value) return report.inference.slot_value_prob[s];
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 int main() {
-  using namespace kbt;
-  using exp::MotivatingExample;
-
   const auto data = MotivatingExample::Dataset();
 
   std::printf("The evidence (Table 2): who extracted what\n");
@@ -31,79 +55,64 @@ int main() {
 
   // ---- Single-layer baseline: a dead heat ----
   {
-    const auto assignment = granularity::ProvenanceAssignment(data);
-    const auto matrix = extract::CompiledMatrix::Build(data, assignment);
-    if (!matrix.ok()) return 1;
-    fusion::SingleLayerConfig config;
-    config.min_source_support = 1;
-    config.num_false_override = 10;
-    config.max_iterations = 1;
-    const auto result = fusion::SingleLayerModel::Run(*matrix, config);
-    if (!result.ok()) return 1;
-    double usa = 0.0;
-    double kenya = 0.0;
-    for (size_t s = 0; s < matrix->num_slots(); ++s) {
-      if (matrix->slot_value(s) == MotivatingExample::kUsa) {
-        usa = result->slot_value_prob[s];
-      } else if (matrix->slot_value(s) == MotivatingExample::kKenya) {
-        kenya = result->slot_value_prob[s];
-      }
-    }
+    api::Options options;
+    options.model = api::Model::kSingleLayer;
+    options.granularity = api::Granularity::kProvenance;
+    options.single_layer.min_source_support = 1;
+    options.single_layer.num_false_override = 10;
+    options.single_layer.max_iterations = 1;
+    api::Pipeline pipeline = MustBuild(options);
+    const auto report = pipeline.Run();
+    if (!report.ok()) return 1;
     std::printf(
         "\nSingle-layer baseline (12 provenances each):\n"
         "  p(USA)=%.3f vs p(Kenya)=%.3f  -> cannot break the tie\n",
-        usa, kenya);
+        ValueProb(pipeline, *report, MotivatingExample::kUsa),
+        ValueProb(pipeline, *report, MotivatingExample::kKenya));
   }
 
   // ---- Multi-layer model with Table 3's extractor quality ----
-  const auto assignment = granularity::PageSourcePlainExtractor(data);
-  const auto matrix = extract::CompiledMatrix::Build(data, assignment);
-  if (!matrix.ok()) return 1;
-  core::MultiLayerConfig config;
-  config.min_source_support = 1;
-  config.min_extractor_support = 1;
-  config.num_false_override = 10;
-  config.initial_alpha = 0.5;
-  config.calibrate_correctness = false;
-  config.update_source_accuracy = false;
-  config.update_extractor_quality = false;
-  config.update_alpha = false;
-  config.max_iterations = 1;
-  const auto result = core::MultiLayerModel::Run(
-      *matrix, config, MotivatingExample::Table3Quality());
+  api::Options frozen;
+  frozen.granularity = api::Granularity::kPageSource;
+  frozen.multilayer.min_source_support = 1;
+  frozen.multilayer.min_extractor_support = 1;
+  frozen.multilayer.num_false_override = 10;
+  frozen.multilayer.initial_alpha = 0.5;
+  frozen.multilayer.calibrate_correctness = false;
+  frozen.multilayer.update_source_accuracy = false;
+  frozen.multilayer.update_extractor_quality = false;
+  frozen.multilayer.update_alpha = false;
+  frozen.multilayer.max_iterations = 1;
+  api::Pipeline pipeline = MustBuild(frozen);
+  const auto result = pipeline.Run(MotivatingExample::Table3Quality());
   if (!result.ok()) return 1;
 
+  const auto* matrix = pipeline.compiled_matrix();
   std::printf("\nMulti-layer model, extraction layer (Table 4):\n");
   for (size_t s = 0; s < matrix->num_slots(); ++s) {
     std::printf("  does W%u really state '%s'?  p(C=1|X) = %.2f\n",
                 matrix->slot_source(s) + 1, names[matrix->slot_value(s)],
-                result->slot_correct_prob[s]);
+                result->inference.slot_correct_prob[s]);
   }
 
-  double usa = 0.0;
-  double kenya = 0.0;
-  for (size_t s = 0; s < matrix->num_slots(); ++s) {
-    if (matrix->slot_value(s) == MotivatingExample::kUsa) {
-      usa = result->slot_value_prob[s];
-    } else if (matrix->slot_value(s) == MotivatingExample::kKenya) {
-      kenya = result->slot_value_prob[s];
-    }
-  }
   std::printf(
       "\nValue layer: p(USA)=%.3f, p(Kenya)=%.3f  -> USA wins decisively\n",
-      usa, kenya);
+      ValueProb(pipeline, *result, MotivatingExample::kUsa),
+      ValueProb(pipeline, *result, MotivatingExample::kKenya));
 
   // ---- Full run: KBT per page ----
-  core::MultiLayerConfig full;
-  full.min_source_support = 1;
-  full.min_extractor_support = 1;
-  full.num_false_override = 10;
-  const auto trained = core::MultiLayerModel::Run(
-      *matrix, full, MotivatingExample::Table3Quality());
+  api::Options full;
+  full.granularity = api::Granularity::kPageSource;
+  full.multilayer.min_source_support = 1;
+  full.multilayer.min_extractor_support = 1;
+  full.multilayer.num_false_override = 10;
+  api::Pipeline full_pipeline = MustBuild(full);
+  const auto trained = full_pipeline.Run(MotivatingExample::Table3Quality());
   if (!trained.ok()) return 1;
   std::printf("\nEstimated source accuracy A_w after 5 iterations:\n");
-  for (uint32_t w = 0; w < matrix->num_sources(); ++w) {
-    std::printf("  W%u: %.2f%s\n", w + 1, trained->source_accuracy[w],
+  for (uint32_t w = 0; w < trained->counts.num_sources; ++w) {
+    std::printf("  W%u: %.2f%s\n", w + 1,
+                trained->inference.source_accuracy[w],
                 w < 4 ? "  (states USA: trustworthy)"
                       : (w < 6 ? "  (states Kenya: not trustworthy)"
                                : "  (states nothing)"));

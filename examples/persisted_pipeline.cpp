@@ -1,17 +1,11 @@
-// Demonstrates the persistence layer: generate an observation cube once,
-// save it to disk, reload it in a fresh process step, run inference, and
-// export the results (triple probabilities + per-site KBT) as TSV that
-// external tooling can consume.
+// Demonstrates the persistence layer through the facade: generate an
+// observation cube once, save it to disk, reload it in a fresh pipeline
+// (as a separate tool would), run inference, and export the results
+// (triple probabilities + per-site KBT) as TSV for external tooling.
 #include <cstdio>
 #include <string>
 
-#include "eval/gold_standard.h"
-#include "exp/synthetic.h"
-#include "extract/observation_matrix.h"
-#include "granularity/assignments.h"
-#include "io/dataset_io.h"
-#include "core/kbt_score.h"
-#include "core/multilayer_model.h"
+#include "kbt/kbt.h"
 
 int main() {
   using namespace kbt;
@@ -26,52 +20,53 @@ int main() {
     config.num_sources = 20;
     config.num_extractors = 6;
     config.seed = 99;
-    const auto synthetic = exp::GenerateSynthetic(config);
-    const Status st = io::WriteRawDataset(cube_path, synthetic.data);
+    auto generator = api::PipelineBuilder().FromSynthetic(config).Build();
+    if (!generator.ok()) return 1;
+    const Status st = io::WriteRawDataset(cube_path, generator->dataset());
     if (!st.ok()) {
       std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %zu observations to %s\n", synthetic.data.size(),
+    std::printf("wrote %zu observations to %s\n", generator->dataset().size(),
                 cube_path.c_str());
   }
 
   // ---- Reload and analyze (as a separate tool would) ----
-  const auto data = io::ReadRawDataset(cube_path);
-  if (!data.ok()) {
+  api::Options options;
+  options.granularity = api::Granularity::kPageSource;
+  options.multilayer.min_source_support = 1;
+  options.multilayer.min_extractor_support = 1;
+  options.multilayer.num_false_override = 10;
+  auto pipeline = api::PipelineBuilder()
+                      .FromTsv(cube_path)
+                      .WithOptions(options)
+                      .Build();
+  if (!pipeline.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
-                 data.status().ToString().c_str());
+                 pipeline.status().ToString().c_str());
     return 1;
   }
   std::printf("reloaded %zu observations (%u sites, %u extractors)\n",
-              data->size(), data->num_websites, data->num_extractors);
+              pipeline->dataset().size(), pipeline->dataset().num_websites,
+              pipeline->dataset().num_extractors);
 
-  const auto assignment = granularity::PageSourcePlainExtractor(*data);
-  const auto matrix = extract::CompiledMatrix::Build(*data, assignment);
-  if (!matrix.ok()) return 1;
-  core::MultiLayerConfig config;
-  config.min_source_support = 1;
-  config.min_extractor_support = 1;
-  config.num_false_override = 10;
-  const auto result = core::MultiLayerModel::Run(*matrix, config);
-  if (!result.ok()) return 1;
+  const auto report = pipeline->Run();
+  if (!report.ok()) return 1;
 
   // ---- Export results ----
-  const auto predictions = eval::TriplePredictions(
-      *matrix, result->slot_value_prob, result->slot_covered);
-  if (!io::WriteTriplePredictions(preds_path, predictions).ok()) return 1;
-  const auto kbt =
-      core::ComputeWebsiteKbt(*matrix, *result, data->num_websites);
-  if (!io::WriteKbtScores(scores_path, kbt).ok()) return 1;
+  if (!io::WriteTriplePredictions(preds_path, report->predictions).ok()) {
+    return 1;
+  }
+  if (!io::WriteKbtScores(scores_path, report->website_kbt).ok()) return 1;
 
-  std::printf("wrote %zu triple predictions to %s\n", predictions.size(),
-              preds_path.c_str());
-  std::printf("wrote %zu KBT scores to %s\n", kbt.size(),
+  std::printf("wrote %zu triple predictions to %s\n",
+              report->predictions.size(), preds_path.c_str());
+  std::printf("wrote %zu KBT scores to %s\n", report->website_kbt.size(),
               scores_path.c_str());
 
   // Round-trip check: the scores we read back match what we computed.
   const auto reloaded = io::ReadKbtScores(scores_path);
-  if (!reloaded.ok() || reloaded->size() != kbt.size()) {
+  if (!reloaded.ok() || reloaded->size() != report->website_kbt.size()) {
     std::fprintf(stderr, "round-trip failed\n");
     return 1;
   }

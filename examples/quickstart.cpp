@@ -1,22 +1,18 @@
 // Quickstart: estimate Knowledge-Based Trust for three tiny "websites"
-// observed through two extractors, using the public API end to end:
+// observed through two extractors, using only the public kbt/* API:
 //
 //   1. describe extraction events in a RawDataset (the sparse X_ewdv cube);
-//   2. pick a granularity (here: one source per page, one group per
+//   2. assemble a Pipeline (granularity: one source per page, one group per
 //      extractor);
-//   3. compile the cube and run the multi-layer model;
-//   4. read back source accuracies (KBT), extractor quality and triple
-//      probabilities.
+//   3. Run() — compile the cube, run the multi-layer model, score KBT;
+//   4. read source accuracies (KBT), extractor quality and triple
+//      probabilities off the TrustReport.
 //
-// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+// Build & run:  cmake -B build -S . && cmake --build build -j &&
 //               ./build/examples/quickstart
 #include <cstdio>
 
-#include "extract/observation_matrix.h"
-#include "extract/raw_dataset.h"
-#include "granularity/assignments.h"
-#include "core/kbt_score.h"
-#include "core/multilayer_model.h"
+#include "kbt/kbt.h"
 
 int main() {
   using namespace kbt;
@@ -26,7 +22,7 @@ int main() {
   // Data item d = (Curie, born_in). Truth: Warsaw.
   const kb::DataItemId born_in = kb::MakeDataItem(0, 0);
 
-  extract::RawDataset data;
+  api::RawDataset data;
   data.num_false_by_predicate = {10};  // n = 10 false values in the domain.
   data.num_websites = 3;
   data.num_pages = 3;
@@ -46,7 +42,7 @@ int main() {
       {1, 0, 1, 0.9f}, {1, 1, 2, 0.4f},  // The hallucination, low confidence.
   };
   for (const Event& e : events) {
-    extract::RawObservation obs;
+    api::RawObservation obs;
     obs.extractor = e.extractor;
     obs.pattern = e.extractor;  // One pattern per extractor here.
     obs.website = e.page;       // One page per site.
@@ -57,47 +53,51 @@ int main() {
     data.observations.push_back(obs);
   }
 
-  // ---- 2. Granularity ---------------------------------------------------
-  const extract::GroupAssignment assignment =
-      granularity::PageSourcePlainExtractor(data);
-
-  // ---- 3. Compile + infer ------------------------------------------------
-  const auto matrix = extract::CompiledMatrix::Build(data, assignment);
-  if (!matrix.ok()) {
-    std::fprintf(stderr, "compile failed: %s\n",
-                 matrix.status().ToString().c_str());
-    return 1;
-  }
-  core::MultiLayerConfig config;
-  config.min_source_support = 1;   // Tiny demo: keep every source.
-  config.min_extractor_support = 1;
-  const auto result = core::MultiLayerModel::Run(*matrix, config);
-  if (!result.ok()) {
-    std::fprintf(stderr, "inference failed: %s\n",
-                 result.status().ToString().c_str());
+  // ---- 2. Assemble the pipeline ----------------------------------------
+  api::Options options;
+  options.granularity = api::Granularity::kPageSource;
+  options.multilayer.min_source_support = 1;  // Tiny demo: keep everything.
+  options.multilayer.min_extractor_support = 1;
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(std::move(data))
+                      .WithOptions(options)
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 pipeline.status().ToString().c_str());
     return 1;
   }
 
-  // ---- 4. Read the results ------------------------------------------------
+  // ---- 3. Run: compile + infer + score ----------------------------------
+  const auto report = pipeline->Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- 4. Read the results ----------------------------------------------
+  const auto* matrix = pipeline->compiled_matrix();
   std::printf("triple probabilities p(V_d = v | X):\n");
   for (size_t s = 0; s < matrix->num_slots(); ++s) {
     std::printf("  site %u claims value %u: p(provided)=%.3f  p(true)=%.3f\n",
                 matrix->slot_source(s), matrix->slot_value(s),
-                result->slot_correct_prob[s], result->slot_value_prob[s]);
+                report->inference.slot_correct_prob[s],
+                report->inference.slot_value_prob[s]);
   }
 
-  const auto kbt = core::ComputeWebsiteKbt(*matrix, *result, 3);
   std::printf("\nKnowledge-Based Trust per site:\n");
-  for (uint32_t w = 0; w < 3; ++w) {
+  for (uint32_t w = 0; w < report->counts.num_websites; ++w) {
     std::printf("  site %u: KBT=%.3f (evidence %.2f triples)\n", w,
-                kbt[w].kbt, kbt[w].evidence);
+                report->website_kbt[w].kbt, report->website_kbt[w].evidence);
   }
 
   std::printf("\nextractor quality estimates:\n");
-  for (uint32_t g = 0; g < matrix->num_extractor_groups(); ++g) {
+  for (uint32_t g = 0; g < report->counts.num_extractor_groups; ++g) {
     std::printf("  extractor %u: precision=%.3f recall=%.3f Q=%.4f\n", g,
-                result->extractor_precision[g], result->extractor_recall[g],
-                result->extractor_q[g]);
+                report->inference.extractor_precision[g],
+                report->inference.extractor_recall[g],
+                report->inference.extractor_q[g]);
   }
   std::printf("\nSites agreeing with the crowd (Warsaw) earn higher KBT;\n"
               "the model explains site 1's 'Paris' as extractor noise.\n");

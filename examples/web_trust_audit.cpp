@@ -1,55 +1,47 @@
-// End-to-end trust audit of a synthetic web (the Section 5.4 scenario):
-// generate a world with reference/news/specialist/gossip/forum/scraper
-// sites, run the extraction fleet, estimate KBT with the multi-layer model,
-// compute PageRank over the hyperlink graph, and report where the two
-// signals disagree — including a programmatic version of the paper's
+// End-to-end trust audit of a synthetic web (the Section 5.4 scenario),
+// driven entirely through the facade: FromKvSim generates a world with
+// reference/news/specialist/gossip/forum/scraper sites and wires its gold
+// standard; Run() estimates KBT with the multi-layer model; PageRank over
+// the hyperlink graph provides the popularity signal; the report compares
+// where the two disagree — including a programmatic version of the paper's
 // manual evaluation of 100 high-KBT sites.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "corpus/link_graph.h"
-#include "dataflow/parallel.h"
-#include "exp/kv_sim.h"
-#include "exp/table_printer.h"
-#include "extract/observation_matrix.h"
-#include "granularity/assignments.h"
-#include "pagerank/pagerank.h"
-#include "core/kbt_score.h"
-#include "core/multilayer_model.h"
+#include "kbt/kbt.h"
 
 int main() {
   using namespace kbt;
 
-  // ---- Build the world and the observation cube ----
+  // ---- Build the world + pipeline ----
   auto config = exp::KvSimConfig::Default();
   config.seed = 4242;
   config.corpus.seed = 4242;
-  const auto kv = exp::BuildKvSim(config);
-  if (!kv.ok()) {
-    std::fprintf(stderr, "kv-sim failed\n");
+  api::Options options;
+  options.multilayer.num_false_override = 10;
+  auto pipeline = api::PipelineBuilder()
+                      .FromKvSim(config)
+                      .WithOptions(options)
+                      .WithExecutor(&dataflow::DefaultExecutor())
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "kv-sim failed: %s\n",
+                 pipeline.status().ToString().c_str());
     return 1;
   }
+  const corpus::WebCorpus& web = *pipeline->corpus();
   std::printf("world: %zu sites, %zu pages, %zu extraction events\n",
-              kv->corpus.num_websites(), kv->corpus.num_pages(),
-              kv->data.size());
+              web.num_websites(), web.num_pages(), pipeline->dataset().size());
 
   // ---- KBT via the multi-layer model ----
-  const auto assignment = granularity::FinestAssignment(kv->data);
-  const auto matrix = extract::CompiledMatrix::Build(kv->data, assignment);
-  if (!matrix.ok()) return 1;
-  core::MultiLayerConfig ml;
-  ml.num_false_override = 10;
-  const auto result = core::MultiLayerModel::Run(
-      *matrix, ml, {}, &dataflow::DefaultExecutor());
-  if (!result.ok()) return 1;
-  const auto kbt = core::ComputeWebsiteKbt(
-      *matrix, *result, static_cast<uint32_t>(kv->corpus.num_websites()));
+  const auto report = pipeline->Run();
+  if (!report.ok()) return 1;
+  const auto& kbt = report->website_kbt;
 
   // ---- PageRank over the link graph ----
   Rng rng(4242);
-  const auto graph =
-      corpus::LinkGraph::Generate(kv->corpus.websites(), 8.0, rng);
+  const auto graph = corpus::LinkGraph::Generate(web.websites(), 8.0, rng);
   const auto pagerank_scores = pagerank::ComputePageRank(graph);
   if (!pagerank_scores.ok()) return 1;
   const auto pr = pagerank::NormalizeToUnitInterval(*pagerank_scores);
@@ -64,9 +56,9 @@ int main() {
     double mean_kbt = 0.0;
     double mean_pr = 0.0;
     int count = 0;
-    for (const auto& site : kv->corpus.websites()) {
+    for (const auto& site : web.websites()) {
       if (site.category != category || !kbt[site.id].HasScore(5.0)) continue;
-      acc += kv->corpus.EmpiricalSiteAccuracy(site.id);
+      acc += web.EmpiricalSiteAccuracy(site.id);
       mean_kbt += kbt[site.id].kbt;
       mean_pr += pr[site.id];
       ++count;
@@ -84,13 +76,13 @@ int main() {
   // Sample the sites with KBT > 0.9 and audit them against the ground
   // truth: are their stated triples actually correct?
   std::vector<uint32_t> high_kbt_sites;
-  for (uint32_t w = 0; w < kv->corpus.num_websites(); ++w) {
+  for (uint32_t w = 0; w < web.num_websites(); ++w) {
     if (kbt[w].HasScore(5.0) && kbt[w].kbt > 0.9) high_kbt_sites.push_back(w);
   }
   size_t trustworthy = 0;
   size_t popular = 0;
   for (uint32_t w : high_kbt_sites) {
-    if (kv->corpus.EmpiricalSiteAccuracy(w) >= 0.9) ++trustworthy;
+    if (web.EmpiricalSiteAccuracy(w) >= 0.9) ++trustworthy;
     if (pr[w] > 0.5) ++popular;
   }
   exp::PrintBanner("Audit of high-KBT sites (KBT > 0.9)");
@@ -112,14 +104,14 @@ int main() {
   exp::TablePrinter gossip_table(
       {"Site", "category", "PageRank rank", "KBT", "true accuracy"});
   int shown = 0;
-  for (uint32_t w = 0; w < kv->corpus.num_websites() && shown < 8; ++w) {
-    if (pr_ranks[w] >= kv->corpus.num_websites() * 15 / 100) continue;
+  for (uint32_t w = 0; w < web.num_websites() && shown < 8; ++w) {
+    if (pr_ranks[w] >= web.num_websites() * 15 / 100) continue;
     if (!kbt[w].HasScore(5.0) || kbt[w].kbt > 0.6) continue;
-    const auto& site = kv->corpus.website(w);
+    const auto& site = web.website(w);
     gossip_table.AddRow(
         {site.domain, std::string(corpus::SourceCategoryName(site.category)),
          std::to_string(pr_ranks[w] + 1), exp::TablePrinter::Fmt(kbt[w].kbt, 2),
-         exp::TablePrinter::Fmt(kv->corpus.EmpiricalSiteAccuracy(w), 2)});
+         exp::TablePrinter::Fmt(web.EmpiricalSiteAccuracy(w), 2)});
     ++shown;
   }
   gossip_table.Print();

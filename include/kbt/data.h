@@ -1,0 +1,27 @@
+#ifndef KBT_API_DATA_H_
+#define KBT_API_DATA_H_
+
+/// Dataset vocabulary of the public API: the raw observation cube, the
+/// bundled dataset generators (KV simulation, Section 5.2.1 synthetic, the
+/// Tables 2-4 motivating example), the gold standard, TSV persistence, and
+/// the method-comparison runner. Everything here is reachable from kbt/*
+/// without touching src/ paths directly.
+
+#include "eval/gold_standard.h"
+#include "exp/kv_sim.h"
+#include "exp/motivating_example.h"
+#include "exp/runners.h"
+#include "exp/synthetic.h"
+#include "extract/raw_dataset.h"
+#include "io/dataset_io.h"
+#include "kb/ids.h"
+
+namespace kbt::api {
+
+// Core dataset types under the api namespace for fluent call sites.
+using extract::RawDataset;
+using extract::RawObservation;
+
+}  // namespace kbt::api
+
+#endif  // KBT_API_DATA_H_

@@ -1,0 +1,36 @@
+#ifndef KBT_API_KBT_H_
+#define KBT_API_KBT_H_
+
+/// Umbrella header of the Knowledge-Based Trust library. Downstream code
+/// (examples, benches, services) includes only kbt/* headers; the facade
+/// re-exports the stable surface of the extraction -> granularity ->
+/// inference -> scoring stack.
+///
+/// Quickstart:
+///
+///   kbt::api::Options options;                     // paper defaults
+///   auto pipeline = kbt::api::PipelineBuilder()
+///                       .FromTsv("cube.tsv")
+///                       .WithOptions(options)
+///                       .Build();
+///   auto report = pipeline->Run();                 // StatusOr<TrustReport>
+///   // report->website_kbt, report->predictions, report->metrics ...
+
+#include "kbt/data.h"
+#include "kbt/options.h"
+#include "kbt/pipeline.h"
+#include "kbt/report.h"
+
+// Analysis toolkit shipped with the library: result tables, histograms,
+// timing, the hyperlink-graph PageRank baseline and shared math helpers.
+#include "common/histogram.h"
+#include "common/math.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "corpus/link_graph.h"
+#include "dataflow/parallel.h"
+#include "dataflow/stage_timer.h"
+#include "exp/table_printer.h"
+#include "pagerank/pagerank.h"
+
+#endif  // KBT_API_KBT_H_

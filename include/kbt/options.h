@@ -1,0 +1,85 @@
+#ifndef KBT_API_OPTIONS_H_
+#define KBT_API_OPTIONS_H_
+
+#include <string_view>
+
+#include "core/initialization.h"
+#include "core/multilayer_config.h"
+#include "fusion/single_layer.h"
+#include "granularity/split_merge.h"
+
+namespace kbt::api {
+
+/// Which inference model a pipeline runs on the compiled matrix.
+enum class Model {
+  /// The single-layer ACCU baseline of Section 2.2 (Dong et al. PVLDB'14):
+  /// extracted triples are taken at face value as claims of their source.
+  kSingleLayer = 0,
+  /// The paper's MULTILAYER model (Section 3): joint inference over
+  /// extraction correctness, triple truth, source accuracy and extractor
+  /// quality.
+  kMultiLayer = 1,
+};
+
+/// What a "web source" w and an "extractor" e mean for one run (Section 4).
+enum class Granularity {
+  /// source = <website, predicate, webpage>,
+  /// extractor = <extractor, pattern, predicate, website> — the MULTILAYER
+  /// default of Section 5.1.2.
+  kFinest = 0,
+  /// source = webpage, extractor = extraction system (the Tables 2-4 setup).
+  kPageSource = 1,
+  /// source = website, extractor = extraction system (website-level KBT).
+  kWebsiteSource = 2,
+  /// source = the provenance 4-tuple <extractor, website, predicate,
+  /// pattern>, no extraction layer — the single-layer baseline's grouping.
+  kProvenance = 3,
+  /// Algorithm 2 (SPLITANDMERGE) applied to both hierarchies, tuned by
+  /// Options::sm_source / Options::sm_extractor.
+  kSplitMerge = 4,
+};
+
+std::string_view ModelName(Model model);
+std::string_view GranularityName(Granularity granularity);
+
+/// All knobs of one pipeline run, consolidating the per-layer configs that
+/// used to be wired by hand (MultiLayerConfig, SingleLayerConfig,
+/// SplitMergeOptions, smart-init options).
+struct Options {
+  Model model = Model::kMultiLayer;
+  Granularity granularity = Granularity::kFinest;
+
+  /// Knobs of the multi-layer inference (also supplies the defaults smart
+  /// initialization smooths toward, for either model).
+  core::MultiLayerConfig multilayer;
+  /// Knobs of the single-layer baseline (used when model == kSingleLayer).
+  fusion::SingleLayerConfig single_layer;
+  /// SPLITANDMERGE (m, M) per side (used when granularity == kSplitMerge).
+  granularity::SplitMergeOptions sm_source;
+  granularity::SplitMergeOptions sm_extractor;
+
+  /// Initialize source/extractor quality from the attached gold standard
+  /// (the "+" variants of Table 5). Requires a gold standard on the
+  /// pipeline; ignored when an explicit InitialQuality is passed to Run.
+  bool smart_init = false;
+  core::SmartInitOptions smart_init_options;
+
+  /// Aggregate slot posteriors into per-website / per-source-group KBT
+  /// scores (TrustReport::website_kbt / source_kbt). Disable to shave the
+  /// scoring stage off metric-only sweeps.
+  bool score_websites = true;
+  bool score_sources = true;
+
+  /// The paper's experimental settings (Section 5.1.2): n = 10 for the
+  /// multi-layer model, n = 100 for the single layer, SPLITANDMERGE with
+  /// m = 5 / M = 10K, and source-side-only smart initialization anchored by
+  /// a single labeled triple.
+  static Options Paper();
+  /// The smart-init variant Paper() installs, exposed for callers that
+  /// assemble Options by hand.
+  static core::SmartInitOptions PaperSmartInit();
+};
+
+}  // namespace kbt::api
+
+#endif  // KBT_API_OPTIONS_H_

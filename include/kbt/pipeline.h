@@ -1,0 +1,132 @@
+#ifndef KBT_API_PIPELINE_H_
+#define KBT_API_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/parallel.h"
+#include "dataflow/stage_timer.h"
+#include "eval/gold_standard.h"
+#include "exp/kv_sim.h"
+#include "exp/synthetic.h"
+#include "extract/observation_matrix.h"
+#include "extract/raw_dataset.h"
+#include "kbt/options.h"
+#include "kbt/report.h"
+
+namespace kbt::api {
+
+/// Invoked after every pipeline stage with the stage and its wall-clock
+/// seconds. Called on the thread driving Run().
+using ProgressCallback = std::function<void(Stage, double seconds)>;
+
+/// One trust-estimation session over a fixed dataset and Options:
+/// observation cube -> granularity assignment -> compiled matrix ->
+/// inference -> KBT scoring -> evaluation.
+///
+/// The granularity assignment and compiled matrix are cached across runs:
+/// a second Run() (e.g. a warm start) skips straight to inference.
+/// AppendObservations invalidates the cache, so the next run recompiles
+/// against the grown cube. Sessions are movable, not copyable, and not
+/// thread-safe; runs themselves parallelize through the attached Executor.
+class Pipeline {
+ public:
+  Pipeline(Pipeline&& other) noexcept;
+  Pipeline& operator=(Pipeline&& other) noexcept;
+  ~Pipeline();
+
+  /// Runs the five-step sequence with default (or smart, when configured
+  /// and a gold standard is attached) initial quality.
+  StatusOr<TrustReport> Run();
+
+  /// Runs with explicit initial parameter values (e.g. Table 3's fixed
+  /// extractor quality). Overrides smart initialization.
+  StatusOr<TrustReport> Run(const core::InitialQuality& initial);
+
+  /// Warm start: re-runs inference initialized from a previous report's
+  /// learned parameters. The previous report must come from a run of the
+  /// same shape (same group counts); returns FailedPrecondition otherwise.
+  StatusOr<TrustReport> RunFrom(const TrustReport& previous);
+
+  /// Appends extraction events to the owned dataset, growing the meta
+  /// counts to cover new ids, and invalidates the compiled-matrix cache.
+  /// Fails on borrowed datasets (FromDataset(const RawDataset*)) and on
+  /// observations with invalid ids.
+  Status AppendObservations(
+      const std::vector<extract::RawObservation>& observations);
+
+  const extract::RawDataset& dataset() const;
+  const Options& options() const;
+
+  /// The cached compiled matrix: non-null after a successful Run() until
+  /// the cache is invalidated. Slot/item accessors on it give report
+  /// vectors their coordinates.
+  const extract::CompiledMatrix* compiled_matrix() const;
+
+  /// The generated world behind a FromKvSim pipeline (null otherwise).
+  const corpus::WebCorpus* corpus() const;
+
+  /// The gold standard used for metrics/smart-init (null when none).
+  const eval::GoldStandard* gold_standard() const;
+
+  /// Opaque implementation record; public only so internal helpers can name
+  /// it. Nothing on it is part of the API.
+  struct Impl;
+
+ private:
+  friend class PipelineBuilder;
+  explicit Pipeline(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Fluent assembly of a Pipeline: exactly one dataset source, plus options
+/// and optional collaborators. Build() validates the dataset (ids within
+/// meta counts, nfalse covering every referenced predicate) before any
+/// compute happens.
+class PipelineBuilder {
+ public:
+  PipelineBuilder();
+  PipelineBuilder(PipelineBuilder&&) noexcept;
+  PipelineBuilder& operator=(PipelineBuilder&&) noexcept;
+  ~PipelineBuilder();
+
+  /// Dataset sources — call exactly one.
+  PipelineBuilder& FromDataset(extract::RawDataset dataset);
+  /// Non-owning: the caller keeps `dataset` alive and unchanged for the
+  /// pipeline's lifetime (AppendObservations is unavailable).
+  PipelineBuilder& FromDataset(const extract::RawDataset* dataset);
+  /// Loads a TSV cube written by io::WriteRawDataset at Build() time.
+  PipelineBuilder& FromTsv(std::string path);
+  /// Generates a KV-scale simulated world; the pipeline owns it and wires
+  /// its LCWA + type-check gold standard automatically.
+  PipelineBuilder& FromKvSim(const exp::KvSimConfig& config);
+  /// Generates the Section 5.2.1 synthetic cube.
+  PipelineBuilder& FromSynthetic(const exp::SyntheticConfig& config);
+
+  PipelineBuilder& WithOptions(Options options);
+  PipelineBuilder& WithModel(Model model);
+  PipelineBuilder& WithGranularity(Granularity granularity);
+  /// Non-owning; enables metrics in TrustReport and smart initialization.
+  /// Overrides the automatic KvSim gold standard.
+  PipelineBuilder& WithGoldStandard(const eval::GoldStandard* gold);
+  /// Non-owning; stages run serially when absent.
+  PipelineBuilder& WithExecutor(dataflow::Executor* executor);
+  /// Non-owning; collects the Table 7 stage timings when present.
+  PipelineBuilder& WithStageTimers(dataflow::StageTimers* timers);
+  PipelineBuilder& OnProgress(ProgressCallback callback);
+
+  StatusOr<Pipeline> Build();
+
+ private:
+  enum class SourceKind;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace kbt::api
+
+#endif  // KBT_API_PIPELINE_H_

@@ -1,0 +1,89 @@
+#ifndef KBT_API_REPORT_H_
+#define KBT_API_REPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/kbt_score.h"
+#include "core/multilayer_result.h"
+#include "eval/gold_standard.h"
+#include "kbt/options.h"
+
+namespace kbt::api {
+
+/// The stages of one Pipeline::Run, in execution order. Progress callbacks
+/// receive these, and TrustReport::stage_seconds records their wall clock.
+enum class Stage {
+  kGranularity = 0,  // choose/compute the group assignment
+  kCompile = 1,      // build the CompiledMatrix
+  kInitialize = 2,   // smart / warm-start initial quality
+  kInference = 3,    // the EM itself
+  kScore = 4,        // KBT aggregation
+  kEvaluate = 5,     // predictions + gold-standard metrics
+};
+
+inline constexpr int kNumStages = 6;
+
+std::string_view StageName(Stage stage);
+
+/// Shape of the compiled problem one report was computed from. Doubles as
+/// the compatibility check for warm starts.
+struct PipelineCounts {
+  size_t num_observations = 0;
+  size_t num_slots = 0;
+  size_t num_items = 0;
+  size_t num_extractions = 0;
+  uint32_t num_sources = 0;
+  uint32_t num_extractor_groups = 0;
+  uint32_t num_websites = 0;
+};
+
+/// Everything one pipeline run produces: the inference posterior and
+/// parameters, KBT aggregates, deduplicated triple predictions, optional
+/// gold-standard metrics and per-stage timings.
+///
+/// For single-layer runs the result is folded into the multi-layer shape:
+/// source_accuracy / slot_value_prob / slot_covered carry the baseline's
+/// output, slot_correct_prob is all-ones (the baseline takes every
+/// extraction at face value) and the extractor-quality vectors are empty.
+struct TrustReport {
+  Model model = Model::kMultiLayer;
+  Granularity granularity = Granularity::kFinest;
+
+  core::MultiLayerResult inference;
+  /// Per-website KBT (indexed by WebsiteId; empty when !score_websites).
+  std::vector<core::KbtScore> website_kbt;
+  /// Per-source-group KBT at the run's granularity (empty when
+  /// !score_sources).
+  std::vector<core::KbtScore> source_kbt;
+  /// One prediction per distinct extracted (item, value).
+  std::vector<eval::TriplePrediction> predictions;
+  /// Present when a gold standard was attached to the pipeline.
+  std::optional<eval::TripleMetrics> metrics;
+
+  PipelineCounts counts;
+  /// Wall-clock seconds per pipeline stage, in execution order. Cached
+  /// stages (granularity/compile on a re-run) report ~0.
+  std::vector<std::pair<std::string, double>> stage_seconds;
+
+  int iterations() const { return inference.iterations; }
+  bool converged() const { return inference.converged; }
+
+  /// Fraction of slots with at least one supported provider.
+  double CoveredFraction() const;
+
+  /// The learned parameters packaged for warm-starting another run
+  /// (Pipeline::RunFrom feeds this as InitialQuality). Sources that earned
+  /// support keep participating below the support threshold, mirroring the
+  /// smart-init coverage rule.
+  core::InitialQuality ToInitialQuality() const;
+};
+
+}  // namespace kbt::api
+
+#endif  // KBT_API_REPORT_H_

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local/CI check: configure, build, test, and smoke-run the quickstart.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+./build/examples/quickstart

@@ -1,0 +1,55 @@
+#include "kbt/options.h"
+
+namespace kbt::api {
+
+std::string_view ModelName(Model model) {
+  switch (model) {
+    case Model::kSingleLayer:
+      return "SingleLayer";
+    case Model::kMultiLayer:
+      return "MultiLayer";
+  }
+  return "unknown";
+}
+
+std::string_view GranularityName(Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kFinest:
+      return "finest";
+    case Granularity::kPageSource:
+      return "page-source";
+    case Granularity::kWebsiteSource:
+      return "website-source";
+    case Granularity::kProvenance:
+      return "provenance";
+    case Granularity::kSplitMerge:
+      return "split-merge";
+  }
+  return "unknown";
+}
+
+core::SmartInitOptions Options::PaperSmartInit() {
+  core::SmartInitOptions options;
+  // Source-side only (the paper's description); LCWA labels are too skewed
+  // toward false to estimate extractor precision from.
+  options.initialize_extractors = false;
+  // A single gold-labeled triple anchors a source, which is what lets thin
+  // sources participate in the "+" variants of Table 5.
+  options.min_labeled = 1;
+  options.smoothing = 1.0;
+  return options;
+}
+
+Options Options::Paper() {
+  Options options;
+  options.multilayer.num_false_override = 10;    // Paper: n = 10 multi-layer.
+  options.single_layer.num_false_override = 100;  // n = 100 single-layer.
+  options.sm_source.min_size = 5;
+  options.sm_source.max_size = 10000;
+  options.sm_extractor.min_size = 5;
+  options.sm_extractor.max_size = 10000;
+  options.smart_init_options = PaperSmartInit();
+  return options;
+}
+
+}  // namespace kbt::api

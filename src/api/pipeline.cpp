@@ -1,0 +1,482 @@
+#include "kbt/pipeline.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/initialization.h"
+#include "core/kbt_score.h"
+#include "core/multilayer_model.h"
+#include "fusion/single_layer.h"
+#include "granularity/assignments.h"
+#include "io/dataset_io.h"
+
+namespace kbt::api {
+
+struct Pipeline::Impl {
+  Options options;
+
+  extract::RawDataset owned_dataset;
+  /// Points at owned_dataset, kv->data, or an external dataset.
+  const extract::RawDataset* dataset = nullptr;
+  /// True only when AppendObservations may mutate the cube.
+  bool dataset_owned = false;
+
+  std::unique_ptr<exp::KvSimData> kv;
+  std::unique_ptr<eval::GoldStandard> owned_gold;
+  const eval::GoldStandard* gold = nullptr;
+
+  dataflow::Executor* executor = nullptr;
+  dataflow::StageTimers* timers = nullptr;
+  ProgressCallback progress;
+
+  /// Cache: valid until the dataset changes. A re-run (warm start, repeated
+  /// Run) skips granularity + compilation entirely.
+  std::optional<extract::GroupAssignment> assignment;
+  std::optional<extract::CompiledMatrix> matrix;
+
+  void InvalidateCache() {
+    assignment.reset();
+    matrix.reset();
+  }
+};
+
+namespace {
+
+/// Times one pipeline stage into the report, the shared StageTimers (under
+/// "Pipeline.<stage>") and the progress callback.
+class StageScope {
+ public:
+  StageScope(Pipeline::Impl& impl, TrustReport& report, Stage stage)
+      : impl_(impl), report_(report), stage_(stage) {}
+  ~StageScope() {
+    const double seconds = watch_.ElapsedSeconds();
+    const std::string name(StageName(stage_));
+    report_.stage_seconds.emplace_back(name, seconds);
+    if (impl_.timers != nullptr) impl_.timers->Add("Pipeline." + name, seconds);
+    if (impl_.progress) impl_.progress(stage_, seconds);
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  Pipeline::Impl& impl_;
+  TrustReport& report_;
+  Stage stage_;
+  Stopwatch watch_;
+};
+
+core::TripleLabelFn MakeLabelFn(const eval::GoldStandard& gold) {
+  return [&gold](kb::DataItemId item, kb::ValueId value) {
+    return gold.Label(item, value);
+  };
+}
+
+Status EnsureCompiled(Pipeline::Impl& impl, TrustReport& report) {
+  {
+    StageScope scope(impl, report, Stage::kGranularity);
+    if (!impl.assignment) {
+      switch (impl.options.granularity) {
+        case Granularity::kFinest:
+          impl.assignment = granularity::FinestAssignment(*impl.dataset);
+          break;
+        case Granularity::kPageSource:
+          impl.assignment =
+              granularity::PageSourcePlainExtractor(*impl.dataset);
+          break;
+        case Granularity::kWebsiteSource:
+          impl.assignment =
+              granularity::WebsiteSourceAssignment(*impl.dataset);
+          break;
+        case Granularity::kProvenance:
+          impl.assignment = granularity::ProvenanceAssignment(*impl.dataset);
+          break;
+        case Granularity::kSplitMerge: {
+          StatusOr<extract::GroupAssignment> sm =
+              granularity::SplitMergeAssignment(
+                  *impl.dataset, impl.options.sm_source,
+                  impl.options.sm_extractor, impl.timers);
+          if (!sm.ok()) return sm.status();
+          impl.assignment = std::move(*sm);
+          break;
+        }
+      }
+      if (!impl.assignment) {
+        // E.g. an unchecked integer cast into the enum.
+        return Status::InvalidArgument(
+            "unknown granularity value " +
+            std::to_string(static_cast<int>(impl.options.granularity)));
+      }
+    }
+  }
+  {
+    StageScope scope(impl, report, Stage::kCompile);
+    if (!impl.matrix) {
+      StatusOr<extract::CompiledMatrix> matrix =
+          extract::CompiledMatrix::Build(*impl.dataset, *impl.assignment);
+      if (!matrix.ok()) return matrix.status();
+      impl.matrix = std::move(*matrix);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<TrustReport> RunImpl(Pipeline::Impl& impl,
+                              const core::InitialQuality* explicit_initial,
+                              const TrustReport* warm_from) {
+  TrustReport report;
+  report.model = impl.options.model;
+  report.granularity = impl.options.granularity;
+  KBT_RETURN_IF_ERROR(EnsureCompiled(impl, report));
+  const extract::CompiledMatrix& matrix = *impl.matrix;
+
+  report.counts.num_observations = impl.dataset->size();
+  report.counts.num_slots = matrix.num_slots();
+  report.counts.num_items = matrix.num_items();
+  report.counts.num_extractions = matrix.num_extractions();
+  report.counts.num_sources = matrix.num_sources();
+  report.counts.num_extractor_groups = matrix.num_extractor_groups();
+  report.counts.num_websites = impl.dataset->num_websites;
+
+  core::InitialQuality initial;
+  {
+    StageScope scope(impl, report, Stage::kInitialize);
+    if (warm_from != nullptr) {
+      if (warm_from->counts.num_sources != matrix.num_sources() ||
+          warm_from->counts.num_extractor_groups !=
+              matrix.num_extractor_groups()) {
+        return Status::FailedPrecondition(
+            "warm start requires a report of the same shape: previous run "
+            "had " +
+            std::to_string(warm_from->counts.num_sources) + " sources / " +
+            std::to_string(warm_from->counts.num_extractor_groups) +
+            " extractor groups, this pipeline has " +
+            std::to_string(matrix.num_sources()) + " / " +
+            std::to_string(matrix.num_extractor_groups()));
+      }
+      initial = warm_from->ToInitialQuality();
+    } else if (explicit_initial != nullptr) {
+      initial = *explicit_initial;
+    } else if (impl.options.smart_init && impl.gold != nullptr) {
+      initial = core::InitialQualityFromLabels(matrix, MakeLabelFn(*impl.gold),
+                                               impl.options.multilayer,
+                                               impl.options.smart_init_options);
+    }
+  }
+
+  {
+    StageScope scope(impl, report, Stage::kInference);
+    if (impl.options.model == Model::kSingleLayer) {
+      StatusOr<fusion::SingleLayerResult> result =
+          fusion::SingleLayerModel::Run(matrix, impl.options.single_layer,
+                                        initial.source_accuracy, impl.executor,
+                                        impl.timers, initial.source_trusted);
+      if (!result.ok()) return result.status();
+      core::MultiLayerResult& out = report.inference;
+      out.source_accuracy = std::move(result->source_accuracy);
+      out.source_supported = std::move(result->source_supported);
+      out.slot_value_prob = std::move(result->slot_value_prob);
+      out.slot_covered = std::move(result->slot_covered);
+      out.item_unobserved_value_prob =
+          std::move(result->item_unobserved_value_prob);
+      // The baseline takes every extraction at face value (its defining
+      // weakness): correctness is certainty, so website KBT degenerates to
+      // the mean claim probability, the paper's single-layer KBT proxy.
+      out.slot_correct_prob.assign(matrix.num_slots(), 1.0);
+      out.iterations = result->iterations;
+      out.converged = result->converged;
+    } else {
+      StatusOr<core::MultiLayerResult> result = core::MultiLayerModel::Run(
+          matrix, impl.options.multilayer, initial, impl.executor,
+          impl.timers);
+      if (!result.ok()) return result.status();
+      report.inference = std::move(*result);
+    }
+  }
+
+  {
+    StageScope scope(impl, report, Stage::kScore);
+    if (impl.options.score_websites) {
+      report.website_kbt = core::ComputeWebsiteKbt(
+          matrix, report.inference, impl.dataset->num_websites);
+    }
+    if (impl.options.score_sources) {
+      report.source_kbt = core::ComputeSourceKbt(matrix, report.inference);
+    }
+  }
+
+  {
+    StageScope scope(impl, report, Stage::kEvaluate);
+    report.predictions = eval::TriplePredictions(
+        matrix, report.inference.slot_value_prob,
+        report.inference.slot_covered);
+    if (impl.gold != nullptr) {
+      report.metrics = eval::EvaluateTriples(report.predictions, *impl.gold);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+Pipeline::Pipeline(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Pipeline::Pipeline(Pipeline&& other) noexcept = default;
+Pipeline& Pipeline::operator=(Pipeline&& other) noexcept = default;
+Pipeline::~Pipeline() = default;
+
+StatusOr<TrustReport> Pipeline::Run() {
+  return RunImpl(*impl_, nullptr, nullptr);
+}
+
+StatusOr<TrustReport> Pipeline::Run(const core::InitialQuality& initial) {
+  return RunImpl(*impl_, &initial, nullptr);
+}
+
+StatusOr<TrustReport> Pipeline::RunFrom(const TrustReport& previous) {
+  return RunImpl(*impl_, nullptr, &previous);
+}
+
+Status Pipeline::AppendObservations(
+    const std::vector<extract::RawObservation>& observations) {
+  Impl& impl = *impl_;
+  if (!impl.dataset_owned) {
+    return Status::FailedPrecondition(
+        "AppendObservations requires a pipeline-owned mutable dataset "
+        "(FromDataset(RawDataset), FromTsv or FromSynthetic)");
+  }
+  extract::RawDataset& data = impl.owned_dataset;
+  // Validate everything before mutating, so a rejected batch leaves the
+  // dataset untouched and the grown cube always satisfies
+  // io::ValidateRawDataset (new predicates get the default domain below).
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const extract::RawObservation& obs = observations[i];
+    if (obs.extractor == kb::kInvalidId || obs.pattern == kb::kInvalidId ||
+        obs.website == kb::kInvalidId || obs.page == kb::kInvalidId ||
+        obs.value == kb::kInvalidId) {
+      return Status::InvalidArgument(
+          "appended observation " + std::to_string(i) +
+          " carries an invalid id");
+    }
+    const kb::PredicateId predicate = kb::DataItemPredicate(obs.item);
+    if (predicate < data.num_false_by_predicate.size() &&
+        data.num_false_by_predicate[predicate] < 1) {
+      return Status::InvalidArgument(
+          "appended observation " + std::to_string(i) +
+          " references predicate " + std::to_string(predicate) +
+          " with non-positive domain size n = " +
+          std::to_string(data.num_false_by_predicate[predicate]));
+    }
+  }
+  for (const extract::RawObservation& obs : observations) {
+    data.num_extractors = std::max(data.num_extractors, obs.extractor + 1);
+    data.num_patterns = std::max(data.num_patterns, obs.pattern + 1);
+    data.num_websites = std::max(data.num_websites, obs.website + 1);
+    data.num_pages = std::max(data.num_pages, obs.page + 1);
+    const kb::PredicateId predicate = kb::DataItemPredicate(obs.item);
+    if (data.num_false_by_predicate.size() <= predicate) {
+      // Cover new predicates with the library's default domain size.
+      data.num_false_by_predicate.resize(predicate + 1, 10);
+    }
+    data.observations.push_back(obs);
+  }
+  if (!observations.empty()) impl.InvalidateCache();
+  return Status::OK();
+}
+
+const extract::RawDataset& Pipeline::dataset() const {
+  return *impl_->dataset;
+}
+
+const Options& Pipeline::options() const { return impl_->options; }
+
+const extract::CompiledMatrix* Pipeline::compiled_matrix() const {
+  return impl_->matrix ? &*impl_->matrix : nullptr;
+}
+
+const corpus::WebCorpus* Pipeline::corpus() const {
+  return impl_->kv ? &impl_->kv->corpus : nullptr;
+}
+
+const eval::GoldStandard* Pipeline::gold_standard() const {
+  return impl_->gold;
+}
+
+// ---------------------------------------------------------------------------
+// PipelineBuilder
+// ---------------------------------------------------------------------------
+
+enum class PipelineBuilder::SourceKind {
+  kNone,
+  kOwnedDataset,
+  kBorrowedDataset,
+  kTsv,
+  kKvSim,
+  kSynthetic,
+};
+
+struct PipelineBuilder::State {
+  SourceKind kind = SourceKind::kNone;
+  int sources_set = 0;
+
+  extract::RawDataset owned_dataset;
+  const extract::RawDataset* borrowed = nullptr;
+  std::string tsv_path;
+  exp::KvSimConfig kv_config;
+  exp::SyntheticConfig synthetic_config;
+
+  Options options;
+  const eval::GoldStandard* gold = nullptr;
+  dataflow::Executor* executor = nullptr;
+  dataflow::StageTimers* timers = nullptr;
+  ProgressCallback progress;
+};
+
+PipelineBuilder::PipelineBuilder() : state_(std::make_unique<State>()) {}
+PipelineBuilder::PipelineBuilder(PipelineBuilder&&) noexcept = default;
+PipelineBuilder& PipelineBuilder::operator=(PipelineBuilder&&) noexcept =
+    default;
+PipelineBuilder::~PipelineBuilder() = default;
+
+PipelineBuilder& PipelineBuilder::FromDataset(extract::RawDataset dataset) {
+  state_->kind = SourceKind::kOwnedDataset;
+  state_->owned_dataset = std::move(dataset);
+  ++state_->sources_set;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::FromDataset(
+    const extract::RawDataset* dataset) {
+  state_->kind = SourceKind::kBorrowedDataset;
+  state_->borrowed = dataset;
+  ++state_->sources_set;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::FromTsv(std::string path) {
+  state_->kind = SourceKind::kTsv;
+  state_->tsv_path = std::move(path);
+  ++state_->sources_set;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::FromKvSim(const exp::KvSimConfig& config) {
+  state_->kind = SourceKind::kKvSim;
+  state_->kv_config = config;
+  ++state_->sources_set;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::FromSynthetic(
+    const exp::SyntheticConfig& config) {
+  state_->kind = SourceKind::kSynthetic;
+  state_->synthetic_config = config;
+  ++state_->sources_set;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithOptions(Options options) {
+  state_->options = std::move(options);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithModel(Model model) {
+  state_->options.model = model;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithGranularity(Granularity granularity) {
+  state_->options.granularity = granularity;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithGoldStandard(
+    const eval::GoldStandard* gold) {
+  state_->gold = gold;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithExecutor(dataflow::Executor* executor) {
+  state_->executor = executor;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithStageTimers(
+    dataflow::StageTimers* timers) {
+  state_->timers = timers;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::OnProgress(ProgressCallback callback) {
+  state_->progress = std::move(callback);
+  return *this;
+}
+
+StatusOr<Pipeline> PipelineBuilder::Build() {
+  State& s = *state_;
+  if (s.sources_set != 1) {
+    return Status::InvalidArgument(
+        "PipelineBuilder requires exactly one dataset source (FromDataset / "
+        "FromTsv / FromKvSim / FromSynthetic); got " +
+        std::to_string(s.sources_set));
+  }
+  auto impl = std::make_unique<Pipeline::Impl>();
+  impl->options = s.options;
+  impl->gold = s.gold;
+  impl->executor = s.executor;
+  impl->timers = s.timers;
+  impl->progress = std::move(s.progress);
+
+  switch (s.kind) {
+    case SourceKind::kOwnedDataset:
+      impl->owned_dataset = std::move(s.owned_dataset);
+      impl->dataset = &impl->owned_dataset;
+      impl->dataset_owned = true;
+      break;
+    case SourceKind::kBorrowedDataset:
+      if (s.borrowed == nullptr) {
+        return Status::InvalidArgument("FromDataset received a null dataset");
+      }
+      impl->dataset = s.borrowed;
+      break;
+    case SourceKind::kTsv: {
+      StatusOr<extract::RawDataset> data = io::ReadRawDataset(s.tsv_path);
+      if (!data.ok()) return data.status();
+      impl->owned_dataset = std::move(*data);
+      impl->dataset = &impl->owned_dataset;
+      impl->dataset_owned = true;
+      break;
+    }
+    case SourceKind::kKvSim: {
+      StatusOr<exp::KvSimData> kv = exp::BuildKvSim(s.kv_config);
+      if (!kv.ok()) return kv.status();
+      // Heap-pin the world first: the gold standard holds references into it.
+      impl->kv = std::make_unique<exp::KvSimData>(std::move(*kv));
+      impl->dataset = &impl->kv->data;
+      if (impl->gold == nullptr) {
+        impl->owned_gold = std::make_unique<eval::GoldStandard>(
+            impl->kv->partial_kb, impl->kv->corpus.world());
+        impl->gold = impl->owned_gold.get();
+      }
+      break;
+    }
+    case SourceKind::kSynthetic: {
+      exp::SyntheticData synthetic =
+          exp::GenerateSynthetic(s.synthetic_config);
+      impl->owned_dataset = std::move(synthetic.data);
+      impl->dataset = &impl->owned_dataset;
+      impl->dataset_owned = true;
+      break;
+    }
+    case SourceKind::kNone:
+      return Status::Internal("unreachable: no dataset source");
+  }
+  KBT_RETURN_IF_ERROR(io::ValidateRawDataset(*impl->dataset));
+  return Pipeline(std::move(impl));
+}
+
+}  // namespace kbt::api

@@ -1,0 +1,41 @@
+#include "kbt/report.h"
+
+namespace kbt::api {
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kGranularity:
+      return "Granularity";
+    case Stage::kCompile:
+      return "Compile";
+    case Stage::kInitialize:
+      return "Initialize";
+    case Stage::kInference:
+      return "Inference";
+    case Stage::kScore:
+      return "Score";
+    case Stage::kEvaluate:
+      return "Evaluate";
+  }
+  return "unknown";
+}
+
+double TrustReport::CoveredFraction() const {
+  const auto& covered = inference.slot_covered;
+  if (covered.empty()) return 0.0;
+  size_t count = 0;
+  for (const uint8_t c : covered) count += c;
+  return static_cast<double>(count) / static_cast<double>(covered.size());
+}
+
+core::InitialQuality TrustReport::ToInitialQuality() const {
+  core::InitialQuality initial;
+  initial.source_accuracy = inference.source_accuracy;
+  initial.extractor_precision = inference.extractor_precision;
+  initial.extractor_recall = inference.extractor_recall;
+  initial.extractor_q = inference.extractor_q;
+  initial.source_trusted = inference.source_supported;
+  return initial;
+}
+
+}  // namespace kbt::api

@@ -1,8 +1,11 @@
+// Implemented on top of the kbt::api facade (and compiled into the api
+// library): the method runner is a thin translation from the Section 5
+// method taxonomy to (Model, Granularity) pipeline options.
 #include "exp/runners.h"
 
-#include "extract/observation_matrix.h"
-#include "core/initialization.h"
-#include "core/multilayer_model.h"
+#include <utility>
+
+#include "kbt/pipeline.h"
 
 namespace kbt::exp {
 
@@ -27,94 +30,55 @@ RunnerOptions::RunnerOptions() {
   sm_extractor.max_size = 10000;
 }
 
-namespace {
-
-core::TripleLabelFn MakeLabelFn(const eval::GoldStandard& gold) {
-  return [&gold](kb::DataItemId item, kb::ValueId value) {
-    return gold.Label(item, value);
-  };
-}
-
-core::SmartInitOptions KvSmartInit() {
-  core::SmartInitOptions options;
-  // Source-side only (the paper's description); LCWA labels are too skewed
-  // toward false to estimate extractor precision from.
-  options.initialize_extractors = false;
-  // A single gold-labeled triple anchors a source: this is what lets thin
-  // sources participate in the "+" variants (they would otherwise fall
-  // under the support threshold and be ignored).
-  options.min_labeled = 1;
-  options.smoothing = 1.0;
-  return options;
-}
-
-}  // namespace
-
 StatusOr<MethodRun> RunMethodOnKv(Method method, const KvSimData& kv,
                                   const eval::GoldStandard& gold,
                                   const RunnerOptions& options,
                                   dataflow::Executor* executor,
                                   dataflow::StageTimers* timers) {
-  // ---- Choose granularity ----
-  extract::GroupAssignment assignment;
+  api::Options api_options;
   switch (method) {
     case Method::kSingleLayer:
-      assignment = granularity::ProvenanceAssignment(kv.data);
+      api_options.model = api::Model::kSingleLayer;
+      api_options.granularity = api::Granularity::kProvenance;
       break;
     case Method::kMultiLayer:
-      assignment = granularity::FinestAssignment(kv.data);
+      api_options.model = api::Model::kMultiLayer;
+      api_options.granularity = api::Granularity::kFinest;
       break;
-    case Method::kMultiLayerSM: {
-      StatusOr<extract::GroupAssignment> sm = granularity::SplitMergeAssignment(
-          kv.data, options.sm_source, options.sm_extractor, timers);
-      if (!sm.ok()) return sm.status();
-      assignment = std::move(*sm);
+    case Method::kMultiLayerSM:
+      api_options.model = api::Model::kMultiLayer;
+      api_options.granularity = api::Granularity::kSplitMerge;
       break;
-    }
   }
+  api_options.multilayer = options.multilayer;
+  api_options.single_layer = options.single_layer;
+  api_options.sm_source = options.sm_source;
+  api_options.sm_extractor = options.sm_extractor;
+  api_options.smart_init = options.smart_init;
+  api_options.smart_init_options = api::Options::PaperSmartInit();
+  // The runner reports triple metrics only; skip the KBT aggregation stage.
+  api_options.score_websites = false;
+  api_options.score_sources = false;
 
-  StatusOr<extract::CompiledMatrix> matrix =
-      extract::CompiledMatrix::Build(kv.data, assignment);
-  if (!matrix.ok()) return matrix.status();
+  StatusOr<api::Pipeline> pipeline = api::PipelineBuilder()
+                                         .FromDataset(&kv.data)
+                                         .WithGoldStandard(&gold)
+                                         .WithOptions(api_options)
+                                         .WithExecutor(executor)
+                                         .WithStageTimers(timers)
+                                         .Build();
+  if (!pipeline.ok()) return pipeline.status();
+  StatusOr<api::TrustReport> report = pipeline->Run();
+  if (!report.ok()) return report.status();
 
   MethodRun run;
-  run.num_sources = matrix->num_sources();
-  run.num_extractor_groups = matrix->num_extractor_groups();
-  run.num_slots = matrix->num_slots();
-
-  if (method == Method::kSingleLayer) {
-    std::vector<double> initial;
-    std::vector<uint8_t> trusted;
-    if (options.smart_init) {
-      core::InitialQuality init = core::InitialQualityFromLabels(
-          *matrix, MakeLabelFn(gold), options.multilayer, KvSmartInit());
-      initial = std::move(init.source_accuracy);
-      trusted = std::move(init.source_trusted);
-    }
-    StatusOr<fusion::SingleLayerResult> result = fusion::SingleLayerModel::Run(
-        *matrix, options.single_layer, initial, executor, timers, trusted);
-    if (!result.ok()) return result.status();
-    run.predictions = eval::TriplePredictions(*matrix, result->slot_value_prob,
-                                              result->slot_covered);
-    run.iterations = result->iterations;
-    run.converged = result->converged;
-  } else {
-    core::InitialQuality initial;
-    if (options.smart_init) {
-      initial = core::InitialQualityFromLabels(*matrix, MakeLabelFn(gold),
-                                               options.multilayer,
-                                               KvSmartInit());
-    }
-    StatusOr<core::MultiLayerResult> result = core::MultiLayerModel::Run(
-        *matrix, options.multilayer, initial, executor, timers);
-    if (!result.ok()) return result.status();
-    run.predictions = eval::TriplePredictions(*matrix, result->slot_value_prob,
-                                              result->slot_covered);
-    run.iterations = result->iterations;
-    run.converged = result->converged;
-  }
-
-  run.metrics = eval::EvaluateTriples(run.predictions, gold);
+  run.predictions = std::move(report->predictions);
+  run.metrics = report->metrics.value_or(eval::TripleMetrics{});
+  run.iterations = report->iterations();
+  run.converged = report->converged();
+  run.num_sources = report->counts.num_sources;
+  run.num_extractor_groups = report->counts.num_extractor_groups;
+  run.num_slots = report->counts.num_slots;
   return run;
 }
 

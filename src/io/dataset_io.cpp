@@ -22,7 +22,66 @@ Status ExpectHeader(std::istream& in, const char* expected) {
   return Status::OK();
 }
 
+Status CheckPredicateCovered(const extract::RawDataset& dataset,
+                             kb::DataItemId item, const std::string& what) {
+  const kb::PredicateId predicate = kb::DataItemPredicate(item);
+  if (predicate >= dataset.num_false_by_predicate.size()) {
+    return Status::InvalidArgument(
+        what + " references predicate " + std::to_string(predicate) +
+        " with no nfalse entry (have " +
+        std::to_string(dataset.num_false_by_predicate.size()) + ")");
+  }
+  if (dataset.num_false_by_predicate[predicate] < 1) {
+    return Status::InvalidArgument(
+        "predicate " + std::to_string(predicate) +
+        " has non-positive domain size n = " +
+        std::to_string(dataset.num_false_by_predicate[predicate]));
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+Status ValidateRawDataset(const extract::RawDataset& dataset) {
+  for (size_t i = 0; i < dataset.observations.size(); ++i) {
+    const extract::RawObservation& obs = dataset.observations[i];
+    const std::string what = "observation " + std::to_string(i);
+    if (obs.extractor >= dataset.num_extractors) {
+      return Status::InvalidArgument(
+          what + " has extractor id " + std::to_string(obs.extractor) +
+          " >= meta count " + std::to_string(dataset.num_extractors));
+    }
+    if (obs.pattern >= dataset.num_patterns) {
+      return Status::InvalidArgument(
+          what + " has pattern id " + std::to_string(obs.pattern) +
+          " >= meta count " + std::to_string(dataset.num_patterns));
+    }
+    if (obs.website >= dataset.num_websites) {
+      return Status::InvalidArgument(
+          what + " has website id " + std::to_string(obs.website) +
+          " >= meta count " + std::to_string(dataset.num_websites));
+    }
+    if (obs.page >= dataset.num_pages) {
+      return Status::InvalidArgument(
+          what + " has page id " + std::to_string(obs.page) +
+          " >= meta count " + std::to_string(dataset.num_pages));
+    }
+    if (obs.value == kb::kInvalidId) {
+      return Status::InvalidArgument(what + " has an invalid value id");
+    }
+    KBT_RETURN_IF_ERROR(CheckPredicateCovered(dataset, obs.item, what));
+  }
+  for (const auto& [item, value] : dataset.true_values) {
+    if (value == kb::kInvalidId) {
+      return Status::InvalidArgument(
+          "true value for item " + std::to_string(item) +
+          " has an invalid value id");
+    }
+    KBT_RETURN_IF_ERROR(CheckPredicateCovered(
+        dataset, item, "true value for item " + std::to_string(item)));
+  }
+  return Status::OK();
+}
 
 Status WriteRawDataset(const std::string& path,
                        const extract::RawDataset& dataset) {
@@ -96,6 +155,7 @@ StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path) {
                                      std::to_string(line_no));
     }
   }
+  KBT_RETURN_IF_ERROR(ValidateRawDataset(dataset));
   return dataset;
 }
 

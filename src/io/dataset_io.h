@@ -25,8 +25,19 @@ namespace kbt::io {
 Status WriteRawDataset(const std::string& path,
                        const extract::RawDataset& dataset);
 
-/// Reads a file written by WriteRawDataset.
+/// Reads a file written by WriteRawDataset. The result is validated with
+/// ValidateRawDataset, so malformed TSV surfaces as an InvalidArgument
+/// Status here instead of out-of-range indices downstream.
 StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path);
+
+/// Structural validation of an observation cube:
+///  * every observation's extractor/pattern/website/page id falls within
+///    the dataset's meta counts, and its value id is valid;
+///  * num_false_by_predicate covers (with n >= 1) every predicate
+///    referenced by an observation or a true-value entry.
+/// Everything downstream (granularity assignment, matrix compilation)
+/// indexes by these ids, so this is the precondition for the whole stack.
+Status ValidateRawDataset(const extract::RawDataset& dataset);
 
 /// Writes triple predictions:
 ///   # kbt-predictions v1

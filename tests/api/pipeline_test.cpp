@@ -1,0 +1,478 @@
+// Integration tests of the kbt::api facade. The key guarantees:
+//  * Pipeline::Run() is bit-for-bit identical to the hand-wired
+//    granularity -> compile -> infer -> score sequence it replaces;
+//  * warm starts (RunFrom) equal a cold run with the same InitialQuality;
+//  * a TSV round trip of the cube yields an identical TrustReport;
+//  * the compiled-matrix cache is reused across runs and invalidated by
+//    AppendObservations.
+#include "kbt/kbt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/kbt_score.h"
+#include "core/multilayer_model.h"
+#include "extract/observation_matrix.h"
+#include "fusion/single_layer.h"
+#include "granularity/assignments.h"
+
+namespace kbt::api {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// The quickstart cube: 3 sites, 2 extractors, one data item.
+extract::RawDataset QuickstartCube() {
+  const kb::DataItemId born_in = kb::MakeDataItem(0, 0);
+  extract::RawDataset data;
+  data.num_false_by_predicate = {10};
+  data.num_websites = 3;
+  data.num_pages = 3;
+  data.num_extractors = 2;
+  data.num_patterns = 2;
+  struct Event {
+    uint32_t extractor, page;
+    kb::ValueId value;
+    float confidence;
+  };
+  const Event events[] = {
+      {0, 0, 1, 1.0f}, {0, 1, 1, 1.0f}, {0, 2, 2, 1.0f},
+      {1, 0, 1, 0.9f}, {1, 1, 2, 0.4f},
+  };
+  for (const Event& e : events) {
+    extract::RawObservation obs;
+    obs.extractor = e.extractor;
+    obs.pattern = e.extractor;
+    obs.website = e.page;
+    obs.page = e.page;
+    obs.item = born_in;
+    obs.value = e.value;
+    obs.confidence = e.confidence;
+    data.observations.push_back(obs);
+  }
+  return data;
+}
+
+Options QuickstartOptions() {
+  Options options;
+  options.granularity = Granularity::kPageSource;
+  options.multilayer.min_source_support = 1;
+  options.multilayer.min_extractor_support = 1;
+  return options;
+}
+
+exp::SyntheticConfig SmallSynthetic() {
+  exp::SyntheticConfig config;
+  config.num_sources = 15;
+  config.num_extractors = 4;
+  config.seed = 7;
+  return config;
+}
+
+void ExpectVectorsEqual(const std::vector<double>& a,
+                        const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-for-bit: both paths must execute the exact same float program.
+    ASSERT_EQ(a[i], b[i]) << what << "[" << i << "]";
+  }
+}
+
+void ExpectReportsEqual(const TrustReport& a, const TrustReport& b) {
+  ExpectVectorsEqual(a.inference.slot_value_prob, b.inference.slot_value_prob,
+                     "slot_value_prob");
+  ExpectVectorsEqual(a.inference.slot_correct_prob,
+                     b.inference.slot_correct_prob, "slot_correct_prob");
+  ExpectVectorsEqual(a.inference.source_accuracy, b.inference.source_accuracy,
+                     "source_accuracy");
+  ExpectVectorsEqual(a.inference.extractor_q, b.inference.extractor_q,
+                     "extractor_q");
+  ASSERT_EQ(a.website_kbt.size(), b.website_kbt.size());
+  for (size_t w = 0; w < a.website_kbt.size(); ++w) {
+    ASSERT_EQ(a.website_kbt[w].kbt, b.website_kbt[w].kbt) << w;
+    ASSERT_EQ(a.website_kbt[w].evidence, b.website_kbt[w].evidence) << w;
+  }
+  ASSERT_EQ(a.predictions.size(), b.predictions.size());
+  for (size_t i = 0; i < a.predictions.size(); ++i) {
+    ASSERT_EQ(a.predictions[i].item, b.predictions[i].item);
+    ASSERT_EQ(a.predictions[i].value, b.predictions[i].value);
+    ASSERT_EQ(a.predictions[i].probability, b.predictions[i].probability);
+    ASSERT_EQ(a.predictions[i].covered, b.predictions[i].covered);
+  }
+  ASSERT_EQ(a.iterations(), b.iterations());
+  ASSERT_EQ(a.converged(), b.converged());
+}
+
+// ---------------------------------------------------------------------------
+// (a) Facade output == the hand-wired five-step sequence, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineParityTest, MultiLayerRunMatchesHandWiredPath) {
+  const extract::RawDataset data = QuickstartCube();
+  const Options options = QuickstartOptions();
+
+  // Hand-wired path (what every caller used to repeat).
+  const extract::GroupAssignment assignment =
+      granularity::PageSourcePlainExtractor(data);
+  const auto matrix = extract::CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  const auto result = core::MultiLayerModel::Run(*matrix, options.multilayer);
+  ASSERT_TRUE(result.ok());
+  const auto kbt =
+      core::ComputeWebsiteKbt(*matrix, *result, data.num_websites);
+  const auto predictions = eval::TriplePredictions(
+      *matrix, result->slot_value_prob, result->slot_covered);
+
+  // Facade path.
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(options)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  const auto report = pipeline->Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ExpectVectorsEqual(report->inference.slot_value_prob,
+                     result->slot_value_prob, "slot_value_prob");
+  ExpectVectorsEqual(report->inference.slot_correct_prob,
+                     result->slot_correct_prob, "slot_correct_prob");
+  ExpectVectorsEqual(report->inference.source_accuracy,
+                     result->source_accuracy, "source_accuracy");
+  ExpectVectorsEqual(report->inference.extractor_precision,
+                     result->extractor_precision, "extractor_precision");
+  ExpectVectorsEqual(report->inference.extractor_recall,
+                     result->extractor_recall, "extractor_recall");
+  ASSERT_EQ(report->website_kbt.size(), kbt.size());
+  for (size_t w = 0; w < kbt.size(); ++w) {
+    ASSERT_EQ(report->website_kbt[w].kbt, kbt[w].kbt);
+    ASSERT_EQ(report->website_kbt[w].evidence, kbt[w].evidence);
+  }
+  ASSERT_EQ(report->predictions.size(), predictions.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    ASSERT_EQ(report->predictions[i].probability,
+              predictions[i].probability);
+  }
+  EXPECT_EQ(report->iterations(), result->iterations);
+  EXPECT_EQ(report->counts.num_slots, matrix->num_slots());
+  EXPECT_EQ(report->counts.num_sources, matrix->num_sources());
+}
+
+TEST(PipelineParityTest, SingleLayerRunMatchesHandWiredPath) {
+  const extract::RawDataset data = QuickstartCube();
+  Options options;
+  options.model = Model::kSingleLayer;
+  options.granularity = Granularity::kProvenance;
+  options.single_layer.min_source_support = 1;
+  options.single_layer.num_false_override = 10;
+
+  const extract::GroupAssignment assignment =
+      granularity::ProvenanceAssignment(data);
+  const auto matrix = extract::CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  const auto result =
+      fusion::SingleLayerModel::Run(*matrix, options.single_layer);
+  ASSERT_TRUE(result.ok());
+
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(options)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto report = pipeline->Run();
+  ASSERT_TRUE(report.ok());
+
+  ExpectVectorsEqual(report->inference.slot_value_prob,
+                     result->slot_value_prob, "slot_value_prob");
+  ExpectVectorsEqual(report->inference.source_accuracy,
+                     result->source_accuracy, "source_accuracy");
+  // The baseline's correctness layer is folded in as certainty.
+  for (const double c : report->inference.slot_correct_prob) {
+    ASSERT_EQ(c, 1.0);
+  }
+  EXPECT_EQ(report->iterations(), result->iterations);
+}
+
+// ---------------------------------------------------------------------------
+// (b) Warm start == cold run with the same InitialQuality.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineWarmStartTest, RunFromEqualsColdRunWithSameInitialQuality) {
+  auto pipeline = PipelineBuilder()
+                      .FromSynthetic(SmallSynthetic())
+                      .WithGranularity(Granularity::kPageSource)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto first = pipeline->Run();
+  ASSERT_TRUE(first.ok());
+
+  const auto warm = pipeline->RunFrom(*first);
+  ASSERT_TRUE(warm.ok());
+
+  // A fresh pipeline over the same cube, cold-started with the same
+  // InitialQuality, must agree exactly.
+  auto cold_pipeline = PipelineBuilder()
+                           .FromSynthetic(SmallSynthetic())
+                           .WithGranularity(Granularity::kPageSource)
+                           .Build();
+  ASSERT_TRUE(cold_pipeline.ok());
+  const auto cold = cold_pipeline->Run(first->ToInitialQuality());
+  ASSERT_TRUE(cold.ok());
+
+  ExpectReportsEqual(*warm, *cold);
+}
+
+TEST(PipelineWarmStartTest, MismatchedShapeIsRejected) {
+  auto fine = PipelineBuilder()
+                  .FromSynthetic(SmallSynthetic())
+                  .WithGranularity(Granularity::kFinest)
+                  .Build();
+  ASSERT_TRUE(fine.ok());
+  const auto fine_report = fine->Run();
+  ASSERT_TRUE(fine_report.ok());
+
+  auto coarse = PipelineBuilder()
+                    .FromSynthetic(SmallSynthetic())
+                    .WithGranularity(Granularity::kWebsiteSource)
+                    .Build();
+  ASSERT_TRUE(coarse.ok());
+  const auto warm = coarse->RunFrom(*fine_report);
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(warm.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// (c) TSV round trip yields an identical TrustReport.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineRoundTripTest, TsvRoundTripYieldsIdenticalReport) {
+  auto direct = PipelineBuilder()
+                    .FromSynthetic(SmallSynthetic())
+                    .WithGranularity(Granularity::kPageSource)
+                    .Build();
+  ASSERT_TRUE(direct.ok());
+
+  const std::string path = TempPath("pipeline_roundtrip.tsv");
+  ASSERT_TRUE(io::WriteRawDataset(path, direct->dataset()).ok());
+
+  auto reloaded = PipelineBuilder()
+                      .FromTsv(path)
+                      .WithGranularity(Granularity::kPageSource)
+                      .Build();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  const auto a = direct->Run();
+  const auto b = reloaded->Run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectReportsEqual(*a, *b);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-matrix cache and AppendObservations.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineCacheTest, RepeatedRunsReuseTheCompiledMatrix) {
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ(pipeline->compiled_matrix(), nullptr);
+
+  const auto first = pipeline->Run();
+  ASSERT_TRUE(first.ok());
+  const extract::CompiledMatrix* matrix = pipeline->compiled_matrix();
+  ASSERT_NE(matrix, nullptr);
+
+  const auto second = pipeline->Run();
+  ASSERT_TRUE(second.ok());
+  // Same object, not an equal recompilation.
+  EXPECT_EQ(pipeline->compiled_matrix(), matrix);
+  ExpectReportsEqual(*first, *second);
+}
+
+TEST(PipelineCacheTest, AppendObservationsInvalidatesAndRecompiles) {
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto before = pipeline->Run();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->counts.num_observations, 5u);
+
+  // A fourth site (id 3) claims "Warsaw" through extractor 0.
+  extract::RawObservation obs;
+  obs.extractor = 0;
+  obs.pattern = 0;
+  obs.website = 3;
+  obs.page = 3;
+  obs.item = kb::MakeDataItem(0, 0);
+  obs.value = 1;
+  ASSERT_TRUE(pipeline->AppendObservations({obs}).ok());
+  EXPECT_EQ(pipeline->compiled_matrix(), nullptr);
+  EXPECT_EQ(pipeline->dataset().num_websites, 4u);
+
+  const auto after = pipeline->Run();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->counts.num_observations, 6u);
+  EXPECT_EQ(after->counts.num_websites, 4u);
+  EXPECT_EQ(after->counts.num_sources, before->counts.num_sources + 1);
+}
+
+TEST(PipelineCacheTest, AppendRejectsBorrowedDatasetsAndInvalidIds) {
+  const extract::RawDataset data = QuickstartCube();
+  auto borrowed = PipelineBuilder()
+                      .FromDataset(&data)
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_TRUE(borrowed.ok());
+  extract::RawObservation obs = data.observations[0];
+  const Status status = borrowed->AppendObservations({obs});
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  auto owned = PipelineBuilder()
+                   .FromDataset(QuickstartCube())
+                   .WithOptions(QuickstartOptions())
+                   .Build();
+  ASSERT_TRUE(owned.ok());
+  obs.value = kb::kInvalidId;
+  EXPECT_EQ(owned->AppendObservations({obs}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineCacheTest, AppendRejectsPredicateWithNonPositiveDomain) {
+  extract::RawDataset data = QuickstartCube();
+  // Predicate 1 exists with n = 0 but is unreferenced, so Build() accepts it.
+  data.num_false_by_predicate.push_back(0);
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(std::move(data))
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  extract::RawObservation obs = pipeline->dataset().observations[0];
+  obs.item = kb::MakeDataItem(0, 1);  // Lands on the n = 0 predicate.
+  const Status status = pipeline->AppendObservations({obs});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The rejected batch left the dataset untouched and loadable.
+  EXPECT_EQ(pipeline->dataset().size(), 5u);
+  EXPECT_TRUE(io::ValidateRawDataset(pipeline->dataset()).ok());
+}
+
+TEST(PipelineTest, OutOfRangeGranularityEnumIsRejectedNotUB) {
+  Options options = QuickstartOptions();
+  options.granularity = static_cast<Granularity>(99);
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(options)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto report = pipeline->Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation and collaborators.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineBuilderTest, RequiresExactlyOneDatasetSource) {
+  auto none = PipelineBuilder().Build();
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+
+  auto two = PipelineBuilder()
+                 .FromDataset(QuickstartCube())
+                 .FromSynthetic(SmallSynthetic())
+                 .Build();
+  ASSERT_FALSE(two.ok());
+  EXPECT_EQ(two.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineBuilderTest, RejectsStructurallyInvalidDatasets) {
+  extract::RawDataset bad = QuickstartCube();
+  bad.observations[0].website = 17;  // Beyond meta count.
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(std::move(bad))
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineBuilderTest, MissingTsvSurfacesAsNotFound) {
+  auto pipeline = PipelineBuilder()
+                      .FromTsv(TempPath("does_not_exist.tsv"))
+                      .Build();
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PipelineBuilderTest, KvSimWiresCorpusAndGoldStandard) {
+  auto pipeline = PipelineBuilder()
+                      .FromKvSim(exp::KvSimConfig::Small())
+                      .WithOptions(Options::Paper())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_NE(pipeline->corpus(), nullptr);
+  ASSERT_NE(pipeline->gold_standard(), nullptr);
+  const auto report = pipeline->Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->metrics.has_value());
+  EXPECT_GT(report->metrics->num_labeled, 100u);
+  EXPECT_EQ(report->website_kbt.size(), pipeline->corpus()->num_websites());
+}
+
+TEST(PipelineTest, ProgressCallbackSeesEveryStageInOrder) {
+  std::vector<Stage> stages;
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(QuickstartOptions())
+                      .OnProgress([&stages](Stage stage, double seconds) {
+                        EXPECT_GE(seconds, 0.0);
+                        stages.push_back(stage);
+                      })
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(pipeline->Run().ok());
+  ASSERT_EQ(stages.size(), static_cast<size_t>(kNumStages));
+  for (int i = 0; i < kNumStages; ++i) {
+    EXPECT_EQ(stages[i], static_cast<Stage>(i));
+  }
+}
+
+TEST(PipelineTest, StageSecondsCoverEveryStage) {
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto report = pipeline->Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->stage_seconds.size(), static_cast<size_t>(kNumStages));
+  for (int i = 0; i < kNumStages; ++i) {
+    EXPECT_EQ(report->stage_seconds[i].first,
+              std::string(StageName(static_cast<Stage>(i))));
+  }
+}
+
+TEST(PipelineTest, ScoringStagesCanBeDisabled) {
+  Options options = QuickstartOptions();
+  options.score_websites = false;
+  options.score_sources = false;
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(options)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto report = pipeline->Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->website_kbt.empty());
+  EXPECT_TRUE(report->source_kbt.empty());
+  EXPECT_FALSE(report->predictions.empty());
+}
+
+}  // namespace
+}  // namespace kbt::api

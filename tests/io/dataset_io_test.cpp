@@ -47,14 +47,29 @@ TEST(DatasetIoTest, RawDatasetRoundTrips) {
   }
 }
 
-TEST(DatasetIoTest, ConfidenceRoundTripsExactly) {
+/// A minimal one-observation dataset with consistent meta counts.
+extract::RawDataset OneObservationDataset() {
   extract::RawDataset data;
   extract::RawObservation obs;
+  obs.extractor = 0;
+  obs.pattern = 0;
+  obs.website = 0;
+  obs.page = 0;
   obs.item = kb::MakeDataItem(1, 0);
   obs.value = 2;
-  obs.confidence = 0.123456789f;
   data.observations.push_back(obs);
   data.num_false_by_predicate = {10};
+  data.num_websites = 1;
+  data.num_pages = 1;
+  data.num_extractors = 1;
+  data.num_patterns = 1;
+  return data;
+}
+
+TEST(DatasetIoTest, ConfidenceRoundTripsExactly) {
+  extract::RawDataset data = OneObservationDataset();
+  data.observations[0].confidence = 0.123456789f;
+  const extract::RawObservation obs = data.observations[0];
 
   const std::string path = TempPath("conf.tsv");
   ASSERT_TRUE(WriteRawDataset(path, data).ok());
@@ -96,6 +111,60 @@ TEST(DatasetIoTest, UnknownTagRejected) {
     out << "# kbt-raw-dataset v1\nwhatever 1 2 3\n";
   }
   EXPECT_FALSE(ReadRawDataset(path).ok());
+}
+
+TEST(DatasetIoTest, ObservationIdBeyondMetaCountRejected) {
+  for (const char* field : {"extractor", "pattern", "website", "page"}) {
+    extract::RawDataset data = OneObservationDataset();
+    extract::RawObservation& obs = data.observations[0];
+    if (std::string(field) == "extractor") obs.extractor = 1;
+    if (std::string(field) == "pattern") obs.pattern = 1;
+    if (std::string(field) == "website") obs.website = 1;
+    if (std::string(field) == "page") obs.page = 1;
+    EXPECT_FALSE(ValidateRawDataset(data).ok()) << field;
+
+    const std::string path = TempPath("out_of_range.tsv");
+    ASSERT_TRUE(WriteRawDataset(path, data).ok());
+    const auto loaded = ReadRawDataset(path);
+    ASSERT_FALSE(loaded.ok()) << field;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << field;
+  }
+}
+
+TEST(DatasetIoTest, UncoveredPredicateRejected) {
+  extract::RawDataset data = OneObservationDataset();
+  data.observations[0].item = kb::MakeDataItem(1, 3);  // nfalse has 1 entry.
+  EXPECT_FALSE(ValidateRawDataset(data).ok());
+
+  const std::string path = TempPath("uncovered_predicate.tsv");
+  ASSERT_TRUE(WriteRawDataset(path, data).ok());
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, UncoveredTruthPredicateRejected) {
+  extract::RawDataset data = OneObservationDataset();
+  data.true_values[kb::MakeDataItem(0, 7)] = 1;
+  EXPECT_FALSE(ValidateRawDataset(data).ok());
+}
+
+TEST(DatasetIoTest, NonPositiveDomainSizeRejected) {
+  extract::RawDataset data = OneObservationDataset();
+  data.num_false_by_predicate[0] = 0;
+  EXPECT_FALSE(ValidateRawDataset(data).ok());
+}
+
+TEST(DatasetIoTest, InvalidValueIdRejected) {
+  extract::RawDataset data = OneObservationDataset();
+  data.observations[0].value = kb::kInvalidId;
+  EXPECT_FALSE(ValidateRawDataset(data).ok());
+}
+
+TEST(DatasetIoTest, ValidDatasetPassesValidation) {
+  EXPECT_TRUE(ValidateRawDataset(OneObservationDataset()).ok());
+  extract::RawDataset empty;
+  EXPECT_TRUE(ValidateRawDataset(empty).ok());
 }
 
 TEST(DatasetIoTest, PredictionsRoundTrip) {
