@@ -30,9 +30,14 @@ using ProgressCallback = std::function<void(Stage, double seconds)>;
 ///
 /// The granularity assignment and compiled matrix are cached across runs:
 /// a second Run() (e.g. a warm start) skips straight to inference.
-/// AppendObservations invalidates the cache, so the next run recompiles
-/// against the grown cube. Sessions are movable, not copyable, and not
-/// thread-safe; runs themselves parallelize through the attached Executor.
+/// AppendObservations keeps the cache *incrementally up to date* for the
+/// stateless granularities (finest / page / website / provenance): the
+/// assignment is extended with stable group ids and the matrix's CSR
+/// structures are patched in place, identical to a full recompilation of
+/// the grown cube. SPLITANDMERGE re-buckets on growth, so appends under it
+/// fall back to invalidating the cache. Sessions are movable, not
+/// copyable, and not thread-safe; runs themselves parallelize through the
+/// attached Executor.
 class Pipeline {
  public:
   Pipeline(Pipeline&& other) noexcept;
@@ -49,13 +54,24 @@ class Pipeline {
 
   /// Warm start: re-runs inference initialized from a previous report's
   /// learned parameters. The previous report must come from a run of the
-  /// same shape (same group counts); returns FailedPrecondition otherwise.
+  /// same shape (same group counts) or — for the stateless granularities,
+  /// whose group ids are append-stable — of a prefix shape (fewer groups,
+  /// as after AppendObservations grew the cube; new groups then start from
+  /// the config-default priors). Returns FailedPrecondition when the
+  /// previous report has *more* groups than this pipeline, or a smaller
+  /// shape from a different granularity or from kSplitMerge (re-bucketing
+  /// renumbers groups, so old quality cannot be carried by id).
   StatusOr<TrustReport> RunFrom(const TrustReport& previous);
 
   /// Appends extraction events to the owned dataset, growing the meta
-  /// counts to cover new ids, and invalidates the compiled-matrix cache.
-  /// Fails on borrowed datasets (FromDataset(const RawDataset*)) and on
-  /// observations with invalid ids.
+  /// counts to cover new ids. An empty batch is a no-op. When a compiled
+  /// matrix is cached and the granularity is stateless, the matrix is
+  /// patched in place (O(delta) discovery + linear merge, no re-hashing /
+  /// re-sorting of the base cube) and stays available through
+  /// compiled_matrix(); under kSplitMerge the cache is invalidated and the
+  /// next run recompiles. Fails on borrowed datasets
+  /// (FromDataset(const RawDataset*)) and on observations with invalid
+  /// ids, leaving the dataset untouched.
   Status AppendObservations(
       const std::vector<extract::RawObservation>& observations);
 
@@ -63,7 +79,8 @@ class Pipeline {
   const Options& options() const;
 
   /// The cached compiled matrix: non-null after a successful Run() until
-  /// the cache is invalidated. Slot/item accessors on it give report
+  /// the cache is invalidated (appends under stateless granularities patch
+  /// it rather than invalidate). Slot/item accessors on it give report
   /// vectors their coordinates.
   const extract::CompiledMatrix* compiled_matrix() const;
 

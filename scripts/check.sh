@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local/CI check: configure, build, test, and smoke-run the quickstart.
+# Full local/CI check: configure, build, test, smoke-run the quickstart and
+# the append-throughput bench (emits BENCH_append.json for trend tooling).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -7,3 +8,4 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/examples/quickstart
+./build/bench/bench_append_throughput --smoke

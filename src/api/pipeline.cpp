@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/math.h"
 #include "common/stopwatch.h"
 #include "core/initialization.h"
 #include "core/kbt_score.h"
@@ -31,14 +32,23 @@ struct Pipeline::Impl {
   dataflow::StageTimers* timers = nullptr;
   ProgressCallback progress;
 
-  /// Cache: valid until the dataset changes. A re-run (warm start, repeated
-  /// Run) skips granularity + compilation entirely.
+  /// Cache: kept in sync with the dataset. A re-run (warm start, repeated
+  /// Run) skips granularity + compilation entirely; AppendObservations
+  /// extends the assignment and patches the matrix in place for stateless
+  /// granularities instead of dropping them.
   std::optional<extract::GroupAssignment> assignment;
   std::optional<extract::CompiledMatrix> matrix;
+  /// Incremental assignment builder behind `assignment` (absent for
+  /// SPLITANDMERGE, whose grouping shifts when data is appended).
+  std::optional<granularity::AssignmentExtender> extender;
+  /// Observations covered by `matrix` (a prefix of the dataset).
+  size_t compiled_observations = 0;
 
   void InvalidateCache() {
     assignment.reset();
     matrix.reset();
+    extender.reset();
+    compiled_observations = 0;
   }
 };
 
@@ -73,36 +83,46 @@ core::TripleLabelFn MakeLabelFn(const eval::GoldStandard& gold) {
   };
 }
 
+/// The incremental grouping rule behind an api::Granularity, when one
+/// exists (SPLITANDMERGE re-buckets on every change and has none).
+std::optional<granularity::StatelessGranularity> StatelessKind(
+    Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kFinest:
+      return granularity::StatelessGranularity::kFinest;
+    case Granularity::kPageSource:
+      return granularity::StatelessGranularity::kPageSource;
+    case Granularity::kWebsiteSource:
+      return granularity::StatelessGranularity::kWebsiteSource;
+    case Granularity::kProvenance:
+      return granularity::StatelessGranularity::kProvenance;
+    case Granularity::kSplitMerge:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
 Status EnsureCompiled(Pipeline::Impl& impl, TrustReport& report) {
   {
     StageScope scope(impl, report, Stage::kGranularity);
     if (!impl.assignment) {
-      switch (impl.options.granularity) {
-        case Granularity::kFinest:
-          impl.assignment = granularity::FinestAssignment(*impl.dataset);
-          break;
-        case Granularity::kPageSource:
-          impl.assignment =
-              granularity::PageSourcePlainExtractor(*impl.dataset);
-          break;
-        case Granularity::kWebsiteSource:
-          impl.assignment =
-              granularity::WebsiteSourceAssignment(*impl.dataset);
-          break;
-        case Granularity::kProvenance:
-          impl.assignment = granularity::ProvenanceAssignment(*impl.dataset);
-          break;
-        case Granularity::kSplitMerge: {
-          StatusOr<extract::GroupAssignment> sm =
-              granularity::SplitMergeAssignment(
-                  *impl.dataset, impl.options.sm_source,
-                  impl.options.sm_extractor, impl.timers);
-          if (!sm.ok()) return sm.status();
-          impl.assignment = std::move(*sm);
-          break;
-        }
-      }
-      if (!impl.assignment) {
+      impl.extender.reset();
+      if (const std::optional<granularity::StatelessGranularity> kind =
+              StatelessKind(impl.options.granularity)) {
+        // Built through the incremental extender so that later appends can
+        // extend the cached assignment with stable group ids.
+        impl.extender.emplace(*kind);
+        extract::GroupAssignment assignment;
+        KBT_RETURN_IF_ERROR(impl.extender->Extend(*impl.dataset, &assignment));
+        impl.assignment = std::move(assignment);
+      } else if (impl.options.granularity == Granularity::kSplitMerge) {
+        StatusOr<extract::GroupAssignment> sm =
+            granularity::SplitMergeAssignment(
+                *impl.dataset, impl.options.sm_source,
+                impl.options.sm_extractor, impl.timers);
+        if (!sm.ok()) return sm.status();
+        impl.assignment = std::move(*sm);
+      } else {
         // E.g. an unchecked integer cast into the enum.
         return Status::InvalidArgument(
             "unknown granularity value " +
@@ -117,9 +137,40 @@ Status EnsureCompiled(Pipeline::Impl& impl, TrustReport& report) {
           extract::CompiledMatrix::Build(*impl.dataset, *impl.assignment);
       if (!matrix.ok()) return matrix.status();
       impl.matrix = std::move(*matrix);
+      impl.compiled_observations = impl.dataset->size();
     }
   }
   return Status::OK();
+}
+
+/// Grows a warm-start InitialQuality to `num_sources` / `num_groups` by
+/// giving groups introduced after the previous run the same prior values a
+/// cold start would use (config defaults). Non-empty vectors only: empty
+/// ones already select the defaults wholesale.
+void ExtendInitialQuality(core::InitialQuality& initial,
+                          uint32_t num_sources, uint32_t num_groups,
+                          const core::MultiLayerConfig& config) {
+  if (!initial.source_accuracy.empty()) {
+    initial.source_accuracy.resize(num_sources,
+                                   config.default_source_accuracy);
+  }
+  if (!initial.source_trusted.empty()) {
+    initial.source_trusted.resize(num_sources, 0);
+  }
+  if (!initial.extractor_recall.empty()) {
+    initial.extractor_recall.resize(num_groups, config.default_recall);
+  }
+  if (!initial.extractor_q.empty()) {
+    initial.extractor_q.resize(num_groups, config.default_q);
+  }
+  if (!initial.extractor_precision.empty()) {
+    // The model's size validation requires a non-empty vector to match the
+    // group count even though extractor_q (always set on this path) wins
+    // and the precision values themselves are re-derived from it.
+    initial.extractor_precision.resize(
+        num_groups,
+        PrecisionFromQ(config.default_q, config.default_recall, config.gamma));
+  }
 }
 
 StatusOr<TrustReport> RunImpl(Pipeline::Impl& impl,
@@ -143,19 +194,47 @@ StatusOr<TrustReport> RunImpl(Pipeline::Impl& impl,
   {
     StageScope scope(impl, report, Stage::kInitialize);
     if (warm_from != nullptr) {
-      if (warm_from->counts.num_sources != matrix.num_sources() ||
-          warm_from->counts.num_extractor_groups !=
+      // Appends only ever grow the group tables (ids are stable), so a
+      // previous report whose shape is a prefix of the current one warm
+      // starts cleanly: groups introduced since get prior-initialized
+      // entries. A *larger* previous shape means the report came from a
+      // different granularity (or dataset) and is rejected.
+      if (warm_from->counts.num_sources > matrix.num_sources() ||
+          warm_from->counts.num_extractor_groups >
               matrix.num_extractor_groups()) {
         return Status::FailedPrecondition(
-            "warm start requires a report of the same shape: previous run "
-            "had " +
+            "warm start requires a report of the same or a prefix shape: "
+            "previous run had " +
             std::to_string(warm_from->counts.num_sources) + " sources / " +
             std::to_string(warm_from->counts.num_extractor_groups) +
             " extractor groups, this pipeline has " +
             std::to_string(matrix.num_sources()) + " / " +
             std::to_string(matrix.num_extractor_groups()));
       }
+      const bool grown =
+          warm_from->counts.num_sources != matrix.num_sources() ||
+          warm_from->counts.num_extractor_groups !=
+              matrix.num_extractor_groups();
+      if (grown && (warm_from->granularity != impl.options.granularity ||
+                    !StatelessKind(impl.options.granularity))) {
+        // A smaller shape is only meaningful as an append-grown prefix,
+        // and group ids are append-stable only within one *stateless*
+        // granularity: a report from another granularity — or from
+        // SPLITANDMERGE, which re-buckets (and so renumbers) groups
+        // whenever the cube grows — would smear unrelated groups' quality
+        // onto ids that happen to collide.
+        return Status::FailedPrecondition(
+            std::string("a grown-shape warm start requires the same "
+                        "stateless granularity on both runs: previous run "
+                        "used ") +
+            std::string(GranularityName(warm_from->granularity)) +
+            ", this pipeline uses " +
+            std::string(GranularityName(impl.options.granularity)));
+      }
       initial = warm_from->ToInitialQuality();
+      ExtendInitialQuality(initial, matrix.num_sources(),
+                           matrix.num_extractor_groups(),
+                           impl.options.multilayer);
     } else if (explicit_initial != nullptr) {
       initial = *explicit_initial;
     } else if (impl.options.smart_init && impl.gold != nullptr) {
@@ -249,6 +328,8 @@ Status Pipeline::AppendObservations(
         "AppendObservations requires a pipeline-owned mutable dataset "
         "(FromDataset(RawDataset), FromTsv or FromSynthetic)");
   }
+  // An empty delta changes nothing: keep every cache warm.
+  if (observations.empty()) return Status::OK();
   extract::RawDataset& data = impl.owned_dataset;
   // Validate everything before mutating, so a rejected batch leaves the
   // dataset untouched and the grown cube always satisfies
@@ -284,7 +365,38 @@ Status Pipeline::AppendObservations(
     }
     data.observations.push_back(obs);
   }
-  if (!observations.empty()) impl.InvalidateCache();
+
+  // ---- Incremental recompilation: extend the cached assignment with the
+  // delta (group ids are stable for stateless granularities) and patch the
+  // compiled matrix's CSR structures instead of dropping them. SPLITANDMERGE
+  // re-buckets on growth, so it falls back to invalidation, as does any
+  // delta the matrix reports as structure-invalidating.
+  if (!impl.assignment) return Status::OK();  // Nothing compiled yet.
+  if (!impl.extender) {
+    impl.InvalidateCache();
+    return Status::OK();
+  }
+  {
+    const Status extended = impl.extender->Extend(data, &*impl.assignment);
+    if (!extended.ok()) {
+      impl.InvalidateCache();
+      return extended;
+    }
+  }
+  if (impl.matrix) {
+    const extract::ObservationDelta delta{impl.compiled_observations};
+    StatusOr<extract::AppendOutcome> outcome =
+        impl.matrix->Append(data, delta, *impl.assignment);
+    if (!outcome.ok()) {
+      impl.InvalidateCache();
+      return outcome.status();
+    }
+    if (*outcome == extract::AppendOutcome::kPatched) {
+      impl.compiled_observations = data.size();
+    } else {
+      impl.InvalidateCache();
+    }
+  }
   return Status::OK();
 }
 

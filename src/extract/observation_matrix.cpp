@@ -1,7 +1,9 @@
 #include "extract/observation_matrix.h"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 
 namespace kbt::extract {
 
@@ -164,40 +166,371 @@ StatusOr<CompiledMatrix> CompiledMatrix::Build(
   }
 
   // ---- Pass 4: source CSR over slots ----
-  m.source_offsets_.assign(m.num_sources_ + 1, 0);
-  for (uint32_t s = 0; s < num_slots; ++s) {
-    m.source_offsets_[m.slot_source_[s] + 1]++;
-  }
-  for (size_t i = 1; i <= m.num_sources_; ++i) {
-    m.source_offsets_[i] += m.source_offsets_[i - 1];
-  }
-  m.source_slot_index_.resize(num_slots);
-  {
-    std::vector<uint32_t> cursor(m.source_offsets_.begin(),
-                                 m.source_offsets_.end() - 1);
-    for (uint32_t s = 0; s < num_slots; ++s) {
-      m.source_slot_index_[cursor[m.slot_source_[s]]++] = s;
-    }
-  }
+  m.RebuildSourceCsr();
 
   // ---- Pass 5: extractor CSR over edges ----
-  m.extractor_offsets_.assign(m.num_extractor_groups_ + 1, 0);
+  m.RebuildExtractorCsr();
+
+  return m;
+}
+
+void CompiledMatrix::RebuildSourceCsr() {
+  const size_t num_slots = slot_source_.size();
+  source_offsets_.assign(num_sources_ + 1, 0);
+  for (size_t s = 0; s < num_slots; ++s) {
+    source_offsets_[slot_source_[s] + 1]++;
+  }
+  for (size_t i = 1; i <= num_sources_; ++i) {
+    source_offsets_[i] += source_offsets_[i - 1];
+  }
+  source_slot_index_.resize(num_slots);
+  std::vector<uint32_t> cursor(source_offsets_.begin(),
+                               source_offsets_.end() - 1);
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    source_slot_index_[cursor[slot_source_[s]]++] = s;
+  }
+}
+
+void CompiledMatrix::RebuildExtractorCsr() {
+  const size_t num_edges = ext_group_.size();
+  extractor_offsets_.assign(num_extractor_groups_ + 1, 0);
   for (size_t e = 0; e < num_edges; ++e) {
-    m.extractor_offsets_[m.ext_group_[e] + 1]++;
+    extractor_offsets_[ext_group_[e] + 1]++;
   }
-  for (size_t i = 1; i <= m.num_extractor_groups_; ++i) {
-    m.extractor_offsets_[i] += m.extractor_offsets_[i - 1];
+  for (size_t i = 1; i <= num_extractor_groups_; ++i) {
+    extractor_offsets_[i] += extractor_offsets_[i - 1];
   }
-  m.extractor_edge_index_.resize(num_edges);
-  {
-    std::vector<uint32_t> cursor(m.extractor_offsets_.begin(),
-                                 m.extractor_offsets_.end() - 1);
-    for (uint32_t e = 0; e < num_edges; ++e) {
-      m.extractor_edge_index_[cursor[m.ext_group_[e]]++] = e;
+  extractor_edge_index_.resize(num_edges);
+  std::vector<uint32_t> cursor(extractor_offsets_.begin(),
+                               extractor_offsets_.end() - 1);
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    extractor_edge_index_[cursor[ext_group_[e]]++] = e;
+  }
+}
+
+std::optional<uint32_t> CompiledMatrix::FindSlot(uint32_t source,
+                                                 kb::DataItemId item,
+                                                 kb::ValueId value) const {
+  const auto item_it =
+      std::lower_bound(item_ids_.begin(), item_ids_.end(), item);
+  if (item_it == item_ids_.end() || *item_it != item) return std::nullopt;
+  const size_t i = static_cast<size_t>(item_it - item_ids_.begin());
+  // Slots of one item are sorted by (source, value).
+  uint32_t lo = item_offsets_[i];
+  uint32_t hi = item_offsets_[i + 1];
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (std::pair(slot_source_[mid], slot_value_[mid]) <
+        std::pair(source, value)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < item_offsets_[i + 1] && slot_source_[lo] == source &&
+      slot_value_[lo] == value) {
+    return lo;
+  }
+  return std::nullopt;
+}
+
+StatusOr<AppendOutcome> CompiledMatrix::Append(
+    const RawDataset& data, const ObservationDelta& delta,
+    const GroupAssignment& assignment) {
+  const size_t n = data.observations.size();
+  const size_t nb = delta.base_observations;
+  if (nb > n) {
+    return Status::InvalidArgument(
+        "delta.base_observations exceeds the dataset size");
+  }
+  if (assignment.observation_source.size() != n ||
+      assignment.observation_extractor.size() != n) {
+    return Status::InvalidArgument(
+        "assignment arrays must parallel the observation array");
+  }
+  if (assignment.source_infos.size() != assignment.num_source_groups) {
+    return Status::InvalidArgument("source_infos size mismatch");
+  }
+  if (assignment.extractor_scopes.size() != assignment.num_extractor_groups) {
+    return Status::InvalidArgument("extractor_scopes size mismatch");
+  }
+
+  // ---- Fallback detection: the compiled groups must be a prefix of the
+  // new assignment's groups, with identical metadata. A shrunk count or a
+  // changed scope/info means the grouping was recomputed wholesale (e.g.
+  // SPLITANDMERGE re-bucketing) and patching is unsound.
+  if (assignment.num_source_groups < num_sources_ ||
+      assignment.num_extractor_groups < num_extractor_groups_) {
+    return AppendOutcome::kRebuildRequired;
+  }
+  if (!std::equal(source_infos_.begin(), source_infos_.end(),
+                  assignment.source_infos.begin())) {
+    return AppendOutcome::kRebuildRequired;
+  }
+  if (!std::equal(extractor_scopes_.begin(), extractor_scopes_.end(),
+                  assignment.extractor_scopes.begin())) {
+    return AppendOutcome::kRebuildRequired;
+  }
+
+  // ---- Scan the delta: split observations into edges on existing slots,
+  // brand-new slots, and provided-flag updates. All validation happens
+  // before any mutation so a rejected delta leaves the matrix untouched.
+  const size_t old_num_slots = slot_source_.size();
+  struct ProtoSlot {
+    SlotKey key;
+    uint8_t provided;
+  };
+  std::unordered_map<SlotKey, uint32_t, SlotKeyHash> new_slot_index;
+  std::vector<ProtoSlot> protos;
+  // Edge slot ids: existing slot id, or old_num_slots + proto index.
+  std::vector<EdgeRec> delta_edges;
+  delta_edges.reserve(n - nb);
+  std::vector<uint32_t> provided_slots;  // Existing slots turning provided.
+
+  for (size_t o = nb; o < n; ++o) {
+    const RawObservation& obs = data.observations[o];
+    const uint32_t src = assignment.observation_source[o];
+    const uint32_t grp = assignment.observation_extractor[o];
+    if (src >= assignment.num_source_groups) {
+      return Status::OutOfRange("observation_source out of range");
+    }
+    if (grp >= assignment.num_extractor_groups) {
+      return Status::OutOfRange("observation_extractor out of range");
+    }
+    uint32_t slot_ref;
+    if (const std::optional<uint32_t> existing =
+            FindSlot(src, obs.item, obs.value)) {
+      slot_ref = *existing;
+      if (obs.provided && !slot_provided_[*existing]) {
+        provided_slots.push_back(*existing);
+      }
+    } else {
+      const SlotKey key{src, obs.item, obs.value};
+      auto [it, inserted] = new_slot_index.emplace(
+          key, static_cast<uint32_t>(protos.size()));
+      if (inserted) {
+        protos.push_back(
+            ProtoSlot{key, obs.provided ? uint8_t{1} : uint8_t{0}});
+      } else if (obs.provided) {
+        protos[it->second].provided = 1;
+      }
+      slot_ref = old_num_slots + it->second;
+    }
+    delta_edges.push_back(EdgeRec{slot_ref, grp, obs.confidence});
+  }
+
+  // ---- Fast path: nothing structural changed — only confidence maxing and
+  // provided updates on existing (slot, group) pairs. O(delta log n).
+  const bool groups_unchanged =
+      assignment.num_source_groups == num_sources_ &&
+      assignment.num_extractor_groups == num_extractor_groups_;
+  if (protos.empty() && groups_unchanged) {
+    // An edge is in-place when its (slot, group) pair already exists.
+    std::vector<std::pair<uint32_t, float>> in_place;  // (edge id, conf)
+    in_place.reserve(delta_edges.size());
+    bool all_existing = true;
+    for (const EdgeRec& e : delta_edges) {
+      const uint32_t b = slot_ext_offsets_[e.slot];
+      const uint32_t end = slot_ext_offsets_[e.slot + 1];
+      const auto it = std::lower_bound(ext_group_.begin() + b,
+                                       ext_group_.begin() + end, e.group);
+      if (it != ext_group_.begin() + end && *it == e.group) {
+        in_place.emplace_back(
+            static_cast<uint32_t>(it - ext_group_.begin()), e.conf);
+      } else {
+        all_existing = false;
+        break;
+      }
+    }
+    if (all_existing) {
+      for (const auto& [edge, conf] : in_place) {
+        ext_conf_[edge] = std::max(ext_conf_[edge], conf);
+      }
+      for (const uint32_t s : provided_slots) slot_provided_[s] = 1;
+      return AppendOutcome::kPatched;
     }
   }
 
-  return m;
+  // ---- General path: merge-insert new slots/edges at their sorted
+  // positions. Linear in the matrix size but free of the hashing and
+  // O(n log n) sorting a full Build pays; the delta-side work is
+  // O(delta log delta).
+  for (const uint32_t s : provided_slots) slot_provided_[s] = 1;
+
+  // Order new protos by (item, source, value) — the global slot order.
+  std::vector<uint32_t> proto_order(protos.size());
+  for (uint32_t i = 0; i < protos.size(); ++i) proto_order[i] = i;
+  std::sort(proto_order.begin(), proto_order.end(),
+            [&protos](uint32_t a, uint32_t b) {
+              const SlotKey& ka = protos[a].key;
+              const SlotKey& kb_ = protos[b].key;
+              if (ka.item != kb_.item) return ka.item < kb_.item;
+              if (ka.source != kb_.source) return ka.source < kb_.source;
+              return ka.value < kb_.value;
+            });
+
+  // Merge walk old slots with sorted protos: assign final slot ids.
+  const size_t total_slots = old_num_slots + protos.size();
+  std::vector<uint32_t> old_to_new(old_num_slots);
+  std::vector<uint32_t> proto_to_new(protos.size());
+  {
+    size_t io = 0;  // old slot cursor
+    size_t ip = 0;  // proto_order cursor
+    for (uint32_t pos = 0; pos < total_slots; ++pos) {
+      bool take_old;
+      if (io == old_num_slots) {
+        take_old = false;
+      } else if (ip == protos.size()) {
+        take_old = true;
+      } else {
+        const SlotKey& k = protos[proto_order[ip]].key;
+        const kb::DataItemId old_item = item_ids_[slot_item_[io]];
+        take_old = std::tuple(old_item, slot_source_[io], slot_value_[io]) <
+                   std::tuple(k.item, k.source, k.value);
+      }
+      if (take_old) {
+        old_to_new[io++] = pos;
+      } else {
+        proto_to_new[proto_order[ip++]] = pos;
+      }
+    }
+  }
+
+  // ---- Rebuild slot + item arrays in merged order.
+  std::vector<uint32_t> slot_source(total_slots);
+  std::vector<uint32_t> slot_item(total_slots);
+  std::vector<kb::ValueId> slot_value(total_slots);
+  std::vector<uint32_t> slot_website(total_slots);
+  std::vector<uint32_t> slot_predicate(total_slots);
+  std::vector<uint8_t> slot_provided(total_slots);
+  std::vector<kb::DataItemId> item_ids;
+  std::vector<int> item_num_false;
+  std::vector<uint32_t> item_offsets;
+  item_ids.reserve(item_ids_.size());
+  item_num_false.reserve(item_ids_.size());
+  item_offsets.reserve(item_ids_.size() + 1);
+  {
+    size_t io = 0;
+    size_t ip = 0;
+    kb::DataItemId prev_item = 0;
+    for (uint32_t pos = 0; pos < total_slots; ++pos) {
+      kb::DataItemId item;
+      if (io < old_num_slots && old_to_new[io] == pos) {
+        item = item_ids_[slot_item_[io]];
+        slot_source[pos] = slot_source_[io];
+        slot_value[pos] = slot_value_[io];
+        slot_website[pos] = slot_website_[io];
+        slot_predicate[pos] = slot_predicate_[io];
+        slot_provided[pos] = slot_provided_[io];
+        ++io;
+      } else {
+        const ProtoSlot& p = protos[proto_order[ip]];
+        item = p.key.item;
+        slot_source[pos] = p.key.source;
+        slot_value[pos] = p.key.value;
+        slot_website[pos] = assignment.source_infos[p.key.source].website;
+        slot_predicate[pos] = kb::DataItemPredicate(p.key.item);
+        slot_provided[pos] = p.provided;
+        ++ip;
+      }
+      if (pos == 0 || item != prev_item) {
+        item_ids.push_back(item);
+        item_offsets.push_back(pos);
+        item_num_false.push_back(data.NumFalseValues(item));
+        prev_item = item;
+      }
+      slot_item[pos] = static_cast<uint32_t>(item_ids.size() - 1);
+    }
+    item_offsets.push_back(static_cast<uint32_t>(total_slots));
+  }
+
+  // ---- Merge edges per final slot: old per-slot lists are sorted by group
+  // and deduped; sort the delta edges the same way and zip, keeping the max
+  // confidence on (slot, group) collisions.
+  for (EdgeRec& e : delta_edges) {
+    e.slot = e.slot < old_num_slots ? old_to_new[e.slot]
+                                    : proto_to_new[e.slot - old_num_slots];
+  }
+  std::sort(delta_edges.begin(), delta_edges.end(),
+            [](const EdgeRec& a, const EdgeRec& b) {
+              if (a.slot != b.slot) return a.slot < b.slot;
+              if (a.group != b.group) return a.group < b.group;
+              return a.conf > b.conf;  // Max-conf first so dedup keeps it.
+            });
+
+  std::vector<uint32_t> ext_group;
+  std::vector<float> ext_conf;
+  std::vector<uint32_t> ext_slot;
+  std::vector<uint32_t> slot_ext_offsets;
+  ext_group.reserve(ext_group_.size() + delta_edges.size());
+  ext_conf.reserve(ext_group.capacity());
+  ext_slot.reserve(ext_group.capacity());
+  slot_ext_offsets.reserve(total_slots + 1);
+  slot_ext_offsets.push_back(0);
+  {
+    size_t io = 0;  // old slot cursor (old edges live under old slot ids)
+    size_t id = 0;  // delta edge cursor
+    for (uint32_t pos = 0; pos < total_slots; ++pos) {
+      uint32_t ob = 0;
+      uint32_t oe = 0;
+      if (io < old_num_slots && old_to_new[io] == pos) {
+        ob = slot_ext_offsets_[io];
+        oe = slot_ext_offsets_[io + 1];
+        ++io;
+      }
+      while (ob < oe || (id < delta_edges.size() &&
+                         delta_edges[id].slot == pos)) {
+        const bool has_delta =
+            id < delta_edges.size() && delta_edges[id].slot == pos;
+        uint32_t group;
+        float conf;
+        if (ob < oe && (!has_delta || ext_group_[ob] <= delta_edges[id].group)) {
+          group = ext_group_[ob];
+          conf = ext_conf_[ob];
+          if (has_delta && delta_edges[id].group == group) {
+            conf = std::max(conf, delta_edges[id].conf);
+          }
+          ++ob;
+        } else {
+          group = delta_edges[id].group;
+          conf = delta_edges[id].conf;
+        }
+        // Consume every delta duplicate of this (slot, group); the sort put
+        // the max confidence first, but an old edge may still beat it.
+        while (id < delta_edges.size() && delta_edges[id].slot == pos &&
+               delta_edges[id].group == group) {
+          ++id;
+        }
+        ext_group.push_back(group);
+        ext_conf.push_back(conf);
+        ext_slot.push_back(pos);
+      }
+      slot_ext_offsets.push_back(static_cast<uint32_t>(ext_group.size()));
+    }
+  }
+
+  // ---- Commit: adopt the grown group metadata, swap in the merged arrays,
+  // regenerate the group-side CSRs (same helpers as Build).
+  num_sources_ = assignment.num_source_groups;
+  num_extractor_groups_ = assignment.num_extractor_groups;
+  source_infos_ = assignment.source_infos;
+  extractor_scopes_ = assignment.extractor_scopes;
+  slot_source_ = std::move(slot_source);
+  slot_item_ = std::move(slot_item);
+  slot_value_ = std::move(slot_value);
+  slot_website_ = std::move(slot_website);
+  slot_predicate_ = std::move(slot_predicate);
+  slot_provided_ = std::move(slot_provided);
+  slot_ext_offsets_ = std::move(slot_ext_offsets);
+  ext_group_ = std::move(ext_group);
+  ext_conf_ = std::move(ext_conf);
+  ext_slot_ = std::move(ext_slot);
+  item_ids_ = std::move(item_ids);
+  item_num_false_ = std::move(item_num_false);
+  item_offsets_ = std::move(item_offsets);
+  RebuildSourceCsr();
+  RebuildExtractorCsr();
+  return AppendOutcome::kPatched;
 }
 
 }  // namespace kbt::extract

@@ -2,6 +2,7 @@
 #define KBT_EXTRACT_OBSERVATION_MATRIX_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,12 +30,21 @@ struct ExtractorScope {
   /// a giant group casts 1/k of its absence evidence, so splitting does not
   /// multiply absence mass k times).
   double absence_weight = 1.0;
+
+  bool operator==(const ExtractorScope& o) const {
+    return predicate == o.predicate && website == o.website &&
+           absence_weight == o.absence_weight;
+  }
 };
 
 /// Metadata of one source group (a "web source" w at the chosen
 /// granularity). Groups never span websites, so each carries its site.
 struct SourceGroupInfo {
   uint32_t website = kb::kInvalidId;
+
+  bool operator==(const SourceGroupInfo& o) const {
+    return website == o.website;
+  }
 };
 
 /// Mapping from raw observations to source groups and extractor groups.
@@ -48,6 +58,25 @@ struct GroupAssignment {
   std::vector<uint32_t> observation_extractor;
   std::vector<SourceGroupInfo> source_infos;
   std::vector<ExtractorScope> extractor_scopes;
+};
+
+/// A batch of observations appended to an already-compiled cube: the first
+/// `base_observations` entries of the dataset were compiled into the matrix,
+/// everything after them is new and still needs to be folded in.
+struct ObservationDelta {
+  size_t base_observations = 0;
+};
+
+/// What CompiledMatrix::Append did with a delta.
+enum class AppendOutcome {
+  /// The CSR structures were patched in place; the matrix now equals a full
+  /// Build over the grown dataset, bit for bit.
+  kPatched = 0,
+  /// The assignment invalidated the compiled groups (shrunk group counts or
+  /// changed metadata of an existing group, e.g. after SPLITANDMERGE
+  /// re-bucketing); the caller must Build() from scratch. The matrix is
+  /// left untouched.
+  kRebuildRequired = 1,
 };
 
 /// The compiled, index-complete form of the observation cube at a fixed
@@ -65,6 +94,24 @@ class CompiledMatrix {
   /// are collapsed keeping the maximum confidence.
   static StatusOr<CompiledMatrix> Build(const RawDataset& data,
                                         const GroupAssignment& assignment);
+
+  /// Folds the observations past `delta.base_observations` into this matrix
+  /// without recompiling the base: existing (slot, group) edges keep the max
+  /// confidence, new edges/slots/items/groups are merge-inserted at their
+  /// sorted positions, and the per-source / per-extractor CSR indices are
+  /// regenerated. The result is bit-for-bit identical to
+  /// Build(data, assignment).
+  ///
+  /// Preconditions: this matrix was built from the first
+  /// `delta.base_observations` entries of `data`, and the first
+  /// `delta.base_observations` entries of `assignment` equal the assignment
+  /// it was built with (granularity::AssignmentExtender guarantees this).
+  /// Returns kRebuildRequired — leaving the matrix untouched — when the
+  /// assignment shrank a group count or changed metadata of an existing
+  /// group, which invalidates the compiled structure wholesale.
+  StatusOr<AppendOutcome> Append(const RawDataset& data,
+                                 const ObservationDelta& delta,
+                                 const GroupAssignment& assignment);
 
   // ---- Sizes ----
   size_t num_slots() const { return slot_source_.size(); }
@@ -126,6 +173,17 @@ class CompiledMatrix {
   }
 
  private:
+  /// Slot id of (source, item, value) if compiled, else nullopt. O(log) via
+  /// the sorted slot order (items ascending, then source, then value).
+  std::optional<uint32_t> FindSlot(uint32_t source, kb::DataItemId item,
+                                   kb::ValueId value) const;
+
+  /// Regenerate source_offsets_/source_slot_index_ from the slot arrays and
+  /// extractor_offsets_/extractor_edge_index_ from the edge arrays. Shared
+  /// by Build and Append so both produce the identical CSR layout.
+  void RebuildSourceCsr();
+  void RebuildExtractorCsr();
+
   uint32_t num_sources_ = 0;
   uint32_t num_extractor_groups_ = 0;
 

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <tuple>
 #include <unordered_map>
 
@@ -35,111 +36,145 @@ class KeyInterner {
 
 }  // namespace
 
-GroupAssignment FinestAssignment(const RawDataset& data) {
-  GroupAssignment out;
-  out.observation_source.resize(data.size());
-  out.observation_extractor.resize(data.size());
+// ---------------------------------------------------------------------------
+// AssignmentExtender — the single implementation behind the stateless
+// builders. Ids are handed out in first-visit order over the observation
+// stream and group metadata is appended at first visit, so processing a
+// dataset in one pass or in arbitrary prefix/delta splits produces the
+// identical GroupAssignment.
+// ---------------------------------------------------------------------------
 
-  using SourceKey = std::tuple<uint32_t, uint32_t, uint32_t>;  // site,pred,page
-  using ExtractorKey =
-      std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>;  // e,pat,pred,site
-  KeyInterner<SourceKey> sources;
-  KeyInterner<ExtractorKey> extractors;
+struct AssignmentExtender::State {
+  // site,pred,page / e,pattern,pred,site (finest granularity).
+  KeyInterner<std::tuple<uint32_t, uint32_t, uint32_t>> finest_sources;
+  KeyInterner<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>>
+      finest_extractors;
+  // Single-field keys (page/website sources, plain extractors).
+  KeyInterner<uint32_t> simple_sources;
+  KeyInterner<uint32_t> simple_extractors;
+  // e,site,pred,pattern (the provenance grouping).
+  KeyInterner<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>> provenances;
+};
 
-  for (size_t i = 0; i < data.size(); ++i) {
+AssignmentExtender::AssignmentExtender(StatelessGranularity kind)
+    : kind_(kind), state_(std::make_unique<State>()) {}
+AssignmentExtender::~AssignmentExtender() = default;
+AssignmentExtender::AssignmentExtender(AssignmentExtender&&) noexcept = default;
+AssignmentExtender& AssignmentExtender::operator=(
+    AssignmentExtender&&) noexcept = default;
+
+Status AssignmentExtender::Extend(const RawDataset& data,
+                                  GroupAssignment* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("Extend requires a non-null assignment");
+  }
+  const size_t n = data.size();
+  if (n < consumed_) {
+    return Status::InvalidArgument(
+        "dataset shrank beneath the extender's progress (consumed " +
+        std::to_string(consumed_) + ", dataset has " + std::to_string(n) +
+        ")");
+  }
+  if (out->observation_source.size() != consumed_ ||
+      out->observation_extractor.size() != consumed_) {
+    return Status::InvalidArgument(
+        "assignment does not match this extender's progress: expected " +
+        std::to_string(consumed_) + " assigned observations, found " +
+        std::to_string(out->observation_source.size()));
+  }
+
+  out->observation_source.reserve(n);
+  out->observation_extractor.reserve(n);
+  if (kind_ == StatelessGranularity::kProvenance &&
+      out->extractor_scopes.empty()) {
+    // The provenance grouping has no extraction layer: one dummy group.
+    out->extractor_scopes.push_back(ExtractorScope{});
+  }
+
+  for (size_t i = consumed_; i < n; ++i) {
     const RawObservation& o = data.observations[i];
     const uint32_t pred = kb::DataItemPredicate(o.item);
-    const uint32_t src =
-        sources.Intern(SourceKey{o.website, pred, o.page});
-    const uint32_t ext = extractors.Intern(
-        ExtractorKey{o.extractor, o.pattern, pred, o.website});
-    out.observation_source[i] = src;
-    out.observation_extractor[i] = ext;
+    uint32_t src = 0;
+    uint32_t ext = 0;
+    switch (kind_) {
+      case StatelessGranularity::kFinest: {
+        src = state_->finest_sources.Intern({o.website, pred, o.page});
+        if (src == out->source_infos.size()) {
+          out->source_infos.push_back(SourceGroupInfo{o.website});
+        }
+        ext = state_->finest_extractors.Intern(
+            {o.extractor, o.pattern, pred, o.website});
+        if (ext == out->extractor_scopes.size()) {
+          ExtractorScope scope;
+          scope.predicate = pred;
+          scope.website = o.website;
+          out->extractor_scopes.push_back(scope);
+        }
+        break;
+      }
+      case StatelessGranularity::kPageSource:
+      case StatelessGranularity::kWebsiteSource: {
+        const uint32_t key = kind_ == StatelessGranularity::kPageSource
+                                 ? o.page
+                                 : o.website;
+        src = state_->simple_sources.Intern(key);
+        if (src == out->source_infos.size()) {
+          out->source_infos.push_back(SourceGroupInfo{o.website});
+        }
+        ext = state_->simple_extractors.Intern(o.extractor);
+        if (ext == out->extractor_scopes.size()) {
+          out->extractor_scopes.push_back(ExtractorScope{});
+        }
+        break;
+      }
+      case StatelessGranularity::kProvenance: {
+        src = state_->provenances.Intern(
+            {o.extractor, o.website, pred, o.pattern});
+        if (src == out->source_infos.size()) {
+          out->source_infos.push_back(SourceGroupInfo{o.website});
+        }
+        ext = 0;
+        break;
+      }
+    }
+    out->observation_source.push_back(src);
+    out->observation_extractor.push_back(ext);
   }
 
-  out.num_source_groups = static_cast<uint32_t>(sources.size());
-  out.source_infos.resize(out.num_source_groups);
-  for (const auto& [key, id] : sources.index()) {
-    out.source_infos[id].website = std::get<0>(key);
-  }
-  out.num_extractor_groups = static_cast<uint32_t>(extractors.size());
-  out.extractor_scopes.resize(out.num_extractor_groups);
-  for (const auto& [key, id] : extractors.index()) {
-    out.extractor_scopes[id].predicate = std::get<2>(key);
-    out.extractor_scopes[id].website = std::get<3>(key);
-  }
+  consumed_ = n;
+  out->num_source_groups = static_cast<uint32_t>(out->source_infos.size());
+  out->num_extractor_groups =
+      static_cast<uint32_t>(out->extractor_scopes.size());
+  return Status::OK();
+}
+
+namespace {
+
+GroupAssignment BuildStateless(StatelessGranularity kind,
+                               const RawDataset& data) {
+  GroupAssignment out;
+  AssignmentExtender extender(kind);
+  // Cannot fail on a fresh assignment.
+  (void)extender.Extend(data, &out);
   return out;
+}
+
+}  // namespace
+
+GroupAssignment FinestAssignment(const RawDataset& data) {
+  return BuildStateless(StatelessGranularity::kFinest, data);
 }
 
 GroupAssignment PageSourcePlainExtractor(const RawDataset& data) {
-  GroupAssignment out;
-  out.observation_source.resize(data.size());
-  out.observation_extractor.resize(data.size());
-
-  KeyInterner<uint32_t> sources;
-  KeyInterner<uint32_t> extractors;
-  std::vector<uint32_t> source_site;
-  for (size_t i = 0; i < data.size(); ++i) {
-    const RawObservation& o = data.observations[i];
-    const uint32_t src = sources.Intern(o.page);
-    if (src >= source_site.size()) source_site.push_back(o.website);
-    out.observation_source[i] = src;
-    out.observation_extractor[i] = extractors.Intern(o.extractor);
-  }
-  out.num_source_groups = static_cast<uint32_t>(sources.size());
-  out.source_infos.resize(out.num_source_groups);
-  for (const auto& [page, id] : sources.index()) {
-    (void)page;
-    out.source_infos[id].website = source_site[id];
-  }
-  out.num_extractor_groups = static_cast<uint32_t>(extractors.size());
-  out.extractor_scopes.assign(out.num_extractor_groups, ExtractorScope{});
-  return out;
+  return BuildStateless(StatelessGranularity::kPageSource, data);
 }
 
 GroupAssignment WebsiteSourceAssignment(const RawDataset& data) {
-  GroupAssignment out;
-  out.observation_source.resize(data.size());
-  out.observation_extractor.resize(data.size());
-
-  KeyInterner<uint32_t> sources;
-  KeyInterner<uint32_t> extractors;
-  for (size_t i = 0; i < data.size(); ++i) {
-    const RawObservation& o = data.observations[i];
-    out.observation_source[i] = sources.Intern(o.website);
-    out.observation_extractor[i] = extractors.Intern(o.extractor);
-  }
-  out.num_source_groups = static_cast<uint32_t>(sources.size());
-  out.source_infos.resize(out.num_source_groups);
-  for (const auto& [site, id] : sources.index()) {
-    out.source_infos[id].website = site;
-  }
-  out.num_extractor_groups = static_cast<uint32_t>(extractors.size());
-  out.extractor_scopes.assign(out.num_extractor_groups, ExtractorScope{});
-  return out;
+  return BuildStateless(StatelessGranularity::kWebsiteSource, data);
 }
 
 GroupAssignment ProvenanceAssignment(const RawDataset& data) {
-  GroupAssignment out;
-  out.observation_source.resize(data.size());
-  out.observation_extractor.assign(data.size(), 0);
-
-  using ProvKey = std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>;
-  KeyInterner<ProvKey> provenances;
-  for (size_t i = 0; i < data.size(); ++i) {
-    const RawObservation& o = data.observations[i];
-    const uint32_t pred = kb::DataItemPredicate(o.item);
-    out.observation_source[i] = provenances.Intern(
-        ProvKey{o.extractor, o.website, pred, o.pattern});
-  }
-  out.num_source_groups = static_cast<uint32_t>(provenances.size());
-  out.source_infos.resize(out.num_source_groups);
-  for (const auto& [key, id] : provenances.index()) {
-    out.source_infos[id].website = std::get<1>(key);
-  }
-  out.num_extractor_groups = 1;
-  out.extractor_scopes.assign(1, ExtractorScope{});
-  return out;
+  return BuildStateless(StatelessGranularity::kProvenance, data);
 }
 
 StatusOr<GroupAssignment> SplitMergeAssignment(

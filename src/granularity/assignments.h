@@ -1,6 +1,9 @@
 #ifndef KBT_GRANULARITY_ASSIGNMENTS_H_
 #define KBT_GRANULARITY_ASSIGNMENTS_H_
 
+#include <cstddef>
+#include <memory>
+
 #include "common/status.h"
 #include "dataflow/stage_timer.h"
 #include "extract/observation_matrix.h"
@@ -43,6 +46,51 @@ StatusOr<extract::GroupAssignment> SplitMergeAssignment(
     const extract::RawDataset& data, const SplitMergeOptions& source_options,
     const SplitMergeOptions& extractor_options,
     dataflow::StageTimers* timers = nullptr);
+
+/// The grouping rules that depend only on each observation's own fields —
+/// everything except SPLITANDMERGE, whose buckets depend on group sizes and
+/// therefore shift when data is appended.
+enum class StatelessGranularity {
+  kFinest = 0,
+  kPageSource = 1,
+  kWebsiteSource = 2,
+  kProvenance = 3,
+};
+
+/// Incremental, group-id-stable assignment builder behind the stateless
+/// granularities. Group ids are assigned in first-visit order over the
+/// observation stream, so extending an assignment with a delta yields
+/// *exactly* the assignment a from-scratch build over the grown dataset
+/// would produce: existing observations keep their group ids, existing
+/// groups keep their metadata, and new groups take the next dense ids.
+/// (The batch builders above are implemented on this class, which is what
+/// makes the equivalence hold by construction.)
+///
+/// One extender serves one logical assignment: pass the same GroupAssignment
+/// to every Extend call, interleaved only with appends to the dataset.
+class AssignmentExtender {
+ public:
+  explicit AssignmentExtender(StatelessGranularity kind);
+  ~AssignmentExtender();
+  AssignmentExtender(AssignmentExtender&&) noexcept;
+  AssignmentExtender& operator=(AssignmentExtender&&) noexcept;
+
+  /// Appends group assignments for observations [consumed(), data.size())
+  /// to `out`, growing the group tables as new groups appear. Entries
+  /// already in `out` are never modified.
+  Status Extend(const extract::RawDataset& data,
+                extract::GroupAssignment* out);
+
+  /// Number of observations consumed so far.
+  size_t consumed() const { return consumed_; }
+  StatelessGranularity kind() const { return kind_; }
+
+ private:
+  struct State;
+  StatelessGranularity kind_;
+  size_t consumed_ = 0;
+  std::unique_ptr<State> state_;
+};
 
 }  // namespace kbt::granularity
 

@@ -117,6 +117,9 @@ StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path) {
   extract::RawDataset dataset;
   std::string line;
   size_t line_no = 1;
+  // Tracks which nfalse entries were explicitly declared (resize gaps get
+  // the default and may still be declared later, once).
+  std::vector<uint8_t> nfalse_declared;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
@@ -130,10 +133,20 @@ StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path) {
       size_t pred = 0;
       int n = 0;
       fields >> pred >> n;
+      if (!fields.fail() && pred < nfalse_declared.size() &&
+          nfalse_declared[pred]) {
+        // Silently keeping the last duplicate would make the domain size —
+        // and with it every inference vote — depend on line order.
+        return Status::InvalidArgument(
+            "duplicate nfalse entry for predicate " + std::to_string(pred) +
+            " at line " + std::to_string(line_no));
+      }
       if (dataset.num_false_by_predicate.size() <= pred) {
         dataset.num_false_by_predicate.resize(pred + 1, 10);
+        nfalse_declared.resize(pred + 1, 0);
       }
       dataset.num_false_by_predicate[pred] = n;
+      nfalse_declared[pred] = 1;
     } else if (tag == "truth") {
       kb::DataItemId item = 0;
       kb::ValueId value = 0;

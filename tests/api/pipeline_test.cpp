@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/math.h"
 #include "core/kbt_score.h"
 #include "core/multilayer_model.h"
 #include "extract/observation_matrix.h"
@@ -222,6 +223,56 @@ TEST(PipelineWarmStartTest, RunFromEqualsColdRunWithSameInitialQuality) {
   ExpectReportsEqual(*warm, *cold);
 }
 
+TEST(PipelineWarmStartTest, SmallerShapeFromOtherGranularityIsRejected) {
+  // kWebsiteSource produces fewer groups than kFinest over the same cube;
+  // a prefix-shaped report is only acceptable as an *append-grown* warm
+  // start within one granularity, never across granularities.
+  auto coarse = PipelineBuilder()
+                    .FromSynthetic(SmallSynthetic())
+                    .WithGranularity(Granularity::kWebsiteSource)
+                    .Build();
+  ASSERT_TRUE(coarse.ok());
+  const auto coarse_report = coarse->Run();
+  ASSERT_TRUE(coarse_report.ok());
+
+  auto fine = PipelineBuilder()
+                  .FromSynthetic(SmallSynthetic())
+                  .WithGranularity(Granularity::kFinest)
+                  .Build();
+  ASSERT_TRUE(fine.ok());
+  const auto fine_report = fine->Run();
+  ASSERT_TRUE(fine_report.ok());
+  ASSERT_LT(coarse_report->counts.num_sources,
+            fine_report->counts.num_sources);
+
+  const auto warm = fine->RunFrom(*coarse_report);
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(warm.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PipelineWarmStartTest, GrownShapeUnderSplitMergeIsRejected) {
+  // SPLITANDMERGE re-buckets (and renumbers) groups when the cube grows,
+  // so a pre-append report must not be carried onto the regrouped ids.
+  exp::SyntheticConfig config = SmallSynthetic();
+  auto pipeline = PipelineBuilder()
+                      .FromSynthetic(config)
+                      .WithGranularity(Granularity::kSplitMerge)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto first = pipeline->Run();
+  ASSERT_TRUE(first.ok());
+
+  // A new site's page grows the source side on recompilation.
+  extract::RawObservation obs = pipeline->dataset().observations[0];
+  obs.website = pipeline->dataset().num_websites;
+  obs.page = pipeline->dataset().num_pages;
+  ASSERT_TRUE(pipeline->AppendObservations({obs}).ok());
+
+  const auto warm = pipeline->RunFrom(*first);
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(warm.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(PipelineWarmStartTest, MismatchedShapeIsRejected) {
   auto fine = PipelineBuilder()
                   .FromSynthetic(SmallSynthetic())
@@ -292,7 +343,7 @@ TEST(PipelineCacheTest, RepeatedRunsReuseTheCompiledMatrix) {
   ExpectReportsEqual(*first, *second);
 }
 
-TEST(PipelineCacheTest, AppendObservationsInvalidatesAndRecompiles) {
+TEST(PipelineCacheTest, AppendObservationsPatchesTheCompiledMatrix) {
   auto pipeline = PipelineBuilder()
                       .FromDataset(QuickstartCube())
                       .WithOptions(QuickstartOptions())
@@ -301,8 +352,12 @@ TEST(PipelineCacheTest, AppendObservationsInvalidatesAndRecompiles) {
   const auto before = pipeline->Run();
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before->counts.num_observations, 5u);
+  const extract::CompiledMatrix* matrix = pipeline->compiled_matrix();
+  ASSERT_NE(matrix, nullptr);
 
-  // A fourth site (id 3) claims "Warsaw" through extractor 0.
+  // A fourth site (id 3) claims "Warsaw" through extractor 0. The cached
+  // matrix is patched in place — same object, already covering the delta —
+  // instead of being dropped.
   extract::RawObservation obs;
   obs.extractor = 0;
   obs.pattern = 0;
@@ -311,14 +366,175 @@ TEST(PipelineCacheTest, AppendObservationsInvalidatesAndRecompiles) {
   obs.item = kb::MakeDataItem(0, 0);
   obs.value = 1;
   ASSERT_TRUE(pipeline->AppendObservations({obs}).ok());
-  EXPECT_EQ(pipeline->compiled_matrix(), nullptr);
+  ASSERT_EQ(pipeline->compiled_matrix(), matrix);
   EXPECT_EQ(pipeline->dataset().num_websites, 4u);
+  // The patch already folded the new site's source group in.
+  EXPECT_EQ(matrix->num_sources(), before->counts.num_sources + 1);
 
   const auto after = pipeline->Run();
   ASSERT_TRUE(after.ok());
+  // The run reused the patched matrix (same object).
+  EXPECT_EQ(pipeline->compiled_matrix(), matrix);
   EXPECT_EQ(after->counts.num_observations, 6u);
   EXPECT_EQ(after->counts.num_websites, 4u);
   EXPECT_EQ(after->counts.num_sources, before->counts.num_sources + 1);
+
+  // And the patched run is bit-for-bit the run a fresh pipeline over the
+  // grown cube produces.
+  auto fresh = PipelineBuilder()
+                   .FromDataset(pipeline->dataset())
+                   .WithOptions(QuickstartOptions())
+                   .Build();
+  ASSERT_TRUE(fresh.ok());
+  const auto fresh_report = fresh->Run();
+  ASSERT_TRUE(fresh_report.ok());
+  ExpectReportsEqual(*after, *fresh_report);
+}
+
+TEST(PipelineCacheTest, EmptyAppendKeepsTheCacheWarm) {
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(pipeline->Run().ok());
+  const extract::CompiledMatrix* matrix = pipeline->compiled_matrix();
+  ASSERT_NE(matrix, nullptr);
+
+  ASSERT_TRUE(pipeline->AppendObservations({}).ok());
+  EXPECT_EQ(pipeline->compiled_matrix(), matrix);
+  EXPECT_EQ(pipeline->dataset().size(), 5u);
+}
+
+TEST(PipelineCacheTest, AppendBeforeFirstRunCompilesTheGrownCube) {
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  extract::RawObservation obs = QuickstartCube().observations[0];
+  obs.confidence = 0.5f;
+  ASSERT_TRUE(pipeline->AppendObservations({obs}).ok());
+  EXPECT_EQ(pipeline->compiled_matrix(), nullptr);
+  const auto report = pipeline->Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->counts.num_observations, 6u);
+}
+
+TEST(PipelineCacheTest, AppendUnderSplitMergeFallsBackToRecompilation) {
+  exp::SyntheticConfig config = SmallSynthetic();
+  auto pipeline = PipelineBuilder()
+                      .FromSynthetic(config)
+                      .WithGranularity(Granularity::kSplitMerge)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(pipeline->Run().ok());
+  ASSERT_NE(pipeline->compiled_matrix(), nullptr);
+
+  extract::RawObservation obs = pipeline->dataset().observations[0];
+  obs.confidence = 0.25f;
+  ASSERT_TRUE(pipeline->AppendObservations({obs}).ok());
+  // SPLITANDMERGE re-buckets on growth: the cache is dropped, the next run
+  // recompiles against the grown cube and agrees with a fresh pipeline.
+  EXPECT_EQ(pipeline->compiled_matrix(), nullptr);
+  const auto after = pipeline->Run();
+  ASSERT_TRUE(after.ok());
+
+  auto fresh = PipelineBuilder()
+                   .FromDataset(pipeline->dataset())
+                   .WithGranularity(Granularity::kSplitMerge)
+                   .Build();
+  ASSERT_TRUE(fresh.ok());
+  const auto fresh_report = fresh->Run();
+  ASSERT_TRUE(fresh_report.ok());
+  ExpectReportsEqual(*after, *fresh_report);
+}
+
+TEST(PipelineCacheTest, AppendedRunsMatchFreshPipelinesAcrossGranularities) {
+  for (const Granularity granularity :
+       {Granularity::kFinest, Granularity::kPageSource,
+        Granularity::kWebsiteSource, Granularity::kProvenance}) {
+    SCOPED_TRACE(static_cast<int>(granularity));
+    auto pipeline = PipelineBuilder()
+                        .FromSynthetic(SmallSynthetic())
+                        .WithGranularity(granularity)
+                        .Build();
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE(pipeline->Run().ok());
+    const extract::CompiledMatrix* matrix = pipeline->compiled_matrix();
+    ASSERT_NE(matrix, nullptr);
+
+    // Delta: a repeat claim, a new page of a new site, and a new fact.
+    std::vector<extract::RawObservation> delta;
+    delta.push_back(pipeline->dataset().observations[3]);
+    delta.back().confidence = 0.8f;
+    extract::RawObservation fresh_site = pipeline->dataset().observations[0];
+    fresh_site.website = pipeline->dataset().num_websites;
+    fresh_site.page = pipeline->dataset().num_pages;
+    delta.push_back(fresh_site);
+    extract::RawObservation new_fact = pipeline->dataset().observations[1];
+    new_fact.item = kb::MakeDataItem(999, 0);
+    delta.push_back(new_fact);
+    ASSERT_TRUE(pipeline->AppendObservations(delta).ok());
+    ASSERT_EQ(pipeline->compiled_matrix(), matrix);
+
+    const auto patched = pipeline->Run();
+    ASSERT_TRUE(patched.ok());
+    auto fresh = PipelineBuilder()
+                     .FromDataset(pipeline->dataset())
+                     .WithGranularity(granularity)
+                     .Build();
+    ASSERT_TRUE(fresh.ok());
+    const auto fresh_report = fresh->Run();
+    ASSERT_TRUE(fresh_report.ok());
+    ExpectReportsEqual(*patched, *fresh_report);
+  }
+}
+
+TEST(PipelineWarmStartTest, WarmStartSurvivesAppendWithPriorInitializedGrowth) {
+  auto pipeline = PipelineBuilder()
+                      .FromSynthetic(SmallSynthetic())
+                      .WithGranularity(Granularity::kPageSource)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto first = pipeline->Run();
+  ASSERT_TRUE(first.ok());
+
+  // Grow the cube with a brand-new source (new page + site).
+  extract::RawObservation obs = pipeline->dataset().observations[0];
+  obs.website = pipeline->dataset().num_websites;
+  obs.page = pipeline->dataset().num_pages;
+  ASSERT_TRUE(pipeline->AppendObservations({obs}).ok());
+
+  // The pre-append report still warm starts: learned quality is preserved
+  // for surviving groups, new groups start from the config priors.
+  const auto warm = pipeline->RunFrom(*first);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->counts.num_sources, first->counts.num_sources + 1);
+
+  // It equals a cold run with the explicitly-extended InitialQuality.
+  core::InitialQuality extended = first->ToInitialQuality();
+  const Options& options = pipeline->options();
+  extended.source_accuracy.resize(warm->counts.num_sources,
+                                  options.multilayer.default_source_accuracy);
+  extended.source_trusted.resize(warm->counts.num_sources, 0);
+  extended.extractor_recall.resize(warm->counts.num_extractor_groups,
+                                   options.multilayer.default_recall);
+  extended.extractor_q.resize(warm->counts.num_extractor_groups,
+                              options.multilayer.default_q);
+  extended.extractor_precision.resize(
+      warm->counts.num_extractor_groups,
+      PrecisionFromQ(options.multilayer.default_q,
+                     options.multilayer.default_recall,
+                     options.multilayer.gamma));
+  auto cold_pipeline = PipelineBuilder()
+                           .FromDataset(pipeline->dataset())
+                           .WithGranularity(Granularity::kPageSource)
+                           .Build();
+  ASSERT_TRUE(cold_pipeline.ok());
+  const auto cold = cold_pipeline->Run(extended);
+  ASSERT_TRUE(cold.ok());
+  ExpectReportsEqual(*warm, *cold);
 }
 
 TEST(PipelineCacheTest, AppendRejectsBorrowedDatasetsAndInvalidIds) {

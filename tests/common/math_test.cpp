@@ -117,5 +117,34 @@ TEST(MathTest, ClampProbabilityBounds) {
   EXPECT_DOUBLE_EQ(ClampProbability(0.5), 0.5);
 }
 
+// Regression: the log-odds helpers must clamp their probability inputs away
+// from {0, 1} *before* dividing — an unclamped p == 1.0 in Logit (or
+// a == 1.0 in SourceVote) divides by zero and the resulting inf/NaN
+// propagates through every subsequent inference vote.
+TEST(MathTest, SourceVoteEndpointsAreFinite) {
+  for (const int n : {1, 10, 100}) {
+    EXPECT_TRUE(std::isfinite(SourceVote(1.0, n))) << n;
+    EXPECT_TRUE(std::isfinite(SourceVote(0.0, n))) << n;
+  }
+  // A perfect source votes strongly for, a broken one strongly against.
+  EXPECT_GT(SourceVote(1.0, 10), 20.0);
+  EXPECT_LT(SourceVote(0.0, 10), -20.0);
+  // Degenerate domain sizes are lifted to n = 1 rather than log(0).
+  EXPECT_TRUE(std::isfinite(SourceVote(0.6, 0)));
+  EXPECT_TRUE(std::isfinite(SourceVote(0.6, -5)));
+}
+
+TEST(MathTest, VoteHelpersAreFiniteAtProbabilityEndpoints) {
+  for (const double p : {0.0, 1.0}) {
+    for (const double q : {0.0, 1.0}) {
+      EXPECT_TRUE(std::isfinite(PresenceVote(p, q))) << p << " " << q;
+      EXPECT_TRUE(std::isfinite(AbsenceVote(p, q))) << p << " " << q;
+      EXPECT_TRUE(std::isfinite(QFromPrecisionRecall(p, q, 0.25)))
+          << p << " " << q;
+      EXPECT_TRUE(std::isfinite(PrecisionFromQ(p, q, 0.25))) << p << " " << q;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace kbt

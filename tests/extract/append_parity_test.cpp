@@ -1,0 +1,327 @@
+// Parity suite for CompiledMatrix::Append: patching the CSR structures with
+// a delta must be bit-for-bit identical to a full Build over the grown
+// dataset — same slot order, same edge arrays, same group CSRs — across
+// only-new observations, new sources, new facts, and every stateless
+// granularity; deltas that invalidate the compiled groups must be refused
+// with kRebuildRequired and leave the matrix untouched.
+#include "extract/observation_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/synthetic.h"
+#include "granularity/assignments.h"
+
+namespace kbt::extract {
+namespace {
+
+using granularity::AssignmentExtender;
+using granularity::StatelessGranularity;
+
+/// Exhaustive equality over every public accessor of the matrix.
+void ExpectMatricesEqual(const CompiledMatrix& a, const CompiledMatrix& b) {
+  ASSERT_EQ(a.num_slots(), b.num_slots());
+  ASSERT_EQ(a.num_items(), b.num_items());
+  ASSERT_EQ(a.num_extractions(), b.num_extractions());
+  ASSERT_EQ(a.num_sources(), b.num_sources());
+  ASSERT_EQ(a.num_extractor_groups(), b.num_extractor_groups());
+  for (size_t s = 0; s < a.num_slots(); ++s) {
+    ASSERT_EQ(a.slot_source(s), b.slot_source(s)) << "slot " << s;
+    ASSERT_EQ(a.slot_item(s), b.slot_item(s)) << "slot " << s;
+    ASSERT_EQ(a.slot_value(s), b.slot_value(s)) << "slot " << s;
+    ASSERT_EQ(a.slot_website(s), b.slot_website(s)) << "slot " << s;
+    ASSERT_EQ(a.slot_predicate(s), b.slot_predicate(s)) << "slot " << s;
+    ASSERT_EQ(a.slot_provided_truth(s), b.slot_provided_truth(s))
+        << "slot " << s;
+    ASSERT_EQ(a.SlotExtractions(s), b.SlotExtractions(s)) << "slot " << s;
+  }
+  ASSERT_EQ(a.ext_group(), b.ext_group());
+  ASSERT_EQ(a.ext_conf(), b.ext_conf());
+  for (size_t e = 0; e < a.num_extractions(); ++e) {
+    ASSERT_EQ(a.ext_slot(e), b.ext_slot(e)) << "edge " << e;
+  }
+  for (size_t i = 0; i < a.num_items(); ++i) {
+    ASSERT_EQ(a.item_id(i), b.item_id(i)) << "item " << i;
+    ASSERT_EQ(a.item_num_false(i), b.item_num_false(i)) << "item " << i;
+    ASSERT_EQ(a.ItemSlots(i), b.ItemSlots(i)) << "item " << i;
+  }
+  for (uint32_t w = 0; w < a.num_sources(); ++w) {
+    ASSERT_EQ(a.SourceSlots(w), b.SourceSlots(w)) << "source " << w;
+    ASSERT_EQ(a.source_info(w), b.source_info(w)) << "source " << w;
+  }
+  ASSERT_EQ(a.source_slot_index(), b.source_slot_index());
+  for (uint32_t g = 0; g < a.num_extractor_groups(); ++g) {
+    ASSERT_EQ(a.ExtractorEdges(g), b.ExtractorEdges(g)) << "group " << g;
+    ASSERT_EQ(a.extractor_scope(g), b.extractor_scope(g)) << "group " << g;
+  }
+  ASSERT_EQ(a.extractor_edge_index(), b.extractor_edge_index());
+}
+
+/// Compiles the first `base` observations of `data`, appends the rest via
+/// Append, and checks bit-for-bit parity with a full Build — mirroring the
+/// pipeline's extender-driven flow.
+void ExpectAppendEqualsBuild(const RawDataset& data, size_t base,
+                             StatelessGranularity kind) {
+  RawDataset prefix = data;
+  prefix.observations.resize(base);
+
+  AssignmentExtender extender(kind);
+  GroupAssignment assignment;
+  ASSERT_TRUE(extender.Extend(prefix, &assignment).ok());
+  auto matrix = CompiledMatrix::Build(prefix, assignment);
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+
+  ASSERT_TRUE(extender.Extend(data, &assignment).ok());
+  const auto outcome =
+      matrix->Append(data, ObservationDelta{base}, assignment);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_EQ(*outcome, AppendOutcome::kPatched);
+
+  const auto full = CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ExpectMatricesEqual(*matrix, *full);
+}
+
+RawObservation MakeObs(uint32_t extractor, uint32_t page, kb::DataItemId item,
+                       kb::ValueId value, float conf = 1.0f,
+                       bool provided = false) {
+  RawObservation obs;
+  obs.extractor = extractor;
+  obs.pattern = extractor;
+  obs.website = page;
+  obs.page = page;
+  obs.item = item;
+  obs.value = value;
+  obs.confidence = conf;
+  obs.provided = provided;
+  return obs;
+}
+
+/// Two sites, two extractors, two items: enough structure for targeted
+/// deltas.
+RawDataset SmallCube() {
+  const kb::DataItemId item_a = kb::MakeDataItem(5, 0);
+  const kb::DataItemId item_b = kb::MakeDataItem(2, 1);
+  RawDataset data;
+  data.num_false_by_predicate = {10, 7};
+  data.num_websites = 2;
+  data.num_pages = 2;
+  data.num_extractors = 2;
+  data.num_patterns = 2;
+  data.observations = {
+      MakeObs(0, 0, item_a, 3, 1.0f, true),
+      MakeObs(1, 0, item_a, 3, 0.7f),
+      MakeObs(0, 1, item_a, 4, 0.9f),
+      MakeObs(1, 1, item_b, 2, 0.5f, true),
+  };
+  return data;
+}
+
+constexpr StatelessGranularity kAllKinds[] = {
+    StatelessGranularity::kFinest,
+    StatelessGranularity::kPageSource,
+    StatelessGranularity::kWebsiteSource,
+    StatelessGranularity::kProvenance,
+};
+
+// ---- Case 1: only-new observations on existing slots (conf maxing,
+// provided updates, and a new (slot, group) edge) ----
+
+TEST(AppendParityTest, OnlyNewObservationsOnExistingSlots) {
+  RawDataset data = SmallCube();
+  const size_t base = data.observations.size();
+  // Duplicate of obs 0 with lower confidence (keeps the max), duplicate of
+  // obs 1 with higher confidence (takes the max), and obs 2 turning
+  // provided.
+  data.observations.push_back(MakeObs(0, 0, kb::MakeDataItem(5, 0), 3, 0.2f));
+  data.observations.push_back(MakeObs(1, 0, kb::MakeDataItem(5, 0), 3, 0.95f));
+  data.observations.push_back(
+      MakeObs(0, 1, kb::MakeDataItem(5, 0), 4, 0.1f, true));
+  for (const StatelessGranularity kind : kAllKinds) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectAppendEqualsBuild(data, base, kind);
+  }
+}
+
+TEST(AppendParityTest, NewEdgeOnExistingSlot) {
+  RawDataset data = SmallCube();
+  const size_t base = data.observations.size();
+  // Extractor 1 had not extracted (page 1, item_a, 4): a new edge on an
+  // existing slot under kPageSource, a new group+edge under kFinest.
+  data.observations.push_back(MakeObs(1, 1, kb::MakeDataItem(5, 0), 4, 0.6f));
+  for (const StatelessGranularity kind : kAllKinds) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectAppendEqualsBuild(data, base, kind);
+  }
+}
+
+// ---- Case 2: delta introducing new sources ----
+
+TEST(AppendParityTest, DeltaIntroducesNewSources) {
+  RawDataset data = SmallCube();
+  const size_t base = data.observations.size();
+  data.num_websites = 4;
+  data.num_pages = 4;
+  // Two new pages/sites, one claiming an existing fact, one a new value.
+  data.observations.push_back(MakeObs(0, 2, kb::MakeDataItem(5, 0), 3, 0.8f));
+  data.observations.push_back(
+      MakeObs(1, 3, kb::MakeDataItem(2, 1), 9, 0.4f, true));
+  for (const StatelessGranularity kind : kAllKinds) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectAppendEqualsBuild(data, base, kind);
+  }
+}
+
+// ---- Case 3: delta introducing new facts (items sorting before, between
+// and after the existing ones) ----
+
+TEST(AppendParityTest, DeltaIntroducesNewFacts) {
+  RawDataset data = SmallCube();
+  const size_t base = data.observations.size();
+  data.num_false_by_predicate.push_back(4);  // Predicate 2.
+  // Item ids: existing are (5,0) and (2,1). New: (1,0) sorts first, (3,2)
+  // sorts between, (9,1) sorts last.
+  data.observations.push_back(MakeObs(0, 0, kb::MakeDataItem(1, 0), 6, 1.0f));
+  data.observations.push_back(
+      MakeObs(1, 1, kb::MakeDataItem(3, 2), 1, 0.3f, true));
+  data.observations.push_back(MakeObs(0, 1, kb::MakeDataItem(9, 1), 8, 0.7f));
+  for (const StatelessGranularity kind : kAllKinds) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectAppendEqualsBuild(data, base, kind);
+  }
+}
+
+// ---- Case 4: forced fallback — changed group metadata / shrunk counts ----
+
+TEST(AppendParityTest, ChangedScopeMetadataForcesRebuild) {
+  const RawDataset data = SmallCube();
+  const auto assignment = granularity::FinestAssignment(data);
+  auto matrix = CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(matrix.ok());
+
+  GroupAssignment changed = assignment;
+  changed.extractor_scopes[0].absence_weight = 0.5;  // Re-bucketed group.
+  const auto outcome =
+      matrix->Append(data, ObservationDelta{data.size()}, changed);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, AppendOutcome::kRebuildRequired);
+
+  GroupAssignment relocated = assignment;
+  relocated.source_infos[0].website = 1;  // Group metadata changed.
+  const auto relocated_outcome =
+      matrix->Append(data, ObservationDelta{data.size()}, relocated);
+  ASSERT_TRUE(relocated_outcome.ok());
+  EXPECT_EQ(*relocated_outcome, AppendOutcome::kRebuildRequired);
+
+  // The refused appends left the matrix untouched: still equal to Build.
+  const auto fresh = CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(fresh.ok());
+  ExpectMatricesEqual(*matrix, *fresh);
+}
+
+TEST(AppendParityTest, ShrunkGroupCountForcesRebuild) {
+  const RawDataset data = SmallCube();
+  const auto assignment = granularity::PageSourcePlainExtractor(data);
+  auto matrix = CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(matrix.ok());
+
+  // A coarser regrouping (fewer sources) can never be patched in.
+  const auto coarse = granularity::WebsiteSourceAssignment(data);
+  ASSERT_LE(coarse.num_source_groups, assignment.num_source_groups);
+  GroupAssignment merged = coarse;
+  merged.num_source_groups = 1;
+  merged.source_infos.resize(1);
+  merged.observation_source.assign(data.size(), 0);
+  const auto outcome =
+      matrix->Append(data, ObservationDelta{data.size()}, merged);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, AppendOutcome::kRebuildRequired);
+}
+
+TEST(AppendParityTest, MalformedDeltaIsRejectedWithoutMutation) {
+  RawDataset data = SmallCube();
+  const size_t base = data.observations.size();
+  const auto base_assignment = granularity::PageSourcePlainExtractor(data);
+  auto matrix = CompiledMatrix::Build(data, base_assignment);
+  ASSERT_TRUE(matrix.ok());
+
+  data.observations.push_back(MakeObs(0, 0, kb::MakeDataItem(5, 0), 3));
+  GroupAssignment bad = base_assignment;  // Not extended to cover the delta.
+  EXPECT_FALSE(matrix->Append(data, ObservationDelta{base}, bad).ok());
+
+  bad = granularity::PageSourcePlainExtractor(data);
+  bad.observation_source.back() = bad.num_source_groups + 3;
+  EXPECT_FALSE(matrix->Append(data, ObservationDelta{base}, bad).ok());
+
+  // Both rejections left the matrix equal to the base Build.
+  data.observations.resize(base);
+  const auto fresh = CompiledMatrix::Build(data, base_assignment);
+  ASSERT_TRUE(fresh.ok());
+  ExpectMatricesEqual(*matrix, *fresh);
+}
+
+// ---- Empty delta is a structural no-op ----
+
+TEST(AppendParityTest, EmptyDeltaIsANoOp) {
+  const RawDataset data = SmallCube();
+  const auto assignment = granularity::FinestAssignment(data);
+  auto matrix = CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(matrix.ok());
+  const auto outcome =
+      matrix->Append(data, ObservationDelta{data.size()}, assignment);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, AppendOutcome::kPatched);
+  const auto fresh = CompiledMatrix::Build(data, assignment);
+  ASSERT_TRUE(fresh.ok());
+  ExpectMatricesEqual(*matrix, *fresh);
+}
+
+// ---- Randomized end-to-end parity: a synthetic cube appended in several
+// uneven chunks, across every stateless granularity ----
+
+TEST(AppendParityTest, SyntheticCubeAppendedInChunksMatchesFullBuild) {
+  exp::SyntheticConfig config;
+  config.num_sources = 12;
+  config.num_extractors = 4;
+  config.seed = 42;
+  const RawDataset data = exp::GenerateSynthetic(config).data;
+  ASSERT_GT(data.size(), 100u);
+
+  for (const StatelessGranularity kind : kAllKinds) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    // Compile a small seed, then append the rest in uneven chunks.
+    const size_t splits[] = {data.size() / 10, data.size() / 3,
+                             data.size() / 2, data.size() - 1};
+    AssignmentExtender extender(kind);
+    GroupAssignment assignment;
+    RawDataset prefix = data;
+    prefix.observations.resize(splits[0]);
+    ASSERT_TRUE(extender.Extend(prefix, &assignment).ok());
+    auto matrix = CompiledMatrix::Build(prefix, assignment);
+    ASSERT_TRUE(matrix.ok());
+
+    size_t compiled = splits[0];
+    for (size_t k = 1; k < 4; ++k) {
+      prefix.observations.assign(data.observations.begin(),
+                                 data.observations.begin() + splits[k]);
+      ASSERT_TRUE(extender.Extend(prefix, &assignment).ok());
+      const auto outcome =
+          matrix->Append(prefix, ObservationDelta{compiled}, assignment);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      ASSERT_EQ(*outcome, AppendOutcome::kPatched);
+      compiled = splits[k];
+    }
+    prefix.observations = data.observations;
+    ASSERT_TRUE(extender.Extend(prefix, &assignment).ok());
+    const auto outcome =
+        matrix->Append(prefix, ObservationDelta{compiled}, assignment);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_EQ(*outcome, AppendOutcome::kPatched);
+
+    const auto full = CompiledMatrix::Build(data, assignment);
+    ASSERT_TRUE(full.ok());
+    ExpectMatricesEqual(*matrix, *full);
+  }
+}
+
+}  // namespace
+}  // namespace kbt::extract

@@ -130,5 +130,116 @@ TEST(AssignmentsTest, SplitMergeAbsenceWeightReflectsBuckets) {
   EXPECT_TRUE(saw_split);
 }
 
+// ---------------------------------------------------------------------------
+// AssignmentExtender: incremental extension must equal the batch builders,
+// with existing observation entries, group ids and metadata untouched.
+// ---------------------------------------------------------------------------
+
+void ExpectAssignmentsEqual(const extract::GroupAssignment& a,
+                            const extract::GroupAssignment& b) {
+  ASSERT_EQ(a.num_source_groups, b.num_source_groups);
+  ASSERT_EQ(a.num_extractor_groups, b.num_extractor_groups);
+  ASSERT_EQ(a.observation_source, b.observation_source);
+  ASSERT_EQ(a.observation_extractor, b.observation_extractor);
+  ASSERT_EQ(a.source_infos.size(), b.source_infos.size());
+  for (size_t i = 0; i < a.source_infos.size(); ++i) {
+    ASSERT_EQ(a.source_infos[i], b.source_infos[i]) << i;
+  }
+  ASSERT_EQ(a.extractor_scopes.size(), b.extractor_scopes.size());
+  for (size_t i = 0; i < a.extractor_scopes.size(); ++i) {
+    ASSERT_EQ(a.extractor_scopes[i], b.extractor_scopes[i]) << i;
+  }
+}
+
+extract::GroupAssignment BatchAssignment(StatelessGranularity kind,
+                                         const extract::RawDataset& data) {
+  switch (kind) {
+    case StatelessGranularity::kFinest:
+      return FinestAssignment(data);
+    case StatelessGranularity::kPageSource:
+      return PageSourcePlainExtractor(data);
+    case StatelessGranularity::kWebsiteSource:
+      return WebsiteSourceAssignment(data);
+    case StatelessGranularity::kProvenance:
+      return ProvenanceAssignment(data);
+  }
+  return {};
+}
+
+TEST(AssignmentExtenderTest, IncrementalExtensionEqualsBatchBuild) {
+  exp::SyntheticConfig sc;
+  sc.num_sources = 10;
+  sc.num_extractors = 4;
+  sc.seed = 11;
+  const auto syn = exp::GenerateSynthetic(sc);
+  const extract::RawDataset& data = syn.data;
+  ASSERT_GT(data.size(), 50u);
+
+  for (const StatelessGranularity kind :
+       {StatelessGranularity::kFinest, StatelessGranularity::kPageSource,
+        StatelessGranularity::kWebsiteSource,
+        StatelessGranularity::kProvenance}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    AssignmentExtender extender(kind);
+    extract::GroupAssignment incremental;
+    extract::RawDataset prefix = data;
+    // Three uneven chunks, including an empty one.
+    for (const size_t upto :
+         {data.size() / 4, data.size() / 4, data.size() / 2, data.size()}) {
+      prefix.observations.assign(data.observations.begin(),
+                                 data.observations.begin() + upto);
+      ASSERT_TRUE(extender.Extend(prefix, &incremental).ok());
+      EXPECT_EQ(extender.consumed(), upto);
+      // Every prefix state matches the batch builder over that prefix.
+      ExpectAssignmentsEqual(incremental, BatchAssignment(kind, prefix));
+    }
+  }
+}
+
+TEST(AssignmentExtenderTest, ExistingGroupIdsAreStableAcrossExtension) {
+  const auto data = MotivatingExample::Dataset();
+  AssignmentExtender extender(StatelessGranularity::kFinest);
+  extract::GroupAssignment assignment;
+  extract::RawDataset prefix = data;
+  prefix.observations.resize(data.size() / 2);
+  ASSERT_TRUE(extender.Extend(prefix, &assignment).ok());
+  const extract::GroupAssignment before = assignment;
+
+  ASSERT_TRUE(extender.Extend(data, &assignment).ok());
+  // The prefix entries and the metadata of already-known groups are
+  // byte-identical; growth is append-only.
+  for (size_t i = 0; i < before.observation_source.size(); ++i) {
+    EXPECT_EQ(assignment.observation_source[i],
+              before.observation_source[i]);
+    EXPECT_EQ(assignment.observation_extractor[i],
+              before.observation_extractor[i]);
+  }
+  for (size_t g = 0; g < before.source_infos.size(); ++g) {
+    EXPECT_EQ(assignment.source_infos[g], before.source_infos[g]);
+  }
+  for (size_t g = 0; g < before.extractor_scopes.size(); ++g) {
+    EXPECT_EQ(assignment.extractor_scopes[g], before.extractor_scopes[g]);
+  }
+  EXPECT_GE(assignment.num_source_groups, before.num_source_groups);
+  EXPECT_GE(assignment.num_extractor_groups, before.num_extractor_groups);
+}
+
+TEST(AssignmentExtenderTest, RejectsMismatchedProgress) {
+  const auto data = MotivatingExample::Dataset();
+  AssignmentExtender extender(StatelessGranularity::kPageSource);
+  extract::GroupAssignment assignment;
+  ASSERT_TRUE(extender.Extend(data, &assignment).ok());
+
+  // A fresh assignment does not match the extender's progress.
+  extract::GroupAssignment fresh;
+  EXPECT_FALSE(extender.Extend(data, &fresh).ok());
+
+  // A shrunk dataset cannot be extended over.
+  extract::RawDataset shrunk = data;
+  shrunk.observations.pop_back();
+  EXPECT_FALSE(extender.Extend(shrunk, &assignment).ok());
+  EXPECT_FALSE(extender.Extend(data, nullptr).ok());
+}
+
 }  // namespace
 }  // namespace kbt::granularity

@@ -104,6 +104,47 @@ TEST(DatasetIoTest, MalformedLineRejected) {
   EXPECT_FALSE(ReadRawDataset(path).ok());
 }
 
+TEST(DatasetIoTest, DuplicateNfalseRejected) {
+  const std::string path = TempPath("dup_nfalse.tsv");
+  {
+    std::ofstream out(path);
+    out << "# kbt-raw-dataset v1\n"
+           "meta 1 1 1 1\n"
+           "nfalse 0 10\n"
+           "nfalse 1 7\n"
+           "nfalse 0 100\n"
+           "obs 0 0 0 0 1 2 1.0 1\n";
+  }
+  const auto result = ReadRawDataset(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The error names the offending predicate and line.
+  EXPECT_NE(result.status().message().find("predicate 0"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("line 5"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(DatasetIoTest, NfalseGapFilledByResizeMayStillBeDeclaredOnce) {
+  const std::string path = TempPath("gap_nfalse.tsv");
+  {
+    // "nfalse 2" resizes predicates 0-1 to the default; declaring predicate
+    // 1 afterwards is the first (and only) declaration, not a duplicate.
+    std::ofstream out(path);
+    out << "# kbt-raw-dataset v1\n"
+           "meta 1 1 1 1\n"
+           "nfalse 2 5\n"
+           "nfalse 1 7\n"
+           "obs 0 0 0 0 1 2 1.0 1\n";
+  }
+  const auto result = ReadRawDataset(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_false_by_predicate.size(), 3u);
+  EXPECT_EQ(result->num_false_by_predicate[0], 10);  // Default fill.
+  EXPECT_EQ(result->num_false_by_predicate[1], 7);
+  EXPECT_EQ(result->num_false_by_predicate[2], 5);
+}
+
 TEST(DatasetIoTest, UnknownTagRejected) {
   const std::string path = TempPath("unknown_tag.tsv");
   {
