@@ -15,11 +15,18 @@
 ///                       .Build();
 ///   auto report = pipeline->Run();                 // StatusOr<TrustReport>
 ///   // report->website_kbt, report->predictions, report->metrics ...
+///
+/// For long-lived serving (many cubes, concurrent consumers, streaming
+/// appends) wrap pipelines in a kbt::api::TrustService (kbt/service.h):
+/// named sessions, non-blocking Submit{Run,Append,RunFrom} returning
+/// std::futures, per-session FIFO, cross-session concurrency on one
+/// executor, and append coalescing.
 
 #include "kbt/data.h"
 #include "kbt/options.h"
 #include "kbt/pipeline.h"
 #include "kbt/report.h"
+#include "kbt/service.h"
 
 // Analysis toolkit shipped with the library: result tables, histograms,
 // timing, the hyperlink-graph PageRank baseline and shared math helpers.

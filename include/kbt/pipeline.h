@@ -78,6 +78,32 @@ class Pipeline {
   const extract::RawDataset& dataset() const;
   const Options& options() const;
 
+  /// Stable 64-bit content fingerprint of the current dataset
+  /// (io::DatasetFingerprint): the cache key for persisting compiled
+  /// artifacts across sessions. Computed lazily and cached; appends
+  /// invalidate the cached value, so the first call after a mutation pays
+  /// one O(observations) pass. Concurrent calls are safe against each
+  /// other, but — like every accessor on this class — not against a
+  /// simultaneous AppendObservations; serialize reads with mutations
+  /// (TrustService's per-session FIFO does exactly that).
+  uint64_t dataset_fingerprint() const;
+
+  /// Shape of the cached compiled problem (slot/item/source/group counts),
+  /// or nullopt when nothing is compiled yet. O(1): serving layers use it
+  /// to inspect cache state without touching the matrix.
+  std::optional<PipelineCounts> shape() const;
+
+  /// Drops the cached granularity assignment and compiled matrix; the next
+  /// run recompiles from the dataset. For callers that mutated shared state
+  /// behind the pipeline's back or want to force a cold compile.
+  void InvalidateCache();
+
+  /// Replaces the executor subsequent runs parallelize through (null means
+  /// serial stages), overriding whatever the builder set. Must not be
+  /// called while a run is in flight. TrustService uses this to point
+  /// adopted pipelines at its shared executor.
+  void AttachExecutor(dataflow::Executor* executor);
+
   /// The cached compiled matrix: non-null after a successful Run() until
   /// the cache is invalidated (appends under stateless granularities patch
   /// it rather than invalidate). Slot/item accessors on it give report

@@ -1,0 +1,138 @@
+#ifndef KBT_API_SERVICE_H_
+#define KBT_API_SERVICE_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/parallel.h"
+#include "extract/raw_dataset.h"
+#include "kbt/pipeline.h"
+#include "kbt/report.h"
+
+namespace kbt::api {
+
+/// Asynchronous multi-session serving layer over Pipeline — the library's
+/// stand-in for the paper's production setting, where KBT sits behind a
+/// search-quality signal and serves many concurrent consumers instead of
+/// running one batch job.
+///
+/// A TrustService owns *named sessions*, each wrapping one Pipeline (one
+/// cube + options + compiled-matrix cache). Requests are submitted without
+/// blocking and return std::futures:
+///
+///   kbt::api::TrustService service;
+///   service.CreateSession("news", std::move(builder));
+///   auto report = service.SubmitRun("news");            // future
+///   service.SubmitAppend("news", delta);                // future<Status>
+///   auto updated = service.SubmitRun("news");
+///   updated.get();          // reflects the delta: per-session FIFO
+///
+/// Scheduling model:
+///  * Requests to ONE session execute FIFO, one at a time, in submission
+///    order (a SerialQueue per session) — a run submitted after an append
+///    always observes it, and results are bit-for-bit what the same
+///    sequence of direct Pipeline calls would produce.
+///  * DISTINCT sessions run concurrently on one shared dataflow::Executor;
+///    each request's parallel stages (EM inference etc.) also run on that
+///    same executor, whose joins donate the waiting thread, so sessions *
+///    stages compose without extra threads or deadlock.
+///  * Consecutive queued appends to one session are COALESCED: while an
+///    append sits queued behind a running request, later appends merge
+///    into it and the whole delta is applied through one
+///    AppendObservations call (one incremental matrix patch). Every
+///    submitter's future still gets the batch's Status. A queued run
+///    closes the window, preserving FIFO visibility.
+///
+/// Thread safety: all public methods may be called from any thread, with
+/// one restriction: CloseSession, Drain and the destructor BLOCK until
+/// queued requests finish, so they must be called from client threads,
+/// never from a task running on the service's executor (a blocked worker
+/// could be the one the drain is waiting for). A submit racing a close is
+/// safe — it either resolves NotFound or executes on the session, which
+/// stays pinned until its last request finishes (the close may return
+/// before that straggler does). The executor (when supplied) must outlive
+/// the service and every returned future.
+class TrustService {
+ public:
+  struct ServiceOptions {
+    /// Shared executor carrying both the request loop and the requests'
+    /// parallel stages. Null selects dataflow::DefaultExecutor().
+    dataflow::Executor* executor = nullptr;
+    /// Merge consecutive queued appends per session into one delta.
+    bool coalesce_appends = true;
+  };
+
+  /// Monotonic request counters, for observability and tests.
+  struct Stats {
+    /// SubmitRun + SubmitRunFrom calls accepted.
+    size_t runs_submitted = 0;
+    /// SubmitAppend calls accepted.
+    size_t appends_submitted = 0;
+    /// Appends that merged into an already-queued batch.
+    size_t appends_coalesced = 0;
+    /// AppendObservations calls actually executed (batches).
+    size_t append_batches_executed = 0;
+  };
+
+  TrustService() : TrustService(ServiceOptions()) {}
+  explicit TrustService(ServiceOptions options);
+  /// Drains every session before returning.
+  ~TrustService();
+
+  TrustService(const TrustService&) = delete;
+  TrustService& operator=(const TrustService&) = delete;
+
+  /// Registers `pipeline` under `name`. Fails with InvalidArgument when
+  /// the name is already taken — in that case the caller's pipeline is
+  /// left untouched (not consumed), so a warm pipeline survives a naming
+  /// collision and can be registered under another name. On success the
+  /// service adopts the pipeline and points it at the shared executor
+  /// (Pipeline::AttachExecutor, overriding any builder-set executor), so
+  /// request tasks and their parallel stages run on one pool.
+  Status CreateSession(const std::string& name, Pipeline&& pipeline);
+
+  /// Convenience: Build() the pipeline and register it in one step.
+  Status CreateSession(const std::string& name, PipelineBuilder builder);
+
+  /// Drains the session's queued requests, then removes it. NotFound when
+  /// no such session exists.
+  Status CloseSession(const std::string& name);
+
+  bool HasSession(const std::string& name) const;
+  std::vector<std::string> SessionNames() const;
+
+  /// Enqueues a Pipeline::Run() on the session. Non-blocking; the future
+  /// resolves to the report (or the run's error Status, or NotFound when
+  /// the session does not exist).
+  std::future<StatusOr<TrustReport>> SubmitRun(const std::string& session);
+
+  /// Enqueues a warm-started Pipeline::RunFrom(previous).
+  std::future<StatusOr<TrustReport>> SubmitRunFrom(const std::string& session,
+                                                   TrustReport previous);
+
+  /// Enqueues Pipeline::AppendObservations(observations). Consecutive
+  /// queued appends coalesce into one call (see class comment); the future
+  /// resolves to that call's Status.
+  std::future<Status> SubmitAppend(
+      const std::string& session,
+      std::vector<extract::RawObservation> observations);
+
+  /// Blocks until every request queued so far on every session finished.
+  void Drain();
+
+  Stats stats() const;
+
+ private:
+  struct Session;
+  struct State;
+  /// Shared (not unique) so request tasks can pin the stats/state they
+  /// touch even if they outlive a racing shutdown.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace kbt::api
+
+#endif  // KBT_API_SERVICE_H_

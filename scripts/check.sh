@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local/CI check: configure, build, test, smoke-run the quickstart and
-# the append-throughput bench (emits BENCH_append.json for trend tooling).
+# Full local/CI check: configure, build, test, smoke-run the quickstart,
+# the serving demo, and the append/serving benches (emitting BENCH_*.json
+# for trend tooling).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,4 +9,6 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/examples/quickstart
+./build/examples/trust_service
 ./build/bench/bench_append_throughput --smoke
+./build/bench/bench_service_throughput --smoke

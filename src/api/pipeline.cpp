@@ -1,6 +1,7 @@
 #include "kbt/pipeline.h"
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -43,6 +44,14 @@ struct Pipeline::Impl {
   std::optional<granularity::AssignmentExtender> extender;
   /// Observations covered by `matrix` (a prefix of the dataset).
   size_t compiled_observations = 0;
+
+  /// Lazily computed io::DatasetFingerprint of `dataset`; reset whenever
+  /// the dataset mutates (appends). The lock makes concurrent *const*
+  /// reads safe against each other (no torn cache); it does NOT license
+  /// reading while AppendObservations mutates the dataset — see the
+  /// accessor's contract in kbt/pipeline.h.
+  mutable std::mutex fingerprint_mutex;
+  mutable std::optional<uint64_t> fingerprint;
 
   void InvalidateCache() {
     assignment.reset();
@@ -365,6 +374,10 @@ Status Pipeline::AppendObservations(
     }
     data.observations.push_back(obs);
   }
+  {
+    std::lock_guard<std::mutex> lock(impl.fingerprint_mutex);
+    impl.fingerprint.reset();  // Content changed; recompute lazily.
+  }
 
   // ---- Incremental recompilation: extend the cached assignment with the
   // delta (group ids are stable for stateless granularities) and patch the
@@ -405,6 +418,35 @@ const extract::RawDataset& Pipeline::dataset() const {
 }
 
 const Options& Pipeline::options() const { return impl_->options; }
+
+uint64_t Pipeline::dataset_fingerprint() const {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lock(impl.fingerprint_mutex);
+  if (!impl.fingerprint) {
+    impl.fingerprint = io::DatasetFingerprint(*impl.dataset);
+  }
+  return *impl.fingerprint;
+}
+
+std::optional<PipelineCounts> Pipeline::shape() const {
+  const Impl& impl = *impl_;
+  if (!impl.matrix) return std::nullopt;
+  PipelineCounts counts;
+  counts.num_observations = impl.compiled_observations;
+  counts.num_slots = impl.matrix->num_slots();
+  counts.num_items = impl.matrix->num_items();
+  counts.num_extractions = impl.matrix->num_extractions();
+  counts.num_sources = impl.matrix->num_sources();
+  counts.num_extractor_groups = impl.matrix->num_extractor_groups();
+  counts.num_websites = impl.dataset->num_websites;
+  return counts;
+}
+
+void Pipeline::InvalidateCache() { impl_->InvalidateCache(); }
+
+void Pipeline::AttachExecutor(dataflow::Executor* executor) {
+  impl_->executor = executor;
+}
 
 const extract::CompiledMatrix* Pipeline::compiled_matrix() const {
   return impl_->matrix ? &*impl_->matrix : nullptr;

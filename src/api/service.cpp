@@ -1,0 +1,262 @@
+#include "kbt/service.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace kbt::api {
+
+namespace {
+
+/// An append batch open for coalescing: the delta accumulated so far and
+/// one promise per SubmitAppend call that joined it. Owned jointly by the
+/// session (while the window is open) and by the queued task that will
+/// apply it.
+struct PendingAppend {
+  std::vector<extract::RawObservation> observations;
+  std::vector<std::promise<Status>> promises;
+};
+
+template <typename T>
+std::future<T> ReadyFuture(T value) {
+  std::promise<T> promise;
+  promise.set_value(std::move(value));
+  return promise.get_future();
+}
+
+}  // namespace
+
+struct TrustService::Session {
+  Session(Pipeline p, ThreadPool* pool)
+      : pipeline(std::move(p)), queue(pool) {}
+
+  Pipeline pipeline;
+  /// Per-session strand on the shared pool: the FIFO guarantee.
+  SerialQueue queue;
+
+  /// Guards the coalescing window. Ordering between this and the service
+  /// mutex: never held together.
+  std::mutex mutex;
+  /// The queued-but-not-started append batch new appends may merge into;
+  /// null when the window is closed (nothing queued, or a run was queued
+  /// after the batch).
+  std::shared_ptr<PendingAppend> open_append;
+};
+
+struct TrustService::State {
+  ServiceOptions options;
+  dataflow::Executor* executor = nullptr;
+
+  /// Guards `sessions` only; the counters are lock-free so the submit fast
+  /// path of one session never contends with another's.
+  mutable std::mutex mutex;
+  /// shared_ptr ownership: a request task (or a caller-held future chain)
+  /// pins its Session, so CloseSession racing a submit frees nothing that
+  /// is still in use.
+  std::map<std::string, std::shared_ptr<Session>> sessions;
+
+  std::atomic<size_t> runs_submitted{0};
+  std::atomic<size_t> appends_submitted{0};
+  std::atomic<size_t> appends_coalesced{0};
+  std::atomic<size_t> append_batches_executed{0};
+
+  std::shared_ptr<Session> Find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = sessions.find(name);
+    return it == sessions.end() ? nullptr : it->second;
+  }
+};
+
+TrustService::TrustService(ServiceOptions options)
+    : state_(std::make_shared<State>()) {
+  state_->options = options;
+  state_->executor =
+      options.executor != nullptr ? options.executor
+                                  : &dataflow::DefaultExecutor();
+}
+
+TrustService::~TrustService() { Drain(); }
+
+Status TrustService::CreateSession(const std::string& name,
+                                   Pipeline&& pipeline) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->sessions.count(name) != 0) {
+    // Checked before consuming `pipeline`: a naming collision leaves the
+    // caller's (possibly expensively warmed) pipeline intact.
+    return Status::InvalidArgument("session '" + name + "' already exists");
+  }
+  // Request tasks and the stages inside them share one pool: the adopted
+  // pipeline's parallel loops must run on the service executor (whose
+  // joins are reentrant), whatever the builder had attached.
+  pipeline.AttachExecutor(state_->executor);
+  state_->sessions.emplace(
+      name, std::make_shared<Session>(std::move(pipeline),
+                                      &state_->executor->pool()));
+  return Status::OK();
+}
+
+Status TrustService::CreateSession(const std::string& name,
+                                   PipelineBuilder builder) {
+  StatusOr<Pipeline> pipeline = builder.Build();
+  if (!pipeline.ok()) return pipeline.status();
+  return CreateSession(name, std::move(*pipeline));
+}
+
+Status TrustService::CloseSession(const std::string& name) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    const auto it = state_->sessions.find(name);
+    if (it == state_->sessions.end()) {
+      return Status::NotFound("no session '" + name + "'");
+    }
+    session = std::move(it->second);
+    state_->sessions.erase(it);
+  }
+  // Drain outside the service lock. Requests already queued (and any a
+  // racing submitter slips in through a Find() it performed before the
+  // erase) still hold the Session alive via their shared_ptr captures;
+  // the object is freed when the last of them finishes.
+  session->queue.Wait();
+  return Status::OK();
+}
+
+bool TrustService::HasSession(const std::string& name) const {
+  return state_->Find(name) != nullptr;
+}
+
+std::vector<std::string> TrustService::SessionNames() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::vector<std::string> names;
+  names.reserve(state_->sessions.size());
+  for (const auto& [name, session] : state_->sessions) names.push_back(name);
+  return names;
+}
+
+std::future<StatusOr<TrustReport>> TrustService::SubmitRun(
+    const std::string& session_name) {
+  std::shared_ptr<Session> session = state_->Find(session_name);
+  if (session == nullptr) {
+    return ReadyFuture<StatusOr<TrustReport>>(
+        Status::NotFound("no session '" + session_name + "'"));
+  }
+  state_->runs_submitted.fetch_add(1, std::memory_order_relaxed);
+  // The window close and the enqueue happen atomically under the session
+  // mutex (lock order: session -> queue -> pool, never inverted): a run
+  // closes the coalescing window, and appends submitted after this call
+  // returns land behind the run on the strand.
+  std::lock_guard<std::mutex> lock(session->mutex);
+  session->open_append.reset();
+  return session->queue.SubmitWithResult(
+      [session] { return session->pipeline.Run(); });
+}
+
+std::future<StatusOr<TrustReport>> TrustService::SubmitRunFrom(
+    const std::string& session_name, TrustReport previous) {
+  std::shared_ptr<Session> session = state_->Find(session_name);
+  if (session == nullptr) {
+    return ReadyFuture<StatusOr<TrustReport>>(
+        Status::NotFound("no session '" + session_name + "'"));
+  }
+  state_->runs_submitted.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(session->mutex);
+  session->open_append.reset();
+  return session->queue.SubmitWithResult(
+      [session, previous = std::move(previous)] {
+        return session->pipeline.RunFrom(previous);
+      });
+}
+
+std::future<Status> TrustService::SubmitAppend(
+    const std::string& session_name,
+    std::vector<extract::RawObservation> observations) {
+  std::shared_ptr<Session> session = state_->Find(session_name);
+  if (session == nullptr) {
+    return ReadyFuture<Status>(
+        Status::NotFound("no session '" + session_name + "'"));
+  }
+  state_->appends_submitted.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<PendingAppend> batch;
+  std::future<Status> future;
+  {
+    // Window inspection, batch creation AND the strand enqueue happen
+    // under one session-mutex hold: publishing an open window whose task
+    // is not yet queued would let a racing run jump ahead of an append
+    // that already merged into it and returned to its caller.
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (state_->options.coalesce_appends && session->open_append != nullptr) {
+      // Merge into the batch already queued on the strand; the single
+      // AppendObservations call will resolve this future too.
+      PendingAppend& open = *session->open_append;
+      open.observations.insert(
+          open.observations.end(),
+          std::make_move_iterator(observations.begin()),
+          std::make_move_iterator(observations.end()));
+      open.promises.emplace_back();
+      future = open.promises.back().get_future();
+    } else {
+      batch = std::make_shared<PendingAppend>();
+      batch->observations = std::move(observations);
+      batch->promises.emplace_back();
+      future = batch->promises.back().get_future();
+      if (state_->options.coalesce_appends) session->open_append = batch;
+      session->queue.Submit([state = state_, session, batch] {
+        std::vector<extract::RawObservation> merged;
+        std::vector<std::promise<Status>> promises;
+        {
+          // Close the window before touching the pipeline: appends
+          // submitted from here on start a new batch (and a new task).
+          std::lock_guard<std::mutex> lock(session->mutex);
+          merged = std::move(batch->observations);
+          promises = std::move(batch->promises);
+          if (session->open_append == batch) session->open_append.reset();
+        }
+        const Status status = session->pipeline.AppendObservations(merged);
+        state->append_batches_executed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        for (std::promise<Status>& promise : promises) {
+          promise.set_value(status);
+        }
+      });
+    }
+  }
+  if (batch == nullptr) {
+    state_->appends_coalesced.fetch_add(1, std::memory_order_relaxed);
+  }
+  return future;
+}
+
+void TrustService::Drain() {
+  // Snapshot under the lock, wait outside it: a draining request may be
+  // long, and request tasks never touch the session map.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    sessions.reserve(state_->sessions.size());
+    for (const auto& [name, session] : state_->sessions) {
+      sessions.push_back(session);
+    }
+  }
+  for (const std::shared_ptr<Session>& session : sessions) {
+    session->queue.Wait();
+  }
+}
+
+TrustService::Stats TrustService::stats() const {
+  Stats stats;
+  stats.runs_submitted =
+      state_->runs_submitted.load(std::memory_order_relaxed);
+  stats.appends_submitted =
+      state_->appends_submitted.load(std::memory_order_relaxed);
+  stats.appends_coalesced =
+      state_->appends_coalesced.load(std::memory_order_relaxed);
+  stats.append_batches_executed =
+      state_->append_batches_executed.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace kbt::api

@@ -102,6 +102,9 @@ class StatusOr {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  /// Dereferencing a temporary StatusOr moves the value out, so move-only
+  /// payloads (e.g. api::Pipeline) flow through `Consume(*Produce())`.
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 

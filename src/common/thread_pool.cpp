@@ -4,6 +4,10 @@
 
 namespace kbt {
 
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -36,6 +40,24 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+    if (queue_.empty() && active_ == 0) all_done_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -58,6 +80,135 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty() && active_ == 0) all_done_.notify_all();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------------
+
+struct TaskGroup::Entry {
+  explicit Entry(std::function<void()> f) : fn(std::move(f)) {}
+  std::function<void()> fn;
+  /// First claimant (pool wrapper or helping waiter) runs fn; the loser
+  /// no-ops. exchange() decides the race.
+  std::atomic<bool> claimed{false};
+};
+
+struct TaskGroup::State {
+  std::mutex mutex;
+  std::condition_variable done;
+  /// Tasks submitted and not yet finished (queued, claimed or running).
+  size_t outstanding = 0;
+  /// Submission-ordered entries a helping waiter may claim. Entries the
+  /// pool ran stay here (claimed) until a Wait() pops past them.
+  std::deque<std::shared_ptr<Entry>> pending;
+};
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  auto entry = std::make_shared<Entry>(std::move(task));
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->outstanding;
+    state_->pending.push_back(entry);
+  }
+  // A parked waiter re-checks and can claim the new entry itself (pool
+  // workers may all be busy or parked in their own joins).
+  state_->done.notify_all();
+  pool_->Submit([state = state_, entry] {
+    if (entry->claimed.exchange(true)) return;  // A waiter ran it inline.
+    entry->fn();
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (--state->outstanding == 0) state->done.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  State& state = *state_;
+  std::unique_lock<std::mutex> lock(state.mutex);
+  while (state.outstanding > 0) {
+    // Donate this thread to the group's own not-yet-started tasks instead
+    // of sleeping: a blocked waiter never strands its own queued work,
+    // which makes nested joins on a saturated pool deadlock-free — while
+    // never inlining unrelated (possibly long) pool tasks.
+    std::shared_ptr<Entry> entry;
+    while (!state.pending.empty()) {
+      std::shared_ptr<Entry> candidate = std::move(state.pending.front());
+      state.pending.pop_front();
+      if (!candidate->claimed.exchange(true)) {
+        entry = std::move(candidate);
+        break;
+      }
+    }
+    if (entry != nullptr) {
+      lock.unlock();
+      entry->fn();
+      lock.lock();
+      if (--state.outstanding == 0) state.done.notify_all();
+      continue;
+    }
+    // Every unfinished task is claimed, i.e. running on some other thread;
+    // park until the count drops or a new submission arrives to help with.
+    state.done.wait(lock, [&state] {
+      return state.outstanding == 0 || !state.pending.empty();
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SerialQueue
+// ---------------------------------------------------------------------------
+
+SerialQueue::SerialQueue(ThreadPool* pool) : pool_(pool) {}
+
+SerialQueue::~SerialQueue() { Wait(); }
+
+void SerialQueue::Submit(std::function<void()> task) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    if (!running_) {
+      running_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) pool_->Submit([this] { DrainOne(); });
+}
+
+void SerialQueue::DrainOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      running_ = false;
+      idle_.notify_all();
+      return;
+    }
+  }
+  // Round-robin fairness: go to the back of the pool's queue between tasks
+  // so other strands sharing the pool get a turn.
+  pool_->Submit([this] { DrainOne(); });
+}
+
+void SerialQueue::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return !running_ && queue_.empty(); });
+}
+
+size_t SerialQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + (running_ ? 1 : 0);
 }
 
 }  // namespace kbt

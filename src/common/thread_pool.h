@@ -4,15 +4,46 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace kbt {
 
-/// Fixed-size worker pool with a FIFO task queue. `Wait()` blocks until every
-/// task submitted so far has finished, which is the synchronization primitive
-/// the dataflow layer's parallel stages are built on.
+namespace internal {
+/// Shared plumbing behind the SubmitWithResult methods: wraps `fn` in a
+/// packaged_task (capturing its value or exception into the future) and
+/// hands the wrapper to `target.Submit`.
+template <typename Target, typename F, typename R = std::invoke_result_t<F>>
+std::future<R> SubmitPackaged(Target& target, F fn) {
+  auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+  std::future<R> future = task->get_future();
+  target.Submit([task] { (*task)(); });
+  return future;
+}
+}  // namespace internal
+
+/// Fixed-size worker pool with a FIFO task queue — the substrate every
+/// concurrent layer of the library runs on. Three idioms are built on it:
+///
+///  * fire-and-forget `Submit` + global `Wait` (the original dataflow
+///    barrier);
+///  * result-returning `SubmitWithResult`, which wraps the task in a
+///    `std::packaged_task` so values *and exceptions* come back through a
+///    `std::future` (the serving layer's request primitive);
+///  * cooperative scheduling: `TaskGroup` (scoped fork-join whose waiters
+///    run the group's own queued tasks inline, safe to nest inside pool
+///    tasks) and `SerialQueue` (per-key FIFO strand) below, plus
+///    `TryRunOneTask` for callers that want to drain arbitrary queued
+///    work on their own thread.
+///
+/// Tasks submitted through plain `Submit` must not throw: an escaping
+/// exception would unwind through the worker loop and terminate. Use
+/// `SubmitWithResult` when failure is a result.
 class ThreadPool {
  public:
   /// `num_threads` <= 0 selects the hardware concurrency (at least 1).
@@ -25,8 +56,31 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` are captured and rethrown from `future.get()`.
+  template <typename F>
+  auto SubmitWithResult(F fn) {
+    return internal::SubmitPackaged(*this, std::move(fn));
+  }
+
+  /// Blocks until the queue is empty and no task is running. This drains
+  /// every task submitted before the call *and* every task those tasks
+  /// submit transitively: a submitter running on a worker is still counted
+  /// as active while it enqueues children, so the drain condition cannot
+  /// pass before the children finish too. Tasks submitted by *other*
+  /// threads concurrently with Wait() may or may not be covered.
+  ///
+  /// Must be called from outside the pool's workers: a pool task calling
+  /// Wait() would wait for itself to finish. Fork-join inside a task goes
+  /// through TaskGroup, whose Wait() is worker-safe.
   void Wait();
+
+  /// If a task is queued, runs it on the *calling* thread and returns true;
+  /// returns false when the queue is empty (tasks may still be running on
+  /// workers). For external callers that want to drain queued work on
+  /// their own thread; note TaskGroup::Wait does NOT use this — it donates
+  /// only to its own group's tasks via its claim loop.
+  bool TryRunOneTask();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -40,6 +94,99 @@ class ThreadPool {
   std::condition_variable all_done_;
   int active_ = 0;
   bool shutting_down_ = false;
+};
+
+/// Scoped fork-join over a shared ThreadPool: submit a batch of tasks, then
+/// Wait() for exactly that batch (not the whole pool). While waiting, the
+/// caller *helps*: it claims and runs this group's not-yet-started tasks on
+/// its own thread, so a TaskGroup is safe to use from inside another pool
+/// task — the nested join can never deadlock on a saturated pool, because
+/// every blocked waiter either executes its own queued work or waits on
+/// group tasks already running on other threads. Donation is restricted to
+/// the group's OWN tasks (never arbitrary pool work), which keeps the
+/// helper's stack depth bounded by the fork-join nesting depth and keeps a
+/// short join from inlining some unrelated long-running task. This is what
+/// makes one Executor shareable between a serving loop and the parallel
+/// stages running inside its requests.
+///
+/// Tasks must not throw (they run through ThreadPool::Submit). The
+/// destructor waits for stragglers.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `task` on the pool as part of this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to this group has finished, running
+  /// this group's queued tasks on this thread while it waits.
+  void Wait();
+
+ private:
+  /// One submitted task: runnable exactly once, by whichever of the pool
+  /// worker or a helping waiter claims it first.
+  struct Entry;
+  /// Bookkeeping shared with the pool-side wrappers, so a wrapper that
+  /// fires after the group object is gone (its entry was claimed by a
+  /// helper) still touches live state.
+  struct State;
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
+/// Per-key FIFO serialization on a shared ThreadPool (a "strand"): tasks
+/// submitted to one SerialQueue run one at a time, in submission order, on
+/// pool workers — while tasks on *different* SerialQueues over the same
+/// pool run concurrently. The queue reschedules itself after every task, so
+/// one busy key cannot starve its siblings. This is the per-session
+/// execution order guarantee behind api::TrustService.
+///
+/// The queue must outlive its tasks; the destructor drains. Wait() parks
+/// without donating its thread (unlike TaskGroup::Wait), so it must be
+/// called from outside the pool: a pool task calling it can deadlock a
+/// saturated pool, and a task on this same queue would wait on itself.
+/// Plain Submit tasks must not throw; SubmitWithResult captures
+/// exceptions into the returned future.
+class SerialQueue {
+ public:
+  explicit SerialQueue(ThreadPool* pool);
+  ~SerialQueue();
+
+  SerialQueue(const SerialQueue&) = delete;
+  SerialQueue& operator=(const SerialQueue&) = delete;
+
+  /// Enqueues `task` after everything already submitted to this queue.
+  void Submit(std::function<void()> task);
+
+  /// Enqueues `fn` and returns a future for its result (exceptions are
+  /// captured and rethrown from `future.get()`).
+  template <typename F>
+  auto SubmitWithResult(F fn) {
+    return internal::SubmitPackaged(*this, std::move(fn));
+  }
+
+  /// Blocks until every task submitted to this queue so far (and any they
+  /// submit back onto it) has finished.
+  void Wait();
+
+  /// Tasks submitted but not yet finished (including the running one).
+  size_t pending() const;
+
+ private:
+  /// Runs the front task on a pool worker, then reschedules itself while
+  /// work remains.
+  void DrainOne();
+
+  ThreadPool* pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  bool running_ = false;
 };
 
 }  // namespace kbt

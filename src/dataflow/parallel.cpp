@@ -28,11 +28,15 @@ void Executor::ParallelForRanges(
     return;
   }
   const size_t chunk_size = (n + chunks - 1) / chunks;
-  for (size_t begin = 0; begin < n; begin += chunk_size) {
+  TaskGroup group(pool_.get());
+  for (size_t begin = chunk_size; begin < n; begin += chunk_size) {
     const size_t end = std::min(begin + chunk_size, n);
-    pool_->Submit([&fn, begin, end] { fn(begin, end); });
+    group.Submit([&fn, begin, end] { fn(begin, end); });
   }
-  pool_->Wait();
+  // The caller works the first chunk instead of idling, then joins (and
+  // keeps helping with queued chunks while the group drains).
+  fn(0, std::min(chunk_size, n));
+  group.Wait();
 }
 
 void Executor::ParallelForGroups(size_t num_groups,
@@ -42,10 +46,12 @@ void Executor::ParallelForGroups(size_t num_groups,
     fn(0);
     return;
   }
-  for (size_t g = 0; g < num_groups; ++g) {
-    pool_->Submit([&fn, g] { fn(g); });
+  TaskGroup group(pool_.get());
+  for (size_t g = 1; g < num_groups; ++g) {
+    group.Submit([&fn, g] { fn(g); });
   }
-  pool_->Wait();
+  fn(0);
+  group.Wait();
 }
 
 Executor& DefaultExecutor() {

@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <memory>
+#include <type_traits>
+#include <utility>
 
 #include "common/thread_pool.h"
 
@@ -19,6 +22,19 @@ namespace kbt::dataflow {
 ///    hundred times more triples than its peers becomes a straggler and
 ///    dominates the stage's wall clock - exactly the pathology
 ///    SPLITANDMERGE (Section 4) removes.
+///
+/// The parallel loops join through a scoped TaskGroup (never the pool-wide
+/// barrier), and a joining caller donates its thread to the loop's own
+/// remaining chunks, so the loops are *reentrant*: a task already running
+/// on this executor can open another ParallelFor without deadlocking a
+/// saturated pool. That is what lets one executor be shared between
+/// api::TrustService's request loop and the parallel stages running inside
+/// each request.
+///
+/// Beyond the loops, the executor exposes the underlying task interface:
+/// `Submit` schedules one task and returns its result (and any exception)
+/// through a std::future, and `pool()` hands out the ThreadPool for
+/// building SerialQueues / TaskGroups on the same workers.
 class Executor {
  public:
   /// `num_threads` <= 0 selects hardware concurrency.
@@ -30,7 +46,8 @@ class Executor {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// Runs `fn(begin, end)` over contiguous chunks covering [0, n).
-  /// `num_chunks` <= 0 picks 4 chunks per worker. Blocks until done.
+  /// `num_chunks` <= 0 picks 4 chunks per worker. Blocks until done. The
+  /// calling thread executes the first chunk itself.
   void ParallelForRanges(size_t n,
                          const std::function<void(size_t, size_t)>& fn,
                          int num_chunks = 0);
@@ -40,6 +57,17 @@ class Executor {
   /// skewed group serializes the stage (the Table 7 "Normal" column).
   void ParallelForGroups(size_t num_groups,
                          const std::function<void(size_t)>& fn);
+
+  /// Schedules `fn` on the pool and returns a future for its result.
+  /// Exceptions thrown by `fn` are rethrown from `future.get()`.
+  template <typename F, typename R = std::invoke_result_t<F>>
+  std::future<R> Submit(F fn) {
+    return pool_->SubmitWithResult(std::move(fn));
+  }
+
+  /// The worker pool behind this executor, for layering per-key
+  /// SerialQueues or explicit TaskGroups onto the same threads.
+  ThreadPool& pool() { return *pool_; }
 
  private:
   std::unique_ptr<ThreadPool> pool_;

@@ -1,6 +1,7 @@
 #ifndef KBT_IO_DATASET_IO_H_
 #define KBT_IO_DATASET_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,21 @@ StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path);
 /// Everything downstream (granularity assignment, matrix compilation)
 /// indexes by these ids, so this is the precondition for the whole stack.
 Status ValidateRawDataset(const extract::RawDataset& dataset);
+
+/// Stable 64-bit content fingerprint of a RawDataset: covers the meta
+/// counts, per-predicate domain sizes, true values and the observation
+/// sequence (ids, confidence bit patterns, provided flags). Equal content
+/// always yields an equal fingerprint — independent of how the dataset was
+/// produced (generated, loaded, appended to), of the platform, and of the
+/// true_values hash-map iteration order; any content change yields a
+/// different fingerprint except for 64-bit hash collisions, so this is a
+/// *probabilistic* cache key (collisions are astronomically unlikely for
+/// accidental changes, not impossible). Use it to key persisted compiled
+/// artifacts (granularity assignments, compiled matrices) across
+/// sessions, pairing it with cheap shape checks (observation/meta counts)
+/// where a stale artifact would corrupt results rather than just waste a
+/// recompile.
+uint64_t DatasetFingerprint(const extract::RawDataset& dataset);
 
 /// Writes triple predictions:
 ///   # kbt-predictions v1

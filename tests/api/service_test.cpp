@@ -1,0 +1,484 @@
+// Integration tests of kbt::api::TrustService. The contract under test:
+//  * served results are bit-for-bit what the same sequence of direct
+//    Pipeline calls produces (per session, with or without a shared
+//    executor attached to the pipelines);
+//  * requests to one session execute FIFO in submission order;
+//  * consecutive queued appends coalesce into one AppendObservations call
+//    whose Status resolves every submitter's future;
+//  * distinct sessions make progress concurrently on one shared executor;
+//  * lifecycle + error surface: unknown sessions, duplicate names, close.
+#include "kbt/kbt.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kbt::api {
+namespace {
+
+exp::SyntheticConfig SmallSynthetic(uint64_t seed) {
+  exp::SyntheticConfig config;
+  config.num_sources = 15;
+  config.num_extractors = 4;
+  config.seed = seed;
+  return config;
+}
+
+Options ServingOptions() {
+  Options options;
+  options.granularity = Granularity::kFinest;
+  options.multilayer.min_source_support = 1;
+  options.multilayer.min_extractor_support = 1;
+  return options;
+}
+
+extract::RawDataset SyntheticCube(uint64_t seed) {
+  return exp::GenerateSynthetic(SmallSynthetic(seed)).data;
+}
+
+void ExpectVectorsEqual(const std::vector<double>& a,
+                        const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-for-bit: served and direct paths run the same float program.
+    ASSERT_EQ(a[i], b[i]) << what << "[" << i << "]";
+  }
+}
+
+void ExpectReportsEqual(const TrustReport& a, const TrustReport& b) {
+  ASSERT_EQ(a.counts.num_observations, b.counts.num_observations);
+  ASSERT_EQ(a.counts.num_slots, b.counts.num_slots);
+  ASSERT_EQ(a.counts.num_sources, b.counts.num_sources);
+  ASSERT_EQ(a.counts.num_extractor_groups, b.counts.num_extractor_groups);
+  ExpectVectorsEqual(a.inference.slot_value_prob, b.inference.slot_value_prob,
+                     "slot_value_prob");
+  ExpectVectorsEqual(a.inference.slot_correct_prob,
+                     b.inference.slot_correct_prob, "slot_correct_prob");
+  ExpectVectorsEqual(a.inference.source_accuracy, b.inference.source_accuracy,
+                     "source_accuracy");
+  ExpectVectorsEqual(a.inference.extractor_q, b.inference.extractor_q,
+                     "extractor_q");
+  ASSERT_EQ(a.website_kbt.size(), b.website_kbt.size());
+  for (size_t w = 0; w < a.website_kbt.size(); ++w) {
+    ASSERT_EQ(a.website_kbt[w].kbt, b.website_kbt[w].kbt) << w;
+    ASSERT_EQ(a.website_kbt[w].evidence, b.website_kbt[w].evidence) << w;
+  }
+  ASSERT_EQ(a.iterations(), b.iterations());
+  ASSERT_EQ(a.converged(), b.converged());
+}
+
+StatusOr<Pipeline> BuildPipeline(uint64_t seed,
+                                 dataflow::Executor* executor = nullptr) {
+  PipelineBuilder builder;
+  builder.FromDataset(SyntheticCube(seed)).WithOptions(ServingOptions());
+  if (executor != nullptr) builder.WithExecutor(executor);
+  return builder.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Parity: served == direct, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(TrustServiceTest, ServedRunMatchesDirectPipelineRun) {
+  auto direct = BuildPipeline(11);
+  ASSERT_TRUE(direct.ok());
+  const auto expected = direct->Run();
+  ASSERT_TRUE(expected.ok());
+
+  TrustService service;
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(11)).ok());
+  auto served = service.SubmitRun("s").get();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ExpectReportsEqual(*served, *expected);
+}
+
+TEST(TrustServiceTest, ServedRunWithSharedExecutorMatchesDirectRun) {
+  // The pipelines' parallel stages run on the SAME executor that carries
+  // the service's request tasks — the nested-join composition. Results
+  // must still be deterministic and equal to the sequential run.
+  dataflow::Executor executor(4);
+  auto direct = BuildPipeline(12, &executor);
+  ASSERT_TRUE(direct.ok());
+  const auto expected = direct->Run();
+  ASSERT_TRUE(expected.ok());
+
+  TrustService::ServiceOptions service_options;
+  service_options.executor = &executor;
+  TrustService service(service_options);
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(12, &executor)).ok());
+  auto served = service.SubmitRun("s").get();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ExpectReportsEqual(*served, *expected);
+}
+
+TEST(TrustServiceTest, ServedAppendThenRunMatchesDirectSequence) {
+  const extract::RawDataset full = SyntheticCube(13);
+  const size_t base_size = full.size() - 40;
+  std::vector<extract::RawObservation> delta(
+      full.observations.begin() + static_cast<long>(base_size),
+      full.observations.end());
+  extract::RawDataset base = full;
+  base.observations.resize(base_size);
+
+  // Direct sequence.
+  auto direct = PipelineBuilder()
+                    .FromDataset(extract::RawDataset(base))
+                    .WithOptions(ServingOptions())
+                    .Build();
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct->Run().ok());
+  ASSERT_TRUE(direct->AppendObservations(delta).ok());
+  const auto expected = direct->Run();
+  ASSERT_TRUE(expected.ok());
+
+  // Served sequence: run, append, run — FIFO on one session.
+  TrustService service;
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(std::move(base))
+                      .WithOptions(ServingOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(service.CreateSession("s", std::move(*pipeline)).ok());
+  auto first = service.SubmitRun("s");
+  auto appended = service.SubmitAppend("s", delta);
+  auto second = service.SubmitRun("s");
+
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(appended.get().ok());
+  auto served = second.get();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->counts.num_observations, full.size());
+  ExpectReportsEqual(*served, *expected);
+}
+
+TEST(TrustServiceTest, ServedRunFromMatchesDirectWarmStart) {
+  auto direct = BuildPipeline(14);
+  ASSERT_TRUE(direct.ok());
+  const auto cold = direct->Run();
+  ASSERT_TRUE(cold.ok());
+  const auto warm = direct->RunFrom(*cold);
+  ASSERT_TRUE(warm.ok());
+
+  TrustService service;
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(14)).ok());
+  auto served_cold = service.SubmitRun("s").get();
+  ASSERT_TRUE(served_cold.ok());
+  auto served_warm = service.SubmitRunFrom("s", *served_cold).get();
+  ASSERT_TRUE(served_warm.ok());
+  ExpectReportsEqual(*served_warm, *warm);
+}
+
+// ---------------------------------------------------------------------------
+// FIFO order + append coalescing.
+// ---------------------------------------------------------------------------
+
+/// Parks `n` blocker tasks on the executor and waits until all its workers
+/// are pinned, so subsequently submitted service requests stay queued
+/// until `release` flips. This makes queue-order tests deterministic.
+class WorkerPins {
+ public:
+  WorkerPins(dataflow::Executor& executor, int n) {
+    for (int i = 0; i < n; ++i) {
+      futures_.push_back(executor.Submit([this] {
+        started_.fetch_add(1);
+        while (!release_.load()) std::this_thread::yield();
+      }));
+    }
+    while (started_.load() < n) std::this_thread::yield();
+  }
+  void Release() {
+    release_.store(true);
+    for (auto& f : futures_) f.get();
+  }
+
+ private:
+  std::atomic<int> started_{0};
+  std::atomic<bool> release_{false};
+  std::vector<std::future<void>> futures_;
+};
+
+TEST(TrustServiceTest, QueuedAppendsCoalesceIntoOneBatch) {
+  dataflow::Executor executor(2);
+  TrustService::ServiceOptions service_options;
+  service_options.executor = &executor;
+  TrustService service(service_options);
+
+  const extract::RawDataset full = SyntheticCube(15);
+  const size_t base_size = full.size() - 30;
+  extract::RawDataset base = full;
+  base.observations.resize(base_size);
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(std::move(base))
+                      .WithOptions(ServingOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(service.CreateSession("s", std::move(*pipeline)).ok());
+
+  {
+    // Pin both workers so everything below queues without starting.
+    WorkerPins pins(executor, 2);
+    auto run1 = service.SubmitRun("s");
+    // Three appends of 10 observations each, queued back to back: they
+    // must merge into ONE AppendObservations call.
+    std::vector<std::future<Status>> appends;
+    for (int b = 0; b < 3; ++b) {
+      appends.push_back(service.SubmitAppend(
+          "s", std::vector<extract::RawObservation>(
+                   full.observations.begin() +
+                       static_cast<long>(base_size + 10 * b),
+                   full.observations.begin() +
+                       static_cast<long>(base_size + 10 * (b + 1)))));
+    }
+    auto run2 = service.SubmitRun("s");
+    pins.Release();
+
+    auto first = run1.get();
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first->counts.num_observations, base_size);  // FIFO: pre-append.
+    for (auto& f : appends) EXPECT_TRUE(f.get().ok());
+    auto second = run2.get();
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second->counts.num_observations, full.size());  // Sees all 30.
+  }
+
+  const TrustService::Stats stats = service.stats();
+  EXPECT_EQ(stats.runs_submitted, 2u);
+  EXPECT_EQ(stats.appends_submitted, 3u);
+  EXPECT_EQ(stats.appends_coalesced, 2u);
+  EXPECT_EQ(stats.append_batches_executed, 1u);
+}
+
+TEST(TrustServiceTest, RunClosesTheCoalescingWindow) {
+  dataflow::Executor executor(2);
+  TrustService::ServiceOptions service_options;
+  service_options.executor = &executor;
+  TrustService service(service_options);
+
+  const extract::RawDataset full = SyntheticCube(16);
+  const size_t base_size = full.size() - 20;
+  extract::RawDataset base = full;
+  base.observations.resize(base_size);
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(std::move(base))
+                      .WithOptions(ServingOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(service.CreateSession("s", std::move(*pipeline)).ok());
+
+  {
+    WorkerPins pins(executor, 2);
+    const auto slice = [&](size_t begin, size_t count) {
+      return std::vector<extract::RawObservation>(
+          full.observations.begin() + static_cast<long>(base_size + begin),
+          full.observations.begin() +
+              static_cast<long>(base_size + begin + count));
+    };
+    auto append1 = service.SubmitAppend("s", slice(0, 10));
+    auto run = service.SubmitRun("s");
+    // Submitted after the run: must NOT merge into append1's batch (the
+    // run in between has to observe exactly the first delta).
+    auto append2 = service.SubmitAppend("s", slice(10, 10));
+    pins.Release();
+
+    EXPECT_TRUE(append1.get().ok());
+    auto mid = run.get();
+    ASSERT_TRUE(mid.ok());
+    EXPECT_EQ(mid->counts.num_observations, base_size + 10);
+    EXPECT_TRUE(append2.get().ok());
+  }
+  const TrustService::Stats stats = service.stats();
+  EXPECT_EQ(stats.appends_submitted, 2u);
+  EXPECT_EQ(stats.appends_coalesced, 0u);
+  EXPECT_EQ(stats.append_batches_executed, 2u);
+}
+
+TEST(TrustServiceTest, CoalescedAppendErrorResolvesEveryFuture) {
+  dataflow::Executor executor(2);
+  TrustService::ServiceOptions service_options;
+  service_options.executor = &executor;
+  TrustService service(service_options);
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(17)).ok());
+
+  // An observation with an invalid id poisons the whole merged batch; both
+  // submitters must see the same InvalidArgument.
+  extract::RawObservation good = SyntheticCube(17).observations.front();
+  extract::RawObservation bad = good;
+  bad.value = kb::kInvalidId;
+  {
+    WorkerPins pins(executor, 2);
+    auto f1 = service.SubmitAppend("s", {good});
+    auto f2 = service.SubmitAppend("s", {bad});
+    pins.Release();
+    const Status s1 = f1.get();
+    const Status s2 = f2.get();
+    EXPECT_EQ(s1.code(), StatusCode::kInvalidArgument) << s1.ToString();
+    EXPECT_EQ(s2.code(), StatusCode::kInvalidArgument) << s2.ToString();
+  }
+  EXPECT_EQ(service.stats().append_batches_executed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency across sessions.
+// ---------------------------------------------------------------------------
+
+TEST(TrustServiceTest, DistinctSessionsServeConcurrently) {
+  // Four sessions, four client threads firing runs at once: everything
+  // must complete (no cross-session blocking), and each session's result
+  // must still equal its own direct sequential run — concurrency across
+  // sessions cannot leak state between them.
+  dataflow::Executor executor(4);
+  TrustService::ServiceOptions service_options;
+  service_options.executor = &executor;
+  TrustService service(service_options);
+  for (uint64_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(service
+                    .CreateSession("session-" + std::to_string(s),
+                                   *BuildPipeline(20 + s))
+                    .ok());
+  }
+  // Fire runs at all sessions from multiple client threads at once.
+  std::vector<std::future<StatusOr<TrustReport>>> futures;
+  std::vector<std::thread> clients;
+  std::mutex futures_mutex;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&service, &futures, &futures_mutex, c] {
+      for (int i = 0; i < 3; ++i) {
+        auto f = service.SubmitRun("session-" + std::to_string(c));
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (auto& f : futures) {
+    auto report = f.get();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+  EXPECT_EQ(service.stats().runs_submitted, 12u);
+
+  // Each session's result still equals its direct sequential run.
+  for (uint64_t s = 0; s < 4; ++s) {
+    auto direct = BuildPipeline(20 + s);
+    ASSERT_TRUE(direct.ok());
+    const auto expected = direct->Run();
+    ASSERT_TRUE(expected.ok());
+    auto served = service.SubmitRun("session-" + std::to_string(s)).get();
+    ASSERT_TRUE(served.ok());
+    ExpectReportsEqual(*served, *expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle + error surface.
+// ---------------------------------------------------------------------------
+
+TEST(TrustServiceTest, UnknownSessionResolvesToNotFound) {
+  TrustService service;
+  auto run = service.SubmitRun("nope").get();
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kNotFound);
+  const Status append = service.SubmitAppend("nope", {}).get();
+  EXPECT_EQ(append.code(), StatusCode::kNotFound);
+}
+
+TEST(TrustServiceTest, DuplicateSessionNameIsRejected) {
+  TrustService service;
+  ASSERT_TRUE(service.CreateSession("dup", *BuildPipeline(30)).ok());
+  auto pipeline = BuildPipeline(31);
+  ASSERT_TRUE(pipeline.ok());
+  const Status again = service.CreateSession("dup", std::move(*pipeline));
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.SessionNames().size(), 1u);
+  // The rejected pipeline was not consumed: it still runs, and can be
+  // registered under a free name.
+  EXPECT_TRUE(pipeline->Run().ok());
+  EXPECT_TRUE(service.CreateSession("dup2", std::move(*pipeline)).ok());
+  EXPECT_TRUE(service.SubmitRun("dup2").get().ok());
+}
+
+TEST(TrustServiceTest, BuilderOverloadBuildsAndRegisters) {
+  TrustService service;
+  PipelineBuilder builder;
+  builder.FromDataset(SyntheticCube(32)).WithOptions(ServingOptions());
+  ASSERT_TRUE(service.CreateSession("built", std::move(builder)).ok());
+  EXPECT_TRUE(service.HasSession("built"));
+  EXPECT_TRUE(service.SubmitRun("built").get().ok());
+
+  PipelineBuilder broken;  // No dataset source: Build() must fail cleanly.
+  const Status status = service.CreateSession("broken", std::move(broken));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(service.HasSession("broken"));
+}
+
+TEST(TrustServiceTest, CloseSessionDrainsAndRemoves) {
+  TrustService service;
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(33)).ok());
+  auto pending = service.SubmitRun("s");
+  ASSERT_TRUE(service.CloseSession("s").ok());
+  EXPECT_FALSE(service.HasSession("s"));
+  // The queued request completed (close drains, it does not cancel).
+  EXPECT_TRUE(pending.get().ok());
+  EXPECT_EQ(service.CloseSession("s").code(), StatusCode::kNotFound);
+}
+
+TEST(TrustServiceTest, SubmitRacingCloseIsSafe) {
+  // A submit running concurrently with CloseSession must either resolve
+  // NotFound or execute on the still-pinned session — never touch freed
+  // memory (the TSan CI job watches this one).
+  TrustService service;
+  ASSERT_TRUE(service.CreateSession("r", *BuildPipeline(36)).ok());
+  std::atomic<bool> stop{false};
+  std::thread submitter([&service, &stop] {
+    while (!stop.load()) {
+      // Empty append: a cheap no-op request (or NotFound after close).
+      service.SubmitAppend("r", {}).get();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(service.CloseSession("r").ok());
+  stop.store(true);
+  submitter.join();
+  EXPECT_FALSE(service.HasSession("r"));
+}
+
+TEST(TrustServiceTest, SessionPipelineStagesRunOnServiceExecutor) {
+  // CreateSession must attach the shared executor to the adopted pipeline
+  // (overriding the builder), so a served run with a builder-serial
+  // pipeline still equals — bit for bit — a direct run that was explicitly
+  // given the same executor.
+  dataflow::Executor executor(3);
+  auto direct = BuildPipeline(37, &executor);
+  ASSERT_TRUE(direct.ok());
+  const auto expected = direct->Run();
+  ASSERT_TRUE(expected.ok());
+
+  TrustService::ServiceOptions service_options;
+  service_options.executor = &executor;
+  TrustService service(service_options);
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(37)).ok());
+  auto served = service.SubmitRun("s").get();
+  ASSERT_TRUE(served.ok());
+  ExpectReportsEqual(*served, *expected);
+}
+
+TEST(TrustServiceTest, DrainWaitsForAllSessions) {
+  TrustService service;
+  ASSERT_TRUE(service.CreateSession("a", *BuildPipeline(34)).ok());
+  ASSERT_TRUE(service.CreateSession("b", *BuildPipeline(35)).ok());
+  auto fa = service.SubmitRun("a");
+  auto fb = service.SubmitRun("b");
+  service.Drain();
+  // Both futures are ready the moment Drain returns.
+  EXPECT_EQ(fa.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(fb.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_TRUE(fa.get().ok());
+  EXPECT_TRUE(fb.get().ok());
+}
+
+}  // namespace
+}  // namespace kbt::api

@@ -57,6 +57,22 @@ TEST(StatusOrTest, MoveOutValue) {
   EXPECT_EQ(out, "payload");
 }
 
+TEST(StatusOrTest, DereferencingTemporaryMovesValueOut) {
+  struct MoveOnly {
+    explicit MoveOnly(int v) : value(v) {}
+    MoveOnly(const MoveOnly&) = delete;
+    MoveOnly& operator=(const MoveOnly&) = delete;
+    MoveOnly(MoveOnly&&) = default;
+    MoveOnly& operator=(MoveOnly&&) = default;
+    int value;
+  };
+  const auto produce = [] { return StatusOr<MoveOnly>(MoveOnly(7)); };
+  // `*produce()` must select the rvalue overload: a move-only payload
+  // (api::Pipeline is one) flows straight into a consumer.
+  const MoveOnly out = *produce();
+  EXPECT_EQ(out.value, 7);
+}
+
 Status FailingHelper() { return Status::Internal("inner"); }
 
 Status Propagates() {

@@ -1,6 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -64,19 +69,294 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 100);
 }
 
-TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
+TEST(ThreadPoolTest, WaitDrainsTasksSubmittedByRunningTasks) {
+  // Documented Wait() semantics: a submitter running on a worker is still
+  // active while it enqueues children, so one Wait() covers the children
+  // (and grandchildren) too — no re-Wait loop needed.
   ThreadPool pool(2);
   std::atomic<int> counter{0};
   pool.Submit([&pool, &counter] {
     for (int i = 0; i < 10; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
+      pool.Submit([&pool, &counter] {
+        pool.Submit([&counter] { counter.fetch_add(1); });  // Grandchild.
+        counter.fetch_add(1);
+      });
     }
     counter.fetch_add(1);
   });
-  // Wait may observe the outer task only; loop until stable.
   pool.Wait();
+  EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(ThreadPoolTest, WaitDrainsNestedSubmitsUnderManySubmitters) {
+  // Stress the drain condition: external submitters race with worker-side
+  // nested submissions; every task submitted before Wait() (transitively)
+  // must be complete when it returns.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&pool, &counter] {
+          pool.Submit([&counter] { counter.fetch_add(1); });
+          counter.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
   pool.Wait();
-  EXPECT_EQ(counter.load(), 11);
+  EXPECT_EQ(counter.load(), 8 * 50 * 2);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultReturnsValue) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.SubmitWithResult([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+  std::future<std::string> g =
+      pool.SubmitWithResult([] { return std::string("kbt"); });
+  EXPECT_EQ(g.get(), "kbt");
+}
+
+TEST(ThreadPoolTest, SubmitWithResultPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.SubmitWithResult(
+      []() -> int { throw std::runtime_error("inference blew up"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives a captured exception.
+  EXPECT_EQ(pool.SubmitWithResult([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskRunsOnCallingThread) {
+  ThreadPool pool(1);
+  // Occupy the single worker so the queue backs up. Wait until the blocker
+  // is *running* — otherwise TryRunOneTask below could pop the blocker
+  // itself and spin on this thread forever.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.Submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> counter{0};
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.Submit([&counter, &ran_on] {
+    ran_on = std::this_thread::get_id();
+    counter.fetch_add(1);
+  });
+  while (!pool.TryRunOneTask()) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(ran_on, self);
+  EXPECT_FALSE(pool.TryRunOneTask());  // Queue is empty now.
+  release.store(true);
+  pool.Wait();
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroupTest, WaitJoinsExactlyTheGroup) {
+  ThreadPool pool(4);
+  std::atomic<int> group_done{0};
+  // A slow non-group task: the group's Wait must not require it to finish.
+  // Wait until it is running so the helping join below cannot pop it onto
+  // this thread and spin.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.Submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Submit([&group_done] { group_done.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(group_done.load(), 100);
+  release.store(true);
+  pool.Wait();
+}
+
+TEST(TaskGroupTest, NestedGroupsOnSaturatedPoolDoNotDeadlock) {
+  // Every worker runs a task that itself forks a nested group; the nested
+  // joins can only finish because waiters donate their threads to queued
+  // work.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.Submit([&pool, &leaves] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.Submit([&pool, &leaves] {
+          TaskGroup innermost(&pool);
+          for (int k = 0; k < 4; ++k) {
+            innermost.Submit([&leaves] { leaves.fetch_add(1); });
+          }
+          innermost.Wait();
+        });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(leaves.load(), 8 * 8 * 4);
+}
+
+TEST(TaskGroupTest, SingleThreadPoolNestedJoin) {
+  // The tightest case: one worker, nested fork-join from inside its task.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  TaskGroup outer(&pool);
+  outer.Submit([&pool, &count] {
+    TaskGroup inner(&pool);
+    for (int i = 0; i < 10; ++i) inner.Submit([&count] { count.fetch_add(1); });
+    inner.Wait();
+    count.fetch_add(100);
+  });
+  outer.Wait();
+  EXPECT_EQ(count.load(), 110);
+}
+
+TEST(TaskGroupTest, DestructorWaitsForStragglers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 50; ++i) group.Submit([&count] { count.fetch_add(1); });
+    // No explicit Wait.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(TaskGroupTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) group.Submit([&count] { count.fetch_add(1); });
+    group.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 20);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SerialQueue
+// ---------------------------------------------------------------------------
+
+TEST(SerialQueueTest, PreservesFifoOrderOnMultiThreadPool) {
+  ThreadPool pool(4);
+  SerialQueue queue(&pool);
+  std::vector<int> order;  // Unsynchronized on purpose: the strand is the lock.
+  for (int i = 0; i < 500; ++i) {
+    queue.Submit([&order, i] { order.push_back(i); });
+  }
+  queue.Wait();
+  ASSERT_EQ(order.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SerialQueueTest, StrandsRunConcurrentlyWithEachOther) {
+  // Two strands over one pool must be able to overlap: strand A blocks
+  // until strand B's task has run, which can only happen concurrently.
+  ThreadPool pool(4);
+  SerialQueue a(&pool);
+  SerialQueue b(&pool);
+  std::atomic<bool> b_ran{false};
+  a.Submit([&b_ran] {
+    while (!b_ran.load()) std::this_thread::yield();
+  });
+  b.Submit([&b_ran] { b_ran.store(true); });
+  a.Wait();
+  b.Wait();
+  EXPECT_TRUE(b_ran.load());
+}
+
+TEST(SerialQueueTest, ManyConcurrentSubmittersKeepPerQueueOrder) {
+  ThreadPool pool(4);
+  constexpr int kQueues = 5;
+  constexpr int kPerSubmitter = 100;
+  std::vector<std::unique_ptr<SerialQueue>> queues;
+  std::vector<std::vector<int>> logs(kQueues);
+  for (int q = 0; q < kQueues; ++q) {
+    queues.push_back(std::make_unique<SerialQueue>(&pool));
+  }
+  // One submitter thread per queue: per-queue submission order is then
+  // well-defined and must be preserved exactly.
+  std::vector<std::thread> submitters;
+  for (int q = 0; q < kQueues; ++q) {
+    submitters.emplace_back([&, q] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        queues[static_cast<size_t>(q)]->Submit(
+            [&logs, q, i] { logs[static_cast<size_t>(q)].push_back(i); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (auto& queue : queues) queue->Wait();
+  for (int q = 0; q < kQueues; ++q) {
+    ASSERT_EQ(logs[static_cast<size_t>(q)].size(),
+              static_cast<size_t>(kPerSubmitter));
+    for (int i = 0; i < kPerSubmitter; ++i) {
+      EXPECT_EQ(logs[static_cast<size_t>(q)][static_cast<size_t>(i)], i);
+    }
+  }
+}
+
+TEST(SerialQueueTest, SubmitWithResultDeliversValuesAndExceptions) {
+  ThreadPool pool(2);
+  SerialQueue queue(&pool);
+  std::future<int> ok = queue.SubmitWithResult([] { return 7; });
+  std::future<int> bad = queue.SubmitWithResult(
+      []() -> int { throw std::runtime_error("bad request"); });
+  std::future<int> after = queue.SubmitWithResult([] { return 8; });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(after.get(), 8);  // The strand survives a captured exception.
+}
+
+TEST(SerialQueueTest, TasksCanResubmitOntoTheirOwnQueue) {
+  ThreadPool pool(2);
+  SerialQueue queue(&pool);
+  std::atomic<int> count{0};
+  std::function<void(int)> chain = [&](int depth) {
+    count.fetch_add(1);
+    if (depth > 0) queue.Submit([&chain, depth] { chain(depth - 1); });
+  };
+  queue.Submit([&chain] { chain(9); });
+  // Wait() covers tasks the queue's own tasks submit back onto it.
+  queue.Wait();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(SerialQueueTest, PendingCountsQueuedAndRunning) {
+  ThreadPool pool(2);
+  SerialQueue queue(&pool);
+  EXPECT_EQ(queue.pending(), 0u);
+  std::atomic<bool> release{false};
+  queue.Submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  queue.Submit([] {});
+  EXPECT_GE(queue.pending(), 1u);
+  release.store(true);
+  queue.Wait();
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(SerialQueueTest, DestructorDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    SerialQueue queue(&pool);
+    for (int i = 0; i < 100; ++i) queue.Submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 100);
 }
 
 }  // namespace

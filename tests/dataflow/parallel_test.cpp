@@ -1,7 +1,9 @@
 #include "dataflow/parallel.h"
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -74,6 +76,73 @@ TEST(ParallelTest, DefaultExecutorIsSingleton) {
   Executor& b = DefaultExecutor();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.num_threads(), 1);
+}
+
+TEST(ParallelTest, NestedParallelForIsReentrant) {
+  // A parallel body opening another parallel loop on the SAME executor is
+  // the serving pattern (a request task runs inference stages). The scoped
+  // joins + thread donation must keep a saturated pool from deadlocking.
+  Executor exec(2);
+  std::atomic<int> count{0};
+  exec.ParallelFor(8, [&exec, &count](size_t) {
+    exec.ParallelFor(16, [&count](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ParallelTest, NestedParallelForOnSingleThreadExecutor) {
+  Executor exec(1);
+  std::atomic<int> count{0};
+  exec.ParallelForGroups(4, [&exec, &count](size_t) {
+    exec.ParallelForRanges(10, [&count](size_t begin, size_t end) {
+      count.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ParallelTest, SubmitReturnsResultThroughFuture) {
+  Executor exec(2);
+  std::future<long long> f = exec.Submit([] {
+    long long sum = 0;
+    for (int i = 1; i <= 100; ++i) sum += i;
+    return sum;
+  });
+  EXPECT_EQ(f.get(), 5050);
+}
+
+TEST(ParallelTest, SubmitPropagatesExceptions) {
+  Executor exec(2);
+  std::future<int> f =
+      exec.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelTest, SubmittedTaskCanRunParallelLoops) {
+  // The TrustService composition in miniature: a request submitted as one
+  // task fans out its own stages on the same executor and joins them.
+  Executor exec(2);
+  std::atomic<int> count{0};
+  std::future<int> f = exec.Submit([&exec, &count] {
+    exec.ParallelFor(32, [&count](size_t) { count.fetch_add(1); });
+    return count.load();
+  });
+  EXPECT_EQ(f.get(), 32);
+}
+
+TEST(ParallelTest, ConcurrentSubmittedTasksWithNestedLoops) {
+  Executor exec(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(exec.Submit([&exec, &count] {
+      exec.ParallelForRanges(100, [&count](size_t begin, size_t end) {
+        count.fetch_add(static_cast<int>(end - begin));
+      });
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 800);
 }
 
 }  // namespace
