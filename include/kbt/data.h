@@ -19,7 +19,13 @@
 namespace kbt::api {
 
 // Core dataset types under the api namespace for fluent call sites.
+
+/// The sparse observation cube X = {X_ewdv}: extraction events plus the
+/// meta counts and per-predicate domain sizes inference needs
+/// (extract::RawDataset).
 using extract::RawDataset;
+/// One extraction event: extractor+pattern claims page states (item,
+/// value) with a confidence (extract::RawObservation).
 using extract::RawObservation;
 
 }  // namespace kbt::api

@@ -21,6 +21,11 @@
 /// named sessions, non-blocking Submit{Run,Append,RunFrom} returning
 /// std::futures, per-session FIFO, cross-session concurrency on one
 /// executor, and append coalescing.
+///
+/// Compiled artifacts persist across processes through the disk cache
+/// (Pipeline::EnableDiskCache / ServiceOptions::cache_directory):
+/// re-analysis of an unchanged cube loads the compiled matrix instead of
+/// recompiling it. Format spec: docs/artifact-format.md.
 
 #include "kbt/data.h"
 #include "kbt/options.h"

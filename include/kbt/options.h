@@ -39,14 +39,22 @@ enum class Granularity {
   kSplitMerge = 4,
 };
 
+/// Stable display name of a Model ("SingleLayer" / "MultiLayer"), for
+/// tables and logs.
 std::string_view ModelName(Model model);
+/// Stable display name of a Granularity ("Finest", "PageSource", ...).
 std::string_view GranularityName(Granularity granularity);
 
 /// All knobs of one pipeline run, consolidating the per-layer configs that
 /// used to be wired by hand (MultiLayerConfig, SingleLayerConfig,
 /// SplitMergeOptions, smart-init options).
 struct Options {
+  /// Which inference model runs on the compiled matrix.
   Model model = Model::kMultiLayer;
+  /// What a "source" and an "extractor" mean for this run. Together with
+  /// sm_source/sm_extractor (under kSplitMerge) this is the only option
+  /// that shapes the *compiled* artifacts — and therefore the only part
+  /// that keys the persistent cache (cache::CompileOptionsFingerprint).
   Granularity granularity = Granularity::kFinest;
 
   /// Knobs of the multi-layer inference (also supplies the defaults smart

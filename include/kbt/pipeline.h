@@ -93,10 +93,51 @@ class Pipeline {
   /// to inspect cache state without touching the matrix.
   std::optional<PipelineCounts> shape() const;
 
-  /// Drops the cached granularity assignment and compiled matrix; the next
-  /// run recompiles from the dataset. For callers that mutated shared state
-  /// behind the pipeline's back or want to force a cold compile.
+  /// Drops the cached granularity assignment, compiled matrix and
+  /// memoized dataset fingerprint; the next run recompiles from the
+  /// dataset — or, with a disk cache attached, loads the entry matching
+  /// the dataset's *current* content (the fingerprint is re-derived). For
+  /// callers that mutated shared state behind the pipeline's back or want
+  /// to drop in-memory state. Does not delete persisted entries: they
+  /// stay valid for the content they were compiled from
+  /// (cache::ArtifactStore::Remove evicts).
   void InvalidateCache();
+
+  /// Attaches a persistent artifact store (cache::ArtifactStore) rooted at
+  /// `directory`, creating it if needed. From then on:
+  ///  * the first compile of a run tries to LOAD the artifacts keyed by
+  ///    (dataset_fingerprint(), compile-options fingerprint) and, on a hit,
+  ///    skips matrix compilation entirely (corrupt/stale entries are
+  ///    rejected with a logged warning and fall back to recompilation);
+  ///  * a fresh compile SAVES its artifacts (atomic rename-on-write);
+  ///  * AppendObservations re-persists the patched matrix under the grown
+  ///    dataset's new fingerprint, so a restarted process resumes warm.
+  ///    Note the cost: each patched append then re-fingerprints the
+  ///    dataset and rewrites the whole entry (O(compiled size), not
+  ///    O(delta)) on the append path — for high-frequency tiny appends,
+  ///    prefer batching deltas (TrustService coalescing does this) or
+  ///    enabling the cache only on checkpoint pipelines.
+  /// Loaded artifacts are bit-for-bit interchangeable with freshly built
+  /// ones — runs over them produce identical TrustReports, and appends
+  /// stay incremental (the first append after a load rebuilds the
+  /// extender state with one O(observations) replay pass; warm sessions
+  /// that never append skip that cost entirely). Fails when the directory
+  /// cannot be created. Enabling replaces any previous store.
+  Status EnableDiskCache(const std::string& directory);
+
+  /// Persists the currently cached artifacts to the attached store now.
+  /// FailedPrecondition when EnableDiskCache was not called or nothing is
+  /// compiled yet. (Runs already auto-save; this is for callers that warmed
+  /// the cache before enabling the store, or want a write they can check.)
+  Status SaveCompiledArtifacts();
+
+  /// Loads the artifacts keyed by the current dataset + options from the
+  /// attached store, replacing any in-memory cache. NotFound when no entry
+  /// exists; InvalidArgument/FailedPrecondition when the entry is corrupt
+  /// or stale (the in-memory cache is left unchanged). Unlike the automatic
+  /// load inside Run(), this surfaces the exact status instead of falling
+  /// back silently.
+  Status LoadCompiledArtifacts();
 
   /// Replaces the executor subsequent runs parallelize through (null means
   /// serial stages), overriding whatever the builder set. Must not be
@@ -150,8 +191,12 @@ class PipelineBuilder {
   /// Generates the Section 5.2.1 synthetic cube.
   PipelineBuilder& FromSynthetic(const exp::SyntheticConfig& config);
 
+  /// Replaces the whole option set (model, granularity, every layer's
+  /// knobs). Later WithModel/WithGranularity calls override fields of it.
   PipelineBuilder& WithOptions(Options options);
+  /// Sets only the inference model, keeping the other options.
   PipelineBuilder& WithModel(Model model);
+  /// Sets only the granularity, keeping the other options.
   PipelineBuilder& WithGranularity(Granularity granularity);
   /// Non-owning; enables metrics in TrustReport and smart initialization.
   /// Overrides the automatic KvSim gold standard.

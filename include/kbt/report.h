@@ -27,19 +27,29 @@ enum class Stage {
   kEvaluate = 5,     // predictions + gold-standard metrics
 };
 
+/// Number of Stage values (kGranularity .. kEvaluate).
 inline constexpr int kNumStages = 6;
 
+/// Stable display name of a Stage ("Granularity", "Compile", ...), the
+/// key used in TrustReport::stage_seconds and StageTimers.
 std::string_view StageName(Stage stage);
 
 /// Shape of the compiled problem one report was computed from. Doubles as
 /// the compatibility check for warm starts.
 struct PipelineCounts {
+  /// Raw extraction events compiled into the matrix.
   size_t num_observations = 0;
+  /// Distinct (source group, data item, value) triples — the C_wdv units.
   size_t num_slots = 0;
+  /// Distinct data items d.
   size_t num_items = 0;
+  /// Deduplicated (slot, extractor group) edges — the observed X_ewdv.
   size_t num_extractions = 0;
+  /// Source groups at the run's granularity.
   uint32_t num_sources = 0;
+  /// Extractor groups at the run's granularity.
   uint32_t num_extractor_groups = 0;
+  /// Websites in the underlying dataset (granularity-independent).
   uint32_t num_websites = 0;
 };
 
@@ -52,9 +62,13 @@ struct PipelineCounts {
 /// output, slot_correct_prob is all-ones (the baseline takes every
 /// extraction at face value) and the extractor-quality vectors are empty.
 struct TrustReport {
+  /// The model and granularity the producing run used (echoed from its
+  /// Options; RunFrom uses them to validate warm-start compatibility).
   Model model = Model::kMultiLayer;
   Granularity granularity = Granularity::kFinest;
 
+  /// The raw inference output: slot/value posteriors, learned source
+  /// accuracy and extractor quality, convergence state.
   core::MultiLayerResult inference;
   /// Per-website KBT (indexed by WebsiteId; empty when !score_websites).
   std::vector<core::KbtScore> website_kbt;
@@ -66,12 +80,17 @@ struct TrustReport {
   /// Present when a gold standard was attached to the pipeline.
   std::optional<eval::TripleMetrics> metrics;
 
+  /// Shape of the compiled problem this report came from.
   PipelineCounts counts;
-  /// Wall-clock seconds per pipeline stage, in execution order. Cached
-  /// stages (granularity/compile on a re-run) report ~0.
+  /// Wall-clock seconds per pipeline stage, in execution order. Stages
+  /// served from the in-memory cache (granularity/compile on a re-run)
+  /// report ~0; on a disk-cache warm start the load (read + decode +
+  /// verify) is timed under "Granularity" and "Compile" reports ~0.
   std::vector<std::pair<std::string, double>> stage_seconds;
 
+  /// EM iterations the inference ran.
   int iterations() const { return inference.iterations; }
+  /// Whether the EM met its convergence threshold within max_iterations.
   bool converged() const { return inference.converged; }
 
   /// Fraction of slots with at least one supported provider.

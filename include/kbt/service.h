@@ -63,6 +63,14 @@ class TrustService {
     dataflow::Executor* executor = nullptr;
     /// Merge consecutive queued appends per session into one delta.
     bool coalesce_appends = true;
+    /// When non-empty, every created session gets a persistent artifact
+    /// cache rooted here (Pipeline::EnableDiskCache): compiled matrices are
+    /// keyed by (dataset fingerprint, compile options), so a service
+    /// restarted over the same cubes serves its first runs warm — loading
+    /// artifacts instead of recompiling. Sessions share the directory
+    /// safely (entries are content-addressed). CreateSession fails if the
+    /// directory cannot be created.
+    std::string cache_directory;
   };
 
   /// Monotonic request counters, for observability and tests.
@@ -77,9 +85,12 @@ class TrustService {
     size_t append_batches_executed = 0;
   };
 
+  /// Default options: the shared DefaultExecutor, coalescing on, no
+  /// persistent cache.
   TrustService() : TrustService(ServiceOptions()) {}
   explicit TrustService(ServiceOptions options);
-  /// Drains every session before returning.
+  /// Drains every session before returning (blocks like Drain(); see the
+  /// thread-safety paragraph above — never destroy from a service task).
   ~TrustService();
 
   TrustService(const TrustService&) = delete;
@@ -98,10 +109,17 @@ class TrustService {
   Status CreateSession(const std::string& name, PipelineBuilder builder);
 
   /// Drains the session's queued requests, then removes it. NotFound when
-  /// no such session exists.
+  /// no such session exists. Blocks via SerialQueue::Wait, which parks the
+  /// calling thread WITHOUT donating it to the pool (unlike
+  /// TaskGroup::Wait — see src/common/thread_pool.h): call it from client
+  /// threads only, never from a task running on the service's executor.
   Status CloseSession(const std::string& name);
 
+  /// Whether a session is currently registered under `name`. A snapshot:
+  /// a racing CreateSession/CloseSession may change the answer by the
+  /// time the caller acts on it.
   bool HasSession(const std::string& name) const;
+  /// Names of all currently registered sessions, sorted (map order).
   std::vector<std::string> SessionNames() const;
 
   /// Enqueues a Pipeline::Run() on the session. Non-blocking; the future
@@ -121,8 +139,13 @@ class TrustService {
       std::vector<extract::RawObservation> observations);
 
   /// Blocks until every request queued so far on every session finished.
+  /// Same caller restriction as CloseSession: it waits through
+  /// SerialQueue::Wait (non-donating — src/common/thread_pool.h), so a
+  /// service-executor task calling it could wait for itself.
   void Drain();
 
+  /// Snapshot of the monotonic request counters (coalescing efficiency,
+  /// executed batches). Callable from any thread.
   Stats stats() const;
 
  private:

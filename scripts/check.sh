@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Full local/CI check: configure, build, test, smoke-run the quickstart,
-# the serving demo, and the append/serving benches (emitting BENCH_*.json
-# for trend tooling).
+# Full local/CI check: docs consistency, configure, build, test, smoke-run
+# the quickstart, the serving demo, and the append/serving/cache benches
+# (emitting BENCH_*.json for trend tooling).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+./scripts/check_docs.sh
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
@@ -12,3 +13,4 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/examples/trust_service
 ./build/bench/bench_append_throughput --smoke
 ./build/bench/bench_service_throughput --smoke
+./build/bench/bench_cache_warmstart --smoke

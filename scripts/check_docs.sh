@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Docs consistency check: every intra-repo markdown link in README.md and
+# docs/*.md must resolve to an existing file or directory (relative to the
+# linking document, or to the repo root). External links (http/https/
+# mailto) and pure anchors are skipped. Run by scripts/check.sh and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+  [[ -f "$doc" ]] || continue
+  dir=$(dirname "$doc")
+  while IFS= read -r target; do
+    target="${target%%#*}"          # drop in-page anchors
+    [[ -z "$target" ]] && continue  # pure anchor link
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [[ ! -e "$dir/$target" && ! -e "$target" ]]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK"

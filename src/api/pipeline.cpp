@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "cache/artifact_store.h"
+#include "common/logging.h"
 #include "common/math.h"
 #include "common/stopwatch.h"
 #include "core/initialization.h"
@@ -53,11 +55,22 @@ struct Pipeline::Impl {
   mutable std::mutex fingerprint_mutex;
   mutable std::optional<uint64_t> fingerprint;
 
+  /// Persistent artifact store (EnableDiskCache) and the compile-options
+  /// half of its key; absent until enabled.
+  std::optional<cache::ArtifactStore> store;
+  uint64_t options_fingerprint = 0;
+
   void InvalidateCache() {
     assignment.reset();
     matrix.reset();
     extender.reset();
     compiled_observations = 0;
+    // Also drop the memoized content hash: InvalidateCache's contract
+    // covers datasets mutated behind the pipeline's back (borrowed
+    // datasets), where a stale fingerprint would key the disk cache to
+    // pre-mutation artifacts.
+    std::lock_guard<std::mutex> lock(fingerprint_mutex);
+    fingerprint.reset();
   }
 };
 
@@ -111,9 +124,76 @@ std::optional<granularity::StatelessGranularity> StatelessKind(
   return std::nullopt;
 }
 
+uint64_t CurrentFingerprint(const Pipeline::Impl& impl) {
+  std::lock_guard<std::mutex> lock(impl.fingerprint_mutex);
+  if (!impl.fingerprint) {
+    impl.fingerprint = io::DatasetFingerprint(*impl.dataset);
+  }
+  return *impl.fingerprint;
+}
+
+/// Loads the store entry keyed by the current (dataset, options) pair into
+/// the in-memory cache. On any non-OK return the in-memory cache is left
+/// untouched. The store verifies integrity (CRC), identity (stored
+/// fingerprints vs key) and structural invariants; here only the coverage
+/// check remains. The AssignmentExtender behind incremental appends is NOT
+/// reconstructed eagerly — a pure warm start never needs it, so
+/// AppendObservations rebuilds it lazily (one replay pass) on the first
+/// append after a load.
+Status LoadArtifacts(Pipeline::Impl& impl) {
+  const uint64_t dataset_fp = CurrentFingerprint(impl);
+  StatusOr<cache::ArtifactBundle> loaded =
+      impl.store->Get(dataset_fp, impl.options_fingerprint);
+  if (!loaded.ok()) return loaded.status();
+  cache::ArtifactBundle& bundle = *loaded;
+  if (bundle.compiled_observations != impl.dataset->size()) {
+    return Status::FailedPrecondition(
+        "artifact entry covers " +
+        std::to_string(bundle.compiled_observations) +
+        " observations, the dataset has " +
+        std::to_string(impl.dataset->size()));
+  }
+  impl.extender.reset();
+  impl.assignment = std::move(bundle.assignment);
+  impl.matrix = std::move(bundle.matrix);
+  impl.compiled_observations =
+      static_cast<size_t>(bundle.compiled_observations);
+  return Status::OK();
+}
+
+/// Persists the in-memory compiled artifacts under the current key.
+Status SaveArtifacts(Pipeline::Impl& impl) {
+  if (!impl.assignment || !impl.matrix) {
+    return Status::FailedPrecondition(
+        "nothing compiled yet: run the pipeline (or load) before saving");
+  }
+  if (impl.compiled_observations != impl.dataset->size()) {
+    // The matrix lags the dataset (e.g. an append fell back to
+    // invalidation midway); persisting it would store a stale entry under
+    // the grown dataset's key.
+    return Status::FailedPrecondition(
+        "compiled matrix covers a prefix of the dataset; run before saving");
+  }
+  return impl.store->Put(CurrentFingerprint(impl), impl.options_fingerprint,
+                         impl.compiled_observations, *impl.assignment,
+                         *impl.matrix);
+}
+
 Status EnsureCompiled(Pipeline::Impl& impl, TrustReport& report) {
+  bool compiled_now = false;
   {
     StageScope scope(impl, report, Stage::kGranularity);
+    // Disk-cache fast path: with a store attached and nothing compiled,
+    // try the persisted artifacts first. Misses are silent; corrupt or
+    // stale entries are logged and fall back to a clean rebuild.
+    if (impl.store && (!impl.assignment || !impl.matrix)) {
+      const Status loaded = LoadArtifacts(impl);
+      if (!loaded.ok() && loaded.code() != StatusCode::kNotFound) {
+        KBT_LOG(Warning) << "kbt disk cache: rejecting persisted artifacts, "
+                            "recompiling instead: "
+                         << loaded.ToString();
+      }
+    }
     if (!impl.assignment) {
       impl.extender.reset();
       if (const std::optional<granularity::StatelessGranularity> kind =
@@ -147,6 +227,17 @@ Status EnsureCompiled(Pipeline::Impl& impl, TrustReport& report) {
       if (!matrix.ok()) return matrix.status();
       impl.matrix = std::move(*matrix);
       impl.compiled_observations = impl.dataset->size();
+      compiled_now = true;
+    }
+  }
+  if (compiled_now && impl.store) {
+    // Best effort: a failed save costs the next session a recompile, not
+    // this run its result.
+    const Status saved = SaveArtifacts(impl);
+    if (!saved.ok()) {
+      KBT_LOG(Warning) << "kbt disk cache: could not persist compiled "
+                          "artifacts: "
+                       << saved.ToString();
     }
   }
   return Status::OK();
@@ -386,10 +477,57 @@ Status Pipeline::AppendObservations(
   // delta the matrix reports as structure-invalidating.
   if (!impl.assignment) return Status::OK();  // Nothing compiled yet.
   if (!impl.extender) {
-    impl.InvalidateCache();
-    return Status::OK();
-  }
-  {
+    const std::optional<granularity::StatelessGranularity> kind =
+        StatelessKind(impl.options.granularity);
+    if (!kind) {
+      // SPLITANDMERGE re-buckets on growth: no incremental path exists.
+      impl.InvalidateCache();
+      return Status::OK();
+    }
+    // The assignment came from a disk-cache load, which skips the
+    // extender's internal state (a pure warm start never appends, so the
+    // replay cost is deferred to here). Group ids are first-visit-stable:
+    // replaying the *grown* cube yields exactly the loaded assignment
+    // extended with the delta, and leaves the extender consistent for the
+    // appends that follow.
+    granularity::AssignmentExtender extender(*kind);
+    extract::GroupAssignment replayed;
+    const Status replay = extender.Extend(data, &replayed);
+    if (!replay.ok()) {
+      impl.InvalidateCache();
+      return replay;
+    }
+    // Cross-check: the loaded assignment must be a prefix of the replay
+    // (it was allegedly derived from the base observations of this very
+    // dataset). A divergence means the entry was compiled from different
+    // content (fingerprint collision / forged entry) and its matrix is
+    // untrustworthy — drop everything and let the next run rebuild cold.
+    const extract::GroupAssignment& prior = *impl.assignment;
+    const bool prefix_ok =
+        prior.observation_source.size() <= replayed.observation_source.size() &&
+        prior.num_source_groups <= replayed.num_source_groups &&
+        prior.num_extractor_groups <= replayed.num_extractor_groups &&
+        std::equal(prior.observation_source.begin(),
+                   prior.observation_source.end(),
+                   replayed.observation_source.begin()) &&
+        std::equal(prior.observation_extractor.begin(),
+                   prior.observation_extractor.end(),
+                   replayed.observation_extractor.begin()) &&
+        std::equal(prior.source_infos.begin(), prior.source_infos.end(),
+                   replayed.source_infos.begin()) &&
+        std::equal(prior.extractor_scopes.begin(),
+                   prior.extractor_scopes.end(),
+                   replayed.extractor_scopes.begin());
+    if (!prefix_ok) {
+      KBT_LOG(Warning) << "kbt disk cache: loaded assignment diverges from "
+                          "one replayed from the dataset; discarding the "
+                          "cached artifacts and recompiling";
+      impl.InvalidateCache();
+      return Status::OK();
+    }
+    impl.extender = std::move(extender);
+    impl.assignment = std::move(replayed);
+  } else {
     const Status extended = impl.extender->Extend(data, &*impl.assignment);
     if (!extended.ok()) {
       impl.InvalidateCache();
@@ -406,6 +544,18 @@ Status Pipeline::AppendObservations(
     }
     if (*outcome == extract::AppendOutcome::kPatched) {
       impl.compiled_observations = data.size();
+      if (impl.store) {
+        // Keep the disk cache coherent with the incremental path: the
+        // grown cube gets its own entry (new fingerprint), so a process
+        // restarted against the same content starts warm. Best effort,
+        // like the auto-save after a compile.
+        const Status saved = SaveArtifacts(impl);
+        if (!saved.ok()) {
+          KBT_LOG(Warning) << "kbt disk cache: could not re-persist patched "
+                              "artifacts: "
+                           << saved.ToString();
+        }
+      }
     } else {
       impl.InvalidateCache();
     }
@@ -420,12 +570,32 @@ const extract::RawDataset& Pipeline::dataset() const {
 const Options& Pipeline::options() const { return impl_->options; }
 
 uint64_t Pipeline::dataset_fingerprint() const {
-  Impl& impl = *impl_;
-  std::lock_guard<std::mutex> lock(impl.fingerprint_mutex);
-  if (!impl.fingerprint) {
-    impl.fingerprint = io::DatasetFingerprint(*impl.dataset);
+  return CurrentFingerprint(*impl_);
+}
+
+Status Pipeline::EnableDiskCache(const std::string& directory) {
+  StatusOr<cache::ArtifactStore> store = cache::ArtifactStore::Open(directory);
+  if (!store.ok()) return store.status();
+  impl_->store = std::move(*store);
+  impl_->options_fingerprint =
+      cache::CompileOptionsFingerprint(impl_->options);
+  return Status::OK();
+}
+
+Status Pipeline::SaveCompiledArtifacts() {
+  if (!impl_->store) {
+    return Status::FailedPrecondition(
+        "no disk cache attached: call EnableDiskCache first");
   }
-  return *impl.fingerprint;
+  return SaveArtifacts(*impl_);
+}
+
+Status Pipeline::LoadCompiledArtifacts() {
+  if (!impl_->store) {
+    return Status::FailedPrecondition(
+        "no disk cache attached: call EnableDiskCache first");
+  }
+  return LoadArtifacts(*impl_);
 }
 
 std::optional<PipelineCounts> Pipeline::shape() const {

@@ -82,19 +82,45 @@ TrustService::~TrustService() { Drain(); }
 
 Status TrustService::CreateSession(const std::string& name,
                                    Pipeline&& pipeline) {
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  if (state_->sessions.count(name) != 0) {
-    // Checked before consuming `pipeline`: a naming collision leaves the
-    // caller's (possibly expensively warmed) pipeline intact.
-    return Status::InvalidArgument("session '" + name + "' already exists");
+  {
+    // Reserve the name first (null placeholder), so the collision check
+    // happens before the pipeline is touched in any way — a naming
+    // collision leaves the caller's (possibly expensively warmed)
+    // pipeline fully intact — and so the filesystem work below (cache
+    // directory creation + stale-temp sweep) runs WITHOUT the service
+    // lock that gates every session's submit path. A placeholder behaves
+    // as "not found" for submits/close until the session is published.
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    const auto it = state_->sessions.find(name);
+    if (it != state_->sessions.end()) {
+      // Distinguish a published session from another creator's in-flight
+      // reservation (which may yet be rolled back): a caller seeing the
+      // latter can retry, matching HasSession's "not found until
+      // published" view.
+      return Status::InvalidArgument(
+          it->second != nullptr
+              ? "session '" + name + "' already exists"
+              : "session '" + name + "' is being created concurrently");
+    }
+    state_->sessions.emplace(name, nullptr);
+  }
+  if (!state_->options.cache_directory.empty()) {
+    const Status enabled =
+        pipeline.EnableDiskCache(state_->options.cache_directory);
+    if (!enabled.ok()) {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->sessions.erase(name);
+      return enabled;
+    }
   }
   // Request tasks and the stages inside them share one pool: the adopted
   // pipeline's parallel loops must run on the service executor (whose
   // joins are reentrant), whatever the builder had attached.
   pipeline.AttachExecutor(state_->executor);
-  state_->sessions.emplace(
-      name, std::make_shared<Session>(std::move(pipeline),
-                                      &state_->executor->pool()));
+  auto session = std::make_shared<Session>(std::move(pipeline),
+                                           &state_->executor->pool());
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->sessions[name] = std::move(session);
   return Status::OK();
 }
 
@@ -110,7 +136,10 @@ Status TrustService::CloseSession(const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
     const auto it = state_->sessions.find(name);
-    if (it == state_->sessions.end()) {
+    // A null mapping is a CreateSession still in flight (name reserved,
+    // session not yet published): not closable, and not erasable without
+    // yanking the reservation from under the creator.
+    if (it == state_->sessions.end() || it->second == nullptr) {
       return Status::NotFound("no session '" + name + "'");
     }
     session = std::move(it->second);
@@ -132,7 +161,10 @@ std::vector<std::string> TrustService::SessionNames() const {
   std::lock_guard<std::mutex> lock(state_->mutex);
   std::vector<std::string> names;
   names.reserve(state_->sessions.size());
-  for (const auto& [name, session] : state_->sessions) names.push_back(name);
+  for (const auto& [name, session] : state_->sessions) {
+    // Skip reservations of CreateSessions still in flight.
+    if (session != nullptr) names.push_back(name);
+  }
   return names;
 }
 
@@ -238,7 +270,10 @@ void TrustService::Drain() {
     std::lock_guard<std::mutex> lock(state_->mutex);
     sessions.reserve(state_->sessions.size());
     for (const auto& [name, session] : state_->sessions) {
-      sessions.push_back(session);
+      // Skip reservations (null): nothing is queued on an unpublished
+      // session, and requests submitted after this snapshot are out of
+      // Drain's contract anyway.
+      if (session != nullptr) sessions.push_back(session);
     }
   }
   for (const std::shared_ptr<Session>& session : sessions) {

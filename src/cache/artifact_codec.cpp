@@ -1,0 +1,751 @@
+#include "cache/artifact_codec.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace kbt::cache {
+
+namespace {
+
+/// On little-endian hosts the in-memory representation of the scalar
+/// arrays (and of the padding-free composite structs) *is* the wire
+/// format, so whole arrays copy with one memcpy. Big-endian hosts take the
+/// byte-by-byte loops — same bytes, portable either way.
+inline constexpr bool kHostIsLittleEndian =
+    std::endian::native == std::endian::little;
+
+static_assert(sizeof(extract::SourceGroupInfo) == 4,
+              "wire format assumes a packed {u32 website}");
+static_assert(sizeof(extract::ExtractorScope) == 16,
+              "wire format assumes a packed {u32, u32, f64}");
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives. Written byte-by-byte so encoded blobs are
+// identical on every host; the hot arrays are small-constant loops that the
+// compiler vectorizes on little-endian targets anyway.
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F32(float v) {
+    uint32_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U32(bits);
+  }
+  void F64(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  void Bytes(const void* data, size_t size) {
+    out_.append(static_cast<const char*>(data), size);
+  }
+
+  /// Overwrites 4 already-written bytes at `pos` (CRC backpatching).
+  void PatchU32(size_t pos, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_[pos + i] = static_cast<char>(v >> (8 * i));
+    }
+  }
+
+  void Reserve(size_t bytes) { out_.reserve(bytes); }
+  const char* data() const { return out_.data(); }
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader: every primitive checks the remaining length and
+/// latches the first failure, so hostile blobs can never read out of range
+/// (callers test ok() once at the end of a section).
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+  uint32_t U32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  float F32() {
+    const uint32_t bits = U32();
+    float v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Array length prefix, additionally bounded by the bytes that remain
+  /// (each element occupies >= `min_element_bytes`), so a forged length can
+  /// neither overflow size arithmetic nor drive a huge allocation.
+  size_t ArrayCount(size_t min_element_bytes) {
+    const uint64_t count = U64();
+    if (!ok_) return 0;
+    if (count > (bytes_.size() - pos_) / min_element_bytes) {
+      Fail("array length exceeds the section payload");
+      return 0;
+    }
+    return static_cast<size_t>(count);
+  }
+
+  /// Bulk copy of `size` raw bytes into `dest` (the little-endian fast
+  /// path; callers guarantee the destination layout equals the wire one).
+  void Bytes(void* dest, size_t size) {
+    if (!Require(size)) return;
+    std::memcpy(dest, bytes_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  void Fail(const std::string& why) {
+    if (ok_) {
+      ok_ = false;
+      error_ = why;
+    }
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_) return false;
+    if (bytes_.size() - pos_ < n) {
+      Fail("truncated payload");
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Field visitors. MatrixFields::Visit / VisitAssignment enumerate every
+// serialized field exactly once, in byte order; the encoder, the decoder and
+// the docs field list are all instantiations of the same enumeration, which
+// is what keeps them impossible to desynchronize.
+// ---------------------------------------------------------------------------
+
+static_assert(sizeof(int) == 4, "wire format stores item_num_false as i32");
+
+struct Encoder {
+  Writer& w;
+
+  void Scalar(const char*, const uint32_t& v) { w.U32(v); }
+  void Scalar(const char*, const uint64_t& v) { w.U64(v); }
+
+  /// Element wire sizes equal the in-memory sizes (static_asserted above),
+  /// so little-endian hosts append whole arrays with one copy; the
+  /// elementwise loop is the portable fallback (and the spec).
+  template <typename T>
+  void Vec(const char*, const std::vector<T>& v) {
+    w.U64(v.size());
+    if constexpr (kHostIsLittleEndian) {
+      if (!v.empty()) w.Bytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const T& x : v) Element(x);
+    }
+  }
+
+  void Element(uint8_t x) { w.U8(x); }
+  void Element(uint32_t x) { w.U32(x); }
+  void Element(uint64_t x) { w.U64(x); }
+  void Element(int x) { w.I32(x); }
+  void Element(float x) { w.F32(x); }
+  void Element(const extract::SourceGroupInfo& info) { w.U32(info.website); }
+  void Element(const extract::ExtractorScope& scope) {
+    w.U32(scope.predicate);
+    w.U32(scope.website);
+    w.F64(scope.absence_weight);
+  }
+};
+
+struct Decoder {
+  Reader& r;
+
+  void Scalar(const char*, uint32_t& v) { v = r.U32(); }
+  void Scalar(const char*, uint64_t& v) { v = r.U64(); }
+
+  template <typename T>
+  void Vec(const char*, std::vector<T>& v) {
+    v.resize(r.ArrayCount(sizeof(T)));
+    if constexpr (kHostIsLittleEndian) {
+      if (!v.empty()) r.Bytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (T& x : v) Element(x);
+    }
+  }
+
+  void Element(uint8_t& x) { x = r.U8(); }
+  void Element(uint32_t& x) { x = r.U32(); }
+  void Element(uint64_t& x) { x = r.U64(); }
+  void Element(int& x) { x = r.I32(); }
+  void Element(float& x) { x = r.F32(); }
+  void Element(extract::SourceGroupInfo& info) { info.website = r.U32(); }
+  void Element(extract::ExtractorScope& scope) {
+    scope.predicate = r.U32();
+    scope.website = r.U32();
+    scope.absence_weight = r.F64();
+  }
+};
+
+/// Records (section, name, type) per field for ArtifactFields().
+struct Lister {
+  std::vector<FieldSpec>* out;
+  std::string_view section;
+
+  void Scalar(const char* name, const uint32_t&) { Add(name, "u32"); }
+  void Scalar(const char* name, const uint64_t&) { Add(name, "u64"); }
+  void Vec(const char* name, const std::vector<uint8_t>&) {
+    Add(name, "u8[]");
+  }
+  void Vec(const char* name, const std::vector<uint32_t>&) {
+    Add(name, "u32[]");
+  }
+  void Vec(const char* name, const std::vector<uint64_t>&) {
+    Add(name, "u64[]");
+  }
+  void Vec(const char* name, const std::vector<int>&) { Add(name, "i32[]"); }
+  void Vec(const char* name, const std::vector<float>&) {
+    Add(name, "f32[]");
+  }
+  void Vec(const char* name, const std::vector<extract::SourceGroupInfo>&) {
+    Add(name, "source_info[]");
+  }
+  void Vec(const char* name, const std::vector<extract::ExtractorScope>&) {
+    Add(name, "extractor_scope[]");
+  }
+
+  void Add(const char* name, const char* type) {
+    out->push_back(FieldSpec{section, name, type});
+  }
+};
+
+/// Computes a section's exact payload size from the field enumeration
+/// without encoding it (length prefixes + element counts x wire widths),
+/// so EncodeArtifacts can write one pre-sized buffer.
+struct Sizer {
+  size_t bytes = 0;
+  void Scalar(const char*, const uint32_t&) { bytes += 4; }
+  void Scalar(const char*, const uint64_t&) { bytes += 8; }
+  template <typename T>
+  void Vec(const char*, const std::vector<T>& v) {
+    bytes += 8 + v.size() * sizeof(T);  // wire width == sizeof(T), asserted
+  }
+};
+
+/// The assignment section, field by field (public struct, no friend needed).
+template <typename Assignment, typename Visitor>
+void VisitAssignment(Assignment& a, Visitor& v) {
+  v.Scalar("num_source_groups", a.num_source_groups);
+  v.Scalar("num_extractor_groups", a.num_extractor_groups);
+  v.Vec("observation_source", a.observation_source);
+  v.Vec("observation_extractor", a.observation_extractor);
+  v.Vec("source_infos", a.source_infos);
+  v.Vec("extractor_scopes", a.extractor_scopes);
+}
+
+}  // namespace
+
+/// The matrix section, field by field. This is the friend declared in
+/// extract/observation_matrix.h: the single point of access to the private
+/// arrays, shared by the encoder, decoder and field lister.
+struct MatrixFields {
+  template <typename Matrix, typename Visitor>
+  static void Visit(Matrix& m, Visitor& v) {
+    v.Scalar("num_sources", m.num_sources_);
+    v.Scalar("num_extractor_groups", m.num_extractor_groups_);
+    v.Vec("slot_source", m.slot_source_);
+    v.Vec("slot_item", m.slot_item_);
+    v.Vec("slot_value", m.slot_value_);
+    v.Vec("slot_website", m.slot_website_);
+    v.Vec("slot_predicate", m.slot_predicate_);
+    v.Vec("slot_provided", m.slot_provided_);
+    v.Vec("slot_ext_offsets", m.slot_ext_offsets_);
+    v.Vec("ext_group", m.ext_group_);
+    v.Vec("ext_conf", m.ext_conf_);
+    v.Vec("ext_slot", m.ext_slot_);
+    v.Vec("item_ids", m.item_ids_);
+    v.Vec("item_num_false", m.item_num_false_);
+    v.Vec("item_offsets", m.item_offsets_);
+    v.Vec("source_offsets", m.source_offsets_);
+    v.Vec("source_slot_index", m.source_slot_index_);
+    v.Vec("source_infos", m.source_infos_);
+    v.Vec("extractor_offsets", m.extractor_offsets_);
+    v.Vec("extractor_edge_index", m.extractor_edge_index_);
+    v.Vec("extractor_scopes", m.extractor_scopes_);
+  }
+};
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structural validation of a decoded bundle. CRCs catch corruption; these
+// invariants catch *well-formed nonsense* (a forged blob, or an encoder bug)
+// before the inference layers index with the values.
+// ---------------------------------------------------------------------------
+
+Status InvalidBundle(const std::string& what) {
+  return Status::InvalidArgument("artifact bundle invalid: " + what);
+}
+
+/// Captures typed views of the matrix arrays through the same field
+/// enumeration the codec uses. The matrix accessors index these blindly, so
+/// a length or range violation would be an out-of-bounds read during
+/// inference — ValidateBundle checks them all up front.
+struct MatrixProbe {
+  std::vector<std::pair<std::string_view, const std::vector<uint32_t>*>>
+      u32_fields;
+  std::vector<std::pair<std::string_view, size_t>> other_lengths;
+
+  void Scalar(const char*, const uint32_t&) {}
+  void Vec(const char* name, const std::vector<uint32_t>& v) {
+    u32_fields.emplace_back(name, &v);
+  }
+  template <typename T>
+  void Vec(const char* name, const std::vector<T>& v) {
+    other_lengths.emplace_back(name, v.size());
+  }
+
+  const std::vector<uint32_t>& U32(std::string_view name) const {
+    for (const auto& [n, v] : u32_fields) {
+      if (n == name) return *v;
+    }
+    static const std::vector<uint32_t> empty;
+    return empty;
+  }
+  size_t Length(std::string_view name) const {
+    for (const auto& [n, size] : other_lengths) {
+      if (n == name) return size;
+    }
+    return 0;
+  }
+};
+
+Status CheckOffsets(const std::vector<uint32_t>& offsets, size_t num_rows,
+                    size_t num_entries, const std::string& name) {
+  if (offsets.size() != num_rows + 1) {
+    return InvalidBundle(name + " has " + std::to_string(offsets.size()) +
+                         " entries, want " + std::to_string(num_rows + 1));
+  }
+  if (offsets.front() != 0 || offsets.back() != num_entries) {
+    return InvalidBundle(name + " does not span [0, " +
+                         std::to_string(num_entries) + ")");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return InvalidBundle(name + " is not monotonic at row " +
+                           std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckIndexRange(const std::vector<uint32_t>& index, size_t bound,
+                       const std::string& name) {
+  for (const uint32_t v : index) {
+    if (v >= bound) {
+      return InvalidBundle(name + " holds index " + std::to_string(v) +
+                           " >= bound " + std::to_string(bound));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateBundle(const ArtifactBundle& bundle) {
+  const extract::GroupAssignment& a = bundle.assignment;
+  if (a.observation_source.size() != a.observation_extractor.size()) {
+    return InvalidBundle("assignment observation arrays disagree in length");
+  }
+  if (a.observation_source.size() != bundle.compiled_observations) {
+    return InvalidBundle("assignment covers " +
+                         std::to_string(a.observation_source.size()) +
+                         " observations, header says " +
+                         std::to_string(bundle.compiled_observations));
+  }
+  if (a.source_infos.size() != a.num_source_groups ||
+      a.extractor_scopes.size() != a.num_extractor_groups) {
+    return InvalidBundle("assignment group tables disagree with group counts");
+  }
+  KBT_RETURN_IF_ERROR(CheckIndexRange(a.observation_source,
+                                      a.num_source_groups,
+                                      "assignment.observation_source"));
+  KBT_RETURN_IF_ERROR(CheckIndexRange(a.observation_extractor,
+                                      a.num_extractor_groups,
+                                      "assignment.observation_extractor"));
+
+  const extract::CompiledMatrix& m = bundle.matrix;
+  const size_t slots = m.num_slots();
+  const size_t edges = m.num_extractions();
+  const size_t items = m.num_items();
+  if (m.num_sources() != a.num_source_groups ||
+      m.num_extractor_groups() != a.num_extractor_groups) {
+    return InvalidBundle("matrix group counts disagree with the assignment");
+  }
+
+  MatrixProbe probe;
+  MatrixFields::Visit(m, probe);
+
+  if (probe.U32("slot_item").size() != slots ||
+      probe.U32("slot_value").size() != slots ||
+      probe.U32("slot_website").size() != slots ||
+      probe.U32("slot_predicate").size() != slots ||
+      probe.Length("slot_provided") != slots) {
+    return InvalidBundle("matrix slot arrays disagree in length");
+  }
+  if (probe.Length("ext_conf") != edges ||
+      probe.U32("ext_slot").size() != edges) {
+    return InvalidBundle("matrix extraction arrays disagree in length");
+  }
+  if (probe.Length("item_ids") != items ||
+      probe.Length("item_num_false") != items) {
+    return InvalidBundle("matrix item arrays disagree in length");
+  }
+  if (probe.Length("source_infos") != m.num_sources() ||
+      probe.Length("extractor_scopes") != m.num_extractor_groups()) {
+    return InvalidBundle("matrix group tables disagree with group counts");
+  }
+  KBT_RETURN_IF_ERROR(CheckOffsets(probe.U32("slot_ext_offsets"), slots,
+                                   edges, "matrix.slot_ext_offsets"));
+  KBT_RETURN_IF_ERROR(CheckOffsets(probe.U32("item_offsets"), items, slots,
+                                   "matrix.item_offsets"));
+  KBT_RETURN_IF_ERROR(CheckOffsets(probe.U32("source_offsets"),
+                                   m.num_sources(), slots,
+                                   "matrix.source_offsets"));
+  KBT_RETURN_IF_ERROR(CheckOffsets(probe.U32("extractor_offsets"),
+                                   m.num_extractor_groups(), edges,
+                                   "matrix.extractor_offsets"));
+  KBT_RETURN_IF_ERROR(CheckIndexRange(probe.U32("slot_source"),
+                                      m.num_sources(), "matrix.slot_source"));
+  KBT_RETURN_IF_ERROR(CheckIndexRange(probe.U32("slot_item"), items,
+                                      "matrix.slot_item"));
+  KBT_RETURN_IF_ERROR(CheckIndexRange(probe.U32("ext_group"),
+                                      m.num_extractor_groups(),
+                                      "matrix.ext_group"));
+  KBT_RETURN_IF_ERROR(CheckIndexRange(probe.U32("ext_slot"), slots,
+                                      "matrix.ext_slot"));
+  if (probe.U32("source_slot_index").size() != slots) {
+    return InvalidBundle("matrix source_slot_index length != num_slots");
+  }
+  KBT_RETURN_IF_ERROR(CheckIndexRange(probe.U32("source_slot_index"), slots,
+                                      "matrix.source_slot_index"));
+  if (probe.U32("extractor_edge_index").size() != edges) {
+    return InvalidBundle("matrix extractor_edge_index length != extractions");
+  }
+  KBT_RETURN_IF_ERROR(CheckIndexRange(probe.U32("extractor_edge_index"),
+                                      edges, "matrix.extractor_edge_index"));
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+std::string EncodeArtifacts(uint64_t dataset_fingerprint,
+                            uint64_t options_fingerprint,
+                            uint64_t compiled_observations,
+                            const extract::GroupAssignment& assignment,
+                            const extract::CompiledMatrix& matrix) {
+  // Payload sizes are computable up front (Sizer), so the whole blob
+  // encodes into ONE buffer — section offsets are known before the
+  // payloads are written and only the CRCs are backpatched. This keeps
+  // peak memory at ~1x the blob for the web-scale matrices the cache
+  // persists on every save and append.
+  Sizer assignment_size;
+  VisitAssignment(assignment, assignment_size);
+  Sizer matrix_size;
+  MatrixFields::Visit(matrix, matrix_size);
+
+  constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+  constexpr size_t kTableEntryBytes = 4 + 4 + 8 + 8;
+  constexpr uint32_t kNumSections = 2;
+  const size_t payload_base =
+      kHeaderBytes + 4 + kNumSections * kTableEntryBytes;
+
+  Writer w;
+  w.Reserve(payload_base + assignment_size.bytes + matrix_size.bytes);
+  for (char c : kMagic) w.U8(static_cast<uint8_t>(c));
+  w.U32(kFormatVersion);
+  w.U32(kEndianMarker);
+  w.U64(dataset_fingerprint);
+  w.U64(options_fingerprint);
+  w.U64(compiled_observations);
+
+  w.U32(kNumSections);
+  w.U32(kSectionAssignment);
+  const size_t assignment_crc_pos = w.size();
+  w.U32(0);  // CRC backpatched below
+  w.U64(payload_base);
+  w.U64(assignment_size.bytes);
+  w.U32(kSectionMatrix);
+  const size_t matrix_crc_pos = w.size();
+  w.U32(0);  // CRC backpatched below
+  w.U64(payload_base + assignment_size.bytes);
+  w.U64(matrix_size.bytes);
+
+  {
+    Encoder enc{w};
+    VisitAssignment(assignment, enc);
+    MatrixFields::Visit(matrix, enc);
+  }
+  w.PatchU32(assignment_crc_pos,
+             Crc32(w.data() + payload_base, assignment_size.bytes));
+  w.PatchU32(matrix_crc_pos,
+             Crc32(w.data() + payload_base + assignment_size.bytes,
+                   matrix_size.bytes));
+  return w.Take();
+}
+
+StatusOr<ArtifactBundle> DecodeArtifacts(std::string_view bytes) {
+  Reader header(bytes);
+  for (char expected : kMagic) {
+    if (header.U8() != static_cast<uint8_t>(expected)) {
+      return Status::InvalidArgument("artifact blob: bad magic");
+    }
+  }
+  const uint32_t version = header.U32();
+  if (header.ok() && version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "artifact blob: format version " + std::to_string(version) +
+        ", this build reads only version " + std::to_string(kFormatVersion));
+  }
+  const uint32_t endian = header.U32();
+  if (header.ok() && endian != kEndianMarker) {
+    return Status::InvalidArgument("artifact blob: bad endianness marker");
+  }
+
+  ArtifactBundle bundle;
+  bundle.dataset_fingerprint = header.U64();
+  bundle.options_fingerprint = header.U64();
+  bundle.compiled_observations = header.U64();
+
+  const uint32_t num_sections = header.U32();
+  if (!header.ok()) {
+    return Status::InvalidArgument("artifact blob: truncated header");
+  }
+  if (num_sections != 2) {
+    return Status::InvalidArgument("artifact blob: expected 2 sections, got " +
+                                   std::to_string(num_sections));
+  }
+
+  struct SectionEntry {
+    uint32_t id = 0;
+    uint32_t crc = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+  std::array<SectionEntry, 2> table;
+  for (SectionEntry& entry : table) {
+    entry.id = header.U32();
+    entry.crc = header.U32();
+    entry.offset = header.U64();
+    entry.length = header.U64();
+  }
+  if (!header.ok()) {
+    return Status::InvalidArgument("artifact blob: truncated section table");
+  }
+
+  std::string_view sections[2];
+  for (size_t i = 0; i < table.size(); ++i) {
+    const SectionEntry& entry = table[i];
+    const uint32_t want_id = i == 0 ? kSectionAssignment : kSectionMatrix;
+    if (entry.id != want_id) {
+      return Status::InvalidArgument("artifact blob: section " +
+                                     std::to_string(i) + " has id " +
+                                     std::to_string(entry.id) + ", want " +
+                                     std::to_string(want_id));
+    }
+    if (entry.offset > bytes.size() ||
+        entry.length > bytes.size() - entry.offset) {
+      return Status::InvalidArgument(
+          "artifact blob: section " + std::to_string(entry.id) +
+          " extends past the end of the blob");
+    }
+    const std::string_view payload =
+        bytes.substr(static_cast<size_t>(entry.offset),
+                     static_cast<size_t>(entry.length));
+    const uint32_t crc = Crc32(payload.data(), payload.size());
+    if (crc != entry.crc) {
+      return Status::InvalidArgument(
+          "artifact blob: CRC mismatch in section " +
+          std::to_string(entry.id) + " (stored " + std::to_string(entry.crc) +
+          ", computed " + std::to_string(crc) + ")");
+    }
+    sections[i] = payload;
+  }
+
+  {
+    Reader r(sections[0]);
+    Decoder dec{r};
+    VisitAssignment(bundle.assignment, dec);
+    if (!r.ok()) {
+      return Status::InvalidArgument("artifact blob: assignment section: " +
+                                     r.error());
+    }
+    if (r.remaining() != 0) {
+      return Status::InvalidArgument(
+          "artifact blob: trailing bytes in the assignment section");
+    }
+  }
+  {
+    Reader r(sections[1]);
+    Decoder dec{r};
+    MatrixFields::Visit(bundle.matrix, dec);
+    if (!r.ok()) {
+      return Status::InvalidArgument("artifact blob: matrix section: " +
+                                     r.error());
+    }
+    if (r.remaining() != 0) {
+      return Status::InvalidArgument(
+          "artifact blob: trailing bytes in the matrix section");
+    }
+  }
+
+  KBT_RETURN_IF_ERROR(ValidateBundle(bundle));
+  return bundle;
+}
+
+const std::vector<FieldSpec>& ArtifactFields() {
+  static const std::vector<FieldSpec>* fields = [] {
+    auto* out = new std::vector<FieldSpec>;
+    out->push_back({"header", "magic", "u8[8]"});
+    out->push_back({"header", "format_version", "u32"});
+    out->push_back({"header", "endian_marker", "u32"});
+    out->push_back({"header", "dataset_fingerprint", "u64"});
+    out->push_back({"header", "options_fingerprint", "u64"});
+    out->push_back({"header", "compiled_observations", "u64"});
+    out->push_back({"header", "section_count", "u32"});
+    out->push_back({"header", "section_table", "section_entry[]"});
+    Lister lister{out, "assignment"};
+    extract::GroupAssignment assignment;
+    VisitAssignment(assignment, lister);
+    lister.section = "matrix";
+    extract::CompiledMatrix matrix;
+    MatrixFields::Visit(matrix, lister);
+    return out;
+  }();
+  return *fields;
+}
+
+uint32_t Crc32(const void* data, size_t size) {
+  // Slicing-by-8 CRC-32/IEEE (tables built on first use; no zlib
+  // dependency): checksumming runs over every artifact byte on both the
+  // save and the warm-start load path, so the ~byte-at-a-time classic loop
+  // would dominate large decodes.
+  using Tables = std::array<std::array<uint32_t, 256>, 8>;
+  static const Tables* tables = [] {
+    auto* t = new Tables;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      (*t)[0][i] = c;
+    }
+    for (size_t slice = 1; slice < 8; ++slice) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        const uint32_t prev = (*t)[slice - 1][i];
+        (*t)[slice][i] = ((*t)[0][prev & 0xFFu]) ^ (prev >> 8);
+      }
+    }
+    return t;
+  }();
+  const Tables& t = *tables;
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  while (size >= 8) {
+    // Two 32-bit little-endian loads per step; assembled from bytes so the
+    // result is identical on any host.
+    const uint32_t lo = (static_cast<uint32_t>(bytes[0]) |
+                         static_cast<uint32_t>(bytes[1]) << 8 |
+                         static_cast<uint32_t>(bytes[2]) << 16 |
+                         static_cast<uint32_t>(bytes[3]) << 24) ^
+                        crc;
+    const uint32_t hi = static_cast<uint32_t>(bytes[4]) |
+                        static_cast<uint32_t>(bytes[5]) << 8 |
+                        static_cast<uint32_t>(bytes[6]) << 16 |
+                        static_cast<uint32_t>(bytes[7]) << 24;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *bytes++) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint64_t CompileOptionsFingerprint(const api::Options& options) {
+  // common/hash.h: the same platform-stable mix io::DatasetFingerprint
+  // uses; a golden value is pinned in tests/cache/artifact_codec_test.cpp
+  // because a changed fingerprint orphans every persisted entry.
+  uint64_t fp = 0x6b62742d6f70742dull;  // "kbt-opt-": fingerprint salt.
+  fp = HashChain(fp, static_cast<uint64_t>(options.granularity));
+  if (options.granularity == api::Granularity::kSplitMerge) {
+    // Only SPLITANDMERGE's own knobs shape the assignment; the stateless
+    // granularities ignore every option beyond the enum.
+    for (const granularity::SplitMergeOptions* side :
+         {&options.sm_source, &options.sm_extractor}) {
+      fp = HashChain(fp, side->min_size);
+      fp = HashChain(fp, side->max_size);
+      fp = HashChain(fp, side->enable_merge ? 1 : 0);
+      fp = HashChain(fp, side->enable_split ? 1 : 0);
+      fp = HashChain(fp, side->seed);
+    }
+  }
+  return fp;
+}
+
+}  // namespace kbt::cache

@@ -1,0 +1,107 @@
+#ifndef KBT_CACHE_ARTIFACT_CODEC_H_
+#define KBT_CACHE_ARTIFACT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "extract/observation_matrix.h"
+#include "kbt/options.h"
+
+namespace kbt::cache {
+
+/// Binary (de)serialization of the pipeline's compiled artifacts — the
+/// granularity GroupAssignment and the CompiledMatrix — into one versioned,
+/// checksummed blob. The byte-level layout is specified normatively in
+/// docs/artifact-format.md; `ArtifactFields()` exports the codec's field
+/// list so a test can assert the spec and the code never drift.
+///
+/// Layout summary (all integers little-endian, independent of the host):
+///   fixed header   magic "KBTCACHE", format version, endianness marker,
+///                  dataset fingerprint, options fingerprint, compiled
+///                  observation count
+///   section table  count + (id, CRC-32, absolute offset, length) per
+///                  section
+///   payloads       section 1 = assignment, section 2 = matrix; scalars and
+///                  length-prefixed arrays in the order of ArtifactFields()
+///
+/// Decoding rejects (InvalidArgument) any blob whose magic, version,
+/// endianness marker, section table, per-section CRC or structural
+/// invariants (array lengths, CSR offset monotonicity) do not check out —
+/// callers fall back to recompilation, never crash.
+
+/// File magic, first 8 bytes of every artifact blob.
+inline constexpr char kMagic[8] = {'K', 'B', 'T', 'C', 'A', 'C', 'H', 'E'};
+
+/// Format version. Bump on ANY layout change (docs/artifact-format.md has
+/// the checklist); readers reject every version except their own, so a
+/// bump silently invalidates all existing cache entries (they decode as
+/// "wrong version" and the pipeline recompiles).
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Little-endian marker written as a u32; a reader seeing 0x04030201 is
+/// looking at a byte-swapped file (the codec always writes little-endian,
+/// so this only fires on a corrupt or foreign blob).
+inline constexpr uint32_t kEndianMarker = 0x01020304u;
+
+/// Section ids of the section table.
+inline constexpr uint32_t kSectionAssignment = 1;
+inline constexpr uint32_t kSectionMatrix = 2;
+
+/// A decoded artifact blob: the cache key pair, the observation count the
+/// matrix covers, and the two compiled artifacts themselves.
+struct ArtifactBundle {
+  uint64_t dataset_fingerprint = 0;
+  uint64_t options_fingerprint = 0;
+  /// Number of dataset observations compiled into `matrix` (always the full
+  /// dataset at save time; checked against the live dataset on load).
+  uint64_t compiled_observations = 0;
+  extract::GroupAssignment assignment;
+  extract::CompiledMatrix matrix;
+};
+
+/// Serializes the artifacts into one self-contained blob. Deterministic:
+/// equal inputs yield byte-identical output (the round-trip tests rely on
+/// encode(decode(encode(x))) == encode(x)).
+std::string EncodeArtifacts(uint64_t dataset_fingerprint,
+                            uint64_t options_fingerprint,
+                            uint64_t compiled_observations,
+                            const extract::GroupAssignment& assignment,
+                            const extract::CompiledMatrix& matrix);
+
+/// Parses a blob produced by EncodeArtifacts. Returns InvalidArgument (with
+/// a reason naming the failed check) on truncation, bad magic, wrong format
+/// version, wrong endianness, CRC mismatch or violated structural
+/// invariants. Never reads out of bounds on hostile input.
+StatusOr<ArtifactBundle> DecodeArtifacts(std::string_view bytes);
+
+/// One serialized field, in serialization order. docs/artifact-format.md
+/// carries the same table; tests/cache/format_doc_test.cpp asserts equality.
+struct FieldSpec {
+  std::string_view section;  // "header", "assignment" or "matrix"
+  std::string_view name;
+  std::string_view type;  // e.g. "u32", "u64", "u32[]", "extractor_scope[]"
+};
+
+/// The codec's complete field list (header + both sections), in the exact
+/// byte order of the format. Single source of truth shared by the encoder,
+/// the decoder and the docs cross-check test.
+const std::vector<FieldSpec>& ArtifactFields();
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, init/xorout 0xFFFFFFFF) over
+/// `size` bytes. Exposed so tests can forge and verify section checksums.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Stable 64-bit fingerprint of the Options fields that determine the
+/// compiled artifacts: the granularity, and — under kSplitMerge — the
+/// (m, M, merge/split switches, seed) of both hierarchies. Inference knobs
+/// (model, EM iterations, priors...) run *on* the compiled matrix and do
+/// not key it. Pairs with io::DatasetFingerprint as the artifact cache key.
+uint64_t CompileOptionsFingerprint(const api::Options& options);
+
+}  // namespace kbt::cache
+
+#endif  // KBT_CACHE_ARTIFACT_CODEC_H_

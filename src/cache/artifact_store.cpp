@@ -1,0 +1,211 @@
+#include "cache/artifact_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <system_error>
+
+namespace kbt::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kEntrySuffix[] = ".kbtart";
+
+std::string Hex16(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+StatusOr<ArtifactStore> ArtifactStore::Open(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create artifact-store directory '" +
+                                   directory + "': " + ec.message());
+  }
+  if (!fs::is_directory(directory, ec) || ec) {
+    return Status::InvalidArgument("artifact-store path '" + directory +
+                                   "' is not a directory");
+  }
+  // Sweep temp files orphaned by crashed writers (Put renames its temp on
+  // success and removes it on failure, so only a crash strands one). The
+  // age threshold keeps the sweep from racing a concurrent writer whose
+  // temp is still in flight; sweep errors are ignored — stale temps are
+  // invisible to Get/ListEntries either way, this only bounds disk usage.
+  // Once per directory per process: a TrustService opening one shared
+  // store per session must not rescan O(entries) on every CreateSession.
+  static std::mutex swept_mutex;
+  static std::set<std::string>* swept = new std::set<std::string>;
+  std::error_code canon_ec;
+  const fs::path canonical = fs::canonical(directory, canon_ec);
+  const std::string sweep_key =
+      canon_ec ? directory : canonical.string();
+  bool sweep_now = false;
+  {
+    std::lock_guard<std::mutex> lock(swept_mutex);
+    sweep_now = swept->insert(sweep_key).second;
+  }
+  if (sweep_now) {
+    const auto now = fs::file_time_type::clock::now();
+    for (fs::directory_iterator it(directory, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      const fs::path& path = it->path();
+      if (path.filename().string().find(".tmp.") == std::string::npos) {
+        continue;
+      }
+      std::error_code ignored;
+      const auto mtime = fs::last_write_time(path, ignored);
+      if (!ignored && now - mtime > std::chrono::hours(1)) {
+        fs::remove(path, ignored);
+      }
+    }
+  }
+  return ArtifactStore(directory);
+}
+
+std::string ArtifactStore::EntryFileName(uint64_t dataset_fingerprint,
+                                         uint64_t options_fingerprint) {
+  return Hex16(dataset_fingerprint) + "-" + Hex16(options_fingerprint) +
+         kEntrySuffix;
+}
+
+std::string ArtifactStore::EntryPath(uint64_t dataset_fingerprint,
+                                     uint64_t options_fingerprint) const {
+  return (fs::path(directory_) /
+          EntryFileName(dataset_fingerprint, options_fingerprint))
+      .string();
+}
+
+Status ArtifactStore::Put(uint64_t dataset_fingerprint,
+                          uint64_t options_fingerprint,
+                          uint64_t compiled_observations,
+                          const extract::GroupAssignment& assignment,
+                          const extract::CompiledMatrix& matrix) const {
+  const std::string blob =
+      EncodeArtifacts(dataset_fingerprint, options_fingerprint,
+                      compiled_observations, assignment, matrix);
+  const std::string final_path =
+      EntryPath(dataset_fingerprint, options_fingerprint);
+  // Unique temp name (pid + per-process counter): writers racing on one
+  // key — across processes OR across threads of one process (e.g. two
+  // TrustService sessions over identical content) — each write their own
+  // temp, and the atomic renames serialize, so readers only ever observe
+  // complete entries.
+  static std::atomic<uint64_t> temp_serial{0};
+  const std::string temp_path =
+      final_path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("cannot open '" + temp_path +
+                                     "' for writing");
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ignored;
+      fs::remove(temp_path, ignored);
+      return Status::InvalidArgument("short write to '" + temp_path + "'");
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(temp_path, ignored);
+    return Status::InvalidArgument("cannot rename '" + temp_path + "' to '" +
+                                   final_path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<ArtifactBundle> ArtifactStore::Get(
+    uint64_t dataset_fingerprint, uint64_t options_fingerprint) const {
+  const std::string path =
+      EntryPath(dataset_fingerprint, options_fingerprint);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound("no artifact entry '" + path + "'");
+  }
+  // One sized read (tellg at end gives the size): decode throughput is the
+  // warm-start path, so no char-by-char stream iteration here.
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return Status::InvalidArgument("cannot size artifact entry '" + path +
+                                   "'");
+  }
+  std::string blob(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(blob.data(), size);
+  if (!in || in.gcount() != size) {
+    return Status::InvalidArgument("error reading artifact entry '" + path +
+                                   "'");
+  }
+  StatusOr<ArtifactBundle> bundle = DecodeArtifacts(blob);
+  if (!bundle.ok()) {
+    return Status::InvalidArgument("artifact entry '" + path +
+                                   "': " + bundle.status().message());
+  }
+  // The key is stored redundantly inside the blob; a mismatch means the
+  // file was renamed or its header forged — reject it as stale rather than
+  // serve artifacts compiled from different content.
+  if (bundle->dataset_fingerprint != dataset_fingerprint ||
+      bundle->options_fingerprint != options_fingerprint) {
+    return Status::InvalidArgument(
+        "artifact entry '" + path +
+        "' carries fingerprints that do not match its key (stale or "
+        "tampered entry)");
+  }
+  return bundle;
+}
+
+Status ArtifactStore::Remove(uint64_t dataset_fingerprint,
+                             uint64_t options_fingerprint) const {
+  const std::string path =
+      EntryPath(dataset_fingerprint, options_fingerprint);
+  std::error_code ec;
+  const bool removed = fs::remove(path, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot remove '" + path +
+                                   "': " + ec.message());
+  }
+  if (!removed) {
+    return Status::NotFound("no artifact entry '" + path + "'");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ArtifactStore::ListEntries() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& path = it->path();
+    if (path.extension() == kEntrySuffix) {
+      names.push_back(path.filename().string());
+    }
+  }
+  if (ec) {
+    return Status::InvalidArgument("cannot list artifact store '" +
+                                   directory_ + "': " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace kbt::cache

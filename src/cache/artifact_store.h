@@ -1,0 +1,84 @@
+#ifndef KBT_CACHE_ARTIFACT_STORE_H_
+#define KBT_CACHE_ARTIFACT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/artifact_codec.h"
+#include "common/status.h"
+
+namespace kbt::cache {
+
+/// Directory-backed persistent store of compiled artifacts, keyed by the
+/// pair (dataset fingerprint, compile-options fingerprint). One entry is one
+/// file named `<dataset_fp>-<options_fp>.kbtart` (both hex) holding an
+/// EncodeArtifacts blob; the store is content-addressed, so entries are
+/// never updated in place — appending to a dataset changes its fingerprint
+/// and therefore writes a *new* entry (old entries stay valid for the cube
+/// they were compiled from until Remove()d).
+///
+/// Writes are atomic at the filesystem-API level: the blob goes to a
+/// unique `.tmp.<pid>.<n>` sibling first and is renamed over the final
+/// name, so readers never observe a partially *written* entry. (No fsync
+/// is issued, so a power loss right after the rename can still persist a
+/// truncated file; like every other corruption that is detected and
+/// rejected on read, at the cost of a recompile.) Reads verify magic,
+/// format version, per-section CRCs, structural invariants AND that the
+/// entry's stored key matches the requested one; any failure surfaces as a
+/// non-OK Status so callers can fall back to recompilation.
+///
+/// Thread safety: the store itself is immutable after Open (it holds only
+/// the directory path), so concurrent Get/Put from different pipelines are
+/// safe at the filesystem level; two writers racing on the SAME key both
+/// write equivalent bytes and the last rename wins.
+class ArtifactStore {
+ public:
+  /// Opens (creating if needed) `directory` as an artifact store, and
+  /// sweeps temp files orphaned by crashed writers (only temps older than
+  /// an hour, so a concurrent writer's in-flight temp is never touched).
+  static StatusOr<ArtifactStore> Open(const std::string& directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// File name of the entry for a key pair: "<dataset>-<options>.kbtart",
+  /// both fingerprints as 16-digit lowercase hex.
+  static std::string EntryFileName(uint64_t dataset_fingerprint,
+                                   uint64_t options_fingerprint);
+  /// Absolute path of the entry for a key pair within this store.
+  std::string EntryPath(uint64_t dataset_fingerprint,
+                        uint64_t options_fingerprint) const;
+
+  /// Serializes and persists one entry under its key, atomically
+  /// (write-temp + rename). Overwrites an existing entry for the same key.
+  Status Put(uint64_t dataset_fingerprint, uint64_t options_fingerprint,
+             uint64_t compiled_observations,
+             const extract::GroupAssignment& assignment,
+             const extract::CompiledMatrix& matrix) const;
+
+  /// Loads and decodes the entry for a key pair. NotFound when no entry
+  /// exists; InvalidArgument when the entry is corrupt (truncated, bad CRC,
+  /// wrong format version) or stale (its stored key differs from the file
+  /// name's — e.g. a hand-renamed file). The entry file is left in place
+  /// either way; callers decide whether to Remove() and recompile.
+  StatusOr<ArtifactBundle> Get(uint64_t dataset_fingerprint,
+                               uint64_t options_fingerprint) const;
+
+  /// Deletes the entry for a key pair. NotFound when no entry exists.
+  Status Remove(uint64_t dataset_fingerprint,
+                uint64_t options_fingerprint) const;
+
+  /// File names (not paths) of every `.kbtart` entry currently in the
+  /// store, sorted. For inspection and cache-eviction tooling.
+  StatusOr<std::vector<std::string>> ListEntries() const;
+
+ private:
+  explicit ArtifactStore(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  std::string directory_;
+};
+
+}  // namespace kbt::cache
+
+#endif  // KBT_CACHE_ARTIFACT_STORE_H_

@@ -1,0 +1,31 @@
+#ifndef KBT_COMMON_HASH_H_
+#define KBT_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace kbt {
+
+/// Platform-stable 64-bit hashing primitives. Fixed implementations (not
+/// std::hash) because their exact outputs are load-bearing: they produce
+/// io::DatasetFingerprint and cache::CompileOptionsFingerprint, which key
+/// PERSISTED artifacts — any output change silently orphans every on-disk
+/// cache entry. Both fingerprints pin golden values in tests
+/// (tests/io/dataset_io_test.cpp, tests/cache/artifact_codec_test.cpp), so
+/// a change here fails loudly; treat it like a cache-format bump.
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combine for sequences.
+inline uint64_t HashChain(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ Mix64(value));
+}
+
+}  // namespace kbt
+
+#endif  // KBT_COMMON_HASH_H_

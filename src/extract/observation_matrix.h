@@ -10,6 +10,13 @@
 #include "extract/raw_dataset.h"
 #include "kb/ids.h"
 
+namespace kbt::cache {
+/// Serialization access shim (src/cache/artifact_codec.cpp): the one place
+/// allowed to visit CompiledMatrix's private arrays, so the persistent
+/// artifact codec can (de)serialize them without widening the public API.
+struct MatrixFields;
+}  // namespace kbt::cache
+
 namespace kbt::extract {
 
 /// Wildcard marker for scope dimensions.
@@ -58,6 +65,16 @@ struct GroupAssignment {
   std::vector<uint32_t> observation_extractor;
   std::vector<SourceGroupInfo> source_infos;
   std::vector<ExtractorScope> extractor_scopes;
+
+  /// Field-wise equality: used by the cache round-trip/parity tests.
+  bool operator==(const GroupAssignment& o) const {
+    return num_source_groups == o.num_source_groups &&
+           num_extractor_groups == o.num_extractor_groups &&
+           observation_source == o.observation_source &&
+           observation_extractor == o.observation_extractor &&
+           source_infos == o.source_infos &&
+           extractor_scopes == o.extractor_scopes;
+  }
 };
 
 /// A batch of observations appended to an already-compiled cube: the first
@@ -173,6 +190,10 @@ class CompiledMatrix {
   }
 
  private:
+  /// The persistent-cache codec serializes the private arrays verbatim
+  /// (docs/artifact-format.md); nothing else may touch them from outside.
+  friend struct ::kbt::cache::MatrixFields;
+
   /// Slot id of (source, item, value) if compiled, else nullopt. O(log) via
   /// the sorted slot order (items ascending, then source, then value).
   std::optional<uint32_t> FindSlot(uint32_t source, kb::DataItemId item,

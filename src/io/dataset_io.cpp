@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/hash.h"
+
 namespace kbt::io {
 
 namespace {
@@ -41,55 +43,44 @@ Status CheckPredicateCovered(const extract::RawDataset& dataset,
   return Status::OK();
 }
 
-/// splitmix64 finalizer: a full-avalanche 64-bit mix, fixed here (not
-/// delegated to std::hash) so fingerprints are identical across platforms
-/// and standard libraries.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-/// Order-dependent combine for sequences.
-uint64_t Chain(uint64_t seed, uint64_t value) {
-  return Mix64(seed ^ Mix64(value));
-}
+// Mix64/HashChain (common/hash.h) are fixed, platform-stable mixes — not
+// std::hash — so fingerprints are identical across platforms and standard
+// libraries; a golden value is pinned in tests/io/dataset_io_test.cpp.
 
 }  // namespace
 
 uint64_t DatasetFingerprint(const extract::RawDataset& dataset) {
   uint64_t fp = 0x6b62742d66702d31ull;  // "kbt-fp-1": fingerprint version.
-  fp = Chain(fp, dataset.num_websites);
-  fp = Chain(fp, dataset.num_pages);
-  fp = Chain(fp, dataset.num_extractors);
-  fp = Chain(fp, dataset.num_patterns);
-  fp = Chain(fp, dataset.num_false_by_predicate.size());
+  fp = HashChain(fp, dataset.num_websites);
+  fp = HashChain(fp, dataset.num_pages);
+  fp = HashChain(fp, dataset.num_extractors);
+  fp = HashChain(fp, dataset.num_patterns);
+  fp = HashChain(fp, dataset.num_false_by_predicate.size());
   for (const int n : dataset.num_false_by_predicate) {
-    fp = Chain(fp, static_cast<uint64_t>(static_cast<int64_t>(n)));
+    fp = HashChain(fp, static_cast<uint64_t>(static_cast<int64_t>(n)));
   }
   // true_values lives in an unordered_map whose iteration order is not
   // specified, so its entries are combined commutatively (sum of per-entry
   // mixes) to keep the fingerprint content-stable.
   uint64_t truth = 0;
   for (const auto& [item, value] : dataset.true_values) {
-    truth += Mix64(Chain(Mix64(item), value));
+    truth += Mix64(HashChain(Mix64(item), value));
   }
-  fp = Chain(fp, truth);
-  fp = Chain(fp, dataset.true_values.size());
+  fp = HashChain(fp, truth);
+  fp = HashChain(fp, dataset.true_values.size());
   // Observations are an ordered sequence (appends extend it), so they are
   // chained in order; the float confidence contributes its exact bits.
-  fp = Chain(fp, dataset.observations.size());
+  fp = HashChain(fp, dataset.observations.size());
   for (const extract::RawObservation& obs : dataset.observations) {
     uint64_t h = Mix64(obs.item);
-    h = Chain(h, (static_cast<uint64_t>(obs.extractor) << 32) | obs.pattern);
-    h = Chain(h, (static_cast<uint64_t>(obs.website) << 32) | obs.page);
+    h = HashChain(h, (static_cast<uint64_t>(obs.extractor) << 32) | obs.pattern);
+    h = HashChain(h, (static_cast<uint64_t>(obs.website) << 32) | obs.page);
     uint32_t conf_bits = 0;
     static_assert(sizeof(conf_bits) == sizeof(obs.confidence));
     std::memcpy(&conf_bits, &obs.confidence, sizeof(conf_bits));
-    h = Chain(h, (static_cast<uint64_t>(obs.value) << 32) | conf_bits);
-    h = Chain(h, obs.provided ? 1u : 0u);
-    fp = Chain(fp, h);
+    h = HashChain(h, (static_cast<uint64_t>(obs.value) << 32) | conf_bits);
+    h = HashChain(h, obs.provided ? 1u : 0u);
+    fp = HashChain(fp, h);
   }
   return fp;
 }

@@ -9,6 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
+#include "cache/artifact_codec.h"
+#include "cache/artifact_store.h"
 #include "common/math.h"
 #include "core/kbt_score.h"
 #include "core/multilayer_model.h"
@@ -672,6 +677,294 @@ TEST(PipelineTest, StageSecondsCoverEveryStage) {
     EXPECT_EQ(report->stage_seconds[i].first,
               std::string(StageName(static_cast<Stage>(i))));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent disk cache: EnableDiskCache / Save / LoadCompiledArtifacts.
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test store directory.
+std::string CacheDir(const char* name) {
+  const std::string dir = TempPath(name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Path of the store entry a pipeline's artifacts live under.
+std::string EntryPathFor(const Pipeline& pipeline, const std::string& dir) {
+  return (fs::path(dir) /
+          cache::ArtifactStore::EntryFileName(
+              pipeline.dataset_fingerprint(),
+              cache::CompileOptionsFingerprint(pipeline.options())))
+      .string();
+}
+
+TEST(PipelineDiskCacheTest, WarmStartLoadsArtifactsBitForBit) {
+  const std::string dir = CacheDir("disk_cache_warm");
+  const exp::SyntheticConfig config = SmallSynthetic();
+
+  auto cold = PipelineBuilder().FromSynthetic(config).Build();
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->EnableDiskCache(dir).ok());
+  const auto cold_report = cold->Run();
+  ASSERT_TRUE(cold_report.ok());
+  // The run auto-persisted its artifacts.
+  EXPECT_TRUE(fs::exists(EntryPathFor(*cold, dir)));
+
+  // A new session over the same content: explicit load succeeds and fills
+  // the in-memory cache before any run.
+  auto warm = PipelineBuilder().FromSynthetic(config).Build();
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->EnableDiskCache(dir).ok());
+  EXPECT_EQ(warm->shape(), std::nullopt);
+  const Status loaded = warm->LoadCompiledArtifacts();
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  ASSERT_NE(warm->compiled_matrix(), nullptr);
+  EXPECT_EQ(warm->shape()->num_slots, cold_report->counts.num_slots);
+
+  const auto warm_report = warm->Run();
+  ASSERT_TRUE(warm_report.ok());
+  ExpectReportsEqual(*warm_report, *cold_report);
+}
+
+TEST(PipelineDiskCacheTest, RunAutoLoadsWithoutAnExplicitCall) {
+  const std::string dir = CacheDir("disk_cache_autoload");
+  const exp::SyntheticConfig config = SmallSynthetic();
+
+  auto cold = PipelineBuilder().FromSynthetic(config).Build();
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->EnableDiskCache(dir).ok());
+  const auto cold_report = cold->Run();
+  ASSERT_TRUE(cold_report.ok());
+
+  auto warm = PipelineBuilder().FromSynthetic(config).Build();
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->EnableDiskCache(dir).ok());
+  const auto warm_report = warm->Run();
+  ASSERT_TRUE(warm_report.ok());
+  ExpectReportsEqual(*warm_report, *cold_report);
+}
+
+TEST(PipelineDiskCacheTest, SplitMergeArtifactsRoundTripThroughTheStore) {
+  const std::string dir = CacheDir("disk_cache_splitmerge");
+  const exp::SyntheticConfig config = SmallSynthetic();
+
+  auto cold = PipelineBuilder()
+                  .FromSynthetic(config)
+                  .WithGranularity(Granularity::kSplitMerge)
+                  .Build();
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->EnableDiskCache(dir).ok());
+  const auto cold_report = cold->Run();
+  ASSERT_TRUE(cold_report.ok());
+
+  auto warm = PipelineBuilder()
+                  .FromSynthetic(config)
+                  .WithGranularity(Granularity::kSplitMerge)
+                  .Build();
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->EnableDiskCache(dir).ok());
+  ASSERT_TRUE(warm->LoadCompiledArtifacts().ok());
+  const auto warm_report = warm->Run();
+  ASSERT_TRUE(warm_report.ok());
+  ExpectReportsEqual(*warm_report, *cold_report);
+}
+
+TEST(PipelineDiskCacheTest, AppendOnLoadedArtifactsPatchesAndRepersists) {
+  const std::string dir = CacheDir("disk_cache_append");
+  const exp::SyntheticConfig config = SmallSynthetic();
+
+  auto cold = PipelineBuilder().FromSynthetic(config).Build();
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->EnableDiskCache(dir).ok());
+  ASSERT_TRUE(cold->Run().ok());
+
+  // Load into a fresh session, then grow the cube: the loaded matrix must
+  // be patched incrementally (not invalidated), exactly like a matrix the
+  // session compiled itself.
+  auto warm = PipelineBuilder().FromSynthetic(config).Build();
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->EnableDiskCache(dir).ok());
+  ASSERT_TRUE(warm->LoadCompiledArtifacts().ok());
+  const extract::CompiledMatrix* matrix = warm->compiled_matrix();
+  ASSERT_NE(matrix, nullptr);
+
+  std::vector<extract::RawObservation> delta;
+  delta.push_back(warm->dataset().observations[1]);  // repeat claim
+  extract::RawObservation fresh_obs = warm->dataset().observations[0];
+  fresh_obs.website = warm->dataset().num_websites;  // brand-new site
+  fresh_obs.page = warm->dataset().num_pages;
+  delta.push_back(fresh_obs);
+  ASSERT_TRUE(warm->AppendObservations(delta).ok());
+  EXPECT_EQ(warm->compiled_matrix(), matrix);  // patched in place
+
+  const auto patched_report = warm->Run();
+  ASSERT_TRUE(patched_report.ok());
+  auto fresh = PipelineBuilder().FromDataset(warm->dataset()).Build();
+  ASSERT_TRUE(fresh.ok());
+  const auto fresh_report = fresh->Run();
+  ASSERT_TRUE(fresh_report.ok());
+  ExpectReportsEqual(*patched_report, *fresh_report);
+
+  // The append re-persisted under the grown cube's fingerprint: a third
+  // session over the grown content loads without compiling.
+  EXPECT_TRUE(fs::exists(EntryPathFor(*warm, dir)));
+  auto restarted = PipelineBuilder().FromDataset(warm->dataset()).Build();
+  ASSERT_TRUE(restarted.ok());
+  ASSERT_TRUE(restarted->EnableDiskCache(dir).ok());
+  ASSERT_TRUE(restarted->LoadCompiledArtifacts().ok());
+  const auto restarted_report = restarted->Run();
+  ASSERT_TRUE(restarted_report.ok());
+  ExpectReportsEqual(*restarted_report, *patched_report);
+}
+
+TEST(PipelineDiskCacheTest, CorruptEntriesFallBackToACleanRebuild) {
+  const exp::SyntheticConfig config = SmallSynthetic();
+  auto reference = PipelineBuilder().FromSynthetic(config).Build();
+  ASSERT_TRUE(reference.ok());
+  const auto reference_report = reference->Run();
+  ASSERT_TRUE(reference_report.ok());
+
+  // Each corruption class: the poisoned entry must be rejected with a
+  // logged warning and the run must rebuild to the identical report.
+  struct Corruption {
+    const char* name;
+    void (*poison)(const std::string& path);
+  };
+  const Corruption corruptions[] = {
+      {"truncated",
+       [](const std::string& path) {
+         fs::resize_file(path, fs::file_size(path) / 3);
+       }},
+      {"bad_crc",
+       [](const std::string& path) {
+         // XOR, not overwrite: unconditionally flips bits whatever the
+         // byte holds, so the corruption can never be a no-op.
+         std::fstream file(path,
+                           std::ios::in | std::ios::out | std::ios::binary);
+         file.seekg(-5, std::ios::end);
+         const char byte = static_cast<char>(file.get());
+         file.seekp(-5, std::ios::end);
+         file.put(static_cast<char>(byte ^ 0x55));
+       }},
+      {"wrong_version",
+       [](const std::string& path) {
+         std::fstream file(path,
+                           std::ios::in | std::ios::out | std::ios::binary);
+         file.seekg(8);  // format_version field
+         const char byte = static_cast<char>(file.get());
+         file.seekp(8);
+         file.put(static_cast<char>(byte ^ 0x40));
+       }},
+  };
+  for (const Corruption& corruption : corruptions) {
+    SCOPED_TRACE(corruption.name);
+    const std::string dir =
+        CacheDir((std::string("disk_cache_") + corruption.name).c_str());
+    auto cold = PipelineBuilder().FromSynthetic(config).Build();
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(cold->EnableDiskCache(dir).ok());
+    ASSERT_TRUE(cold->Run().ok());
+    const std::string entry = EntryPathFor(*cold, dir);
+    ASSERT_TRUE(fs::exists(entry));
+    corruption.poison(entry);
+
+    auto recovered = PipelineBuilder().FromSynthetic(config).Build();
+    ASSERT_TRUE(recovered.ok());
+    ASSERT_TRUE(recovered->EnableDiskCache(dir).ok());
+    ::testing::internal::CaptureStderr();
+    const auto report = recovered->Run();
+    const std::string log = ::testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_NE(log.find("disk cache"), std::string::npos)
+        << "expected a logged warning, got: " << log;
+    ExpectReportsEqual(*report, *reference_report);
+  }
+}
+
+TEST(PipelineDiskCacheTest, MismatchedEntryContentFallsBackToARebuild) {
+  const std::string dir = CacheDir("disk_cache_mismatch");
+
+  // Persist artifacts of cube A, then plant that entry under cube B's key:
+  // the stored fingerprints disagree with the key, so B must reject the
+  // entry (fingerprint mismatch), log, and rebuild — identical results.
+  auto a = PipelineBuilder().FromSynthetic(SmallSynthetic()).Build();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a->EnableDiskCache(dir).ok());
+  ASSERT_TRUE(a->Run().ok());
+
+  exp::SyntheticConfig other = SmallSynthetic();
+  other.seed = 1234;  // different content, different fingerprint
+  auto reference = PipelineBuilder().FromSynthetic(other).Build();
+  ASSERT_TRUE(reference.ok());
+  const auto reference_report = reference->Run();
+  ASSERT_TRUE(reference_report.ok());
+
+  auto b = PipelineBuilder().FromSynthetic(other).Build();
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(b->EnableDiskCache(dir).ok());
+  fs::copy_file(EntryPathFor(*a, dir), EntryPathFor(*b, dir));
+  ::testing::internal::CaptureStderr();
+  const auto report = b->Run();
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(log.find("disk cache"), std::string::npos);
+  ExpectReportsEqual(*report, *reference_report);
+}
+
+TEST(PipelineDiskCacheTest, EntriesAreKeyedByCompileOptions) {
+  const std::string dir = CacheDir("disk_cache_options_key");
+  const exp::SyntheticConfig config = SmallSynthetic();
+
+  auto finest = PipelineBuilder().FromSynthetic(config).Build();
+  ASSERT_TRUE(finest.ok());
+  ASSERT_TRUE(finest->EnableDiskCache(dir).ok());
+  ASSERT_TRUE(finest->Run().ok());
+
+  // Same dataset, different granularity: the finest entry must not serve
+  // this pipeline (different options fingerprint -> miss, not corruption).
+  auto coarse = PipelineBuilder()
+                    .FromSynthetic(config)
+                    .WithGranularity(Granularity::kWebsiteSource)
+                    .Build();
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(coarse->EnableDiskCache(dir).ok());
+  EXPECT_EQ(coarse->LoadCompiledArtifacts().code(), StatusCode::kNotFound);
+}
+
+TEST(PipelineDiskCacheTest, SaveAndLoadStatusContracts) {
+  const std::string dir = CacheDir("disk_cache_contracts");
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(QuickstartCube())
+                      .WithOptions(QuickstartOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+
+  // Without a store attached, both entry points refuse.
+  EXPECT_EQ(pipeline->SaveCompiledArtifacts().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pipeline->LoadCompiledArtifacts().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(pipeline->EnableDiskCache(dir).ok());
+  // Nothing compiled yet: saving would persist nothing.
+  EXPECT_EQ(pipeline->SaveCompiledArtifacts().code(),
+            StatusCode::kFailedPrecondition);
+  // Empty store: loading misses.
+  EXPECT_EQ(pipeline->LoadCompiledArtifacts().code(), StatusCode::kNotFound);
+
+  // An explicit save after a run succeeds and round-trips.
+  ASSERT_TRUE(pipeline->Run().ok());
+  ASSERT_TRUE(pipeline->SaveCompiledArtifacts().ok());
+  auto warm = PipelineBuilder()
+                  .FromDataset(QuickstartCube())
+                  .WithOptions(QuickstartOptions())
+                  .Build();
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->EnableDiskCache(dir).ok());
+  EXPECT_TRUE(warm->LoadCompiledArtifacts().ok());
 }
 
 TEST(PipelineTest, ScoringStagesCanBeDisabled) {

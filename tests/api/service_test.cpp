@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <thread>
@@ -377,6 +378,46 @@ TEST(TrustServiceTest, DistinctSessionsServeConcurrently) {
 // Lifecycle + error surface.
 // ---------------------------------------------------------------------------
 
+TEST(TrustServiceTest, CacheDirectoryWarmsSessionsAcrossRestarts) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/kbt_service_cache";
+  std::filesystem::remove_all(dir);
+
+  TrustService::ServiceOptions options;
+  options.cache_directory = dir;
+
+  // First service lifetime: the run compiles and persists its artifacts.
+  StatusOr<TrustReport> first_report = Status::NotFound("unset");
+  {
+    TrustService service(options);
+    auto pipeline = BuildPipeline(11);
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE(service.CreateSession("tenant", std::move(*pipeline)).ok());
+    first_report = service.SubmitRun("tenant").get();
+    ASSERT_TRUE(first_report.ok());
+  }
+  ASSERT_FALSE(std::filesystem::is_empty(dir));
+
+  // "Process restart": a new service over the same cube. The session's
+  // first run loads the persisted artifacts instead of compiling — and
+  // serves the bit-for-bit identical report.
+  {
+    TrustService service(options);
+    auto pipeline = BuildPipeline(11);
+    ASSERT_TRUE(pipeline.ok());
+    ASSERT_TRUE(service.CreateSession("tenant", std::move(*pipeline)).ok());
+    const StatusOr<TrustReport> warm = service.SubmitRun("tenant").get();
+    ASSERT_TRUE(warm.ok());
+    ExpectReportsEqual(*warm, *first_report);
+  }
+  // Content-addressed: both lifetimes share one entry for the one cube.
+  size_t entries = 0;
+  for (const auto& file : std::filesystem::directory_iterator(dir)) {
+    if (file.path().extension() == ".kbtart") ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
 TEST(TrustServiceTest, UnknownSessionResolvesToNotFound) {
   TrustService service;
   auto run = service.SubmitRun("nope").get();
@@ -399,6 +440,25 @@ TEST(TrustServiceTest, DuplicateSessionNameIsRejected) {
   EXPECT_TRUE(pipeline->Run().ok());
   EXPECT_TRUE(service.CreateSession("dup2", std::move(*pipeline)).ok());
   EXPECT_TRUE(service.SubmitRun("dup2").get().ok());
+}
+
+TEST(TrustServiceTest, DuplicateNameWithCacheLeavesThePipelineUntouched) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/kbt_service_dup_cache";
+  std::filesystem::remove_all(dir);
+  TrustService::ServiceOptions options;
+  options.cache_directory = dir;
+  TrustService service(options);
+  ASSERT_TRUE(service.CreateSession("dup", *BuildPipeline(30)).ok());
+
+  auto pipeline = BuildPipeline(31);
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ(service.CreateSession("dup", std::move(*pipeline)).code(),
+            StatusCode::kInvalidArgument);
+  // The collision is checked before ANY mutation: in particular no disk
+  // cache was attached to the caller's still-owned pipeline.
+  EXPECT_EQ(pipeline->SaveCompiledArtifacts().code(),
+            StatusCode::kFailedPrecondition);
 }
 
 TEST(TrustServiceTest, BuilderOverloadBuildsAndRegisters) {

@@ -1,0 +1,226 @@
+// Codec tests: byte-exact round trips of the compiled artifacts, rejection
+// of every corruption class the format guards against, and stability of the
+// compile-options fingerprint that keys the store.
+#include "cache/artifact_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/synthetic.h"
+#include "granularity/assignments.h"
+#include "kbt/options.h"
+
+namespace kbt::cache {
+namespace {
+
+/// A small but non-trivial compiled cube: multiple sources, extractors,
+/// predicates, duplicate claims (exercising confidence-max dedup).
+struct Compiled {
+  extract::RawDataset data;
+  extract::GroupAssignment assignment;
+  extract::CompiledMatrix matrix;
+};
+
+Compiled BuildCompiled() {
+  exp::SyntheticConfig config;
+  config.num_sources = 12;
+  config.num_extractors = 4;
+  config.num_subjects = 9;
+  config.num_predicates = 3;
+  config.seed = 42;
+  Compiled out;
+  out.data = exp::GenerateSynthetic(config).data;
+  out.assignment = granularity::FinestAssignment(out.data);
+  auto matrix = extract::CompiledMatrix::Build(out.data, out.assignment);
+  EXPECT_TRUE(matrix.ok()) << matrix.status().ToString();
+  out.matrix = std::move(*matrix);
+  return out;
+}
+
+std::string Encode(const Compiled& c, uint64_t dataset_fp = 0x1111,
+                   uint64_t options_fp = 0x2222) {
+  return EncodeArtifacts(dataset_fp, options_fp, c.data.size(), c.assignment,
+                         c.matrix);
+}
+
+TEST(ArtifactCodecTest, RoundTripPreservesEveryField) {
+  const Compiled c = BuildCompiled();
+  const std::string blob = Encode(c);
+
+  const StatusOr<ArtifactBundle> decoded = DecodeArtifacts(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->dataset_fingerprint, 0x1111u);
+  EXPECT_EQ(decoded->options_fingerprint, 0x2222u);
+  EXPECT_EQ(decoded->compiled_observations, c.data.size());
+  EXPECT_TRUE(decoded->assignment == c.assignment);
+
+  // Matrix equality through the public accessors...
+  const extract::CompiledMatrix& m = decoded->matrix;
+  ASSERT_EQ(m.num_slots(), c.matrix.num_slots());
+  ASSERT_EQ(m.num_items(), c.matrix.num_items());
+  ASSERT_EQ(m.num_extractions(), c.matrix.num_extractions());
+  ASSERT_EQ(m.num_sources(), c.matrix.num_sources());
+  ASSERT_EQ(m.num_extractor_groups(), c.matrix.num_extractor_groups());
+  for (size_t s = 0; s < m.num_slots(); ++s) {
+    ASSERT_EQ(m.slot_source(s), c.matrix.slot_source(s));
+    ASSERT_EQ(m.slot_item(s), c.matrix.slot_item(s));
+    ASSERT_EQ(m.slot_value(s), c.matrix.slot_value(s));
+    ASSERT_EQ(m.slot_website(s), c.matrix.slot_website(s));
+    ASSERT_EQ(m.slot_predicate(s), c.matrix.slot_predicate(s));
+    ASSERT_EQ(m.slot_provided_truth(s), c.matrix.slot_provided_truth(s));
+    ASSERT_EQ(m.SlotExtractions(s), c.matrix.SlotExtractions(s));
+  }
+  ASSERT_EQ(m.ext_group(), c.matrix.ext_group());
+  ASSERT_EQ(m.ext_conf(), c.matrix.ext_conf());
+  for (size_t i = 0; i < m.num_items(); ++i) {
+    ASSERT_EQ(m.item_id(i), c.matrix.item_id(i));
+    ASSERT_EQ(m.item_num_false(i), c.matrix.item_num_false(i));
+    ASSERT_EQ(m.ItemSlots(i), c.matrix.ItemSlots(i));
+  }
+  for (uint32_t w = 0; w < m.num_sources(); ++w) {
+    ASSERT_EQ(m.SourceSlots(w), c.matrix.SourceSlots(w));
+    ASSERT_TRUE(m.source_info(w) == c.matrix.source_info(w));
+  }
+  for (uint32_t e = 0; e < m.num_extractor_groups(); ++e) {
+    ASSERT_EQ(m.ExtractorEdges(e), c.matrix.ExtractorEdges(e));
+    ASSERT_TRUE(m.extractor_scope(e) == c.matrix.extractor_scope(e));
+  }
+  ASSERT_EQ(m.source_slot_index(), c.matrix.source_slot_index());
+  ASSERT_EQ(m.extractor_edge_index(), c.matrix.extractor_edge_index());
+
+  // ...and, stronger, bit-exactly: re-encoding the decoded bundle must
+  // reproduce the original blob, which covers every serialized byte.
+  const std::string re_encoded =
+      EncodeArtifacts(decoded->dataset_fingerprint,
+                      decoded->options_fingerprint,
+                      decoded->compiled_observations, decoded->assignment,
+                      decoded->matrix);
+  EXPECT_EQ(re_encoded, blob);
+}
+
+TEST(ArtifactCodecTest, EncodingIsDeterministic) {
+  const Compiled c = BuildCompiled();
+  EXPECT_EQ(Encode(c), Encode(c));
+}
+
+TEST(ArtifactCodecTest, RejectsBadMagic) {
+  std::string blob = Encode(BuildCompiled());
+  blob[0] = 'X';
+  const auto decoded = DecodeArtifacts(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
+}
+
+TEST(ArtifactCodecTest, RejectsWrongFormatVersion) {
+  std::string blob = Encode(BuildCompiled());
+  blob[8] = static_cast<char>(kFormatVersion + 1);  // version is at offset 8
+  const auto decoded = DecodeArtifacts(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("format version"),
+            std::string::npos);
+}
+
+TEST(ArtifactCodecTest, RejectsBadEndianMarker) {
+  std::string blob = Encode(BuildCompiled());
+  // Little-endian writes the marker as 04 03 02 01; a byte-swapped file
+  // would lead with 0x01.
+  blob[12] = 0x01;
+  const auto decoded = DecodeArtifacts(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("endian"), std::string::npos);
+}
+
+TEST(ArtifactCodecTest, RejectsTruncationAtEveryBoundary) {
+  const std::string blob = Encode(BuildCompiled());
+  // Chop in the header, in the section table, and inside each payload.
+  for (const size_t keep :
+       {size_t{0}, size_t{7}, size_t{20}, size_t{60}, blob.size() / 2,
+        blob.size() - 1}) {
+    const auto decoded = DecodeArtifacts(blob.substr(0, keep));
+    EXPECT_FALSE(decoded.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(ArtifactCodecTest, RejectsFlippedPayloadByteViaCrc) {
+  std::string blob = Encode(BuildCompiled());
+  blob[blob.size() - 1] ^= 0x40;  // inside the matrix section payload
+  const auto decoded = DecodeArtifacts(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("CRC"), std::string::npos);
+}
+
+TEST(ArtifactCodecTest, RejectsMismatchedGroupCounts) {
+  Compiled c = BuildCompiled();
+  // A well-formed blob whose assignment disagrees with its matrix: the
+  // structural validation must catch what the CRCs cannot.
+  c.assignment.num_source_groups += 1;
+  c.assignment.source_infos.push_back({0});
+  const auto decoded = DecodeArtifacts(Encode(c));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("group counts"),
+            std::string::npos);
+}
+
+TEST(ArtifactCodecTest, Crc32MatchesKnownAnswer) {
+  // The CRC-32/IEEE check value: crc32("123456789") == 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(data, 0), 0u);
+}
+
+TEST(ArtifactCodecTest, FieldListCoversHeaderAndBothSections) {
+  const std::vector<FieldSpec>& fields = ArtifactFields();
+  size_t header = 0, assignment = 0, matrix = 0;
+  for (const FieldSpec& f : fields) {
+    if (f.section == "header") ++header;
+    if (f.section == "assignment") ++assignment;
+    if (f.section == "matrix") ++matrix;
+  }
+  EXPECT_EQ(header + assignment + matrix, fields.size());
+  EXPECT_EQ(header, 8u);
+  EXPECT_EQ(assignment, 6u);
+  EXPECT_EQ(matrix, 21u);
+}
+
+TEST(OptionsFingerprintTest, GoldenValuesArePinned) {
+  // These values key PERSISTED cache entries: changing the fingerprint
+  // function (or the fields/order it hashes) orphans every .kbtart file
+  // ever written. If this test fails, you changed the cache key — make
+  // sure that is intentional and treat it like a format bump
+  // (docs/artifact-format.md).
+  api::Options finest;  // default options: kFinest
+  EXPECT_EQ(CompileOptionsFingerprint(finest), 0xdf0f8a052b8f3ce7ull);
+  api::Options sm;
+  sm.granularity = api::Granularity::kSplitMerge;
+  EXPECT_EQ(CompileOptionsFingerprint(sm), 0xd9664027bbed6b74ull);
+}
+
+TEST(OptionsFingerprintTest, KeyedByGranularityOnlyForStatelessKinds) {
+  api::Options a;
+  a.granularity = api::Granularity::kFinest;
+  api::Options b = a;
+  // Inference knobs do not shape the compiled artifacts.
+  b.multilayer.max_iterations += 5;
+  b.model = api::Model::kSingleLayer;
+  b.sm_source.min_size += 1;  // ignored outside kSplitMerge
+  EXPECT_EQ(CompileOptionsFingerprint(a), CompileOptionsFingerprint(b));
+
+  b.granularity = api::Granularity::kWebsiteSource;
+  EXPECT_NE(CompileOptionsFingerprint(a), CompileOptionsFingerprint(b));
+}
+
+TEST(OptionsFingerprintTest, SplitMergeKnobsKeyTheFingerprint) {
+  api::Options a;
+  a.granularity = api::Granularity::kSplitMerge;
+  api::Options b = a;
+  EXPECT_EQ(CompileOptionsFingerprint(a), CompileOptionsFingerprint(b));
+  b.sm_extractor.max_size += 1;
+  EXPECT_NE(CompileOptionsFingerprint(a), CompileOptionsFingerprint(b));
+  b = a;
+  b.sm_source.seed += 1;
+  EXPECT_NE(CompileOptionsFingerprint(a), CompileOptionsFingerprint(b));
+}
+
+}  // namespace
+}  // namespace kbt::cache

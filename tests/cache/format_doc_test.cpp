@@ -1,0 +1,95 @@
+// Cross-checks docs/artifact-format.md — the normative on-disk spec —
+// against the codec itself: the spec's field table must list exactly the
+// fields the codec serializes, in order, and the documented format version
+// must match kFormatVersion. A failing test means code and spec drifted;
+// docs/artifact-format.md has the bump checklist.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/artifact_codec.h"
+
+namespace kbt::cache {
+namespace {
+
+std::string ReadSpec() {
+  const std::string path =
+      std::string(KBT_SOURCE_DIR) + "/docs/artifact-format.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Rows of the markdown table under "## Field list": (section, name, type).
+std::vector<std::vector<std::string>> ParseFieldTable(
+    const std::string& spec) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream lines(spec);
+  std::string line;
+  bool in_section = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("## ", 0) == 0) {
+      in_section = line == "## Field list";
+      continue;
+    }
+    if (!in_section || line.rfind("|", 0) != 0) continue;
+    // Split on '|'; a row like "| header | magic | `u8[8]` |" yields three
+    // non-empty cells.
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream row(line.substr(1));
+    while (std::getline(row, cell, '|')) {
+      const size_t begin = cell.find_first_not_of(" `");
+      const size_t end = cell.find_last_not_of(" `");
+      cells.push_back(begin == std::string::npos
+                          ? std::string()
+                          : cell.substr(begin, end - begin + 1));
+    }
+    while (!cells.empty() && cells.back().empty()) cells.pop_back();
+    if (cells.size() != 3) continue;
+    if (cells[0] == "Section") continue;                   // header row
+    if (cells[0].find_first_not_of("-: ") == std::string::npos) continue;
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+TEST(FormatDocTest, FieldTableMatchesTheCodecExactly) {
+  const std::vector<std::vector<std::string>> documented =
+      ParseFieldTable(ReadSpec());
+  const std::vector<FieldSpec>& actual = ArtifactFields();
+
+  ASSERT_FALSE(documented.empty())
+      << "docs/artifact-format.md has no parseable '## Field list' table";
+  ASSERT_EQ(documented.size(), actual.size())
+      << "spec lists " << documented.size() << " fields, the codec has "
+      << actual.size();
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(documented[i][0], actual[i].section) << "row " << i;
+    EXPECT_EQ(documented[i][1], actual[i].name) << "row " << i;
+    EXPECT_EQ(documented[i][2], actual[i].type) << "row " << i;
+  }
+}
+
+TEST(FormatDocTest, DocumentedVersionMatchesKFormatVersion) {
+  const std::string spec = ReadSpec();
+  const std::string want =
+      "kFormatVersion = " + std::to_string(kFormatVersion);
+  EXPECT_NE(spec.find(want), std::string::npos)
+      << "docs/artifact-format.md must state '" << want << "'";
+}
+
+TEST(FormatDocTest, DocumentedMagicMatchesKMagic) {
+  const std::string spec = ReadSpec();
+  EXPECT_NE(spec.find("\"KBTCACHE\""), std::string::npos)
+      << "docs/artifact-format.md must state the magic string";
+  EXPECT_EQ(std::string(kMagic, sizeof(kMagic)), "KBTCACHE");
+}
+
+}  // namespace
+}  // namespace kbt::cache
