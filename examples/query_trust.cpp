@@ -1,0 +1,115 @@
+// The read path: serving trust scores to many consumers while the compute
+// path keeps working — the shape the paper implies when KBT becomes a
+// search-quality signal queried per source and per triple at web scale.
+//
+// One session computes; a completed run auto-publishes an immutable,
+// index-backed snapshot; readers query it lock-free (point lookups, top-k
+// rankings, per-item candidate values) while appends and re-runs queue
+// behind the service's write lane. A second run publishes a second
+// snapshot, and a cross-snapshot diff shows which sources moved most.
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "kbt/kbt.h"
+
+int main() {
+  using namespace kbt;
+
+  api::TrustService service;
+
+  api::Options options;
+  options.granularity = api::Granularity::kWebsiteSource;  // site-level KBT
+  options.multilayer.min_source_support = 1;
+  options.multilayer.min_extractor_support = 1;
+
+  // ---- One tenant: a synthetic web cube with a live tail ----
+  exp::SyntheticConfig config;
+  config.num_sources = 60;
+  config.num_extractors = 5;
+  config.num_subjects = 40;
+  config.seed = 7;
+  extract::RawDataset cube = exp::GenerateSynthetic(config).data;
+  std::vector<extract::RawObservation> delta(
+      cube.observations.end() - 200, cube.observations.end());
+  cube.observations.resize(cube.size() - 200);
+
+  api::PipelineBuilder builder;
+  builder.FromDataset(std::move(cube)).WithOptions(options);
+  if (!service.CreateSession("web", std::move(builder)).ok()) return 1;
+
+  // ---- First run completes -> a snapshot is published automatically ----
+  auto first = service.SubmitRun("web").get();
+  if (!first.ok()) {
+    std::fprintf(stderr, "run: %s\n", first.status().ToString().c_str());
+    return 1;
+  }
+
+  // A reader is a cheap per-thread handle; its view() is lock-free and the
+  // returned pointer stays pinned until the next call, so queries never
+  // block on — or wait for — the session's queued writes.
+  auto reader = service.Query("web");
+  if (!reader.ok()) return 1;
+  const query::Snapshot* snap = reader->view();
+  std::printf("snapshot #%llu: %zu sources, %zu triples indexed\n",
+              static_cast<unsigned long long>(snap->info().sequence),
+              snap->num_sources(), snap->num_triples());
+
+  // ---- Rank queries: the most trustworthy sources (paper Section 5.4:
+  // only sources with >= 5 expected correct triples get a score) ----
+  std::printf("\ntop 5 most trustworthy source groups:\n");
+  for (const query::SourceTrust& s : snap->TopKSources(5)) {
+    std::printf("  source %3u  kbt=%.3f  evidence=%.1f\n", s.id, s.kbt,
+                s.evidence);
+  }
+
+  // Filters compose: the most trustworthy of the *well-covered* sources.
+  query::SourceFilter heavy;
+  heavy.min_evidence = 20.0;
+  std::printf("with >= 20 expected correct triples: %zu qualify\n",
+              snap->TopKSources(3, heavy).size());
+
+  // ---- Point + item lookups around the most-believed triple ----
+  const auto best = snap->TopKTriples(1);
+  if (!best.empty()) {
+    const auto values = snap->ItemValues(best[0].item);
+    std::printf("\nmost-believed triple's item has %zu candidate values:\n",
+                values.size());
+    for (const query::TripleTruth& v : values) {
+      std::printf("  value %4u  p=%.3f%s\n", v.value, v.probability,
+                  v.covered ? "" : "  (uncovered)");
+    }
+  }
+
+  // ---- Writes queue; reads keep serving the published snapshot ----
+  // Pin snapshot #1 (shared ownership survives any number of publishes),
+  // then stream the delta and recompute.
+  const auto pinned = reader->Acquire();
+  auto appended = service.SubmitAppend("web", delta);
+  auto second = service.SubmitRun("web");
+  // This query runs concurrently with the append+run above and still
+  // serves snapshot #1 — reads are decoupled from queued writes.
+  (void)snap->TopKWebsites(3);
+  appended.get();
+  if (!second.get().ok()) return 1;
+
+  // ---- The new run auto-published snapshot #2: diff old vs new ----
+  const query::Snapshot* after = reader->view();
+  std::printf("\nafter append+rerun: snapshot #%llu (%zu triples)\n",
+              static_cast<unsigned long long>(after->info().sequence),
+              after->num_triples());
+
+  const query::SnapshotDiff diff = DiffSnapshots(*pinned, *after, 3);
+  std::printf("sources added: %zu, triples added: %zu\n",
+              diff.sources_added, diff.triples_added);
+  std::printf("sources that moved most between the runs:\n");
+  for (const query::SourceMove& move : diff.top_source_moves) {
+    std::printf("  source %3u  %.3f -> %.3f  (delta %+.3f)\n", move.id,
+                move.before_kbt, move.after_kbt, move.delta);
+  }
+
+  std::printf("\nsnapshots published by the service: %zu\n",
+              service.stats().snapshots_published);
+  return 0;
+}

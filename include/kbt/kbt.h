@@ -26,10 +26,17 @@
 /// (Pipeline::EnableDiskCache / ServiceOptions::cache_directory):
 /// re-analysis of an unchanged cube loads the compiled matrix instead of
 /// recompiling it. Format spec: docs/artifact-format.md.
+///
+/// The read path is kbt::query (kbt/query.h): completed runs publish
+/// immutable, index-backed Snapshots (O(1) point lookups, pre-sorted
+/// top-k, cross-snapshot diff) through an RCU-style registry, so any
+/// number of reader threads query trust scores lock-free while writes
+/// queue behind the compute path (TrustService::Query).
 
 #include "kbt/data.h"
 #include "kbt/options.h"
 #include "kbt/pipeline.h"
+#include "kbt/query.h"
 #include "kbt/report.h"
 #include "kbt/service.h"
 

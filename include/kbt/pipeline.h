@@ -18,6 +18,11 @@
 #include "kbt/options.h"
 #include "kbt/report.h"
 
+namespace kbt::query {
+class Snapshot;
+class SnapshotRegistry;
+}  // namespace kbt::query
+
 namespace kbt::api {
 
 /// Invoked after every pipeline stage with the stage and its wall-clock
@@ -123,7 +128,12 @@ class Pipeline {
   /// extender state with one O(observations) replay pass; warm sessions
   /// that never append skip that cost entirely). Fails when the directory
   /// cannot be created. Enabling replaces any previous store.
-  Status EnableDiskCache(const std::string& directory);
+  ///
+  /// `max_bytes` caps the store's total size (0 = unlimited): each save
+  /// then sweeps least-recently-used entries (by mtime, refreshed on
+  /// load) until the total fits — see cache::StoreOptions::max_bytes.
+  Status EnableDiskCache(const std::string& directory,
+                         uint64_t max_bytes = 0);
 
   /// Persists the currently cached artifacts to the attached store now.
   /// FailedPrecondition when EnableDiskCache was not called or nothing is
@@ -138,6 +148,26 @@ class Pipeline {
   /// load inside Run(), this surfaces the exact status instead of falling
   /// back silently.
   Status LoadCompiledArtifacts();
+
+  /// Indexes `report` into an immutable query::Snapshot (stamped with the
+  /// dataset's current fingerprint) and publishes it on this pipeline's
+  /// snapshot registry, atomically replacing the previously served
+  /// snapshot. Readers holding the old snapshot keep it alive; new reads
+  /// see the new one. Returns the published snapshot.
+  ///
+  /// Call it with a report produced by THIS pipeline, after the run and
+  /// before further appends — otherwise the stamped fingerprint describes
+  /// a different cube than the scores (the values themselves are still
+  /// served bit-for-bit from `report`). TrustService does this
+  /// automatically after every completed Run/RunFrom. Like every mutator,
+  /// not safe against a concurrent AppendObservations.
+  std::shared_ptr<const query::Snapshot> PublishSnapshot(
+      const TrustReport& report);
+
+  /// The registry PublishSnapshot publishes to. Shared ownership: readers
+  /// (query::SnapshotReader) hold it beyond the pipeline's lifetime, so a
+  /// served snapshot outlives a closed session. Never null.
+  std::shared_ptr<query::SnapshotRegistry> snapshot_registry() const;
 
   /// Replaces the executor subsequent runs parallelize through (null means
   /// serial stages), overriding whatever the builder set. Must not be

@@ -1,0 +1,367 @@
+#ifndef KBT_API_QUERY_H_
+#define KBT_API_QUERY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "kb/ids.h"
+#include "kbt/options.h"
+#include "kbt/report.h"
+
+/// kbt::query — the read path of the library: lock-free snapshot serving
+/// of trust scores at read-heavy scale.
+///
+/// The compute side (Pipeline/TrustService) produces TrustReports; this
+/// module turns each report into an immutable, index-backed Snapshot and
+/// publishes it through a SnapshotRegistry with RCU semantics: the
+/// steady-state read path is lock-free (a version-counter gate), a
+/// publish is one briefly-guarded shared_ptr swap (see the
+/// SnapshotRegistry comment for why it is not std::atomic<shared_ptr>),
+/// and in-flight queries keep superseded snapshots alive until their
+/// readers move on.
+///
+///   auto pipeline = kbt::api::PipelineBuilder()...Build();
+///   auto report = pipeline->Run();
+///   pipeline->PublishSnapshot(*report);
+///
+///   kbt::query::SnapshotReader reader(pipeline->snapshot_registry());
+///   const kbt::query::Snapshot* snap = reader.view();   // lock-free
+///   auto trust = snap->SourceTrust(42);                 // O(1)
+///   auto top = snap->TopKSources(10);                   // pre-sorted
+///
+/// Or, through the serving layer (which auto-publishes after every
+/// completed run): `service.Query("news")` hands back a SnapshotReader
+/// whose queries proceed concurrently with that session's queued writes.
+namespace kbt::query {
+
+class Snapshot;
+struct SnapshotDiff;
+
+/// Identity and provenance of one published Snapshot.
+struct SnapshotInfo {
+  /// Publish sequence number assigned by the SnapshotRegistry (1, 2, ...);
+  /// 0 until the snapshot is published. Strictly increasing per registry,
+  /// so readers can order snapshots and detect staleness.
+  uint64_t sequence = 0;
+  /// io::DatasetFingerprint of the pipeline's dataset at publish time — 0
+  /// when the snapshot was built outside a pipeline. Comparing it against
+  /// Pipeline::dataset_fingerprint() reveals appends that the served
+  /// scores do not yet reflect.
+  uint64_t dataset_fingerprint = 0;
+  /// Echoed from the producing TrustReport.
+  api::Model model = api::Model::kMultiLayer;
+  api::Granularity granularity = api::Granularity::kFinest;
+  /// Shape of the compiled problem the report came from.
+  api::PipelineCounts counts;
+};
+
+/// One source's served trust: the KBT aggregate (Eq. 28) plus its evidence
+/// mass. `id` is the dense source-group id (or WebsiteId for website
+/// queries); `scored` applies the paper's Section 5.4 reporting rule
+/// (evidence >= the snapshot's min_evidence, default 5).
+struct SourceTrust {
+  uint32_t id = kb::kInvalidId;
+  double kbt = 0.0;
+  double evidence = 0.0;
+  bool scored = false;
+};
+
+/// Key of one distinct extracted triple (data item, claimed value).
+struct TripleKey {
+  kb::DataItemId item = 0;
+  kb::ValueId value = kb::kInvalidId;
+};
+
+/// One triple's served belief: p(V_d = v | X) and whether the item has a
+/// supported provider (uncovered triples carry a probability the paper
+/// would not act on).
+struct TripleTruth {
+  kb::DataItemId item = 0;
+  kb::ValueId value = kb::kInvalidId;
+  double probability = 0.0;
+  bool covered = false;
+};
+
+/// Filters for TopKSources / TopKWebsites. The evidence threshold applies
+/// first (cheap), then the optional predicate.
+struct SourceFilter {
+  /// Minimum evidence mass to be served as ranked; defaults to the
+  /// snapshot's own min_evidence (see SnapshotOptions). Set to 0 to rank
+  /// every group.
+  std::optional<double> min_evidence;
+  /// Arbitrary predicate over the candidate; empty accepts everything.
+  std::function<bool(const SourceTrust&)> predicate;
+};
+
+/// Filters for TopKTriples.
+struct TripleFilter {
+  /// Serve only triples whose item has a supported provider.
+  bool covered_only = false;
+  /// Arbitrary predicate over the candidate; empty accepts everything.
+  std::function<bool(const TripleTruth&)> predicate;
+};
+
+/// Build-time knobs of one Snapshot.
+struct SnapshotOptions {
+  /// Evidence mass below which a source is served as unscored (the paper
+  /// reports KBT only for sources with >= 5 expected correct extractions).
+  double min_evidence = 5.0;
+};
+
+/// An immutable, sealed, index-backed view over one TrustReport. Built
+/// once at publish time: a hash index from triple keys to dense positions
+/// (open addressing, O(1) point lookups), per-item ranges, and score
+/// orders sorted at build for O(k) top-k scans. All scores are served
+/// bit-for-bit as the report produced them — a Snapshot re-indexes, it
+/// never recomputes.
+///
+/// Thread safety: a built Snapshot is deeply const; any number of threads
+/// may query one concurrently without synchronization. Queries never
+/// allocate except to return their result vectors.
+class Snapshot {
+ public:
+  /// Indexes `report` into a sealed snapshot. `stamp.sequence` is ignored
+  /// (the registry assigns it at publish). Sources/websites/triples the
+  /// report does not carry (e.g. score_sources disabled) simply yield
+  /// empty/miss answers.
+  static Snapshot Build(const api::TrustReport& report,
+                        const SnapshotInfo& stamp = SnapshotInfo(),
+                        const SnapshotOptions& options = SnapshotOptions());
+
+  /// Identity, provenance and shape of this snapshot.
+  const SnapshotInfo& info() const { return info_; }
+  /// The evidence threshold `scored` was computed with.
+  double min_evidence() const { return min_evidence_; }
+
+  // ---- Sizes ----
+  /// Source groups carried (0 when the report skipped source scoring).
+  size_t num_sources() const { return source_kbt_.size(); }
+  /// Websites carried (0 when the report skipped website scoring).
+  size_t num_websites() const { return website_kbt_.size(); }
+  /// Distinct (item, value) triples carried.
+  size_t num_triples() const { return triples_.size(); }
+  /// Distinct data items carried.
+  size_t num_items() const { return item_ids_.size(); }
+
+  // ---- Point lookups (O(1)) ----
+  /// Trust of one source group, or nullopt for an unknown id.
+  std::optional<query::SourceTrust> SourceTrust(uint32_t source_group) const;
+  /// Trust of one website, or nullopt for an unknown id.
+  std::optional<query::SourceTrust> WebsiteTrust(kb::WebsiteId website) const;
+  /// Belief in one (item, value) triple, or nullopt when the cube never
+  /// extracted it.
+  std::optional<query::TripleTruth> TripleTruth(kb::DataItemId item,
+                                                kb::ValueId value) const;
+
+  // ---- Batch lookups ----
+  /// One answer per key, positionally; misses are nullopt. Cheaper than a
+  /// loop of point lookups only in code shape, but the natural unit for
+  /// RPC-style callers.
+  std::vector<std::optional<query::SourceTrust>> BatchSourceTrust(
+      const std::vector<uint32_t>& source_groups) const;
+  std::vector<std::optional<query::TripleTruth>> BatchTripleTruth(
+      const std::vector<TripleKey>& keys) const;
+
+  // ---- Enumeration ----
+  /// Every candidate value the cube extracted for one item, in the
+  /// report's prediction order (first-seen). Empty for unknown items.
+  std::vector<query::TripleTruth> ItemValues(kb::DataItemId item) const;
+
+  // ---- Rank queries (O(k + filtered) over build-time sorted orders) ----
+  /// The k most trustworthy source groups (KBT descending, id ascending on
+  /// ties), after filtering. Fewer than k when the filter exhausts them.
+  std::vector<query::SourceTrust> TopKSources(
+      size_t k, const SourceFilter& filter = SourceFilter()) const;
+  /// The k most trustworthy websites, same contract as TopKSources.
+  std::vector<query::SourceTrust> TopKWebsites(
+      size_t k, const SourceFilter& filter = SourceFilter()) const;
+  /// The k most believed triples (probability descending, key ascending on
+  /// ties), after filtering.
+  std::vector<query::TripleTruth> TopKTriples(
+      size_t k, const TripleFilter& filter = TripleFilter()) const;
+
+ private:
+  friend class SnapshotRegistry;
+  /// Walks triples_ directly (sequential, no copy) to count key churn.
+  friend SnapshotDiff DiffSnapshots(const Snapshot& before,
+                                    const Snapshot& after, size_t top_k);
+
+  Snapshot() = default;
+
+  /// Dense position of (item, value) in triples_, or nullopt.
+  std::optional<uint32_t> FindTriple(kb::DataItemId item,
+                                     kb::ValueId value) const;
+  /// Dense position of `item` in item_ids_, or nullopt.
+  std::optional<uint32_t> FindItem(kb::DataItemId item) const;
+
+  query::SourceTrust MakeSourceTrust(uint32_t id, size_t index) const;
+  query::SourceTrust MakeWebsiteTrust(uint32_t id, size_t index) const;
+  query::TripleTruth MakeTriple(size_t index) const;
+
+  SnapshotInfo info_;
+  double min_evidence_ = 5.0;
+
+  /// Per-source-group / per-website (kbt, evidence), indexed by dense id —
+  /// the exact doubles of the producing report.
+  std::vector<std::pair<double, double>> source_kbt_;
+  std::vector<std::pair<double, double>> website_kbt_;
+
+  /// Triples in report order (items contiguous), plus per-item ranges.
+  std::vector<query::TripleTruth> triples_;
+  std::vector<kb::DataItemId> item_ids_;
+  std::vector<uint32_t> item_offsets_;  // item_ids_.size() + 1 entries
+
+  /// Open-addressing hash tables (power-of-two, linear probing; value is
+  /// position + 1, 0 = empty): triple key -> triples_ position, item id ->
+  /// item_ids_ position.
+  std::vector<uint32_t> triple_table_;
+  std::vector<uint32_t> item_table_;
+
+  /// Build-time sort orders for the rank queries.
+  std::vector<uint32_t> sources_by_kbt_;
+  std::vector<uint32_t> websites_by_kbt_;
+  std::vector<uint32_t> triples_by_prob_;
+};
+
+/// RCU-style publication point for Snapshots: writers Publish (serialized,
+/// swapping one shared_ptr slot inside a microscopic critical section),
+/// readers detect publishes through a lock-free version counter and
+/// whatever snapshot they hold stays valid until they drop it. One
+/// registry belongs to one Pipeline (and is handed out by
+/// TrustService::Query); it is shared with every reader, so readers
+/// survive the pipeline's destruction.
+///
+/// Query through a SnapshotReader: its version-gated cache makes the
+/// steady-state read path lock-free (one acquire load of a read-shared
+/// word, no reference-count traffic), and its refresh path is WAIT-free —
+/// it try_locks the slot, and on contention simply keeps serving the
+/// still-pinned previous snapshot until the next call. Readers therefore
+/// never block, publish or not. (The slot is a plain shared_ptr under a
+/// mutex rather than std::atomic<shared_ptr> deliberately: libstdc++'s
+/// lock-bit implementation is invisible to ThreadSanitizer, and the TSan
+/// CI job is what proves this module's concurrency claims.)
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Seals `snapshot` with the next sequence number and swaps it in as
+  /// current. Returns the published (now shared) snapshot. Concurrent
+  /// publishers are serialized; readers are never blocked.
+  std::shared_ptr<const Snapshot> Publish(Snapshot snapshot);
+
+  /// The current snapshot (shared ownership), or null before the first
+  /// Publish. Takes the slot lock briefly; prefer SnapshotReader (which
+  /// only falls back to TryCurrent) on hot read paths.
+  std::shared_ptr<const Snapshot> Current() const;
+
+  /// Non-blocking Current(): copies the current snapshot into `out` and
+  /// returns true, or returns false without waiting when the slot is
+  /// momentarily held (a publisher mid-swap or another reader mid-copy).
+  bool TryCurrent(std::shared_ptr<const Snapshot>* out) const;
+
+  /// Sequence number of the latest published snapshot (0 = none yet).
+  /// Monotonic; the lock-free staleness probe behind SnapshotReader.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Guards `current_` only, for nanoseconds at a time (pointer copy /
+  /// swap; the Snapshot itself is immutable and never touched under it).
+  mutable std::mutex slot_mutex_;
+  std::atomic<uint64_t> version_{0};
+  std::shared_ptr<const Snapshot> current_;
+};
+
+/// A per-reader handle over one SnapshotRegistry: caches the current
+/// snapshot and re-checks only the registry's version counter (one atomic
+/// load of an otherwise read-shared word) per view() call, refreshing the
+/// cached shared_ptr solely when a publish happened — and even then
+/// without blocking (TryCurrent; on contention the still-pinned previous
+/// snapshot keeps serving until the next call). The one exception is the
+/// very first refresh after attach, which takes the slot lock outright
+/// (briefly — a pointer copy) so that a published snapshot is never
+/// misreported as absent. Steady-state reads take no lock AND generate no
+/// shared write traffic — point lookups scale linearly with reader
+/// threads.
+///
+/// A reader is single-threaded: give each reader thread its own (they are
+/// cheap — two shared_ptrs). The pointer view() returns stays valid until
+/// the next view()/Acquire() call on this reader, because the reader's
+/// cached shared_ptr pins it.
+class SnapshotReader {
+ public:
+  /// An empty reader: view() returns nullptr until attached.
+  SnapshotReader() = default;
+  /// Attaches to `registry` (shared: the reader keeps it alive).
+  explicit SnapshotReader(std::shared_ptr<const SnapshotRegistry> registry)
+      : registry_(std::move(registry)) {}
+
+  /// The current snapshot, or nullptr when nothing is published (or the
+  /// reader is unattached). Lock-free; refreshes the cache only on a
+  /// version change.
+  const Snapshot* view();
+
+  /// Shared ownership of the current snapshot (for handing a consistent
+  /// view to another thread or pinning one across publishes); null when
+  /// nothing is published.
+  std::shared_ptr<const Snapshot> Acquire();
+
+  /// Whether this reader is attached to a registry.
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  void Refresh();
+
+  std::shared_ptr<const SnapshotRegistry> registry_;
+  std::shared_ptr<const Snapshot> cached_;
+};
+
+/// One source's (or website's) trust movement between two snapshots.
+struct SourceMove {
+  uint32_t id = kb::kInvalidId;
+  double before_kbt = 0.0;
+  double after_kbt = 0.0;
+  /// after - before (positive = gained trust).
+  double delta = 0.0;
+};
+
+/// What changed between two snapshots (typically consecutive runs of one
+/// session): population churn plus the sources/websites that moved most.
+struct SnapshotDiff {
+  uint64_t before_sequence = 0;
+  uint64_t after_sequence = 0;
+  /// Ids present on one side only (dense id spaces only ever grow under
+  /// appends, so "added" are new groups; "removed" is nonzero only when
+  /// diffing across re-bucketing granularities like SPLITANDMERGE).
+  size_t sources_added = 0;
+  size_t sources_removed = 0;
+  size_t websites_added = 0;
+  size_t websites_removed = 0;
+  size_t triples_added = 0;
+  size_t triples_removed = 0;
+  /// Sources/websites present in both snapshots, ordered by |delta|
+  /// descending (id ascending on ties), truncated to the requested k.
+  std::vector<SourceMove> top_source_moves;
+  std::vector<SourceMove> top_website_moves;
+};
+
+/// Compares two snapshots by id: which sources moved most between runs,
+/// and how much the triple population churned. Ids are matched positionally
+/// (source-group and website ids are append-stable for the stateless
+/// granularities; diffing across SPLITANDMERGE re-bucketings compares
+/// whatever groups share an id). O(sources + websites + triples).
+SnapshotDiff DiffSnapshots(const Snapshot& before, const Snapshot& after,
+                           size_t top_k = 10);
+
+}  // namespace kbt::query
+
+#endif  // KBT_API_QUERY_H_

@@ -10,6 +10,7 @@
 #include "dataflow/parallel.h"
 #include "extract/raw_dataset.h"
 #include "kbt/pipeline.h"
+#include "kbt/query.h"
 #include "kbt/report.h"
 
 namespace kbt::api {
@@ -71,6 +72,18 @@ class TrustService {
     /// safely (entries are content-addressed). CreateSession fails if the
     /// directory cannot be created.
     std::string cache_directory;
+    /// Byte-size cap on the shared cache directory (0 = unlimited): after
+    /// every save the store evicts least-recently-used entries (by mtime;
+    /// loads refresh recency) until the total fits. See
+    /// cache::StoreOptions::max_bytes.
+    uint64_t cache_max_bytes = 0;
+    /// Index every completed Submit{Run,RunFrom} report into an immutable
+    /// query::Snapshot and publish it on the session's registry, so
+    /// Query() always serves the latest completed run. Publication happens
+    /// on the session strand (after the run, before the next request), so
+    /// it never races the pipeline. Disable to publish manually through
+    /// Pipeline::PublishSnapshot.
+    bool publish_snapshots = true;
   };
 
   /// Monotonic request counters, for observability and tests.
@@ -83,6 +96,8 @@ class TrustService {
     size_t appends_coalesced = 0;
     /// AppendObservations calls actually executed (batches).
     size_t append_batches_executed = 0;
+    /// Snapshots auto-published after completed runs.
+    size_t snapshots_published = 0;
   };
 
   /// Default options: the shared DefaultExecutor, coalescing on, no
@@ -137,6 +152,16 @@ class TrustService {
   std::future<Status> SubmitAppend(
       const std::string& session,
       std::vector<extract::RawObservation> observations);
+
+  /// A read handle onto the session's published snapshots: queries on it
+  /// run on the CALLER's thread, lock-free, concurrently with whatever
+  /// requests are queued or executing on the session — the read path never
+  /// enters the session strand. The reader stays valid after CloseSession
+  /// (it co-owns the registry and keeps serving the last published
+  /// snapshot); its view() is null until the session's first run
+  /// completes. NotFound when no such session exists. Readers are
+  /// single-threaded: take one per reader thread.
+  StatusOr<query::SnapshotReader> Query(const std::string& session) const;
 
   /// Blocks until every request queued so far on every session finished.
   /// Same caller restriction as CloseSession: it waits through

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full local/CI check: docs consistency, configure, build, test, smoke-run
-# the quickstart, the serving demo, and the append/serving/cache benches
-# (emitting BENCH_*.json for trend tooling).
+# the quickstart, the serving + query demos, and the append/serving/cache/
+# query benches (emitting BENCH_*.json for trend tooling).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +11,8 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/examples/quickstart
 ./build/examples/trust_service
+./build/examples/query_trust
 ./build/bench/bench_append_throughput --smoke
 ./build/bench/bench_service_throughput --smoke
 ./build/bench/bench_cache_warmstart --smoke
+./build/bench/bench_query_throughput --smoke

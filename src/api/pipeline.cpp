@@ -15,6 +15,7 @@
 #include "fusion/single_layer.h"
 #include "granularity/assignments.h"
 #include "io/dataset_io.h"
+#include "kbt/query.h"
 
 namespace kbt::api {
 
@@ -59,6 +60,12 @@ struct Pipeline::Impl {
   /// half of its key; absent until enabled.
   std::optional<cache::ArtifactStore> store;
   uint64_t options_fingerprint = 0;
+
+  /// Read-side publication point (PublishSnapshot). Shared so query
+  /// readers keep it — and the snapshots it serves — alive past this
+  /// pipeline's destruction.
+  std::shared_ptr<query::SnapshotRegistry> snapshot_registry =
+      std::make_shared<query::SnapshotRegistry>();
 
   void InvalidateCache() {
     assignment.reset();
@@ -573,8 +580,12 @@ uint64_t Pipeline::dataset_fingerprint() const {
   return CurrentFingerprint(*impl_);
 }
 
-Status Pipeline::EnableDiskCache(const std::string& directory) {
-  StatusOr<cache::ArtifactStore> store = cache::ArtifactStore::Open(directory);
+Status Pipeline::EnableDiskCache(const std::string& directory,
+                                 uint64_t max_bytes) {
+  cache::StoreOptions store_options;
+  store_options.max_bytes = max_bytes;
+  StatusOr<cache::ArtifactStore> store =
+      cache::ArtifactStore::Open(directory, store_options);
   if (!store.ok()) return store.status();
   impl_->store = std::move(*store);
   impl_->options_fingerprint =
@@ -610,6 +621,18 @@ std::optional<PipelineCounts> Pipeline::shape() const {
   counts.num_extractor_groups = impl.matrix->num_extractor_groups();
   counts.num_websites = impl.dataset->num_websites;
   return counts;
+}
+
+std::shared_ptr<const query::Snapshot> Pipeline::PublishSnapshot(
+    const TrustReport& report) {
+  query::SnapshotInfo stamp;
+  stamp.dataset_fingerprint = CurrentFingerprint(*impl_);
+  return impl_->snapshot_registry->Publish(
+      query::Snapshot::Build(report, stamp));
+}
+
+std::shared_ptr<query::SnapshotRegistry> Pipeline::snapshot_registry() const {
+  return impl_->snapshot_registry;
 }
 
 void Pipeline::InvalidateCache() { impl_->InvalidateCache(); }

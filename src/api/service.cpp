@@ -62,6 +62,13 @@ struct TrustService::State {
   std::atomic<size_t> appends_submitted{0};
   std::atomic<size_t> appends_coalesced{0};
   std::atomic<size_t> append_batches_executed{0};
+  std::atomic<size_t> snapshots_published{0};
+
+  /// Runs on the session strand right after a completed run: publishes the
+  /// report as the session's served snapshot (when configured). The strand
+  /// serializes this against every other pipeline touch; readers observe
+  /// the swap lock-free.
+  void MaybePublish(Session& session, const StatusOr<TrustReport>& report);
 
   std::shared_ptr<Session> Find(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mutex);
@@ -69,6 +76,13 @@ struct TrustService::State {
     return it == sessions.end() ? nullptr : it->second;
   }
 };
+
+void TrustService::State::MaybePublish(Session& session,
+                                       const StatusOr<TrustReport>& report) {
+  if (!options.publish_snapshots || !report.ok()) return;
+  session.pipeline.PublishSnapshot(*report);
+  snapshots_published.fetch_add(1, std::memory_order_relaxed);
+}
 
 TrustService::TrustService(ServiceOptions options)
     : state_(std::make_shared<State>()) {
@@ -106,7 +120,8 @@ Status TrustService::CreateSession(const std::string& name,
   }
   if (!state_->options.cache_directory.empty()) {
     const Status enabled =
-        pipeline.EnableDiskCache(state_->options.cache_directory);
+        pipeline.EnableDiskCache(state_->options.cache_directory,
+                                 state_->options.cache_max_bytes);
     if (!enabled.ok()) {
       std::lock_guard<std::mutex> lock(state_->mutex);
       state_->sessions.erase(name);
@@ -182,8 +197,11 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRun(
   // returns land behind the run on the strand.
   std::lock_guard<std::mutex> lock(session->mutex);
   session->open_append.reset();
-  return session->queue.SubmitWithResult(
-      [session] { return session->pipeline.Run(); });
+  return session->queue.SubmitWithResult([state = state_, session] {
+    StatusOr<TrustReport> report = session->pipeline.Run();
+    state->MaybePublish(*session, report);
+    return report;
+  });
 }
 
 std::future<StatusOr<TrustReport>> TrustService::SubmitRunFrom(
@@ -197,8 +215,10 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRunFrom(
   std::lock_guard<std::mutex> lock(session->mutex);
   session->open_append.reset();
   return session->queue.SubmitWithResult(
-      [session, previous = std::move(previous)] {
-        return session->pipeline.RunFrom(previous);
+      [state = state_, session, previous = std::move(previous)] {
+        StatusOr<TrustReport> report = session->pipeline.RunFrom(previous);
+        state->MaybePublish(*session, report);
+        return report;
       });
 }
 
@@ -262,6 +282,18 @@ std::future<Status> TrustService::SubmitAppend(
   return future;
 }
 
+StatusOr<query::SnapshotReader> TrustService::Query(
+    const std::string& session_name) const {
+  std::shared_ptr<Session> session = state_->Find(session_name);
+  if (session == nullptr) {
+    return Status::NotFound("no session '" + session_name + "'");
+  }
+  // The reader holds the registry (not the session): queries keep working
+  // off the last published snapshot even after the session closes, and
+  // never touch the pipeline itself.
+  return query::SnapshotReader(session->pipeline.snapshot_registry());
+}
+
 void TrustService::Drain() {
   // Snapshot under the lock, wait outside it: a draining request may be
   // long, and request tasks never touch the session map.
@@ -291,6 +323,8 @@ TrustService::Stats TrustService::stats() const {
       state_->appends_coalesced.load(std::memory_order_relaxed);
   stats.append_batches_executed =
       state_->append_batches_executed.load(std::memory_order_relaxed);
+  stats.snapshots_published =
+      state_->snapshots_published.load(std::memory_order_relaxed);
   return stats;
 }
 

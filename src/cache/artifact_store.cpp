@@ -11,6 +11,9 @@
 #include <mutex>
 #include <set>
 #include <system_error>
+#include <vector>
+
+#include "common/logging.h"
 
 namespace kbt::cache {
 
@@ -30,6 +33,11 @@ std::string Hex16(uint64_t v) {
 }  // namespace
 
 StatusOr<ArtifactStore> ArtifactStore::Open(const std::string& directory) {
+  return Open(directory, StoreOptions());
+}
+
+StatusOr<ArtifactStore> ArtifactStore::Open(const std::string& directory,
+                                            const StoreOptions& options) {
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
@@ -73,7 +81,7 @@ StatusOr<ArtifactStore> ArtifactStore::Open(const std::string& directory) {
       }
     }
   }
-  return ArtifactStore(directory);
+  return ArtifactStore(directory, options);
 }
 
 std::string ArtifactStore::EntryFileName(uint64_t dataset_fingerprint,
@@ -131,6 +139,15 @@ Status ArtifactStore::Put(uint64_t dataset_fingerprint,
     return Status::InvalidArgument("cannot rename '" + temp_path + "' to '" +
                                    final_path + "': " + ec.message());
   }
+  // Keep the store under its cap. Best effort: a failed sweep must not
+  // fail the write that just succeeded (the entry is durable either way).
+  if (options_.max_bytes > 0) {
+    const Status evicted = EvictToLimitKeeping(final_path);
+    if (!evicted.ok()) {
+      KBT_LOG(Warning) << "kbt artifact store: size-cap sweep failed: "
+                       << evicted.ToString();
+    }
+  }
   return Status::OK();
 }
 
@@ -171,6 +188,14 @@ StatusOr<ArtifactBundle> ArtifactStore::Get(
         "' carries fingerprints that do not match its key (stale or "
         "tampered entry)");
   }
+  // A served entry is recently used: refresh its mtime so the LRU sweep
+  // spares it. Only capped handles touch (an uncapped reader stays purely
+  // read-only on the directory); failures are ignored — recency is a
+  // hint, not correctness.
+  if (options_.max_bytes > 0) {
+    std::error_code ignored;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ignored);
+  }
   return bundle;
 }
 
@@ -206,6 +231,80 @@ StatusOr<std::vector<std::string>> ArtifactStore::ListEntries() const {
   }
   std::sort(names.begin(), names.end());
   return names;
+}
+
+StatusOr<uint64_t> ArtifactStore::TotalBytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() != kEntrySuffix) continue;
+    std::error_code size_ec;
+    const uintmax_t size = fs::file_size(it->path(), size_ec);
+    if (!size_ec) total += static_cast<uint64_t>(size);
+  }
+  if (ec) {
+    return Status::InvalidArgument("cannot list artifact store '" +
+                                   directory_ + "': " + ec.message());
+  }
+  return total;
+}
+
+Status ArtifactStore::EvictToLimit() const {
+  return EvictToLimitKeeping(std::string());
+}
+
+Status ArtifactStore::EvictToLimitKeeping(
+    const std::string& keep_path) const {
+  if (options_.max_bytes == 0) return Status::OK();
+  struct EntryStat {
+    fs::path path;
+    uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<EntryStat> entries;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() != kEntrySuffix) continue;
+    // A concurrently-removed entry simply drops out of the candidate set.
+    std::error_code stat_ec;
+    EntryStat entry;
+    entry.path = it->path();
+    entry.size = static_cast<uint64_t>(fs::file_size(entry.path, stat_ec));
+    if (stat_ec) continue;
+    entry.mtime = fs::last_write_time(entry.path, stat_ec);
+    if (stat_ec) continue;
+    total += entry.size;
+    entries.push_back(std::move(entry));
+  }
+  if (ec) {
+    return Status::InvalidArgument("cannot list artifact store '" +
+                                   directory_ + "': " + ec.message());
+  }
+  if (total <= options_.max_bytes) return Status::OK();
+  // Oldest mtime first = least recently used (Put writes fresh mtimes and
+  // Get refreshes served entries on capped handles).
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryStat& a, const EntryStat& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+  // Never remove the most recently used entry — the freshly written (or
+  // just-served) artifact must survive its own sweep even when it alone
+  // exceeds the cap — and never the explicitly kept one: coarse-mtime
+  // filesystems can tie a just-written entry with an older refreshed one,
+  // where sort position alone would not protect it.
+  for (size_t i = 0; i + 1 < entries.size() && total > options_.max_bytes;
+       ++i) {
+    if (!keep_path.empty() && entries[i].path == keep_path) continue;
+    std::error_code remove_ec;
+    if (fs::remove(entries[i].path, remove_ec) && !remove_ec) {
+      total -= entries[i].size;
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace kbt::cache

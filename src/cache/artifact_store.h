@@ -10,6 +10,17 @@
 
 namespace kbt::cache {
 
+/// Behavioural knobs of one ArtifactStore handle.
+struct StoreOptions {
+  /// Byte-size cap on the store's entries (0 = unlimited). When set, every
+  /// successful Put ends with an LRU sweep: entries are removed oldest
+  /// mtime first until the total fits, and Get refreshes the mtime of the
+  /// entry it serves so recently-used entries survive. The cap is
+  /// per-handle advice, not a directory invariant — a handle opened
+  /// without one never evicts.
+  uint64_t max_bytes = 0;
+};
+
 /// Directory-backed persistent store of compiled artifacts, keyed by the
 /// pair (dataset fingerprint, compile-options fingerprint). One entry is one
 /// file named `<dataset_fp>-<options_fp>.kbtart` (both hex) holding an
@@ -38,6 +49,10 @@ class ArtifactStore {
   /// sweeps temp files orphaned by crashed writers (only temps older than
   /// an hour, so a concurrent writer's in-flight temp is never touched).
   static StatusOr<ArtifactStore> Open(const std::string& directory);
+  /// Same, with behavioural knobs (e.g. a byte-size cap — see
+  /// StoreOptions::max_bytes).
+  static StatusOr<ArtifactStore> Open(const std::string& directory,
+                                      const StoreOptions& options);
 
   const std::string& directory() const { return directory_; }
 
@@ -72,11 +87,32 @@ class ArtifactStore {
   /// store, sorted. For inspection and cache-eviction tooling.
   StatusOr<std::vector<std::string>> ListEntries() const;
 
+  /// Total bytes of `.kbtart` entries currently in the store.
+  StatusOr<uint64_t> TotalBytes() const;
+
+  /// Sweeps the store down to the handle's byte cap, removing entries
+  /// least-recently-used first (by mtime; Get refreshes the mtime of
+  /// served entries). The most recently used entry is never removed, even
+  /// when it alone exceeds the cap — a freshly written entry must survive
+  /// its own sweep. No-op without a cap. Runs automatically after every
+  /// successful Put; public for tooling and for capping a directory
+  /// inherited from an uncapped writer.
+  Status EvictToLimit() const;
+
+  const StoreOptions& options() const { return options_; }
+
  private:
-  explicit ArtifactStore(std::string directory)
-      : directory_(std::move(directory)) {}
+  ArtifactStore(std::string directory, StoreOptions options)
+      : directory_(std::move(directory)), options_(options) {}
+
+  /// The sweep behind EvictToLimit. `keep_path`, when non-empty, is never
+  /// removed regardless of its mtime — Put passes its just-written entry,
+  /// which on filesystems with coarse timestamp granularity could
+  /// otherwise tie with (and sort below) an older refreshed entry.
+  Status EvictToLimitKeeping(const std::string& keep_path) const;
 
   std::string directory_;
+  StoreOptions options_;
 };
 
 }  // namespace kbt::cache

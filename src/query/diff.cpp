@@ -1,0 +1,78 @@
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "kbt/query.h"
+
+namespace kbt::query {
+
+namespace {
+
+/// Movers over one id-indexed score family: ids live in dense [0, n)
+/// spaces on both sides, so the shared population is the common prefix and
+/// the surplus on either side is churn.
+void DiffScored(size_t before_count, size_t after_count,
+                const std::function<std::optional<SourceTrust>(uint32_t)>&
+                    before_at,
+                const std::function<std::optional<SourceTrust>(uint32_t)>&
+                    after_at,
+                size_t top_k, size_t* added, size_t* removed,
+                std::vector<SourceMove>* moves) {
+  *added = after_count > before_count ? after_count - before_count : 0;
+  *removed = before_count > after_count ? before_count - after_count : 0;
+  const size_t common = std::min(before_count, after_count);
+  moves->clear();
+  moves->reserve(common);
+  for (uint32_t id = 0; id < common; ++id) {
+    const std::optional<SourceTrust> before = before_at(id);
+    const std::optional<SourceTrust> after = after_at(id);
+    if (!before || !after) continue;
+    moves->push_back(SourceMove{id, before->kbt, after->kbt,
+                                after->kbt - before->kbt});
+  }
+  const size_t keep = std::min(top_k, moves->size());
+  std::partial_sort(moves->begin(),
+                    moves->begin() + static_cast<ptrdiff_t>(keep),
+                    moves->end(),
+                    [](const SourceMove& a, const SourceMove& b) {
+                      const double ma = std::abs(a.delta);
+                      const double mb = std::abs(b.delta);
+                      if (ma != mb) return ma > mb;
+                      return a.id < b.id;
+                    });
+  moves->resize(keep);
+}
+
+}  // namespace
+
+SnapshotDiff DiffSnapshots(const Snapshot& before, const Snapshot& after,
+                           size_t top_k) {
+  SnapshotDiff diff;
+  diff.before_sequence = before.info().sequence;
+  diff.after_sequence = after.info().sequence;
+
+  DiffScored(
+      before.num_sources(), after.num_sources(),
+      [&before](uint32_t id) { return before.SourceTrust(id); },
+      [&after](uint32_t id) { return after.SourceTrust(id); }, top_k,
+      &diff.sources_added, &diff.sources_removed, &diff.top_source_moves);
+  DiffScored(
+      before.num_websites(), after.num_websites(),
+      [&before](uint32_t id) { return before.WebsiteTrust(id); },
+      [&after](uint32_t id) { return after.WebsiteTrust(id); }, top_k,
+      &diff.websites_added, &diff.websites_removed,
+      &diff.top_website_moves);
+
+  // Triple churn: walk `after`'s sealed triple array sequentially (friend
+  // access — no copy, no rank-order indirection) probing `before`'s hash
+  // index. O(before + after) expected; the common count is derived once.
+  size_t common = 0;
+  for (const TripleTruth& triple : after.triples_) {
+    if (before.TripleTruth(triple.item, triple.value)) ++common;
+  }
+  diff.triples_added = after.num_triples() - common;
+  diff.triples_removed = before.num_triples() - common;
+  return diff;
+}
+
+}  // namespace kbt::query

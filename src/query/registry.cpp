@@ -1,0 +1,68 @@
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "kbt/query.h"
+
+namespace kbt::query {
+
+std::shared_ptr<const Snapshot> SnapshotRegistry::Publish(Snapshot snapshot) {
+  // The allocation and the (potentially large) move happen before the
+  // lock; the critical section is a sequence stamp and two word stores.
+  auto published = std::make_shared<Snapshot>(std::move(snapshot));
+  std::lock_guard<std::mutex> lock(slot_mutex_);
+  const uint64_t sequence = version_.load(std::memory_order_relaxed) + 1;
+  published->info_.sequence = sequence;
+  current_ = published;
+  // Published-then-announced: a reader that observes version() == N will
+  // find a snapshot with sequence >= N behind the slot lock (the mutex
+  // carries the happens-before for the pointee).
+  version_.store(sequence, std::memory_order_release);
+  return published;
+}
+
+std::shared_ptr<const Snapshot> SnapshotRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(slot_mutex_);
+  return current_;
+}
+
+bool SnapshotRegistry::TryCurrent(
+    std::shared_ptr<const Snapshot>* out) const {
+  std::unique_lock<std::mutex> lock(slot_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  *out = current_;
+  return true;
+}
+
+const Snapshot* SnapshotReader::view() {
+  Refresh();
+  return cached_.get();
+}
+
+std::shared_ptr<const Snapshot> SnapshotReader::Acquire() {
+  Refresh();
+  return cached_;
+}
+
+void SnapshotReader::Refresh() {
+  if (registry_ == nullptr) return;
+  // Steady state: one acquire load of a word that only changes on publish.
+  const uint64_t version = registry_->version();
+  const uint64_t cached = cached_ ? cached_->info().sequence : 0;
+  if (version == cached) return;
+  if (cached_ == nullptr) {
+    // First attach: take the slot lock outright (a pointer copy). With a
+    // try here, a reader losing the race against a publisher — or a
+    // sibling reader's first refresh — would report "nothing published"
+    // to a caller that just watched a publish complete.
+    cached_ = registry_->Current();
+    return;
+  }
+  // A publish happened: adopt the new snapshot — but never by waiting. A
+  // failed try means the slot is held for a pointer swap right now; the
+  // pinned previous snapshot keeps serving and the next call retries.
+  std::shared_ptr<const Snapshot> fresh;
+  if (registry_->TryCurrent(&fresh)) cached_ = std::move(fresh);
+}
+
+}  // namespace kbt::query

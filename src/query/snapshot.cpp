@@ -1,0 +1,333 @@
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/hash.h"
+#include "kbt/query.h"
+
+namespace kbt::query {
+
+namespace {
+
+/// Hash of a triple key, full-avalanche over both halves so linear probing
+/// stays short even though items share high bits (subject << 32 | pred).
+uint64_t HashTripleKey(kb::DataItemId item, kb::ValueId value) {
+  return HashChain(Mix64(item), value);
+}
+
+/// Smallest power of two holding `n` entries at < 50% load (minimum 16, so
+/// tiny snapshots still probe well).
+size_t TableCapacity(size_t n) {
+  size_t capacity = 16;
+  while (capacity < n * 2) capacity <<= 1;
+  return capacity;
+}
+
+/// Inserts position `pos` under `hash` into an open-addressing table whose
+/// entries are position + 1 (0 = empty). Duplicate keys keep the first
+/// insertion (matching the report's first-seen prediction order).
+template <typename SameKey>
+void TableInsert(std::vector<uint32_t>& table, uint64_t hash, uint32_t pos,
+                 const SameKey& same_key) {
+  const size_t mask = table.size() - 1;
+  for (size_t bucket = hash & mask;; bucket = (bucket + 1) & mask) {
+    if (table[bucket] == 0) {
+      table[bucket] = pos + 1;
+      return;
+    }
+    if (same_key(table[bucket] - 1)) return;
+  }
+}
+
+/// Probes the table for a position whose key matches; nullopt on a miss.
+template <typename SameKey>
+std::optional<uint32_t> TableFind(const std::vector<uint32_t>& table,
+                                  uint64_t hash, const SameKey& same_key) {
+  if (table.empty()) return std::nullopt;
+  const size_t mask = table.size() - 1;
+  for (size_t bucket = hash & mask;; bucket = (bucket + 1) & mask) {
+    if (table[bucket] == 0) return std::nullopt;
+    const uint32_t pos = table[bucket] - 1;
+    if (same_key(pos)) return pos;
+  }
+}
+
+/// Sort order over (score descending, id ascending): the rank arrays.
+std::vector<uint32_t> RankOrder(
+    const std::vector<std::pair<double, double>>& scores) {
+  std::vector<uint32_t> order(scores.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&scores](uint32_t a, uint32_t b) {
+    if (scores[a].first != scores[b].first) {
+      return scores[a].first > scores[b].first;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+Snapshot Snapshot::Build(const api::TrustReport& report,
+                         const SnapshotInfo& stamp,
+                         const SnapshotOptions& options) {
+  Snapshot snapshot;
+  snapshot.info_ = stamp;
+  snapshot.info_.sequence = 0;  // Assigned by SnapshotRegistry::Publish.
+  snapshot.info_.model = report.model;
+  snapshot.info_.granularity = report.granularity;
+  snapshot.info_.counts = report.counts;
+  snapshot.min_evidence_ = options.min_evidence;
+
+  // ---- Scores: copy the report's doubles verbatim (bit-for-bit serving).
+  snapshot.source_kbt_.reserve(report.source_kbt.size());
+  for (const core::KbtScore& score : report.source_kbt) {
+    snapshot.source_kbt_.emplace_back(score.kbt, score.evidence);
+  }
+  snapshot.website_kbt_.reserve(report.website_kbt.size());
+  for (const core::KbtScore& score : report.website_kbt) {
+    snapshot.website_kbt_.emplace_back(score.kbt, score.evidence);
+  }
+
+  // ---- Triples: report order, with items contiguous. TriplePredictions
+  // emits items contiguously already; a stable sort restores contiguity
+  // for hand-assembled reports without reordering values within an item
+  // (first-seen order is part of ItemValues' contract).
+  snapshot.triples_.reserve(report.predictions.size());
+  for (const eval::TriplePrediction& prediction : report.predictions) {
+    snapshot.triples_.push_back(query::TripleTruth{
+        prediction.item, prediction.value, prediction.probability,
+        prediction.covered});
+  }
+  bool contiguous = true;
+  {
+    std::unordered_set<kb::DataItemId> run_items;
+    for (size_t i = 0; i < snapshot.triples_.size(); ++i) {
+      if (i > 0 && snapshot.triples_[i].item == snapshot.triples_[i - 1].item) {
+        continue;  // Same run.
+      }
+      if (!run_items.insert(snapshot.triples_[i].item).second) {
+        contiguous = false;  // An item started a second run.
+        break;
+      }
+    }
+  }
+  if (!contiguous) {
+    std::stable_sort(snapshot.triples_.begin(), snapshot.triples_.end(),
+                     [](const query::TripleTruth& a,
+                        const query::TripleTruth& b) {
+                       return a.item < b.item;
+                     });
+  }
+
+  // ---- Dedup within each item run, first occurrence wins (pipeline
+  // reports are already distinct per (item, value); hand-assembled ones
+  // may not be, and a duplicate would over-count num_triples and give
+  // DiffSnapshots more hash hits than distinct keys). Runs are small
+  // (a handful of candidate values per item), so the inner scan is cheap.
+  {
+    size_t write = 0;
+    size_t run_start = 0;
+    for (size_t t = 0; t < snapshot.triples_.size(); ++t) {
+      const query::TripleTruth& triple = snapshot.triples_[t];
+      if (write > 0 && snapshot.triples_[write - 1].item != triple.item) {
+        run_start = write;
+      }
+      bool duplicate = false;
+      for (size_t k = run_start; k < write; ++k) {
+        if (snapshot.triples_[k].value == triple.value) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) snapshot.triples_[write++] = triple;
+    }
+    snapshot.triples_.resize(write);
+  }
+
+  // ---- Per-item ranges over the contiguous triple array.
+  for (uint32_t t = 0; t < snapshot.triples_.size(); ++t) {
+    if (snapshot.item_ids_.empty() ||
+        snapshot.item_ids_.back() != snapshot.triples_[t].item) {
+      snapshot.item_ids_.push_back(snapshot.triples_[t].item);
+      snapshot.item_offsets_.push_back(t);
+    }
+  }
+  snapshot.item_offsets_.push_back(
+      static_cast<uint32_t>(snapshot.triples_.size()));
+
+  // ---- Hash indexes (sealed: sized once, never rehashed).
+  if (!snapshot.triples_.empty()) {
+    snapshot.triple_table_.assign(TableCapacity(snapshot.triples_.size()), 0);
+    for (uint32_t t = 0; t < snapshot.triples_.size(); ++t) {
+      const query::TripleTruth& triple = snapshot.triples_[t];
+      TableInsert(snapshot.triple_table_,
+                  HashTripleKey(triple.item, triple.value), t,
+                  [&snapshot, &triple](uint32_t pos) {
+                    return snapshot.triples_[pos].item == triple.item &&
+                           snapshot.triples_[pos].value == triple.value;
+                  });
+    }
+    snapshot.item_table_.assign(TableCapacity(snapshot.item_ids_.size()), 0);
+    for (uint32_t i = 0; i < snapshot.item_ids_.size(); ++i) {
+      const kb::DataItemId item = snapshot.item_ids_[i];
+      TableInsert(snapshot.item_table_, Mix64(item), i,
+                  [&snapshot, item](uint32_t pos) {
+                    return snapshot.item_ids_[pos] == item;
+                  });
+    }
+  }
+
+  // ---- Rank orders.
+  snapshot.sources_by_kbt_ = RankOrder(snapshot.source_kbt_);
+  snapshot.websites_by_kbt_ = RankOrder(snapshot.website_kbt_);
+  snapshot.triples_by_prob_.resize(snapshot.triples_.size());
+  for (uint32_t i = 0; i < snapshot.triples_by_prob_.size(); ++i) {
+    snapshot.triples_by_prob_[i] = i;
+  }
+  std::sort(snapshot.triples_by_prob_.begin(),
+            snapshot.triples_by_prob_.end(),
+            [&snapshot](uint32_t a, uint32_t b) {
+              const query::TripleTruth& ta = snapshot.triples_[a];
+              const query::TripleTruth& tb = snapshot.triples_[b];
+              if (ta.probability != tb.probability) {
+                return ta.probability > tb.probability;
+              }
+              if (ta.item != tb.item) return ta.item < tb.item;
+              return ta.value < tb.value;
+            });
+  return snapshot;
+}
+
+std::optional<uint32_t> Snapshot::FindTriple(kb::DataItemId item,
+                                             kb::ValueId value) const {
+  return TableFind(triple_table_, HashTripleKey(item, value),
+                   [this, item, value](uint32_t pos) {
+                     return triples_[pos].item == item &&
+                            triples_[pos].value == value;
+                   });
+}
+
+std::optional<uint32_t> Snapshot::FindItem(kb::DataItemId item) const {
+  return TableFind(item_table_, Mix64(item), [this, item](uint32_t pos) {
+    return item_ids_[pos] == item;
+  });
+}
+
+query::SourceTrust Snapshot::MakeSourceTrust(uint32_t id, size_t index) const {
+  const auto& [kbt, evidence] = source_kbt_[index];
+  return query::SourceTrust{id, kbt, evidence, evidence >= min_evidence_};
+}
+
+query::SourceTrust Snapshot::MakeWebsiteTrust(uint32_t id,
+                                              size_t index) const {
+  const auto& [kbt, evidence] = website_kbt_[index];
+  return query::SourceTrust{id, kbt, evidence, evidence >= min_evidence_};
+}
+
+query::TripleTruth Snapshot::MakeTriple(size_t index) const {
+  return triples_[index];
+}
+
+std::optional<query::SourceTrust> Snapshot::SourceTrust(
+    uint32_t source_group) const {
+  if (source_group >= source_kbt_.size()) return std::nullopt;
+  return MakeSourceTrust(source_group, source_group);
+}
+
+std::optional<query::SourceTrust> Snapshot::WebsiteTrust(
+    kb::WebsiteId website) const {
+  if (website >= website_kbt_.size()) return std::nullopt;
+  return MakeWebsiteTrust(website, website);
+}
+
+std::optional<query::TripleTruth> Snapshot::TripleTruth(
+    kb::DataItemId item, kb::ValueId value) const {
+  const std::optional<uint32_t> pos = FindTriple(item, value);
+  if (!pos) return std::nullopt;
+  return MakeTriple(*pos);
+}
+
+std::vector<std::optional<query::SourceTrust>> Snapshot::BatchSourceTrust(
+    const std::vector<uint32_t>& source_groups) const {
+  std::vector<std::optional<query::SourceTrust>> out;
+  out.reserve(source_groups.size());
+  for (const uint32_t id : source_groups) out.push_back(SourceTrust(id));
+  return out;
+}
+
+std::vector<std::optional<query::TripleTruth>> Snapshot::BatchTripleTruth(
+    const std::vector<TripleKey>& keys) const {
+  std::vector<std::optional<query::TripleTruth>> out;
+  out.reserve(keys.size());
+  for (const TripleKey& key : keys) {
+    out.push_back(TripleTruth(key.item, key.value));
+  }
+  return out;
+}
+
+std::vector<query::TripleTruth> Snapshot::ItemValues(
+    kb::DataItemId item) const {
+  std::vector<query::TripleTruth> out;
+  const std::optional<uint32_t> pos = FindItem(item);
+  if (!pos) return out;
+  const uint32_t begin = item_offsets_[*pos];
+  const uint32_t end = item_offsets_[*pos + 1];
+  out.reserve(end - begin);
+  for (uint32_t t = begin; t < end; ++t) out.push_back(triples_[t]);
+  return out;
+}
+
+namespace {
+
+/// Shared top-k walk over a rank order: collect the first k entries that
+/// pass the filter.
+template <typename Make>
+std::vector<query::SourceTrust> TopKScored(
+    const std::vector<uint32_t>& order, size_t k, double default_min_evidence,
+    const SourceFilter& filter, const Make& make) {
+  std::vector<query::SourceTrust> out;
+  if (k == 0) return out;
+  const double min_evidence =
+      filter.min_evidence.value_or(default_min_evidence);
+  out.reserve(std::min(k, order.size()));
+  for (const uint32_t id : order) {
+    query::SourceTrust candidate = make(id);
+    if (candidate.evidence < min_evidence) continue;
+    if (filter.predicate && !filter.predicate(candidate)) continue;
+    out.push_back(std::move(candidate));
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<query::SourceTrust> Snapshot::TopKSources(
+    size_t k, const SourceFilter& filter) const {
+  return TopKScored(sources_by_kbt_, k, min_evidence_, filter,
+                    [this](uint32_t id) { return MakeSourceTrust(id, id); });
+}
+
+std::vector<query::SourceTrust> Snapshot::TopKWebsites(
+    size_t k, const SourceFilter& filter) const {
+  return TopKScored(websites_by_kbt_, k, min_evidence_, filter,
+                    [this](uint32_t id) { return MakeWebsiteTrust(id, id); });
+}
+
+std::vector<query::TripleTruth> Snapshot::TopKTriples(
+    size_t k, const TripleFilter& filter) const {
+  std::vector<query::TripleTruth> out;
+  if (k == 0) return out;
+  out.reserve(std::min(k, triples_by_prob_.size()));
+  for (const uint32_t pos : triples_by_prob_) {
+    const query::TripleTruth& candidate = triples_[pos];
+    if (filter.covered_only && !candidate.covered) continue;
+    if (filter.predicate && !filter.predicate(candidate)) continue;
+    out.push_back(candidate);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+}  // namespace kbt::query

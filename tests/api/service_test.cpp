@@ -540,5 +540,189 @@ TEST(TrustServiceTest, DrainWaitsForAllSessions) {
   EXPECT_TRUE(fb.get().ok());
 }
 
+// ---------------------------------------------------------------------------
+// The read path: Query() serves published snapshots lock-free, decoupled
+// from (and concurrent with) the session's queued writes.
+// ---------------------------------------------------------------------------
+
+/// Every score the snapshot serves equals the report's exactly.
+void ExpectSnapshotMatchesReport(const query::Snapshot& snapshot,
+                                 const TrustReport& report) {
+  ASSERT_EQ(snapshot.num_sources(), report.source_kbt.size());
+  for (uint32_t g = 0; g < report.source_kbt.size(); ++g) {
+    const auto trust = snapshot.SourceTrust(g);
+    ASSERT_TRUE(trust.has_value());
+    ASSERT_EQ(trust->kbt, report.source_kbt[g].kbt) << "group " << g;
+    ASSERT_EQ(trust->evidence, report.source_kbt[g].evidence) << "group " << g;
+  }
+  ASSERT_EQ(snapshot.num_websites(), report.website_kbt.size());
+  for (uint32_t w = 0; w < report.website_kbt.size(); ++w) {
+    const auto trust = snapshot.WebsiteTrust(w);
+    ASSERT_TRUE(trust.has_value());
+    ASSERT_EQ(trust->kbt, report.website_kbt[w].kbt) << "website " << w;
+  }
+  ASSERT_EQ(snapshot.num_triples(), report.predictions.size());
+  for (const eval::TriplePrediction& prediction : report.predictions) {
+    const auto truth = snapshot.TripleTruth(prediction.item, prediction.value);
+    ASSERT_TRUE(truth.has_value());
+    ASSERT_EQ(truth->probability, prediction.probability);
+    ASSERT_EQ(truth->covered, prediction.covered);
+  }
+}
+
+TEST(TrustServiceQueryTest, QueryOnUnknownSessionIsNotFound) {
+  TrustService service;
+  const auto reader = service.Query("ghost");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TrustServiceQueryTest, QueryIsEmptyUntilTheFirstRunCompletes) {
+  TrustService service;
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(41)).ok());
+  auto reader = service.Query("s");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->view(), nullptr);
+
+  ASSERT_TRUE(service.SubmitRun("s").get().ok());
+  EXPECT_NE(reader->view(), nullptr);
+}
+
+TEST(TrustServiceQueryTest, QueryServesEachCompletedRunBitForBit) {
+  const extract::RawDataset full = SyntheticCube(42);
+  const size_t base_size = full.size() - 40;
+  std::vector<extract::RawObservation> delta(
+      full.observations.begin() + static_cast<long>(base_size),
+      full.observations.end());
+  extract::RawDataset base = full;
+  base.observations.resize(base_size);
+
+  TrustService service;
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(std::move(base))
+                      .WithOptions(ServingOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(service.CreateSession("s", std::move(*pipeline)).ok());
+  auto reader = service.Query("s");
+  ASSERT_TRUE(reader.ok());
+
+  const auto first = service.SubmitRun("s").get();
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(reader->view(), nullptr);
+  ExpectSnapshotMatchesReport(*reader->view(), *first);
+  EXPECT_EQ(reader->view()->info().sequence, 1u);
+
+  // After an append + run, the served snapshot tracks the NEW report —
+  // the parity contract "including after appends".
+  ASSERT_TRUE(service.SubmitAppend("s", delta).get().ok());
+  const auto second = service.SubmitRun("s").get();
+  ASSERT_TRUE(second.ok());
+  ExpectSnapshotMatchesReport(*reader->view(), *second);
+  EXPECT_EQ(reader->view()->info().sequence, 2u);
+  EXPECT_EQ(service.stats().snapshots_published, 2u);
+}
+
+TEST(TrustServiceQueryTest, PublishingCanBeDisabled) {
+  TrustService::ServiceOptions options;
+  options.publish_snapshots = false;
+  TrustService service(options);
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(43)).ok());
+  ASSERT_TRUE(service.SubmitRun("s").get().ok());
+
+  auto reader = service.Query("s");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->view(), nullptr);
+  EXPECT_EQ(service.stats().snapshots_published, 0u);
+}
+
+TEST(TrustServiceQueryTest, ReaderKeepsServingAfterCloseSession) {
+  TrustService service;
+  ASSERT_TRUE(service.CreateSession("s", *BuildPipeline(44)).ok());
+  const auto report = service.SubmitRun("s").get();
+  ASSERT_TRUE(report.ok());
+  auto reader = service.Query("s");
+  ASSERT_TRUE(reader.ok());
+  ASSERT_NE(reader->view(), nullptr);
+
+  ASSERT_TRUE(service.CloseSession("s").ok());
+  // The session (and its pipeline) are gone; the reader co-owns the
+  // registry and keeps serving the last published snapshot.
+  ASSERT_NE(reader->view(), nullptr);
+  ExpectSnapshotMatchesReport(*reader->view(), *report);
+}
+
+// The reader/writer stress of the read-path contract: queries proceed on
+// caller threads while appends and runs churn the session. TSan (CI job)
+// verifies the "readers never lock, writers never race them" claim.
+TEST(TrustServiceQueryTest, ConcurrentQueriesDuringAppendsAreSafe) {
+  const extract::RawDataset full = SyntheticCube(45);
+  const size_t num_deltas = 8;
+  const size_t batch = 16;
+  const size_t base_size = full.size() - num_deltas * batch;
+  extract::RawDataset base = full;
+  base.observations.resize(base_size);
+
+  TrustService service;
+  auto pipeline = PipelineBuilder()
+                      .FromDataset(std::move(base))
+                      .WithOptions(ServingOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(service.CreateSession("s", std::move(*pipeline)).ok());
+  ASSERT_TRUE(service.SubmitRun("s").get().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&service, &stop, &queries] {
+      auto reader = service.Query("s");
+      ASSERT_TRUE(reader.ok());
+      uint64_t last_sequence = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const query::Snapshot* snapshot = reader->view();
+        ASSERT_NE(snapshot, nullptr);  // A run already published.
+        ASSERT_GE(snapshot->info().sequence, last_sequence);
+        last_sequence = snapshot->info().sequence;
+        // Exercise the index paths, not just the pointer swap.
+        ASSERT_TRUE(snapshot->SourceTrust(0).has_value());
+        const auto top = snapshot->TopKSources(3);
+        ASSERT_LE(top.size(), 3u);
+        for (size_t i = 1; i < top.size(); ++i) {
+          ASSERT_GE(top[i - 1].kbt, top[i].kbt);
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer traffic: interleaved appends and runs on the session strand.
+  std::vector<std::future<Status>> appends;
+  std::vector<std::future<StatusOr<TrustReport>>> runs;
+  for (size_t d = 0; d < num_deltas; ++d) {
+    const size_t begin = base_size + d * batch;
+    appends.push_back(service.SubmitAppend(
+        "s", {full.observations.begin() + static_cast<long>(begin),
+              full.observations.begin() + static_cast<long>(begin + batch)}));
+    runs.push_back(service.SubmitRun("s"));
+  }
+  for (auto& f : appends) ASSERT_TRUE(f.get().ok());
+  StatusOr<TrustReport> last = Status::Internal("no runs");
+  for (auto& f : runs) {
+    last = f.get();
+    ASSERT_TRUE(last.ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_GT(queries.load(), 0u);
+  // Once the dust settles, the served snapshot is the last run's report.
+  auto reader = service.Query("s");
+  ASSERT_TRUE(reader.ok());
+  ExpectSnapshotMatchesReport(*reader->view(), *last);
+  EXPECT_EQ(reader->view()->info().counts.num_observations, full.size());
+}
+
 }  // namespace
 }  // namespace kbt::api

@@ -194,5 +194,124 @@ TEST_F(ArtifactStoreTest, PutOverwritesAtomically) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Size-capped stores: LRU-by-mtime eviction (ROADMAP store-GC follow-up).
+// ---------------------------------------------------------------------------
+
+class ArtifactStoreEvictionTest : public ArtifactStoreTest {
+ protected:
+  /// A cap that fits `n` entries of this fixture's (constant-size) blob.
+  StatusOr<ArtifactStore> OpenCapped(size_t n) {
+    StoreOptions options;
+    options.max_bytes = n * EntryBytes();
+    return ArtifactStore::Open(dir_, options);
+  }
+
+  uint64_t EntryBytes() {
+    if (entry_bytes_ == 0) {
+      const auto store = ArtifactStore::Open(dir_);
+      EXPECT_TRUE(store.ok());
+      EXPECT_TRUE(Put(*store, 0xEE, 0xFF).ok());
+      entry_bytes_ = fs::file_size(store->EntryPath(0xEE, 0xFF));
+      EXPECT_TRUE(store->Remove(0xEE, 0xFF).ok());
+    }
+    return entry_bytes_;
+  }
+
+  /// Backdates an entry's mtime by `seconds`, making its recency explicit
+  /// instead of racing the filesystem's timestamp granularity.
+  void Age(const ArtifactStore& store, uint64_t dataset_fp,
+           uint64_t options_fp, int seconds) {
+    fs::last_write_time(
+        store.EntryPath(dataset_fp, options_fp),
+        fs::file_time_type::clock::now() - std::chrono::seconds(seconds));
+  }
+
+ private:
+  uint64_t entry_bytes_ = 0;
+};
+
+TEST_F(ArtifactStoreEvictionTest, PutSweepsOldestEntriesPastTheCap) {
+  const auto store = OpenCapped(2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(Put(*store, 1, 0).ok());
+  Age(*store, 1, 0, 300);
+  ASSERT_TRUE(Put(*store, 2, 0).ok());
+  Age(*store, 2, 0, 200);
+  // The third put exceeds the two-entry cap: the oldest (key 1) goes.
+  ASSERT_TRUE(Put(*store, 3, 0).ok());
+
+  EXPECT_EQ(store->Get(1, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store->Get(2, 0).ok());
+  EXPECT_TRUE(store->Get(3, 0).ok());
+  const auto total = store->TotalBytes();
+  ASSERT_TRUE(total.ok());
+  EXPECT_LE(*total, 2 * EntryBytes());
+}
+
+TEST_F(ArtifactStoreEvictionTest, GetRefreshesRecencySoServedEntriesSurvive) {
+  const auto store = OpenCapped(2);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(Put(*store, 1, 0).ok());
+  Age(*store, 1, 0, 300);
+  ASSERT_TRUE(Put(*store, 2, 0).ok());
+  Age(*store, 2, 0, 200);
+  // Serving key 1 marks it recently used (its mtime is refreshed to now),
+  // so the next sweep evicts key 2 instead.
+  ASSERT_TRUE(store->Get(1, 0).ok());
+  ASSERT_TRUE(Put(*store, 3, 0).ok());
+
+  EXPECT_TRUE(store->Get(1, 0).ok());
+  EXPECT_EQ(store->Get(2, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store->Get(3, 0).ok());
+}
+
+TEST_F(ArtifactStoreEvictionTest, NewestEntrySurvivesEvenACapSmallerThanIt) {
+  StoreOptions options;
+  options.max_bytes = 1;  // Smaller than any single entry.
+  const auto store = ArtifactStore::Open(dir_, options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(Put(*store, 1, 0).ok());
+  Age(*store, 1, 0, 300);
+  ASSERT_TRUE(Put(*store, 2, 0).ok());
+
+  // Everything but the most recent write is swept; the fresh entry itself
+  // is never the sweep's victim.
+  EXPECT_EQ(store->Get(1, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store->Get(2, 0).ok());
+}
+
+TEST_F(ArtifactStoreEvictionTest, UncappedHandleNeverEvicts) {
+  const auto store = Open();
+  ASSERT_TRUE(store.ok());
+  for (uint64_t key = 1; key <= 4; ++key) {
+    ASSERT_TRUE(Put(*store, key, 0).ok());
+  }
+  EXPECT_TRUE(store->EvictToLimit().ok());  // No cap: a no-op.
+  const auto entries = store->ListEntries();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 4u);
+}
+
+TEST_F(ArtifactStoreEvictionTest, EvictToLimitCapsAnInheritedDirectory) {
+  {
+    const auto uncapped = Open();
+    ASSERT_TRUE(uncapped.ok());
+    for (uint64_t key = 1; key <= 4; ++key) {
+      ASSERT_TRUE(Put(*uncapped, key, 0).ok());
+      Age(*uncapped, key, 0, 100 * static_cast<int>(5 - key));
+    }
+  }
+  const auto capped = OpenCapped(2);
+  ASSERT_TRUE(capped.ok());
+  ASSERT_TRUE(capped->EvictToLimit().ok());
+  const auto entries = capped->ListEntries();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  // The two youngest mtimes (keys 3, 4) survive.
+  EXPECT_TRUE(capped->Get(3, 0).ok());
+  EXPECT_TRUE(capped->Get(4, 0).ok());
+}
+
 }  // namespace
 }  // namespace kbt::cache

@@ -1,0 +1,409 @@
+// Snapshot tests: index-backed read views over TrustReports. The
+// load-bearing contract is bit-for-bit parity — every score a Snapshot
+// serves equals (==, not near) the report it was built from, including
+// after appends — plus correct indexing (point/batch/item lookups), rank
+// order, filters, and cross-snapshot diff.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/synthetic.h"
+#include "kbt/pipeline.h"
+#include "kbt/query.h"
+#include "kbt/report.h"
+
+namespace kbt::query {
+namespace {
+
+/// A small hand-built report: 3 source groups, 2 websites, 4 predictions
+/// over 2 items. Values chosen so every rank order is unambiguous.
+api::TrustReport HandReport() {
+  api::TrustReport report;
+  report.source_kbt = {
+      core::KbtScore{0.9, 10.0},  // group 0: high trust, scored
+      core::KbtScore{0.4, 7.0},   // group 1: low trust, scored
+      core::KbtScore{0.99, 2.0},  // group 2: high trust, too little evidence
+  };
+  report.website_kbt = {
+      core::KbtScore{0.6, 20.0},
+      core::KbtScore{0.8, 6.0},
+  };
+  const kb::DataItemId item_a = kb::MakeDataItem(7, 1);
+  const kb::DataItemId item_b = kb::MakeDataItem(8, 1);
+  report.predictions = {
+      eval::TriplePrediction{item_a, 100, 0.95, true},
+      eval::TriplePrediction{item_a, 101, 0.05, true},
+      eval::TriplePrediction{item_b, 100, 0.70, true},
+      eval::TriplePrediction{item_b, 102, 0.30, false},
+  };
+  report.counts.num_sources = 3;
+  report.counts.num_websites = 2;
+  return report;
+}
+
+TEST(SnapshotTest, BuildIndexesTheReportShape) {
+  SnapshotInfo stamp;
+  stamp.dataset_fingerprint = 0xFEED;
+  const Snapshot snapshot = Snapshot::Build(HandReport(), stamp);
+
+  EXPECT_EQ(snapshot.info().sequence, 0u);  // Unpublished.
+  EXPECT_EQ(snapshot.info().dataset_fingerprint, 0xFEEDu);
+  EXPECT_EQ(snapshot.num_sources(), 3u);
+  EXPECT_EQ(snapshot.num_websites(), 2u);
+  EXPECT_EQ(snapshot.num_triples(), 4u);
+  EXPECT_EQ(snapshot.num_items(), 2u);
+}
+
+TEST(SnapshotTest, PointLookupsServeTheReportsValues) {
+  const api::TrustReport report = HandReport();
+  const Snapshot snapshot = Snapshot::Build(report);
+
+  for (uint32_t g = 0; g < report.source_kbt.size(); ++g) {
+    const auto trust = snapshot.SourceTrust(g);
+    ASSERT_TRUE(trust.has_value());
+    EXPECT_EQ(trust->id, g);
+    EXPECT_EQ(trust->kbt, report.source_kbt[g].kbt);
+    EXPECT_EQ(trust->evidence, report.source_kbt[g].evidence);
+    EXPECT_EQ(trust->scored, report.source_kbt[g].HasScore());
+  }
+  for (uint32_t w = 0; w < report.website_kbt.size(); ++w) {
+    const auto trust = snapshot.WebsiteTrust(w);
+    ASSERT_TRUE(trust.has_value());
+    EXPECT_EQ(trust->kbt, report.website_kbt[w].kbt);
+  }
+  for (const eval::TriplePrediction& prediction : report.predictions) {
+    const auto truth = snapshot.TripleTruth(prediction.item,
+                                            prediction.value);
+    ASSERT_TRUE(truth.has_value());
+    EXPECT_EQ(truth->probability, prediction.probability);
+    EXPECT_EQ(truth->covered, prediction.covered);
+  }
+}
+
+TEST(SnapshotTest, LookupMissesAreNullopt) {
+  const Snapshot snapshot = Snapshot::Build(HandReport());
+
+  EXPECT_FALSE(snapshot.SourceTrust(3).has_value());
+  EXPECT_FALSE(snapshot.SourceTrust(kb::kInvalidId).has_value());
+  EXPECT_FALSE(snapshot.WebsiteTrust(2).has_value());
+  // Known item, never-extracted value; and a never-seen item.
+  EXPECT_FALSE(
+      snapshot.TripleTruth(kb::MakeDataItem(7, 1), 999).has_value());
+  EXPECT_FALSE(
+      snapshot.TripleTruth(kb::MakeDataItem(99, 1), 100).has_value());
+}
+
+TEST(SnapshotTest, EmptyReportServesOnlyMisses) {
+  const Snapshot snapshot = Snapshot::Build(api::TrustReport());
+
+  EXPECT_EQ(snapshot.num_sources(), 0u);
+  EXPECT_EQ(snapshot.num_triples(), 0u);
+  EXPECT_FALSE(snapshot.SourceTrust(0).has_value());
+  EXPECT_FALSE(snapshot.TripleTruth(0, 0).has_value());
+  EXPECT_TRUE(snapshot.TopKSources(5).empty());
+  EXPECT_TRUE(snapshot.TopKTriples(5).empty());
+  EXPECT_TRUE(snapshot.ItemValues(0).empty());
+}
+
+TEST(SnapshotTest, ItemValuesListsCandidatesInReportOrder) {
+  const Snapshot snapshot = Snapshot::Build(HandReport());
+
+  const auto values = snapshot.ItemValues(kb::MakeDataItem(7, 1));
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].value, 100u);
+  EXPECT_EQ(values[0].probability, 0.95);
+  EXPECT_EQ(values[1].value, 101u);
+  EXPECT_EQ(values[1].probability, 0.05);
+  EXPECT_TRUE(snapshot.ItemValues(kb::MakeDataItem(6, 1)).empty());
+}
+
+TEST(SnapshotTest, BatchLookupsAnswerPositionally) {
+  const Snapshot snapshot = Snapshot::Build(HandReport());
+
+  const auto sources = snapshot.BatchSourceTrust({2, 7, 0});
+  ASSERT_EQ(sources.size(), 3u);
+  ASSERT_TRUE(sources[0].has_value());
+  EXPECT_EQ(sources[0]->id, 2u);
+  EXPECT_FALSE(sources[1].has_value());
+  ASSERT_TRUE(sources[2].has_value());
+  EXPECT_EQ(sources[2]->kbt, 0.9);
+
+  const auto triples = snapshot.BatchTripleTruth(
+      {TripleKey{kb::MakeDataItem(8, 1), 102},
+       TripleKey{kb::MakeDataItem(8, 1), 555}});
+  ASSERT_EQ(triples.size(), 2u);
+  ASSERT_TRUE(triples[0].has_value());
+  EXPECT_EQ(triples[0]->probability, 0.30);
+  EXPECT_FALSE(triples[1].has_value());
+}
+
+TEST(SnapshotTest, TopKSourcesRanksByKbtAndAppliesFilters) {
+  const Snapshot snapshot = Snapshot::Build(HandReport());
+
+  // Default filter: the paper's evidence floor (5) drops group 2 despite
+  // its top KBT.
+  const auto top = snapshot.TopKSources(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_EQ(top[1].id, 1u);
+
+  // Zero floor ranks everyone, KBT descending.
+  SourceFilter all;
+  all.min_evidence = 0.0;
+  const auto unfiltered = snapshot.TopKSources(10, all);
+  ASSERT_EQ(unfiltered.size(), 3u);
+  EXPECT_EQ(unfiltered[0].id, 2u);
+  EXPECT_EQ(unfiltered[1].id, 0u);
+  EXPECT_EQ(unfiltered[2].id, 1u);
+
+  // k truncates; a predicate composes with the evidence floor.
+  EXPECT_EQ(snapshot.TopKSources(1, all).size(), 1u);
+  EXPECT_EQ(snapshot.TopKSources(0, all).size(), 0u);
+  SourceFilter low_trust = all;
+  low_trust.predicate = [](const SourceTrust& s) { return s.kbt < 0.5; };
+  const auto low = snapshot.TopKSources(10, low_trust);
+  ASSERT_EQ(low.size(), 1u);
+  EXPECT_EQ(low[0].id, 1u);
+
+  const auto websites = snapshot.TopKWebsites(10);
+  ASSERT_EQ(websites.size(), 2u);
+  EXPECT_EQ(websites[0].id, 1u);  // 0.8 over 0.6.
+}
+
+TEST(SnapshotTest, TopKTriplesRanksByProbability) {
+  const Snapshot snapshot = Snapshot::Build(HandReport());
+
+  const auto top = snapshot.TopKTriples(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].probability, 0.95);
+  EXPECT_EQ(top[1].probability, 0.70);
+  EXPECT_EQ(top[2].probability, 0.30);
+
+  TripleFilter covered;
+  covered.covered_only = true;
+  const auto covered_top = snapshot.TopKTriples(10, covered);
+  ASSERT_EQ(covered_top.size(), 3u);  // The 0.30 triple is uncovered.
+  EXPECT_EQ(covered_top[2].probability, 0.05);
+
+  TripleFilter confident;
+  confident.predicate = [](const TripleTruth& t) {
+    return t.probability >= 0.5;
+  };
+  EXPECT_EQ(snapshot.TopKTriples(10, confident).size(), 2u);
+}
+
+TEST(SnapshotTest, NonContiguousPredictionsAreReindexed) {
+  // Hand-assembled reports may interleave items; the snapshot restores
+  // per-item contiguity without disturbing within-item order.
+  api::TrustReport report;
+  const kb::DataItemId item_a = kb::MakeDataItem(1, 1);
+  const kb::DataItemId item_b = kb::MakeDataItem(2, 1);
+  report.predictions = {
+      eval::TriplePrediction{item_a, 10, 0.9, true},
+      eval::TriplePrediction{item_b, 11, 0.8, true},
+      eval::TriplePrediction{item_a, 12, 0.1, true},
+  };
+  const Snapshot snapshot = Snapshot::Build(report);
+
+  EXPECT_EQ(snapshot.num_items(), 2u);
+  const auto values = snapshot.ItemValues(item_a);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].value, 10u);
+  EXPECT_EQ(values[1].value, 12u);
+  ASSERT_TRUE(snapshot.TripleTruth(item_b, 11).has_value());
+  EXPECT_EQ(snapshot.TripleTruth(item_b, 11)->probability, 0.8);
+}
+
+TEST(SnapshotTest, DuplicatePredictionsAreDedupedFirstWins) {
+  // Pipeline reports carry distinct (item, value) pairs; hand-assembled
+  // ones may not. The first occurrence wins everywhere (count, item
+  // listing, lookups), and diffs against a deduped snapshot cannot count
+  // more common keys than distinct triples (no churn underflow).
+  api::TrustReport report;
+  const kb::DataItemId item = kb::MakeDataItem(3, 1);
+  report.predictions = {
+      eval::TriplePrediction{item, 10, 0.9, true},
+      eval::TriplePrediction{item, 10, 0.4, false},  // Duplicate key.
+      eval::TriplePrediction{item, 11, 0.2, true},
+  };
+  const Snapshot snapshot = Snapshot::Build(report);
+
+  EXPECT_EQ(snapshot.num_triples(), 2u);
+  EXPECT_EQ(snapshot.ItemValues(item).size(), 2u);
+  EXPECT_EQ(snapshot.TripleTruth(item, 10)->probability, 0.9);
+  EXPECT_EQ(snapshot.TopKTriples(10).size(), 2u);
+
+  api::TrustReport smaller;
+  smaller.predictions = {eval::TriplePrediction{item, 10, 0.5, true}};
+  const SnapshotDiff diff =
+      DiffSnapshots(Snapshot::Build(smaller), snapshot, 5);
+  EXPECT_EQ(diff.triples_added, 1u);    // (item, 11).
+  EXPECT_EQ(diff.triples_removed, 0u);  // No underflow.
+}
+
+TEST(SnapshotTest, DiffRanksMoversAndCountsChurn) {
+  api::TrustReport before_report = HandReport();
+  api::TrustReport after_report = HandReport();
+  // Group 0 drops hard, group 1 gains a little, group 2 is unchanged; a
+  // fourth group appears. One triple is replaced by a new value.
+  after_report.source_kbt[0].kbt = 0.5;   // delta -0.4
+  after_report.source_kbt[1].kbt = 0.45;  // delta +0.05
+  after_report.source_kbt.push_back(core::KbtScore{0.7, 9.0});
+  after_report.predictions.pop_back();
+  after_report.predictions.push_back(
+      eval::TriplePrediction{kb::MakeDataItem(8, 1), 103, 0.25, true});
+
+  Snapshot before = Snapshot::Build(before_report);
+  Snapshot after = Snapshot::Build(after_report);
+  const SnapshotDiff diff = DiffSnapshots(before, after, 2);
+
+  EXPECT_EQ(diff.sources_added, 1u);
+  EXPECT_EQ(diff.sources_removed, 0u);
+  ASSERT_EQ(diff.top_source_moves.size(), 2u);
+  EXPECT_EQ(diff.top_source_moves[0].id, 0u);
+  EXPECT_EQ(diff.top_source_moves[0].delta, 0.5 - 0.9);
+  EXPECT_EQ(diff.top_source_moves[1].id, 1u);
+  EXPECT_EQ(diff.triples_added, 1u);    // (item_b, 103) is new.
+  EXPECT_EQ(diff.triples_removed, 1u);  // (item_b, 102) is gone.
+  EXPECT_EQ(diff.websites_added, 0u);
+  EXPECT_EQ(diff.top_website_moves.size(), 2u);
+  EXPECT_EQ(diff.top_website_moves[0].delta, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration: published snapshots serve real reports bit-for-bit,
+// including across appends, and superseded snapshots stay immutable.
+// ---------------------------------------------------------------------------
+
+class SnapshotPipelineTest : public ::testing::Test {
+ protected:
+  static extract::RawDataset MakeCube() {
+    exp::SyntheticConfig config;
+    config.num_sources = 20;
+    config.num_extractors = 4;
+    config.num_subjects = 12;
+    config.num_predicates = 4;
+    config.seed = 77;
+    return exp::GenerateSynthetic(config).data;
+  }
+
+  static api::Options FastOptions() {
+    api::Options options;
+    options.multilayer.max_iterations = 8;
+    options.multilayer.min_source_support = 1;
+    options.multilayer.min_extractor_support = 1;
+    return options;
+  }
+
+  /// Every score the snapshot serves must equal the report's exactly.
+  static void ExpectParity(const Snapshot& snapshot,
+                           const api::TrustReport& report) {
+    ASSERT_EQ(snapshot.num_sources(), report.source_kbt.size());
+    for (uint32_t g = 0; g < report.source_kbt.size(); ++g) {
+      const auto trust = snapshot.SourceTrust(g);
+      ASSERT_TRUE(trust.has_value());
+      EXPECT_EQ(trust->kbt, report.source_kbt[g].kbt) << "group " << g;
+      EXPECT_EQ(trust->evidence, report.source_kbt[g].evidence);
+    }
+    ASSERT_EQ(snapshot.num_websites(), report.website_kbt.size());
+    for (uint32_t w = 0; w < report.website_kbt.size(); ++w) {
+      const auto trust = snapshot.WebsiteTrust(w);
+      ASSERT_TRUE(trust.has_value());
+      EXPECT_EQ(trust->kbt, report.website_kbt[w].kbt) << "website " << w;
+    }
+    ASSERT_EQ(snapshot.num_triples(), report.predictions.size());
+    for (const eval::TriplePrediction& prediction : report.predictions) {
+      const auto truth =
+          snapshot.TripleTruth(prediction.item, prediction.value);
+      ASSERT_TRUE(truth.has_value());
+      EXPECT_EQ(truth->probability, prediction.probability);
+      EXPECT_EQ(truth->covered, prediction.covered);
+    }
+  }
+};
+
+TEST_F(SnapshotPipelineTest, PublishedSnapshotMatchesItsReportAcrossAppends) {
+  extract::RawDataset cube = MakeCube();
+  // Carve the tail off as an append delta.
+  const size_t delta_size = cube.size() / 5;
+  std::vector<extract::RawObservation> delta(
+      cube.observations.end() - static_cast<long>(delta_size),
+      cube.observations.end());
+  cube.observations.resize(cube.size() - delta_size);
+
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(std::move(cube))
+                      .WithOptions(FastOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+
+  const auto report1 = pipeline->Run();
+  ASSERT_TRUE(report1.ok());
+  const auto snapshot1 = pipeline->PublishSnapshot(*report1);
+  ASSERT_NE(snapshot1, nullptr);
+  EXPECT_EQ(snapshot1->info().sequence, 1u);
+  EXPECT_EQ(snapshot1->info().dataset_fingerprint,
+            pipeline->dataset_fingerprint());
+  ExpectParity(*snapshot1, *report1);
+
+  // Append, re-run, publish: the new snapshot serves the new report...
+  ASSERT_TRUE(pipeline->AppendObservations(delta).ok());
+  const auto report2 = pipeline->Run();
+  ASSERT_TRUE(report2.ok());
+  const auto snapshot2 = pipeline->PublishSnapshot(*report2);
+  ASSERT_NE(snapshot2, nullptr);
+  EXPECT_EQ(snapshot2->info().sequence, 2u);
+  EXPECT_EQ(snapshot2->info().counts.num_observations,
+            report2->counts.num_observations);
+  ExpectParity(*snapshot2, *report2);
+
+  // ...while the superseded snapshot still serves the old one, untouched.
+  ExpectParity(*snapshot1, *report1);
+
+  // The registry now hands out the new snapshot.
+  SnapshotReader reader(pipeline->snapshot_registry());
+  EXPECT_EQ(reader.view(), snapshot2.get());
+}
+
+TEST_F(SnapshotPipelineTest, DiffAcrossAppendRunsSeesGrowth) {
+  extract::RawDataset cube = MakeCube();
+  const size_t delta_size = cube.size() / 5;
+  std::vector<extract::RawObservation> delta(
+      cube.observations.end() - static_cast<long>(delta_size),
+      cube.observations.end());
+  cube.observations.resize(cube.size() - delta_size);
+
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(std::move(cube))
+                      .WithOptions(FastOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  const auto report1 = pipeline->Run();
+  ASSERT_TRUE(report1.ok());
+  const auto snapshot1 = pipeline->PublishSnapshot(*report1);
+  ASSERT_TRUE(pipeline->AppendObservations(delta).ok());
+  const auto report2 = pipeline->Run();
+  ASSERT_TRUE(report2.ok());
+  const auto snapshot2 = pipeline->PublishSnapshot(*report2);
+
+  const SnapshotDiff diff = DiffSnapshots(*snapshot1, *snapshot2, 5);
+  EXPECT_EQ(diff.before_sequence, 1u);
+  EXPECT_EQ(diff.after_sequence, 2u);
+  // Appends only grow the cube: nothing disappears.
+  EXPECT_EQ(diff.sources_removed, 0u);
+  EXPECT_EQ(diff.triples_removed, 0u);
+  EXPECT_GT(diff.triples_added + diff.sources_added +
+                diff.top_source_moves.size(),
+            0u);
+  // Movers are ordered by |delta| descending.
+  for (size_t i = 1; i < diff.top_source_moves.size(); ++i) {
+    EXPECT_GE(std::abs(diff.top_source_moves[i - 1].delta),
+              std::abs(diff.top_source_moves[i].delta));
+  }
+}
+
+}  // namespace
+}  // namespace kbt::query
