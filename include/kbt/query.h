@@ -6,13 +6,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "kb/ids.h"
 #include "kbt/options.h"
 #include "kbt/report.h"
+#include "kbt/sync.h"
 
 /// kbt::query — the read path of the library: lock-free snapshot serving
 /// of trust scores at read-heavy scale.
@@ -276,9 +276,9 @@ class SnapshotRegistry {
  private:
   /// Guards `current_` only, for nanoseconds at a time (pointer copy /
   /// swap; the Snapshot itself is immutable and never touched under it).
-  mutable std::mutex slot_mutex_;
+  mutable Mutex slot_mutex_;
   std::atomic<uint64_t> version_{0};
-  std::shared_ptr<const Snapshot> current_;
+  std::shared_ptr<const Snapshot> current_ KBT_GUARDED_BY(slot_mutex_);
 };
 
 /// A per-reader handle over one SnapshotRegistry: caches the current

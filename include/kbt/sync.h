@@ -1,0 +1,155 @@
+#ifndef KBT_SYNC_H_
+#define KBT_SYNC_H_
+
+/// Annotated synchronization layer: Clang thread-safety attribute macros
+/// plus thin wrappers over the std primitives that carry them. Every lock
+/// in the library goes through these types so that a Clang build (which
+/// enables -Wthread-safety, see CMakeLists.txt) proves the locking
+/// discipline at compile time: each shared member is declared
+/// KBT_GUARDED_BY its mutex, and touching it without holding that mutex is
+/// a build error, not a code-review hope.
+///
+/// This is the only place in the repo allowed to name std::mutex /
+/// std::condition_variable directly (enforced by
+/// scripts/lint_invariants.py). Internal code spells the include
+/// "common/mutex.h"; this public header exists because annotated mutexes
+/// also live inside public kbt/ headers (e.g. query.h's SnapshotRegistry),
+/// which may include only kbt/* + std.
+///
+/// How to annotate a new mutex (see docs/STATIC_ANALYSIS.md for the long
+/// form):
+///
+///   class Thing {
+///    public:
+///     void Update() {
+///       MutexLock lock(mutex_);
+///       value_ += 1;                  // OK: mutex_ held.
+///     }
+///    private:
+///     Mutex mutex_;
+///     int value_ KBT_GUARDED_BY(mutex_) = 0;
+///   };
+///
+/// Private helpers that expect the caller to hold the lock are annotated
+/// KBT_REQUIRES(mutex_); functions that must NOT be called with it held
+/// (e.g. they take it themselves and would self-deadlock) are annotated
+/// KBT_EXCLUDES(mutex_).
+///
+/// The wrappers are zero-overhead: under GCC (or any compiler without the
+/// attributes) the macros expand to nothing and each method is an inline
+/// forward to the std primitive.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define KBT_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef KBT_THREAD_ANNOTATION_
+#define KBT_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define KBT_CAPABILITY(x) KBT_THREAD_ANNOTATION_(capability(x))
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define KBT_SCOPED_CAPABILITY KBT_THREAD_ANNOTATION_(scoped_lockable)
+/// Data member may only be touched while holding `x`.
+#define KBT_GUARDED_BY(x) KBT_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointer member whose *pointee* may only be touched while holding `x`.
+#define KBT_PT_GUARDED_BY(x) KBT_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function requires the listed capabilities to be held on entry.
+#define KBT_REQUIRES(...) \
+  KBT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define KBT_ACQUIRE(...) \
+  KBT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define KBT_RELEASE(...) \
+  KBT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// Function acquires the capability when it returns the given value.
+#define KBT_TRY_ACQUIRE(...) \
+  KBT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Function must be called WITHOUT the listed capabilities held (it takes
+/// them itself, or would deadlock / invert the lock order otherwise).
+#define KBT_EXCLUDES(...) KBT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define KBT_ASSERT_CAPABILITY(x) \
+  KBT_THREAD_ANNOTATION_(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define KBT_RETURN_CAPABILITY(x) KBT_THREAD_ANNOTATION_(lock_returned(x))
+/// Escape hatch: disables analysis inside one function. Every use needs a
+/// comment explaining why the analysis cannot see the invariant.
+#define KBT_NO_THREAD_SAFETY_ANALYSIS \
+  KBT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace kbt {
+
+class CondVar;
+
+/// Annotated std::mutex. Prefer the scoped MutexLock; raw Lock()/Unlock()
+/// are for the few hand-over-hand sections (e.g. TaskGroup::Wait) where a
+/// scope cannot express the protocol.
+class KBT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KBT_ACQUIRE() { mu_.lock(); }
+  void Unlock() KBT_RELEASE() { mu_.unlock(); }
+  bool TryLock() KBT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a kbt::Mutex (the annotated std::lock_guard).
+class KBT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KBT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() KBT_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to kbt::Mutex. Wait() releases the mutex,
+/// blocks, and reacquires before returning; as with the std primitive it
+/// can wake spuriously, so callers loop on their predicate:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.Wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and waits; `mu` is held again on return.
+  void Wait(Mutex& mu) KBT_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait and
+    // release the adoption before the guard unwinds: the capability stays
+    // held across the call from the caller's (and the analysis') view.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    // Spurious wakeups are handled by the caller's predicate loop (see the
+    // class comment). NOLINT(bugprone-spuriously-wake-up-functions)
+    cv_.wait(native);  // NOLINT(bugprone-spuriously-wake-up-functions)
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace kbt
+
+#endif  // KBT_SYNC_H_

@@ -1,12 +1,34 @@
 #!/usr/bin/env bash
-# Full local/CI check: docs consistency, configure, build, test, smoke-run
-# the quickstart, the serving + query demos, and the append/serving/cache/
-# query benches (emitting BENCH_*.json for trend tooling).
+# Full local/CI check: repo invariant linter, docs consistency, configure,
+# build, test, smoke-run the quickstart, the serving + query demos, and the
+# append/serving/cache/query benches (emitting BENCH_*.json for trend
+# tooling). Extra configure arguments (e.g. -DKBT_WERROR=ON in CI) come in
+# through KBT_CONFIGURE_ARGS.
+#
+# This covers the GCC leg of the correctness tooling; the clang legs
+# (thread-safety proof, clang-tidy) and the sanitizer matrix run as their
+# own CI jobs — see docs/STATIC_ANALYSIS.md for running those locally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+python3 scripts/lint_invariants.py
 ./scripts/check_docs.sh
-cmake -B build -S .
+
+# Non-blocking format drift report (see .clang-format): tool-optional so
+# the check runs the same everywhere, advisory so whitespace never gates a
+# functional change.
+if command -v clang-format >/dev/null 2>&1; then
+  if ! clang-format --dry-run -Werror \
+      src/**/*.h src/**/*.cpp include/kbt/*.h tests/**/*.cpp \
+      bench/*.cpp examples/*.cpp 2>/dev/null; then
+    echo "NOTE: clang-format reports drift (non-blocking; run" \
+         "clang-format -i on the files you touched)."
+  fi
+else
+  echo "NOTE: clang-format not installed; skipping format drift report."
+fi
+
+cmake -B build -S . ${KBT_CONFIGURE_ARGS:-}
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/examples/quickstart

@@ -1,12 +1,12 @@
 #include "kbt/pipeline.h"
 
 #include <algorithm>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "cache/artifact_store.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/math.h"
 #include "common/stopwatch.h"
 #include "core/initialization.h"
@@ -53,8 +53,8 @@ struct Pipeline::Impl {
   /// reads safe against each other (no torn cache); it does NOT license
   /// reading while AppendObservations mutates the dataset — see the
   /// accessor's contract in kbt/pipeline.h.
-  mutable std::mutex fingerprint_mutex;
-  mutable std::optional<uint64_t> fingerprint;
+  mutable Mutex fingerprint_mutex;
+  mutable std::optional<uint64_t> fingerprint KBT_GUARDED_BY(fingerprint_mutex);
 
   /// Persistent artifact store (EnableDiskCache) and the compile-options
   /// half of its key; absent until enabled.
@@ -76,7 +76,7 @@ struct Pipeline::Impl {
     // covers datasets mutated behind the pipeline's back (borrowed
     // datasets), where a stale fingerprint would key the disk cache to
     // pre-mutation artifacts.
-    std::lock_guard<std::mutex> lock(fingerprint_mutex);
+    MutexLock lock(fingerprint_mutex);
     fingerprint.reset();
   }
 };
@@ -132,7 +132,7 @@ std::optional<granularity::StatelessGranularity> StatelessKind(
 }
 
 uint64_t CurrentFingerprint(const Pipeline::Impl& impl) {
-  std::lock_guard<std::mutex> lock(impl.fingerprint_mutex);
+  MutexLock lock(impl.fingerprint_mutex);
   if (!impl.fingerprint) {
     impl.fingerprint = io::DatasetFingerprint(*impl.dataset);
   }
@@ -473,7 +473,7 @@ Status Pipeline::AppendObservations(
     data.observations.push_back(obs);
   }
   {
-    std::lock_guard<std::mutex> lock(impl.fingerprint_mutex);
+    MutexLock lock(impl.fingerprint_mutex);
     impl.fingerprint.reset();  // Content changed; recompute lazily.
   }
 

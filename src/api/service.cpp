@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 
 namespace kbt::api {
@@ -39,11 +39,11 @@ struct TrustService::Session {
 
   /// Guards the coalescing window. Ordering between this and the service
   /// mutex: never held together.
-  std::mutex mutex;
+  Mutex mutex;
   /// The queued-but-not-started append batch new appends may merge into;
   /// null when the window is closed (nothing queued, or a run was queued
   /// after the batch).
-  std::shared_ptr<PendingAppend> open_append;
+  std::shared_ptr<PendingAppend> open_append KBT_GUARDED_BY(mutex);
 };
 
 struct TrustService::State {
@@ -52,11 +52,12 @@ struct TrustService::State {
 
   /// Guards `sessions` only; the counters are lock-free so the submit fast
   /// path of one session never contends with another's.
-  mutable std::mutex mutex;
+  mutable Mutex mutex;
   /// shared_ptr ownership: a request task (or a caller-held future chain)
   /// pins its Session, so CloseSession racing a submit frees nothing that
   /// is still in use.
-  std::map<std::string, std::shared_ptr<Session>> sessions;
+  std::map<std::string, std::shared_ptr<Session>> sessions
+      KBT_GUARDED_BY(mutex);
 
   std::atomic<size_t> runs_submitted{0};
   std::atomic<size_t> appends_submitted{0};
@@ -71,7 +72,7 @@ struct TrustService::State {
   void MaybePublish(Session& session, const StatusOr<TrustReport>& report);
 
   std::shared_ptr<Session> Find(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     const auto it = sessions.find(name);
     return it == sessions.end() ? nullptr : it->second;
   }
@@ -104,7 +105,7 @@ Status TrustService::CreateSession(const std::string& name,
     // directory creation + stale-temp sweep) runs WITHOUT the service
     // lock that gates every session's submit path. A placeholder behaves
     // as "not found" for submits/close until the session is published.
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     const auto it = state_->sessions.find(name);
     if (it != state_->sessions.end()) {
       // Distinguish a published session from another creator's in-flight
@@ -123,7 +124,7 @@ Status TrustService::CreateSession(const std::string& name,
         pipeline.EnableDiskCache(state_->options.cache_directory,
                                  state_->options.cache_max_bytes);
     if (!enabled.ok()) {
-      std::lock_guard<std::mutex> lock(state_->mutex);
+      MutexLock lock(state_->mutex);
       state_->sessions.erase(name);
       return enabled;
     }
@@ -134,7 +135,7 @@ Status TrustService::CreateSession(const std::string& name,
   pipeline.AttachExecutor(state_->executor);
   auto session = std::make_shared<Session>(std::move(pipeline),
                                            &state_->executor->pool());
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   state_->sessions[name] = std::move(session);
   return Status::OK();
 }
@@ -149,7 +150,7 @@ Status TrustService::CreateSession(const std::string& name,
 Status TrustService::CloseSession(const std::string& name) {
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     const auto it = state_->sessions.find(name);
     // A null mapping is a CreateSession still in flight (name reserved,
     // session not yet published): not closable, and not erasable without
@@ -173,7 +174,7 @@ bool TrustService::HasSession(const std::string& name) const {
 }
 
 std::vector<std::string> TrustService::SessionNames() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   std::vector<std::string> names;
   names.reserve(state_->sessions.size());
   for (const auto& [name, session] : state_->sessions) {
@@ -195,7 +196,7 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRun(
   // mutex (lock order: session -> queue -> pool, never inverted): a run
   // closes the coalescing window, and appends submitted after this call
   // returns land behind the run on the strand.
-  std::lock_guard<std::mutex> lock(session->mutex);
+  MutexLock lock(session->mutex);
   session->open_append.reset();
   return session->queue.SubmitWithResult([state = state_, session] {
     StatusOr<TrustReport> report = session->pipeline.Run();
@@ -212,7 +213,7 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRunFrom(
         Status::NotFound("no session '" + session_name + "'"));
   }
   state_->runs_submitted.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(session->mutex);
+  MutexLock lock(session->mutex);
   session->open_append.reset();
   return session->queue.SubmitWithResult(
       [state = state_, session, previous = std::move(previous)] {
@@ -239,7 +240,7 @@ std::future<Status> TrustService::SubmitAppend(
     // under one session-mutex hold: publishing an open window whose task
     // is not yet queued would let a racing run jump ahead of an append
     // that already merged into it and returned to its caller.
-    std::lock_guard<std::mutex> lock(session->mutex);
+    MutexLock lock(session->mutex);
     if (state_->options.coalesce_appends && session->open_append != nullptr) {
       // Merge into the batch already queued on the strand; the single
       // AppendObservations call will resolve this future too.
@@ -262,7 +263,7 @@ std::future<Status> TrustService::SubmitAppend(
         {
           // Close the window before touching the pipeline: appends
           // submitted from here on start a new batch (and a new task).
-          std::lock_guard<std::mutex> lock(session->mutex);
+          MutexLock lock(session->mutex);
           merged = std::move(batch->observations);
           promises = std::move(batch->promises);
           if (session->open_append == batch) session->open_append.reset();
@@ -299,7 +300,7 @@ void TrustService::Drain() {
   // long, and request tasks never touch the session map.
   std::vector<std::shared_ptr<Session>> sessions;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     sessions.reserve(state_->sessions.size());
     for (const auto& [name, session] : state_->sessions) {
       // Skip reservations (null): nothing is queued on an unpublished

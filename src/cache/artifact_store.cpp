@@ -8,12 +8,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <set>
 #include <system_error>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace kbt::cache {
 
@@ -55,7 +55,7 @@ StatusOr<ArtifactStore> ArtifactStore::Open(const std::string& directory,
   // invisible to Get/ListEntries either way, this only bounds disk usage.
   // Once per directory per process: a TrustService opening one shared
   // store per session must not rescan O(entries) on every CreateSession.
-  static std::mutex swept_mutex;
+  static Mutex swept_mutex;
   static std::set<std::string>* swept = new std::set<std::string>;
   std::error_code canon_ec;
   const fs::path canonical = fs::canonical(directory, canon_ec);
@@ -63,7 +63,7 @@ StatusOr<ArtifactStore> ArtifactStore::Open(const std::string& directory,
       canon_ec ? directory : canonical.string();
   bool sweep_now = false;
   {
-    std::lock_guard<std::mutex> lock(swept_mutex);
+    MutexLock lock(swept_mutex);
     sweep_now = swept->insert(sweep_key).second;
   }
   if (sweep_now) {

@@ -1,17 +1,19 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace kbt {
 
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+/// Serializes flushes so interleaved statements stay line-atomic. Guards
+/// the stderr stream, not a member — hence no KBT_GUARDED_BY site.
+Mutex g_log_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -56,7 +58,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

@@ -1,0 +1,14 @@
+#ifndef KBT_COMMON_MUTEX_H_
+#define KBT_COMMON_MUTEX_H_
+
+/// Internal spelling of the annotated locking layer. The definitions live
+/// in the public header kbt/sync.h (public kbt/ headers hold annotated
+/// mutexes too — e.g. query.h's SnapshotRegistry — and may include only
+/// kbt/* + std, so the types must be reachable from there). Internal code
+/// includes this path; both files are the allowlisted home of the raw std
+/// synchronization primitives (scripts/lint_invariants.py flags
+/// std::mutex & friends anywhere else).
+
+#include "kbt/sync.h"  // IWYU pragma: export
+
+#endif  // KBT_COMMON_MUTEX_H_

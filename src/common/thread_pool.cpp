@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace kbt {
 
@@ -20,30 +21,30 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) all_done_.Wait(mutex_);
 }
 
 bool ThreadPool::TryRunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -51,9 +52,9 @@ bool ThreadPool::TryRunOneTask() {
   }
   task();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     --active_;
-    if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    if (queue_.empty() && active_ == 0) all_done_.NotifyAll();
   }
   return true;
 }
@@ -62,9 +63,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) {
         // shutting_down_ and nothing left to run.
         return;
@@ -75,9 +75,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
-      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+      if (queue_.empty() && active_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -95,13 +95,13 @@ struct TaskGroup::Entry {
 };
 
 struct TaskGroup::State {
-  std::mutex mutex;
-  std::condition_variable done;
+  Mutex mutex;
+  CondVar done;
   /// Tasks submitted and not yet finished (queued, claimed or running).
-  size_t outstanding = 0;
+  size_t outstanding KBT_GUARDED_BY(mutex) = 0;
   /// Submission-ordered entries a helping waiter may claim. Entries the
   /// pool ran stay here (claimed) until a Wait() pops past them.
-  std::deque<std::shared_ptr<Entry>> pending;
+  std::deque<std::shared_ptr<Entry>> pending KBT_GUARDED_BY(mutex);
 };
 
 TaskGroup::TaskGroup(ThreadPool* pool)
@@ -112,24 +112,24 @@ TaskGroup::~TaskGroup() { Wait(); }
 void TaskGroup::Submit(std::function<void()> task) {
   auto entry = std::make_shared<Entry>(std::move(task));
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     ++state_->outstanding;
     state_->pending.push_back(entry);
   }
   // A parked waiter re-checks and can claim the new entry itself (pool
   // workers may all be busy or parked in their own joins).
-  state_->done.notify_all();
+  state_->done.NotifyAll();
   pool_->Submit([state = state_, entry] {
     if (entry->claimed.exchange(true)) return;  // A waiter ran it inline.
     entry->fn();
-    std::lock_guard<std::mutex> lock(state->mutex);
-    if (--state->outstanding == 0) state->done.notify_all();
+    MutexLock lock(state->mutex);
+    if (--state->outstanding == 0) state->done.NotifyAll();
   });
 }
 
 void TaskGroup::Wait() {
   State& state = *state_;
-  std::unique_lock<std::mutex> lock(state.mutex);
+  state.mutex.Lock();
   while (state.outstanding > 0) {
     // Donate this thread to the group's own not-yet-started tasks instead
     // of sleeping: a blocked waiter never strands its own queued work,
@@ -145,18 +145,22 @@ void TaskGroup::Wait() {
       }
     }
     if (entry != nullptr) {
-      lock.unlock();
+      // Hand-over-hand: drop the lock to run the claimed task, retake it
+      // to update the shared count (the reason this function uses raw
+      // Lock/Unlock instead of a MutexLock scope).
+      state.mutex.Unlock();
       entry->fn();
-      lock.lock();
-      if (--state.outstanding == 0) state.done.notify_all();
+      state.mutex.Lock();
+      if (--state.outstanding == 0) state.done.NotifyAll();
       continue;
     }
     // Every unfinished task is claimed, i.e. running on some other thread;
     // park until the count drops or a new submission arrives to help with.
-    state.done.wait(lock, [&state] {
-      return state.outstanding == 0 || !state.pending.empty();
-    });
+    while (state.outstanding > 0 && state.pending.empty()) {
+      state.done.Wait(state.mutex);
+    }
   }
+  state.mutex.Unlock();
 }
 
 // ---------------------------------------------------------------------------
@@ -170,7 +174,7 @@ SerialQueue::~SerialQueue() { Wait(); }
 void SerialQueue::Submit(std::function<void()> task) {
   bool schedule = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     if (!running_) {
       running_ = true;
@@ -183,16 +187,16 @@ void SerialQueue::Submit(std::function<void()> task) {
 void SerialQueue::DrainOne() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     task = std::move(queue_.front());
     queue_.pop_front();
   }
   task();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) {
       running_ = false;
-      idle_.notify_all();
+      idle_.NotifyAll();
       return;
     }
   }
@@ -202,12 +206,12 @@ void SerialQueue::DrainOne() {
 }
 
 void SerialQueue::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return !running_ && queue_.empty(); });
+  MutexLock lock(mutex_);
+  while (running_ || !queue_.empty()) idle_.Wait(mutex_);
 }
 
 size_t SerialQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size() + (running_ ? 1 : 0);
 }
 

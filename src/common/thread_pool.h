@@ -1,16 +1,16 @@
 #ifndef KBT_COMMON_THREAD_POOL_H_
 #define KBT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace kbt {
 
@@ -88,12 +88,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  int active_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ KBT_GUARDED_BY(mutex_);
+  int active_ KBT_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ KBT_GUARDED_BY(mutex_) = false;
 };
 
 /// Scoped fork-join over a shared ThreadPool: submit a batch of tasks, then
@@ -183,10 +183,10 @@ class SerialQueue {
   void DrainOne();
 
   ThreadPool* pool_;
-  mutable std::mutex mutex_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  bool running_ = false;
+  mutable Mutex mutex_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ KBT_GUARDED_BY(mutex_);
+  bool running_ KBT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace kbt

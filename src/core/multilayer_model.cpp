@@ -4,11 +4,11 @@
 #include <cmath>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/math.h"
+#include "common/mutex.h"
 
 namespace kbt::core {
 
@@ -301,12 +301,12 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
   refresh_votes();
 
   std::vector<double> delta_per_chunk;  // Convergence tracking.
-  std::mutex delta_mutex;
+  Mutex delta_mutex;
 
   for (int iteration = 1; iteration <= config.max_iterations; ++iteration) {
     double max_delta = 0.0;
     const auto note_delta = [&](double d) {
-      std::lock_guard<std::mutex> lock(delta_mutex);
+      MutexLock lock(delta_mutex);
       max_delta = std::max(max_delta, d);
     };
 

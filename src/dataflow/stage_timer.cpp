@@ -3,33 +3,33 @@
 namespace kbt::dataflow {
 
 void StageTimers::Add(const std::string& stage, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& e = entries_[stage];
   e.total_seconds += seconds;
   e.count += 1;
 }
 
 double StageTimers::TotalSeconds(const std::string& stage) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(stage);
   return it == entries_.end() ? 0.0 : it->second.total_seconds;
 }
 
 int StageTimers::Count(const std::string& stage) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(stage);
   return it == entries_.end() ? 0 : it->second.count;
 }
 
 double StageTimers::MeanSeconds(const std::string& stage) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(stage);
   if (it == entries_.end() || it->second.count == 0) return 0.0;
   return it->second.total_seconds / it->second.count;
 }
 
 std::vector<std::pair<std::string, double>> StageTimers::Entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -39,7 +39,7 @@ std::vector<std::pair<std::string, double>> StageTimers::Entries() const {
 }
 
 void StageTimers::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
 }
 

@@ -2,10 +2,10 @@
 #define KBT_DATAFLOW_STAGE_TIMER_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 
 namespace kbt::dataflow {
@@ -58,8 +58,8 @@ class StageTimers {
     int count = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ KBT_GUARDED_BY(mutex_);
 };
 
 }  // namespace kbt::dataflow

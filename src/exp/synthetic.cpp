@@ -138,7 +138,7 @@ SyntheticData GenerateSynthetic(const SyntheticConfig& config) {
                                      static_cast<kb::PageId>(w), item,
                                      value}) > 0;
         const uint64_t key = item * 0x9e3779b97f4a7c15ULL ^ value;
-        if (local.count(key) > 0) continue;
+        if (local.contains(key)) continue;
         local.emplace(key, data.observations.size());
 
         extract::RawObservation obs;

@@ -195,7 +195,7 @@ StatusOr<RawDataset> ExtractionSimulator::Run(
 
         const bool is_provided =
             !corrupted ||
-            provided_set.count(ProvidedKey{page_id, item, value}) > 0;
+            provided_set.contains(ProvidedKey{page_id, item, value});
         const float conf =
             profile.emits_confidence
                 ? DrawConfidence(is_provided, profile.confidence_calibration,
@@ -232,7 +232,7 @@ StatusOr<RawDataset> ExtractionSimulator::Run(
             static_cast<size_t>(variant);
         if (pat_index >= profile.patterns.size()) continue;
         const bool is_provided =
-            provided_set.count(ProvidedKey{page_id, item, value}) > 0;
+            provided_set.contains(ProvidedKey{page_id, item, value});
         const float conf =
             profile.emits_confidence
                 ? DrawConfidence(is_provided, profile.confidence_calibration,

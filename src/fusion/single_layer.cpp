@@ -4,10 +4,10 @@
 #include <cmath>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/math.h"
+#include "common/mutex.h"
 
 namespace kbt::fusion {
 
@@ -107,7 +107,7 @@ StatusOr<SingleLayerResult> SingleLayerModel::Run(
     }
   }
 
-  std::mutex delta_mutex;
+  Mutex delta_mutex;
   for (int iteration = 1; iteration <= config.max_iterations; ++iteration) {
     double max_delta = 0.0;
 
@@ -178,7 +178,7 @@ StatusOr<SingleLayerResult> SingleLayerModel::Run(
             r.slot_covered[s] = covered ? 1 : 0;
           }
         }
-        std::lock_guard<std::mutex> lock(delta_mutex);
+        MutexLock lock(delta_mutex);
         max_delta = std::max(max_delta, local_delta);
       });
     }

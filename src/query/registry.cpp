@@ -1,5 +1,4 @@
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "kbt/query.h"
@@ -10,7 +9,7 @@ std::shared_ptr<const Snapshot> SnapshotRegistry::Publish(Snapshot snapshot) {
   // The allocation and the (potentially large) move happen before the
   // lock; the critical section is a sequence stamp and two word stores.
   auto published = std::make_shared<Snapshot>(std::move(snapshot));
-  std::lock_guard<std::mutex> lock(slot_mutex_);
+  MutexLock lock(slot_mutex_);
   const uint64_t sequence = version_.load(std::memory_order_relaxed) + 1;
   published->info_.sequence = sequence;
   current_ = published;
@@ -22,15 +21,15 @@ std::shared_ptr<const Snapshot> SnapshotRegistry::Publish(Snapshot snapshot) {
 }
 
 std::shared_ptr<const Snapshot> SnapshotRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(slot_mutex_);
+  MutexLock lock(slot_mutex_);
   return current_;
 }
 
 bool SnapshotRegistry::TryCurrent(
     std::shared_ptr<const Snapshot>* out) const {
-  std::unique_lock<std::mutex> lock(slot_mutex_, std::try_to_lock);
-  if (!lock.owns_lock()) return false;
+  if (!slot_mutex_.TryLock()) return false;
   *out = current_;
+  slot_mutex_.Unlock();
   return true;
 }
 

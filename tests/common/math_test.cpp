@@ -1,6 +1,7 @@
 #include "common/math.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -132,6 +133,48 @@ TEST(MathTest, SourceVoteEndpointsAreFinite) {
   // Degenerate domain sizes are lifted to n = 1 rather than log(0).
   EXPECT_TRUE(std::isfinite(SourceVote(0.6, 0)));
   EXPECT_TRUE(std::isfinite(SourceVote(0.6, -5)));
+}
+
+// UBSan-sensitive edges (these run under the sanitizer matrix CI jobs,
+// where -fno-sanitize-recover turns any log(0)/division-by-zero/overflow
+// reached here into a hard failure, not just a wrong number).
+
+TEST(MathTest, SafeLogGuardsZeroAndNegative) {
+  // log(0) is -inf and log(-x) is NaN; SafeLog must clamp first.
+  EXPECT_TRUE(std::isfinite(SafeLog(0.0)));
+  EXPECT_NEAR(SafeLog(0.0), std::log(kProbEpsilon), 1e-12);
+  EXPECT_TRUE(std::isfinite(SafeLog(-1.0)));
+  EXPECT_DOUBLE_EQ(SafeLog(1.0), 0.0);
+}
+
+TEST(MathTest, LogitSurvivesScoreUnderflow) {
+  // Probabilities that underflowed to subnormals (or to exactly 0) appear
+  // in long EM chains; the clamp keeps the log-odds finite.
+  const double subnormal = 5e-324;
+  EXPECT_TRUE(std::isfinite(Logit(subnormal)));
+  EXPECT_TRUE(std::isfinite(Logit(1.0 - 1e-18)));  // Rounds to 1.0.
+  EXPECT_TRUE(std::isfinite(Logit(-0.25)));        // Clamped from below.
+  EXPECT_TRUE(std::isfinite(Logit(1.25)));         // Clamped from above.
+}
+
+TEST(MathTest, LogSumExpHandlesInfiniteVotes) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // All-(-inf): every candidate value has zero mass. The guard returns
+  // -inf directly instead of computing exp(-inf - (-inf)) = exp(NaN).
+  const std::vector<double> all_dead = {-inf, -inf};
+  EXPECT_TRUE(std::isinf(LogSumExp(all_dead)));
+  EXPECT_LT(LogSumExp(all_dead), 0.0);
+  // +inf dominates and must come back unchanged, not as NaN.
+  const std::vector<double> peaked = {inf, 0.0};
+  EXPECT_TRUE(std::isinf(LogSumExp(peaked)));
+  EXPECT_GT(LogSumExp(peaked), 0.0);
+}
+
+TEST(MathTest, ClampProbabilityRejectsOutOfRangeInputs) {
+  EXPECT_DOUBLE_EQ(ClampProbability(-3.0), kProbEpsilon);
+  EXPECT_DOUBLE_EQ(ClampProbability(4.0), 1.0 - kProbEpsilon);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
 }
 
 TEST(MathTest, VoteHelpersAreFiniteAtProbabilityEndpoints) {

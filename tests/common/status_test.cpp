@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace kbt {
@@ -71,6 +74,20 @@ TEST(StatusOrTest, DereferencingTemporaryMovesValueOut) {
   // (api::Pipeline is one) flows straight into a consumer.
   const MoveOnly out = *produce();
   EXPECT_EQ(out.value, 7);
+}
+
+TEST(StatusOrTest, RvalueValueAccessChainsIntoConsumers) {
+  // The && overloads exist so `Consume(*Produce())` never copies. Under
+  // AddressSanitizer this also proves the moved-from temporary is not
+  // dangled into: the returned reference binds to the temporary, which
+  // lives to the end of the full expression.
+  const auto produce = [] {
+    return StatusOr<std::vector<double>>(std::vector<double>{1.0, 2.0});
+  };
+  const std::vector<double> direct = *produce();
+  EXPECT_EQ(direct.size(), 2u);
+  const std::vector<double> via_value = std::move(produce()).value();
+  EXPECT_EQ(via_value[1], 2.0);
 }
 
 Status FailingHelper() { return Status::Internal("inner"); }
