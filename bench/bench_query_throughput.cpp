@@ -259,13 +259,17 @@ int main(int argc, char** argv) {
                "  \"point_lookup_speedup\": %.3f,\n"
                "  \"topk_per_second_single\": %.0f,\n"
                "  \"topk_per_second_multi\": %.0f,\n"
-               "  \"topk_speedup\": %.3f\n"
+               "  \"topk_speedup\": %.3f,\n"
+               "  \"scaling_gate\": \"%s\"\n"
                "}\n",
                smoke ? "true" : "false", num_threads,
                std::thread::hardware_concurrency(),
                snapshot->num_sources(), snapshot->num_triples(),
                point_single_rate, point_multi_rate, point_speedup,
-               topk_single_rate, topk_multi_rate, topk_speedup);
+               topk_single_rate, topk_multi_rate, topk_speedup,
+               std::thread::hardware_concurrency() >= 2
+                   ? "enforced"
+                   : "skipped (needs >= 2 hardware threads)");
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
 
@@ -274,8 +278,14 @@ int main(int argc, char** argv) {
   // it like a test so CI catches the regression — but only where a second
   // hardware thread exists: on a 1-core box the "multi" pass just
   // interleaves on one core and can only measure, not scale.
-  if (smoke && std::thread::hardware_concurrency() >= 2 &&
-      point_multi_rate <= point_single_rate) {
+  if (smoke && std::thread::hardware_concurrency() < 2) {
+    // Say so out loud: a silent pass here reads as "scaling verified".
+    std::printf(
+        "SKIP: multi-thread scaling gate needs >= 2 hardware threads "
+        "(have %u); the multi-reader numbers above measure interleaving, "
+        "not scaling\n",
+        std::thread::hardware_concurrency());
+  } else if (smoke && point_multi_rate <= point_single_rate) {
     std::fprintf(stderr,
                  "FAIL: multi-threaded point lookups (%.0f/s) did not beat "
                  "single-threaded (%.0f/s)\n",

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kbt/kbt.h"
@@ -191,9 +192,19 @@ int main(int argc, char** argv) {
                 exp::TablePrinter::Fmt(concurrent_seconds),
                 exp::TablePrinter::Fmt(concurrent_rps, 1)});
   table.Print();
+  // On a 1-core box the two passes interleave on the same core, so the
+  // ratio measures scheduling overhead, not concurrency: label it so
+  // nobody reads a ~1.0x "speedup" as a regression (or a win).
+  const bool scaling_meaningful = std::thread::hardware_concurrency() >= 2;
   std::printf("\nspeedup %.2fx on %d threads; %zu of %zu appends coalesced\n",
               serial_seconds / concurrent_seconds, executor.num_threads(),
               stats.appends_coalesced, stats.appends_submitted);
+  if (!scaling_meaningful) {
+    std::printf(
+        "NOTE: only %u hardware thread(s) — the speedup above is not a "
+        "concurrency measurement\n",
+        std::thread::hardware_concurrency());
+  }
 
   // ---- Machine-readable output for the perf trajectory ----
   const char* json_path = "BENCH_service.json";
@@ -216,13 +227,17 @@ int main(int argc, char** argv) {
                "  \"speedup\": %.3f,\n"
                "  \"appends_submitted\": %zu,\n"
                "  \"appends_coalesced\": %zu,\n"
-               "  \"append_batches_executed\": %zu\n"
+               "  \"append_batches_executed\": %zu,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"scaling_meaningful\": %s\n"
                "}\n",
                smoke ? "true" : "false", num_sessions, requests_per_session,
                executor.num_threads(), serial_seconds, concurrent_seconds,
                serial_rps, concurrent_rps,
                serial_seconds / concurrent_seconds, stats.appends_submitted,
-               stats.appends_coalesced, stats.append_batches_executed);
+               stats.appends_coalesced, stats.append_batches_executed,
+               std::thread::hardware_concurrency(),
+               scaling_meaningful ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
   return 0;

@@ -32,6 +32,14 @@
 /// top-k, cross-snapshot diff) through an RCU-style registry, so any
 /// number of reader threads query trust scores lock-free while writes
 /// queue behind the compute path (TrustService::Query).
+///
+/// Cubes too large for one in-memory run shard across K pipelines
+/// (kbt/shard.h): a deterministic website-keyed partitioner splits the
+/// cube, api::ShardedPipeline scatters runs/appends across the executor
+/// and gathers one merged logical report, and query::MergedSnapshot
+/// k-way merges the per-shard read views. K = 1 is bit-for-bit identical
+/// to an unsharded Pipeline; TrustService sessions can be backed by
+/// either transparently (CreateShardedSession).
 
 #include "kbt/data.h"
 #include "kbt/options.h"
@@ -39,6 +47,7 @@
 #include "kbt/query.h"
 #include "kbt/report.h"
 #include "kbt/service.h"
+#include "kbt/shard.h"
 
 // Analysis toolkit shipped with the library: result tables, histograms,
 // timing, the hyperlink-graph PageRank baseline and shared math helpers.

@@ -8,15 +8,33 @@
 #include <vector>
 
 #include "common/status.h"
-#include "dataflow/parallel.h"
-#include "dataflow/stage_timer.h"
-#include "eval/gold_standard.h"
-#include "exp/kv_sim.h"
-#include "exp/synthetic.h"
-#include "extract/observation_matrix.h"
 #include "extract/raw_dataset.h"
 #include "kbt/options.h"
 #include "kbt/report.h"
+
+// The facade needs only names, not definitions, for its collaborators:
+// everything below is held by pointer/reference across the API boundary.
+namespace kbt::corpus {
+class WebCorpus;
+}  // namespace kbt::corpus
+
+namespace kbt::dataflow {
+class Executor;
+class StageTimers;
+}  // namespace kbt::dataflow
+
+namespace kbt::eval {
+class GoldStandard;
+}  // namespace kbt::eval
+
+namespace kbt::exp {
+struct KvSimConfig;
+struct SyntheticConfig;
+}  // namespace kbt::exp
+
+namespace kbt::extract {
+class CompiledMatrix;
+}  // namespace kbt::extract
 
 namespace kbt::query {
 class Snapshot;

@@ -6,12 +6,14 @@
 #include <string>
 #include <vector>
 
-#include "common/status.h"
-#include "dataflow/parallel.h"
-#include "extract/raw_dataset.h"
 #include "kbt/pipeline.h"
 #include "kbt/query.h"
 #include "kbt/report.h"
+#include "kbt/shard.h"
+
+namespace kbt::dataflow {
+class Executor;
+}  // namespace kbt::dataflow
 
 namespace kbt::api {
 
@@ -122,6 +124,25 @@ class TrustService {
 
   /// Convenience: Build() the pipeline and register it in one step.
   Status CreateSession(const std::string& name, PipelineBuilder builder);
+
+  /// Registers a SHARDED pipeline under `name`; the session surface stays
+  /// identical, the backend differs transparently:
+  ///  * SubmitRun / SubmitRunFrom scatter across the shards (the session
+  ///    strand drives ShardedPipeline, whose TaskGroup joins donate the
+  ///    strand's thread, so sharded runs never deadlock the executor) and
+  ///    resolve with the MERGED logical report.
+  ///  * SubmitRunFrom warm-starts from the session's RETAINED last sharded
+  ///    report — per-shard inference state does not flatten, so the
+  ///    `previous` argument cannot carry it. FailedPrecondition before the
+  ///    first completed sharded run.
+  ///  * SubmitAppend scatters the delta to the owning shards (coalescing
+  ///    unchanged).
+  ///  * Query() serves the sharded pipeline's merged-snapshot registry, so
+  ///    readers cannot tell a sharded session from a plain one.
+  /// Same failure contract as CreateSession: on a name collision the
+  /// caller's pipeline is left untouched.
+  Status CreateShardedSession(const std::string& name,
+                              ShardedPipeline&& pipeline);
 
   /// Drains the session's queued requests, then removes it. NotFound when
   /// no such session exists. Blocks via SerialQueue::Wait, which parks the

@@ -1,0 +1,310 @@
+#ifndef KBT_API_SHARD_H_
+#define KBT_API_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kbt/options.h"
+#include "kbt/pipeline.h"
+#include "kbt/query.h"
+#include "kbt/report.h"
+
+/// kbt sharding — partition the cube, scatter the pipeline, merge the
+/// read path.
+///
+/// The paper ran KBT on 2.8B facts by fanning the E/M passes out over
+/// MapReduce (Dong et al., VLDB 2015, Sec. 4). This layer reproduces that
+/// decomposition in-process: a deterministic WEBSITE-keyed partitioner
+/// splits one observation cube into K disjoint shards, a ShardedPipeline
+/// owns one Pipeline per shard (each with its own artifact-store namespace
+/// and snapshot registry) and scatters Run / RunFrom / Append across the
+/// executor, and the query layer merges the K per-shard snapshots back
+/// into one logical read view.
+///
+/// Why websites are the key: source groups never span websites, so every
+/// source group — and therefore every per-source and per-website KBT
+/// aggregate — lives entirely inside one shard and is served exactly.
+/// Only (item, value) triples can span shards (the same triple claimed by
+/// pages on differently-sharded websites); those merge under one
+/// deterministic rule, documented on MergedSnapshot.
+///
+/// Determinism contract:
+///  * The website -> shard map is a pure function of (id, K, salt) through
+///    the repo's stable Mix64 hash; partitioning is a deterministic,
+///    order-preserving scatter (bit-for-bit reproducible union).
+///  * K = 1 is a PASSTHROUGH: the single shard holds the whole cube and
+///    the merged report/snapshot are bit-for-bit identical to what the
+///    unsharded Pipeline produces (parity tests pin this).
+///  * K > 1 runs EM independently per shard. Because the model couples
+///    sources only through shared triples, per-shard posteriors are the
+///    paper's MapReduce approximation, not a bit-identical refactoring of
+///    the K = 1 run — by design, and documented here rather than hidden.
+///    Given the same (cube, options, K, salt), results are still
+///    bit-for-bit reproducible run to run.
+namespace kbt::dataflow {
+class Executor;
+}  // namespace kbt::dataflow
+
+namespace kbt::query {
+
+/// The shard owning `website` under (num_shards, salt): the public face of
+/// the partitioner's stable hash. Routing, tests and capacity planning use
+/// it; num_shards == 0 or 1 always yields shard 0.
+uint32_t ShardOfWebsite(uint32_t website, uint32_t num_shards,
+                        uint64_t salt = 0);
+
+/// One source group's served trust together with the shard that owns it.
+/// Source-group ids are DENSE AND SHARD-LOCAL (each shard compiles its own
+/// granularity assignment), so a bare id is meaningless across shards;
+/// cross-shard source queries return this pair instead.
+struct MergedSourceTrust {
+  uint32_t shard = 0;
+  query::SourceTrust trust;
+};
+
+/// A zero-copy logical read view over K per-shard Snapshots: point lookups
+/// route (websites) or probe-and-merge (triples), top-k queries k-way
+/// merge the shards' build-time sorted rank orders through a heap with
+/// deterministic tie-breaks. The component snapshots are immutable and
+/// shared, so a MergedSnapshot is cheap to construct, safe to copy, and
+/// safe to query from any number of threads concurrently.
+///
+/// Cross-shard triple rule (applied identically here and in the flattened
+/// merged TrustReport): when several shards carry the same (item, value),
+/// the served record is the single most confident shard's — highest
+/// probability, then covered = true over false, then the lowest shard
+/// index. Filters apply to the per-shard candidates BEFORE the merge, so
+/// the answer is the most confident *passing* claim.
+///
+/// Missing shards (a null entry, e.g. a shard that has not published yet)
+/// are served as empty worlds. Websites route to their owner shard only —
+/// the zero-evidence rows other shards carry for alignment are never
+/// duplicated into merged answers.
+class MergedSnapshot {
+ public:
+  /// An empty view: every lookup misses, every top-k is empty.
+  MergedSnapshot() = default;
+  /// Wraps `shards` (positional: index = shard id under `salt`). Null
+  /// entries are legal and act as empty shards.
+  explicit MergedSnapshot(
+      std::vector<std::shared_ptr<const query::Snapshot>> shards,
+      uint64_t salt = 0);
+
+  size_t num_shards() const { return shards_.size(); }
+  /// The component snapshot for one shard (null when absent).
+  const query::Snapshot* shard(uint32_t shard_index) const;
+  /// Total distinct triples across shards, counting a cross-shard triple
+  /// once per shard that carries it (an upper bound on merged keys).
+  size_t TotalTriples() const;
+
+  // ---- Point lookups ----
+  /// Routes to the owner shard: exact, O(1). nullopt for unknown websites.
+  std::optional<query::SourceTrust> WebsiteTrust(uint32_t website) const;
+  /// A source group WITHIN one shard (ids are shard-local; see
+  /// MergedSourceTrust). nullopt for unknown shard or id.
+  std::optional<query::SourceTrust> ShardSourceTrust(
+      uint32_t shard_index, uint32_t source_group) const;
+  /// Probes every shard and merges under the cross-shard triple rule.
+  std::optional<query::TripleTruth> TripleTruth(uint64_t item,
+                                                uint32_t value) const;
+
+  // ---- Enumeration ----
+  /// Every candidate value any shard extracted for `item`, one merged
+  /// record per distinct value (cross-shard rule), ordered by probability
+  /// descending then value ascending.
+  std::vector<query::TripleTruth> ItemValues(uint64_t item) const;
+
+  // ---- K-way top-k merges over the shards' sorted rank orders ----
+  /// The k most trustworthy websites across all shards (KBT descending,
+  /// id ascending on ties). Each website is considered only in its owner
+  /// shard, so ids never repeat.
+  std::vector<query::SourceTrust> TopKWebsites(
+      size_t k, const query::SourceFilter& filter = {}) const;
+  /// The k most trustworthy source groups across all shards (KBT
+  /// descending, then shard ascending, then id ascending), shard-tagged.
+  std::vector<MergedSourceTrust> TopKSources(
+      size_t k, const query::SourceFilter& filter = {}) const;
+  /// The k most believed distinct triples across all shards (probability
+  /// descending, then item/value ascending), deduplicated under the
+  /// cross-shard rule.
+  std::vector<query::TripleTruth> TopKTriples(
+      size_t k, const query::TripleFilter& filter = {}) const;
+
+ private:
+  std::vector<std::shared_ptr<const query::Snapshot>> shards_;
+  uint64_t salt_ = 0;
+};
+
+/// What changed between two merged views with the same shard layout:
+/// per-shard diffs plus cross-shard aggregates.
+struct MergedSnapshotDiff {
+  /// One DiffSnapshots per shard index (default-constructed where either
+  /// side's shard snapshot is absent). Source moves live here — source ids
+  /// are shard-local.
+  std::vector<query::SnapshotDiff> shard_diffs;
+  /// Population churn summed across shards.
+  size_t sources_added = 0;
+  size_t sources_removed = 0;
+  size_t websites_added = 0;
+  size_t websites_removed = 0;
+  size_t triples_added = 0;
+  size_t triples_removed = 0;
+  /// The websites that moved most across ALL shards: the per-shard
+  /// top_website_moves k-way merged by |delta| descending (id ascending on
+  /// ties), deduplicated by id (owner-shard entry wins), truncated to the
+  /// requested k.
+  std::vector<query::SourceMove> top_website_moves;
+};
+
+/// Diffs two merged views shard by shard (positional pairing over
+/// min(num_shards) — diff views from the same sharded pipeline, where the
+/// layout cannot change). O(sum of shard sizes).
+MergedSnapshotDiff DiffMergedSnapshots(const MergedSnapshot& before,
+                                       const MergedSnapshot& after,
+                                       size_t top_k = 10);
+
+}  // namespace kbt::query
+
+namespace kbt::api {
+
+/// Shard layout of one ShardedPipeline: fixed at Create, part of the
+/// result identity (same cube + options + num_shards + salt => bit-for-bit
+/// the same ShardedTrustReport).
+struct ShardOptions {
+  /// Number of shards K (>= 1). K = 1 is the bit-for-bit passthrough.
+  uint32_t num_shards = 1;
+  /// Perturbs the website -> shard map; must stay fixed for the pipeline's
+  /// lifetime (it keys every scatter).
+  uint64_t salt = 0;
+  /// Scatter/gather executor, shared with the shard pipelines' parallel
+  /// stages. Null selects dataflow::DefaultExecutor(). Must outlive the
+  /// ShardedPipeline.
+  dataflow::Executor* executor = nullptr;
+};
+
+/// The gathered result of one sharded run: the per-shard reports verbatim
+/// plus one flattened logical report.
+///
+/// `merged` carries the SERVING surface — website_kbt (rows from each
+/// website's owner shard), source_kbt (shards concatenated in shard order;
+/// see source_offset), predictions (cross-shard triple rule, sorted by
+/// item then value) and summed counts/stage timings. Its `inference`
+/// vectors are intentionally empty: slot/group coordinates are shard-local
+/// and do not concatenate meaningfully, so warm starts go through the
+/// per-shard reports (RunFrom takes the whole ShardedTrustReport), never
+/// through `merged`.
+struct ShardedTrustReport {
+  /// The flattened logical report (== shards[0] when K = 1).
+  TrustReport merged;
+  /// One report per shard, exactly as that shard's Pipeline produced it.
+  std::vector<TrustReport> shards;
+
+  /// First global source index of one shard inside a shard-order
+  /// concatenation: merged.source_kbt[source_offset(s) + local_id] is
+  /// shard s's source_kbt[local_id].
+  size_t source_offset(uint32_t shard_index) const {
+    size_t offset = 0;
+    for (uint32_t s = 0; s < shard_index && s < shards.size(); ++s) {
+      offset += shards[s].source_kbt.size();
+    }
+    return offset;
+  }
+};
+
+/// K per-shard Pipelines behind one Pipeline-shaped surface: Create
+/// partitions the cube (website-keyed, deterministic), Run / RunFrom
+/// scatter one run per shard across the executor and gather the reports,
+/// AppendObservations scatters the delta to the owning shards, and
+/// PublishSnapshot publishes each shard's snapshot on that shard's own
+/// registry PLUS one flattened logical snapshot on the sharded pipeline's
+/// registry — so existing SnapshotReader-based read paths work unchanged
+/// against a sharded backend.
+///
+/// Scatter joins use TaskGroup (help-while-waiting), so a sharded run is
+/// safe to execute from a task already running on the shared executor —
+/// in particular from a TrustService session strand.
+///
+/// Like Pipeline: movable, not copyable, not thread-safe; serialize
+/// mutations (a TrustService strand does exactly that).
+class ShardedPipeline {
+ public:
+  /// Partitions `dataset` under `shard_options` and builds one Pipeline
+  /// per shard (each validates its slice against the replicated global
+  /// meta). InvalidArgument when num_shards == 0. Gold standards and
+  /// metrics are not wired through shards — evaluate on an unsharded run.
+  static StatusOr<ShardedPipeline> Create(extract::RawDataset dataset,
+                                          Options options,
+                                          ShardOptions shard_options);
+
+  ShardedPipeline(ShardedPipeline&&) noexcept;
+  ShardedPipeline& operator=(ShardedPipeline&&) noexcept;
+  ~ShardedPipeline();
+
+  /// Runs every shard (scattered across the executor, gathered on the
+  /// caller) and flattens the merged logical report. The first failing
+  /// shard's error is returned, annotated with its shard index.
+  StatusOr<ShardedTrustReport> Run();
+
+  /// Warm start: each shard re-runs from its own previous report.
+  /// FailedPrecondition when `previous` has a different shard count.
+  StatusOr<ShardedTrustReport> RunFrom(const ShardedTrustReport& previous);
+
+  /// Scatters the delta by website to the owning shards' pipelines
+  /// (touched shards patch their CSRs incrementally, untouched shards are
+  /// no-ops). The batch is pre-validated against the global meta before
+  /// any shard mutates, so a bad delta is rejected whole.
+  Status AppendObservations(
+      const std::vector<extract::RawObservation>& observations);
+
+  /// Per-shard artifact-store namespaces: shard i persists under
+  /// `directory`/shard-<i> (created on demand), so shard artifacts never
+  /// collide and per-shard caches warm independently.
+  Status EnableDiskCache(const std::string& directory,
+                         uint64_t max_bytes = 0);
+
+  /// Publishes each shard's report on that shard's registry and the
+  /// flattened `reports.merged` on this pipeline's own registry (stamped
+  /// with dataset_fingerprint()). Returns the merged logical snapshot.
+  std::shared_ptr<const query::Snapshot> PublishSnapshot(
+      const ShardedTrustReport& reports);
+
+  /// The registry serving the merged logical snapshots (never null);
+  /// plug it into a query::SnapshotReader exactly like a Pipeline's.
+  std::shared_ptr<query::SnapshotRegistry> snapshot_registry() const;
+
+  /// A cross-shard read view over the shards' CURRENTLY published
+  /// per-shard snapshots (null entries for shards that have not published
+  /// yet). Prefer this over the flattened registry snapshot when the
+  /// per-shard structure matters (shard-tagged source queries, per-shard
+  /// diffs).
+  query::MergedSnapshot MergedView() const;
+
+  /// Re-points the scatter AND every shard pipeline at `executor` (null
+  /// selects DefaultExecutor()). Must not be called while a run is in
+  /// flight; TrustService uses it when adopting a sharded pipeline.
+  void AttachExecutor(dataflow::Executor* executor);
+
+  /// Combined content fingerprint: shard 0's fingerprint when K = 1
+  /// (preserving unsharded parity), otherwise a stable chain over the
+  /// per-shard fingerprints in shard order.
+  uint64_t dataset_fingerprint() const;
+
+  uint32_t num_shards() const;
+  uint64_t salt() const;
+  const Options& options() const;
+  /// Read access to one shard's Pipeline (asserts shard_index < K).
+  const Pipeline& shard(uint32_t shard_index) const;
+
+ private:
+  struct Impl;
+  explicit ShardedPipeline(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace kbt::api
+
+#endif  // KBT_API_SHARD_H_

@@ -38,3 +38,4 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/bench/bench_service_throughput --smoke
 ./build/bench/bench_cache_warmstart --smoke
 ./build/bench/bench_query_throughput --smoke
+./build/bench/bench_shard_scaling --smoke

@@ -83,16 +83,11 @@ PUBLIC_INCLUDE_BASELINE = {
         "fusion/single_layer.h", "granularity/split_merge.h",
     },
     "include/kbt/pipeline.h": {
-        "common/status.h", "dataflow/parallel.h", "dataflow/stage_timer.h",
-        "eval/gold_standard.h", "exp/kv_sim.h", "exp/synthetic.h",
-        "extract/observation_matrix.h", "extract/raw_dataset.h",
+        "common/status.h", "extract/raw_dataset.h",
     },
     "include/kbt/query.h": {"kb/ids.h"},
     "include/kbt/report.h": {
         "core/kbt_score.h", "core/multilayer_result.h", "eval/gold_standard.h",
-    },
-    "include/kbt/service.h": {
-        "common/status.h", "dataflow/parallel.h", "extract/raw_dataset.h",
     },
 }
 

@@ -12,6 +12,12 @@
 #include "core/initialization.h"
 #include "core/kbt_score.h"
 #include "core/multilayer_model.h"
+#include "dataflow/parallel.h"
+#include "dataflow/stage_timer.h"
+#include "eval/gold_standard.h"
+#include "exp/kv_sim.h"
+#include "exp/synthetic.h"
+#include "extract/observation_matrix.h"
 #include "fusion/single_layer.h"
 #include "granularity/assignments.h"
 #include "io/dataset_io.h"

@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "common/mutex.h"
 #include "common/thread_pool.h"
+#include "dataflow/parallel.h"
 
 namespace kbt::api {
 
@@ -32,10 +34,32 @@ std::future<T> ReadyFuture(T value) {
 struct TrustService::Session {
   Session(Pipeline p, ThreadPool* pool)
       : pipeline(std::move(p)), queue(pool) {}
+  Session(ShardedPipeline p, ThreadPool* pool)
+      : sharded(std::move(p)), queue(pool) {}
 
-  Pipeline pipeline;
+  /// The session's backend — exactly one engaged. Requests route on
+  /// `sharded.has_value()`; the session surface is identical either way.
+  std::optional<Pipeline> pipeline;
+  std::optional<ShardedPipeline> sharded;
+
+  /// Last completed sharded run, retained for SubmitRunFrom warm starts:
+  /// per-shard inference state does not flatten into the merged report, so
+  /// the caller-supplied `previous` cannot carry it. Strand-confined —
+  /// touched only from this session's queued tasks, so no lock.
+  std::shared_ptr<const ShardedTrustReport> last_sharded;
+
   /// Per-session strand on the shared pool: the FIFO guarantee.
   SerialQueue queue;
+
+  std::shared_ptr<query::SnapshotRegistry> registry() const {
+    return sharded ? sharded->snapshot_registry()
+                   : pipeline->snapshot_registry();
+  }
+
+  Status Append(const std::vector<extract::RawObservation>& observations) {
+    return sharded ? sharded->AppendObservations(observations)
+                   : pipeline->AppendObservations(observations);
+  }
 
   /// Guards the coalescing window. Ordering between this and the service
   /// mutex: never held together.
@@ -70,6 +94,10 @@ struct TrustService::State {
   /// serializes this against every other pipeline touch; readers observe
   /// the swap lock-free.
   void MaybePublish(Session& session, const StatusOr<TrustReport>& report);
+  /// Sharded counterpart: publishes every shard's snapshot plus the
+  /// flattened merged snapshot on the session's serving registry.
+  void MaybePublishSharded(Session& session,
+                           const StatusOr<ShardedTrustReport>& reports);
 
   std::shared_ptr<Session> Find(const std::string& name) const {
     MutexLock lock(mutex);
@@ -81,7 +109,14 @@ struct TrustService::State {
 void TrustService::State::MaybePublish(Session& session,
                                        const StatusOr<TrustReport>& report) {
   if (!options.publish_snapshots || !report.ok()) return;
-  session.pipeline.PublishSnapshot(*report);
+  session.pipeline->PublishSnapshot(*report);
+  snapshots_published.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TrustService::State::MaybePublishSharded(
+    Session& session, const StatusOr<ShardedTrustReport>& reports) {
+  if (!options.publish_snapshots || !reports.ok()) return;
+  session.sharded->PublishSnapshot(*reports);
   snapshots_published.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -147,6 +182,41 @@ Status TrustService::CreateSession(const std::string& name,
   return CreateSession(name, std::move(*pipeline));
 }
 
+Status TrustService::CreateShardedSession(const std::string& name,
+                                          ShardedPipeline&& pipeline) {
+  // Same reserve -> configure -> publish dance as CreateSession (see the
+  // comments there); only the backend type differs.
+  {
+    MutexLock lock(state_->mutex);
+    const auto it = state_->sessions.find(name);
+    if (it != state_->sessions.end()) {
+      return Status::InvalidArgument(
+          it->second != nullptr
+              ? "session '" + name + "' already exists"
+              : "session '" + name + "' is being created concurrently");
+    }
+    state_->sessions.emplace(name, nullptr);
+  }
+  if (!state_->options.cache_directory.empty()) {
+    // Shard pipelines namespace themselves under cache_directory/shard-<i>;
+    // entries are content-addressed, so sessions sharing the root is safe.
+    const Status enabled =
+        pipeline.EnableDiskCache(state_->options.cache_directory,
+                                 state_->options.cache_max_bytes);
+    if (!enabled.ok()) {
+      MutexLock lock(state_->mutex);
+      state_->sessions.erase(name);
+      return enabled;
+    }
+  }
+  pipeline.AttachExecutor(state_->executor);
+  auto session = std::make_shared<Session>(std::move(pipeline),
+                                           &state_->executor->pool());
+  MutexLock lock(state_->mutex);
+  state_->sessions[name] = std::move(session);
+  return Status::OK();
+}
+
 Status TrustService::CloseSession(const std::string& name) {
   std::shared_ptr<Session> session;
   {
@@ -198,11 +268,22 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRun(
   // returns land behind the run on the strand.
   MutexLock lock(session->mutex);
   session->open_append.reset();
-  return session->queue.SubmitWithResult([state = state_, session] {
-    StatusOr<TrustReport> report = session->pipeline.Run();
-    state->MaybePublish(*session, report);
-    return report;
-  });
+  return session->queue.SubmitWithResult(
+      [state = state_, session]() -> StatusOr<TrustReport> {
+        if (session->sharded) {
+          // The scatter's TaskGroup join donates this strand's thread, so
+          // running K shards from here cannot deadlock the shared pool.
+          StatusOr<ShardedTrustReport> reports = session->sharded->Run();
+          state->MaybePublishSharded(*session, reports);
+          if (!reports.ok()) return reports.status();
+          session->last_sharded = std::make_shared<const ShardedTrustReport>(
+              std::move(*reports));
+          return session->last_sharded->merged;
+        }
+        StatusOr<TrustReport> report = session->pipeline->Run();
+        state->MaybePublish(*session, report);
+        return report;
+      });
 }
 
 std::future<StatusOr<TrustReport>> TrustService::SubmitRunFrom(
@@ -216,8 +297,25 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRunFrom(
   MutexLock lock(session->mutex);
   session->open_append.reset();
   return session->queue.SubmitWithResult(
-      [state = state_, session, previous = std::move(previous)] {
-        StatusOr<TrustReport> report = session->pipeline.RunFrom(previous);
+      [state = state_, session,
+       previous = std::move(previous)]() -> StatusOr<TrustReport> {
+        if (session->sharded) {
+          // Warm starts need per-shard inference state, which the flattened
+          // `previous` cannot carry: use the session-retained last sharded
+          // report instead (see CreateShardedSession's contract).
+          if (session->last_sharded == nullptr) {
+            return Status::FailedPrecondition(
+                "sharded session has no completed run to warm-start from");
+          }
+          StatusOr<ShardedTrustReport> reports =
+              session->sharded->RunFrom(*session->last_sharded);
+          state->MaybePublishSharded(*session, reports);
+          if (!reports.ok()) return reports.status();
+          session->last_sharded = std::make_shared<const ShardedTrustReport>(
+              std::move(*reports));
+          return session->last_sharded->merged;
+        }
+        StatusOr<TrustReport> report = session->pipeline->RunFrom(previous);
         state->MaybePublish(*session, report);
         return report;
       });
@@ -268,7 +366,7 @@ std::future<Status> TrustService::SubmitAppend(
           promises = std::move(batch->promises);
           if (session->open_append == batch) session->open_append.reset();
         }
-        const Status status = session->pipeline.AppendObservations(merged);
+        const Status status = session->Append(merged);
         state->append_batches_executed.fetch_add(1,
                                                  std::memory_order_relaxed);
         for (std::promise<Status>& promise : promises) {
@@ -291,8 +389,9 @@ StatusOr<query::SnapshotReader> TrustService::Query(
   }
   // The reader holds the registry (not the session): queries keep working
   // off the last published snapshot even after the session closes, and
-  // never touch the pipeline itself.
-  return query::SnapshotReader(session->pipeline.snapshot_registry());
+  // never touch the pipeline itself. Sharded sessions serve their merged
+  // logical registry — indistinguishable to the reader.
+  return query::SnapshotReader(session->registry());
 }
 
 void TrustService::Drain() {

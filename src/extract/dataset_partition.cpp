@@ -1,0 +1,81 @@
+#include "extract/dataset_partition.h"
+
+#include <utility>
+
+#include "common/hash.h"
+
+namespace kbt::extract {
+
+uint32_t ShardOfWebsite(kb::WebsiteId website, uint32_t num_shards,
+                        uint64_t salt) {
+  if (num_shards <= 1) return 0;
+  // HashChain(salt, website) rather than Mix64(website ^ salt): the chain
+  // avalanches the salt independently, so salt = 0 and salt = 1 produce
+  // unrelated maps even for small website ids.
+  return static_cast<uint32_t>(HashChain(salt, website) % num_shards);
+}
+
+StatusOr<DatasetPartition> PartitionDataset(const RawDataset& data,
+                                            const PartitionOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("PartitionDataset: num_shards must be >= 1");
+  }
+  const uint32_t k = options.num_shards;
+
+  DatasetPartition partition;
+  partition.shard_of_observation.reserve(data.observations.size());
+
+  // Pass 1 (count): per-shard observation counts, so the scatter pass
+  // appends into exactly-sized vectors — the count/displacement exchange
+  // idiom, minus the displacements (per-shard vectors replace the offsets
+  // a flat exchange buffer would need).
+  std::vector<size_t> counts(k, 0);
+  for (const RawObservation& obs : data.observations) {
+    const uint32_t shard = ShardOfWebsite(obs.website, k, options.salt);
+    counts[shard]++;
+    partition.shard_of_observation.push_back(shard);
+  }
+
+  // Every shard starts as a full replica of the global bookkeeping (meta
+  // counts, gold truth, per-predicate n) with an empty observation set:
+  // dense ids stay globally aligned and empty shards remain valid worlds.
+  partition.shards.reserve(k);
+  for (uint32_t s = 0; s < k; ++s) {
+    RawDataset shard;
+    shard.true_values = data.true_values;
+    shard.num_false_by_predicate = data.num_false_by_predicate;
+    shard.num_websites = data.num_websites;
+    shard.num_pages = data.num_pages;
+    shard.num_extractors = data.num_extractors;
+    shard.num_patterns = data.num_patterns;
+    shard.observations.reserve(counts[s]);
+    partition.shards.push_back(std::move(shard));
+  }
+
+  // Pass 2 (scatter): stable — observations keep their relative order
+  // inside each shard, so the shard-order concatenation is a
+  // deterministic permutation of the input.
+  for (size_t i = 0; i < data.observations.size(); ++i) {
+    partition.shards[partition.shard_of_observation[i]].observations.push_back(
+        data.observations[i]);
+  }
+  return partition;
+}
+
+std::vector<std::vector<RawObservation>> PartitionObservations(
+    const std::vector<RawObservation>& observations,
+    const PartitionOptions& options) {
+  const uint32_t k = options.num_shards == 0 ? 1 : options.num_shards;
+  std::vector<size_t> counts(k, 0);
+  for (const RawObservation& obs : observations) {
+    counts[ShardOfWebsite(obs.website, k, options.salt)]++;
+  }
+  std::vector<std::vector<RawObservation>> buckets(k);
+  for (uint32_t s = 0; s < k; ++s) buckets[s].reserve(counts[s]);
+  for (const RawObservation& obs : observations) {
+    buckets[ShardOfWebsite(obs.website, k, options.salt)].push_back(obs);
+  }
+  return buckets;
+}
+
+}  // namespace kbt::extract

@@ -1,0 +1,79 @@
+#ifndef KBT_EXTRACT_DATASET_PARTITION_H_
+#define KBT_EXTRACT_DATASET_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "extract/raw_dataset.h"
+
+namespace kbt::extract {
+
+/// Deterministic website-keyed partitioning of an observation cube into K
+/// disjoint shards — the scatter half of the sharded pipeline.
+///
+/// The partition key is the WEBSITE id, for a structural reason: source
+/// groups never span websites (extract::SourceGroupInfo), so hashing
+/// websites to shards keeps every source group — and therefore every
+/// per-source / per-website KBT aggregate — entirely inside one shard.
+/// Only (item, value) triples can span shards; the merge layer
+/// (query::MergedSnapshot) resolves those with one documented rule.
+///
+/// Determinism: the shard of a website is a pure function of
+/// (website id, num_shards, salt) through the repo's stable Mix64 hash —
+/// no pointers, no iteration order, no platform dependence. Observations
+/// keep their relative order inside each shard (a stable two-pass
+/// count/displacement scatter), so the concatenation of the shards in
+/// shard order is a deterministic permutation of the input and
+/// re-partitioning the same cube is bit-for-bit identical.
+
+struct PartitionOptions {
+  /// Number of shards K (>= 1). K = 1 degenerates to a copy of the input.
+  uint32_t num_shards = 1;
+  /// Perturbs the website -> shard map (e.g. to rebalance a pathological
+  /// cube). Part of the partition identity: the same salt must be used for
+  /// every scatter against the same sharded pipeline.
+  uint64_t salt = 0;
+};
+
+/// The shard owning `website`: Mix64-based, stable across runs, platforms
+/// and standard libraries. Requires num_shards >= 1.
+uint32_t ShardOfWebsite(kb::WebsiteId website, uint32_t num_shards,
+                        uint64_t salt);
+
+/// Result of PartitionDataset: K disjoint shard cubes plus the
+/// observation -> shard map (parallel to the input's observation vector,
+/// for parity checks and delta routing).
+///
+/// Every shard replicates the GLOBAL bookkeeping — meta counts
+/// (num_websites, num_pages, ...), true_values and num_false_by_predicate —
+/// so the dense id spaces stay globally aligned: shard s's website_kbt[w]
+/// row means the same website w it means everywhere else, and inference
+/// sees the same per-predicate n the unsharded run would. A shard may
+/// therefore legitimately hold ZERO observations (fewer websites than
+/// shards, or an unlucky hash); downstream layers must treat empty shards
+/// as valid, empty worlds.
+struct DatasetPartition {
+  std::vector<RawDataset> shards;
+  std::vector<uint32_t> shard_of_observation;
+};
+
+/// Splits `data` into options.num_shards disjoint shards by website.
+/// InvalidArgument when num_shards == 0. O(observations), single pass per
+/// phase (count, then scatter), no hashing of floats, no reordering within
+/// a shard.
+StatusOr<DatasetPartition> PartitionDataset(const RawDataset& data,
+                                            const PartitionOptions& options);
+
+/// Scatters a delta batch (e.g. an AppendObservations payload) into one
+/// bucket per shard under the same key and ordering guarantees as
+/// PartitionDataset. Buckets for shards the delta does not touch are
+/// empty. Requires options.num_shards >= 1 (returns a single bucket copy
+/// for K = 1).
+std::vector<std::vector<RawObservation>> PartitionObservations(
+    const std::vector<RawObservation>& observations,
+    const PartitionOptions& options);
+
+}  // namespace kbt::extract
+
+#endif  // KBT_EXTRACT_DATASET_PARTITION_H_

@@ -1,0 +1,295 @@
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "extract/dataset_partition.h"
+#include "kbt/shard.h"
+
+namespace kbt::query {
+
+namespace {
+
+/// The cross-shard triple rule: does `a` (from shard_a) beat `b` (from
+/// shard_b)? Highest probability, then covered over uncovered, then the
+/// lowest shard index. Used for point merges; the top-k heap encodes the
+/// same order.
+bool BeatsTriple(const TripleTruth& a, uint32_t shard_a, const TripleTruth& b,
+                 uint32_t shard_b) {
+  if (a.probability != b.probability) return a.probability > b.probability;
+  if (a.covered != b.covered) return a.covered;
+  return shard_a < shard_b;
+}
+
+/// A cursor into one shard's pre-sorted top-k list. The heap holds one per
+/// non-exhausted shard; Cmp orders cursors by their current element.
+struct Cursor {
+  uint32_t shard = 0;
+  size_t pos = 0;
+};
+
+/// Pops merged elements from per-shard sorted lists through a binary heap:
+/// better(a, shard_a, b, shard_b) says element a ranks strictly before b.
+/// Calls emit(element, shard) in merged order until every list is
+/// exhausted or emit returns false.
+template <typename T, typename Better, typename Emit>
+void HeapMerge(const std::vector<std::vector<T>>& lists, Better better,
+               Emit emit) {
+  const auto cursor_after = [&](const Cursor& a, const Cursor& b) {
+    // priority_queue keeps the GREATEST element on top under "less than",
+    // so "a after b" puts the best-ranked cursor on top.
+    return better(lists[b.shard][b.pos], b.shard, lists[a.shard][a.pos],
+                  a.shard);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cursor_after)>
+      heap(cursor_after);
+  for (uint32_t s = 0; s < lists.size(); ++s) {
+    if (!lists[s].empty()) heap.push(Cursor{s, 0});
+  }
+  while (!heap.empty()) {
+    const Cursor top = heap.top();
+    heap.pop();
+    if (!emit(lists[top.shard][top.pos], top.shard)) return;
+    if (top.pos + 1 < lists[top.shard].size()) {
+      heap.push(Cursor{top.shard, top.pos + 1});
+    }
+  }
+}
+
+bool BeatsSourceTrust(const SourceTrust& a, uint32_t shard_a,
+                      const SourceTrust& b, uint32_t shard_b) {
+  if (a.kbt != b.kbt) return a.kbt > b.kbt;
+  if (shard_a != shard_b) return shard_a < shard_b;
+  return a.id < b.id;
+}
+
+/// Website merge order: ids are globally unique (ownership-filtered), so
+/// the per-shard order (kbt desc, id asc) extends across shards directly.
+bool BeatsWebsite(const SourceTrust& a, uint32_t /*shard_a*/,
+                  const SourceTrust& b, uint32_t /*shard_b*/) {
+  if (a.kbt != b.kbt) return a.kbt > b.kbt;
+  return a.id < b.id;
+}
+
+/// Top-k heap order for triples: probability desc, then item/value asc
+/// (the per-shard order), then the point-merge tie-breaks so the first
+/// pop of a duplicated key is exactly its cross-shard winner.
+bool BeatsTripleRanked(const TripleTruth& a, uint32_t shard_a,
+                       const TripleTruth& b, uint32_t shard_b) {
+  if (a.probability != b.probability) return a.probability > b.probability;
+  if (a.item != b.item) return a.item < b.item;
+  if (a.value != b.value) return a.value < b.value;
+  if (a.covered != b.covered) return a.covered;
+  return shard_a < shard_b;
+}
+
+bool BeatsMove(const SourceMove& a, uint32_t shard_a, const SourceMove& b,
+               uint32_t shard_b) {
+  const double abs_a = a.delta < 0 ? -a.delta : a.delta;
+  const double abs_b = b.delta < 0 ? -b.delta : b.delta;
+  if (abs_a != abs_b) return abs_a > abs_b;
+  if (a.id != b.id) return a.id < b.id;
+  return shard_a < shard_b;
+}
+
+}  // namespace
+
+uint32_t ShardOfWebsite(uint32_t website, uint32_t num_shards,
+                        uint64_t salt) {
+  if (num_shards == 0) return 0;
+  return extract::ShardOfWebsite(website, num_shards, salt);
+}
+
+MergedSnapshot::MergedSnapshot(
+    std::vector<std::shared_ptr<const query::Snapshot>> shards, uint64_t salt)
+    : shards_(std::move(shards)), salt_(salt) {}
+
+const Snapshot* MergedSnapshot::shard(uint32_t shard_index) const {
+  if (shard_index >= shards_.size()) return nullptr;
+  return shards_[shard_index].get();
+}
+
+size_t MergedSnapshot::TotalTriples() const {
+  size_t total = 0;
+  for (const auto& snapshot : shards_) {
+    if (snapshot != nullptr) total += snapshot->num_triples();
+  }
+  return total;
+}
+
+std::optional<SourceTrust> MergedSnapshot::WebsiteTrust(
+    uint32_t website) const {
+  if (shards_.empty()) return std::nullopt;
+  const uint32_t owner = ShardOfWebsite(
+      website, static_cast<uint32_t>(shards_.size()), salt_);
+  if (shards_[owner] == nullptr) return std::nullopt;
+  return shards_[owner]->WebsiteTrust(website);
+}
+
+std::optional<SourceTrust> MergedSnapshot::ShardSourceTrust(
+    uint32_t shard_index, uint32_t source_group) const {
+  const Snapshot* snapshot = shard(shard_index);
+  if (snapshot == nullptr) return std::nullopt;
+  return snapshot->SourceTrust(source_group);
+}
+
+std::optional<TripleTruth> MergedSnapshot::TripleTruth(uint64_t item,
+                                                       uint32_t value) const {
+  std::optional<query::TripleTruth> best;
+  uint32_t best_shard = 0;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] == nullptr) continue;
+    const auto candidate = shards_[s]->TripleTruth(item, value);
+    if (!candidate) continue;
+    if (!best || BeatsTriple(*candidate, s, *best, best_shard)) {
+      best = candidate;
+      best_shard = s;
+    }
+  }
+  return best;
+}
+
+std::vector<TripleTruth> MergedSnapshot::ItemValues(uint64_t item) const {
+  // Gather every shard's candidates, then keep one record per value under
+  // the cross-shard rule. Shard index rides along for the tie-break.
+  std::vector<std::pair<query::TripleTruth, uint32_t>> candidates;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] == nullptr) continue;
+    for (query::TripleTruth& truth : shards_[s]->ItemValues(item)) {
+      candidates.emplace_back(truth, s);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.value != b.first.value) {
+                return a.first.value < b.first.value;
+              }
+              return BeatsTriple(a.first, a.second, b.first, b.second);
+            });
+  std::vector<query::TripleTruth> merged;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i == 0 || candidates[i].first.value != candidates[i - 1].first.value) {
+      merged.push_back(candidates[i].first);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const query::TripleTruth& a, const query::TripleTruth& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.value < b.value;
+            });
+  return merged;
+}
+
+std::vector<SourceTrust> MergedSnapshot::TopKWebsites(
+    size_t k, const SourceFilter& filter) const {
+  // Each shard contributes only websites it OWNS — the alignment rows
+  // other shards carry (zero evidence, zero kbt) must never duplicate an
+  // id into the merged ranking. The composed predicate runs inside the
+  // shard's own filtered top-k scan, so fetching k per shard is exact:
+  // any merged top-k entry is within its owner shard's top k.
+  if (k == 0) return {};
+  const uint32_t num_shards = static_cast<uint32_t>(shards_.size());
+  std::vector<std::vector<SourceTrust>> lists(shards_.size());
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (shards_[s] == nullptr) continue;
+    SourceFilter shard_filter;
+    shard_filter.min_evidence = filter.min_evidence;
+    shard_filter.predicate = [this, s, num_shards,
+                              &filter](const SourceTrust& candidate) {
+      if (ShardOfWebsite(candidate.id, num_shards, salt_) != s) return false;
+      return !filter.predicate || filter.predicate(candidate);
+    };
+    lists[s] = shards_[s]->TopKWebsites(k, shard_filter);
+  }
+  std::vector<SourceTrust> merged;
+  merged.reserve(k);
+  HeapMerge(lists, BeatsWebsite,
+            [&](const SourceTrust& website, uint32_t /*shard*/) {
+              merged.push_back(website);
+              return merged.size() < k;
+            });
+  return merged;
+}
+
+std::vector<MergedSourceTrust> MergedSnapshot::TopKSources(
+    size_t k, const SourceFilter& filter) const {
+  if (k == 0) return {};
+  std::vector<std::vector<SourceTrust>> lists(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] == nullptr) continue;
+    lists[s] = shards_[s]->TopKSources(k, filter);
+  }
+  std::vector<MergedSourceTrust> merged;
+  merged.reserve(k);
+  HeapMerge(lists, BeatsSourceTrust,
+            [&](const SourceTrust& source, uint32_t shard_index) {
+              merged.push_back(MergedSourceTrust{shard_index, source});
+              return merged.size() < k;
+            });
+  return merged;
+}
+
+std::vector<TripleTruth> MergedSnapshot::TopKTriples(
+    size_t k, const TripleFilter& filter) const {
+  if (k == 0) return {};
+  std::vector<std::vector<query::TripleTruth>> lists(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] == nullptr) continue;
+    lists[s] = shards_[s]->TopKTriples(k, filter);
+  }
+  // Duplicated keys: the heap order ends in the cross-shard tie-breaks,
+  // so the FIRST pop of a key is its winner; later copies are skipped.
+  // Fetching k per shard stays exact — a merged top-k key's winner copy
+  // outranks (in its own shard) only keys that are also merged-above it,
+  // so it sits within that shard's top k.
+  std::set<std::pair<uint64_t, uint32_t>> seen;
+  std::vector<query::TripleTruth> merged;
+  merged.reserve(k);
+  HeapMerge(lists, BeatsTripleRanked,
+            [&](const query::TripleTruth& triple, uint32_t /*shard*/) {
+              if (seen.emplace(triple.item, triple.value).second) {
+                merged.push_back(triple);
+              }
+              return merged.size() < k;
+            });
+  return merged;
+}
+
+MergedSnapshotDiff DiffMergedSnapshots(const MergedSnapshot& before,
+                                       const MergedSnapshot& after,
+                                       size_t top_k) {
+  MergedSnapshotDiff diff;
+  const size_t num_shards = std::max(before.num_shards(), after.num_shards());
+  diff.shard_diffs.resize(num_shards);
+  std::vector<std::vector<SourceMove>> move_lists(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const Snapshot* b = before.shard(s);
+    const Snapshot* a = after.shard(s);
+    if (b == nullptr || a == nullptr) continue;
+    diff.shard_diffs[s] = DiffSnapshots(*b, *a, top_k);
+    const SnapshotDiff& d = diff.shard_diffs[s];
+    diff.sources_added += d.sources_added;
+    diff.sources_removed += d.sources_removed;
+    diff.websites_added += d.websites_added;
+    diff.websites_removed += d.websites_removed;
+    diff.triples_added += d.triples_added;
+    diff.triples_removed += d.triples_removed;
+    move_lists[s] = d.top_website_moves;
+  }
+  if (top_k == 0) return diff;
+  // Alignment rows diff as delta-0 entries in non-owner shards; dedup by
+  // id keeps the first (largest-|delta|) record — the owner's.
+  std::set<uint32_t> seen;
+  HeapMerge(move_lists, BeatsMove,
+            [&](const SourceMove& move, uint32_t /*shard*/) {
+              if (seen.insert(move.id).second) {
+                diff.top_website_moves.push_back(move);
+              }
+              return diff.top_website_moves.size() < top_k;
+            });
+  return diff;
+}
+
+}  // namespace kbt::query

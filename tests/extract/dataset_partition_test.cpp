@@ -1,0 +1,247 @@
+// Unit tests of extract::PartitionDataset / PartitionObservations — the
+// scatter half of the sharded pipeline. The contract under test:
+//  * the website -> shard map is deterministic and respects num_shards;
+//  * shards are disjoint, order-preserving, and their shard-order
+//    concatenation is exactly the input (bit-for-bit union);
+//  * every shard replicates the global bookkeeping (meta counts, gold
+//    truth, per-predicate n), so empty shards are valid worlds;
+//  * K = 1 degenerates to a copy; delta scatter matches full partition.
+#include "extract/dataset_partition.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/synthetic.h"
+
+namespace kbt::extract {
+namespace {
+
+RawDataset SyntheticCube(uint64_t seed) {
+  exp::SyntheticConfig config;
+  config.num_sources = 20;
+  config.num_extractors = 5;
+  config.seed = seed;
+  return exp::GenerateSynthetic(config).data;
+}
+
+bool SameObservation(const RawObservation& a, const RawObservation& b) {
+  return a.extractor == b.extractor && a.pattern == b.pattern &&
+         a.website == b.website && a.page == b.page && a.item == b.item &&
+         a.value == b.value && a.confidence == b.confidence &&
+         a.provided == b.provided;
+}
+
+TEST(ShardOfWebsiteTest, DeterministicAndInRange) {
+  for (uint32_t k : {1u, 2u, 3u, 7u, 64u}) {
+    for (uint32_t website = 0; website < 200; ++website) {
+      const uint32_t shard = ShardOfWebsite(website, k, /*salt=*/0);
+      EXPECT_LT(shard, k);
+      EXPECT_EQ(shard, ShardOfWebsite(website, k, /*salt=*/0));
+    }
+  }
+  // K = 1 always routes to shard 0, whatever the salt.
+  EXPECT_EQ(ShardOfWebsite(123, 1, 42), 0u);
+}
+
+TEST(ShardOfWebsiteTest, SaltPerturbsTheMap) {
+  // Different salts must produce a genuinely different map (not a rotation
+  // of the same one): count disagreements over a window of ids.
+  int disagreements = 0;
+  for (uint32_t website = 0; website < 256; ++website) {
+    if (ShardOfWebsite(website, 4, 0) != ShardOfWebsite(website, 4, 1)) {
+      disagreements++;
+    }
+  }
+  EXPECT_GT(disagreements, 64);
+}
+
+TEST(ShardOfWebsiteTest, SpreadsWebsitesAcrossShards) {
+  std::vector<int> counts(8, 0);
+  for (uint32_t website = 0; website < 4096; ++website) {
+    counts[ShardOfWebsite(website, 8, 0)]++;
+  }
+  for (int count : counts) {
+    // A uniform hash puts ~512 in each bucket; even a loose bound catches
+    // a broken (e.g. modulo-of-id) map.
+    EXPECT_GT(count, 256);
+    EXPECT_LT(count, 1024);
+  }
+}
+
+TEST(PartitionDatasetTest, RejectsZeroShards) {
+  PartitionOptions options;
+  options.num_shards = 0;
+  const auto partition = PartitionDataset(SyntheticCube(1), options);
+  ASSERT_FALSE(partition.ok());
+  EXPECT_EQ(partition.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionDatasetTest, SingleShardIsACopy) {
+  const RawDataset data = SyntheticCube(2);
+  PartitionOptions options;
+  options.num_shards = 1;
+  const auto partition = PartitionDataset(data, options);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->shards.size(), 1u);
+  const RawDataset& shard = partition->shards[0];
+  ASSERT_EQ(shard.observations.size(), data.observations.size());
+  for (size_t i = 0; i < data.observations.size(); ++i) {
+    EXPECT_TRUE(SameObservation(shard.observations[i], data.observations[i]));
+    EXPECT_EQ(partition->shard_of_observation[i], 0u);
+  }
+  EXPECT_EQ(shard.num_websites, data.num_websites);
+  EXPECT_EQ(shard.num_pages, data.num_pages);
+  EXPECT_EQ(shard.num_extractors, data.num_extractors);
+  EXPECT_EQ(shard.num_patterns, data.num_patterns);
+  EXPECT_EQ(shard.true_values.size(), data.true_values.size());
+  EXPECT_EQ(shard.num_false_by_predicate, data.num_false_by_predicate);
+}
+
+TEST(PartitionDatasetTest, ShardsAreDisjointByWebsiteAndOrderPreserving) {
+  const RawDataset data = SyntheticCube(3);
+  PartitionOptions options;
+  options.num_shards = 4;
+  options.salt = 7;
+  const auto partition = PartitionDataset(data, options);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->shards.size(), 4u);
+
+  // Disjoint: a website's observations live in exactly the shard the hash
+  // names, in every shard consistently.
+  for (uint32_t s = 0; s < 4; ++s) {
+    for (const RawObservation& obs : partition->shards[s].observations) {
+      EXPECT_EQ(ShardOfWebsite(obs.website, 4, 7), s);
+    }
+  }
+
+  // Order-preserving bit-for-bit union: replaying the input against
+  // shard_of_observation must walk each shard front to back.
+  std::vector<size_t> cursor(4, 0);
+  size_t total = 0;
+  ASSERT_EQ(partition->shard_of_observation.size(), data.observations.size());
+  for (size_t i = 0; i < data.observations.size(); ++i) {
+    const uint32_t s = partition->shard_of_observation[i];
+    ASSERT_LT(s, 4u);
+    ASSERT_LT(cursor[s], partition->shards[s].observations.size());
+    EXPECT_TRUE(SameObservation(partition->shards[s].observations[cursor[s]],
+                                data.observations[i]))
+        << "input " << i << " -> shard " << s << " pos " << cursor[s];
+    cursor[s]++;
+    total++;
+  }
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(cursor[s], partition->shards[s].observations.size());
+  }
+  EXPECT_EQ(total, data.observations.size());
+}
+
+TEST(PartitionDatasetTest, EveryShardReplicatesGlobalBookkeeping) {
+  const RawDataset data = SyntheticCube(4);
+  PartitionOptions options;
+  options.num_shards = 3;
+  const auto partition = PartitionDataset(data, options);
+  ASSERT_TRUE(partition.ok());
+  for (const RawDataset& shard : partition->shards) {
+    EXPECT_EQ(shard.num_websites, data.num_websites);
+    EXPECT_EQ(shard.num_pages, data.num_pages);
+    EXPECT_EQ(shard.num_extractors, data.num_extractors);
+    EXPECT_EQ(shard.num_patterns, data.num_patterns);
+    EXPECT_EQ(shard.true_values.size(), data.true_values.size());
+    EXPECT_EQ(shard.num_false_by_predicate, data.num_false_by_predicate);
+  }
+}
+
+TEST(PartitionDatasetTest, MoreShardsThanWebsitesLeavesEmptyValidShards) {
+  RawDataset data;
+  data.num_websites = 2;
+  data.num_pages = 2;
+  data.num_extractors = 1;
+  data.num_patterns = 1;
+  data.num_false_by_predicate = {10};
+  for (uint32_t w = 0; w < 2; ++w) {
+    RawObservation obs;
+    obs.extractor = 0;
+    obs.pattern = 0;
+    obs.website = w;
+    obs.page = w;
+    obs.item = 0;
+    obs.value = w;
+    data.observations.push_back(obs);
+  }
+  PartitionOptions options;
+  options.num_shards = 8;
+  const auto partition = PartitionDataset(data, options);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->shards.size(), 8u);
+  size_t nonempty = 0;
+  for (const RawDataset& shard : partition->shards) {
+    if (!shard.observations.empty()) nonempty++;
+    // Empty or not, every shard carries the full global meta.
+    EXPECT_EQ(shard.num_websites, 2u);
+    EXPECT_EQ(shard.num_false_by_predicate, data.num_false_by_predicate);
+  }
+  EXPECT_LE(nonempty, 2u);
+  EXPECT_GE(nonempty, 1u);
+}
+
+TEST(PartitionDatasetTest, RepartitionIsBitForBitIdentical) {
+  const RawDataset data = SyntheticCube(5);
+  PartitionOptions options;
+  options.num_shards = 4;
+  options.salt = 99;
+  const auto first = PartitionDataset(data, options);
+  const auto second = PartitionDataset(data, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->shard_of_observation, second->shard_of_observation);
+  for (uint32_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(first->shards[s].observations.size(),
+              second->shards[s].observations.size());
+    for (size_t i = 0; i < first->shards[s].observations.size(); ++i) {
+      EXPECT_TRUE(SameObservation(first->shards[s].observations[i],
+                                  second->shards[s].observations[i]));
+    }
+  }
+}
+
+TEST(PartitionObservationsTest, DeltaScatterMatchesFullPartition) {
+  const RawDataset data = SyntheticCube(6);
+  PartitionOptions options;
+  options.num_shards = 4;
+  options.salt = 11;
+  const auto partition = PartitionDataset(data, options);
+  ASSERT_TRUE(partition.ok());
+  const auto buckets = PartitionObservations(data.observations, options);
+  ASSERT_EQ(buckets.size(), 4u);
+  for (uint32_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(buckets[s].size(), partition->shards[s].observations.size());
+    for (size_t i = 0; i < buckets[s].size(); ++i) {
+      EXPECT_TRUE(SameObservation(buckets[s][i],
+                                  partition->shards[s].observations[i]));
+    }
+  }
+}
+
+TEST(PartitionObservationsTest, UntouchedShardsGetEmptyBuckets) {
+  // A delta touching one website must land in exactly one bucket.
+  RawObservation obs;
+  obs.extractor = 0;
+  obs.pattern = 0;
+  obs.website = 42;
+  obs.page = 0;
+  obs.item = 0;
+  obs.value = 1;
+  PartitionOptions options;
+  options.num_shards = 4;
+  const auto buckets = PartitionObservations({obs, obs, obs}, options);
+  const uint32_t owner = ShardOfWebsite(42, 4, 0);
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(buckets[s].size(), s == owner ? 3u : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kbt::extract

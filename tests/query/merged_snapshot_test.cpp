@@ -1,0 +1,287 @@
+// Unit tests of query::MergedSnapshot / DiffMergedSnapshots — the merge
+// half of the sharded read path, driven over hand-built per-shard
+// snapshots. The contract under test:
+//  * point lookups route (websites) or probe-and-merge (triples) under the
+//    documented cross-shard rule, with deterministic tie-breaks;
+//  * k-way top-k merges are exact, deduplicated, and stable for ties
+//    across shards; k = 0, k > total, empty and null shards all behave;
+//  * filters apply to per-shard candidates BEFORE the merge, so the served
+//    record is the most confident PASSING claim;
+//  * cross-shard diffs aggregate churn and dedup top moves by owner.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kbt/report.h"
+#include "kbt/shard.h"
+
+namespace kbt::query {
+namespace {
+
+constexpr uint32_t kNumShards = 2;
+
+/// The first website id >= `start` owned by `shard` under the real hash —
+/// tests must place scores where the router will look for them.
+uint32_t WebsiteOwnedBy(uint32_t shard, uint32_t start = 0,
+                        uint64_t salt = 0) {
+  for (uint32_t w = start;; ++w) {
+    if (ShardOfWebsite(w, kNumShards, salt) == shard) return w;
+  }
+}
+
+eval::TriplePrediction Prediction(uint64_t item, uint32_t value,
+                                  double probability, bool covered = true) {
+  eval::TriplePrediction prediction;
+  prediction.item = item;
+  prediction.value = value;
+  prediction.probability = probability;
+  prediction.covered = covered;
+  return prediction;
+}
+
+/// Builds one shard snapshot from a dense website table and predictions.
+std::shared_ptr<const Snapshot> MakeShard(
+    std::vector<core::KbtScore> websites,
+    std::vector<eval::TriplePrediction> predictions) {
+  api::TrustReport report;
+  report.website_kbt = std::move(websites);
+  report.predictions = std::move(predictions);
+  return std::make_shared<const Snapshot>(Snapshot::Build(report));
+}
+
+/// A website table sized `n`, zero everywhere (zero evidence = unscored
+/// alignment row) except the explicitly scored ids.
+std::vector<core::KbtScore> WebsiteTable(
+    size_t n, std::vector<std::pair<uint32_t, double>> scored) {
+  std::vector<core::KbtScore> table(n);
+  for (const auto& [id, kbt] : scored) {
+    table[id].kbt = kbt;
+    table[id].evidence = 10.0;
+  }
+  return table;
+}
+
+TEST(MergedSnapshotTest, EmptyViewMissesEverything) {
+  const MergedSnapshot merged;
+  EXPECT_EQ(merged.num_shards(), 0u);
+  EXPECT_EQ(merged.TotalTriples(), 0u);
+  EXPECT_FALSE(merged.WebsiteTrust(0).has_value());
+  EXPECT_FALSE(merged.TripleTruth(1, 2).has_value());
+  EXPECT_TRUE(merged.ItemValues(1).empty());
+  EXPECT_TRUE(merged.TopKWebsites(5).empty());
+  EXPECT_TRUE(merged.TopKSources(5).empty());
+  EXPECT_TRUE(merged.TopKTriples(5).empty());
+}
+
+TEST(MergedSnapshotTest, NullShardsActAsEmptyWorlds) {
+  const uint32_t w1 = WebsiteOwnedBy(1);
+  MergedSnapshot merged(
+      {nullptr, MakeShard(WebsiteTable(w1 + 1, {{w1, 0.8}}),
+                          {Prediction(1, 2, 0.9)})});
+  // Shard 0 is absent: websites routed there miss, shard-1 data serves.
+  EXPECT_FALSE(merged.WebsiteTrust(WebsiteOwnedBy(0)).has_value());
+  ASSERT_TRUE(merged.WebsiteTrust(w1).has_value());
+  EXPECT_EQ(merged.WebsiteTrust(w1)->kbt, 0.8);
+  ASSERT_EQ(merged.TopKWebsites(10).size(), 1u);
+  ASSERT_TRUE(merged.TripleTruth(1, 2).has_value());
+  EXPECT_EQ(merged.shard(0), nullptr);
+  EXPECT_NE(merged.shard(1), nullptr);
+  EXPECT_EQ(merged.shard(7), nullptr);
+}
+
+TEST(MergedSnapshotTest, WebsiteLookupRoutesToOwnerOnly) {
+  const uint32_t w0 = WebsiteOwnedBy(0);
+  const size_t n = std::max(WebsiteOwnedBy(1), w0) + 1;
+  // Shard 1 (NOT the owner) also carries a scored row for w0 — a corrupt
+  // alignment row. Routing must serve the owner's value, never probe it.
+  MergedSnapshot merged({MakeShard(WebsiteTable(n, {{w0, 0.6}}), {}),
+                         MakeShard(WebsiteTable(n, {{w0, 0.9}}), {})});
+  ASSERT_TRUE(merged.WebsiteTrust(w0).has_value());
+  EXPECT_EQ(merged.WebsiteTrust(w0)->kbt, 0.6);
+}
+
+TEST(MergedSnapshotTest, TopKWebsitesIgnoresNonOwnerRows) {
+  const uint32_t w0 = WebsiteOwnedBy(0);
+  const uint32_t w1 = WebsiteOwnedBy(1);
+  const size_t n = std::max(w0, w1) + 1;
+  // Each shard scores BOTH websites (the foreign row with a huge score);
+  // the merged ranking must contain each id once, with the owner's value.
+  MergedSnapshot merged(
+      {MakeShard(WebsiteTable(n, {{w0, 0.6}, {w1, 0.99}}), {}),
+       MakeShard(WebsiteTable(n, {{w0, 0.99}, {w1, 0.4}}), {})});
+  const auto top = merged.TopKWebsites(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, w0);
+  EXPECT_EQ(top[0].kbt, 0.6);
+  EXPECT_EQ(top[1].id, w1);
+  EXPECT_EQ(top[1].kbt, 0.4);
+}
+
+TEST(MergedSnapshotTest, WebsiteTiesAcrossShardsBreakById) {
+  const uint32_t w0 = WebsiteOwnedBy(0);
+  const uint32_t w1 = WebsiteOwnedBy(1, w0 + 1);
+  const size_t n = std::max(w0, w1) + 1;
+  MergedSnapshot merged({MakeShard(WebsiteTable(n, {{w0, 0.5}}), {}),
+                         MakeShard(WebsiteTable(n, {{w1, 0.5}}), {})});
+  const auto top = merged.TopKWebsites(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, std::min(w0, w1));
+  EXPECT_EQ(top[1].id, std::max(w0, w1));
+}
+
+TEST(MergedSnapshotTest, TripleTieBreaksCoveredThenShard) {
+  // Same (item, value) in both shards at equal probability: covered wins.
+  MergedSnapshot merged(
+      {MakeShard({}, {Prediction(1, 2, 0.7, /*covered=*/false)}),
+       MakeShard({}, {Prediction(1, 2, 0.7, /*covered=*/true)})});
+  ASSERT_TRUE(merged.TripleTruth(1, 2).has_value());
+  EXPECT_TRUE(merged.TripleTruth(1, 2)->covered);
+
+  // Equal probability AND coverage: the lower shard's record serves.
+  MergedSnapshot tied({MakeShard({}, {Prediction(1, 2, 0.7)}),
+                       MakeShard({}, {Prediction(1, 2, 0.7)})});
+  ASSERT_TRUE(tied.TripleTruth(1, 2).has_value());
+  // Both records are identical here; the assertion that matters is the
+  // deterministic dedup in the ranked view.
+  EXPECT_EQ(tied.TopKTriples(10).size(), 1u);
+  EXPECT_EQ(tied.TotalTriples(), 2u);
+}
+
+TEST(MergedSnapshotTest, TripleLookupTakesHighestProbabilityAcrossShards) {
+  MergedSnapshot merged({MakeShard({}, {Prediction(1, 2, 0.3)}),
+                         MakeShard({}, {Prediction(1, 2, 0.8)})});
+  ASSERT_TRUE(merged.TripleTruth(1, 2).has_value());
+  EXPECT_EQ(merged.TripleTruth(1, 2)->probability, 0.8);
+  const auto top = merged.TopKTriples(10);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].probability, 0.8);
+}
+
+TEST(MergedSnapshotTest, ItemValuesMergesPerValueAndOrdersByProbability) {
+  MergedSnapshot merged(
+      {MakeShard({}, {Prediction(1, 2, 0.3), Prediction(1, 3, 0.9)}),
+       MakeShard({}, {Prediction(1, 2, 0.6), Prediction(1, 4, 0.5)})});
+  const auto values = merged.ItemValues(1);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].value, 3u);
+  EXPECT_EQ(values[0].probability, 0.9);
+  EXPECT_EQ(values[1].value, 2u);
+  EXPECT_EQ(values[1].probability, 0.6);  // shard 1's copy wins the merge
+  EXPECT_EQ(values[2].value, 4u);
+  EXPECT_EQ(values[2].probability, 0.5);
+  EXPECT_TRUE(merged.ItemValues(99).empty());
+}
+
+TEST(MergedSnapshotTest, KLargerThanTotalAndKZero) {
+  MergedSnapshot merged(
+      {MakeShard({}, {Prediction(1, 2, 0.9), Prediction(2, 1, 0.4)}),
+       MakeShard({}, {Prediction(3, 1, 0.6)})});
+  const auto top = merged.TopKTriples(100);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].probability, 0.9);
+  EXPECT_EQ(top[1].probability, 0.6);
+  EXPECT_EQ(top[2].probability, 0.4);
+  EXPECT_TRUE(merged.TopKTriples(0).empty());
+  EXPECT_TRUE(merged.TopKWebsites(0).empty());
+  EXPECT_TRUE(merged.TopKSources(0).empty());
+}
+
+TEST(MergedSnapshotTest, TripleFilterAppliesBeforeMerge) {
+  // The higher-probability copy of (1, 2) is uncovered; with covered_only
+  // the surviving lower-probability covered claim must serve — filtering
+  // AFTER the merge would drop the key entirely.
+  MergedSnapshot merged(
+      {MakeShard({}, {Prediction(1, 2, 0.9, /*covered=*/false)}),
+       MakeShard({}, {Prediction(1, 2, 0.5, /*covered=*/true)})});
+  TripleFilter covered_only;
+  covered_only.covered_only = true;
+  const auto top = merged.TopKTriples(10, covered_only);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].probability, 0.5);
+  EXPECT_TRUE(top[0].covered);
+
+  // Same pre-merge semantics through an arbitrary predicate.
+  TripleFilter below;
+  below.predicate = [](const TripleTruth& t) { return t.probability < 0.8; };
+  const auto filtered = merged.TopKTriples(10, below);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].probability, 0.5);
+}
+
+TEST(MergedSnapshotTest, SourceFilterAppliesPerShard) {
+  const uint32_t w0 = WebsiteOwnedBy(0);
+  const uint32_t w1 = WebsiteOwnedBy(1);
+  const size_t n = std::max(w0, w1) + 1;
+  MergedSnapshot merged({MakeShard(WebsiteTable(n, {{w0, 0.9}}), {}),
+                         MakeShard(WebsiteTable(n, {{w1, 0.5}}), {})});
+  SourceFilter filter;
+  filter.predicate = [](const SourceTrust& s) { return s.kbt < 0.7; };
+  const auto top = merged.TopKWebsites(10, filter);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, w1);
+}
+
+TEST(MergedSnapshotTest, ShardSourceTrustIsShardLocal) {
+  api::TrustReport report;
+  report.source_kbt = {{0.7, 12.0}, {0.2, 8.0}};
+  MergedSnapshot merged(
+      {std::make_shared<const Snapshot>(Snapshot::Build(report)), nullptr});
+  ASSERT_TRUE(merged.ShardSourceTrust(0, 1).has_value());
+  EXPECT_EQ(merged.ShardSourceTrust(0, 1)->kbt, 0.2);
+  EXPECT_FALSE(merged.ShardSourceTrust(1, 0).has_value());  // null shard
+  EXPECT_FALSE(merged.ShardSourceTrust(9, 0).has_value());  // out of range
+  EXPECT_FALSE(merged.ShardSourceTrust(0, 9).has_value());  // unknown id
+
+  const auto top = merged.TopKSources(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].shard, 0u);
+  EXPECT_EQ(top[0].trust.kbt, 0.7);
+  EXPECT_EQ(top[1].trust.kbt, 0.2);
+}
+
+TEST(MergedSnapshotDiffTest, AggregatesChurnAndDedupsTopMoves) {
+  const uint32_t w0 = WebsiteOwnedBy(0);
+  const uint32_t w1 = WebsiteOwnedBy(1);
+  const size_t n = std::max(w0, w1) + 1;
+  const MergedSnapshot before(
+      {MakeShard(WebsiteTable(n, {{w0, 0.2}}), {Prediction(1, 2, 0.5)}),
+       MakeShard(WebsiteTable(n, {{w1, 0.9}}), {})});
+  const MergedSnapshot after(
+      {MakeShard(WebsiteTable(n, {{w0, 0.8}}),
+                 {Prediction(1, 2, 0.5), Prediction(2, 1, 0.4)}),
+       MakeShard(WebsiteTable(n, {{w1, 0.7}}), {})});
+  const MergedSnapshotDiff diff = DiffMergedSnapshots(before, after);
+  ASSERT_EQ(diff.shard_diffs.size(), 2u);
+  EXPECT_EQ(diff.triples_added, 1u);
+  EXPECT_EQ(diff.triples_removed, 0u);
+  // Both scored websites moved; w0 (|0.6|) outranks w1 (|0.2|), each id
+  // exactly once despite every shard diffing the full aligned table.
+  ASSERT_GE(diff.top_website_moves.size(), 2u);
+  EXPECT_EQ(diff.top_website_moves[0].id, w0);
+  EXPECT_DOUBLE_EQ(diff.top_website_moves[0].delta, 0.6);
+  EXPECT_EQ(diff.top_website_moves[1].id, w1);
+  EXPECT_DOUBLE_EQ(diff.top_website_moves[1].delta, -0.2);
+  std::set<uint32_t> ids;
+  for (const SourceMove& move : diff.top_website_moves) {
+    EXPECT_TRUE(ids.insert(move.id).second) << "duplicate id " << move.id;
+  }
+  EXPECT_TRUE(DiffMergedSnapshots(before, after, 0).top_website_moves.empty());
+}
+
+TEST(MergedSnapshotDiffTest, MissingShardsDiffAsEmpty) {
+  const MergedSnapshot before({MakeShard({}, {Prediction(1, 2, 0.5)})});
+  const MergedSnapshot after({nullptr});
+  const MergedSnapshotDiff diff = DiffMergedSnapshots(before, after);
+  ASSERT_EQ(diff.shard_diffs.size(), 1u);
+  EXPECT_EQ(diff.triples_added, 0u);
+  EXPECT_EQ(diff.triples_removed, 0u);
+  EXPECT_TRUE(diff.top_website_moves.empty());
+}
+
+}  // namespace
+}  // namespace kbt::query
