@@ -98,6 +98,23 @@ class Pipeline {
   Status AppendObservations(
       const std::vector<extract::RawObservation>& observations);
 
+  /// Sets per-observation evidence weights in [0, 1] (one per dataset
+  /// observation; InvalidArgument on a size mismatch) applied by subsequent
+  /// Run/RunFrom calls: each compiled extraction edge's confidence is scaled
+  /// by the MAXIMUM weight over the observations that were deduplicated into
+  /// it (max mirrors the compiler's max-confidence dedup — the edge's
+  /// retained evidence is as fresh as its freshest contributor, and max is
+  /// commutative so the reduction is deterministic). The streaming layer's
+  /// time-decay hook; weights persist until replaced, cleared, or
+  /// invalidated by AppendObservations (which changes the observation
+  /// count). Weighted runs recompute the observation→edge mapping per run
+  /// (O(N log slots)); unweighted runs are completely untouched.
+  Status SetObservationWeights(std::vector<float> weights);
+
+  /// Removes the weights; subsequent runs are bit-for-bit the unweighted
+  /// path again.
+  void ClearObservationWeights();
+
   const extract::RawDataset& dataset() const;
   const Options& options() const;
 
@@ -181,6 +198,13 @@ class Pipeline {
   /// not safe against a concurrent AppendObservations.
   std::shared_ptr<const query::Snapshot> PublishSnapshot(
       const TrustReport& report);
+
+  /// As above, but stamps the snapshot with an explicit publish time
+  /// (seconds, caller-defined epoch) for the registry's history ring —
+  /// query::SnapshotRegistry::AsOf time-travel keys on it. The parameterless
+  /// overload stamps 0.0 (no temporal meaning).
+  std::shared_ptr<const query::Snapshot> PublishSnapshot(
+      const TrustReport& report, double publish_time);
 
   /// The registry PublishSnapshot publishes to. Shared ownership: readers
   /// (query::SnapshotReader) hold it beyond the pipeline's lifetime, so a

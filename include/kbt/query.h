@@ -59,6 +59,11 @@ struct SnapshotInfo {
   api::Granularity granularity = api::Granularity::kFinest;
   /// Shape of the compiled problem the report came from.
   api::PipelineCounts counts;
+  /// Publish time (seconds, caller-defined epoch) stamped by the
+  /// timestamped Publish overload; 0.0 for untimed publishes. The key for
+  /// SnapshotRegistry::AsOf time-travel — the streaming layer stamps each
+  /// tick's logical time here.
+  double publish_time = 0.0;
 };
 
 /// One source's served trust: the KBT aggregate (Eq. 28) plus its evidence
@@ -257,6 +262,35 @@ class SnapshotRegistry {
   /// publishers are serialized; readers are never blocked.
   std::shared_ptr<const Snapshot> Publish(Snapshot snapshot);
 
+  /// As above, stamping `publish_time` (seconds, caller-defined epoch,
+  /// visible as info().publish_time) for the history ring and AsOf. The
+  /// plain overload stamps 0.0.
+  std::shared_ptr<const Snapshot> Publish(Snapshot snapshot,
+                                          double publish_time);
+
+  /// Bounds how many generations the registry itself keeps alive:
+  /// `capacity` = the current snapshot plus up to capacity - 1 superseded
+  /// generations, retained for History()/AsOf(). 0 (the default — today's
+  /// semantics) keeps only the current snapshot: a publish drops the
+  /// registry's reference to the superseded generation, so it is freed as
+  /// soon as the last reader refreshes. Shrinking the capacity evicts the
+  /// oldest retained generations immediately. Publishes/readers are
+  /// unaffected (the ring is maintained inside the same microscopic
+  /// critical section).
+  void SetRetention(size_t capacity);
+
+  /// The retained generations, oldest first (the last entry is the current
+  /// snapshot). Empty before the first publish. With retention 0 this is
+  /// just the current snapshot.
+  std::vector<SnapshotInfo> History() const;
+
+  /// Time-travel: the latest retained snapshot whose publish_time <= t, or
+  /// null when every retained generation is newer than `t` (or nothing is
+  /// published). Retention bounds how far back AsOf can reach — readers
+  /// needing a deeper window must raise SetRetention before those
+  /// generations are published.
+  std::shared_ptr<const Snapshot> AsOf(double t) const;
+
   /// The current snapshot (shared ownership), or null before the first
   /// Publish. Takes the slot lock briefly; prefer SnapshotReader (which
   /// only falls back to TryCurrent) on hot read paths.
@@ -274,11 +308,18 @@ class SnapshotRegistry {
   }
 
  private:
-  /// Guards `current_` only, for nanoseconds at a time (pointer copy /
-  /// swap; the Snapshot itself is immutable and never touched under it).
+  /// Guards `current_` and the history ring, for nanoseconds at a time
+  /// (pointer copies / swaps; the Snapshots themselves are immutable and
+  /// never touched under it).
   mutable Mutex slot_mutex_;
   std::atomic<uint64_t> version_{0};
   std::shared_ptr<const Snapshot> current_ KBT_GUARDED_BY(slot_mutex_);
+  /// Superseded generations retained for History()/AsOf(), oldest first;
+  /// bounded by retention_ - 1 (the current snapshot is the ring's
+  /// implicit last entry). Empty when retention_ == 0.
+  std::vector<std::shared_ptr<const Snapshot>> history_
+      KBT_GUARDED_BY(slot_mutex_);
+  size_t retention_ KBT_GUARDED_BY(slot_mutex_) = 0;
 };
 
 /// A per-reader handle over one SnapshotRegistry: caches the current

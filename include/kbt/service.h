@@ -10,6 +10,7 @@
 #include "kbt/query.h"
 #include "kbt/report.h"
 #include "kbt/shard.h"
+#include "kbt/stream.h"
 
 namespace kbt::dataflow {
 class Executor;
@@ -173,6 +174,51 @@ class TrustService {
   std::future<Status> SubmitAppend(
       const std::string& session,
       std::vector<extract::RawObservation> observations);
+
+  /// Attaches a streaming ingestion loop to the session: a
+  /// stream::StreamEngine over the session's pipeline (plain or sharded —
+  /// streaming composes with sharded sessions transparently) draining
+  /// `feed`. Ticks run ON THE SESSION STRAND, interleaving FIFO with
+  /// Submit* requests, so a tick never races an append and its published
+  /// generation is exactly what the equivalent batch calls would produce.
+  ///
+  /// With options.tick_interval > 0 a background ticker thread enqueues a
+  /// tick every interval, stamping it with options.clock (system clock
+  /// when unset); with tick_interval == 0 ticks happen only via
+  /// SubmitTick — the deterministic mode.
+  ///
+  /// Fails NotFound (no such session), FailedPrecondition (a stream is
+  /// already attached — DetachStream first), or InvalidArgument (engine
+  /// rejects the configuration, e.g. decay on a sharded backend).
+  ///
+  /// BLOCKS until the attach executes on the strand (engine construction
+  /// reads the live dataset, so it serializes behind queued requests):
+  /// call from client threads, like CloseSession, never from a task on
+  /// the service's executor.
+  Status AttachStream(const std::string& session,
+                      std::shared_ptr<stream::ObservationFeed> feed,
+                      stream::StreamOptions options);
+
+  /// Stops the session's background ticker (if any), waits for it to exit,
+  /// and detaches the engine. Queued ticks still drain harmlessly (they
+  /// pin the engine). NotFound when the session does not exist,
+  /// FailedPrecondition when no stream is attached. CloseSession detaches
+  /// implicitly.
+  Status DetachStream(const std::string& session);
+
+  /// Enqueues one tick at logical time `now` on the session strand.
+  /// Resolves with the TickResult (or NotFound / FailedPrecondition when
+  /// the session or its stream is gone). Works with or without a
+  /// background ticker; with one, manual and periodic ticks interleave
+  /// FIFO.
+  std::future<StatusOr<stream::TickResult>> SubmitTick(
+      const std::string& session, double now);
+
+  /// The attached engine's monotonic counters. NotFound /
+  /// FailedPrecondition as above. Callable from any thread, concurrently
+  /// with running ticks.
+  StatusOr<stream::StreamStats> StreamingStats(
+      const std::string& session) const;
 
   /// A read handle onto the session's published snapshots: queries on it
   /// run on the CALLER's thread, lock-free, concurrently with whatever

@@ -272,6 +272,13 @@ class ShardedPipeline {
   std::shared_ptr<const query::Snapshot> PublishSnapshot(
       const ShardedTrustReport& reports);
 
+  /// As above, stamping `publish_time` (seconds, caller-defined epoch) on
+  /// the merged logical snapshot AND every per-shard snapshot, for the
+  /// registries' history rings (query::SnapshotRegistry::AsOf). The plain
+  /// overload stamps 0.0.
+  std::shared_ptr<const query::Snapshot> PublishSnapshot(
+      const ShardedTrustReport& reports, double publish_time);
+
   /// The registry serving the merged logical snapshots (never null);
   /// plug it into a query::SnapshotReader exactly like a Pipeline's.
   std::shared_ptr<query::SnapshotRegistry> snapshot_registry() const;

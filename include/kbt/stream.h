@@ -1,0 +1,307 @@
+#ifndef KBT_API_STREAM_H_
+#define KBT_API_STREAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kbt/pipeline.h"
+#include "kbt/query.h"
+#include "kbt/shard.h"
+#include "kbt/sync.h"
+
+/// kbt::stream — continuous-ingestion temporal trust.
+///
+/// The paper scores one frozen extraction cube; this module turns the
+/// batch machinery into a continuously-updating trust system over the
+/// seams the earlier layers already paid for: incremental appends
+/// (Pipeline::AppendObservations), warm starts (RunFrom), the RCU snapshot
+/// registry, and cross-snapshot diffs.
+///
+///   feed -> Tick(now) -> [decay weights] -> AppendObservations
+///        -> Run/RunFrom -> PublishSnapshot(now) -> diff -> alerts
+///
+/// Determinism contract:
+///  * Tick takes logical time as a parameter — the engine itself never
+///    reads a clock, so a replayed feed with the same tick times produces
+///    bit-for-bit the same snapshot sequence. (TrustService's optional
+///    background ticker is the one place wall-clock time enters, and only
+///    as the `now` it passes in.)
+///  * decay_half_life <= 0 (the default) makes a tick EXACTLY equivalent
+///    to batch AppendObservations + RunFrom/Run + PublishSnapshot —
+///    bit-for-bit, pinned by parity tests, including through a sharded
+///    session.
+///  * With decay on, per-observation weights reduce onto compiled
+///    extraction edges by max (commutative — deterministic regardless of
+///    observation order; see Pipeline::SetObservationWeights).
+namespace kbt::stream {
+
+/// One timestamped extraction event flowing through a feed. `timestamp` is
+/// seconds since a caller-defined epoch — the same axis as tick times and
+/// snapshot publish times; only differences ever matter.
+struct TimedObservation {
+  extract::RawObservation observation;
+  double timestamp = 0.0;
+};
+
+/// A source of timestamped observations the StreamEngine drains on each
+/// tick. Implementations decide their own threading contract; Poll itself
+/// is only ever called from one tick at a time (the engine serializes
+/// ticks, TrustService runs them on the session strand).
+class ObservationFeed {
+ public:
+  virtual ~ObservationFeed() = default;
+
+  /// Removes and returns everything currently available, in arrival order;
+  /// an empty vector means "nothing new" (the tick becomes a no-op), an
+  /// error poisons the tick without touching the pipeline.
+  virtual StatusOr<std::vector<TimedObservation>> Poll() = 0;
+};
+
+/// In-memory feed: producers Push from any thread, the engine drains on
+/// tick. The mutex is held only for vector swaps/appends, so producers
+/// never wait on a running tick's inference.
+class QueueFeed : public ObservationFeed {
+ public:
+  /// Enqueues one observation (thread-safe).
+  void Push(TimedObservation observation);
+  /// Enqueues a batch in order (thread-safe, one lock).
+  void PushBatch(std::vector<TimedObservation> batch);
+  /// Observations currently waiting to be polled.
+  size_t pending() const;
+
+  StatusOr<std::vector<TimedObservation>> Poll() override;
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<TimedObservation> pending_ KBT_GUARDED_BY(mutex_);
+};
+
+/// Tails a growing TSV file of `obs` records in the io::WriteRawDataset
+/// line format ("obs <extractor> <pattern> <website> <page> <item> <value>
+/// <conf> <provided> [<timestamp>]"; header/meta/nfalse/truth/comment
+/// lines are skipped). Each Poll reads from the previous end-of-file
+/// position; a trailing partial line (a writer mid-append) is carried over
+/// and completed on the next Poll, never half-parsed. Observations without
+/// the timestamp column get `default_timestamp`. A malformed completed
+/// line fails the Poll (InvalidArgument naming the offending record).
+class TsvTailFeed : public ObservationFeed {
+ public:
+  explicit TsvTailFeed(std::string path, double default_timestamp = 0.0);
+
+  StatusOr<std::vector<TimedObservation>> Poll() override;
+
+  /// Bytes of the file consumed so far (diagnostics/tests).
+  uint64_t bytes_consumed() const { return bytes_consumed_; }
+
+ private:
+  std::string path_;
+  double default_timestamp_ = 0.0;
+  uint64_t bytes_consumed_ = 0;
+  /// Carry-over of an incomplete final line between Polls.
+  std::string partial_;
+};
+
+/// What an alert rule watches.
+enum class AlertTarget {
+  kWebsites = 0,
+  kSources = 1,
+};
+
+/// A trust-drop predicate evaluated against consecutive snapshot
+/// generations: fires for every id whose KBT fell by at least `min_drop`
+/// absolute AND — when `min_drop_fraction` > 0 — by at least that fraction
+/// of its previous score ("source trust dropped >= 20%" is
+/// min_drop_fraction = 0.2). Ids present in only one generation never
+/// fire (there is no drop to measure).
+struct AlertRule {
+  /// Echoed on every alert the rule fires; purely for the consumer.
+  std::string name;
+  AlertTarget target = AlertTarget::kWebsites;
+  /// Minimum absolute KBT drop (before - after) to fire; <= 0 means any
+  /// decrease qualifies (subject to the fraction below).
+  double min_drop = 0.0;
+  /// Minimum relative drop (fraction of the before-score, evaluated only
+  /// when the before-score is positive); <= 0 disables the relative test.
+  double min_drop_fraction = 0.0;
+  /// Restricts the rule to one id; nullopt watches every id.
+  std::optional<uint32_t> id;
+};
+
+/// One fired alert: which rule, which id, and the movement that fired it.
+struct Alert {
+  std::string rule;
+  AlertTarget target = AlertTarget::kWebsites;
+  uint32_t id = 0;
+  double before_kbt = 0.0;
+  double after_kbt = 0.0;
+  /// before_kbt - after_kbt (always > 0 when fired).
+  double drop = 0.0;
+  uint64_t before_sequence = 0;
+  uint64_t after_sequence = 0;
+  /// The tick time the alert fired at.
+  double time = 0.0;
+};
+
+/// Evaluates registered AlertRules against two snapshot generations.
+/// Evaluation walks the FULL id spaces of both snapshots — alerts are
+/// independent of the diff's top-k truncation. Stateless and const after
+/// setup: rules are added before streaming starts, evaluation is
+/// deterministic (alerts ordered by rule registration, then id).
+class AlertSink {
+ public:
+  void AddRule(AlertRule rule);
+  size_t num_rules() const { return rules_.size(); }
+
+  /// All alerts fired by the movement from `before` to `after`, stamped
+  /// with `now`.
+  std::vector<Alert> Evaluate(const query::Snapshot& before,
+                              const query::Snapshot& after,
+                              double now) const;
+
+ private:
+  std::vector<AlertRule> rules_;
+};
+
+/// Configuration of one StreamEngine.
+struct StreamOptions {
+  /// Exponential time-decay half-life in seconds: an observation aged one
+  /// half-life at tick time contributes with weight 0.5, two half-lives
+  /// 0.25, ... (weight = 2^(-age / half_life); future-dated observations
+  /// clamp to 1). <= 0 disables decay entirely — ticks then reproduce the
+  /// batch pipeline bit-for-bit. Observations without real timestamps
+  /// (untimestamped seed datasets, feeds defaulting to 0) carry time 0,
+  /// i.e. decay as maximally old. NOT supported on sharded backends yet
+  /// (Tick returns InvalidArgument).
+  double decay_half_life = 0.0;
+  /// SnapshotRegistry retention (SetRetention) applied at engine creation:
+  /// how many generations stay reachable for AsOf/History. 0 keeps only
+  /// the current snapshot (no time travel).
+  size_t history_capacity = 0;
+  /// Warm-start each tick's inference from the previous tick's report
+  /// (RunFrom); false re-runs from priors every tick.
+  bool warm_start = true;
+  /// top_k for the per-tick DiffSnapshots in TickResult.
+  size_t diff_top_k = 10;
+  /// Background tick cadence in seconds for TrustService::AttachStream:
+  /// > 0 starts a ticker thread enqueuing a tick on the session strand
+  /// every interval; 0 (default) means ticks happen only when explicitly
+  /// submitted (SubmitTick) — the deterministic mode tests use.
+  double tick_interval = 0.0;
+  /// Rules evaluated after every published generation.
+  std::vector<AlertRule> alert_rules;
+  /// Invoked synchronously (on the ticking thread) for each fired alert,
+  /// in order. Alerts are also returned on the TickResult.
+  std::function<void(const Alert&)> alert_callback;
+  /// The clock TrustService's background ticker stamps tick times with;
+  /// defaults to the system clock in seconds. Manual Tick(now) calls
+  /// bypass it entirely. Injectable for deterministic service tests.
+  std::function<double()> clock;
+};
+
+/// What one Tick did.
+struct TickResult {
+  /// Observations drained from the feed this tick.
+  size_t observations_ingested = 0;
+  /// False for an empty-feed no-op tick (nothing below is meaningful).
+  bool published = false;
+  /// Registry sequence number of the published generation.
+  uint64_t sequence = 0;
+  /// The published generation.
+  std::shared_ptr<const query::Snapshot> snapshot;
+  /// Movement vs the previous generation (nullopt on the first one),
+  /// truncated to StreamOptions::diff_top_k.
+  std::optional<query::SnapshotDiff> diff;
+  /// Alerts fired by this generation, in rule-registration order.
+  std::vector<Alert> alerts;
+};
+
+/// Monotonic counters over an engine's lifetime. Readable concurrently
+/// with a running tick (TrustService::StreamingStats does).
+struct StreamStats {
+  uint64_t ticks = 0;
+  uint64_t empty_ticks = 0;
+  uint64_t observations_ingested = 0;
+  uint64_t generations_published = 0;
+  uint64_t alerts_fired = 0;
+};
+
+/// Drives one pipeline from one feed: each Tick(now) drains the feed,
+/// appends the batch, recomputes decay weights (when enabled), runs
+/// inference (warm-started from the previous tick), publishes the result
+/// as a new snapshot generation stamped with `now`, and evaluates alert
+/// rules against the previous generation.
+///
+/// Threading: ticks must be serialized by the caller (TrustService runs
+/// them on the session strand); stats() is safe concurrently with a
+/// running tick. The engine borrows the pipeline — the caller keeps it
+/// alive and must not mutate it between ticks behind the engine's back.
+class StreamEngine {
+ public:
+  /// Engine over an unsharded pipeline. InvalidArgument on a null
+  /// pipeline/feed or a feed batch contract violation; applies
+  /// options.history_capacity to the pipeline's registry.
+  static StatusOr<std::unique_ptr<StreamEngine>> Create(
+      api::Pipeline* pipeline, std::shared_ptr<ObservationFeed> feed,
+      StreamOptions options);
+
+  /// Engine over a sharded pipeline. Decay is not supported on sharded
+  /// backends yet: options.decay_half_life > 0 is rejected here.
+  static StatusOr<std::unique_ptr<StreamEngine>> Create(
+      api::ShardedPipeline* pipeline, std::shared_ptr<ObservationFeed> feed,
+      StreamOptions options);
+
+  /// One ingestion cycle at logical time `now` (seconds, the same epoch as
+  /// the feed's timestamps). An empty feed is a cheap no-op (no append, no
+  /// run, no publish). Errors leave the engine consistent: a failed run
+  /// keeps the appended observations (they re-enter inference next tick)
+  /// but publishes nothing.
+  StatusOr<TickResult> Tick(double now);
+
+  const StreamOptions& options() const { return options_; }
+  StreamStats stats() const;
+  /// The registry generations are published on (the pipeline's own).
+  std::shared_ptr<query::SnapshotRegistry> snapshot_registry() const;
+
+ private:
+  StreamEngine(api::Pipeline* pipeline, api::ShardedPipeline* sharded,
+               std::shared_ptr<ObservationFeed> feed, StreamOptions options);
+
+  StatusOr<TickResult> TickPipeline(double now,
+                                    std::vector<TimedObservation> batch);
+  StatusOr<TickResult> TickSharded(double now,
+                                   std::vector<TimedObservation> batch);
+  /// Diff + alert + stats bookkeeping shared by both backends.
+  void FinishTick(double now, TickResult* result);
+
+  api::Pipeline* pipeline_ = nullptr;
+  api::ShardedPipeline* sharded_ = nullptr;
+  std::shared_ptr<ObservationFeed> feed_;
+  StreamOptions options_;
+  AlertSink alerts_;
+
+  /// Per-observation ingestion times, parallel to the pipeline's dataset;
+  /// the authoritative timeline decay weights derive from (the dataset's
+  /// own observation_timestamps are seeded in but appends through the
+  /// engine keep only this copy current).
+  std::vector<double> timeline_;
+  /// Previous tick's results for warm starts and diffs.
+  std::optional<api::TrustReport> last_report_;
+  std::optional<api::ShardedTrustReport> last_sharded_;
+  std::shared_ptr<const query::Snapshot> previous_snapshot_;
+
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> empty_ticks_{0};
+  std::atomic<uint64_t> observations_ingested_{0};
+  std::atomic<uint64_t> generations_published_{0};
+  std::atomic<uint64_t> alerts_fired_{0};
+};
+
+}  // namespace kbt::stream
+
+#endif  // KBT_API_STREAM_H_

@@ -39,6 +39,7 @@
 /// attributes) the macros expand to nothing and each method is an inline
 /// forward to the std primitive.
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -141,6 +142,22 @@ class CondVar {
     // class comment). NOLINT(bugprone-spuriously-wake-up-functions)
     cv_.wait(native);  // NOLINT(bugprone-spuriously-wake-up-functions)
     native.release();
+  }
+
+  /// Timed Wait: returns false when `timeout` elapsed without a
+  /// notification, true when notified (including spuriously — loop on the
+  /// predicate either way). `mu` is held again on return. The interruptible
+  /// sleep behind periodic background work (e.g. the streaming ticker),
+  /// which a plain sleep cannot provide: a notify wakes it immediately.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout)
+      KBT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    // Spurious wakeups are handled by the caller's predicate loop (see the
+    // class comment). NOLINT(bugprone-spuriously-wake-up-functions)
+    const std::cv_status status =  // NOLINT(bugprone-spuriously-wake-up-functions)
+        cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full local/CI check: repo invariant linter, docs consistency, configure,
-# build, test, smoke-run the quickstart, the serving + query demos, and the
-# append/serving/cache/query benches (emitting BENCH_*.json for trend
-# tooling). Extra configure arguments (e.g. -DKBT_WERROR=ON in CI) come in
+# build, test, smoke-run the quickstart, the serving + query + streaming
+# demos, and the append/serving/cache/query/stream benches (emitting
+# BENCH_*.json for trend tooling). Extra configure arguments (e.g. -DKBT_WERROR=ON in CI) come in
 # through KBT_CONFIGURE_ARGS.
 #
 # This covers the GCC leg of the correctness tooling; the clang legs
@@ -34,8 +34,10 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/examples/quickstart
 ./build/examples/trust_service
 ./build/examples/query_trust
+./build/examples/stream_trust
 ./build/bench/bench_append_throughput --smoke
 ./build/bench/bench_service_throughput --smoke
 ./build/bench/bench_cache_warmstart --smoke
 ./build/bench/bench_query_throughput --smoke
 ./build/bench/bench_shard_scaling --smoke
+./build/bench/bench_stream_ingest --smoke

@@ -54,6 +54,11 @@ struct Pipeline::Impl {
   /// Observations covered by `matrix` (a prefix of the dataset).
   size_t compiled_observations = 0;
 
+  /// Per-observation evidence weights (SetObservationWeights); empty means
+  /// unweighted — runs take exactly the historical code path. Cleared by
+  /// AppendObservations because the observation count they parallel changed.
+  std::vector<float> observation_weights;
+
   /// Lazily computed io::DatasetFingerprint of `dataset`; reset whenever
   /// the dataset mutates (appends). The lock makes concurrent *const*
   /// reads safe against each other (no torn cache); it does NOT license
@@ -357,13 +362,41 @@ StatusOr<TrustReport> RunImpl(Pipeline::Impl& impl,
     }
   }
 
+  // ---- Optional per-edge evidence weights (SetObservationWeights) ----
+  // Observation weights are reduced onto compiled extraction edges by max
+  // (mirroring the compiler's max-confidence dedup; commutative, so the
+  // reduction is deterministic regardless of observation order). The
+  // mapping is recomputed per run because appends shift edge ids.
+  std::vector<float> edge_weights;
+  const std::vector<float>* edge_weights_ptr = nullptr;
+  if (!impl.observation_weights.empty()) {
+    if (impl.observation_weights.size() != impl.dataset->size()) {
+      return Status::FailedPrecondition(
+          "observation weights hold " +
+          std::to_string(impl.observation_weights.size()) +
+          " entries but the dataset has " +
+          std::to_string(impl.dataset->size()) +
+          " observations (stale SetObservationWeights call?)");
+    }
+    StatusOr<std::vector<uint32_t>> obs_edges =
+        matrix.MapObservationEdges(*impl.dataset, *impl.assignment);
+    if (!obs_edges.ok()) return obs_edges.status();
+    edge_weights.assign(matrix.num_extractions(), 0.0f);
+    for (size_t o = 0; o < obs_edges->size(); ++o) {
+      const uint32_t e = (*obs_edges)[o];
+      edge_weights[e] = std::max(edge_weights[e], impl.observation_weights[o]);
+    }
+    edge_weights_ptr = &edge_weights;
+  }
+
   {
     StageScope scope(impl, report, Stage::kInference);
     if (impl.options.model == Model::kSingleLayer) {
       StatusOr<fusion::SingleLayerResult> result =
           fusion::SingleLayerModel::Run(matrix, impl.options.single_layer,
                                         initial.source_accuracy, impl.executor,
-                                        impl.timers, initial.source_trusted);
+                                        impl.timers, initial.source_trusted,
+                                        edge_weights_ptr);
       if (!result.ok()) return result.status();
       core::MultiLayerResult& out = report.inference;
       out.source_accuracy = std::move(result->source_accuracy);
@@ -381,7 +414,7 @@ StatusOr<TrustReport> RunImpl(Pipeline::Impl& impl,
     } else {
       StatusOr<core::MultiLayerResult> result = core::MultiLayerModel::Run(
           matrix, impl.options.multilayer, initial, impl.executor,
-          impl.timers);
+          impl.timers, edge_weights_ptr);
       if (!result.ok()) return result.status();
       report.inference = std::move(*result);
     }
@@ -478,6 +511,16 @@ Status Pipeline::AppendObservations(
     }
     data.observations.push_back(obs);
   }
+  if (!data.observation_timestamps.empty()) {
+    // Keep the parallel-vector invariant for timestamped datasets. The
+    // appended batch carries no times through this signature; callers that
+    // track them (the streaming engine keeps its own timeline) overlay the
+    // real values via SetObservationWeights-derived decay instead.
+    data.observation_timestamps.resize(data.observations.size(), 0.0);
+  }
+  // The weights parallel the old observation count; a run against the grown
+  // cube with truncated weights would silently mis-weight the tail.
+  impl.observation_weights.clear();
   {
     MutexLock lock(impl.fingerprint_mutex);
     impl.fingerprint.reset();  // Content changed; recompute lazily.
@@ -576,6 +619,29 @@ Status Pipeline::AppendObservations(
   return Status::OK();
 }
 
+Status Pipeline::SetObservationWeights(std::vector<float> weights) {
+  Impl& impl = *impl_;
+  if (weights.size() != impl.dataset->size()) {
+    return Status::InvalidArgument(
+        "observation weights hold " + std::to_string(weights.size()) +
+        " entries but the dataset has " + std::to_string(impl.dataset->size()) +
+        " observations");
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!(weights[i] >= 0.0f && weights[i] <= 1.0f)) {  // Rejects NaN too.
+      return Status::InvalidArgument(
+          "observation weight " + std::to_string(i) + " = " +
+          std::to_string(weights[i]) + " is outside [0, 1]");
+    }
+  }
+  impl.observation_weights = std::move(weights);
+  return Status::OK();
+}
+
+void Pipeline::ClearObservationWeights() {
+  impl_->observation_weights.clear();
+}
+
 const extract::RawDataset& Pipeline::dataset() const {
   return *impl_->dataset;
 }
@@ -631,10 +697,15 @@ std::optional<PipelineCounts> Pipeline::shape() const {
 
 std::shared_ptr<const query::Snapshot> Pipeline::PublishSnapshot(
     const TrustReport& report) {
+  return PublishSnapshot(report, 0.0);
+}
+
+std::shared_ptr<const query::Snapshot> Pipeline::PublishSnapshot(
+    const TrustReport& report, double publish_time) {
   query::SnapshotInfo stamp;
   stamp.dataset_fingerprint = CurrentFingerprint(*impl_);
   return impl_->snapshot_registry->Publish(
-      query::Snapshot::Build(report, stamp));
+      query::Snapshot::Build(report, stamp), publish_time);
 }
 
 std::shared_ptr<query::SnapshotRegistry> Pipeline::snapshot_registry() const {

@@ -1,8 +1,11 @@
 #include "kbt/service.h"
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <map>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/mutex.h"
@@ -28,6 +31,64 @@ std::future<T> ReadyFuture(T value) {
   promise.set_value(std::move(value));
   return promise.get_future();
 }
+
+/// The default tick-time clock (seconds since the Unix epoch) when
+/// StreamOptions::clock is unset.
+double SystemClockSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Background cadence for an attached stream: a dedicated thread firing
+/// `tick` every `interval`, sleeping interruptibly (CondVar::WaitFor) so
+/// Stop() returns promptly instead of waiting out the interval. A spurious
+/// wakeup fires a tick early — harmless (an empty feed makes it a cheap
+/// no-op), so the loop deliberately does not re-arm the deadline.
+class StreamTicker {
+ public:
+  StreamTicker(std::function<void()> tick, std::chrono::nanoseconds interval)
+      : tick_(std::move(tick)),
+        interval_(interval),
+        thread_([this] { Loop(); }) {}
+
+  ~StreamTicker() { Stop(); }
+
+  StreamTicker(const StreamTicker&) = delete;
+  StreamTicker& operator=(const StreamTicker&) = delete;
+
+  /// Idempotent; joins the ticker thread. Never call while holding a lock
+  /// the tick callback takes.
+  void Stop() {
+    {
+      MutexLock lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.NotifyAll();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    while (true) {
+      {
+        MutexLock lock(mutex_);
+        if (stopped_) return;
+        cv_.WaitFor(mutex_, interval_);
+        if (stopped_) return;
+      }
+      tick_();
+    }
+  }
+
+  std::function<void()> tick_;
+  std::chrono::nanoseconds interval_;
+  Mutex mutex_;
+  bool stopped_ KBT_GUARDED_BY(mutex_) = false;
+  CondVar cv_;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -68,6 +129,14 @@ struct TrustService::Session {
   /// null when the window is closed (nothing queued, or a run was queued
   /// after the batch).
   std::shared_ptr<PendingAppend> open_append KBT_GUARDED_BY(mutex);
+
+  /// The attached streaming engine (AttachStream), null when detached.
+  /// Shared so queued ticks pin it past a detach — they drain harmlessly.
+  std::shared_ptr<stream::StreamEngine> stream_engine KBT_GUARDED_BY(mutex);
+  /// Background cadence when StreamOptions::tick_interval > 0. Declared
+  /// LAST so it is destroyed FIRST: the ticker thread joins before any
+  /// member it reaches through this session goes away.
+  std::unique_ptr<StreamTicker> ticker KBT_GUARDED_BY(mutex);
 };
 
 struct TrustService::State {
@@ -231,6 +300,18 @@ Status TrustService::CloseSession(const std::string& name) {
     session = std::move(it->second);
     state_->sessions.erase(it);
   }
+  // Stop any attached stream first: a live ticker would keep enqueueing
+  // ticks past the drain below. Implicit DetachStream, per the contract.
+  std::unique_ptr<StreamTicker> ticker;
+  {
+    MutexLock session_lock(session->mutex);
+    ticker = std::move(session->ticker);
+  }
+  if (ticker != nullptr) ticker->Stop();
+  {
+    MutexLock session_lock(session->mutex);
+    session->stream_engine.reset();
+  }
   // Drain outside the service lock. Requests already queued (and any a
   // racing submitter slips in through a Find() it performed before the
   // erase) still hold the Session alive via their shared_ptr captures;
@@ -379,6 +460,148 @@ std::future<Status> TrustService::SubmitAppend(
     state_->appends_coalesced.fetch_add(1, std::memory_order_relaxed);
   }
   return future;
+}
+
+Status TrustService::AttachStream(const std::string& session_name,
+                                  std::shared_ptr<stream::ObservationFeed> feed,
+                                  stream::StreamOptions options) {
+  std::shared_ptr<Session> session = state_->Find(session_name);
+  if (session == nullptr) {
+    return Status::NotFound("no session '" + session_name + "'");
+  }
+  if (feed == nullptr) {
+    return Status::InvalidArgument("AttachStream requires a feed");
+  }
+  if (!options.clock) options.clock = SystemClockSeconds;
+  const double interval = options.tick_interval;
+
+  // Build the engine ON THE STRAND: StreamEngine::Create reads the live
+  // dataset (to seed its decay timeline) and sets registry retention, so it
+  // must serialize with in-flight appends and runs like every other
+  // pipeline touch. The double-attach check needs no extra care: every
+  // attach goes through a strand task, so two racing AttachStreams
+  // serialize here and the loser sees the winner's engine.
+  std::future<Status> attached;
+  {
+    MutexLock lock(session->mutex);
+    attached = session->queue.SubmitWithResult(
+        [session, feed = std::move(feed),
+         options = std::move(options)]() mutable -> Status {
+          {
+            MutexLock lock(session->mutex);
+            if (session->stream_engine != nullptr) {
+              return Status::FailedPrecondition(
+                  "session already has a stream attached — DetachStream "
+                  "first");
+            }
+          }
+          StatusOr<std::unique_ptr<stream::StreamEngine>> engine =
+              session->sharded
+                  ? stream::StreamEngine::Create(
+                        &*session->sharded, std::move(feed), std::move(options))
+                  : stream::StreamEngine::Create(&*session->pipeline,
+                                                 std::move(feed),
+                                                 std::move(options));
+          if (!engine.ok()) return engine.status();
+          MutexLock lock(session->mutex);
+          session->stream_engine = std::move(*engine);
+          return Status::OK();
+        });
+  }
+  const Status status = attached.get();
+  if (!status.ok()) return status;
+
+  if (interval > 0.0) {
+    // The ticker holds a WEAK session pointer (it is owned by the session —
+    // a strong one would be a cycle and the session would never die). Each
+    // firing re-resolves the engine, stamps the tick with the stream's
+    // clock, and enqueues it on the strand; the queued task's shared_ptrs
+    // keep both session and engine alive through the tick. The result is
+    // deliberately dropped: periodic ticks are fire-and-forget, counters
+    // and alert callbacks carry the observability.
+    std::weak_ptr<Session> weak = session;
+    auto tick = [weak] {
+      std::shared_ptr<Session> session = weak.lock();
+      if (session == nullptr) return;
+      std::shared_ptr<stream::StreamEngine> engine;
+      {
+        MutexLock lock(session->mutex);
+        engine = session->stream_engine;
+      }
+      if (engine == nullptr) return;
+      const double now = engine->options().clock();
+      session->queue.Submit(
+          [session, engine, now] { (void)engine->Tick(now); });
+    };
+    const auto interval_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(interval));
+    MutexLock lock(session->mutex);
+    if (session->stream_engine != nullptr && session->ticker == nullptr) {
+      session->ticker =
+          std::make_unique<StreamTicker>(std::move(tick), interval_ns);
+    }
+  }
+  return Status::OK();
+}
+
+Status TrustService::DetachStream(const std::string& session_name) {
+  std::shared_ptr<Session> session = state_->Find(session_name);
+  if (session == nullptr) {
+    return Status::NotFound("no session '" + session_name + "'");
+  }
+  std::unique_ptr<StreamTicker> ticker;
+  {
+    MutexLock lock(session->mutex);
+    ticker = std::move(session->ticker);
+  }
+  // Join the ticker BEFORE dropping the engine: a firing in flight still
+  // resolves the engine and enqueues one last tick, which drains
+  // harmlessly (the queued task pins the engine).
+  if (ticker != nullptr) ticker->Stop();
+  MutexLock lock(session->mutex);
+  if (session->stream_engine == nullptr) {
+    return Status::FailedPrecondition("no stream attached to session '" +
+                                      session_name + "'");
+  }
+  session->stream_engine.reset();
+  return Status::OK();
+}
+
+std::future<StatusOr<stream::TickResult>> TrustService::SubmitTick(
+    const std::string& session_name, double now) {
+  std::shared_ptr<Session> session = state_->Find(session_name);
+  if (session == nullptr) {
+    return ReadyFuture<StatusOr<stream::TickResult>>(
+        Status::NotFound("no session '" + session_name + "'"));
+  }
+  MutexLock lock(session->mutex);
+  std::shared_ptr<stream::StreamEngine> engine = session->stream_engine;
+  if (engine == nullptr) {
+    return ReadyFuture<StatusOr<stream::TickResult>>(
+        Status::FailedPrecondition("no stream attached to session '" +
+                                   session_name + "'"));
+  }
+  // A tick appends + runs: close the coalescing window like SubmitRun, so
+  // appends submitted after this call land behind the tick on the strand.
+  session->open_append.reset();
+  return session->queue.SubmitWithResult(
+      [session, engine = std::move(engine),
+       now]() -> StatusOr<stream::TickResult> { return engine->Tick(now); });
+}
+
+StatusOr<stream::StreamStats> TrustService::StreamingStats(
+    const std::string& session_name) const {
+  std::shared_ptr<Session> session = state_->Find(session_name);
+  if (session == nullptr) {
+    return Status::NotFound("no session '" + session_name + "'");
+  }
+  MutexLock lock(session->mutex);
+  if (session->stream_engine == nullptr) {
+    return Status::FailedPrecondition("no stream attached to session '" +
+                                      session_name + "'");
+  }
+  return session->stream_engine->stats();
 }
 
 StatusOr<query::SnapshotReader> TrustService::Query(

@@ -294,16 +294,21 @@ Status ShardedPipeline::EnableDiskCache(const std::string& directory,
 
 std::shared_ptr<const query::Snapshot> ShardedPipeline::PublishSnapshot(
     const ShardedTrustReport& reports) {
+  return PublishSnapshot(reports, 0.0);
+}
+
+std::shared_ptr<const query::Snapshot> ShardedPipeline::PublishSnapshot(
+    const ShardedTrustReport& reports, double publish_time) {
   Impl& impl = *impl_;
   const size_t n =
       std::min<size_t>(reports.shards.size(), impl.shards.size());
   for (size_t s = 0; s < n; ++s) {
-    impl.shards[s].PublishSnapshot(reports.shards[s]);
+    impl.shards[s].PublishSnapshot(reports.shards[s], publish_time);
   }
   query::SnapshotInfo stamp;
   stamp.dataset_fingerprint = dataset_fingerprint();
   return impl.registry->Publish(
-      query::Snapshot::Build(reports.merged, stamp));
+      query::Snapshot::Build(reports.merged, stamp), publish_time);
 }
 
 std::shared_ptr<query::SnapshotRegistry> ShardedPipeline::snapshot_registry()

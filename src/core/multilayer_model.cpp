@@ -138,11 +138,20 @@ double UpdatedAlpha(double value_prob, double source_accuracy) {
 StatusOr<MultiLayerResult> MultiLayerModel::Run(
     const CompiledMatrix& matrix, const MultiLayerConfig& config,
     const InitialQuality& initial, dataflow::Executor* executor,
-    dataflow::StageTimers* timers) {
+    dataflow::StageTimers* timers,
+    const std::vector<float>* extraction_weights) {
   const size_t num_slots = matrix.num_slots();
   const size_t num_items = matrix.num_items();
   const uint32_t num_sources = matrix.num_sources();
   const uint32_t num_groups = matrix.num_extractor_groups();
+
+  if (extraction_weights != nullptr &&
+      extraction_weights->size() != matrix.num_extractions()) {
+    return Status::InvalidArgument(
+        "extraction_weights size " +
+        std::to_string(extraction_weights->size()) + " != num_extractions " +
+        std::to_string(matrix.num_extractions()));
+  }
 
   if (!initial.source_accuracy.empty() &&
       initial.source_accuracy.size() != num_sources) {
@@ -254,12 +263,18 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
   }
 
   // ---- Effective confidence per extraction edge (Section 3.5) ----
+  // The optional extraction weight multiplies in *after* the thresholding
+  // branch so decay also scales thresholded (0/1) confidences; a null
+  // pointer leaves every edge untouched (bit-for-bit the unweighted path).
   std::vector<float> conf(matrix.num_extractions());
   for (size_t e = 0; e < conf.size(); ++e) {
     const float raw = matrix.ext_conf()[e];
     conf[e] = config.use_confidence_weights
                   ? raw
                   : (raw > config.confidence_threshold ? 1.0f : 0.0f);
+    if (extraction_weights != nullptr) {
+      conf[e] *= (*extraction_weights)[e];
+    }
   }
 
   // ---- POPACCU empirical value popularity per slot ----

@@ -32,11 +32,18 @@ class MultiLayerModel {
  public:
   /// Runs inference on a compiled matrix. `initial` may be empty (defaults).
   /// `executor`/`timers` may be null (serial execution, no timings).
+  /// `extraction_weights`, when non-null, must hold one multiplier in [0, 1]
+  /// per extraction edge (matrix.num_extractions()); it scales each edge's
+  /// effective confidence before the votes (the streaming layer's time-decay
+  /// hook — Section 3.5 treats confidence as evidence strength, so decayed
+  /// evidence is simply weaker evidence). nullptr is bit-for-bit identical
+  /// to all-ones.
   static StatusOr<MultiLayerResult> Run(
       const extract::CompiledMatrix& matrix, const MultiLayerConfig& config,
       const InitialQuality& initial = {},
       dataflow::Executor* executor = nullptr,
-      dataflow::StageTimers* timers = nullptr);
+      dataflow::StageTimers* timers = nullptr,
+      const std::vector<float>* extraction_weights = nullptr);
 };
 
 /// Presence/absence votes of one extractor group at its current quality

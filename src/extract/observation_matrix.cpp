@@ -234,6 +234,45 @@ std::optional<uint32_t> CompiledMatrix::FindSlot(uint32_t source,
   return std::nullopt;
 }
 
+StatusOr<std::vector<uint32_t>> CompiledMatrix::MapObservationEdges(
+    const RawDataset& data, const GroupAssignment& assignment) const {
+  const size_t n = data.observations.size();
+  if (assignment.observation_source.size() != n ||
+      assignment.observation_extractor.size() != n) {
+    return Status::InvalidArgument(
+        "assignment arrays must parallel the observation array");
+  }
+  std::vector<uint32_t> edges(n);
+  for (size_t o = 0; o < n; ++o) {
+    const RawObservation& obs = data.observations[o];
+    const uint32_t src = assignment.observation_source[o];
+    const uint32_t grp = assignment.observation_extractor[o];
+    const std::optional<uint32_t> slot = FindSlot(src, obs.item, obs.value);
+    if (!slot) {
+      return Status::InvalidArgument(
+          "observation " + std::to_string(o) +
+          " has no compiled slot — the matrix does not correspond to this "
+          "dataset/assignment pair");
+    }
+    const auto [begin, end] = SlotExtractions(*slot);
+    uint32_t edge = kb::kInvalidId;
+    for (uint32_t e = begin; e < end; ++e) {
+      if (ext_group_[e] == grp) {
+        edge = e;
+        break;
+      }
+    }
+    if (edge == kb::kInvalidId) {
+      return Status::InvalidArgument(
+          "observation " + std::to_string(o) +
+          " has no compiled (slot, extractor group) edge — the matrix does "
+          "not correspond to this dataset/assignment pair");
+    }
+    edges[o] = edge;
+  }
+  return edges;
+}
+
 StatusOr<AppendOutcome> CompiledMatrix::Append(
     const RawDataset& data, const ObservationDelta& delta,
     const GroupAssignment& assignment) {

@@ -156,6 +156,18 @@ class CompiledMatrix {
   /// Slot owning extraction edge `e` (inverse of SlotExtractions).
   uint32_t ext_slot(size_t e) const { return ext_slot_[e]; }
 
+  /// Maps every raw observation to the extraction edge it was compiled into:
+  /// result[i] is the edge id (index into ext_group()/ext_conf()) whose
+  /// (slot, extractor group) pair observation i contributed to. Multiple
+  /// observations map to the same edge when duplicate (slot, group) pairs
+  /// were collapsed by max-confidence dedup. Requires that this matrix
+  /// equals Build(data, assignment) — InvalidArgument when an observation's
+  /// slot or edge is absent (stale assignment / wrong dataset). Used by the
+  /// streaming layer to turn per-observation time-decay weights into
+  /// per-edge weights; O(N log S + total edge-scan).
+  StatusOr<std::vector<uint32_t>> MapObservationEdges(
+      const RawDataset& data, const GroupAssignment& assignment) const;
+
   // ---- Per-item ----
   kb::DataItemId item_id(size_t i) const { return item_ids_[i]; }
   int item_num_false(size_t i) const { return item_num_false_[i]; }

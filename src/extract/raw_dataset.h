@@ -33,6 +33,17 @@ struct RawObservation {
 struct RawDataset {
   std::vector<RawObservation> observations;
 
+  /// Optional per-observation ingestion timestamps (seconds, caller-defined
+  /// epoch), parallel to `observations`. Either empty (no temporal
+  /// information — every batch pipeline) or exactly observations.size()
+  /// entries, all non-negative; io::ValidateRawDataset enforces the
+  /// invariant. Kept as a parallel vector rather than a RawObservation
+  /// field so the compiled artifacts, the append patch path and the
+  /// io::DatasetFingerprint (which keys those artifacts, none of which
+  /// depend on time) are untouched by temporal metadata. The streaming
+  /// layer (kbt::stream) is the producer and consumer.
+  std::vector<double> observation_timestamps;
+
   /// World truth V*_d for data items (synthetic gold; partial KBs used for
   /// LCWA labels are carried separately by the eval layer).
   std::unordered_map<kb::DataItemId, kb::ValueId> true_values;

@@ -39,11 +39,16 @@ void ForGroups(dataflow::Executor* ex, size_t n,
 StatusOr<SingleLayerResult> SingleLayerModel::Run(
     const CompiledMatrix& matrix, const SingleLayerConfig& config,
     const std::vector<double>& initial_accuracy, dataflow::Executor* executor,
-    dataflow::StageTimers* timers, const std::vector<uint8_t>& initial_trusted) {
+    dataflow::StageTimers* timers, const std::vector<uint8_t>& initial_trusted,
+    const std::vector<float>* extraction_weights) {
   const size_t num_slots = matrix.num_slots();
   const size_t num_items = matrix.num_items();
   const uint32_t num_sources = matrix.num_sources();
 
+  if (extraction_weights != nullptr &&
+      extraction_weights->size() != matrix.num_extractions()) {
+    return Status::InvalidArgument("extraction_weights size mismatch");
+  }
   if (!initial_accuracy.empty() && initial_accuracy.size() != num_sources) {
     return Status::InvalidArgument("initial_accuracy size mismatch");
   }
@@ -79,17 +84,33 @@ StatusOr<SingleLayerResult> SingleLayerModel::Run(
   r.item_unobserved_value_prob.assign(num_items, 0.0);
 
   // Claim weight per slot: max extraction confidence (the provenance's own
-  // confidence in the claim), or a 0/1 threshold.
+  // confidence in the claim), or a 0/1 threshold. With extraction weights,
+  // each edge's effective (post-threshold) confidence is scaled before the
+  // max — so a slot whose freshest edge decayed carries a weaker claim; the
+  // null-weight loop is kept verbatim so that path stays bit-for-bit.
   std::vector<double> claim_weight(num_slots, 0.0);
   for (size_t s = 0; s < num_slots; ++s) {
     const auto [eb, ee] = matrix.SlotExtractions(s);
-    float best = 0.0f;
-    for (uint32_t e = eb; e < ee; ++e) {
-      best = std::max(best, matrix.ext_conf()[e]);
+    if (extraction_weights == nullptr) {
+      float best = 0.0f;
+      for (uint32_t e = eb; e < ee; ++e) {
+        best = std::max(best, matrix.ext_conf()[e]);
+      }
+      claim_weight[s] = config.use_confidence_weights
+                            ? best
+                            : (best > config.confidence_threshold ? 1.0 : 0.0);
+    } else {
+      float best = 0.0f;
+      for (uint32_t e = eb; e < ee; ++e) {
+        const float raw = matrix.ext_conf()[e];
+        const float eff =
+            config.use_confidence_weights
+                ? raw
+                : (raw > config.confidence_threshold ? 1.0f : 0.0f);
+        best = std::max(best, eff * (*extraction_weights)[e]);
+      }
+      claim_weight[s] = best;
     }
-    claim_weight[s] = config.use_confidence_weights
-                          ? best
-                          : (best > config.confidence_threshold ? 1.0 : 0.0);
   }
 
   // POPACCU popularity.

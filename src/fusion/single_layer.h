@@ -61,12 +61,17 @@ class SingleLayerModel {
   /// `initial_trusted` marks provenances whose accuracy was anchored by a
   /// gold standard; they participate even below min_source_support (the
   /// paper's "accuracy does not remain default" coverage rule).
+  /// `extraction_weights`, when non-null, holds one multiplier in [0, 1] per
+  /// extraction edge and scales each edge's confidence before the claim
+  /// weights (the streaming layer's time-decay hook); nullptr is bit-for-bit
+  /// identical to all-ones.
   static StatusOr<SingleLayerResult> Run(
       const extract::CompiledMatrix& matrix, const SingleLayerConfig& config,
       const std::vector<double>& initial_accuracy = {},
       dataflow::Executor* executor = nullptr,
       dataflow::StageTimers* timers = nullptr,
-      const std::vector<uint8_t>& initial_trusted = {});
+      const std::vector<uint8_t>& initial_trusted = {},
+      const std::vector<float>* extraction_weights = nullptr);
 };
 
 /// Mean predicted truth probability of all claim slots grouped by website:

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -85,7 +86,62 @@ uint64_t DatasetFingerprint(const extract::RawDataset& dataset) {
   return fp;
 }
 
+StatusOr<ParsedObservation> ParseObservationFields(const std::string& fields) {
+  std::istringstream in(fields);
+  ParsedObservation parsed;
+  extract::RawObservation& obs = parsed.observation;
+  int provided = 0;
+  in >> obs.extractor >> obs.pattern >> obs.website >> obs.page >> obs.item >>
+      obs.value >> obs.confidence >> provided;
+  if (in.fail()) {
+    return Status::InvalidArgument("malformed obs record '" + fields + "'");
+  }
+  obs.provided = provided != 0;
+  // Optional ninth column: the ingestion timestamp. Anything else trailing
+  // (a second extra field, non-numeric text) is malformed, not ignorable —
+  // silently dropping fields would mask format drift.
+  std::string rest;
+  if (in >> rest) {
+    char* end = nullptr;
+    parsed.timestamp = std::strtod(rest.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == rest.c_str()) {
+      return Status::InvalidArgument("malformed timestamp '" + rest +
+                                     "' in obs record");
+    }
+    if (!(parsed.timestamp >= 0.0)) {  // Also rejects NaN.
+      return Status::InvalidArgument("negative timestamp '" + rest +
+                                     "' in obs record (timestamps are "
+                                     "seconds since a caller-defined epoch "
+                                     "and must be >= 0)");
+    }
+    parsed.has_timestamp = true;
+    std::string extra;
+    if (in >> extra) {
+      return Status::InvalidArgument("trailing field '" + extra +
+                                     "' after timestamp in obs record");
+    }
+  }
+  return parsed;
+}
+
 Status ValidateRawDataset(const extract::RawDataset& dataset) {
+  if (!dataset.observation_timestamps.empty()) {
+    if (dataset.observation_timestamps.size() !=
+        dataset.observations.size()) {
+      return Status::InvalidArgument(
+          "observation_timestamps has " +
+          std::to_string(dataset.observation_timestamps.size()) +
+          " entries for " + std::to_string(dataset.observations.size()) +
+          " observations (must be empty or exactly parallel)");
+    }
+    for (size_t i = 0; i < dataset.observation_timestamps.size(); ++i) {
+      if (!(dataset.observation_timestamps[i] >= 0.0)) {  // Rejects NaN too.
+        return Status::InvalidArgument(
+            "observation " + std::to_string(i) + " has negative timestamp " +
+            std::to_string(dataset.observation_timestamps[i]));
+      }
+    }
+  }
   for (size_t i = 0; i < dataset.observations.size(); ++i) {
     const extract::RawObservation& obs = dataset.observations[i];
     const std::string what = "observation " + std::to_string(i);
@@ -140,12 +196,23 @@ Status WriteRawDataset(const std::string& path,
     out << "truth " << item << " " << value << "\n";
   }
   char buf[64];
-  for (const auto& obs : dataset.observations) {
+  const bool timestamped =
+      dataset.observation_timestamps.size() == dataset.observations.size() &&
+      !dataset.observations.empty();
+  for (size_t i = 0; i < dataset.observations.size(); ++i) {
+    const auto& obs = dataset.observations[i];
     // %.9g round-trips float exactly.
     std::snprintf(buf, sizeof(buf), "%.9g", obs.confidence);
     out << "obs " << obs.extractor << " " << obs.pattern << " " << obs.website
         << " " << obs.page << " " << obs.item << " " << obs.value << " "
-        << buf << " " << (obs.provided ? 1 : 0) << "\n";
+        << buf << " " << (obs.provided ? 1 : 0);
+    if (timestamped) {
+      // %.17g round-trips double exactly.
+      std::snprintf(buf, sizeof(buf), "%.17g",
+                    dataset.observation_timestamps[i]);
+      out << " " << buf;
+    }
+    out << "\n";
   }
   out.flush();
   if (!out) return Status::Internal("write to " + path + " failed");
@@ -196,12 +263,30 @@ StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path) {
       fields >> item >> value;
       dataset.true_values[item] = value;
     } else if (tag == "obs") {
-      extract::RawObservation obs;
-      int provided = 0;
-      fields >> obs.extractor >> obs.pattern >> obs.website >> obs.page >>
-          obs.item >> obs.value >> obs.confidence >> provided;
-      obs.provided = provided != 0;
-      dataset.observations.push_back(obs);
+      std::string rest;
+      std::getline(fields, rest);
+      StatusOr<ParsedObservation> parsed = ParseObservationFields(rest);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(parsed.status().message() +
+                                       " at line " + std::to_string(line_no));
+      }
+      // All-or-none per file: the first obs line fixes whether this file is
+      // timestamped; a mix would leave some observations with a fabricated
+      // time, which decay would then treat as real evidence age.
+      const bool first_obs = dataset.observations.empty();
+      const bool file_timestamped = !dataset.observation_timestamps.empty();
+      if (!first_obs && parsed->has_timestamp != file_timestamped) {
+        return Status::InvalidArgument(
+            std::string("obs line ") + std::to_string(line_no) +
+            (parsed->has_timestamp ? " has" : " lacks") +
+            " a timestamp but earlier obs lines " +
+            (file_timestamped ? "have" : "lack") +
+            " one (timestamps are all-or-none per file)");
+      }
+      dataset.observations.push_back(parsed->observation);
+      if (parsed->has_timestamp) {
+        dataset.observation_timestamps.push_back(parsed->timestamp);
+      }
     } else {
       return Status::InvalidArgument("unknown tag '" + tag + "' at line " +
                                      std::to_string(line_no));

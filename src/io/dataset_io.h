@@ -22,20 +22,47 @@ namespace kbt::io {
 ///   meta <num_websites> <num_pages> <num_extractors> <num_patterns>
 ///   nfalse <predicate> <n>              (one per predicate)
 ///   truth <item> <value>                (one per known true value)
-///   obs <extractor> <pattern> <website> <page> <item> <value> <conf> <provided>
+///   obs <extractor> <pattern> <website> <page> <item> <value> <conf> <provided> [<timestamp>]
+/// The trailing timestamp column is emitted only when the dataset carries
+/// observation_timestamps (see extract::RawDataset), so files written from
+/// untimestamped cubes are byte-identical to the pre-timestamp format.
 Status WriteRawDataset(const std::string& path,
                        const extract::RawDataset& dataset);
 
 /// Reads a file written by WriteRawDataset. The result is validated with
 /// ValidateRawDataset, so malformed TSV surfaces as an InvalidArgument
 /// Status here instead of out-of-range indices downstream.
+///
+/// Timestamps: `obs` lines may carry one optional trailing timestamp
+/// column. All-or-none per file — mixing timestamped and untimestamped obs
+/// lines is rejected, as are malformed or negative timestamps. Files
+/// without the column parse exactly as before (observation_timestamps
+/// stays empty).
 StatusOr<extract::RawDataset> ReadRawDataset(const std::string& path);
+
+/// One parsed `obs` line: the observation plus the optional trailing
+/// timestamp (engaged only when the line carried the ninth column).
+struct ParsedObservation {
+  extract::RawObservation observation;
+  bool has_timestamp = false;
+  double timestamp = 0.0;
+};
+
+/// Parses the fields of one `obs` record — everything after the "obs" tag:
+/// "<extractor> <pattern> <website> <page> <item> <value> <conf> <provided>
+/// [<timestamp>]". Shared by ReadRawDataset and the streaming TSV tail
+/// feed (kbt::stream::TsvTailFeed) so the two paths cannot drift.
+/// InvalidArgument on malformed fields, trailing garbage or a negative
+/// timestamp.
+StatusOr<ParsedObservation> ParseObservationFields(const std::string& fields);
 
 /// Structural validation of an observation cube:
 ///  * every observation's extractor/pattern/website/page id falls within
 ///    the dataset's meta counts, and its value id is valid;
 ///  * num_false_by_predicate covers (with n >= 1) every predicate
-///    referenced by an observation or a true-value entry.
+///    referenced by an observation or a true-value entry;
+///  * observation_timestamps is either empty or exactly parallel to the
+///    observations, with no negative entries.
 /// Everything downstream (granularity assignment, matrix compilation)
 /// indexes by these ids, so this is the precondition for the whole stack.
 Status ValidateRawDataset(const extract::RawDataset& dataset);
@@ -52,7 +79,11 @@ Status ValidateRawDataset(const extract::RawDataset& dataset);
 /// artifacts (granularity assignments, compiled matrices) across
 /// sessions, pairing it with cheap shape checks (observation/meta counts)
 /// where a stale artifact would corrupt results rather than just waste a
-/// recompile.
+/// recompile. observation_timestamps is deliberately EXCLUDED: the
+/// fingerprint keys compiled artifacts (assignments, matrices), which are
+/// pure functions of the observation content — re-timestamping a cube must
+/// not invalidate its compiled form (and the pinned golden value predates
+/// timestamps).
 uint64_t DatasetFingerprint(const extract::RawDataset& dataset);
 
 /// Writes triple predictions:

@@ -1,23 +1,69 @@
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "kbt/query.h"
 
 namespace kbt::query {
 
 std::shared_ptr<const Snapshot> SnapshotRegistry::Publish(Snapshot snapshot) {
+  return Publish(std::move(snapshot), 0.0);
+}
+
+std::shared_ptr<const Snapshot> SnapshotRegistry::Publish(
+    Snapshot snapshot, double publish_time) {
   // The allocation and the (potentially large) move happen before the
-  // lock; the critical section is a sequence stamp and two word stores.
+  // lock; the critical section is a sequence stamp and a few word stores
+  // (the ring rotation is pointer moves, never Snapshot copies).
   auto published = std::make_shared<Snapshot>(std::move(snapshot));
+  published->info_.publish_time = publish_time;
   MutexLock lock(slot_mutex_);
   const uint64_t sequence = version_.load(std::memory_order_relaxed) + 1;
   published->info_.sequence = sequence;
+  if (retention_ > 0 && current_ != nullptr) {
+    history_.push_back(std::move(current_));
+    if (history_.size() > retention_ - 1) {
+      history_.erase(history_.begin(),
+                     history_.end() - (retention_ - 1));
+    }
+  }
   current_ = published;
   // Published-then-announced: a reader that observes version() == N will
   // find a snapshot with sequence >= N behind the slot lock (the mutex
   // carries the happens-before for the pointee).
   version_.store(sequence, std::memory_order_release);
   return published;
+}
+
+void SnapshotRegistry::SetRetention(size_t capacity) {
+  MutexLock lock(slot_mutex_);
+  retention_ = capacity;
+  const size_t keep = capacity > 0 ? capacity - 1 : 0;
+  if (history_.size() > keep) {
+    history_.erase(history_.begin(), history_.end() - keep);
+  }
+}
+
+std::vector<SnapshotInfo> SnapshotRegistry::History() const {
+  MutexLock lock(slot_mutex_);
+  std::vector<SnapshotInfo> infos;
+  infos.reserve(history_.size() + (current_ != nullptr ? 1 : 0));
+  for (const auto& snapshot : history_) infos.push_back(snapshot->info());
+  if (current_ != nullptr) infos.push_back(current_->info());
+  return infos;
+}
+
+std::shared_ptr<const Snapshot> SnapshotRegistry::AsOf(double t) const {
+  MutexLock lock(slot_mutex_);
+  if (current_ != nullptr && current_->info().publish_time <= t) {
+    return current_;
+  }
+  // Newest retained generation first (the ring is ordered oldest first and
+  // publish times are expected monotone per registry).
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if ((*it)->info().publish_time <= t) return *it;
+  }
+  return nullptr;
 }
 
 std::shared_ptr<const Snapshot> SnapshotRegistry::Current() const {

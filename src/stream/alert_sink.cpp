@@ -1,0 +1,77 @@
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "kbt/stream.h"
+
+namespace kbt::stream {
+
+namespace {
+
+/// Fires `rule` for every id whose trust dropped enough between the two
+/// generations. Walks the AFTER generation's dense id space (it covers the
+/// before space too — id spaces only grow under appends) and measures the
+/// drop for ids scored on both sides.
+template <typename LookupFn>
+void EvaluateRule(const AlertRule& rule, size_t num_ids, LookupFn&& lookup,
+                  const query::Snapshot& before, const query::Snapshot& after,
+                  double now, std::vector<Alert>* out) {
+  const uint32_t first = rule.id.has_value() ? *rule.id : 0;
+  const uint32_t last = rule.id.has_value()
+                            ? *rule.id + 1
+                            : static_cast<uint32_t>(num_ids);
+  for (uint32_t id = first; id < last && id < num_ids; ++id) {
+    const std::optional<query::SourceTrust> was = lookup(before, id);
+    const std::optional<query::SourceTrust> is = lookup(after, id);
+    if (!was.has_value() || !is.has_value()) continue;
+    const double drop = was->kbt - is->kbt;
+    if (drop <= 0.0) continue;
+    if (drop < rule.min_drop) continue;
+    if (rule.min_drop_fraction > 0.0 &&
+        !(was->kbt > 0.0 && drop >= rule.min_drop_fraction * was->kbt)) {
+      continue;
+    }
+    Alert alert;
+    alert.rule = rule.name;
+    alert.target = rule.target;
+    alert.id = id;
+    alert.before_kbt = was->kbt;
+    alert.after_kbt = is->kbt;
+    alert.drop = drop;
+    alert.before_sequence = before.info().sequence;
+    alert.after_sequence = after.info().sequence;
+    alert.time = now;
+    out->push_back(std::move(alert));
+  }
+}
+
+}  // namespace
+
+void AlertSink::AddRule(AlertRule rule) { rules_.push_back(std::move(rule)); }
+
+std::vector<Alert> AlertSink::Evaluate(const query::Snapshot& before,
+                                       const query::Snapshot& after,
+                                       double now) const {
+  std::vector<Alert> fired;
+  for (const AlertRule& rule : rules_) {
+    if (rule.target == AlertTarget::kWebsites) {
+      EvaluateRule(
+          rule, after.num_websites(),
+          [](const query::Snapshot& snapshot, uint32_t id) {
+            return snapshot.WebsiteTrust(id);
+          },
+          before, after, now, &fired);
+    } else {
+      EvaluateRule(
+          rule, after.num_sources(),
+          [](const query::Snapshot& snapshot, uint32_t id) {
+            return snapshot.SourceTrust(id);
+          },
+          before, after, now, &fired);
+    }
+  }
+  return fired;
+}
+
+}  // namespace kbt::stream

@@ -1,0 +1,96 @@
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/dataset_io.h"
+#include "kbt/stream.h"
+
+namespace kbt::stream {
+
+// ---------------------------------------------------------------------------
+// QueueFeed
+// ---------------------------------------------------------------------------
+
+void QueueFeed::Push(TimedObservation observation) {
+  MutexLock lock(mutex_);
+  pending_.push_back(std::move(observation));
+}
+
+void QueueFeed::PushBatch(std::vector<TimedObservation> batch) {
+  MutexLock lock(mutex_);
+  if (pending_.empty()) {
+    pending_ = std::move(batch);
+    return;
+  }
+  pending_.insert(pending_.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+}
+
+size_t QueueFeed::pending() const {
+  MutexLock lock(mutex_);
+  return pending_.size();
+}
+
+StatusOr<std::vector<TimedObservation>> QueueFeed::Poll() {
+  std::vector<TimedObservation> drained;
+  MutexLock lock(mutex_);
+  drained.swap(pending_);
+  return drained;
+}
+
+// ---------------------------------------------------------------------------
+// TsvTailFeed
+// ---------------------------------------------------------------------------
+
+TsvTailFeed::TsvTailFeed(std::string path, double default_timestamp)
+    : path_(std::move(path)), default_timestamp_(default_timestamp) {}
+
+StatusOr<std::vector<TimedObservation>> TsvTailFeed::Poll() {
+  std::vector<TimedObservation> batch;
+  std::ifstream in(path_, std::ios::binary);
+  // A missing file is "nothing written yet", not an error: tailing starts
+  // before the writer in every bootstrap.
+  if (!in) return batch;
+  in.seekg(static_cast<std::streamoff>(bytes_consumed_));
+  if (!in) return batch;  // File shrank/rotated below our offset: wait.
+  std::string chunk((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  bytes_consumed_ += chunk.size();
+  partial_ += chunk;
+
+  // Parse every COMPLETE line; the trailing partial (no '\n' yet — a
+  // writer mid-append) carries over untouched to the next Poll.
+  size_t start = 0;
+  while (true) {
+    const size_t newline = partial_.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = partial_.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag != "obs") continue;  // meta/nfalse/truth: dataset bookkeeping.
+    std::string rest;
+    std::getline(fields, rest);
+    StatusOr<io::ParsedObservation> parsed =
+        io::ParseObservationFields(rest);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("TsvTailFeed(" + path_ +
+                                     "): " + parsed.status().message());
+    }
+    TimedObservation timed;
+    timed.observation = parsed->observation;
+    timed.timestamp =
+        parsed->has_timestamp ? parsed->timestamp : default_timestamp_;
+    batch.push_back(timed);
+  }
+  partial_.erase(0, start);
+  return batch;
+}
+
+}  // namespace kbt::stream

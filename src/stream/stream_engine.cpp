@@ -1,0 +1,204 @@
+/// StreamEngine lives in kbt_api (like runners.cpp): it drives Pipeline and
+/// ShardedPipeline, which sit above the kbt_stream module's feeds/alerts in
+/// the layer graph — compiling it here keeps the module DAG acyclic.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "kbt/stream.h"
+
+namespace kbt::stream {
+
+namespace {
+
+Status ValidateCommon(const void* pipeline,
+                      const std::shared_ptr<ObservationFeed>& feed) {
+  if (pipeline == nullptr) {
+    return Status::InvalidArgument("StreamEngine requires a pipeline");
+  }
+  if (feed == nullptr) {
+    return Status::InvalidArgument("StreamEngine requires a feed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(api::Pipeline* pipeline,
+                           api::ShardedPipeline* sharded,
+                           std::shared_ptr<ObservationFeed> feed,
+                           StreamOptions options)
+    : pipeline_(pipeline),
+      sharded_(sharded),
+      feed_(std::move(feed)),
+      options_(std::move(options)) {
+  for (const AlertRule& rule : options_.alert_rules) {
+    alerts_.AddRule(rule);
+  }
+}
+
+StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
+    api::Pipeline* pipeline, std::shared_ptr<ObservationFeed> feed,
+    StreamOptions options) {
+  KBT_RETURN_IF_ERROR(ValidateCommon(pipeline, feed));
+  std::unique_ptr<StreamEngine> engine(new StreamEngine(
+      pipeline, nullptr, std::move(feed), std::move(options)));
+  engine->pipeline_->snapshot_registry()->SetRetention(
+      engine->options_.history_capacity);
+  // Seed the decay timeline from the dataset's own timestamps when it
+  // carries them; an untimestamped seed decays as maximally old (time 0).
+  const extract::RawDataset& data = pipeline->dataset();
+  if (data.observation_timestamps.size() == data.observations.size()) {
+    engine->timeline_ = data.observation_timestamps;
+  }
+  engine->timeline_.resize(data.observations.size(), 0.0);
+  return engine;
+}
+
+StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
+    api::ShardedPipeline* pipeline, std::shared_ptr<ObservationFeed> feed,
+    StreamOptions options) {
+  KBT_RETURN_IF_ERROR(ValidateCommon(pipeline, feed));
+  if (options.decay_half_life > 0.0) {
+    return Status::InvalidArgument(
+        "time-decay is not supported on sharded backends yet: "
+        "per-shard weight scatter is future work — stream sharded "
+        "sessions with decay_half_life <= 0");
+  }
+  std::unique_ptr<StreamEngine> engine(new StreamEngine(
+      nullptr, pipeline, std::move(feed), std::move(options)));
+  engine->sharded_->snapshot_registry()->SetRetention(
+      engine->options_.history_capacity);
+  return engine;
+}
+
+StatusOr<TickResult> StreamEngine::Tick(double now) {
+  StatusOr<std::vector<TimedObservation>> polled = feed_->Poll();
+  if (!polled.ok()) return polled.status();
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (polled->empty()) {
+    empty_ticks_.fetch_add(1, std::memory_order_relaxed);
+    return TickResult{};
+  }
+  return pipeline_ != nullptr ? TickPipeline(now, std::move(*polled))
+                              : TickSharded(now, std::move(*polled));
+}
+
+StatusOr<TickResult> StreamEngine::TickPipeline(
+    double now, std::vector<TimedObservation> batch) {
+  std::vector<extract::RawObservation> observations;
+  observations.reserve(batch.size());
+  for (const TimedObservation& timed : batch) {
+    observations.push_back(timed.observation);
+  }
+  // Resync before extending: if the pipeline was appended to outside the
+  // engine, the unseen observations get time 0 (maximally old) rather than
+  // silently shifting every later timestamp onto the wrong observation.
+  timeline_.resize(pipeline_->dataset().size(), 0.0);
+  KBT_RETURN_IF_ERROR(pipeline_->AppendObservations(observations));
+  for (const TimedObservation& timed : batch) {
+    timeline_.push_back(timed.timestamp);
+  }
+
+  if (options_.decay_half_life > 0.0) {
+    std::vector<float> weights(timeline_.size());
+    for (size_t i = 0; i < timeline_.size(); ++i) {
+      const double age = now - timeline_[i];
+      // Future-dated observations clamp to full weight.
+      weights[i] = age <= 0.0
+                       ? 1.0f
+                       : static_cast<float>(
+                             std::exp2(-age / options_.decay_half_life));
+    }
+    KBT_RETURN_IF_ERROR(
+        pipeline_->SetObservationWeights(std::move(weights)));
+  }
+  // With decay off nothing is set: AppendObservations already cleared any
+  // stale weights, so the run below IS the batch path, bit for bit.
+
+  StatusOr<api::TrustReport> report =
+      (options_.warm_start && last_report_.has_value())
+          ? pipeline_->RunFrom(*last_report_)
+          : pipeline_->Run();
+  // A failed run keeps the appended observations (they re-enter inference
+  // on the next tick) and publishes nothing.
+  if (!report.ok()) return report.status();
+  last_report_ = std::move(*report);
+
+  TickResult result;
+  result.observations_ingested = batch.size();
+  result.published = true;
+  result.snapshot = pipeline_->PublishSnapshot(*last_report_, now);
+  result.sequence = result.snapshot->info().sequence;
+  FinishTick(now, &result);
+  return result;
+}
+
+StatusOr<TickResult> StreamEngine::TickSharded(
+    double now, std::vector<TimedObservation> batch) {
+  std::vector<extract::RawObservation> observations;
+  observations.reserve(batch.size());
+  for (const TimedObservation& timed : batch) {
+    observations.push_back(timed.observation);
+  }
+  KBT_RETURN_IF_ERROR(sharded_->AppendObservations(observations));
+
+  StatusOr<api::ShardedTrustReport> report =
+      (options_.warm_start && last_sharded_.has_value())
+          ? sharded_->RunFrom(*last_sharded_)
+          : sharded_->Run();
+  if (!report.ok()) return report.status();
+  last_sharded_ = std::move(*report);
+
+  TickResult result;
+  result.observations_ingested = batch.size();
+  result.published = true;
+  result.snapshot = sharded_->PublishSnapshot(*last_sharded_, now);
+  result.sequence = result.snapshot->info().sequence;
+  FinishTick(now, &result);
+  return result;
+}
+
+void StreamEngine::FinishTick(double now, TickResult* result) {
+  observations_ingested_.fetch_add(result->observations_ingested,
+                                   std::memory_order_relaxed);
+  generations_published_.fetch_add(1, std::memory_order_relaxed);
+  if (previous_snapshot_ != nullptr) {
+    result->diff = query::DiffSnapshots(*previous_snapshot_, *result->snapshot,
+                                        options_.diff_top_k);
+    // Alerts walk the FULL snapshots, independent of the diff's top-k.
+    result->alerts =
+        alerts_.Evaluate(*previous_snapshot_, *result->snapshot, now);
+    alerts_fired_.fetch_add(result->alerts.size(),
+                            std::memory_order_relaxed);
+    if (options_.alert_callback) {
+      for (const Alert& alert : result->alerts) {
+        options_.alert_callback(alert);
+      }
+    }
+  }
+  previous_snapshot_ = result->snapshot;
+}
+
+StreamStats StreamEngine::stats() const {
+  StreamStats stats;
+  stats.ticks = ticks_.load(std::memory_order_relaxed);
+  stats.empty_ticks = empty_ticks_.load(std::memory_order_relaxed);
+  stats.observations_ingested =
+      observations_ingested_.load(std::memory_order_relaxed);
+  stats.generations_published =
+      generations_published_.load(std::memory_order_relaxed);
+  stats.alerts_fired = alerts_fired_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::shared_ptr<query::SnapshotRegistry> StreamEngine::snapshot_registry()
+    const {
+  return pipeline_ != nullptr ? pipeline_->snapshot_registry()
+                              : sharded_->snapshot_registry();
+}
+
+}  // namespace kbt::stream

@@ -1,0 +1,91 @@
+// tests/support/corpus_fixture.h is shared infrastructure (stream tests,
+// benches, examples): pin its determinism and slicing contracts here so a
+// drift in the generator or the fixture glue fails loudly in one place.
+#include "support/corpus_fixture.h"
+
+#include <gtest/gtest.h>
+
+#include "io/dataset_io.h"
+
+namespace kbt::testing {
+namespace {
+
+TEST(CorpusFixtureTest, SameOptionsProduceBitIdenticalDatasets) {
+  CorpusFixtureOptions options;
+  const auto a = MakeCorpusFixture(options);
+  const auto b = MakeCorpusFixture(options);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  ASSERT_GT(a->dataset.size(), 0u);
+  // The content fingerprint covers meta counts, truth and every
+  // observation field bit-for-bit.
+  EXPECT_EQ(io::DatasetFingerprint(a->dataset),
+            io::DatasetFingerprint(b->dataset));
+  EXPECT_EQ(a->corpus.num_pages(), b->corpus.num_pages());
+}
+
+TEST(CorpusFixtureTest, DifferentSeedsProduceDifferentDatasets) {
+  CorpusFixtureOptions options;
+  const auto a = MakeCorpusFixture(options);
+  options.seed = options.seed + 1;
+  const auto b = MakeCorpusFixture(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(io::DatasetFingerprint(a->dataset),
+            io::DatasetFingerprint(b->dataset));
+}
+
+TEST(CorpusFixtureTest, FixtureValidatesAndIsPipelineReady) {
+  const auto fixture = MakeCorpusFixture();
+  ASSERT_TRUE(fixture.ok());
+  EXPECT_TRUE(io::ValidateRawDataset(fixture->dataset).ok());
+  EXPECT_GT(fixture->dataset.num_websites, 0u);
+  EXPECT_GT(fixture->dataset.num_extractors, 0u);
+  EXPECT_FALSE(fixture->dataset.true_values.empty());
+}
+
+TEST(CorpusFixtureTest, SliceObservationsPartitionsInOrder) {
+  const auto fixture = MakeCorpusFixture();
+  ASSERT_TRUE(fixture.ok());
+  const auto& all = fixture->dataset.observations;
+
+  for (const size_t num_batches : {1u, 3u, 7u}) {
+    const auto slices = SliceObservations(fixture->dataset, num_batches);
+    ASSERT_EQ(slices.size(), num_batches);
+    // Sizes differ by at most one and partition the whole set.
+    size_t total = 0;
+    size_t min_size = all.size();
+    size_t max_size = 0;
+    for (const auto& slice : slices) {
+      total += slice.size();
+      min_size = std::min(min_size, slice.size());
+      max_size = std::max(max_size, slice.size());
+    }
+    EXPECT_EQ(total, all.size()) << num_batches;
+    EXPECT_LE(max_size - min_size, 1u) << num_batches;
+    // Concatenating the slices replays the original order exactly.
+    size_t index = 0;
+    for (const auto& slice : slices) {
+      for (const auto& obs : slice) {
+        EXPECT_EQ(obs.item, all[index].item);
+        EXPECT_EQ(obs.value, all[index].value);
+        EXPECT_EQ(obs.website, all[index].website);
+        ++index;
+      }
+    }
+  }
+}
+
+TEST(CorpusFixtureTest, SliceObservationsEdgeCases) {
+  const auto fixture = MakeCorpusFixture();
+  ASSERT_TRUE(fixture.ok());
+  EXPECT_TRUE(SliceObservations(fixture->dataset, 0).empty());
+
+  extract::RawDataset empty;
+  const auto slices = SliceObservations(empty, 4);
+  ASSERT_EQ(slices.size(), 4u);
+  for (const auto& slice : slices) EXPECT_TRUE(slice.empty());
+}
+
+}  // namespace
+}  // namespace kbt::testing

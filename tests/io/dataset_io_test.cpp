@@ -254,6 +254,139 @@ TEST(DatasetIoTest, EmptyDatasetRoundTrips) {
 }
 
 // ---------------------------------------------------------------------------
+// Observation timestamps (optional trailing column)
+// ---------------------------------------------------------------------------
+
+/// OneObservationDataset() widened to two observations so the all-or-none
+/// timestamp rule has something to mix.
+extract::RawDataset TwoObservationDataset() {
+  extract::RawDataset data;
+  data.num_false_by_predicate = {10};
+  data.num_websites = 2;
+  data.num_pages = 2;
+  data.num_extractors = 1;
+  data.num_patterns = 1;
+  for (uint32_t site = 0; site < 2; ++site) {
+    extract::RawObservation obs;
+    obs.extractor = 0;
+    obs.pattern = 0;
+    obs.website = site;
+    obs.page = site;
+    obs.item = kb::MakeDataItem(1, 0);
+    obs.value = 2;
+    obs.confidence = 0.5f + 0.25f * site;
+    data.observations.push_back(obs);
+  }
+  return data;
+}
+
+TEST(DatasetIoTest, TimestampsRoundTripExactly) {
+  extract::RawDataset data = TwoObservationDataset();
+  // Values chosen to stress %.17g round-tripping (non-representable
+  // fraction, large epoch-seconds).
+  data.observation_timestamps = {0.1, 1722470400.123456};
+  const std::string path = TempPath("timestamped.tsv");
+  ASSERT_TRUE(WriteRawDataset(path, data).ok());
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->observation_timestamps.size(), 2u);
+  EXPECT_EQ(loaded->observation_timestamps[0], 0.1);
+  EXPECT_EQ(loaded->observation_timestamps[1], 1722470400.123456);
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->observations[1].confidence, 0.75f);
+}
+
+TEST(DatasetIoTest, UntimestampedFilesStayUntimestamped) {
+  extract::RawDataset data = TwoObservationDataset();
+  const std::string path = TempPath("untimestamped.tsv");
+  ASSERT_TRUE(WriteRawDataset(path, data).ok());
+  // The written file has exactly the historical 8-field obs lines.
+  std::ifstream in(path);
+  std::string line;
+  size_t obs_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("obs ", 0) != 0) continue;
+    ++obs_lines;
+    std::istringstream fields(line);
+    std::string field;
+    size_t count = 0;
+    while (fields >> field) ++count;
+    EXPECT_EQ(count, 9u) << line;  // "obs" + 8 fields, no timestamp.
+  }
+  EXPECT_EQ(obs_lines, 2u);
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->observation_timestamps.empty());
+}
+
+TEST(DatasetIoTest, NegativeTimestampRejected) {
+  const std::string path = TempPath("negative_ts.tsv");
+  std::ofstream out(path);
+  out << "# kbt-raw-dataset v1\n"
+      << "meta 1 1 1 1\n"
+      << "nfalse 0 10\n"
+      << "obs 0 0 0 0 4294967296 2 1 1 -5\n";
+  out.close();
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, MalformedTimestampRejected) {
+  const std::string path = TempPath("malformed_ts.tsv");
+  std::ofstream out(path);
+  out << "# kbt-raw-dataset v1\n"
+      << "meta 1 1 1 1\n"
+      << "nfalse 0 10\n"
+      << "obs 0 0 0 0 4294967296 2 1 1 soon\n";
+  out.close();
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, TrailingFieldAfterTimestampRejected) {
+  const std::string path = TempPath("trailing_ts.tsv");
+  std::ofstream out(path);
+  out << "# kbt-raw-dataset v1\n"
+      << "meta 1 1 1 1\n"
+      << "nfalse 0 10\n"
+      << "obs 0 0 0 0 4294967296 2 1 1 5 extra\n";
+  out.close();
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, MixedTimestampPresenceRejected) {
+  const std::string path = TempPath("mixed_ts.tsv");
+  std::ofstream out(path);
+  out << "# kbt-raw-dataset v1\n"
+      << "meta 2 2 1 1\n"
+      << "nfalse 0 10\n"
+      << "obs 0 0 0 0 4294967296 2 1 1 5\n"
+      << "obs 0 0 1 1 4294967296 2 1 1\n";  // Lacks the column: all-or-none.
+  out.close();
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("all-or-none"), std::string::npos);
+}
+
+TEST(DatasetIoTest, MismatchedTimestampCountFailsValidation) {
+  extract::RawDataset data = TwoObservationDataset();
+  data.observation_timestamps = {1.0};  // 1 entry for 2 observations.
+  EXPECT_EQ(ValidateRawDataset(data).code(), StatusCode::kInvalidArgument);
+  const std::string path = TempPath("mismatched_ts.tsv");
+  // WriteRawDataset treats a non-parallel vector as untimestamped rather
+  // than inventing stamps.
+  ASSERT_TRUE(WriteRawDataset(path, data).ok());
+  const auto loaded = ReadRawDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->observation_timestamps.empty());
+}
+
+// ---------------------------------------------------------------------------
 // DatasetFingerprint
 // ---------------------------------------------------------------------------
 

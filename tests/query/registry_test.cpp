@@ -118,6 +118,102 @@ TEST(SnapshotRegistryTest, ReadersOutliveTheRegistryOwner) {
 }
 
 // ---------------------------------------------------------------------------
+// Retention / history ring / AsOf.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotRegistryTest, DefaultRetentionKeepsOnlyTheCurrentGeneration) {
+  const auto registry = std::make_shared<SnapshotRegistry>();
+  EXPECT_TRUE(registry->History().empty());  // Nothing published yet.
+  registry->Publish(Snapshot::Build(TaggedReport(0.1)), 10.0);
+  registry->Publish(Snapshot::Build(TaggedReport(0.2)), 20.0);
+  const auto history = registry->History();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].sequence, 2u);
+  EXPECT_EQ(history[0].publish_time, 20.0);
+  // With retention 0 there is no window to travel back through.
+  EXPECT_EQ(registry->AsOf(10.0), nullptr);
+  EXPECT_NE(registry->AsOf(20.0), nullptr);
+}
+
+TEST(SnapshotRegistryTest, HistoryRingRetainsTheLastCapacityGenerations) {
+  const auto registry = std::make_shared<SnapshotRegistry>();
+  registry->SetRetention(3);
+  for (int g = 1; g <= 5; ++g) {
+    registry->Publish(Snapshot::Build(TaggedReport(0.1 * g)), 10.0 * g);
+  }
+  const auto history = registry->History();
+  ASSERT_EQ(history.size(), 3u);  // Generations 3, 4, 5, oldest first.
+  EXPECT_EQ(history[0].sequence, 3u);
+  EXPECT_EQ(history[1].sequence, 4u);
+  EXPECT_EQ(history[2].sequence, 5u);
+  EXPECT_EQ(history[0].publish_time, 30.0);
+  EXPECT_EQ(history[2].publish_time, 50.0);
+}
+
+TEST(SnapshotRegistryTest, AsOfServesTheLatestGenerationAtOrBeforeT) {
+  const auto registry = std::make_shared<SnapshotRegistry>();
+  registry->SetRetention(4);
+  registry->Publish(Snapshot::Build(TaggedReport(0.1)), 100.0);
+  registry->Publish(Snapshot::Build(TaggedReport(0.2)), 200.0);
+  registry->Publish(Snapshot::Build(TaggedReport(0.3)), 300.0);
+
+  EXPECT_EQ(registry->AsOf(99.0), nullptr);  // Before the first generation.
+  const auto at100 = registry->AsOf(100.0);  // Inclusive boundary.
+  ASSERT_NE(at100, nullptr);
+  EXPECT_EQ(at100->SourceTrust(0)->kbt, 0.1);
+  const auto mid = registry->AsOf(250.0);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->SourceTrust(0)->kbt, 0.2);
+  const auto beyond = registry->AsOf(1e12);
+  ASSERT_NE(beyond, nullptr);
+  EXPECT_EQ(beyond->SourceTrust(0)->kbt, 0.3);
+}
+
+TEST(SnapshotRegistryTest, EvictedGenerationsAreFreedOnceReadersRefresh) {
+  // The retention cap is a liveness guarantee, not just a History()
+  // truncation: once a generation falls off the ring and the last reader
+  // moves on, it must actually be destroyed.
+  const auto registry = std::make_shared<SnapshotRegistry>();
+  registry->SetRetention(2);
+  SnapshotReader reader(registry);
+
+  std::weak_ptr<const Snapshot> first =
+      registry->Publish(Snapshot::Build(TaggedReport(0.1)), 1.0);
+  ASSERT_NE(reader.view(), nullptr);  // Reader pins generation 1.
+
+  registry->Publish(Snapshot::Build(TaggedReport(0.2)), 2.0);
+  // Generation 1 is still on the ring (capacity 2) AND pinned by the
+  // reader.
+  EXPECT_FALSE(first.expired());
+
+  registry->Publish(Snapshot::Build(TaggedReport(0.3)), 3.0);
+  // Off the ring now, but the stale reader still pins it.
+  EXPECT_FALSE(first.expired());
+
+  reader.view();  // Refresh: the last reference to generation 1 drops.
+  EXPECT_TRUE(first.expired());
+  EXPECT_EQ(registry->AsOf(1.0), nullptr);  // And AsOf cannot resurrect it.
+}
+
+TEST(SnapshotRegistryTest, ShrinkingRetentionEvictsOldestImmediately) {
+  const auto registry = std::make_shared<SnapshotRegistry>();
+  registry->SetRetention(4);
+  std::weak_ptr<const Snapshot> first =
+      registry->Publish(Snapshot::Build(TaggedReport(0.1)), 1.0);
+  registry->Publish(Snapshot::Build(TaggedReport(0.2)), 2.0);
+  registry->Publish(Snapshot::Build(TaggedReport(0.3)), 3.0);
+  ASSERT_EQ(registry->History().size(), 3u);
+  EXPECT_FALSE(first.expired());
+
+  registry->SetRetention(2);
+  EXPECT_TRUE(first.expired());
+  const auto history = registry->History();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].sequence, 2u);
+  EXPECT_EQ(history[1].sequence, 3u);
+}
+
+// ---------------------------------------------------------------------------
 // Concurrency (TSan targets).
 // ---------------------------------------------------------------------------
 

@@ -273,6 +273,95 @@ TEST(SnapshotTest, DiffRanksMoversAndCountsChurn) {
   EXPECT_EQ(diff.top_website_moves[0].delta, 0.0);
 }
 
+TEST(SnapshotTest, DiffOfEmptySnapshotsIsAllZero) {
+  const Snapshot empty_a = Snapshot::Build(api::TrustReport{});
+  const Snapshot empty_b = Snapshot::Build(api::TrustReport{});
+  const SnapshotDiff diff = DiffSnapshots(empty_a, empty_b, 5);
+  EXPECT_EQ(diff.sources_added, 0u);
+  EXPECT_EQ(diff.sources_removed, 0u);
+  EXPECT_EQ(diff.websites_added, 0u);
+  EXPECT_EQ(diff.websites_removed, 0u);
+  EXPECT_EQ(diff.triples_added, 0u);
+  EXPECT_EQ(diff.triples_removed, 0u);
+  EXPECT_TRUE(diff.top_source_moves.empty());
+  EXPECT_TRUE(diff.top_website_moves.empty());
+}
+
+TEST(SnapshotTest, DiffAgainstEmptyCountsEverythingOnce) {
+  api::TrustReport report;
+  report.source_kbt = {core::KbtScore{0.9, 5.0}, core::KbtScore{0.4, 3.0}};
+  report.website_kbt = {core::KbtScore{0.8, 4.0}};
+  report.predictions = {
+      eval::TriplePrediction{kb::MakeDataItem(1, 0), 7, 0.6, true}};
+  const Snapshot empty = Snapshot::Build(api::TrustReport{});
+  const Snapshot full = Snapshot::Build(report);
+
+  const SnapshotDiff grew = DiffSnapshots(empty, full, 5);
+  EXPECT_EQ(grew.sources_added, 2u);
+  EXPECT_EQ(grew.sources_removed, 0u);
+  EXPECT_EQ(grew.websites_added, 1u);
+  EXPECT_EQ(grew.triples_added, 1u);
+  EXPECT_EQ(grew.triples_removed, 0u);
+  // No common population: ids present on only one side never "move".
+  EXPECT_TRUE(grew.top_source_moves.empty());
+
+  const SnapshotDiff shrank = DiffSnapshots(full, empty, 5);
+  EXPECT_EQ(shrank.sources_added, 0u);
+  EXPECT_EQ(shrank.sources_removed, 2u);
+  EXPECT_EQ(shrank.websites_removed, 1u);
+  EXPECT_EQ(shrank.triples_removed, 1u);
+  EXPECT_TRUE(shrank.top_source_moves.empty());
+}
+
+TEST(SnapshotTest, DiffOfDisjointTripleSetsCountsBothSidesFully) {
+  api::TrustReport before_report;
+  before_report.predictions = {
+      eval::TriplePrediction{kb::MakeDataItem(1, 0), 7, 0.6, true},
+      eval::TriplePrediction{kb::MakeDataItem(2, 0), 8, 0.7, true}};
+  api::TrustReport after_report;
+  after_report.predictions = {
+      eval::TriplePrediction{kb::MakeDataItem(3, 0), 9, 0.8, true},
+      eval::TriplePrediction{kb::MakeDataItem(1, 0), 5, 0.9, true},
+      // Same ITEM as before's first triple but a different value: the
+      // triple key is (item, value), so this is churn, not a move.
+      eval::TriplePrediction{kb::MakeDataItem(2, 0), 99, 0.1, true}};
+  const SnapshotDiff diff = DiffSnapshots(Snapshot::Build(before_report),
+                                          Snapshot::Build(after_report), 5);
+  EXPECT_EQ(diff.triples_added, 3u);
+  EXPECT_EQ(diff.triples_removed, 2u);
+}
+
+TEST(SnapshotTest, DiffBreaksIdenticalDeltaTiesByLowestId) {
+  // Every source moves by exactly |0.1| (alternating sign): the ranking
+  // has nothing but the tie-break, which must be ascending id so a
+  // truncated diff is deterministic.
+  api::TrustReport before_report;
+  api::TrustReport after_report;
+  for (int i = 0; i < 6; ++i) {
+    before_report.source_kbt.push_back(core::KbtScore{0.5, 1.0});
+    const double delta = (i % 2 == 0) ? 0.1 : -0.1;
+    after_report.source_kbt.push_back(core::KbtScore{0.5 + delta, 1.0});
+  }
+  const SnapshotDiff diff = DiffSnapshots(Snapshot::Build(before_report),
+                                          Snapshot::Build(after_report), 4);
+  ASSERT_EQ(diff.top_source_moves.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(diff.top_source_moves[i].id, i);
+  }
+}
+
+TEST(SnapshotTest, DiffWithZeroTopKReportsChurnButNoMoves) {
+  api::TrustReport before_report;
+  before_report.source_kbt = {core::KbtScore{0.9, 5.0}};
+  api::TrustReport after_report;
+  after_report.source_kbt = {core::KbtScore{0.1, 5.0}};
+  const SnapshotDiff diff = DiffSnapshots(Snapshot::Build(before_report),
+                                          Snapshot::Build(after_report), 0);
+  EXPECT_TRUE(diff.top_source_moves.empty());
+  EXPECT_EQ(diff.sources_added, 0u);
+  EXPECT_EQ(diff.sources_removed, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Pipeline integration: published snapshots serve real reports bit-for-bit,
 // including across appends, and superseded snapshots stay immutable.

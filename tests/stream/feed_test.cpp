@@ -1,0 +1,214 @@
+// ObservationFeed tests: QueueFeed (in-memory, multi-producer) and
+// TsvTailFeed (tail a growing io::WriteRawDataset file, never half-parse a
+// line a writer is mid-appending).
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kbt/stream.h"
+
+namespace kbt::stream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TimedObservation Obs(uint32_t extractor, double timestamp) {
+  TimedObservation timed;
+  timed.observation.extractor = extractor;
+  timed.timestamp = timestamp;
+  return timed;
+}
+
+// ---------------------------------------------------------------------------
+// QueueFeed
+// ---------------------------------------------------------------------------
+
+TEST(QueueFeedTest, PollDrainsInArrivalOrder) {
+  QueueFeed feed;
+  EXPECT_EQ(feed.pending(), 0u);
+  feed.Push(Obs(0, 1.0));
+  feed.Push(Obs(1, 2.0));
+  feed.PushBatch({Obs(2, 3.0), Obs(3, 4.0)});
+  EXPECT_EQ(feed.pending(), 4u);
+
+  const auto drained = feed.Poll();
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(drained->size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*drained)[i].observation.extractor, i);
+    EXPECT_EQ((*drained)[i].timestamp, i + 1.0);
+  }
+  EXPECT_EQ(feed.pending(), 0u);
+
+  const auto empty = feed.Poll();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(QueueFeedTest, PushBatchIntoEmptyQueueMovesTheVector) {
+  QueueFeed feed;
+  std::vector<TimedObservation> batch = {Obs(7, 1.0), Obs(8, 2.0)};
+  feed.PushBatch(std::move(batch));
+  const auto drained = feed.Poll();
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(drained->size(), 2u);
+  EXPECT_EQ((*drained)[0].observation.extractor, 7u);
+}
+
+TEST(QueueFeedTest, ConcurrentProducersLoseNothing) {
+  // Producers push while a consumer polls — every observation must come
+  // out exactly once. Run under TSan this also proves the locking.
+  QueueFeed feed;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&feed, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        feed.Push(Obs(static_cast<uint32_t>(p), static_cast<double>(i)));
+      }
+    });
+  }
+  std::vector<TimedObservation> all;
+  while (all.size() < kProducers * kPerProducer) {
+    const auto polled = feed.Poll();
+    ASSERT_TRUE(polled.ok());
+    all.insert(all.end(), polled->begin(), polled->end());
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(feed.pending(), 0u);
+
+  // Per-producer order is preserved and nothing duplicated: each
+  // producer's timestamps come out strictly increasing, 0..kPerProducer-1.
+  std::vector<double> next(kProducers, 0.0);
+  for (const TimedObservation& obs : all) {
+    const uint32_t p = obs.observation.extractor;
+    ASSERT_LT(p, static_cast<uint32_t>(kProducers));
+    EXPECT_EQ(obs.timestamp, next[p]);
+    next[p] += 1.0;
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[p], static_cast<double>(kPerProducer));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TsvTailFeed
+// ---------------------------------------------------------------------------
+
+void AppendTo(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  ASSERT_TRUE(out.is_open());
+  out << text;
+}
+
+TEST(TsvTailFeedTest, MissingFileIsEmptyNotAnError) {
+  TsvTailFeed feed(TempPath("no_such_feed.tsv"));
+  const auto polled = feed.Poll();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_TRUE(polled->empty());
+  EXPECT_EQ(feed.bytes_consumed(), 0u);
+}
+
+TEST(TsvTailFeedTest, TailsObsLinesAndSkipsDatasetBookkeeping) {
+  const std::string path = TempPath("tail_basic.tsv");
+  std::remove(path.c_str());
+  AppendTo(path,
+           "# kbt-raw-dataset v1\n"
+           "meta 2 2 1 1\n"
+           "nfalse 0 10\n"
+           "truth 5 1\n"
+           "obs 0 0 0 0 5 1 0.75 1\n"
+           "\n"
+           "obs 0 0 1 1 5 2 0.5 0 42.5\n");
+  TsvTailFeed feed(path, /*default_timestamp=*/7.0);
+  const auto polled = feed.Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  ASSERT_EQ(polled->size(), 2u);
+  // Untimestamped line falls back to the feed default.
+  EXPECT_EQ((*polled)[0].timestamp, 7.0);
+  EXPECT_EQ((*polled)[0].observation.website, 0u);
+  EXPECT_EQ((*polled)[0].observation.confidence, 0.75f);
+  EXPECT_TRUE((*polled)[0].observation.provided);
+  // Timestamped line keeps its own stamp.
+  EXPECT_EQ((*polled)[1].timestamp, 42.5);
+  EXPECT_EQ((*polled)[1].observation.value, 2u);
+  EXPECT_FALSE((*polled)[1].observation.provided);
+
+  // Nothing new: the next poll is empty, not a re-read.
+  const auto again = feed.Poll();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->empty());
+}
+
+TEST(TsvTailFeedTest, PartialLineCarriesOverToTheNextPoll) {
+  const std::string path = TempPath("tail_partial.tsv");
+  std::remove(path.c_str());
+  // Writer appends a complete line plus the first half of another.
+  AppendTo(path,
+           "obs 0 0 0 0 5 1 1 1 10\n"
+           "obs 0 0 1 1 5 2");
+  TsvTailFeed feed(path);
+  const auto first = feed.Poll();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->size(), 1u);
+  EXPECT_EQ((*first)[0].timestamp, 10.0);
+
+  // The half-line alone is not parsed — no spurious malformed error.
+  const auto nothing = feed.Poll();
+  ASSERT_TRUE(nothing.ok());
+  EXPECT_TRUE(nothing->empty());
+
+  // Writer completes the line: it parses whole.
+  AppendTo(path, " 1 0 20\n");
+  const auto second = feed.Poll();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second->size(), 1u);
+  EXPECT_EQ((*second)[0].observation.website, 1u);
+  EXPECT_EQ((*second)[0].observation.value, 2u);
+  EXPECT_EQ((*second)[0].timestamp, 20.0);
+}
+
+TEST(TsvTailFeedTest, MalformedCompletedLineFailsThePoll) {
+  const std::string path = TempPath("tail_malformed.tsv");
+  std::remove(path.c_str());
+  AppendTo(path, "obs 0 0 not-a-number 0 5 1 1 1\n");
+  TsvTailFeed feed(path);
+  const auto polled = feed.Poll();
+  ASSERT_FALSE(polled.ok());
+  EXPECT_EQ(polled.status().code(), StatusCode::kInvalidArgument);
+  // The error names the feed so multi-feed services can attribute it.
+  EXPECT_NE(polled.status().message().find(path), std::string::npos);
+}
+
+TEST(TsvTailFeedTest, NegativeTimestampIsRejected) {
+  const std::string path = TempPath("tail_negative_ts.tsv");
+  std::remove(path.c_str());
+  AppendTo(path, "obs 0 0 0 0 5 1 1 1 -3\n");
+  TsvTailFeed feed(path);
+  const auto polled = feed.Poll();
+  ASSERT_FALSE(polled.ok());
+  EXPECT_EQ(polled.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TsvTailFeedTest, CrLfLinesParse) {
+  const std::string path = TempPath("tail_crlf.tsv");
+  std::remove(path.c_str());
+  AppendTo(path, "obs 0 0 0 0 5 1 1 1 10\r\n");
+  TsvTailFeed feed(path);
+  const auto polled = feed.Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  ASSERT_EQ(polled->size(), 1u);
+  EXPECT_EQ((*polled)[0].timestamp, 10.0);
+}
+
+}  // namespace
+}  // namespace kbt::stream

@@ -1,0 +1,523 @@
+// StreamEngine tests. The load-bearing guarantee: with decay off, one
+// Tick is EXACTLY the batch path — AppendObservations + Run/RunFrom +
+// PublishSnapshot — bit for bit, on plain and sharded backends alike. On
+// top of that: time-decay semantics, snapshot history / AsOf time travel,
+// and top-mover alerts across generations.
+#include "kbt/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "kbt/kbt.h"
+#include "kbt/shard.h"
+#include "support/corpus_fixture.h"
+
+namespace kbt::stream {
+namespace {
+
+api::Options SmallOptions() {
+  api::Options options;
+  options.granularity = api::Granularity::kPageSource;
+  options.multilayer.min_source_support = 1;
+  options.multilayer.min_extractor_support = 1;
+  return options;
+}
+
+/// The generated fixture cube, with only the first slice's observations
+/// kept as the seed (the remaining slices replay through feeds).
+struct StreamWorld {
+  extract::RawDataset seed;
+  std::vector<std::vector<extract::RawObservation>> batches;
+};
+
+StreamWorld MakeStreamWorld(size_t num_batches) {
+  kbt::testing::CorpusFixtureOptions options;
+  options.num_subjects = 80;
+  options.num_websites = 25;
+  options.num_extractors = 4;
+  auto fixture = kbt::testing::MakeCorpusFixture(options);
+  EXPECT_TRUE(fixture.ok());
+  StreamWorld world;
+  world.batches =
+      kbt::testing::SliceObservations(fixture->dataset, num_batches + 1);
+  world.seed = std::move(fixture->dataset);
+  world.seed.observations = std::move(world.batches.front());
+  world.batches.erase(world.batches.begin());
+  return world;
+}
+
+std::vector<TimedObservation> Timed(
+    const std::vector<extract::RawObservation>& batch, double timestamp) {
+  std::vector<TimedObservation> timed;
+  timed.reserve(batch.size());
+  for (const extract::RawObservation& obs : batch) {
+    timed.push_back(TimedObservation{obs, timestamp});
+  }
+  return timed;
+}
+
+void ExpectSnapshotsEqual(const query::Snapshot& a, const query::Snapshot& b) {
+  ASSERT_EQ(a.num_sources(), b.num_sources());
+  ASSERT_EQ(a.num_websites(), b.num_websites());
+  ASSERT_EQ(a.num_triples(), b.num_triples());
+  for (uint32_t s = 0; s < a.num_sources(); ++s) {
+    const auto sa = a.SourceTrust(s);
+    const auto sb = b.SourceTrust(s);
+    ASSERT_TRUE(sa.has_value());
+    ASSERT_TRUE(sb.has_value());
+    // Bit-for-bit: both paths must execute the same float program.
+    ASSERT_EQ(sa->kbt, sb->kbt) << "source " << s;
+    ASSERT_EQ(sa->evidence, sb->evidence) << "source " << s;
+  }
+  for (uint32_t w = 0; w < a.num_websites(); ++w) {
+    const auto wa = a.WebsiteTrust(w);
+    const auto wb = b.WebsiteTrust(w);
+    ASSERT_TRUE(wa.has_value());
+    ASSERT_TRUE(wb.has_value());
+    ASSERT_EQ(wa->kbt, wb->kbt) << "website " << w;
+    ASSERT_EQ(wa->evidence, wb->evidence) << "website " << w;
+  }
+  const auto ta = a.TopKTriples(a.num_triples());
+  const auto tb = b.TopKTriples(b.num_triples());
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i].item, tb[i].item) << i;
+    ASSERT_EQ(ta[i].value, tb[i].value) << i;
+    ASSERT_EQ(ta[i].probability, tb[i].probability) << i;
+    ASSERT_EQ(ta[i].covered, tb[i].covered) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decay-off parity: tick == batch, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEngineParityTest, DecayOffTicksMatchBatchPipelineBitForBit) {
+  const StreamWorld world = MakeStreamWorld(2);
+
+  auto streamed = api::PipelineBuilder()
+                      .FromDataset(world.seed)
+                      .WithOptions(SmallOptions())
+                      .Build();
+  ASSERT_TRUE(streamed.ok());
+  auto batch = api::PipelineBuilder()
+                   .FromDataset(world.seed)
+                   .WithOptions(SmallOptions())
+                   .Build();
+  ASSERT_TRUE(batch.ok());
+
+  auto feed = std::make_shared<QueueFeed>();
+  auto engine =
+      StreamEngine::Create(&*streamed, feed, StreamOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // First tick: no previous report, so the engine cold-runs — exactly
+  // append + Run() + publish.
+  feed->PushBatch(Timed(world.batches[0], 10.0));
+  const auto tick1 = (*engine)->Tick(10.0);
+  ASSERT_TRUE(tick1.ok()) << tick1.status().ToString();
+  ASSERT_TRUE(tick1->published);
+  EXPECT_EQ(tick1->observations_ingested, world.batches[0].size());
+  EXPECT_FALSE(tick1->diff.has_value());
+
+  ASSERT_TRUE(batch->AppendObservations(world.batches[0]).ok());
+  const auto run1 = batch->Run();
+  ASSERT_TRUE(run1.ok());
+  const auto published1 = batch->PublishSnapshot(*run1, 10.0);
+  ExpectSnapshotsEqual(*tick1->snapshot, *published1);
+
+  // Second tick warm-starts from the first: append + RunFrom + publish.
+  feed->PushBatch(Timed(world.batches[1], 20.0));
+  const auto tick2 = (*engine)->Tick(20.0);
+  ASSERT_TRUE(tick2.ok()) << tick2.status().ToString();
+  ASSERT_TRUE(tick2->published);
+  ASSERT_TRUE(tick2->diff.has_value());
+  EXPECT_EQ(tick2->diff->before_sequence, tick1->sequence);
+  EXPECT_EQ(tick2->diff->after_sequence, tick2->sequence);
+
+  ASSERT_TRUE(batch->AppendObservations(world.batches[1]).ok());
+  const auto run2 = batch->RunFrom(*run1);
+  ASSERT_TRUE(run2.ok());
+  const auto published2 = batch->PublishSnapshot(*run2, 20.0);
+  ExpectSnapshotsEqual(*tick2->snapshot, *published2);
+
+  const StreamStats stats = (*engine)->stats();
+  EXPECT_EQ(stats.ticks, 2u);
+  EXPECT_EQ(stats.empty_ticks, 0u);
+  EXPECT_EQ(stats.generations_published, 2u);
+  EXPECT_EQ(stats.observations_ingested,
+            world.batches[0].size() + world.batches[1].size());
+}
+
+TEST(StreamEngineParityTest, ColdStartOptionRerunsFromPriorsEachTick) {
+  const StreamWorld world = MakeStreamWorld(2);
+  auto streamed = api::PipelineBuilder()
+                      .FromDataset(world.seed)
+                      .WithOptions(SmallOptions())
+                      .Build();
+  ASSERT_TRUE(streamed.ok());
+  auto batch = api::PipelineBuilder()
+                   .FromDataset(world.seed)
+                   .WithOptions(SmallOptions())
+                   .Build();
+  ASSERT_TRUE(batch.ok());
+
+  StreamOptions options;
+  options.warm_start = false;
+  auto feed = std::make_shared<QueueFeed>();
+  auto engine = StreamEngine::Create(&*streamed, feed, options);
+  ASSERT_TRUE(engine.ok());
+
+  feed->PushBatch(Timed(world.batches[0], 1.0));
+  ASSERT_TRUE((*engine)->Tick(1.0).ok());
+  feed->PushBatch(Timed(world.batches[1], 2.0));
+  const auto tick2 = (*engine)->Tick(2.0);
+  ASSERT_TRUE(tick2.ok());
+
+  ASSERT_TRUE(batch->AppendObservations(world.batches[0]).ok());
+  ASSERT_TRUE(batch->AppendObservations(world.batches[1]).ok());
+  const auto cold = batch->Run();  // cold: priors, not the previous report
+  ASSERT_TRUE(cold.ok());
+  ExpectSnapshotsEqual(*tick2->snapshot, *batch->PublishSnapshot(*cold));
+}
+
+TEST(StreamEngineParityTest, ShardedTicksMatchShardedBatchBitForBit) {
+  const StreamWorld world = MakeStreamWorld(2);
+  api::ShardOptions shard_options;
+  shard_options.num_shards = 3;
+
+  auto streamed = api::ShardedPipeline::Create(world.seed, SmallOptions(),
+                                               shard_options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  auto batch = api::ShardedPipeline::Create(world.seed, SmallOptions(),
+                                            shard_options);
+  ASSERT_TRUE(batch.ok());
+
+  auto feed = std::make_shared<QueueFeed>();
+  auto engine = StreamEngine::Create(&*streamed, feed, StreamOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  feed->PushBatch(Timed(world.batches[0], 10.0));
+  const auto tick1 = (*engine)->Tick(10.0);
+  ASSERT_TRUE(tick1.ok()) << tick1.status().ToString();
+  ASSERT_TRUE(batch->AppendObservations(world.batches[0]).ok());
+  const auto run1 = batch->Run();
+  ASSERT_TRUE(run1.ok());
+  ExpectSnapshotsEqual(*tick1->snapshot, *batch->PublishSnapshot(*run1, 10.0));
+
+  // Warm-started second tick: each shard re-runs from its own report.
+  feed->PushBatch(Timed(world.batches[1], 20.0));
+  const auto tick2 = (*engine)->Tick(20.0);
+  ASSERT_TRUE(tick2.ok());
+  ASSERT_TRUE(batch->AppendObservations(world.batches[1]).ok());
+  const auto run2 = batch->RunFrom(*run1);
+  ASSERT_TRUE(run2.ok());
+  ExpectSnapshotsEqual(*tick2->snapshot, *batch->PublishSnapshot(*run2, 20.0));
+}
+
+// ---------------------------------------------------------------------------
+// Engine contract details.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEngineTest, EmptyFeedTickIsANoOp) {
+  const StreamWorld world = MakeStreamWorld(1);
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(world.seed)
+                      .WithOptions(SmallOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  auto feed = std::make_shared<QueueFeed>();
+  auto engine = StreamEngine::Create(&*pipeline, feed, StreamOptions{});
+  ASSERT_TRUE(engine.ok());
+
+  const auto tick = (*engine)->Tick(1.0);
+  ASSERT_TRUE(tick.ok());
+  EXPECT_FALSE(tick->published);
+  EXPECT_EQ(tick->observations_ingested, 0u);
+  EXPECT_EQ(tick->snapshot, nullptr);
+  const StreamStats stats = (*engine)->stats();
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_EQ(stats.empty_ticks, 1u);
+  EXPECT_EQ(stats.generations_published, 0u);
+  // Nothing was published on the registry either.
+  EXPECT_EQ((*engine)->snapshot_registry()->version(), 0u);
+}
+
+TEST(StreamEngineTest, NullPipelineOrFeedIsRejected) {
+  auto feed = std::make_shared<QueueFeed>();
+  EXPECT_EQ(StreamEngine::Create(static_cast<api::Pipeline*>(nullptr), feed,
+                                 StreamOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  const StreamWorld world = MakeStreamWorld(1);
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(world.seed)
+                      .WithOptions(SmallOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ(StreamEngine::Create(&*pipeline, nullptr, StreamOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamEngineTest, DecayOnShardedBackendIsRejected) {
+  const StreamWorld world = MakeStreamWorld(1);
+  auto sharded = api::ShardedPipeline::Create(world.seed, SmallOptions(),
+                                              api::ShardOptions{});
+  ASSERT_TRUE(sharded.ok());
+  StreamOptions options;
+  options.decay_half_life = 60.0;
+  const auto engine =
+      StreamEngine::Create(&*sharded, std::make_shared<QueueFeed>(), options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamEngineTest, RejectedAppendPoisonsTheTickButNotTheEngine) {
+  const StreamWorld world = MakeStreamWorld(2);
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(world.seed)
+                      .WithOptions(SmallOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  auto feed = std::make_shared<QueueFeed>();
+  auto engine = StreamEngine::Create(&*pipeline, feed, StreamOptions{});
+  ASSERT_TRUE(engine.ok());
+
+  extract::RawObservation bad = world.batches[0][0];
+  bad.value = kb::kInvalidId;
+  feed->Push(TimedObservation{bad, 1.0});
+  const auto poisoned = (*engine)->Tick(1.0);
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kInvalidArgument);
+  // The batch was rejected whole: the dataset is untouched and the next
+  // (well-formed) tick proceeds normally.
+  EXPECT_EQ(pipeline->dataset().size(), world.seed.size());
+  feed->PushBatch(Timed(world.batches[0], 2.0));
+  const auto recovered = (*engine)->Tick(2.0);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->published);
+}
+
+// ---------------------------------------------------------------------------
+// Time-decay semantics.
+// ---------------------------------------------------------------------------
+
+/// One-extractor observation: site `site` (page = site) claims `value` for
+/// item `item`.
+extract::RawObservation Claim(uint32_t site, uint32_t item, kb::ValueId value,
+                              float confidence = 1.0f) {
+  extract::RawObservation obs;
+  obs.extractor = 0;
+  obs.pattern = 0;
+  obs.website = site;
+  obs.page = site;
+  obs.item = kb::MakeDataItem(item, 0);
+  obs.value = value;
+  obs.confidence = confidence;
+  return obs;
+}
+
+/// `num_sites` sites, one page each, one extractor, predicate 0 (n = 10).
+extract::RawDataset TinyCube(uint32_t num_sites) {
+  extract::RawDataset data;
+  data.num_false_by_predicate = {10};
+  data.num_websites = num_sites;
+  data.num_pages = num_sites;
+  data.num_extractors = 1;
+  data.num_patterns = 1;
+  return data;
+}
+
+TEST(StreamDecayTest, FreshClaimsOutweighDecayedOnes) {
+  // Site 0 claimed value 1 at t = 0; site 1 claims value 2 at t = 1000.
+  // With a 100 s half-life evaluated at t = 1000 the old claim carries
+  // weight 2^-10 — the fresh claim must dominate the item's belief. With
+  // decay off the two claims stay symmetric.
+  auto run_stream = [](double half_life) {
+    extract::RawDataset seed = TinyCube(2);
+    seed.observations = {Claim(0, 0, 1)};
+    seed.observation_timestamps = {0.0};
+    auto pipeline = api::PipelineBuilder()
+                        .FromDataset(std::move(seed))
+                        .WithOptions(SmallOptions())
+                        .Build();
+    EXPECT_TRUE(pipeline.ok());
+    auto feed = std::make_shared<QueueFeed>();
+    StreamOptions options;
+    options.decay_half_life = half_life;
+    auto engine = StreamEngine::Create(&*pipeline, feed, options);
+    EXPECT_TRUE(engine.ok());
+    feed->Push(TimedObservation{Claim(1, 0, 2), 1000.0});
+    auto tick = (*engine)->Tick(1000.0);
+    EXPECT_TRUE(tick.ok()) << tick.status().ToString();
+    const auto old_claim = tick->snapshot->TripleTruth(kb::MakeDataItem(0, 0), 1);
+    const auto new_claim = tick->snapshot->TripleTruth(kb::MakeDataItem(0, 0), 2);
+    EXPECT_TRUE(old_claim.has_value());
+    EXPECT_TRUE(new_claim.has_value());
+    return std::make_pair(old_claim->probability, new_claim->probability);
+  };
+
+  const auto decayed = run_stream(100.0);
+  EXPECT_GT(decayed.second, decayed.first)
+      << "fresh claim must dominate under decay";
+
+  const auto undecayed = run_stream(0.0);
+  EXPECT_EQ(undecayed.first, undecayed.second)
+      << "identical claims must stay symmetric without decay";
+}
+
+TEST(StreamDecayTest, FutureDatedObservationsClampToFullWeight) {
+  extract::RawDataset seed = TinyCube(2);
+  seed.observations = {Claim(0, 0, 1)};
+  seed.observation_timestamps = {50.0};
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(std::move(seed))
+                      .WithOptions(SmallOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  auto feed = std::make_shared<QueueFeed>();
+  StreamOptions options;
+  options.decay_half_life = 10.0;
+  auto engine = StreamEngine::Create(&*pipeline, feed, options);
+  ASSERT_TRUE(engine.ok());
+  // Both observations are at-or-after `now` (= 40): both clamp to weight 1,
+  // so beliefs stay symmetric — a future date is not a boost.
+  feed->Push(TimedObservation{Claim(1, 0, 2), 40.0});
+  const auto tick = (*engine)->Tick(40.0);
+  ASSERT_TRUE(tick.ok());
+  const auto a = tick->snapshot->TripleTruth(kb::MakeDataItem(0, 0), 1);
+  const auto b = tick->snapshot->TripleTruth(kb::MakeDataItem(0, 0), 2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->probability, b->probability);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: history, AsOf and alerts across >= 3 generations.
+// ---------------------------------------------------------------------------
+
+TEST(StreamHistoryTest, AsOfAndTrustDropAlertsAcrossGenerations) {
+  // Seed: four sites agree on items 0-1. Generation 2 has site 3 contradict
+  // the consensus on items 3-5, so its trust must drop and the watching
+  // rules must fire.
+  extract::RawDataset seed = TinyCube(4);
+  for (uint32_t site = 0; site < 4; ++site) {
+    seed.observations.push_back(Claim(site, 0, 1));
+    seed.observations.push_back(Claim(site, 1, 1));
+  }
+
+  auto pipeline = api::PipelineBuilder()
+                      .FromDataset(std::move(seed))
+                      .WithOptions(SmallOptions())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+
+  std::vector<Alert> callback_alerts;
+  StreamOptions options;
+  options.history_capacity = 3;
+  options.diff_top_k = 8;
+  options.alert_rules.push_back(
+      AlertRule{"any-drop-site-3", AlertTarget::kWebsites, 0.0, 0.0, 3});
+  options.alert_rules.push_back(
+      AlertRule{"relative-drop", AlertTarget::kWebsites, 0.0, 0.05,
+                std::nullopt});
+  options.alert_callback = [&callback_alerts](const Alert& alert) {
+    callback_alerts.push_back(alert);
+  };
+
+  auto feed = std::make_shared<QueueFeed>();
+  auto engine = StreamEngine::Create(&*pipeline, feed, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Generation 1 (t = 100): more consensus.
+  std::vector<TimedObservation> gen1;
+  for (uint32_t site = 0; site < 4; ++site) {
+    gen1.push_back(TimedObservation{Claim(site, 2, 1), 100.0});
+  }
+  feed->PushBatch(gen1);
+  const auto tick1 = (*engine)->Tick(100.0);
+  ASSERT_TRUE(tick1.ok()) << tick1.status().ToString();
+  EXPECT_TRUE(tick1->alerts.empty());  // Nothing to compare against yet.
+  const double site3_before = tick1->snapshot->WebsiteTrust(3)->kbt;
+
+  // Generation 2 (t = 200): site 3 turns against the consensus.
+  std::vector<TimedObservation> gen2;
+  for (uint32_t item = 3; item <= 5; ++item) {
+    for (uint32_t site = 0; site < 3; ++site) {
+      gen2.push_back(TimedObservation{Claim(site, item, 1), 200.0});
+    }
+    gen2.push_back(TimedObservation{Claim(3, item, 2), 200.0});
+  }
+  feed->PushBatch(gen2);
+  const auto tick2 = (*engine)->Tick(200.0);
+  ASSERT_TRUE(tick2.ok());
+  const double site3_after = tick2->snapshot->WebsiteTrust(3)->kbt;
+  ASSERT_LT(site3_after, site3_before);
+
+  // The id-pinned rule fired, stamped with the movement it measured.
+  ASSERT_FALSE(tick2->alerts.empty());
+  const Alert& alert = tick2->alerts.front();
+  EXPECT_EQ(alert.rule, "any-drop-site-3");
+  EXPECT_EQ(alert.id, 3u);
+  EXPECT_EQ(alert.before_kbt, site3_before);
+  EXPECT_EQ(alert.after_kbt, site3_after);
+  EXPECT_EQ(alert.before_sequence, tick1->sequence);
+  EXPECT_EQ(alert.after_sequence, tick2->sequence);
+  EXPECT_EQ(alert.time, 200.0);
+  // The callback saw exactly the returned alerts, in order.
+  ASSERT_EQ(callback_alerts.size(), tick2->alerts.size());
+  EXPECT_EQ(callback_alerts.front().rule, tick2->alerts.front().rule);
+  // The diff ranks site 3 among the movers.
+  ASSERT_TRUE(tick2->diff.has_value());
+  bool site3_moved = false;
+  for (const query::SourceMove& move : tick2->diff->top_website_moves) {
+    if (move.id == 3 && move.delta < 0.0) site3_moved = true;
+  }
+  EXPECT_TRUE(site3_moved);
+
+  // Generation 3 (t = 300): consensus resumes.
+  std::vector<TimedObservation> gen3;
+  for (uint32_t site = 0; site < 4; ++site) {
+    gen3.push_back(TimedObservation{Claim(site, 6, 1), 300.0});
+  }
+  feed->PushBatch(gen3);
+  const auto tick3 = (*engine)->Tick(300.0);
+  ASSERT_TRUE(tick3.ok());
+
+  // History retains all three generations, oldest first.
+  const auto registry = (*engine)->snapshot_registry();
+  const auto history = registry->History();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].sequence, tick1->sequence);
+  EXPECT_EQ(history[0].publish_time, 100.0);
+  EXPECT_EQ(history[2].sequence, tick3->sequence);
+  EXPECT_EQ(history[2].publish_time, 300.0);
+
+  // AsOf time travel across the ring.
+  EXPECT_EQ(registry->AsOf(50.0), nullptr);  // Before the first generation.
+  const auto at100 = registry->AsOf(100.0);
+  ASSERT_NE(at100, nullptr);
+  EXPECT_EQ(at100->info().sequence, tick1->sequence);
+  const auto at250 = registry->AsOf(250.0);
+  ASSERT_NE(at250, nullptr);
+  EXPECT_EQ(at250->info().sequence, tick2->sequence);
+  // The generation-2 view really serves the pre-recovery scores.
+  EXPECT_EQ(at250->WebsiteTrust(3)->kbt, site3_after);
+  const auto latest = registry->AsOf(1e9);
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->info().sequence, tick3->sequence);
+
+  const StreamStats stats = (*engine)->stats();
+  EXPECT_EQ(stats.generations_published, 3u);
+  EXPECT_EQ(stats.alerts_fired, callback_alerts.size());
+}
+
+}  // namespace
+}  // namespace kbt::stream

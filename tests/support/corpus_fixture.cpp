@@ -1,0 +1,59 @@
+#include "support/corpus_fixture.h"
+
+#include <utility>
+
+#include "common/random.h"
+#include "corpus/corpus_generator.h"
+#include "extract/extraction_simulator.h"
+#include "extract/extractor_profile.h"
+
+namespace kbt::testing {
+
+StatusOr<CorpusFixture> MakeCorpusFixture(const CorpusFixtureOptions& options) {
+  corpus::CorpusConfig config;
+  config.seed = options.seed;
+  config.num_subjects = options.num_subjects;
+  config.num_predicates = options.num_predicates;
+  config.values_per_domain = options.values_per_domain;
+  config.num_websites = options.num_websites;
+  config.max_pages_per_site = options.max_pages_per_site;
+  config.max_triples_per_page = options.max_triples_per_page;
+  StatusOr<corpus::WebCorpus> corpus =
+      corpus::CorpusGenerator(config).Generate();
+  KBT_RETURN_IF_ERROR(corpus.status());
+
+  extract::ExtractionConfig extraction;
+  // Fork the extraction seed off the fixture seed so distinct fixtures get
+  // decorrelated extractor noise, while the whole fixture stays a pure
+  // function of the options.
+  extraction.seed = options.seed * 1000003 + 17;
+  Rng rng(extraction.seed);
+  extraction.extractors = extract::MakeDefaultExtractors(
+      options.num_extractors, options.num_predicates, rng);
+  StatusOr<extract::RawDataset> dataset =
+      extract::ExtractionSimulator(extraction).Run(*corpus);
+  KBT_RETURN_IF_ERROR(dataset.status());
+
+  CorpusFixture fixture{std::move(*corpus), std::move(*dataset)};
+  return fixture;
+}
+
+std::vector<std::vector<extract::RawObservation>> SliceObservations(
+    const extract::RawDataset& dataset, size_t num_batches) {
+  std::vector<std::vector<extract::RawObservation>> slices;
+  if (num_batches == 0) return slices;
+  slices.resize(num_batches);
+  const size_t total = dataset.observations.size();
+  const size_t base = total / num_batches;
+  const size_t remainder = total % num_batches;
+  size_t next = 0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t count = base + (b < remainder ? 1 : 0);
+    slices[b].assign(dataset.observations.begin() + next,
+                     dataset.observations.begin() + next + count);
+    next += count;
+  }
+  return slices;
+}
+
+}  // namespace kbt::testing

@@ -1,0 +1,52 @@
+#ifndef KBT_TESTS_SUPPORT_CORPUS_FIXTURE_H_
+#define KBT_TESTS_SUPPORT_CORPUS_FIXTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/web_corpus.h"
+#include "extract/raw_dataset.h"
+
+namespace kbt::testing {
+
+/// Knobs of the shared test corpus. Defaults are sized for unit tests: a
+/// few hundred observations, fast enough for sanitizer runs, but with the
+/// full generator structure (category mix, scrapers, popular errors, noisy
+/// extractors) so fixtures exercise realistic cubes instead of hand-rolled
+/// toy data. The same options (including seed) always produce the same
+/// fixture, bit for bit.
+struct CorpusFixtureOptions {
+  uint64_t seed = 42;
+  int num_subjects = 150;
+  int num_predicates = 5;
+  int values_per_domain = 10;
+  int num_websites = 40;
+  int max_pages_per_site = 8;
+  int max_triples_per_page = 15;
+  int num_extractors = 6;
+};
+
+/// A generated web world plus the observation cube a simulated extractor
+/// fleet produced over it — the standard input for pipeline-level tests,
+/// stream tests and benches.
+struct CorpusFixture {
+  corpus::WebCorpus corpus;
+  extract::RawDataset dataset;
+};
+
+/// Generates the corpus and runs the extraction pass. Deterministic in
+/// `options` (the extraction fleet derives its seed from options.seed).
+StatusOr<CorpusFixture> MakeCorpusFixture(
+    const CorpusFixtureOptions& options = CorpusFixtureOptions());
+
+/// Splits a dataset's observations into `num_batches` contiguous slices
+/// (sizes differ by at most one), preserving order — the canonical way to
+/// replay a batch cube as a stream of ingestion batches. num_batches == 0
+/// returns no slices; empty datasets return num_batches empty slices.
+std::vector<std::vector<extract::RawObservation>> SliceObservations(
+    const extract::RawDataset& dataset, size_t num_batches);
+
+}  // namespace kbt::testing
+
+#endif  // KBT_TESTS_SUPPORT_CORPUS_FIXTURE_H_
