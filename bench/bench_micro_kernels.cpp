@@ -1,14 +1,19 @@
 // google-benchmark microbenchmarks of the inference kernels: vote
-// computation, sigmoid/log-sum-exp, matrix compilation, one EM iteration,
-// and a PageRank sweep. These are the building blocks whose cost the
-// Table 7 stage timings aggregate.
+// computation, sigmoid/log-sum-exp, the SoA EM kernels (src/kernels/) on
+// both kinds with bytes-processed GB/s, matrix compilation, one EM
+// iteration, and a PageRank sweep. These are the building blocks whose
+// cost the Table 7 stage timings aggregate.
 #include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
 
 #include "common/math.h"
 #include "corpus/link_graph.h"
 #include "exp/synthetic.h"
 #include "extract/observation_matrix.h"
 #include "granularity/assignments.h"
+#include "kernels/kernels.h"
 #include "pagerank/pagerank.h"
 #include "core/multilayer_model.h"
 
@@ -46,6 +51,126 @@ void BM_LogSumExp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LogSumExp)->Arg(4)->Arg(64)->Arg(1024);
+
+// ---- SoA EM kernels: both kinds, bytes-processed so the reporter prints
+// GB/s next to each timing (the bytes are the streams the kernel actually
+// touches: indices, gathered tables, weight/posterior reads, staged
+// writes — matching the bytes-touched model in bench_table7_efficiency).
+
+struct KernelStreams {
+  std::vector<uint32_t> idx;
+  std::vector<double> w;
+  std::vector<double> p;
+  std::vector<double> mask;
+  std::vector<double> table;
+  std::vector<double> out;
+  std::vector<float> conf;
+  std::vector<uint32_t> group;
+  std::vector<double> net;
+};
+
+KernelStreams& SharedStreams() {
+  static KernelStreams streams = [] {
+    constexpr size_t kN = 1 << 18;
+    std::mt19937_64 rng(11);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    KernelStreams s;
+    s.idx.resize(kN);
+    s.w.resize(kN);
+    s.p.resize(kN);
+    s.mask.resize(kN);
+    s.table.resize(kN);
+    s.out.resize(kN);
+    s.conf.resize(kN);
+    s.group.resize(kN);
+    s.net.resize(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      s.idx[i] = static_cast<uint32_t>(rng() % kN);
+      s.w[i] = uni(rng);
+      s.p[i] = ClampProbability(uni(rng));
+      s.mask[i] = rng() % 4 ? 1.0 : 0.0;
+      s.table[i] = (uni(rng) - 0.5) * 20.0;
+      s.conf[i] = static_cast<float>(uni(rng));
+      s.group[i] = static_cast<uint32_t>(rng() % 64);
+      s.net[i] = (uni(rng) - 0.5) * 10.0;
+    }
+    return s;
+  }();
+  return streams;
+}
+
+kernels::Kind KindArg(const benchmark::State& state) {
+  return state.range(1) == 0 ? kernels::Kind::kScalarReference
+                             : kernels::Kind::kVectorized;
+}
+
+void BM_TallyIndexed(benchmark::State& state) {
+  const KernelStreams& s = SharedStreams();
+  const size_t n = static_cast<size_t>(state.range(0));
+  const kernels::Kind kind = KindArg(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::TallyIndexed(kind, s.idx.data(), n, s.w.data(), s.p.data()));
+  }
+  // idx 4 + gathered w 8 + gathered p 8 per element.
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * (4 + 8 + 8));
+  state.SetLabel(std::string(kernels::KindName(kind)));
+}
+BENCHMARK(BM_TallyIndexed)
+    ->ArgsProduct({{4096, 262144}, {0, 1}});
+
+void BM_TallyEdges(benchmark::State& state) {
+  const KernelStreams& s = SharedStreams();
+  const size_t n = static_cast<size_t>(state.range(0));
+  const kernels::Kind kind = KindArg(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::TallyEdges(
+        kind, s.idx.data(), n, s.conf.data(), s.group.data(), s.p.data()));
+  }
+  // edge idx 4 + conf 4 + slot idx 4 + gathered correctness 8 per element.
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * (4 + 4 + 4 + 8));
+  state.SetLabel(std::string(kernels::KindName(kind)));
+}
+BENCHMARK(BM_TallyEdges)
+    ->ArgsProduct({{4096, 262144}, {0, 1}});
+
+void BM_StageVotesMasked(benchmark::State& state) {
+  KernelStreams& s = SharedStreams();
+  const size_t n = static_cast<size_t>(state.range(0));
+  const kernels::Kind kind = KindArg(state);
+  for (auto _ : state) {
+    kernels::StageVotesMasked(kind, s.mask.data(), s.w.data(), s.idx.data(),
+                              s.table.data(), 0, n, s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+    benchmark::ClobberMemory();
+  }
+  // mask 8 + weight 8 + idx 4 + gathered table 8 + staged write 8.
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * (8 + 8 + 4 + 8 + 8));
+  state.SetLabel(std::string(kernels::KindName(kind)));
+}
+BENCHMARK(BM_StageVotesMasked)
+    ->ArgsProduct({{4096, 262144}, {0, 1}});
+
+void BM_StageEdgeTerms(benchmark::State& state) {
+  KernelStreams& s = SharedStreams();
+  const size_t n = static_cast<size_t>(state.range(0));
+  const kernels::Kind kind = KindArg(state);
+  for (auto _ : state) {
+    kernels::StageEdgeTerms(kind, s.conf.data(), s.group.data(), s.net.data(),
+                            0, n, s.out.data());
+    benchmark::DoNotOptimize(s.out.data());
+    benchmark::ClobberMemory();
+  }
+  // conf 4 + group 4 + gathered net 8 + term write 8.
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * (4 + 4 + 8 + 8));
+  state.SetLabel(std::string(kernels::KindName(kind)));
+}
+BENCHMARK(BM_StageEdgeTerms)
+    ->ArgsProduct({{4096, 262144}, {0, 1}});
 
 exp::SyntheticData& SharedSynthetic() {
   static exp::SyntheticData data = [] {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Full local/CI check: repo invariant linter, docs consistency, configure,
 # build, test, smoke-run the quickstart, the serving + query + streaming
-# demos, and the append/serving/cache/query/stream benches (emitting
-# BENCH_*.json for trend tooling). Extra configure arguments (e.g. -DKBT_WERROR=ON in CI) come in
-# through KBT_CONFIGURE_ARGS.
+# demos, and the append/serving/cache/query/stream/table7 benches (emitting
+# BENCH_*.json for trend tooling; the table7 smoke includes the EM-kernel
+# parity hard gate). Extra configure arguments (e.g. -DKBT_WERROR=ON in CI)
+# come in through KBT_CONFIGURE_ARGS.
 #
 # This covers the GCC leg of the correctness tooling; the clang legs
 # (thread-safety proof, clang-tidy) and the sanitizer matrix run as their
@@ -41,3 +42,4 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/bench/bench_query_throughput --smoke
 ./build/bench/bench_shard_scaling --smoke
 ./build/bench/bench_stream_ingest --smoke
+./build/bench/bench_table7_efficiency --smoke

@@ -8,9 +8,10 @@ cannot be expressed in a compiler flag, so this linter enforces them
 textually over src/ and include/:
 
   determinism        No wall-clock or ambient-randomness calls in the
-                     inference layers (src/core, src/extract, src/fusion).
-                     All stochastic behaviour must flow through kbt::Rng
-                     (seeded, fork-able) and all timing through callers.
+                     inference layers (src/core, src/extract, src/fusion,
+                     src/kernels). All stochastic behaviour must flow
+                     through kbt::Rng (seeded, fork-able) and all timing
+                     through callers.
 
   unordered-iter     No range-for iteration over std::unordered_map/set in
                      the inference layers without an explicit
@@ -49,7 +50,7 @@ import sys
 
 # --- rule: determinism ------------------------------------------------------
 
-DETERMINISM_DIRS = ("src/core", "src/extract", "src/fusion")
+DETERMINISM_DIRS = ("src/core", "src/extract", "src/fusion", "src/kernels")
 
 DETERMINISM_PATTERNS = [
     (re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\("), "rand()/srand()"),

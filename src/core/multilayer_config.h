@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "kernels/kernel_kind.h"
+
 namespace kbt::core {
 
 /// How the alpha prior (Eq. 26) treats the false-value branch.
@@ -113,6 +115,13 @@ struct MultiLayerConfig {
   // ---- Numeric guards ----
   double min_probability = 1e-4;
   double max_probability = 1.0 - 1e-4;
+
+  // ---- Kernel selection ----
+  /// Which EM inner-loop implementation runs the E/M passes. Both kinds are
+  /// bit-for-bit identical (see src/kernels/kernels.h); scalar_reference is
+  /// the always-compiled oracle the parity suite checks the vectorized path
+  /// against.
+  kernels::Kind kernel = kernels::DefaultKind();
 };
 
 }  // namespace kbt::core

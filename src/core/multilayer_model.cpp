@@ -9,6 +9,7 @@
 
 #include "common/math.h"
 #include "common/mutex.h"
+#include "kernels/kernels.h"
 
 namespace kbt::core {
 
@@ -304,6 +305,11 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
   ScopeTable absence_universe;
   ScopeTable slot_mass;
 
+  // Per-group net Stage I vote, presence - weighted absence: the staged
+  // path's memo of the difference the scalar reference recomputes per edge
+  // (same subtraction on the same inputs, so the same bits).
+  std::vector<double> net_vote(num_groups, 0.0);
+
   const auto refresh_votes = [&]() {
     absence_universe.Clear();
     for (uint32_t g = 0; g < num_groups; ++g) {
@@ -311,9 +317,92 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
       votes[g] = ComputeVotes(r.extractor_recall[g], r.extractor_q[g],
                               scope.absence_weight);
       absence_universe.AddForScope(scope, votes[g].weighted_absence);
+      net_vote[g] = votes[g].presence - votes[g].weighted_absence;
     }
   };
   refresh_votes();
+
+  // ---- Kernel streams ----
+  const kernels::Kind kind = config.kernel;
+  const bool vectorized = kind == kernels::Kind::kVectorized;
+
+  // Stage II gate: source support only (structure is static).
+  std::vector<uint8_t> covered_mask(num_slots, 0);
+  for (size_t s = 0; s < num_slots; ++s) {
+    covered_mask[s] = r.source_supported[matrix.slot_source(s)];
+  }
+
+  // The staged E step memoizes one SourceVote per source; that needs one n
+  // shared by all items (given by the override, or by all schema n's
+  // agreeing — the common case). Otherwise the vectorized kind falls back
+  // to per-slot votes.
+  int uniform_n = config.num_false_override >= 1 ? config.num_false_override
+                                                 : -1;
+  if (uniform_n < 1 && num_items > 0) {
+    uniform_n = matrix.item_num_false(0);
+    for (size_t i = 1; i < num_items; ++i) {
+      if (matrix.item_num_false(i) != uniform_n) {
+        uniform_n = -1;
+        break;
+      }
+    }
+  }
+  const bool use_staged = vectorized && uniform_n >= 1;
+
+  std::vector<double> support_mask;
+  std::vector<double> log_pop;
+  std::vector<double> src_vote;
+  std::vector<double> wc_stream;
+  std::vector<uint32_t> slot_vi;
+  std::vector<uint32_t> item_num_values;
+  if (use_staged) {
+    support_mask.resize(num_slots);
+    for (size_t s = 0; s < num_slots; ++s) {
+      support_mask[s] = covered_mask[s] != 0 ? 1.0 : 0.0;
+    }
+    if (config.value_model == ValueModel::kPopAccu) {
+      log_pop.resize(num_slots);
+      for (size_t s = 0; s < num_slots; ++s) {
+        log_pop[s] = SafeLog(slot_popularity[s]);
+      }
+    }
+    src_vote.resize(num_sources, 0.0);
+    if (!config.weighted_value_votes) wc_stream.resize(num_slots, 0.0);
+    // The value grouping is a pure function of the static slot layout:
+    // discover it once here instead of per item, per iteration.
+    slot_vi.resize(num_slots);
+    item_num_values.resize(num_items);
+    kernels::EmScratch vi_scratch;
+    for (size_t i = 0; i < num_items; ++i) {
+      const auto [b, e] = matrix.ItemSlots(i);
+      item_num_values[i] = kernels::BuildValueIndex(
+          b, e, matrix.slot_values().data(), slot_vi.data(), &vi_scratch);
+    }
+  }
+
+  // Stage I memo of the per-(predicate, website) absence total: slots
+  // sharing a scope pair share one SumCovering lookup. Pair ids are
+  // assigned in slot order (deterministic).
+  std::vector<uint32_t> slot_pair;
+  std::vector<uint32_t> pair_pred;
+  std::vector<uint32_t> pair_site;
+  std::vector<double> pair_absence;
+  if (vectorized) {
+    slot_pair.resize(num_slots);
+    std::unordered_map<uint64_t, uint32_t> pair_ids;
+    for (size_t s = 0; s < num_slots; ++s) {
+      const uint32_t pred = matrix.slot_predicate(s);
+      const uint32_t site = matrix.slot_website(s);
+      const auto [it, inserted] = pair_ids.emplace(
+          PackPredSite(pred, site), static_cast<uint32_t>(pair_pred.size()));
+      if (inserted) {
+        pair_pred.push_back(pred);
+        pair_site.push_back(site);
+      }
+      slot_pair[s] = it->second;
+    }
+    pair_absence.resize(pair_pred.size(), 0.0);
+  }
 
   std::vector<double> delta_per_chunk;  // Convergence tracking.
   Mutex delta_mutex;
@@ -332,23 +421,65 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
         t = std::make_unique<dataflow::StageTimers::Scope>(*timers,
                                                            "I.ExtCorr");
       }
-      // Log-odds per slot, before the shared calibration intercept.
-      ForRange(executor, num_slots, [&](size_t begin, size_t end) {
-        for (size_t s = begin; s < end; ++s) {
-          double vcc = absence_universe.SumCovering(matrix.slot_predicate(s),
-                                                    matrix.slot_website(s));
-          const auto [eb, ee] = matrix.SlotExtractions(s);
-          for (uint32_t e = eb; e < ee; ++e) {
-            const uint32_t g = matrix.ext_group()[e];
-            vcc += static_cast<double>(conf[e]) *
-                   (votes[g].presence - votes[g].weighted_absence);
-          }
-          slot_logodds[s] = vcc + Logit(r.slot_alpha[s]);
+      // Log-odds per slot, before the shared calibration intercept. The
+      // staged path sweeps the contiguous per-slot edge ranges in blocks
+      // (conf[e] * net_vote[group]) and memoizes the absence total per
+      // (predicate, website) pair; the per-slot edge sum stays sequential
+      // in edge order, so both kinds run the same float program.
+      if (vectorized) {
+        for (size_t pid = 0; pid < pair_pred.size(); ++pid) {
+          pair_absence[pid] =
+              absence_universe.SumCovering(pair_pred[pid], pair_site[pid]);
         }
-      });
+        ForRange(executor, num_slots, [&](size_t begin, size_t end) {
+          kernels::EmScratch scratch;
+          size_t s = begin;
+          while (s < end) {
+            const uint32_t eb = matrix.SlotExtractions(s).first;
+            uint32_t ee = matrix.SlotExtractions(s).second;
+            size_t s2 = s + 1;
+            while (s2 < end) {
+              const uint32_t se = matrix.SlotExtractions(s2).second;
+              if (se - eb > kernels::kStageBlock) break;
+              ee = se;
+              ++s2;
+            }
+            scratch.edge_terms.resize(ee - eb);
+            kernels::StageEdgeTerms(kind, conf.data(),
+                                    matrix.ext_group().data(),
+                                    net_vote.data(), eb, ee,
+                                    scratch.edge_terms.data());
+            for (; s < s2; ++s) {
+              double vcc = pair_absence[slot_pair[s]];
+              const auto [b2, e2] = matrix.SlotExtractions(s);
+              for (uint32_t e = b2; e < e2; ++e) {
+                vcc += scratch.edge_terms[e - eb];
+              }
+              slot_logodds[s] = vcc + Logit(r.slot_alpha[s]);
+            }
+          }
+        });
+      } else {
+        ForRange(executor, num_slots, [&](size_t begin, size_t end) {
+          for (size_t s = begin; s < end; ++s) {
+            double vcc = absence_universe.SumCovering(matrix.slot_predicate(s),
+                                                      matrix.slot_website(s));
+            const auto [eb, ee] = matrix.SlotExtractions(s);
+            for (uint32_t e = eb; e < ee; ++e) {
+              const uint32_t g = matrix.ext_group()[e];
+              vcc += static_cast<double>(conf[e]) *
+                     (votes[g].presence - votes[g].weighted_absence);
+            }
+            slot_logodds[s] = vcc + Logit(r.slot_alpha[s]);
+          }
+        });
+      }
 
       // Shared intercept: mean p(C|X) is pinned to the expected provided
-      // fraction (see multilayer_config.h). Bisection on a monotone mean.
+      // fraction (see multilayer_config.h). Bisection on a monotone mean;
+      // the sigmoid sweep runs through the deterministic chunked reduction,
+      // so tau is bit-identical for every thread count (and both kernel
+      // kinds share this code).
       double tau = 0.0;
       if (config.calibrate_correctness && num_slots > 0) {
         const double target = Clamp(config.expected_provided_fraction,
@@ -357,11 +488,17 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
         double hi = 30.0;
         for (int step = 0; step < 60; ++step) {
           tau = 0.5 * (lo + hi);
-          double mean = 0.0;
-          for (size_t s = 0; s < num_slots; ++s) {
-            mean += Sigmoid(slot_logodds[s] + tau);
-          }
-          mean /= static_cast<double>(num_slots);
+          const double mean =
+              dataflow::BlockedSum(
+                  executor, num_slots,
+                  [&](size_t begin, size_t end) {
+                    double m = 0.0;
+                    for (size_t s = begin; s < end; ++s) {
+                      m += Sigmoid(slot_logodds[s] + tau);
+                    }
+                    return m;
+                  }) /
+              static_cast<double>(num_slots);
           if (mean < target) {
             lo = tau;
           } else {
@@ -396,77 +533,106 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
         t = std::make_unique<dataflow::StageTimers::Scope>(*timers,
                                                            "II.TriplePr");
       }
-      ForRange(executor, num_items, [&](size_t begin, size_t end) {
-        double local_delta = 0.0;
-        // Reused per-item scratch.
-        std::vector<uint32_t> values;
-        std::vector<double> value_votes;
-        for (size_t i = begin; i < end; ++i) {
-          const auto [b, e] = matrix.ItemSlots(i);
-          values.clear();
-          value_votes.clear();
-          bool covered = false;
-          for (uint32_t s = b; s < e; ++s) {
-            const uint32_t w = matrix.slot_source(s);
-            double vote = 0.0;
-            if (r.source_supported[w]) {
-              covered = true;
-              const double wc =
-                  config.weighted_value_votes
-                      ? r.slot_correct_prob[s]
-                      : (r.slot_correct_prob[s] > 0.5 ? 1.0 : 0.0);
-              const int n = config.num_false_override >= 1
-                                ? config.num_false_override
-                                : matrix.item_num_false(i);
-              if (config.value_model == ValueModel::kAccu) {
-                vote = wc * SourceVote(r.source_accuracy[w], n);
-              } else {
-                const double a = ClampProbability(r.source_accuracy[w]);
-                vote = wc * (std::log(a / (1.0 - a)) -
-                             SafeLog(slot_popularity[s]));
-              }
-            }
-            // Accumulate by value (values per item are few; linear scan).
-            const uint32_t v = matrix.slot_value(s);
-            size_t vi = 0;
-            for (; vi < values.size(); ++vi) {
-              if (values[vi] == v) break;
-            }
-            if (vi == values.size()) {
-              values.push_back(v);
-              value_votes.push_back(0.0);
-            }
-            value_votes[vi] += vote;
+      if (use_staged) {
+        // Per-iteration memo streams: one SourceVote (or log-odds) per
+        // source, and the per-slot correctness weight (Eq. 25 soft weight,
+        // or its MAP threshold).
+        if (config.value_model == ValueModel::kAccu) {
+          for (uint32_t w = 0; w < num_sources; ++w) {
+            src_vote[w] = SourceVote(r.source_accuracy[w], uniform_n);
           }
-
-          const int n = config.num_false_override >= 1
-                            ? config.num_false_override
-                            : matrix.item_num_false(i);
-          const int unobserved =
-              std::max(0, n + 1 - static_cast<int>(values.size()));
-          std::vector<double> log_terms(value_votes);
-          if (unobserved > 0) {
-            log_terms.push_back(std::log(static_cast<double>(unobserved)));
-          }
-          const double log_z = LogSumExp(log_terms);
-
-          r.item_unobserved_value_prob[i] =
-              unobserved > 0 ? std::exp(-log_z) : 0.0;
-          for (uint32_t s = b; s < e; ++s) {
-            const uint32_t v = matrix.slot_value(s);
-            size_t vi = 0;
-            for (; vi < values.size(); ++vi) {
-              if (values[vi] == v) break;
-            }
-            const double pv = std::exp(value_votes[vi] - log_z);
-            local_delta =
-                std::max(local_delta, std::fabs(pv - r.slot_value_prob[s]));
-            r.slot_value_prob[s] = pv;
-            r.slot_covered[s] = covered ? 1 : 0;
+        } else {
+          for (uint32_t w = 0; w < num_sources; ++w) {
+            const double a = ClampProbability(r.source_accuracy[w]);
+            src_vote[w] = std::log(a / (1.0 - a));
           }
         }
-        note_delta(local_delta);
-      });
+        const double* wc_ptr = r.slot_correct_prob.data();
+        if (!config.weighted_value_votes) {
+          for (size_t s = 0; s < num_slots; ++s) {
+            wc_stream[s] = r.slot_correct_prob[s] > 0.5 ? 1.0 : 0.0;
+          }
+          wc_ptr = wc_stream.data();
+        }
+        ForRange(executor, num_items, [&](size_t begin, size_t end) {
+          double local_delta = 0.0;
+          kernels::EmScratch scratch;
+          size_t i = begin;
+          while (i < end) {
+            const uint32_t slot_b = matrix.ItemSlots(i).first;
+            uint32_t slot_e = matrix.ItemSlots(i).second;
+            size_t j = i + 1;
+            while (j < end) {
+              const uint32_t je = matrix.ItemSlots(j).second;
+              if (je - slot_b > kernels::kStageBlock) break;
+              slot_e = je;
+              ++j;
+            }
+            scratch.votes.resize(slot_e - slot_b);
+            if (config.value_model == ValueModel::kAccu) {
+              kernels::StageVotesMasked(
+                  kind, support_mask.data(), wc_ptr,
+                  matrix.slot_sources().data(), src_vote.data(), slot_b,
+                  slot_e, scratch.votes.data());
+            } else {
+              kernels::StageVotesMaskedSub(
+                  kind, support_mask.data(), wc_ptr,
+                  matrix.slot_sources().data(), src_vote.data(),
+                  log_pop.data(), slot_b, slot_e, scratch.votes.data());
+            }
+            for (; i < j; ++i) {
+              const auto [b, e] = matrix.ItemSlots(i);
+              local_delta = std::max(
+                  local_delta,
+                  kernels::ItemValuePassIndexed(
+                      b, e, scratch.votes.data(), slot_b,
+                      covered_mask.data(), slot_vi.data(),
+                      item_num_values[i], uniform_n,
+                      r.slot_value_prob.data(), r.slot_covered.data(),
+                      &r.item_unobserved_value_prob[i], &scratch));
+            }
+          }
+          note_delta(local_delta);
+        });
+      } else {
+        ForRange(executor, num_items, [&](size_t begin, size_t end) {
+          double local_delta = 0.0;
+          kernels::EmScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            const auto [b, e] = matrix.ItemSlots(i);
+            const int n = config.num_false_override >= 1
+                              ? config.num_false_override
+                              : matrix.item_num_false(i);
+            scratch.votes.resize(e - b);
+            for (uint32_t s = b; s < e; ++s) {
+              const uint32_t w = matrix.slot_source(s);
+              double vote = 0.0;
+              if (r.source_supported[w]) {
+                const double wc =
+                    config.weighted_value_votes
+                        ? r.slot_correct_prob[s]
+                        : (r.slot_correct_prob[s] > 0.5 ? 1.0 : 0.0);
+                if (config.value_model == ValueModel::kAccu) {
+                  vote = wc * SourceVote(r.source_accuracy[w], n);
+                } else {
+                  const double a = ClampProbability(r.source_accuracy[w]);
+                  vote = wc * (std::log(a / (1.0 - a)) -
+                               SafeLog(slot_popularity[s]));
+                }
+              }
+              scratch.votes[s - b] = vote;
+            }
+            local_delta = std::max(
+                local_delta,
+                kernels::ItemValuePass(
+                    kind, b, e, scratch.votes.data(), b, covered_mask.data(),
+                    matrix.slot_values().data(), n, r.slot_value_prob.data(),
+                    r.slot_covered.data(), &r.item_unobserved_value_prob[i],
+                    &scratch));
+          }
+          note_delta(local_delta);
+        });
+      }
     }
 
     // ============ Stage III: source accuracy A_w, Eq. 27/28 ============
@@ -479,25 +645,20 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
       ForGroups(executor, num_sources, [&](size_t w) {
         if (!r.source_supported[w]) return;  // Stays at initial value.
         const auto [b, e] = matrix.SourceSlots(static_cast<uint32_t>(w));
-        double num = 0.0;
-        double den = 0.0;
-        for (uint32_t k = b; k < e; ++k) {
-          const uint32_t s = matrix.source_slot_index()[k];
-          double wc;
-          if (config.weighted_value_votes) {
-            // Eq. 28: weight every slot by p(C=1|X). Extraction-noise slots
-            // contribute little because their posterior is small.
-            wc = r.slot_correct_prob[s];
-          } else {
-            // Eq. 27: MAP estimate — only slots with C-hat = 1 count.
-            if (r.slot_correct_prob[s] <= 0.5) continue;
-            wc = 1.0;
-          }
-          num += wc * r.slot_value_prob[s];
-          den += wc;
-        }
-        if (den > 1e-12) {
-          r.source_accuracy[w] = clampP(num / den);
+        const uint32_t* idx = matrix.source_slot_index().data() + b;
+        // Eq. 28 weights every slot by p(C=1|X); Eq. 27 is the MAP variant
+        // (only C-hat = 1 slots count, as a masked tally so the lane
+        // assignment stays positional across kernel kinds).
+        const kernels::Tally tally =
+            config.weighted_value_votes
+                ? kernels::TallyIndexed(kind, idx, e - b,
+                                        r.slot_correct_prob.data(),
+                                        r.slot_value_prob.data())
+                : kernels::TallyMap(kind, idx, e - b,
+                                    r.slot_correct_prob.data(),
+                                    r.slot_value_prob.data());
+        if (tally.den > 1e-12) {
+          r.source_accuracy[w] = clampP(tally.num / tally.den);
         }
       });
     }
@@ -531,14 +692,11 @@ StatusOr<MultiLayerResult> MultiLayerModel::Run(
       ForGroups(executor, num_groups, [&](size_t g) {
         if (!r.extractor_supported[g]) return;
         const auto [b, e] = matrix.ExtractorEdges(static_cast<uint32_t>(g));
-        double sum_conf = 0.0;
-        double sum_joint = 0.0;
-        for (uint32_t k = b; k < e; ++k) {
-          const uint32_t edge = matrix.extractor_edge_index()[k];
-          const double c = r.slot_correct_prob[matrix.ext_slot(edge)];
-          sum_conf += conf[edge];
-          sum_joint += conf[edge] * c;
-        }
+        const kernels::Tally tally = kernels::TallyEdges(
+            kind, matrix.extractor_edge_index().data() + b, e - b, conf.data(),
+            matrix.ext_slots().data(), r.slot_correct_prob.data());
+        const double sum_joint = tally.num;
+        const double sum_conf = tally.den;
         const ExtractorScope& scope =
             matrix.extractor_scope(static_cast<uint32_t>(g));
         const double denom_r = slot_mass.AtScope(scope) * scope.absence_weight;

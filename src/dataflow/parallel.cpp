@@ -1,6 +1,8 @@
 #include "dataflow/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <vector>
 
 namespace kbt::dataflow {
 
@@ -42,21 +44,58 @@ void Executor::ParallelForRanges(
 void Executor::ParallelForGroups(size_t num_groups,
                                  const std::function<void(size_t)>& fn) {
   if (num_groups == 0) return;
-  if (num_groups == 1) {
-    fn(0);
+  const size_t workers = std::min(
+      num_groups, static_cast<size_t>(pool_->num_threads()));
+  if (workers <= 1 || num_groups == 1) {
+    for (size_t g = 0; g < num_groups; ++g) fn(g);
     return;
   }
+  // One drain loop per worker, claiming groups one at a time off a shared
+  // counter. This keeps the reducer-per-key scheduling grain — group sizes
+  // stay invisible to the scheduler and a whale group still pins a worker
+  // for its whole duration (the Table 7 "Normal" straggler) — without
+  // allocating a queue task per group, which dominated wall clock on
+  // group-heavy stages (one tiny tally per source at finest granularity).
+  std::atomic<size_t> next{0};
+  const auto drain = [&fn, &next, num_groups] {
+    for (size_t g = next.fetch_add(1, std::memory_order_relaxed);
+         g < num_groups;
+         g = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(g);
+    }
+  };
   TaskGroup group(pool_.get());
-  for (size_t g = 1; g < num_groups; ++g) {
-    group.Submit([&fn, g] { fn(g); });
+  for (size_t w = 1; w < workers; ++w) {
+    group.Submit(drain);
   }
-  fn(0);
+  drain();
   group.Wait();
 }
 
 Executor& DefaultExecutor() {
   static Executor executor(0);
   return executor;
+}
+
+double BlockedSum(Executor* ex, size_t n,
+                  const std::function<double(size_t, size_t)>& block_sum,
+                  size_t block_size) {
+  if (n == 0) return 0.0;
+  block_size = std::max<size_t>(1, block_size);
+  const size_t num_blocks = (n + block_size - 1) / block_size;
+  std::vector<double> partial(num_blocks, 0.0);
+  const auto run_block = [&](size_t blk) {
+    const size_t begin = blk * block_size;
+    partial[blk] = block_sum(begin, std::min(n, begin + block_size));
+  };
+  if (ex != nullptr) {
+    ex->ParallelFor(num_blocks, run_block);
+  } else {
+    for (size_t blk = 0; blk < num_blocks; ++blk) run_block(blk);
+  }
+  double total = 0.0;
+  for (size_t blk = 0; blk < num_blocks; ++blk) total += partial[blk];
+  return total;
 }
 
 }  // namespace kbt::dataflow

@@ -17,11 +17,13 @@ namespace kbt::dataflow {
 /// Two scheduling modes matter for reproducing Table 7:
 ///  * `ParallelFor` chunks an index range evenly across workers - the
 ///    best case with no data skew.
-///  * `ParallelForGroups` submits ONE task per group (per source / per
-///    extractor), mirroring a MapReduce reducer per key. A group holding a
-///    hundred times more triples than its peers becomes a straggler and
-///    dominates the stage's wall clock - exactly the pathology
-///    SPLITANDMERGE (Section 4) removes.
+///  * `ParallelForGroups` schedules at GROUP grain (per source / per
+///    extractor), mirroring a MapReduce reducer per key: workers claim one
+///    group at a time, group sizes are invisible to the scheduler, and a
+///    group is never split across workers. A group holding a hundred times
+///    more triples than its peers becomes a straggler and dominates the
+///    stage's wall clock - exactly the pathology SPLITANDMERGE (Section 4)
+///    removes.
 ///
 /// The parallel loops join through a scoped TaskGroup (never the pool-wide
 /// barrier), and a joining caller donates its thread to the loop's own
@@ -52,9 +54,11 @@ class Executor {
                          const std::function<void(size_t, size_t)>& fn,
                          int num_chunks = 0);
 
-  /// Runs `fn(g)` for each group g in [0, num_groups), one task per group.
-  /// Blocks until done. Group sizes are invisible to the scheduler, so a
-  /// skewed group serializes the stage (the Table 7 "Normal" column).
+  /// Runs `fn(g)` for each group g in [0, num_groups). One drain loop per
+  /// worker claims groups one at a time off a shared counter; a group is
+  /// never split across workers. Blocks until done. Group sizes are
+  /// invisible to the scheduler, so a skewed group serializes the stage
+  /// (the Table 7 "Normal" column).
   void ParallelForGroups(size_t num_groups,
                          const std::function<void(size_t)>& fn);
 
@@ -76,6 +80,21 @@ class Executor {
 /// Process-wide default executor (hardware concurrency), used when callers
 /// do not supply their own.
 Executor& DefaultExecutor();
+
+/// Fixed block size of BlockedSum. Part of its determinism contract: the
+/// partial-sum boundaries never move, whatever the executor looks like.
+inline constexpr size_t kBlockedSumBlock = 4096;
+
+/// Deterministic chunked reduction: sum of `block_sum(begin, end)` over
+/// fixed `block_size`-wide blocks covering [0, n). The per-block partials
+/// are computed in parallel on `ex` (serially when null) but ALWAYS stored
+/// per block and combined sequentially in block order, so the result is
+/// bit-for-bit identical for every thread count and every ParallelFor
+/// chunking — the summation tree depends only on n and block_size. The
+/// callback must itself be deterministic over its range.
+double BlockedSum(Executor* ex, size_t n,
+                  const std::function<double(size_t, size_t)>& block_sum,
+                  size_t block_size = kBlockedSumBlock);
 
 }  // namespace kbt::dataflow
 

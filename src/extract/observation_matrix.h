@@ -143,6 +143,12 @@ class CompiledMatrix {
   kb::ValueId slot_value(size_t s) const { return slot_value_[s]; }
   uint32_t slot_website(size_t s) const { return slot_website_[s]; }
   uint32_t slot_predicate(size_t s) const { return slot_predicate_[s]; }
+
+  /// Whole-column views of the per-slot arrays, for the SoA EM kernels
+  /// (src/kernels/): the kernels stream these with gathers instead of
+  /// calling the per-element accessors in a loop.
+  const std::vector<uint32_t>& slot_sources() const { return slot_source_; }
+  const std::vector<kb::ValueId>& slot_values() const { return slot_value_; }
   /// Ground-truth C* for synthetic data: > 0 when any constituent raw
   /// observation was really provided by the page(s) behind this slot.
   bool slot_provided_truth(size_t s) const { return slot_provided_[s] != 0; }
@@ -155,6 +161,8 @@ class CompiledMatrix {
   const std::vector<float>& ext_conf() const { return ext_conf_; }
   /// Slot owning extraction edge `e` (inverse of SlotExtractions).
   uint32_t ext_slot(size_t e) const { return ext_slot_[e]; }
+  /// Whole-column view of ext_slot, for the SoA EM kernels.
+  const std::vector<uint32_t>& ext_slots() const { return ext_slot_; }
 
   /// Maps every raw observation to the extraction edge it was compiled into:
   /// result[i] is the edge id (index into ext_group()/ext_conf()) whose

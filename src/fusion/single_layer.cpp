@@ -8,6 +8,7 @@
 
 #include "common/math.h"
 #include "common/mutex.h"
+#include "kernels/kernels.h"
 
 namespace kbt::fusion {
 
@@ -128,9 +129,88 @@ StatusOr<SingleLayerResult> SingleLayerModel::Run(
     }
   }
 
+  // ---- Kernel streams (fixed across iterations) ----
+  const kernels::Kind kind = config.kernel;
+
+  // Per-slot coverage gate of the E step; the structure never changes, so
+  // the mask is computed once and shared by both kernel kinds.
+  std::vector<uint8_t> covered_mask(num_slots, 0);
+  for (size_t s = 0; s < num_slots; ++s) {
+    covered_mask[s] = (r.source_supported[matrix.slot_source(s)] != 0 &&
+                       claim_weight[s] > 0.0)
+                          ? 1
+                          : 0;
+  }
+
+  // The vectorized kind memoizes the per-source vote (one SourceVote/log
+  // per source per iteration instead of one per slot). That needs a single
+  // n across items; with per-item schema n's the memo only applies when
+  // they all agree, otherwise the staged path falls back to per-slot votes.
+  int uniform_n = config.num_false_override >= 1 ? config.num_false_override
+                                                 : -1;
+  if (uniform_n < 1 && num_items > 0) {
+    uniform_n = matrix.item_num_false(0);
+    for (size_t i = 1; i < num_items; ++i) {
+      if (matrix.item_num_false(i) != uniform_n) {
+        uniform_n = -1;
+        break;
+      }
+    }
+  }
+  const bool use_staged =
+      kind == kernels::Kind::kVectorized && uniform_n >= 1;
+
+  // SoA streams of the staged path. All values are bit-identical to what
+  // the scalar reference computes inline: the same functions on the same
+  // inputs, evaluated once instead of per slot.
+  std::vector<double> support_mask;
+  std::vector<double> log_pop;
+  std::vector<double> src_vote;
+  std::vector<uint32_t> slot_vi;
+  std::vector<uint32_t> item_num_values;
+  if (use_staged) {
+    support_mask.resize(num_slots);
+    for (size_t s = 0; s < num_slots; ++s) {
+      support_mask[s] =
+          r.source_supported[matrix.slot_source(s)] != 0 ? 1.0 : 0.0;
+    }
+    if (config.value_model == ValueModel::kPopAccu) {
+      log_pop.resize(num_slots);
+      for (size_t s = 0; s < num_slots; ++s) {
+        log_pop[s] = SafeLog(slot_popularity[s]);
+      }
+    }
+    src_vote.resize(num_sources, 0.0);
+    // The value grouping is a pure function of the static slot layout:
+    // discover it once here instead of per item, per iteration.
+    slot_vi.resize(num_slots);
+    item_num_values.resize(num_items);
+    kernels::EmScratch vi_scratch;
+    for (size_t i = 0; i < num_items; ++i) {
+      const auto [b, e] = matrix.ItemSlots(i);
+      item_num_values[i] = kernels::BuildValueIndex(
+          b, e, matrix.slot_values().data(), slot_vi.data(), &vi_scratch);
+    }
+  }
+
   Mutex delta_mutex;
   for (int iteration = 1; iteration <= config.max_iterations; ++iteration) {
     double max_delta = 0.0;
+
+    if (use_staged) {
+      // Per-iteration vote table: kAccu stages claim * SourceVote(A_w, n),
+      // POPACCU stages claim * (log-odds(A_w) - log popularity).
+      if (config.value_model == ValueModel::kAccu) {
+        for (uint32_t w = 0; w < num_sources; ++w) {
+          src_vote[w] = SourceVote(r.source_accuracy[w], uniform_n);
+        }
+      } else {
+        for (uint32_t w = 0; w < num_sources; ++w) {
+          const double a = ClampProbability(r.source_accuracy[w]);
+          src_vote[w] = std::log(a / (1.0 - a));
+        }
+      }
+    }
 
     // ---- E step: p(V_d | X, A), Eq. 2 ----
     {
@@ -141,62 +221,78 @@ StatusOr<SingleLayerResult> SingleLayerModel::Run(
       }
       ForRange(executor, num_items, [&](size_t begin, size_t end) {
         double local_delta = 0.0;
-        std::vector<uint32_t> values;
-        std::vector<double> value_votes;
-        for (size_t i = begin; i < end; ++i) {
-          const auto [b, e] = matrix.ItemSlots(i);
-          values.clear();
-          value_votes.clear();
-          bool covered = false;
-          const int n = config.num_false_override >= 1
-                            ? config.num_false_override
-                            : matrix.item_num_false(i);
-          for (uint32_t s = b; s < e; ++s) {
-            const uint32_t w = matrix.slot_source(s);
-            double vote = 0.0;
-            if (r.source_supported[w] && claim_weight[s] > 0.0) {
-              covered = true;
-              if (config.value_model == ValueModel::kAccu) {
-                vote = claim_weight[s] * SourceVote(r.source_accuracy[w], n);
-              } else {
-                const double a = ClampProbability(r.source_accuracy[w]);
-                vote = claim_weight[s] * (std::log(a / (1.0 - a)) -
-                                          SafeLog(slot_popularity[s]));
+        kernels::EmScratch scratch;
+        if (use_staged) {
+          // Cache-blocked: stage votes for runs of items whose slots fit in
+          // one kStageBlock sweep (items are slot-contiguous), then finish
+          // each item through the kind-dispatched ItemValuePass.
+          size_t i = begin;
+          while (i < end) {
+            const uint32_t slot_b = matrix.ItemSlots(i).first;
+            uint32_t slot_e = matrix.ItemSlots(i).second;
+            size_t j = i + 1;
+            while (j < end) {
+              const uint32_t je = matrix.ItemSlots(j).second;
+              if (je - slot_b > kernels::kStageBlock) break;
+              slot_e = je;
+              ++j;
+            }
+            scratch.votes.resize(slot_e - slot_b);
+            if (config.value_model == ValueModel::kAccu) {
+              kernels::StageVotesMasked(
+                  kind, support_mask.data(), claim_weight.data(),
+                  matrix.slot_sources().data(), src_vote.data(), slot_b,
+                  slot_e, scratch.votes.data());
+            } else {
+              kernels::StageVotesMaskedSub(
+                  kind, support_mask.data(), claim_weight.data(),
+                  matrix.slot_sources().data(), src_vote.data(),
+                  log_pop.data(), slot_b, slot_e, scratch.votes.data());
+            }
+            for (; i < j; ++i) {
+              const auto [b, e] = matrix.ItemSlots(i);
+              local_delta = std::max(
+                  local_delta,
+                  kernels::ItemValuePassIndexed(
+                      b, e, scratch.votes.data(), slot_b,
+                      covered_mask.data(), slot_vi.data(),
+                      item_num_values[i], uniform_n,
+                      r.slot_value_prob.data(), r.slot_covered.data(),
+                      &r.item_unobserved_value_prob[i], &scratch));
+            }
+          }
+        } else {
+          // Scalar reference: per-slot votes exactly as the paper's Eq. 2
+          // transcription; the per-item normalization is the kind-dispatched
+          // ItemValuePass (its reference write-back — bit-identical to the
+          // memoized one the staged path uses).
+          for (size_t i = begin; i < end; ++i) {
+            const auto [b, e] = matrix.ItemSlots(i);
+            const int n = config.num_false_override >= 1
+                              ? config.num_false_override
+                              : matrix.item_num_false(i);
+            scratch.votes.resize(e - b);
+            for (uint32_t s = b; s < e; ++s) {
+              const uint32_t w = matrix.slot_source(s);
+              double vote = 0.0;
+              if (r.source_supported[w] && claim_weight[s] > 0.0) {
+                if (config.value_model == ValueModel::kAccu) {
+                  vote = claim_weight[s] * SourceVote(r.source_accuracy[w], n);
+                } else {
+                  const double a = ClampProbability(r.source_accuracy[w]);
+                  vote = claim_weight[s] * (std::log(a / (1.0 - a)) -
+                                            SafeLog(slot_popularity[s]));
+                }
               }
+              scratch.votes[s - b] = vote;
             }
-            const uint32_t v = matrix.slot_value(s);
-            size_t vi = 0;
-            for (; vi < values.size(); ++vi) {
-              if (values[vi] == v) break;
-            }
-            if (vi == values.size()) {
-              values.push_back(v);
-              value_votes.push_back(0.0);
-            }
-            value_votes[vi] += vote;
-          }
-
-          const int unobserved =
-              std::max(0, n + 1 - static_cast<int>(values.size()));
-          std::vector<double> log_terms(value_votes);
-          if (unobserved > 0) {
-            log_terms.push_back(std::log(static_cast<double>(unobserved)));
-          }
-          const double log_z = LogSumExp(log_terms);
-          r.item_unobserved_value_prob[i] =
-              unobserved > 0 ? std::exp(-log_z) : 0.0;
-
-          for (uint32_t s = b; s < e; ++s) {
-            const uint32_t v = matrix.slot_value(s);
-            size_t vi = 0;
-            for (; vi < values.size(); ++vi) {
-              if (values[vi] == v) break;
-            }
-            const double pv = std::exp(value_votes[vi] - log_z);
-            local_delta =
-                std::max(local_delta, std::fabs(pv - r.slot_value_prob[s]));
-            r.slot_value_prob[s] = pv;
-            r.slot_covered[s] = covered ? 1 : 0;
+            local_delta = std::max(
+                local_delta,
+                kernels::ItemValuePass(
+                    kind, b, e, scratch.votes.data(), b, covered_mask.data(),
+                    matrix.slot_values().data(), n, r.slot_value_prob.data(),
+                    r.slot_covered.data(), &r.item_unobserved_value_prob[i],
+                    &scratch));
           }
         }
         MutexLock lock(delta_mutex);
@@ -214,14 +310,12 @@ StatusOr<SingleLayerResult> SingleLayerModel::Run(
       ForGroups(executor, num_sources, [&](size_t w) {
         if (!r.source_supported[w]) return;
         const auto [b, e] = matrix.SourceSlots(static_cast<uint32_t>(w));
-        double num = 0.0;
-        double den = 0.0;
-        for (uint32_t k = b; k < e; ++k) {
-          const uint32_t s = matrix.source_slot_index()[k];
-          num += claim_weight[s] * r.slot_value_prob[s];
-          den += claim_weight[s];
+        const kernels::Tally tally = kernels::TallyIndexed(
+            kind, matrix.source_slot_index().data() + b, e - b,
+            claim_weight.data(), r.slot_value_prob.data());
+        if (tally.den > 1e-12) {
+          r.source_accuracy[w] = clampP(tally.num / tally.den);
         }
-        if (den > 1e-12) r.source_accuracy[w] = clampP(num / den);
       });
     }
 

@@ -34,6 +34,9 @@ struct SingleLayerConfig {
   int min_source_support = 3;
   double min_probability = 1e-4;
   double max_probability = 1.0 - 1e-4;
+  /// EM kernel implementation (bit-for-bit equivalent kinds; see
+  /// src/kernels/kernels.h for the contract).
+  kernels::Kind kernel = kernels::DefaultKind();
 };
 
 /// Output of the single-layer EM.

@@ -1,0 +1,201 @@
+// AVX2 lanes of the EM kernels. Compiled into every x86-64 build via function
+// target attributes (no global -mavx2), selected at runtime by ActiveIsa().
+//
+// Bit-for-bit contract: the vector loop accumulates 4 lanes vertically —
+// element k lands in lane k % 4, exactly the scalar reference's lane
+// assignment — the scalar tail continues into the STORED lane array, and the
+// final combine is the shared CombineLanes. Multiplies and adds are separate
+// intrinsics on purpose: the deterministic contract forbids FMA contraction
+// (the module also builds with -ffp-contract=off).
+#include "kernels/em_kernels_impl.h"
+
+#if defined(KBT_KERNELS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's unmasked gather intrinsics seed the merge operand with
+// _mm256_undefined_pd(), which trips -Wmaybe-uninitialized (GCC PR 105593).
+// The merge value is fully overwritten (all-ones mask), so the warning is a
+// false positive.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace kbt::kernels::internal {
+
+namespace {
+
+#define KBT_AVX2 __attribute__((target("avx2")))
+
+KBT_AVX2 inline __m128i LoadIdx4(const uint32_t* idx) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+}
+
+}  // namespace
+
+KBT_AVX2 Tally TallyIndexedAvx2(const uint32_t* idx, size_t n, const double* w,
+                                const double* p) {
+  __m256d num = _mm256_setzero_pd();
+  __m256d den = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + kTallyLanes <= n; k += kTallyLanes) {
+    const __m128i vi = LoadIdx4(idx + k);
+    const __m256d vw = _mm256_i32gather_pd(w, vi, 8);
+    const __m256d vp = _mm256_i32gather_pd(p, vi, 8);
+    num = _mm256_add_pd(num, _mm256_mul_pd(vw, vp));
+    den = _mm256_add_pd(den, vw);
+  }
+  alignas(32) double num_lanes[kTallyLanes];
+  alignas(32) double den_lanes[kTallyLanes];
+  _mm256_store_pd(num_lanes, num);
+  _mm256_store_pd(den_lanes, den);
+  for (size_t j = 0; k < n; ++k, ++j) {
+    const uint32_t s = idx[k];
+    num_lanes[j] += w[s] * p[s];
+    den_lanes[j] += w[s];
+  }
+  return Tally{CombineLanes(num_lanes), CombineLanes(den_lanes)};
+}
+
+KBT_AVX2 Tally TallyMapAvx2(const uint32_t* idx, size_t n, const double* c,
+                            const double* p) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d num = _mm256_setzero_pd();
+  __m256d den = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + kTallyLanes <= n; k += kTallyLanes) {
+    const __m128i vi = LoadIdx4(idx + k);
+    const __m256d vc = _mm256_i32gather_pd(c, vi, 8);
+    const __m256d vp = _mm256_i32gather_pd(p, vi, 8);
+    const __m256d m =
+        _mm256_and_pd(_mm256_cmp_pd(vc, half, _CMP_GT_OQ), one);
+    num = _mm256_add_pd(num, _mm256_mul_pd(m, vp));
+    den = _mm256_add_pd(den, m);
+  }
+  alignas(32) double num_lanes[kTallyLanes];
+  alignas(32) double den_lanes[kTallyLanes];
+  _mm256_store_pd(num_lanes, num);
+  _mm256_store_pd(den_lanes, den);
+  for (size_t j = 0; k < n; ++k, ++j) {
+    const uint32_t s = idx[k];
+    const double m = c[s] > 0.5 ? 1.0 : 0.0;
+    num_lanes[j] += m * p[s];
+    den_lanes[j] += m;
+  }
+  return Tally{CombineLanes(num_lanes), CombineLanes(den_lanes)};
+}
+
+KBT_AVX2 Tally TallyEdgesAvx2(const uint32_t* edges, size_t n,
+                              const float* conf, const uint32_t* edge_slot,
+                              const double* c) {
+  __m256d num = _mm256_setzero_pd();
+  __m256d den = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + kTallyLanes <= n; k += kTallyLanes) {
+    const __m128i ve = LoadIdx4(edges + k);
+    const __m256d vw = _mm256_cvtps_pd(_mm_i32gather_ps(conf, ve, 4));
+    const __m128i vs = _mm_i32gather_epi32(
+        reinterpret_cast<const int*>(edge_slot), ve, 4);
+    const __m256d vc = _mm256_i32gather_pd(c, vs, 8);
+    num = _mm256_add_pd(num, _mm256_mul_pd(vw, vc));
+    den = _mm256_add_pd(den, vw);
+  }
+  alignas(32) double num_lanes[kTallyLanes];
+  alignas(32) double den_lanes[kTallyLanes];
+  _mm256_store_pd(num_lanes, num);
+  _mm256_store_pd(den_lanes, den);
+  for (size_t j = 0; k < n; ++k, ++j) {
+    const uint32_t e = edges[k];
+    const double w = static_cast<double>(conf[e]);
+    num_lanes[j] += w * c[edge_slot[e]];
+    den_lanes[j] += w;
+  }
+  return Tally{CombineLanes(num_lanes), CombineLanes(den_lanes)};
+}
+
+KBT_AVX2 void StageVotesAvx2(const double* weight, const uint32_t* index,
+                             const double* table, size_t begin, size_t end,
+                             double* out) {
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m128i vi = LoadIdx4(index + i);
+    const __m256d vt = _mm256_i32gather_pd(table, vi, 8);
+    const __m256d vw = _mm256_loadu_pd(weight + i);
+    _mm256_storeu_pd(out + (i - begin), _mm256_mul_pd(vw, vt));
+  }
+  for (; i < end; ++i) out[i - begin] = weight[i] * table[index[i]];
+}
+
+KBT_AVX2 void StageVotesMaskedAvx2(const double* mask, const double* weight,
+                                   const uint32_t* index, const double* table,
+                                   size_t begin, size_t end, double* out) {
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m128i vi = LoadIdx4(index + i);
+    const __m256d vt = _mm256_i32gather_pd(table, vi, 8);
+    const __m256d vm = _mm256_loadu_pd(mask + i);
+    const __m256d vw = _mm256_loadu_pd(weight + i);
+    _mm256_storeu_pd(out + (i - begin),
+                     _mm256_mul_pd(_mm256_mul_pd(vm, vw), vt));
+  }
+  for (; i < end; ++i) {
+    out[i - begin] = (mask[i] * weight[i]) * table[index[i]];
+  }
+}
+
+KBT_AVX2 void StageVotesSubAvx2(const double* weight, const uint32_t* index,
+                                const double* table, const double* sub,
+                                size_t begin, size_t end, double* out) {
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m128i vi = LoadIdx4(index + i);
+    const __m256d vt = _mm256_i32gather_pd(table, vi, 8);
+    const __m256d vs = _mm256_loadu_pd(sub + i);
+    const __m256d vw = _mm256_loadu_pd(weight + i);
+    _mm256_storeu_pd(out + (i - begin),
+                     _mm256_mul_pd(vw, _mm256_sub_pd(vt, vs)));
+  }
+  for (; i < end; ++i) {
+    out[i - begin] = weight[i] * (table[index[i]] - sub[i]);
+  }
+}
+
+KBT_AVX2 void StageVotesMaskedSubAvx2(const double* mask, const double* weight,
+                                      const uint32_t* index,
+                                      const double* table, const double* sub,
+                                      size_t begin, size_t end, double* out) {
+  size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m128i vi = LoadIdx4(index + i);
+    const __m256d vt = _mm256_i32gather_pd(table, vi, 8);
+    const __m256d vs = _mm256_loadu_pd(sub + i);
+    const __m256d vm = _mm256_loadu_pd(mask + i);
+    const __m256d vw = _mm256_loadu_pd(weight + i);
+    _mm256_storeu_pd(out + (i - begin),
+                     _mm256_mul_pd(_mm256_mul_pd(vm, vw),
+                                   _mm256_sub_pd(vt, vs)));
+  }
+  for (; i < end; ++i) {
+    out[i - begin] = (mask[i] * weight[i]) * (table[index[i]] - sub[i]);
+  }
+}
+
+KBT_AVX2 void StageEdgeTermsAvx2(const float* conf, const uint32_t* group,
+                                 const double* net, size_t begin, size_t end,
+                                 double* out) {
+  size_t e = begin;
+  for (; e + 4 <= end; e += 4) {
+    const __m256d vw = _mm256_cvtps_pd(_mm_loadu_ps(conf + e));
+    const __m128i vg = LoadIdx4(group + e);
+    const __m256d vn = _mm256_i32gather_pd(net, vg, 8);
+    _mm256_storeu_pd(out + (e - begin), _mm256_mul_pd(vw, vn));
+  }
+  for (; e < end; ++e) {
+    out[e - begin] = static_cast<double>(conf[e]) * net[group[e]];
+  }
+}
+
+}  // namespace kbt::kernels::internal
+
+#endif  // KBT_KERNELS_HAVE_AVX2

@@ -1,0 +1,115 @@
+#ifndef KBT_KERNELS_EM_KERNELS_IMPL_H_
+#define KBT_KERNELS_EM_KERNELS_IMPL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/kernels.h"
+
+/// Internal seams between the dispatcher (em_kernels.cpp) and the per-ISA
+/// translation units. Every entry point implements the contract documented
+/// in kernels.h; the scalar tail handling inside the ISA paths MUST land
+/// element k in lane k % kTallyLanes and combine lanes with CombineLanes so
+/// results stay bit-for-bit equal to the scalar reference.
+/// `#pragma omp simd`-style hint for the elementwise staging loops: tells the
+/// auto-vectorizer the loop is dependence-free. Elementwise staging has no
+/// reduction to reassociate and the module compiles with -ffp-contract=off,
+/// so auto-vectorizing these loops cannot change results.
+#if defined(_OPENMP)
+#define KBT_KERNELS_SIMD_LOOP _Pragma("omp simd")
+#elif defined(__clang__)
+#define KBT_KERNELS_SIMD_LOOP _Pragma("clang loop vectorize(enable)")
+#elif defined(__GNUC__)
+#define KBT_KERNELS_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define KBT_KERNELS_SIMD_LOOP
+#endif
+
+namespace kbt::kernels::internal {
+
+/// The contract's lane combine: (l0 + l1) + (l2 + l3). Every tally — scalar
+/// or SIMD — funnels through this exact expression.
+inline double CombineLanes(const double lanes[kTallyLanes]) {
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+// Scalar reference implementations (always compiled; also the tail/fallback
+// for the vectorized kind when no vector ISA is active).
+Tally TallyIndexedScalar(const uint32_t* idx, size_t n, const double* w,
+                         const double* p);
+Tally TallyMapScalar(const uint32_t* idx, size_t n, const double* c,
+                     const double* p);
+Tally TallyEdgesScalar(const uint32_t* edges, size_t n, const float* conf,
+                       const uint32_t* edge_slot, const double* c);
+void StageVotesScalar(const double* weight, const uint32_t* index,
+                      const double* table, size_t begin, size_t end,
+                      double* out);
+void StageVotesMaskedScalar(const double* mask, const double* weight,
+                            const uint32_t* index, const double* table,
+                            size_t begin, size_t end, double* out);
+void StageVotesSubScalar(const double* weight, const uint32_t* index,
+                         const double* table, const double* sub, size_t begin,
+                         size_t end, double* out);
+void StageVotesMaskedSubScalar(const double* mask, const double* weight,
+                               const uint32_t* index, const double* table,
+                               const double* sub, size_t begin, size_t end,
+                               double* out);
+void StageEdgeTermsScalar(const float* conf, const uint32_t* group,
+                          const double* net, size_t begin, size_t end,
+                          double* out);
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define KBT_KERNELS_HAVE_AVX2 1
+Tally TallyIndexedAvx2(const uint32_t* idx, size_t n, const double* w,
+                       const double* p);
+Tally TallyMapAvx2(const uint32_t* idx, size_t n, const double* c,
+                   const double* p);
+Tally TallyEdgesAvx2(const uint32_t* edges, size_t n, const float* conf,
+                     const uint32_t* edge_slot, const double* c);
+void StageVotesAvx2(const double* weight, const uint32_t* index,
+                    const double* table, size_t begin, size_t end,
+                    double* out);
+void StageVotesMaskedAvx2(const double* mask, const double* weight,
+                          const uint32_t* index, const double* table,
+                          size_t begin, size_t end, double* out);
+void StageVotesSubAvx2(const double* weight, const uint32_t* index,
+                       const double* table, const double* sub, size_t begin,
+                       size_t end, double* out);
+void StageVotesMaskedSubAvx2(const double* mask, const double* weight,
+                             const uint32_t* index, const double* table,
+                             const double* sub, size_t begin, size_t end,
+                             double* out);
+void StageEdgeTermsAvx2(const float* conf, const uint32_t* group,
+                        const double* net, size_t begin, size_t end,
+                        double* out);
+#endif
+
+#if defined(__aarch64__)
+#define KBT_KERNELS_HAVE_NEON 1
+Tally TallyIndexedNeon(const uint32_t* idx, size_t n, const double* w,
+                       const double* p);
+Tally TallyMapNeon(const uint32_t* idx, size_t n, const double* c,
+                   const double* p);
+Tally TallyEdgesNeon(const uint32_t* edges, size_t n, const float* conf,
+                     const uint32_t* edge_slot, const double* c);
+void StageVotesNeon(const double* weight, const uint32_t* index,
+                    const double* table, size_t begin, size_t end,
+                    double* out);
+void StageVotesMaskedNeon(const double* mask, const double* weight,
+                          const uint32_t* index, const double* table,
+                          size_t begin, size_t end, double* out);
+void StageVotesSubNeon(const double* weight, const uint32_t* index,
+                       const double* table, const double* sub, size_t begin,
+                       size_t end, double* out);
+void StageVotesMaskedSubNeon(const double* mask, const double* weight,
+                             const uint32_t* index, const double* table,
+                             const double* sub, size_t begin, size_t end,
+                             double* out);
+void StageEdgeTermsNeon(const float* conf, const uint32_t* group,
+                        const double* net, size_t begin, size_t end,
+                        double* out);
+#endif
+
+}  // namespace kbt::kernels::internal
+
+#endif  // KBT_KERNELS_EM_KERNELS_IMPL_H_

@@ -1,0 +1,199 @@
+// NEON (aarch64) lanes of the EM kernels. NEON doubles are 2-wide, so the
+// contract's 4 lanes map onto a register pair: acc0 holds lanes {0, 1},
+// acc1 holds lanes {2, 3}; element k still lands in lane k % 4 and the final
+// combine is the shared CombineLanes, so results are bit-for-bit equal to the
+// scalar reference. Gathers are scalar loads (NEON has none); the win is the
+// vertical multiply/add stream. vmulq/vaddq are kept separate — fmla fusion
+// would break parity, and the module builds with -ffp-contract=off.
+#include "kernels/em_kernels_impl.h"
+
+#if defined(KBT_KERNELS_HAVE_NEON)
+
+#include <arm_neon.h>
+
+namespace kbt::kernels::internal {
+
+namespace {
+
+inline float64x2_t Pair(double lo, double hi) {
+  return vcombine_f64(vdup_n_f64(lo), vdup_n_f64(hi));
+}
+
+inline void StoreLanes(double lanes[kTallyLanes], float64x2_t acc0,
+                       float64x2_t acc1) {
+  vst1q_f64(lanes, acc0);
+  vst1q_f64(lanes + 2, acc1);
+}
+
+}  // namespace
+
+Tally TallyIndexedNeon(const uint32_t* idx, size_t n, const double* w,
+                       const double* p) {
+  float64x2_t num0 = vdupq_n_f64(0.0), num1 = vdupq_n_f64(0.0);
+  float64x2_t den0 = vdupq_n_f64(0.0), den1 = vdupq_n_f64(0.0);
+  size_t k = 0;
+  for (; k + kTallyLanes <= n; k += kTallyLanes) {
+    const uint32_t s0 = idx[k], s1 = idx[k + 1], s2 = idx[k + 2],
+                   s3 = idx[k + 3];
+    const float64x2_t w01 = Pair(w[s0], w[s1]);
+    const float64x2_t w23 = Pair(w[s2], w[s3]);
+    const float64x2_t p01 = Pair(p[s0], p[s1]);
+    const float64x2_t p23 = Pair(p[s2], p[s3]);
+    num0 = vaddq_f64(num0, vmulq_f64(w01, p01));
+    num1 = vaddq_f64(num1, vmulq_f64(w23, p23));
+    den0 = vaddq_f64(den0, w01);
+    den1 = vaddq_f64(den1, w23);
+  }
+  double num_lanes[kTallyLanes];
+  double den_lanes[kTallyLanes];
+  StoreLanes(num_lanes, num0, num1);
+  StoreLanes(den_lanes, den0, den1);
+  for (size_t j = 0; k < n; ++k, ++j) {
+    const uint32_t s = idx[k];
+    num_lanes[j] += w[s] * p[s];
+    den_lanes[j] += w[s];
+  }
+  return Tally{CombineLanes(num_lanes), CombineLanes(den_lanes)};
+}
+
+Tally TallyMapNeon(const uint32_t* idx, size_t n, const double* c,
+                   const double* p) {
+  float64x2_t num0 = vdupq_n_f64(0.0), num1 = vdupq_n_f64(0.0);
+  float64x2_t den0 = vdupq_n_f64(0.0), den1 = vdupq_n_f64(0.0);
+  size_t k = 0;
+  for (; k + kTallyLanes <= n; k += kTallyLanes) {
+    const uint32_t s0 = idx[k], s1 = idx[k + 1], s2 = idx[k + 2],
+                   s3 = idx[k + 3];
+    const float64x2_t m01 =
+        Pair(c[s0] > 0.5 ? 1.0 : 0.0, c[s1] > 0.5 ? 1.0 : 0.0);
+    const float64x2_t m23 =
+        Pair(c[s2] > 0.5 ? 1.0 : 0.0, c[s3] > 0.5 ? 1.0 : 0.0);
+    const float64x2_t p01 = Pair(p[s0], p[s1]);
+    const float64x2_t p23 = Pair(p[s2], p[s3]);
+    num0 = vaddq_f64(num0, vmulq_f64(m01, p01));
+    num1 = vaddq_f64(num1, vmulq_f64(m23, p23));
+    den0 = vaddq_f64(den0, m01);
+    den1 = vaddq_f64(den1, m23);
+  }
+  double num_lanes[kTallyLanes];
+  double den_lanes[kTallyLanes];
+  StoreLanes(num_lanes, num0, num1);
+  StoreLanes(den_lanes, den0, den1);
+  for (size_t j = 0; k < n; ++k, ++j) {
+    const uint32_t s = idx[k];
+    const double m = c[s] > 0.5 ? 1.0 : 0.0;
+    num_lanes[j] += m * p[s];
+    den_lanes[j] += m;
+  }
+  return Tally{CombineLanes(num_lanes), CombineLanes(den_lanes)};
+}
+
+Tally TallyEdgesNeon(const uint32_t* edges, size_t n, const float* conf,
+                     const uint32_t* edge_slot, const double* c) {
+  float64x2_t num0 = vdupq_n_f64(0.0), num1 = vdupq_n_f64(0.0);
+  float64x2_t den0 = vdupq_n_f64(0.0), den1 = vdupq_n_f64(0.0);
+  size_t k = 0;
+  for (; k + kTallyLanes <= n; k += kTallyLanes) {
+    const uint32_t e0 = edges[k], e1 = edges[k + 1], e2 = edges[k + 2],
+                   e3 = edges[k + 3];
+    const float64x2_t w01 = Pair(static_cast<double>(conf[e0]),
+                                 static_cast<double>(conf[e1]));
+    const float64x2_t w23 = Pair(static_cast<double>(conf[e2]),
+                                 static_cast<double>(conf[e3]));
+    const float64x2_t c01 = Pair(c[edge_slot[e0]], c[edge_slot[e1]]);
+    const float64x2_t c23 = Pair(c[edge_slot[e2]], c[edge_slot[e3]]);
+    num0 = vaddq_f64(num0, vmulq_f64(w01, c01));
+    num1 = vaddq_f64(num1, vmulq_f64(w23, c23));
+    den0 = vaddq_f64(den0, w01);
+    den1 = vaddq_f64(den1, w23);
+  }
+  double num_lanes[kTallyLanes];
+  double den_lanes[kTallyLanes];
+  StoreLanes(num_lanes, num0, num1);
+  StoreLanes(den_lanes, den0, den1);
+  for (size_t j = 0; k < n; ++k, ++j) {
+    const uint32_t e = edges[k];
+    const double w = static_cast<double>(conf[e]);
+    num_lanes[j] += w * c[edge_slot[e]];
+    den_lanes[j] += w;
+  }
+  return Tally{CombineLanes(num_lanes), CombineLanes(den_lanes)};
+}
+
+void StageVotesNeon(const double* weight, const uint32_t* index,
+                    const double* table, size_t begin, size_t end,
+                    double* out) {
+  size_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const float64x2_t vt = Pair(table[index[i]], table[index[i + 1]]);
+    const float64x2_t vw = vld1q_f64(weight + i);
+    vst1q_f64(out + (i - begin), vmulq_f64(vw, vt));
+  }
+  for (; i < end; ++i) out[i - begin] = weight[i] * table[index[i]];
+}
+
+void StageVotesMaskedNeon(const double* mask, const double* weight,
+                          const uint32_t* index, const double* table,
+                          size_t begin, size_t end, double* out) {
+  size_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const float64x2_t vt = Pair(table[index[i]], table[index[i + 1]]);
+    const float64x2_t vm = vld1q_f64(mask + i);
+    const float64x2_t vw = vld1q_f64(weight + i);
+    vst1q_f64(out + (i - begin), vmulq_f64(vmulq_f64(vm, vw), vt));
+  }
+  for (; i < end; ++i) {
+    out[i - begin] = (mask[i] * weight[i]) * table[index[i]];
+  }
+}
+
+void StageVotesSubNeon(const double* weight, const uint32_t* index,
+                       const double* table, const double* sub, size_t begin,
+                       size_t end, double* out) {
+  size_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const float64x2_t vt = Pair(table[index[i]], table[index[i + 1]]);
+    const float64x2_t vs = vld1q_f64(sub + i);
+    const float64x2_t vw = vld1q_f64(weight + i);
+    vst1q_f64(out + (i - begin), vmulq_f64(vw, vsubq_f64(vt, vs)));
+  }
+  for (; i < end; ++i) {
+    out[i - begin] = weight[i] * (table[index[i]] - sub[i]);
+  }
+}
+
+void StageVotesMaskedSubNeon(const double* mask, const double* weight,
+                             const uint32_t* index, const double* table,
+                             const double* sub, size_t begin, size_t end,
+                             double* out) {
+  size_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const float64x2_t vt = Pair(table[index[i]], table[index[i + 1]]);
+    const float64x2_t vs = vld1q_f64(sub + i);
+    const float64x2_t vm = vld1q_f64(mask + i);
+    const float64x2_t vw = vld1q_f64(weight + i);
+    vst1q_f64(out + (i - begin),
+              vmulq_f64(vmulq_f64(vm, vw), vsubq_f64(vt, vs)));
+  }
+  for (; i < end; ++i) {
+    out[i - begin] = (mask[i] * weight[i]) * (table[index[i]] - sub[i]);
+  }
+}
+
+void StageEdgeTermsNeon(const float* conf, const uint32_t* group,
+                        const double* net, size_t begin, size_t end,
+                        double* out) {
+  size_t e = begin;
+  for (; e + 2 <= end; e += 2) {
+    const float64x2_t vw = vcvt_f64_f32(vld1_f32(conf + e));
+    const float64x2_t vn = Pair(net[group[e]], net[group[e + 1]]);
+    vst1q_f64(out + (e - begin), vmulq_f64(vw, vn));
+  }
+  for (; e < end; ++e) {
+    out[e - begin] = static_cast<double>(conf[e]) * net[group[e]];
+  }
+}
+
+}  // namespace kbt::kernels::internal
+
+#endif  // KBT_KERNELS_HAVE_NEON

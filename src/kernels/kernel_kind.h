@@ -1,0 +1,34 @@
+#ifndef KBT_KERNELS_KERNEL_KIND_H_
+#define KBT_KERNELS_KERNEL_KIND_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kbt::kernels {
+
+/// Which implementation of the EM inner-loop kernels a model run uses.
+/// Both kinds execute the SAME float program — the deterministic blocked
+/// reduction contract (see kernels.h) pins the accumulation order — so
+/// their outputs are bit-for-bit identical; the parity suite in
+/// tests/kernels/ enforces that. The scalar reference is the oracle: a
+/// straightforward transcription of the paper's equations that is always
+/// compiled and never ISA-dispatched.
+enum class Kind : uint8_t {
+  /// Naive per-slot loops, no staging, no SIMD. The testing oracle.
+  kScalarReference = 0,
+  /// Structure-of-arrays staging, cache-blocked sweeps, per-source vote
+  /// memoization and AVX2/NEON inner loops (scalar fallback when the ISA
+  /// is unavailable). Bit-for-bit equal to kScalarReference.
+  kVectorized = 1,
+};
+
+/// The build-selected default (-DKBT_KERNELS=scalar_reference flips it to
+/// the oracle so a CI leg runs the whole suite on the reference path).
+Kind DefaultKind();
+
+/// Stable display name: "scalar_reference" / "vectorized".
+std::string_view KindName(Kind kind);
+
+}  // namespace kbt::kernels
+
+#endif  // KBT_KERNELS_KERNEL_KIND_H_
