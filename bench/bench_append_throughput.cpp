@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "kbt/kbt.h"
 
 namespace {
@@ -175,36 +176,24 @@ int main(int argc, char** argv) {
               rebuild_total / append_total);
 
   // ---- Machine-readable output for the perf trajectory ----
-  const char* json_path = "BENCH_append.json";
-  std::FILE* out = std::fopen(json_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"append_throughput\",\n"
-               "  \"smoke\": %s,\n"
-               "  \"base_observations\": %zu,\n"
-               "  \"batch_size\": %zu,\n"
-               "  \"batches\": [\n",
-               smoke ? "true" : "false", base_size, batch_size);
+  bench::BenchJsonWriter writer("append_throughput", smoke);
+  writer.AddMetadata("base_observations", static_cast<double>(base_size));
+  writer.AddMetadata("batch_size", static_cast<double>(batch_size));
+  writer.AddMetric("append_total_seconds", append_total, "seconds");
+  writer.AddMetric("rebuild_total_seconds", rebuild_total, "seconds");
+  writer.AddMetric("speedup", rebuild_total / append_total, "ratio");
+  std::string batch_json = "[";
   for (size_t b = 0; b < batches.size(); ++b) {
     const BatchTiming& t = batches[b];
-    std::fprintf(out,
-                 "    {\"cube_size\": %zu, \"append_seconds\": %.6f, "
-                 "\"rebuild_seconds\": %.6f}%s\n",
-                 t.total_observations, t.append_seconds, t.rebuild_seconds,
-                 b + 1 < batches.size() ? "," : "");
+    batch_json += b == 0 ? "\n" : ",\n";
+    batch_json += "    {\"cube_size\": " +
+                  bench::JsonNumber(static_cast<double>(t.total_observations)) +
+                  ", \"append_seconds\": " +
+                  bench::JsonNumber(t.append_seconds) +
+                  ", \"rebuild_seconds\": " +
+                  bench::JsonNumber(t.rebuild_seconds) + "}";
   }
-  std::fprintf(out,
-               "  ],\n"
-               "  \"append_total_seconds\": %.6f,\n"
-               "  \"rebuild_total_seconds\": %.6f,\n"
-               "  \"speedup\": %.2f\n"
-               "}\n",
-               append_total, rebuild_total, rebuild_total / append_total);
-  std::fclose(out);
-  std::printf("\nwrote %s\n", json_path);
-  return 0;
+  batch_json += "\n  ]";
+  writer.AddRawSection("batches", batch_json);
+  return writer.WriteFile("BENCH_append.json") ? 0 : 1;
 }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "kbt/kbt.h"
 
 namespace {
@@ -173,30 +174,19 @@ int main(int argc, char** argv) {
               cold_compile * 1e3);
 
   // ---- Machine-readable output for the perf trajectory ----
-  const char* json_path = "BENCH_cache.json";
-  std::FILE* out = std::fopen(json_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"cache_warmstart\",\n"
-               "  \"smoke\": %s,\n"
-               "  \"observations\": %zu,\n"
-               "  \"slots\": %zu,\n"
-               "  \"artifact_bytes\": %ju,\n"
-               "  \"cold_compile_seconds\": %.6f,\n"
-               "  \"save_seconds\": %.6f,\n"
-               "  \"load_seconds\": %.6f,\n"
-               "  \"warm_compile_seconds\": %.6f,\n"
-               "  \"speedup\": %.2f\n"
-               "}\n",
-               smoke ? "true" : "false", synthetic.data.size(),
-               cold_report->counts.num_slots, artifact_bytes, cold_compile,
-               save_seconds, load_seconds, warm_compile, speedup);
-  std::fclose(out);
-  std::printf("\nwrote %s\n", json_path);
+  bench::BenchJsonWriter writer("cache_warmstart", smoke);
+  writer.AddMetadata("observations",
+                     static_cast<double>(synthetic.data.size()));
+  writer.AddMetadata("slots",
+                     static_cast<double>(cold_report->counts.num_slots));
+  writer.AddMetric("artifact_bytes", static_cast<double>(artifact_bytes),
+                   "bytes");
+  writer.AddMetric("cold_compile_seconds", cold_compile, "seconds");
+  writer.AddMetric("save_seconds", save_seconds, "seconds");
+  writer.AddMetric("load_seconds", load_seconds, "seconds");
+  writer.AddMetric("warm_compile_seconds", warm_compile, "seconds");
+  writer.AddMetric("speedup", speedup, "ratio");
+  const bool wrote = writer.WriteFile("BENCH_cache.json");
   std::filesystem::remove_all(dir);
-  return 0;
+  return wrote ? 0 : 1;
 }

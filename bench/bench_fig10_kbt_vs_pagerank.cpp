@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "corpus/link_graph.h"
 #include "dataflow/parallel.h"
 #include "exp/kv_sim.h"
@@ -135,5 +136,17 @@ int main() {
       "High-KBT sites (KBT > 0.9): %zu, of which %zu have PageRank below\n"
       "0.5 (paper: only 20 of 85 trustworthy sites had PageRank over 0.5).\n",
       high_kbt, high_kbt_low_pr);
-  return 0;
+
+  bench::BenchJsonWriter writer("fig10_kbt_vs_pagerank", false);
+  writer.AddMetadata("websites", static_cast<double>(n_sites));
+  writer.AddMetadata("scored_websites", static_cast<double>(n_scored));
+  writer.AddMetric("gossip_sites", static_cast<double>(gossip), "count");
+  writer.AddMetric("gossip_top15pct_pagerank",
+                   static_cast<double>(gossip_top_pr), "count");
+  writer.AddMetric("gossip_bottom_half_kbt",
+                   static_cast<double>(gossip_bottom_kbt), "count");
+  writer.AddMetric("high_kbt_sites", static_cast<double>(high_kbt), "count");
+  writer.AddMetric("high_kbt_low_pagerank",
+                   static_cast<double>(high_kbt_low_pr), "count");
+  return writer.WriteFile("BENCH_fig10.json") ? 0 : 1;
 }

@@ -6,7 +6,9 @@
 // low for MULTILAYER while SINGLELAYER's grows.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "exp/synthetic_eval.h"
 #include "exp/table_printer.h"
 
@@ -24,6 +26,9 @@ int main() {
   TablePrinter table({"#Extractors", "SqV(Single)", "SqV(Multi)",
                       "SqC(Multi)", "SqA(Single)", "SqA(Multi)"});
 
+  std::string points_json = "[";
+  double last_sqv_multi = 0.0;
+  double last_sqa_multi = 0.0;
   for (int extractors = 1; extractors <= 10; ++extractors) {
     double sqv_single = 0.0;
     double sqv_multi = 0.0;
@@ -52,11 +57,33 @@ int main() {
                   TablePrinter::Fmt(sqc_multi / kRepetitions),
                   TablePrinter::Fmt(sqa_single / kRepetitions),
                   TablePrinter::Fmt(sqa_multi / kRepetitions)});
+    points_json += extractors == 1 ? "\n" : ",\n";
+    points_json +=
+        "    {\"extractors\": " + std::to_string(extractors) +
+        ", \"sqv_single\": " +
+        kbt::bench::JsonNumber(sqv_single / kRepetitions) +
+        ", \"sqv_multi\": " +
+        kbt::bench::JsonNumber(sqv_multi / kRepetitions) +
+        ", \"sqc_multi\": " +
+        kbt::bench::JsonNumber(sqc_multi / kRepetitions) +
+        ", \"sqa_single\": " +
+        kbt::bench::JsonNumber(sqa_single / kRepetitions) +
+        ", \"sqa_multi\": " +
+        kbt::bench::JsonNumber(sqa_multi / kRepetitions) + "}";
+    last_sqv_multi = sqv_multi / kRepetitions;
+    last_sqa_multi = sqa_multi / kRepetitions;
   }
+  points_json += "\n  ]";
   table.Print();
   std::printf(
       "\nPaper shape: multi-layer below single-layer everywhere; SqV(Multi)\n"
       "falls fast with extractors; SqA(Multi) stays flat while SqA(Single)\n"
       "grows as extra extractors inject noise.\n");
-  return 0;
+
+  kbt::bench::BenchJsonWriter writer("fig3_extractors", false);
+  writer.AddMetadata("repetitions", static_cast<double>(kRepetitions));
+  writer.AddMetric("sqv_multi_at_10_extractors", last_sqv_multi, "loss");
+  writer.AddMetric("sqa_multi_at_10_extractors", last_sqa_multi, "loss");
+  writer.AddRawSection("points", points_json);
+  return writer.WriteFile("BENCH_fig3.json") ? 0 : 1;
 }

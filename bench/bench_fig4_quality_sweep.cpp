@@ -7,7 +7,9 @@
 // deviations the paper calls out (SqA does not fall with R; SqV bumps
 // slightly as P rises because false triples gain a little trust).
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "exp/synthetic_eval.h"
 #include "exp/table_printer.h"
 
@@ -20,11 +22,14 @@ using kbt::exp::TablePrinter;
 
 constexpr int kRepetitions = 10;
 
-/// Runs the sweep varying one field of the config.
-void Sweep(const char* title, double SyntheticConfig::* field,
-           uint64_t seed_base) {
+/// Runs the sweep varying one field of the config; returns the sweep's
+/// points as a JSON array for the result envelope.
+std::string Sweep(const char* title, double SyntheticConfig::* field,
+                  uint64_t seed_base) {
   PrintBanner(title);
   TablePrinter table({"value", "SqV", "SqC", "SqA"});
+  std::string points = "[";
+  bool first = true;
   for (double value = 0.1; value <= 0.91; value += 0.2) {
     double sqv = 0.0;
     double sqc = 0.0;
@@ -48,19 +53,36 @@ void Sweep(const char* title, double SyntheticConfig::* field,
                   TablePrinter::Fmt(sqv / kRepetitions),
                   TablePrinter::Fmt(sqc / kRepetitions),
                   TablePrinter::Fmt(sqa / kRepetitions)});
+    points += first ? "\n" : ",\n";
+    first = false;
+    points += "    {\"value\": " + kbt::bench::JsonNumber(value) +
+              ", \"sqv\": " + kbt::bench::JsonNumber(sqv / kRepetitions) +
+              ", \"sqc\": " + kbt::bench::JsonNumber(sqc / kRepetitions) +
+              ", \"sqa\": " + kbt::bench::JsonNumber(sqa / kRepetitions) +
+              "}";
   }
+  points += "\n  ]";
   table.Print();
+  return points;
 }
 
 }  // namespace
 
 int main() {
-  Sweep("Figure 4a: varying extractor recall R",
-        &SyntheticConfig::recall, 11000);
-  Sweep("Figure 4b: varying extractor precision component P",
-        &SyntheticConfig::component_accuracy, 23000);
-  Sweep("Figure 4c: varying source accuracy A",
-        &SyntheticConfig::source_accuracy, 37000);
+  const std::string recall = Sweep("Figure 4a: varying extractor recall R",
+                                   &SyntheticConfig::recall, 11000);
+  const std::string precision =
+      Sweep("Figure 4b: varying extractor precision component P",
+            &SyntheticConfig::component_accuracy, 23000);
+  const std::string accuracy =
+      Sweep("Figure 4c: varying source accuracy A",
+            &SyntheticConfig::source_accuracy, 37000);
   std::printf("\nPaper shape: losses shrink as each quality knob rises.\n");
-  return 0;
+
+  kbt::bench::BenchJsonWriter writer("fig4_quality_sweep", false);
+  writer.AddMetadata("repetitions", static_cast<double>(kRepetitions));
+  writer.AddRawSection("recall_sweep", recall);
+  writer.AddRawSection("precision_sweep", precision);
+  writer.AddRawSection("accuracy_sweep", accuracy);
+  return writer.WriteFile("BENCH_fig4.json") ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 // toward high probabilities.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "common/histogram.h"
 #include "dataflow/parallel.h"
 #include "eval/gold_standard.h"
@@ -100,5 +101,11 @@ int main() {
       "26%%), %.0f%% above 0.7 (paper: 54%%)\n",
       100 * te_below_01, 100 * te_above_07, 100 * fb_below_01,
       100 * fb_above_07);
-  return 0;
+
+  bench::BenchJsonWriter writer("fig6_extraction_correctness", false);
+  writer.AddMetric("type_error_below_01_fraction", te_below_01, "ratio");
+  writer.AddMetric("type_error_above_07_fraction", te_above_07, "ratio");
+  writer.AddMetric("freebase_true_below_01_fraction", fb_below_01, "ratio");
+  writer.AddMetric("freebase_true_above_07_fraction", fb_above_07, "ratio");
+  return writer.WriteFile("BENCH_fig6.json") ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 // websites above 0.8.
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "kbt/kbt.h"
 
 int main() {
@@ -59,5 +60,14 @@ int main() {
       scored > 0 ? 100.0 * static_cast<double>(above_08) /
                        static_cast<double>(scored)
                  : 0.0);
-  return 0;
+
+  bench::BenchJsonWriter writer("fig7_kbt_distribution", false);
+  writer.AddMetadata("websites", static_cast<double>(scores.size()));
+  writer.AddMetric("scored_websites", static_cast<double>(scored), "count");
+  writer.AddMetric("kbt_above_08_fraction",
+                   scored > 0 ? static_cast<double>(above_08) /
+                                    static_cast<double>(scored)
+                              : 0.0,
+                   "ratio");
+  return writer.WriteFile("BENCH_fig7.json") ? 0 : 1;
 }

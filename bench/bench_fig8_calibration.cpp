@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench/bench_json.h"
 #include "dataflow/parallel.h"
 #include "eval/gold_standard.h"
 #include "eval/metrics.h"
@@ -83,5 +84,21 @@ int main() {
   std::printf(
       "\nPaper shape: all three methods track the diagonal (well "
       "calibrated);\nthe multi-layer variants are closest to ideal.\n");
-  return 0;
+
+  kbt::bench::BenchJsonWriter writer("fig8_calibration", false);
+  std::string points = "[";
+  bool first = true;
+  for (const auto& [key, accs] : rows) {
+    points += first ? "\n" : ",\n";
+    first = false;
+    points += "    {\"bucket_center\": " +
+              kbt::bench::JsonNumber(bucket_center[key]) +
+              ", \"single_layer\": " + kbt::bench::JsonNumber(accs[0]) +
+              ", \"multi_layer\": " + kbt::bench::JsonNumber(accs[1]) +
+              ", \"multi_layer_sm\": " + kbt::bench::JsonNumber(accs[2]) +
+              "}";
+  }
+  points += "\n  ]";
+  writer.AddRawSection("calibration_points", points);
+  return writer.WriteFile("BENCH_fig8.json") ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "dataflow/parallel.h"
 #include "eval/gold_standard.h"
 #include "eval/metrics.h"
@@ -79,5 +80,10 @@ int main() {
               "%.3f\n(paper: 0.630 / 0.693 / 0.631 — multi-layer has the "
               "best curve).\n",
               aucs[0], aucs[1], aucs[2]);
-  return 0;
+
+  kbt::bench::BenchJsonWriter writer("fig9_pr_curves", false);
+  writer.AddMetric("auc_pr_single_layer", aucs[0], "auc");
+  writer.AddMetric("auc_pr_multi_layer", aucs[1], "auc");
+  writer.AddMetric("auc_pr_multi_layer_sm", aucs[2], "auc");
+  return writer.WriteFile("BENCH_fig9.json") ? 0 : 1;
 }

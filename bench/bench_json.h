@@ -1,0 +1,183 @@
+#ifndef KBT_BENCH_BENCH_JSON_H_
+#define KBT_BENCH_BENCH_JSON_H_
+
+/// Shared machine-readable output for the bench suite. Every bench_* binary
+/// emits one BENCH_<name>.json through this writer so the perf-trend
+/// tooling parses a single envelope:
+///
+///   {
+///     "bench": "<name>",
+///     "smoke": true|false,
+///     "schema_version": 1,
+///     "metadata": { "<key>": <string|number|bool>, ... },
+///     "metrics": [ {"name": "...", "value": <number>, "unit": "..."}, ... ]
+///     [, "<section>": <verbatim JSON>]
+///   }
+///
+/// `metrics` carries the numbers a trend dashboard plots (rates, seconds,
+/// speedups, quantiles); `metadata` carries the workload shape that makes
+/// them comparable (threads, corpus size, gate status). Benches with
+/// richer structure (per-point curves, tables) attach it as a raw section
+/// — the envelope stays uniform, the payload stays free-form.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace kbt::bench {
+
+/// JSON string escaping for keys and string values.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Deterministic number formatting shared by every emitted value: integral
+/// doubles print without exponent or trailing zeros, everything else as
+/// shortest round-trippable-enough %.9g (matches kbt::obs renderers).
+inline std::string JsonNumber(double value) {
+  char buf[64];
+  const double truncated = static_cast<double>(static_cast<long long>(value));
+  if (value == truncated && value < 9.007199254740992e15 &&
+      value > -9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  }
+  return std::string(buf);
+}
+
+/// Accumulates one bench result envelope and writes it to disk.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench_name, bool smoke)
+      : bench_name_(std::move(bench_name)), smoke_(smoke) {}
+
+  /// Workload-shape context (threads, sizes, gate status...). Insertion
+  /// order is preserved in the output.
+  void AddMetadata(const std::string& key, const std::string& value) {
+    metadata_.push_back({key, "\"" + JsonEscape(value) + "\""});
+  }
+  void AddMetadata(const std::string& key, const char* value) {
+    AddMetadata(key, std::string(value));
+  }
+  void AddMetadata(const std::string& key, double value) {
+    metadata_.push_back({key, JsonNumber(value)});
+  }
+  void AddMetadata(const std::string& key, bool value) {
+    metadata_.push_back({key, value ? "true" : "false"});
+  }
+
+  /// One plottable number. `unit` follows the metric naming scheme's unit
+  /// vocabulary: "seconds", "bytes", "ops_per_second", "ratio", "count".
+  void AddMetric(const std::string& name, double value,
+                 const std::string& unit) {
+    metrics_.push_back({name, value, unit});
+  }
+
+  /// Attaches `raw_json` (a complete JSON value) under `key` at the top
+  /// level, for bench-specific structure the flat metric list cannot hold.
+  void AddRawSection(const std::string& key, const std::string& raw_json) {
+    sections_.push_back({key, raw_json});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + JsonEscape(bench_name_) + "\",\n";
+    out += std::string("  \"smoke\": ") + (smoke_ ? "true" : "false") + ",\n";
+    out += "  \"schema_version\": 1,\n";
+    out += "  \"metadata\": {";
+    for (size_t i = 0; i < metadata_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    \"" + JsonEscape(metadata_[i].key) +
+             "\": " + metadata_[i].rendered;
+    }
+    out += metadata_.empty() ? "},\n" : "\n  },\n";
+    out += "  \"metrics\": [";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"name\": \"" + JsonEscape(metrics_[i].name) +
+             "\", \"value\": " + JsonNumber(metrics_[i].value) +
+             ", \"unit\": \"" + JsonEscape(metrics_[i].unit) + "\"}";
+    }
+    out += metrics_.empty() ? "]" : "\n  ]";
+    for (const RawSection& section : sections_) {
+      out += ",\n  \"" + JsonEscape(section.key) + "\": " + section.raw_json;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes the envelope to `path` and reports it on stdout; returns false
+  /// (with a stderr diagnostic) when the file cannot be written, so benches
+  /// can `return writer.WriteFile(...) ? 0 : 1;`.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const size_t written = std::fwrite(json.data(), 1, json.size(), out);
+    const bool ok = written == json.size() && std::fclose(out) == 0;
+    if (ok) {
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "short write to %s\n", path.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  struct Metadata {
+    std::string key;
+    std::string rendered;  // pre-rendered JSON value
+  };
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  struct RawSection {
+    std::string key;
+    std::string raw_json;
+  };
+
+  std::string bench_name_;
+  bool smoke_;
+  std::vector<Metadata> metadata_;
+  std::vector<Metric> metrics_;
+  std::vector<RawSection> sections_;
+};
+
+}  // namespace kbt::bench
+
+#endif  // KBT_BENCH_BENCH_JSON_H_

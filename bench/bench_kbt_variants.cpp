@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "dataflow/parallel.h"
 #include "eval/copy_detection.h"
 #include "exp/kv_sim.h"
@@ -90,17 +91,19 @@ int main() {
     detected_true += is_real_copy ? 1 : 0;
   }
 
+  const double copy_precision =
+      pairs.empty() ? 0.0
+                    : static_cast<double>(detected_true) /
+                          static_cast<double>(pairs.size());
+  const double copy_recall =
+      scrapers == 0 ? 0.0
+                    : static_cast<double>(detected_true) /
+                          static_cast<double>(scrapers);
   exp::PrintBanner("Copy detection (Section 5.4.2, item 4)");
   std::printf(
       "reported pairs: %zu; true scraper->victim pairs among them: %zu;\n"
       "scrapers in the corpus: %zu  -> precision %.2f, recall %.2f\n",
-      pairs.size(), detected_true, scrapers,
-      pairs.empty() ? 0.0
-                    : static_cast<double>(detected_true) /
-                          static_cast<double>(pairs.size()),
-      scrapers == 0 ? 0.0
-                    : static_cast<double>(detected_true) /
-                          static_cast<double>(scrapers));
+      pairs.size(), detected_true, scrapers, copy_precision, copy_recall);
   int shown = 0;
   for (const auto& pair : pairs) {
     if (shown++ >= 5) break;
@@ -109,5 +112,13 @@ int main() {
                 kv->corpus.website(pair.site_b).domain.c_str(), pair.score,
                 pair.shared_claims, pair.shared_false_claims);
   }
-  return 0;
+
+  bench::BenchJsonWriter writer("kbt_variants", false);
+  writer.AddMetric("copy_detection_pairs",
+                   static_cast<double>(pairs.size()), "count");
+  writer.AddMetric("copy_detection_true_pairs",
+                   static_cast<double>(detected_true), "count");
+  writer.AddMetric("copy_detection_precision", copy_precision, "ratio");
+  writer.AddMetric("copy_detection_recall", copy_recall, "ratio");
+  return writer.WriteFile("BENCH_kbt_variants.json") ? 0 : 1;
 }

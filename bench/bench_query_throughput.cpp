@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "kbt/kbt.h"
 
 namespace {
@@ -240,38 +241,29 @@ int main(int argc, char** argv) {
               snapshot->num_triples());
 
   // ---- Machine-readable output for the perf trajectory ----
-  const char* json_path = "BENCH_query.json";
-  std::FILE* out = std::fopen(json_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"query_throughput\",\n"
-               "  \"smoke\": %s,\n"
-               "  \"num_threads\": %d,\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"num_sources\": %zu,\n"
-               "  \"num_triples\": %zu,\n"
-               "  \"point_lookups_per_second_single\": %.0f,\n"
-               "  \"point_lookups_per_second_multi\": %.0f,\n"
-               "  \"point_lookup_speedup\": %.3f,\n"
-               "  \"topk_per_second_single\": %.0f,\n"
-               "  \"topk_per_second_multi\": %.0f,\n"
-               "  \"topk_speedup\": %.3f,\n"
-               "  \"scaling_gate\": \"%s\"\n"
-               "}\n",
-               smoke ? "true" : "false", num_threads,
-               std::thread::hardware_concurrency(),
-               snapshot->num_sources(), snapshot->num_triples(),
-               point_single_rate, point_multi_rate, point_speedup,
-               topk_single_rate, topk_multi_rate, topk_speedup,
-               std::thread::hardware_concurrency() >= 2
-                   ? "enforced"
-                   : "skipped (needs >= 2 hardware threads)");
-  std::fclose(out);
-  std::printf("wrote %s\n", json_path);
+  bench::BenchJsonWriter writer("query_throughput", smoke);
+  writer.AddMetadata("num_threads", static_cast<double>(num_threads));
+  writer.AddMetadata("hardware_threads",
+                     static_cast<double>(std::thread::hardware_concurrency()));
+  writer.AddMetadata("num_sources",
+                     static_cast<double>(snapshot->num_sources()));
+  writer.AddMetadata("num_triples",
+                     static_cast<double>(snapshot->num_triples()));
+  writer.AddMetadata("scaling_gate",
+                     std::thread::hardware_concurrency() >= 2
+                         ? "enforced"
+                         : "skipped (needs >= 2 hardware threads)");
+  writer.AddMetric("point_lookups_per_second_single", point_single_rate,
+                   "ops_per_second");
+  writer.AddMetric("point_lookups_per_second_multi", point_multi_rate,
+                   "ops_per_second");
+  writer.AddMetric("point_lookup_speedup", point_speedup, "ratio");
+  writer.AddMetric("topk_per_second_single", topk_single_rate,
+                   "ops_per_second");
+  writer.AddMetric("topk_per_second_multi", topk_multi_rate,
+                   "ops_per_second");
+  writer.AddMetric("topk_speedup", topk_speedup, "ratio");
+  if (!writer.WriteFile("BENCH_query.json")) return 1;
 
   // Concurrent readers must beat one reader, or the lock-free read path
   // regressed (e.g. sneaky shared-state contention). Smoke runs enforce

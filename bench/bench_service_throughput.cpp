@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "kbt/kbt.h"
 
 namespace {
@@ -207,38 +208,28 @@ int main(int argc, char** argv) {
   }
 
   // ---- Machine-readable output for the perf trajectory ----
-  const char* json_path = "BENCH_service.json";
-  std::FILE* out = std::fopen(json_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"service_throughput\",\n"
-               "  \"smoke\": %s,\n"
-               "  \"num_sessions\": %zu,\n"
-               "  \"requests_per_session\": %zu,\n"
-               "  \"num_threads\": %d,\n"
-               "  \"serial_seconds\": %.6f,\n"
-               "  \"concurrent_seconds\": %.6f,\n"
-               "  \"serial_requests_per_second\": %.2f,\n"
-               "  \"concurrent_requests_per_second\": %.2f,\n"
-               "  \"speedup\": %.3f,\n"
-               "  \"appends_submitted\": %zu,\n"
-               "  \"appends_coalesced\": %zu,\n"
-               "  \"append_batches_executed\": %zu,\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"scaling_meaningful\": %s\n"
-               "}\n",
-               smoke ? "true" : "false", num_sessions, requests_per_session,
-               executor.num_threads(), serial_seconds, concurrent_seconds,
-               serial_rps, concurrent_rps,
-               serial_seconds / concurrent_seconds, stats.appends_submitted,
-               stats.appends_coalesced, stats.append_batches_executed,
-               std::thread::hardware_concurrency(),
-               scaling_meaningful ? "true" : "false");
-  std::fclose(out);
-  std::printf("wrote %s\n", json_path);
-  return 0;
+  bench::BenchJsonWriter writer("service_throughput", smoke);
+  writer.AddMetadata("num_sessions", static_cast<double>(num_sessions));
+  writer.AddMetadata("requests_per_session",
+                     static_cast<double>(requests_per_session));
+  writer.AddMetadata("num_threads",
+                     static_cast<double>(executor.num_threads()));
+  writer.AddMetadata("hardware_threads",
+                     static_cast<double>(std::thread::hardware_concurrency()));
+  writer.AddMetadata("scaling_meaningful", scaling_meaningful);
+  writer.AddMetric("serial_seconds", serial_seconds, "seconds");
+  writer.AddMetric("concurrent_seconds", concurrent_seconds, "seconds");
+  writer.AddMetric("serial_requests_per_second", serial_rps,
+                   "ops_per_second");
+  writer.AddMetric("concurrent_requests_per_second", concurrent_rps,
+                   "ops_per_second");
+  writer.AddMetric("speedup", serial_seconds / concurrent_seconds, "ratio");
+  writer.AddMetric("appends_submitted",
+                   static_cast<double>(stats.appends_submitted), "count");
+  writer.AddMetric("appends_coalesced",
+                   static_cast<double>(stats.appends_coalesced), "count");
+  writer.AddMetric("append_batches_executed",
+                   static_cast<double>(stats.append_batches_executed),
+                   "count");
+  return writer.WriteFile("BENCH_service.json") ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "kbt/kbt.h"
 
 namespace {
@@ -166,37 +167,37 @@ int main(int argc, char** argv) {
   table.Print();
 
   // ---- Machine-readable output for the perf trajectory ----
-  const char* json_path = "BENCH_shard.json";
-  std::FILE* out = std::fopen(json_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
+  bench::BenchJsonWriter writer("shard_scaling", smoke);
+  writer.AddMetadata("hardware_threads",
+                     static_cast<double>(std::thread::hardware_concurrency()));
+  writer.AddMetadata("num_observations",
+                     static_cast<double>(cube.observations.size()));
+  writer.AddMetadata("num_websites",
+                     static_cast<double>(cube.num_websites));
+  if (!rows.empty()) {
+    // Headline trend numbers: single-shard baseline and the widest fanout.
+    const ShardRow& last = rows.back();
+    writer.AddMetric("run_seconds_max_shards", last.run_seconds, "seconds");
+    writer.AddMetric("observations_per_second_max_shards",
+                     last.observations_per_second, "ops_per_second");
+    writer.AddMetric("merged_lookups_per_second_max_shards",
+                     last.lookups_per_second, "ops_per_second");
   }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"shard_scaling\",\n"
-               "  \"smoke\": %s,\n"
-               "  \"hardware_threads\": %u,\n"
-               "  \"num_observations\": %zu,\n"
-               "  \"num_websites\": %u,\n"
-               "  \"rows\": [\n",
-               smoke ? "true" : "false",
-               std::thread::hardware_concurrency(),
-               cube.observations.size(), cube.num_websites);
+  std::string rows_json = "[";
   for (size_t i = 0; i < rows.size(); ++i) {
     const ShardRow& row = rows[i];
-    std::fprintf(out,
-                 "    {\"num_shards\": %u, \"run_seconds\": %.6f, "
-                 "\"observations_per_second\": %.0f, "
-                 "\"query_seconds\": %.6f, "
-                 "\"merged_lookups_per_second\": %.0f}%s\n",
-                 row.num_shards, row.run_seconds,
-                 row.observations_per_second, row.query_seconds,
-                 row.lookups_per_second,
-                 i + 1 < rows.size() ? "," : "");
+    rows_json += i == 0 ? "\n" : ",\n";
+    rows_json += "    {\"num_shards\": " +
+                 bench::JsonNumber(static_cast<double>(row.num_shards)) +
+                 ", \"run_seconds\": " + bench::JsonNumber(row.run_seconds) +
+                 ", \"observations_per_second\": " +
+                 bench::JsonNumber(row.observations_per_second) +
+                 ", \"query_seconds\": " +
+                 bench::JsonNumber(row.query_seconds) +
+                 ", \"merged_lookups_per_second\": " +
+                 bench::JsonNumber(row.lookups_per_second) + "}";
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", json_path);
-  return 0;
+  rows_json += "\n  ]";
+  writer.AddRawSection("rows", rows_json);
+  return writer.WriteFile("BENCH_shard.json") ? 0 : 1;
 }

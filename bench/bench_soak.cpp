@@ -1,0 +1,378 @@
+// Latency-under-load soak: one TrustService session under a mixed
+// query / append / run / tick workload, with every request class timed
+// into kbt::obs histograms and reported as p50/p99.
+//
+// This is the serving-shape complement to the per-subsystem throughput
+// benches: instead of measuring one path at peak, it runs all four paths
+// *concurrently* against one session for a fixed wall-clock window —
+// queries on reader threads (lock-free snapshot path), appends and runs
+// queuing FIFO on the session strand, stream ticks interleaving on the
+// same strand — and reads the latency distributions off the same
+// kbt::obs histograms production would scrape. Outputs:
+//
+//   BENCH_soak.json        p50/p99/max per request class, service
+//                          counters, the full metrics-registry dump, and
+//                          the disabled-path macro-overhead microbench;
+//   BENCH_soak_trace.json  Chrome/Perfetto trace of the soak window
+//                          (load into https://ui.perfetto.dev).
+//
+// Usage: bench_soak [--smoke] [--seconds N]
+//   --smoke     2-second window on a tiny cube + pass/fail gates (CI)
+//   --seconds   soak window length (default 10)
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "kbt/kbt.h"
+
+namespace {
+
+using namespace kbt;
+
+[[noreturn]] void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+/// Measures one obs macro-hook configuration: mean ns per KBT_OBS_INC over
+/// `iters` calls. The counter pointer is opaque to the optimizer via the
+/// loop-carried dependency on the enabled flag's atomic load.
+double MeasureIncNanos(obs::Counter* counter, size_t iters) {
+  const uint64_t start = obs::MonotonicNanos();
+  for (size_t i = 0; i < iters; ++i) {
+    KBT_OBS_INC(counter);
+  }
+  const uint64_t stop = obs::MonotonicNanos();
+  return static_cast<double>(stop - start) / static_cast<double>(iters);
+}
+
+struct ClassStats {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  uint64_t count = 0;
+};
+
+ClassStats StatsOf(obs::Histogram* histogram) {
+  const obs::HistogramSnapshot snap = histogram->Snapshot();
+  ClassStats stats;
+  stats.count = snap.samples;
+  if (snap.samples > 0) {
+    stats.p50 = snap.Quantile(0.5);
+    stats.p99 = snap.Quantile(0.99);
+    stats.max = snap.max_value;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double seconds = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      seconds = 2.0;
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    }
+  }
+
+  // ---- Macro-overhead microbench (single-threaded, before the soak) ----
+  // The disabled path is the contract: a KBT_OBS_INC behind
+  // SetMetricsEnabled(false) must cost a relaxed atomic load and a
+  // predictable branch — single-digit nanoseconds.
+  obs::MetricsRegistry overhead_registry;
+  obs::Counter* overhead_counter =
+      overhead_registry.GetCounter("kbt_soak_overhead_probe_total");
+  const size_t overhead_iters = smoke ? 2'000'000 : 20'000'000;
+  obs::SetMetricsEnabled(false);
+  const double disabled_ns = MeasureIncNanos(overhead_counter,
+                                             overhead_iters);
+  obs::SetMetricsEnabled(true);
+  const double enabled_ns = MeasureIncNanos(overhead_counter,
+                                            overhead_iters);
+  std::printf("macro overhead: disabled %.2f ns/op, enabled %.2f ns/op\n",
+              disabled_ns, enabled_ns);
+
+  // ---- Service + session under its own metrics registry ----
+  exp::SyntheticConfig config;
+  config.num_sources = smoke ? 30 : 200;
+  config.num_extractors = smoke ? 4 : 8;
+  config.num_subjects = smoke ? 20 : 120;
+  config.num_predicates = smoke ? 5 : 8;
+  config.seed = 2015;
+  const exp::SyntheticData synthetic = exp::GenerateSynthetic(config);
+
+  api::Options options;
+  options.multilayer.min_source_support = 1;
+  options.multilayer.max_iterations = smoke ? 3 : 6;
+
+  obs::MetricsRegistry registry;
+  api::TrustService::ServiceOptions service_options;
+  service_options.metrics = &registry;
+  service_options.metrics_label = "soak";
+  api::TrustService service(service_options);
+
+  // Hold out a pool of observations to replay as append/tick deltas.
+  extract::RawDataset seed = synthetic.data;
+  const size_t pool_size = seed.observations.size() / 4;
+  std::vector<extract::RawObservation> pool(
+      seed.observations.end() - static_cast<long>(pool_size),
+      seed.observations.end());
+  seed.observations.resize(seed.observations.size() - pool_size);
+
+  api::PipelineBuilder builder;
+  builder.FromDataset(std::move(seed)).WithOptions(options);
+  Status created = service.CreateSession("soak", std::move(builder));
+  if (!created.ok()) Die("create session", created);
+
+  auto feed = std::make_shared<stream::QueueFeed>();
+  stream::StreamOptions stream_options;
+  stream_options.warm_start = true;
+  Status attached = service.AttachStream("soak", feed, stream_options);
+  if (!attached.ok()) Die("attach stream", attached);
+
+  // Warm the session: the queries need a published snapshot.
+  auto first = service.SubmitRun("soak").get();
+  if (!first.ok()) Die("first run", first.status());
+
+  // Per-class soak latency histograms, on the same registry as the
+  // service's own metrics so one Snapshot covers both.
+  obs::Histogram* query_hist =
+      registry.GetHistogram("kbt_soak_query_seconds");
+  obs::Histogram* append_hist =
+      registry.GetHistogram("kbt_soak_append_seconds");
+  obs::Histogram* run_hist = registry.GetHistogram("kbt_soak_run_seconds");
+  obs::Histogram* tick_hist =
+      registry.GetHistogram("kbt_soak_tick_seconds");
+
+  obs::TraceRecorder::Default().Clear();
+  obs::SetTracingEnabled(true);
+
+  const uint64_t soak_start = obs::MonotonicNanos();
+  const uint64_t deadline =
+      soak_start + static_cast<uint64_t>(seconds * 1e9);
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> queries_done{0};
+
+  // Query class: two reader threads on the lock-free snapshot path,
+  // timing batches of point lookups (per-op time recorded with the batch
+  // size as weight, so quantiles are per-lookup).
+  constexpr size_t kQueryBatch = 128;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      auto reader = service.Query("soak");
+      if (!reader.ok()) {
+        failed.store(true);
+        return;
+      }
+      uint64_t probe = static_cast<uint64_t>(t) * 7919;
+      while (obs::MonotonicNanos() < deadline) {
+        KBT_TRACE_SPAN("soak.query_batch");
+        const uint64_t start = obs::MonotonicNanos();
+        double sink = 0.0;
+        const query::Snapshot* view = reader->view();
+        if (view == nullptr) continue;
+        const uint32_t num_sources =
+            static_cast<uint32_t>(view->num_sources());
+        for (size_t i = 0; i < kQueryBatch; ++i) {
+          probe = probe * 6364136223846793005ULL + 1442695040888963407ULL;
+          if (const auto s = view->SourceTrust(
+                  static_cast<uint32_t>(probe % (num_sources + 1)))) {
+            sink += s->kbt;
+          }
+        }
+        const double per_op =
+            static_cast<double>(obs::MonotonicNanos() - start) * 1e-9 /
+            static_cast<double>(kQueryBatch);
+        query_hist->Add(per_op, static_cast<double>(kQueryBatch));
+        queries_done.fetch_add(kQueryBatch, std::memory_order_relaxed);
+        if (sink < 0.0) std::abort();  // consume the checksum
+      }
+    });
+  }
+
+  // Append class: small deltas cycled from the held-out pool, latency =
+  // submit to future resolution (queue wait + coalesced batch execute).
+  threads.emplace_back([&] {
+    size_t cursor = 0;
+    while (obs::MonotonicNanos() < deadline) {
+      std::vector<extract::RawObservation> delta;
+      for (size_t i = 0; i < 16; ++i) {
+        delta.push_back(pool[cursor++ % pool.size()]);
+      }
+      const uint64_t start = obs::MonotonicNanos();
+      Status appended = service.SubmitAppend("soak", std::move(delta)).get();
+      append_hist->Record(
+          static_cast<double>(obs::MonotonicNanos() - start) * 1e-9);
+      if (!appended.ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // Run class: full inference on the growing cube.
+  threads.emplace_back([&] {
+    while (obs::MonotonicNanos() < deadline) {
+      const uint64_t start = obs::MonotonicNanos();
+      auto report = service.SubmitRun("soak").get();
+      run_hist->Record(
+          static_cast<double>(obs::MonotonicNanos() - start) * 1e-9);
+      if (!report.ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 20 : 50));
+    }
+  });
+
+  // Tick class: streamed deltas through the attached engine, FIFO with
+  // the appends/runs above on the session strand.
+  threads.emplace_back([&] {
+    size_t cursor = pool.size() / 2;
+    uint64_t ticks = 0;
+    while (obs::MonotonicNanos() < deadline) {
+      std::vector<stream::TimedObservation> batch;
+      for (size_t i = 0; i < 8; ++i) {
+        batch.push_back(stream::TimedObservation{
+            pool[cursor++ % pool.size()],
+            static_cast<double>(ticks)});
+      }
+      feed->PushBatch(std::move(batch));
+      const uint64_t start = obs::MonotonicNanos();
+      auto result =
+          service.SubmitTick("soak", static_cast<double>(++ticks)).get();
+      tick_hist->Record(
+          static_cast<double>(obs::MonotonicNanos() - start) * 1e-9);
+      if (!result.ok()) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 25 : 75));
+    }
+  });
+
+  for (auto& thread : threads) thread.join();
+  service.Drain();
+  obs::SetTracingEnabled(false);
+  const double soak_seconds =
+      static_cast<double>(obs::MonotonicNanos() - soak_start) * 1e-9;
+
+  if (failed.load()) {
+    std::fprintf(stderr, "FAIL: a soak request class reported an error\n");
+    return 1;
+  }
+
+  // ---- Report ----
+  const ClassStats query_stats = StatsOf(query_hist);
+  const ClassStats append_stats = StatsOf(append_hist);
+  const ClassStats run_stats = StatsOf(run_hist);
+  const ClassStats tick_stats = StatsOf(tick_hist);
+  const api::TrustService::Stats service_stats = service.stats();
+
+  exp::PrintBanner("Soak: latency under mixed load");
+  exp::TablePrinter table({"Class", "Count", "p50 (ms)", "p99 (ms)",
+                           "max (ms)"});
+  const auto row = [&table](const char* name, const ClassStats& s) {
+    table.AddRow({name, std::to_string(s.count),
+                  exp::TablePrinter::Fmt(s.p50 * 1e3, 3),
+                  exp::TablePrinter::Fmt(s.p99 * 1e3, 3),
+                  exp::TablePrinter::Fmt(s.max * 1e3, 3)});
+  };
+  row("query (per lookup)", query_stats);
+  row("append", append_stats);
+  row("run", run_stats);
+  row("tick", tick_stats);
+  table.Print();
+  std::printf("\n%.1fs window; %" PRIu64 " lookups; service: %zu runs, "
+              "%zu appends (%zu coalesced), %zu snapshots\n",
+              soak_seconds, queries_done.load(),
+              service_stats.runs_submitted, service_stats.appends_submitted,
+              service_stats.appends_coalesced,
+              service_stats.snapshots_published);
+
+  bench::BenchJsonWriter writer("soak", smoke);
+  writer.AddMetadata("window_seconds", soak_seconds);
+  writer.AddMetadata("hardware_threads",
+                     static_cast<double>(std::thread::hardware_concurrency()));
+  writer.AddMetadata("seed_observations",
+                     static_cast<double>(synthetic.data.size() - pool_size));
+  const auto add_class = [&writer](const char* name, const ClassStats& s) {
+    const std::string prefix(name);
+    writer.AddMetric(prefix + "_p50_seconds", s.p50, "seconds");
+    writer.AddMetric(prefix + "_p99_seconds", s.p99, "seconds");
+    writer.AddMetric(prefix + "_max_seconds", s.max, "seconds");
+    writer.AddMetric(prefix + "_count", static_cast<double>(s.count),
+                     "count");
+  };
+  add_class("query", query_stats);
+  add_class("append", append_stats);
+  add_class("run", run_stats);
+  add_class("tick", tick_stats);
+  writer.AddMetric("macro_disabled_ns_per_op", disabled_ns, "nanoseconds");
+  writer.AddMetric("macro_enabled_ns_per_op", enabled_ns, "nanoseconds");
+  writer.AddMetric("runs_submitted",
+                   static_cast<double>(service_stats.runs_submitted),
+                   "count");
+  writer.AddMetric("appends_submitted",
+                   static_cast<double>(service_stats.appends_submitted),
+                   "count");
+  writer.AddMetric("appends_coalesced",
+                   static_cast<double>(service_stats.appends_coalesced),
+                   "count");
+  writer.AddMetric("snapshots_published",
+                   static_cast<double>(service_stats.snapshots_published),
+                   "count");
+  // The full registry dump: service-level queue-wait/execute histograms
+  // and queue-depth gauges beside the soak classes, one scrape.
+  writer.AddRawSection("registry", registry.RenderJson());
+  if (!writer.WriteFile("BENCH_soak.json")) return 1;
+
+  // Chrome/Perfetto trace of the soak window.
+  const std::string trace = obs::TraceRecorder::Default().RenderChromeTrace();
+  std::FILE* trace_out = std::fopen("BENCH_soak_trace.json", "w");
+  if (trace_out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_soak_trace.json\n");
+    return 1;
+  }
+  std::fwrite(trace.data(), 1, trace.size(), trace_out);
+  std::fclose(trace_out);
+  std::printf("wrote BENCH_soak_trace.json (%zu bytes)\n", trace.size());
+
+  // ---- Smoke gates ----
+  if (smoke) {
+    // Every class must have actually exercised its path.
+    if (query_stats.count == 0 || append_stats.count == 0 ||
+        run_stats.count == 0 || tick_stats.count == 0) {
+      std::fprintf(stderr,
+                   "FAIL: a request class recorded zero requests "
+                   "(query %" PRIu64 ", append %" PRIu64 ", run %" PRIu64
+                   ", tick %" PRIu64 ")\n",
+                   query_stats.count, append_stats.count, run_stats.count,
+                   tick_stats.count);
+      return 1;
+    }
+    // The disabled macro hook must stay in low single-digit nanoseconds;
+    // 25ns leaves headroom for slow CI machines while still catching an
+    // accidental always-on metrics path (~100ns+).
+    if (disabled_ns > 25.0) {
+      std::fprintf(stderr,
+                   "FAIL: disabled-path macro overhead %.1f ns/op "
+                   "(budget 25 ns)\n",
+                   disabled_ns);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "kbt/kbt.h"
 #include "support/corpus_fixture.h"
 
@@ -178,35 +179,20 @@ int main(int argc, char** argv) {
               decay_overhead);
 
   // ---- Machine-readable output for the perf trajectory ----
-  const char* json_path = "BENCH_stream.json";
-  std::FILE* out = std::fopen(json_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"stream_ingest\",\n"
-               "  \"smoke\": %s,\n"
-               "  \"seed_observations\": %zu,\n"
-               "  \"ticks\": %zu,\n"
-               "  \"observations_streamed\": %zu,\n"
-               "  \"generations_published\": %zu,\n"
-               "  \"ticks_per_second\": %.3f,\n"
-               "  \"feed_to_queryable_seconds\": {\n"
-               "    \"mean\": %.6f,\n"
-               "    \"p50\": %.6f,\n"
-               "    \"max\": %.6f\n"
-               "  },\n"
-               "  \"decay_off_total_seconds\": %.6f,\n"
-               "  \"decay_on_total_seconds\": %.6f,\n"
-               "  \"decay_overhead\": %.3f\n"
-               "}\n",
-               smoke ? "true" : "false", seed.size(),
-               off.tick_seconds.size(), off.observations, off.generations,
-               ticks_per_second, mean_latency, p50_latency, max_latency,
-               off.total_seconds, on.total_seconds, decay_overhead);
-  std::fclose(out);
-  std::printf("\nwrote %s\n", json_path);
-  return 0;
+  bench::BenchJsonWriter writer("stream_ingest", smoke);
+  writer.AddMetadata("seed_observations", static_cast<double>(seed.size()));
+  writer.AddMetadata("ticks", static_cast<double>(off.tick_seconds.size()));
+  writer.AddMetadata("observations_streamed",
+                     static_cast<double>(off.observations));
+  writer.AddMetadata("generations_published",
+                     static_cast<double>(off.generations));
+  writer.AddMetric("ticks_per_second", ticks_per_second, "ops_per_second");
+  writer.AddMetric("feed_to_queryable_mean_seconds", mean_latency,
+                   "seconds");
+  writer.AddMetric("feed_to_queryable_p50_seconds", p50_latency, "seconds");
+  writer.AddMetric("feed_to_queryable_max_seconds", max_latency, "seconds");
+  writer.AddMetric("decay_off_total_seconds", off.total_seconds, "seconds");
+  writer.AddMetric("decay_on_total_seconds", on.total_seconds, "seconds");
+  writer.AddMetric("decay_overhead", decay_overhead, "ratio");
+  return writer.WriteFile("BENCH_stream.json") ? 0 : 1;
 }

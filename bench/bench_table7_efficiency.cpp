@@ -23,6 +23,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "kbt/kbt.h"
 #include "kernels/kernel_kind.h"
 #include "kernels/kernels.h"
@@ -122,11 +123,11 @@ StrategyTiming RunStrategy(const exp::KvSimData& kv,
   return t;
 }
 
-void WriteJsonStrategy(std::FILE* out, const char* name,
-                       const StrategyTiming& t, bool last) {
-  std::fprintf(
-      out,
-      "    \"%s\": {\n"
+std::string JsonStrategy(const StrategyTiming& t) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
       "      \"prep_source_seconds\": %.6f,\n"
       "      \"prep_extractor_seconds\": %.6f,\n"
       "      \"iter_ext_corr_seconds\": %.6f,\n"
@@ -138,10 +139,11 @@ void WriteJsonStrategy(std::FILE* out, const char* name,
       "      \"num_sources\": %zu,\n"
       "      \"num_extractor_groups\": %zu,\n"
       "      \"biggest_group_edges\": %zu\n"
-      "    }%s\n",
-      name, t.prep_source, t.prep_extractor, t.ext_corr, t.triple_pr,
-      t.src_accu, t.ext_quality, t.IterTotal(), t.IterGbpsModel(),
-      t.num_sources, t.num_groups, t.biggest_group, last ? "" : ",");
+      "    }",
+      t.prep_source, t.prep_extractor, t.ext_corr, t.triple_pr, t.src_accu,
+      t.ext_quality, t.IterTotal(), t.IterGbpsModel(), t.num_sources,
+      t.num_groups, t.biggest_group);
+  return std::string(buf);
 }
 
 // ---- Kernel comparison (scalar_reference vs vectorized) ----
@@ -349,28 +351,30 @@ int main(int argc, char** argv) {
               scalar_kernel.num_slots);
 
   // ---- Machine-readable output for the perf trajectory ----
-  const char* json_path = "BENCH_table7.json";
-  std::FILE* out = std::fopen(json_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
-  }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"table7_efficiency\",\n"
-               "  \"corpus\": {\"sites\": %zu, \"pages\": %zu, "
-               "\"observations\": %zu},\n"
-               "  \"unit_seconds\": %.6f,\n"
-               "  \"strategies\": {\n",
-               kv->corpus.num_websites(), kv->corpus.num_pages(),
-               kv->data.size(), unit);
-  WriteJsonStrategy(out, "normal", normal, false);
-  WriteJsonStrategy(out, "split", split, false);
-  WriteJsonStrategy(out, "split_merge", sm, true);
-  std::fprintf(
-      out,
-      "  },\n"
-      "  \"kernels\": {\n"
+  bench::BenchJsonWriter writer("table7_efficiency", smoke);
+  writer.AddMetadata("corpus_sites",
+                     static_cast<double>(kv->corpus.num_websites()));
+  writer.AddMetadata("corpus_pages",
+                     static_cast<double>(kv->corpus.num_pages()));
+  writer.AddMetadata("corpus_observations",
+                     static_cast<double>(kv->data.size()));
+  writer.AddMetadata("isa",
+                     std::string(kernels::IsaName(kernels::ActiveIsa())));
+  writer.AddMetric("unit_seconds", unit, "seconds");
+  writer.AddMetric("em_pass_speedup", em_speedup, "ratio");
+  writer.AddMetric("scalar_em_pass_seconds_per_iter",
+                   scalar_kernel.em_pass_seconds, "seconds");
+  writer.AddMetric("vectorized_em_pass_seconds_per_iter",
+                   vector_kernel.em_pass_seconds, "seconds");
+  std::string strategies = "{\n";
+  strategies += "    \"normal\": " + JsonStrategy(normal) + ",\n";
+  strategies += "    \"split\": " + JsonStrategy(split) + ",\n";
+  strategies += "    \"split_merge\": " + JsonStrategy(sm) + "\n  }";
+  writer.AddRawSection("strategies", strategies);
+  char kernels_buf[2048];
+  std::snprintf(
+      kernels_buf, sizeof(kernels_buf),
+      "{\n"
       "    \"isa\": \"%s\",\n"
       "    \"num_slots\": %zu,\n"
       "    \"scalar_reference\": {\"em_pass_seconds_per_iter\": %.6f, "
@@ -392,7 +396,7 @@ int main(int argc, char** argv) {
       "memoized per-source vote table (one log per source instead of one "
       "per slot) and the precompiled value grouping (one exp per distinct "
       "value instead of one per slot)\"\n"
-      "  }\n}\n",
+      "  }",
       std::string(kernels::IsaName(kernels::ActiveIsa())).c_str(),
       scalar_kernel.num_slots, scalar_kernel.em_pass_seconds,
       scalar_kernel.em_pass_gbps, scalar_kernel.triple_pr_seconds,
@@ -400,7 +404,6 @@ int main(int argc, char** argv) {
       vector_kernel.em_pass_gbps, vector_kernel.triple_pr_seconds,
       vector_kernel.src_accu_seconds, em_speedup,
       int(kEmPassBytesPerSlot));
-  std::fclose(out);
-  std::printf("\nwrote %s\n", json_path);
-  return 0;
+  writer.AddRawSection("kernels", kernels_buf);
+  return writer.WriteFile("BENCH_table7.json") ? 0 : 1;
 }

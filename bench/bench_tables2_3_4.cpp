@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench/bench_json.h"
 #include "common/math.h"
 #include "exp/motivating_example.h"
 #include "exp/table_printer.h"
@@ -36,6 +37,8 @@ const char* ValueName(kbt::kb::ValueId v) {
 int main() {
   const auto data = MotivatingExample::Dataset();
   const auto provided = MotivatingExample::ProvidedValues();
+  kbt::bench::BenchJsonWriter writer("tables2_3_4", false);
+  writer.AddMetadata("observations", static_cast<double>(data.size()));
 
   // ---------------- Table 2: the extraction matrix ----------------
   PrintBanner("Table 2: Obama's nationality extracted by 5 extractors from 8 webpages");
@@ -138,6 +141,16 @@ int main() {
     std::printf(
         "\nPaper reference: W1..W6 rows 1/0, W7 Kenya 0.07; p(V) = "
         "0.995 USA / 0.004 Kenya.\n");
+    writer.AddMetric("p_usa",
+                     vprob.count(MotivatingExample::kUsa)
+                         ? vprob[MotivatingExample::kUsa]
+                         : 0.0,
+                     "probability");
+    writer.AddMetric("p_kenya",
+                     vprob.count(MotivatingExample::kKenya)
+                         ? vprob[MotivatingExample::kKenya]
+                         : 0.0,
+                     "probability");
   }
-  return 0;
+  return writer.WriteFile("BENCH_tables2_3_4.json") ? 0 : 1;
 }

@@ -40,8 +40,15 @@
 /// k-way merges the per-shard read views. K = 1 is bit-for-bit identical
 /// to an unsharded Pipeline; TrustService sessions can be backed by
 /// either transparently (CreateShardedSession).
+///
+/// Observability is kbt::obs (kbt/obs.h): a process-wide metrics registry
+/// (lock-free counters, gauges, mergeable latency histograms), trace
+/// spans exportable as Chrome/Perfetto JSON, and Prometheus/JSON render
+/// surfaces. Every layer above is pre-instrumented; see
+/// docs/OBSERVABILITY.md for the metric catalog and naming scheme.
 
 #include "kbt/data.h"
+#include "kbt/obs.h"
 #include "kbt/options.h"
 #include "kbt/pipeline.h"
 #include "kbt/query.h"

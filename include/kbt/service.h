@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "kbt/obs.h"
 #include "kbt/pipeline.h"
 #include "kbt/query.h"
 #include "kbt/report.h"
@@ -87,9 +88,23 @@ class TrustService {
     /// it never races the pipeline. Disable to publish manually through
     /// Pipeline::PublishSnapshot.
     bool publish_snapshots = true;
+    /// Registry this service's metrics register into: the Stats counters,
+    /// per-kind queue-wait/execute latency histograms
+    /// (kbt_service_queue_wait_seconds / kbt_service_execute_seconds,
+    /// kind = run|run_from|append|tick) and per-session queue-depth gauges
+    /// (kbt_service_queue_depth). Null selects
+    /// obs::MetricsRegistry::Default().
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Value of the `service` label on this instance's metrics. Empty
+    /// picks a process-unique ordinal ("svc0", "svc1", ...), keeping
+    /// concurrently-live services apart without unbounded cardinality.
+    std::string metrics_label;
   };
 
-  /// Monotonic request counters, for observability and tests.
+  /// Monotonic request counters — a thin view over this service's
+  /// kbt::obs counters (kbt_service_*_total with this instance's
+  /// `service` label), kept for API compatibility; the registry is the
+  /// source of truth and the superset (latency histograms, queue depths).
   struct Stats {
     /// SubmitRun + SubmitRunFrom calls accepted.
     size_t runs_submitted = 0;

@@ -300,6 +300,11 @@ class StreamEngine {
   std::atomic<uint64_t> observations_ingested_{0};
   std::atomic<uint64_t> generations_published_{0};
   std::atomic<uint64_t> alerts_fired_{0};
+
+  /// Monotonic stamp of the current Tick's entry, for the
+  /// feed-to-queryable latency histogram (0 = obs disabled). Tick-path
+  /// confined like timeline_ (ticks are strand-serialized).
+  uint64_t tick_start_ns_ = 0;
 };
 
 }  // namespace kbt::stream

@@ -43,3 +43,6 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/bench/bench_shard_scaling --smoke
 ./build/bench/bench_stream_ingest --smoke
 ./build/bench/bench_table7_efficiency --smoke
+# Latency-under-load soak: mixed query/append/run/tick driver with hard
+# gates on per-class liveness and disabled-path macro overhead.
+./build/bench/bench_soak --smoke

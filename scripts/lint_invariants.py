@@ -34,6 +34,22 @@ textually over src/ and include/:
                      use kbt::Mutex / kbt::MutexLock / kbt::CondVar so a
                      clang -Wthread-safety build can prove lock discipline.
 
+  metric-naming      Every metric registered through obs (GetCounter /
+                     GetGauge / GetHistogram with a literal name, in src/,
+                     include/ and bench/) must follow the
+                     kbt_<layer>_<name>_<unit> scheme documented in
+                     docs/OBSERVABILITY.md: counters end in _total,
+                     histograms in _seconds/_bytes, gauges in a unit noun
+                     (_depth, _ratio, _version, _retained). A scrape with
+                     mixed conventions is a dashboard nobody can query.
+
+  obs-timing         src/api, src/stream and src/query time their seams
+                     through kbt::obs (ScopedTimer / MonotonicNanos), not
+                     ad-hoc Stopwatch instances — one clock source, and
+                     every latency lands in a scrapeable histogram. The
+                     baseline is empty and stays empty (the ratchet only
+                     tightens).
+
 A finding can be waived on its own line (or the line above) with
     // kbt-lint: allow(<rule>) -- <justification>
 Use sparingly; the waiver text is grep-able review surface.
@@ -110,6 +126,21 @@ RAW_SYNC_PATTERNS = [
      "raw sync header include"),
 ]
 
+# --- rule: metric-naming ----------------------------------------------------
+
+METRIC_CALL_RE = re.compile(r'Get(Counter|Gauge|Histogram)\(\s*"([^"]+)"')
+METRIC_NAME_RE = re.compile(r"^kbt_[a-z][a-z0-9_]*$")
+HISTOGRAM_SUFFIXES = ("_seconds", "_bytes")
+GAUGE_SUFFIXES = ("_depth", "_ratio", "_version", "_retained")
+
+# --- rule: obs-timing -------------------------------------------------------
+
+OBS_TIMING_DIRS = ("src/api", "src/stream", "src/query")
+OBS_TIMING_RE = re.compile(r"\bStopwatch\b|common/stopwatch\.h")
+# Grandfathered Stopwatch uses in the instrumented layers: empty, and the
+# ratchet only tightens — new entries are not accepted.
+OBS_TIMING_BASELINE: set[str] = set()
+
 # --- rule: unordered-iter ---------------------------------------------------
 
 UNORDERED_DECL_RE = re.compile(
@@ -153,11 +184,19 @@ class Linter:
         raw_lines = raw.split("\n")
         code_lines = strip_comments(raw).split("\n")
 
+        self.check_metric_naming(path, code_lines, raw_lines)
+        if rel.startswith("bench/"):
+            # Benches are scanned for metric naming only; the concurrency
+            # and layering rules target the library proper.
+            return
         if rel not in SYNC_ALLOWLIST:
             self.check_raw_sync(path, code_lines, raw_lines)
         if any(rel.startswith(d + "/") for d in DETERMINISM_DIRS):
             self.check_determinism(path, code_lines, raw_lines)
             self.check_unordered_iteration(path, code_lines, raw_lines)
+        if (any(rel.startswith(d + "/") for d in OBS_TIMING_DIRS)
+                and rel not in OBS_TIMING_BASELINE):
+            self.check_obs_timing(path, code_lines, raw_lines)
         if rel.startswith("include/kbt/") and rel != "include/kbt/sync.h":
             self.check_public_includes(path, rel, code_lines, raw_lines)
 
@@ -170,6 +209,48 @@ class Linter:
                         f"{what}: use kbt::Mutex/MutexLock/CondVar from "
                         "common/mutex.h (public headers: kbt/sync.h)",
                         raw_lines)
+
+    def check_metric_naming(self, path, code_lines, raw_lines) -> None:
+        for i, line in enumerate(code_lines, 1):
+            for kind, name in METRIC_CALL_RE.findall(line):
+                if not METRIC_NAME_RE.match(name):
+                    self.report(
+                        "metric-naming", path, i,
+                        f'metric "{name}" does not match '
+                        "kbt_<layer>_<name>_<unit> (lowercase, "
+                        "kbt_-prefixed; see docs/OBSERVABILITY.md)",
+                        raw_lines)
+                    continue
+                if kind == "Counter" and not name.endswith("_total"):
+                    self.report(
+                        "metric-naming", path, i,
+                        f'counter "{name}" must end in _total',
+                        raw_lines)
+                elif (kind == "Histogram"
+                      and not name.endswith(HISTOGRAM_SUFFIXES)):
+                    self.report(
+                        "metric-naming", path, i,
+                        f'histogram "{name}" must end in the measured unit '
+                        f"({' or '.join(HISTOGRAM_SUFFIXES)})",
+                        raw_lines)
+                elif kind == "Gauge" and not name.endswith(GAUGE_SUFFIXES):
+                    self.report(
+                        "metric-naming", path, i,
+                        f'gauge "{name}" must end in a unit noun '
+                        f"({', '.join(GAUGE_SUFFIXES)}; extend the set in "
+                        "scripts/lint_invariants.py if a new unit is real)",
+                        raw_lines)
+
+    def check_obs_timing(self, path, code_lines, raw_lines) -> None:
+        for i, line in enumerate(code_lines, 1):
+            if OBS_TIMING_RE.search(line):
+                self.report(
+                    "obs-timing", path, i,
+                    "ad-hoc Stopwatch in an instrumented layer: time "
+                    "through kbt::obs (ScopedTimer into a registered "
+                    "histogram, or MonotonicNanos) so the latency is "
+                    "scrapeable",
+                    raw_lines)
 
     def check_determinism(self, path, code_lines, raw_lines) -> None:
         for i, line in enumerate(code_lines, 1):
@@ -242,6 +323,10 @@ class Linter:
         for top in ("src", "include"):
             paths.extend(sorted((self.root / top).rglob("*.h")))
             paths.extend(sorted((self.root / top).rglob("*.cpp")))
+        # Benches participate in the metric-naming rule (their private
+        # registries feed the same dashboards); see lint_file for scoping.
+        paths.extend(sorted((self.root / "bench").glob("*.h")))
+        paths.extend(sorted((self.root / "bench").glob("*.cpp")))
         for path in paths:
             self.lint_file(path)
         for finding in self.findings:

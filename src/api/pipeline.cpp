@@ -8,7 +8,6 @@
 #include "common/logging.h"
 #include "common/mutex.h"
 #include "common/math.h"
-#include "common/stopwatch.h"
 #include "core/initialization.h"
 #include "core/kbt_score.h"
 #include "core/multilayer_model.h"
@@ -21,6 +20,7 @@
 #include "fusion/single_layer.h"
 #include "granularity/assignments.h"
 #include "io/dataset_io.h"
+#include "kbt/obs.h"
 #include "kbt/query.h"
 
 namespace kbt::api {
@@ -95,13 +95,21 @@ struct Pipeline::Impl {
 namespace {
 
 /// Times one pipeline stage into the report, the shared StageTimers (under
-/// "Pipeline.<stage>") and the progress callback.
+/// "Pipeline.<stage>") and the progress callback, and opens a trace span
+/// ("pipeline.<stage>") so stage boundaries land in exported traces. The
+/// clock is obs::MonotonicNanos (the report's stage_seconds stay populated
+/// regardless of the metrics switch — timing a run is the report's job).
 class StageScope {
  public:
   StageScope(Pipeline::Impl& impl, TrustReport& report, Stage stage)
-      : impl_(impl), report_(report), stage_(stage) {}
+      : impl_(impl),
+        report_(report),
+        stage_(stage),
+        start_ns_(obs::MonotonicNanos()),
+        span_(std::string("pipeline.") + std::string(StageName(stage))) {}
   ~StageScope() {
-    const double seconds = watch_.ElapsedSeconds();
+    const double seconds =
+        static_cast<double>(obs::MonotonicNanos() - start_ns_) * 1e-9;
     const std::string name(StageName(stage_));
     report_.stage_seconds.emplace_back(name, seconds);
     if (impl_.timers != nullptr) impl_.timers->Add("Pipeline." + name, seconds);
@@ -114,7 +122,8 @@ class StageScope {
   Pipeline::Impl& impl_;
   TrustReport& report_;
   Stage stage_;
-  Stopwatch watch_;
+  uint64_t start_ns_;
+  obs::TraceSpan span_;
 };
 
 core::TripleLabelFn MakeLabelFn(const eval::GoldStandard& gold) {

@@ -16,6 +16,9 @@ namespace kbt::api {
 
 namespace {
 
+/// Ordinal source for the default per-instance `service` metric label.
+std::atomic<int> g_service_ordinal{0};
+
 /// An append batch open for coalescing: the delta accumulated so far and
 /// one promise per SubmitAppend call that joined it. Owned jointly by the
 /// session (while the window is open) and by the queued task that will
@@ -23,6 +26,21 @@ namespace {
 struct PendingAppend {
   std::vector<extract::RawObservation> observations;
   std::vector<std::promise<Status>> promises;
+};
+
+/// RAII -1 on a session's queue-depth gauge when its task finishes,
+/// whatever the exit path. (Toggling SetMetricsEnabled while requests are
+/// in flight can skew depth gauges by the in-flight count; see
+/// docs/OBSERVABILITY.md.)
+class QueueDepthGuard {
+ public:
+  explicit QueueDepthGuard(obs::Gauge* gauge) : gauge_(gauge) {}
+  ~QueueDepthGuard() { KBT_OBS_GAUGE_ADD(gauge_, -1.0); }
+  QueueDepthGuard(const QueueDepthGuard&) = delete;
+  QueueDepthGuard& operator=(const QueueDepthGuard&) = delete;
+
+ private:
+  obs::Gauge* gauge_;
 };
 
 template <typename T>
@@ -130,6 +148,11 @@ struct TrustService::Session {
   /// after the batch).
   std::shared_ptr<PendingAppend> open_append KBT_GUARDED_BY(mutex);
 
+  /// Depth of this session's strand (queued + executing requests), as a
+  /// dashboard gauge. Set by CreateSession; +1 per enqueued task, -1 when
+  /// the task finishes (coalesced appends ride an already-counted task).
+  obs::Gauge* queue_depth = nullptr;
+
   /// The attached streaming engine (AttachStream), null when detached.
   /// Shared so queued ticks pin it past a detach — they drain harmlessly.
   std::shared_ptr<stream::StreamEngine> stream_engine KBT_GUARDED_BY(mutex);
@@ -139,12 +162,60 @@ struct TrustService::Session {
   std::unique_ptr<StreamTicker> ticker KBT_GUARDED_BY(mutex);
 };
 
+/// The service's registered metric handles: resolved once at
+/// construction (a mutex-guarded registry lookup each), recorded into
+/// lock-free forever after. One source of truth — TrustService::stats()
+/// is a view over the five counters.
+struct ServiceMetrics {
+  /// Queue-wait + execute latency pair for one Submit kind.
+  struct PerKind {
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* execute = nullptr;
+  };
+
+  void Init(obs::MetricsRegistry* registry, const std::string& label) {
+    const obs::Labels service{{"service", label}};
+    runs_submitted =
+        registry->GetCounter("kbt_service_runs_submitted_total", service);
+    appends_submitted =
+        registry->GetCounter("kbt_service_appends_submitted_total", service);
+    appends_coalesced =
+        registry->GetCounter("kbt_service_appends_coalesced_total", service);
+    append_batches_executed =
+        registry->GetCounter("kbt_service_append_batches_total", service);
+    snapshots_published =
+        registry->GetCounter("kbt_service_snapshots_published_total",
+                             service);
+    const auto kind = [&](const char* name) {
+      PerKind per_kind;
+      obs::Labels labels = service;
+      labels.emplace_back("kind", name);
+      per_kind.queue_wait =
+          registry->GetHistogram("kbt_service_queue_wait_seconds", labels);
+      per_kind.execute =
+          registry->GetHistogram("kbt_service_execute_seconds", labels);
+      return per_kind;
+    };
+    run = kind("run");
+    run_from = kind("run_from");
+    append = kind("append");
+    tick = kind("tick");
+  }
+
+  obs::Counter* runs_submitted = nullptr;
+  obs::Counter* appends_submitted = nullptr;
+  obs::Counter* appends_coalesced = nullptr;
+  obs::Counter* append_batches_executed = nullptr;
+  obs::Counter* snapshots_published = nullptr;
+  PerKind run, run_from, append, tick;
+};
+
 struct TrustService::State {
   ServiceOptions options;
   dataflow::Executor* executor = nullptr;
 
-  /// Guards `sessions` only; the counters are lock-free so the submit fast
-  /// path of one session never contends with another's.
+  /// Guards `sessions` only; the metric handles are lock-free so the
+  /// submit fast path of one session never contends with another's.
   mutable Mutex mutex;
   /// shared_ptr ownership: a request task (or a caller-held future chain)
   /// pins its Session, so CloseSession racing a submit frees nothing that
@@ -152,11 +223,11 @@ struct TrustService::State {
   std::map<std::string, std::shared_ptr<Session>> sessions
       KBT_GUARDED_BY(mutex);
 
-  std::atomic<size_t> runs_submitted{0};
-  std::atomic<size_t> appends_submitted{0};
-  std::atomic<size_t> appends_coalesced{0};
-  std::atomic<size_t> append_batches_executed{0};
-  std::atomic<size_t> snapshots_published{0};
+  /// Registry + label the instance registers under, and the resolved
+  /// handles (see ServiceOptions::metrics / metrics_label).
+  obs::MetricsRegistry* registry = nullptr;
+  std::string metrics_label;
+  ServiceMetrics metrics;
 
   /// Runs on the session strand right after a completed run: publishes the
   /// report as the session's served snapshot (when configured). The strand
@@ -179,14 +250,14 @@ void TrustService::State::MaybePublish(Session& session,
                                        const StatusOr<TrustReport>& report) {
   if (!options.publish_snapshots || !report.ok()) return;
   session.pipeline->PublishSnapshot(*report);
-  snapshots_published.fetch_add(1, std::memory_order_relaxed);
+  metrics.snapshots_published->Increment();
 }
 
 void TrustService::State::MaybePublishSharded(
     Session& session, const StatusOr<ShardedTrustReport>& reports) {
   if (!options.publish_snapshots || !reports.ok()) return;
   session.sharded->PublishSnapshot(*reports);
-  snapshots_published.fetch_add(1, std::memory_order_relaxed);
+  metrics.snapshots_published->Increment();
 }
 
 TrustService::TrustService(ServiceOptions options)
@@ -195,6 +266,15 @@ TrustService::TrustService(ServiceOptions options)
   state_->executor =
       options.executor != nullptr ? options.executor
                                   : &dataflow::DefaultExecutor();
+  state_->registry = options.metrics != nullptr
+                         ? options.metrics
+                         : &obs::MetricsRegistry::Default();
+  state_->metrics_label =
+      !options.metrics_label.empty()
+          ? options.metrics_label
+          : "svc" + std::to_string(g_service_ordinal.fetch_add(
+                        1, std::memory_order_relaxed));
+  state_->metrics.Init(state_->registry, state_->metrics_label);
 }
 
 TrustService::~TrustService() { Drain(); }
@@ -239,6 +319,9 @@ Status TrustService::CreateSession(const std::string& name,
   pipeline.AttachExecutor(state_->executor);
   auto session = std::make_shared<Session>(std::move(pipeline),
                                            &state_->executor->pool());
+  session->queue_depth = state_->registry->GetGauge(
+      "kbt_service_queue_depth",
+      {{"service", state_->metrics_label}, {"session", name}});
   MutexLock lock(state_->mutex);
   state_->sessions[name] = std::move(session);
   return Status::OK();
@@ -281,6 +364,9 @@ Status TrustService::CreateShardedSession(const std::string& name,
   pipeline.AttachExecutor(state_->executor);
   auto session = std::make_shared<Session>(std::move(pipeline),
                                            &state_->executor->pool());
+  session->queue_depth = state_->registry->GetGauge(
+      "kbt_service_queue_depth",
+      {{"service", state_->metrics_label}, {"session", name}});
   MutexLock lock(state_->mutex);
   state_->sessions[name] = std::move(session);
   return Status::OK();
@@ -342,7 +428,12 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRun(
     return ReadyFuture<StatusOr<TrustReport>>(
         Status::NotFound("no session '" + session_name + "'"));
   }
-  state_->runs_submitted.fetch_add(1, std::memory_order_relaxed);
+  state_->metrics.runs_submitted->Increment();
+  // Request-lifecycle instrumentation: stamp the submit so the task can
+  // split queue wait (submit -> start) from execute (start -> finish).
+  const uint64_t submit_ns =
+      obs::MetricsEnabled() ? obs::MonotonicNanos() : 0;
+  KBT_OBS_GAUGE_ADD(session->queue_depth, 1.0);
   // The window close and the enqueue happen atomically under the session
   // mutex (lock order: session -> queue -> pool, never inverted): a run
   // closes the coalescing window, and appends submitted after this call
@@ -350,7 +441,14 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRun(
   MutexLock lock(session->mutex);
   session->open_append.reset();
   return session->queue.SubmitWithResult(
-      [state = state_, session]() -> StatusOr<TrustReport> {
+      [state = state_, session, submit_ns]() -> StatusOr<TrustReport> {
+        if (submit_ns != 0) {
+          state->metrics.run.queue_wait->Record(
+              static_cast<double>(obs::MonotonicNanos() - submit_ns) * 1e-9);
+        }
+        QueueDepthGuard depth_guard(session->queue_depth);
+        obs::ScopedTimer execute_timer(state->metrics.run.execute);
+        KBT_TRACE_SPAN("service.run");
         if (session->sharded) {
           // The scatter's TaskGroup join donates this strand's thread, so
           // running K shards from here cannot deadlock the shared pool.
@@ -374,12 +472,22 @@ std::future<StatusOr<TrustReport>> TrustService::SubmitRunFrom(
     return ReadyFuture<StatusOr<TrustReport>>(
         Status::NotFound("no session '" + session_name + "'"));
   }
-  state_->runs_submitted.fetch_add(1, std::memory_order_relaxed);
+  state_->metrics.runs_submitted->Increment();
+  const uint64_t submit_ns =
+      obs::MetricsEnabled() ? obs::MonotonicNanos() : 0;
+  KBT_OBS_GAUGE_ADD(session->queue_depth, 1.0);
   MutexLock lock(session->mutex);
   session->open_append.reset();
   return session->queue.SubmitWithResult(
-      [state = state_, session,
+      [state = state_, session, submit_ns,
        previous = std::move(previous)]() -> StatusOr<TrustReport> {
+        if (submit_ns != 0) {
+          state->metrics.run_from.queue_wait->Record(
+              static_cast<double>(obs::MonotonicNanos() - submit_ns) * 1e-9);
+        }
+        QueueDepthGuard depth_guard(session->queue_depth);
+        obs::ScopedTimer execute_timer(state->metrics.run_from.execute);
+        KBT_TRACE_SPAN("service.run_from");
         if (session->sharded) {
           // Warm starts need per-shard inference state, which the flattened
           // `previous` cannot carry: use the session-retained last sharded
@@ -410,7 +518,9 @@ std::future<Status> TrustService::SubmitAppend(
     return ReadyFuture<Status>(
         Status::NotFound("no session '" + session_name + "'"));
   }
-  state_->appends_submitted.fetch_add(1, std::memory_order_relaxed);
+  state_->metrics.appends_submitted->Increment();
+  const uint64_t submit_ns =
+      obs::MetricsEnabled() ? obs::MonotonicNanos() : 0;
 
   std::shared_ptr<PendingAppend> batch;
   std::future<Status> future;
@@ -436,7 +546,15 @@ std::future<Status> TrustService::SubmitAppend(
       batch->promises.emplace_back();
       future = batch->promises.back().get_future();
       if (state_->options.coalesce_appends) session->open_append = batch;
-      session->queue.Submit([state = state_, session, batch] {
+      KBT_OBS_GAUGE_ADD(session->queue_depth, 1.0);
+      session->queue.Submit([state = state_, session, batch, submit_ns] {
+        if (submit_ns != 0) {
+          state->metrics.append.queue_wait->Record(
+              static_cast<double>(obs::MonotonicNanos() - submit_ns) * 1e-9);
+        }
+        QueueDepthGuard depth_guard(session->queue_depth);
+        obs::ScopedTimer execute_timer(state->metrics.append.execute);
+        KBT_TRACE_SPAN("service.append");
         std::vector<extract::RawObservation> merged;
         std::vector<std::promise<Status>> promises;
         {
@@ -448,8 +566,7 @@ std::future<Status> TrustService::SubmitAppend(
           if (session->open_append == batch) session->open_append.reset();
         }
         const Status status = session->Append(merged);
-        state->append_batches_executed.fetch_add(1,
-                                                 std::memory_order_relaxed);
+        state->metrics.append_batches_executed->Increment();
         for (std::promise<Status>& promise : promises) {
           promise.set_value(status);
         }
@@ -457,7 +574,7 @@ std::future<Status> TrustService::SubmitAppend(
     }
   }
   if (batch == nullptr) {
-    state_->appends_coalesced.fetch_add(1, std::memory_order_relaxed);
+    state_->metrics.appends_coalesced->Increment();
   }
   return future;
 }
@@ -512,17 +629,20 @@ Status TrustService::AttachStream(const std::string& session_name,
   if (!status.ok()) return status;
 
   if (interval > 0.0) {
-    // The ticker holds a WEAK session pointer (it is owned by the session —
-    // a strong one would be a cycle and the session would never die). Each
-    // firing re-resolves the engine, stamps the tick with the stream's
-    // clock, and enqueues it on the strand; the queued task's shared_ptrs
-    // keep both session and engine alive through the tick. The result is
+    // The ticker holds WEAK session and state pointers (it is owned by the
+    // session, which the state owns — a strong capture of either would be
+    // a cycle and the session would never die, leaving the ticker thread
+    // firing into the executor past process teardown). Each firing
+    // re-resolves the engine, stamps the tick with the stream's clock, and
+    // enqueues it on the strand; the queued task's shared_ptrs keep state,
+    // session and engine alive through the tick. The result is
     // deliberately dropped: periodic ticks are fire-and-forget, counters
     // and alert callbacks carry the observability.
     std::weak_ptr<Session> weak = session;
-    auto tick = [weak] {
+    auto tick = [weak, weak_state = std::weak_ptr<State>(state_)] {
       std::shared_ptr<Session> session = weak.lock();
-      if (session == nullptr) return;
+      std::shared_ptr<State> state = weak_state.lock();
+      if (session == nullptr || state == nullptr) return;
       std::shared_ptr<stream::StreamEngine> engine;
       {
         MutexLock lock(session->mutex);
@@ -530,8 +650,21 @@ Status TrustService::AttachStream(const std::string& session_name,
       }
       if (engine == nullptr) return;
       const double now = engine->options().clock();
-      session->queue.Submit(
-          [session, engine, now] { (void)engine->Tick(now); });
+      // Periodic ticks report into the same kind=tick lifecycle metrics
+      // as SubmitTick — one request class either way.
+      const uint64_t submit_ns =
+          obs::MetricsEnabled() ? obs::MonotonicNanos() : 0;
+      KBT_OBS_GAUGE_ADD(session->queue_depth, 1.0);
+      session->queue.Submit([state, session, engine, now, submit_ns] {
+        if (submit_ns != 0) {
+          state->metrics.tick.queue_wait->Record(
+              static_cast<double>(obs::MonotonicNanos() - submit_ns) * 1e-9);
+        }
+        QueueDepthGuard depth_guard(session->queue_depth);
+        obs::ScopedTimer execute_timer(state->metrics.tick.execute);
+        KBT_TRACE_SPAN("service.tick");
+        (void)engine->Tick(now);
+      });
     };
     const auto interval_ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -585,9 +718,21 @@ std::future<StatusOr<stream::TickResult>> TrustService::SubmitTick(
   // A tick appends + runs: close the coalescing window like SubmitRun, so
   // appends submitted after this call land behind the tick on the strand.
   session->open_append.reset();
+  const uint64_t submit_ns =
+      obs::MetricsEnabled() ? obs::MonotonicNanos() : 0;
+  KBT_OBS_GAUGE_ADD(session->queue_depth, 1.0);
   return session->queue.SubmitWithResult(
-      [session, engine = std::move(engine),
-       now]() -> StatusOr<stream::TickResult> { return engine->Tick(now); });
+      [state = state_, session, engine = std::move(engine), now,
+       submit_ns]() -> StatusOr<stream::TickResult> {
+        if (submit_ns != 0) {
+          state->metrics.tick.queue_wait->Record(
+              static_cast<double>(obs::MonotonicNanos() - submit_ns) * 1e-9);
+        }
+        QueueDepthGuard depth_guard(session->queue_depth);
+        obs::ScopedTimer execute_timer(state->metrics.tick.execute);
+        KBT_TRACE_SPAN("service.tick");
+        return engine->Tick(now);
+      });
 }
 
 StatusOr<stream::StreamStats> TrustService::StreamingStats(
@@ -637,17 +782,17 @@ void TrustService::Drain() {
 }
 
 TrustService::Stats TrustService::stats() const {
+  // Thin view over the obs registry counters (the source of truth); see
+  // the Stats declaration. The counters increment unconditionally — the
+  // Stats contract predates the obs switch, so stats() keeps counting
+  // even with SetMetricsEnabled(false).
   Stats stats;
-  stats.runs_submitted =
-      state_->runs_submitted.load(std::memory_order_relaxed);
-  stats.appends_submitted =
-      state_->appends_submitted.load(std::memory_order_relaxed);
-  stats.appends_coalesced =
-      state_->appends_coalesced.load(std::memory_order_relaxed);
+  stats.runs_submitted = state_->metrics.runs_submitted->Value();
+  stats.appends_submitted = state_->metrics.appends_submitted->Value();
+  stats.appends_coalesced = state_->metrics.appends_coalesced->Value();
   stats.append_batches_executed =
-      state_->append_batches_executed.load(std::memory_order_relaxed);
-  stats.snapshots_published =
-      state_->snapshots_published.load(std::memory_order_relaxed);
+      state_->metrics.append_batches_executed->Value();
+  stats.snapshots_published = state_->metrics.snapshots_published->Value();
   return stats;
 }
 

@@ -7,6 +7,7 @@
 #include "dataflow/parallel.h"
 #include "extract/dataset_partition.h"
 #include "kb/ids.h"
+#include "kbt/obs.h"
 #include "kbt/shard.h"
 
 namespace kbt::api {
@@ -144,16 +145,55 @@ struct ShardedPipeline::Impl {
   /// Scatters `run(shard_index)` across the executor via TaskGroup (the
   /// donating join: safe from a task already on the pool, e.g. a
   /// TrustService strand) and gathers per-shard reports, first error wins.
+  /// Per-shard wall times feed the imbalance metrics: the
+  /// kbt_shard_run_seconds histogram and the straggler gauge (slowest
+  /// shard / mean shard — 1.0 is a perfectly balanced scatter).
   template <typename RunShard>
   StatusOr<ShardedTrustReport> ScatterGather(RunShard run) {
+    KBT_TRACE_SPAN("shard.scatter_gather");
     std::vector<StatusOr<TrustReport>> results(
         num_shards, StatusOr<TrustReport>(Status::Internal("not run")));
+    std::vector<double> shard_seconds(num_shards, 0.0);
+    const bool timed = obs::MetricsEnabled();
+    const uint64_t parent_span = obs::TraceSpan::CurrentId();
     {
       TaskGroup group(&executor->pool());
       for (uint32_t s = 0; s < num_shards; ++s) {
-        group.Submit([&results, &run, s] { results[s] = run(s); });
+        group.Submit([&results, &shard_seconds, &run, s, timed,
+                      parent_span] {
+          // Shard tasks hop threads: link their spans to the scatter
+          // explicitly (the implicit per-thread parent is the wrong one).
+          KBT_TRACE_SPAN_LINKED("shard.run", parent_span);
+          const uint64_t start_ns = timed ? obs::MonotonicNanos() : 0;
+          results[s] = run(s);
+          if (timed) {
+            shard_seconds[s] =
+                static_cast<double>(obs::MonotonicNanos() - start_ns) * 1e-9;
+          }
+        });
       }
       group.Wait();
+    }
+    if (timed) {
+      static obs::Histogram* const run_seconds =
+          obs::MetricsRegistry::Default().GetHistogram(
+              "kbt_shard_run_seconds");
+      static obs::Gauge* const straggler_ratio =
+          obs::MetricsRegistry::Default().GetGauge(
+              "kbt_shard_straggler_ratio");
+      static obs::Counter* const scatters =
+          obs::MetricsRegistry::Default().GetCounter(
+              "kbt_shard_scatters_total");
+      double sum = 0.0;
+      double slowest = 0.0;
+      for (const double seconds : shard_seconds) {
+        run_seconds->Record(seconds);
+        sum += seconds;
+        slowest = std::max(slowest, seconds);
+      }
+      const double mean = sum / static_cast<double>(num_shards);
+      if (mean > 0.0) straggler_ratio->Set(slowest / mean);
+      scatters->Increment();
     }
     ShardedTrustReport gathered;
     gathered.shards.reserve(num_shards);

@@ -14,6 +14,7 @@
 
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "kbt/obs.h"
 
 namespace kbt::cache {
 
@@ -22,6 +23,29 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kEntrySuffix[] = ".kbtart";
+
+/// Store traffic counters, registered once process-wide: stores are opened
+/// per session but all point at shared directories, so an aggregate view
+/// is both the useful one and the cardinality-safe one.
+struct StoreMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* puts;
+  obs::Counter* evictions;
+};
+
+const StoreMetrics& Metrics() {
+  static const StoreMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    StoreMetrics m;
+    m.hits = registry.GetCounter("kbt_cache_artifact_hit_total");
+    m.misses = registry.GetCounter("kbt_cache_artifact_miss_total");
+    m.puts = registry.GetCounter("kbt_cache_artifact_put_total");
+    m.evictions = registry.GetCounter("kbt_cache_artifact_eviction_total");
+    return m;
+  }();
+  return metrics;
+}
 
 std::string Hex16(uint64_t v) {
   char buf[17];
@@ -139,6 +163,7 @@ Status ArtifactStore::Put(uint64_t dataset_fingerprint,
     return Status::InvalidArgument("cannot rename '" + temp_path + "' to '" +
                                    final_path + "': " + ec.message());
   }
+  KBT_OBS_INC(Metrics().puts);
   // Keep the store under its cap. Best effort: a failed sweep must not
   // fail the write that just succeeded (the entry is durable either way).
   if (options_.max_bytes > 0) {
@@ -157,6 +182,7 @@ StatusOr<ArtifactBundle> ArtifactStore::Get(
       EntryPath(dataset_fingerprint, options_fingerprint);
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
+    KBT_OBS_INC(Metrics().misses);
     return Status::NotFound("no artifact entry '" + path + "'");
   }
   // One sized read (tellg at end gives the size): decode throughput is the
@@ -196,6 +222,7 @@ StatusOr<ArtifactBundle> ArtifactStore::Get(
     std::error_code ignored;
     fs::last_write_time(path, fs::file_time_type::clock::now(), ignored);
   }
+  KBT_OBS_INC(Metrics().hits);
   return bundle;
 }
 
@@ -302,6 +329,7 @@ Status ArtifactStore::EvictToLimitKeeping(
     std::error_code remove_ec;
     if (fs::remove(entries[i].path, remove_ec) && !remove_ec) {
       total -= entries[i].size;
+      KBT_OBS_INC(Metrics().evictions);
     }
   }
   return Status::OK();

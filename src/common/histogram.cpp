@@ -1,20 +1,16 @@
 #include "common/histogram.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <cstdio>
-#include <limits>
+#include <utility>
+#include <vector>
 
 namespace kbt {
 
-Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
-  assert(!edges_.empty());
-  for (size_t i = 1; i < edges_.size(); ++i) {
-    assert(edges_[i] > edges_[i - 1]);
+Histogram::Histogram(std::vector<double> edges) : impl_(std::move(edges)) {
+  assert(!impl_.edges().empty());
+  for (size_t i = 1; i < impl_.edges().size(); ++i) {
+    assert(impl_.edges()[i] > impl_.edges()[i - 1]);
   }
-  // One bucket per [edge_i, edge_{i+1}) pair plus the >= last-edge bucket.
-  counts_.assign(edges_.size(), 0.0);
 }
 
 Histogram Histogram::TripleCountBuckets() {
@@ -46,47 +42,6 @@ Histogram Histogram::WDevBuckets() {
   for (int i = 0; i < 5; ++i) edges.push_back(0.95 + i * 0.01);  // [0.95,1) by 0.01
   edges.push_back(1.0);                                        // [1,1]
   return Histogram(std::move(edges));
-}
-
-size_t Histogram::BucketIndex(double value) const {
-  // upper_bound returns the first edge strictly greater than value; the
-  // bucket index is one before it. Values below the first edge clamp to 0.
-  const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
-  if (it == edges_.begin()) return 0;
-  return static_cast<size_t>(it - edges_.begin()) - 1;
-}
-
-void Histogram::Add(double value, double weight) {
-  counts_[BucketIndex(value)] += weight;
-  total_ += weight;
-}
-
-double Histogram::bucket_upper(size_t i) const {
-  assert(i < counts_.size());
-  if (i + 1 < edges_.size()) return edges_[i + 1];
-  return std::numeric_limits<double>::infinity();
-}
-
-double Histogram::Fraction(size_t i) const {
-  assert(i < counts_.size());
-  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
-}
-
-std::string Histogram::BucketLabel(size_t i) const {
-  assert(i < counts_.size());
-  char buf[64];
-  const double lo = edges_[i];
-  if (i + 1 < edges_.size()) {
-    std::snprintf(buf, sizeof(buf), "[%g,%g)", lo, edges_[i + 1]);
-  } else {
-    std::snprintf(buf, sizeof(buf), ">=%g", lo);
-  }
-  return buf;
-}
-
-void Histogram::Clear() {
-  std::fill(counts_.begin(), counts_.end(), 0.0);
-  total_ = 0.0;
 }
 
 }  // namespace kbt

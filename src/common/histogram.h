@@ -4,12 +4,20 @@
 #include <string>
 #include <vector>
 
+#include "kbt/obs.h"
+
 namespace kbt {
 
 /// Weighted histogram over explicit bucket edges. Bucket i covers
 /// [edges[i], edges[i+1]); a final catch-all bucket covers values >= the last
 /// edge. Used for the paper's distribution figures (Figures 5, 6, 7) and for
 /// the WDev calibration buckets.
+///
+/// The bucketing engine is kbt::obs::Histogram (the observability layer's
+/// concurrent histogram, which generalized and absorbed this type); this
+/// wrapper keeps the paper-specific factories and the original single-owner
+/// analysis API. Richer statistics (quantiles, merge) are available through
+/// impl().Snapshot().
 class Histogram {
  public:
   /// `edges` must be strictly increasing with at least one entry.
@@ -28,31 +36,33 @@ class Histogram {
   /// [0.05,0.1)...[0.9,0.95), [0.95,0.96)...[0.99,1), [1,1].
   static Histogram WDevBuckets();
 
-  void Add(double value, double weight = 1.0);
+  void Add(double value, double weight = 1.0) { impl_.Add(value, weight); }
 
   /// Index of the bucket `value` falls into.
-  size_t BucketIndex(double value) const;
+  size_t BucketIndex(double value) const { return impl_.BucketIndex(value); }
 
-  size_t num_buckets() const { return counts_.size(); }
-  double bucket_count(size_t i) const { return counts_[i]; }
-  double bucket_lower(size_t i) const { return edges_[i]; }
+  size_t num_buckets() const { return impl_.num_buckets(); }
+  double bucket_count(size_t i) const { return impl_.bucket_count(i); }
+  double bucket_lower(size_t i) const { return impl_.bucket_lower(i); }
   /// Upper edge; the last bucket reports +inf.
-  double bucket_upper(size_t i) const;
-  double total_weight() const { return total_; }
+  double bucket_upper(size_t i) const { return impl_.bucket_upper(i); }
+  double total_weight() const { return impl_.total_weight(); }
 
   /// Fraction of total weight in bucket i (0 when empty).
-  double Fraction(size_t i) const;
+  double Fraction(size_t i) const { return impl_.Fraction(i); }
 
-  /// Human-readable label for bucket i, e.g. "[0.05,0.10)".
-  std::string BucketLabel(size_t i) const;
+  /// Human-readable label for bucket i, e.g. "[0.05,0.1)".
+  std::string BucketLabel(size_t i) const { return impl_.BucketLabel(i); }
 
   /// Resets all counts, keeping the edges.
-  void Clear();
+  void Clear() { impl_.Clear(); }
+
+  /// The underlying observability histogram (quantiles, snapshots, merge).
+  const obs::Histogram& impl() const { return impl_; }
+  obs::Histogram& impl() { return impl_; }
 
  private:
-  std::vector<double> edges_;
-  std::vector<double> counts_;
-  double total_ = 0.0;
+  obs::Histogram impl_;
 };
 
 }  // namespace kbt

@@ -7,6 +7,7 @@
 
 #include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "kbt/obs.h"
 
 namespace kbt::dataflow {
 
@@ -56,6 +57,9 @@ class StageTimers {
   struct Entry {
     double total_seconds = 0.0;
     int count = 0;
+    /// Cached kbt_em_stage_seconds{stage=...} handle on the process-wide
+    /// obs registry (resolved on first Add, null until then).
+    obs::Histogram* histogram = nullptr;
   };
 
   mutable Mutex mutex_;

@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <cstdio>
+
+#include "kbt/obs.h"
+
+namespace kbt::obs {
+
+/// One thread's fixed-capacity span ring. Owned jointly by the recorder
+/// (for Snapshot after the thread exits) and a thread_local handle (for
+/// pushes); a per-ring mutex keeps pushes and snapshots race-free without
+/// touching other threads' rings.
+struct TraceRecorder::Ring {
+  explicit Ring(size_t capacity, uint32_t thread_index)
+      : capacity(capacity), thread_index(thread_index) {
+    slots.resize(capacity);
+  }
+
+  Mutex mutex;
+  std::vector<TraceEvent> slots KBT_GUARDED_BY(mutex);
+  /// Total pushes ever; slot (pushed - 1) % capacity is the newest span.
+  uint64_t pushed KBT_GUARDED_BY(mutex) = 0;
+  const size_t capacity;
+  const uint32_t thread_index;
+
+  void Push(TraceEvent event) {
+    MutexLock lock(mutex);
+    slots[pushed % capacity] = std::move(event);
+    ++pushed;
+  }
+};
+
+namespace {
+
+/// The innermost open span on this thread; spans link to it implicitly.
+thread_local uint64_t t_current_span_id = 0;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Default() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::SetRingCapacity(size_t spans) {
+  MutexLock lock(mutex_);
+  ring_capacity_ = std::max<size_t>(1, spans);
+}
+
+TraceRecorder::Ring* TraceRecorder::ThreadRing() {
+  thread_local std::shared_ptr<Ring> t_ring;
+  if (t_ring == nullptr) {
+    MutexLock lock(mutex_);
+    t_ring = std::make_shared<Ring>(ring_capacity_,
+                                    static_cast<uint32_t>(rings_.size()));
+    rings_.push_back(t_ring);
+  }
+  return t_ring.get();
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    MutexLock lock(mutex_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    MutexLock lock(ring->mutex);
+    const uint64_t retained =
+        std::min<uint64_t>(ring->pushed, ring->capacity);
+    const uint64_t oldest = ring->pushed - retained;
+    for (uint64_t seq = oldest; seq < ring->pushed; ++seq) {
+      events.push_back(ring->slots[seq % ring->capacity]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.id < b.id;
+            });
+  return events;
+}
+
+void TraceRecorder::Clear() {
+  MutexLock lock(mutex_);
+  for (const auto& ring : rings_) {
+    MutexLock ring_lock(ring->mutex);
+    ring->pushed = 0;
+  }
+}
+
+uint64_t TraceRecorder::spans_recorded() const {
+  return spans_recorded_.load(std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::RenderChromeTrace() const {
+  // Chrome trace-event JSON: complete ("ph":"X") events with microsecond
+  // ts/dur. Loads in chrome://tracing and https://ui.perfetto.dev.
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[160];
+  for (const auto& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\": \"";
+    for (char c : e.name) {  // span names are identifiers; escape anyway
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"pid\": 1, \"tid\": %u, \"args\": {\"id\": %llu, "
+                  "\"parent\": %llu}}",
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.duration_ns) / 1000.0,
+                  e.thread_index,
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.parent_id));
+    out += buf;
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+TraceSpan::TraceSpan(std::string_view name)
+    : TraceSpan(name, t_current_span_id) {}
+
+TraceSpan::TraceSpan(std::string_view name, uint64_t parent_id) {
+  if (!TracingEnabled()) return;  // one relaxed load + branch when off
+  TraceRecorder& recorder = TraceRecorder::Default();
+  name_.assign(name.data(), name.size());
+  id_ = recorder.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = parent_id;
+  start_ns_ = MonotonicNanos();
+  active_ = true;
+  t_current_span_id = id_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceRecorder& recorder = TraceRecorder::Default();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.id = id_;
+  event.parent_id = parent_id_;
+  event.start_ns = start_ns_;
+  event.duration_ns = MonotonicNanos() - start_ns_;
+  TraceRecorder::Ring* ring = recorder.ThreadRing();
+  event.thread_index = ring->thread_index;
+  ring->Push(std::move(event));
+  recorder.spans_recorded_.fetch_add(1, std::memory_order_relaxed);
+  // Restore the enclosing span as this thread's innermost. (If spans are
+  // destroyed out of declaration order the link degrades gracefully to
+  // the recorded parent.)
+  t_current_span_id = parent_id_;
+}
+
+uint64_t TraceSpan::CurrentId() { return t_current_span_id; }
+
+}  // namespace kbt::obs

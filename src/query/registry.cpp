@@ -2,9 +2,40 @@
 #include <utility>
 #include <vector>
 
+#include "kbt/obs.h"
 #include "kbt/query.h"
 
 namespace kbt::query {
+
+namespace {
+
+/// RCU visibility metrics, process-wide aggregates (registries are
+/// per-session; per-registry labels would tie cardinality to session
+/// churn). The version/retained gauges track the most recent publisher.
+struct RegistryMetrics {
+  obs::Counter* publishes;
+  obs::Gauge* version;
+  obs::Gauge* retained;
+  obs::Counter* reader_refreshes;
+  obs::Counter* reader_contention;
+};
+
+const RegistryMetrics& Metrics() {
+  static const RegistryMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    RegistryMetrics m;
+    m.publishes = registry.GetCounter("kbt_query_publish_total");
+    m.version = registry.GetGauge("kbt_query_registry_version");
+    m.retained = registry.GetGauge("kbt_query_registry_retained");
+    m.reader_refreshes = registry.GetCounter("kbt_query_reader_refresh_total");
+    m.reader_contention =
+        registry.GetCounter("kbt_query_reader_contention_total");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 std::shared_ptr<const Snapshot> SnapshotRegistry::Publish(Snapshot snapshot) {
   return Publish(std::move(snapshot), 0.0);
@@ -32,6 +63,11 @@ std::shared_ptr<const Snapshot> SnapshotRegistry::Publish(
   // find a snapshot with sequence >= N behind the slot lock (the mutex
   // carries the happens-before for the pointee).
   version_.store(sequence, std::memory_order_release);
+  KBT_OBS_INC(Metrics().publishes);
+  KBT_OBS_GAUGE_SET(Metrics().version, static_cast<double>(sequence));
+  KBT_OBS_GAUGE_SET(
+      Metrics().retained,
+      static_cast<double>(history_.size() + (current_ != nullptr ? 1 : 0)));
   return published;
 }
 
@@ -101,13 +137,22 @@ void SnapshotReader::Refresh() {
     // sibling reader's first refresh — would report "nothing published"
     // to a caller that just watched a publish complete.
     cached_ = registry_->Current();
+    KBT_OBS_INC(Metrics().reader_refreshes);
     return;
   }
   // A publish happened: adopt the new snapshot — but never by waiting. A
   // failed try means the slot is held for a pointer swap right now; the
   // pinned previous snapshot keeps serving and the next call retries.
+  // Metrics sit off the steady-state path above (version == cached
+  // returns before any counter): only actual adoptions and contention
+  // events pay the fetch_add.
   std::shared_ptr<const Snapshot> fresh;
-  if (registry_->TryCurrent(&fresh)) cached_ = std::move(fresh);
+  if (registry_->TryCurrent(&fresh)) {
+    cached_ = std::move(fresh);
+    KBT_OBS_INC(Metrics().reader_refreshes);
+  } else {
+    KBT_OBS_INC(Metrics().reader_contention);
+  }
 }
 
 }  // namespace kbt::query

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "kbt/obs.h"
 #include "kbt/stream.h"
 
 namespace kbt::stream {
@@ -23,6 +24,41 @@ Status ValidateCommon(const void* pipeline,
     return Status::InvalidArgument("StreamEngine requires a feed");
   }
   return Status::OK();
+}
+
+/// Per-phase tick timings, registered once. Engines share these
+/// process-wide histograms (an engine-per-session breakdown would tie
+/// cardinality to session churn; see docs/OBSERVABILITY.md).
+struct TickMetrics {
+  obs::Histogram* poll;
+  obs::Histogram* decay;
+  obs::Histogram* append;
+  obs::Histogram* run;
+  obs::Histogram* publish;
+  obs::Histogram* alert;
+  /// Tick entry (feed poll) -> snapshot visible to readers.
+  obs::Histogram* feed_to_queryable;
+};
+
+const TickMetrics& Metrics() {
+  static const TickMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    const auto phase = [&registry](const char* name) {
+      return registry.GetHistogram("kbt_stream_phase_seconds",
+                                   {{"phase", name}});
+    };
+    TickMetrics m;
+    m.poll = phase("poll");
+    m.decay = phase("decay");
+    m.append = phase("append");
+    m.run = phase("run");
+    m.publish = phase("publish");
+    m.alert = phase("alert");
+    m.feed_to_queryable =
+        registry.GetHistogram("kbt_stream_feed_to_queryable_seconds");
+    return m;
+  }();
+  return metrics;
 }
 
 }  // namespace
@@ -76,7 +112,13 @@ StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
 }
 
 StatusOr<TickResult> StreamEngine::Tick(double now) {
-  StatusOr<std::vector<TimedObservation>> polled = feed_->Poll();
+  KBT_TRACE_SPAN("stream.tick");
+  tick_start_ns_ = obs::MetricsEnabled() ? obs::MonotonicNanos() : 0;
+  StatusOr<std::vector<TimedObservation>> polled = [this] {
+    obs::ScopedTimer timer(Metrics().poll);
+    KBT_TRACE_SPAN("stream.poll");
+    return feed_->Poll();
+  }();
   if (!polled.ok()) return polled.status();
   ticks_.fetch_add(1, std::memory_order_relaxed);
   if (polled->empty()) {
@@ -94,16 +136,23 @@ StatusOr<TickResult> StreamEngine::TickPipeline(
   for (const TimedObservation& timed : batch) {
     observations.push_back(timed.observation);
   }
-  // Resync before extending: if the pipeline was appended to outside the
-  // engine, the unseen observations get time 0 (maximally old) rather than
-  // silently shifting every later timestamp onto the wrong observation.
-  timeline_.resize(pipeline_->dataset().size(), 0.0);
-  KBT_RETURN_IF_ERROR(pipeline_->AppendObservations(observations));
-  for (const TimedObservation& timed : batch) {
-    timeline_.push_back(timed.timestamp);
+  {
+    obs::ScopedTimer timer(Metrics().append);
+    KBT_TRACE_SPAN("stream.append");
+    // Resync before extending: if the pipeline was appended to outside the
+    // engine, the unseen observations get time 0 (maximally old) rather
+    // than silently shifting every later timestamp onto the wrong
+    // observation.
+    timeline_.resize(pipeline_->dataset().size(), 0.0);
+    KBT_RETURN_IF_ERROR(pipeline_->AppendObservations(observations));
+    for (const TimedObservation& timed : batch) {
+      timeline_.push_back(timed.timestamp);
+    }
   }
 
   if (options_.decay_half_life > 0.0) {
+    obs::ScopedTimer timer(Metrics().decay);
+    KBT_TRACE_SPAN("stream.decay");
     std::vector<float> weights(timeline_.size());
     for (size_t i = 0; i < timeline_.size(); ++i) {
       const double age = now - timeline_[i];
@@ -119,10 +168,13 @@ StatusOr<TickResult> StreamEngine::TickPipeline(
   // With decay off nothing is set: AppendObservations already cleared any
   // stale weights, so the run below IS the batch path, bit for bit.
 
-  StatusOr<api::TrustReport> report =
-      (options_.warm_start && last_report_.has_value())
-          ? pipeline_->RunFrom(*last_report_)
-          : pipeline_->Run();
+  StatusOr<api::TrustReport> report = [this] {
+    obs::ScopedTimer timer(Metrics().run);
+    KBT_TRACE_SPAN("stream.run");
+    return (options_.warm_start && last_report_.has_value())
+               ? pipeline_->RunFrom(*last_report_)
+               : pipeline_->Run();
+  }();
   // A failed run keeps the appended observations (they re-enter inference
   // on the next tick) and publishes nothing.
   if (!report.ok()) return report.status();
@@ -131,8 +183,17 @@ StatusOr<TickResult> StreamEngine::TickPipeline(
   TickResult result;
   result.observations_ingested = batch.size();
   result.published = true;
-  result.snapshot = pipeline_->PublishSnapshot(*last_report_, now);
+  {
+    obs::ScopedTimer timer(Metrics().publish);
+    KBT_TRACE_SPAN("stream.publish");
+    result.snapshot = pipeline_->PublishSnapshot(*last_report_, now);
+  }
   result.sequence = result.snapshot->info().sequence;
+  if (tick_start_ns_ != 0) {
+    // The snapshot is now reader-visible: the feed-to-queryable latency.
+    Metrics().feed_to_queryable->Record(
+        static_cast<double>(obs::MonotonicNanos() - tick_start_ns_) * 1e-9);
+  }
   FinishTick(now, &result);
   return result;
 }
@@ -144,25 +205,42 @@ StatusOr<TickResult> StreamEngine::TickSharded(
   for (const TimedObservation& timed : batch) {
     observations.push_back(timed.observation);
   }
-  KBT_RETURN_IF_ERROR(sharded_->AppendObservations(observations));
+  {
+    obs::ScopedTimer timer(Metrics().append);
+    KBT_TRACE_SPAN("stream.append");
+    KBT_RETURN_IF_ERROR(sharded_->AppendObservations(observations));
+  }
 
-  StatusOr<api::ShardedTrustReport> report =
-      (options_.warm_start && last_sharded_.has_value())
-          ? sharded_->RunFrom(*last_sharded_)
-          : sharded_->Run();
+  StatusOr<api::ShardedTrustReport> report = [this] {
+    obs::ScopedTimer timer(Metrics().run);
+    KBT_TRACE_SPAN("stream.run");
+    return (options_.warm_start && last_sharded_.has_value())
+               ? sharded_->RunFrom(*last_sharded_)
+               : sharded_->Run();
+  }();
   if (!report.ok()) return report.status();
   last_sharded_ = std::move(*report);
 
   TickResult result;
   result.observations_ingested = batch.size();
   result.published = true;
-  result.snapshot = sharded_->PublishSnapshot(*last_sharded_, now);
+  {
+    obs::ScopedTimer timer(Metrics().publish);
+    KBT_TRACE_SPAN("stream.publish");
+    result.snapshot = sharded_->PublishSnapshot(*last_sharded_, now);
+  }
   result.sequence = result.snapshot->info().sequence;
+  if (tick_start_ns_ != 0) {
+    Metrics().feed_to_queryable->Record(
+        static_cast<double>(obs::MonotonicNanos() - tick_start_ns_) * 1e-9);
+  }
   FinishTick(now, &result);
   return result;
 }
 
 void StreamEngine::FinishTick(double now, TickResult* result) {
+  obs::ScopedTimer timer(Metrics().alert);
+  KBT_TRACE_SPAN("stream.alert");
   observations_ingested_.fetch_add(result->observations_ingested,
                                    std::memory_order_relaxed);
   generations_published_.fetch_add(1, std::memory_order_relaxed);

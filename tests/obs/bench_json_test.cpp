@@ -1,0 +1,82 @@
+// bench/bench_json.h envelope tests: the shared writer all benches emit
+// BENCH_*.json through. Pins the schema (bench/smoke/schema_version/
+// metadata/metrics), string escaping, and number formatting, so a writer
+// change that would break the perf-trend tooling fails here first.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_json.h"
+
+namespace kbt::bench {
+namespace {
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumberTest, IntegralDoublesRenderWithoutExponent) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-7.0), "-7");
+  EXPECT_EQ(JsonNumber(104769455.0), "104769455");
+}
+
+TEST(JsonNumberTest, FractionsKeepPrecision) {
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  // %.9g keeps enough digits to round-trip bench timings.
+  EXPECT_NE(JsonNumber(0.000123456).find("0.000123456"), std::string::npos);
+}
+
+TEST(BenchJsonWriterTest, EnvelopeShape) {
+  BenchJsonWriter writer("soak", true);
+  writer.AddMetadata("hardware_threads", 8.0);
+  writer.AddMetadata("isa", "avx2");
+  writer.AddMetadata("scaling_meaningful", false);
+  writer.AddMetric("run_p99_seconds", 0.25, "seconds");
+  writer.AddMetric("lookups", 1000.0, "count");
+  writer.AddRawSection("rows", "[{\"shards\": 2}]");
+  const std::string json = writer.ToJson();
+
+  // The envelope keys, in schema order.
+  EXPECT_NE(json.find("\"bench\": \"soak\""), std::string::npos);
+  EXPECT_NE(json.find("\"smoke\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  // Metadata preserves insertion order and value types.
+  EXPECT_NE(json.find("\"hardware_threads\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"isa\": \"avx2\""), std::string::npos);
+  EXPECT_NE(json.find("\"scaling_meaningful\": false"), std::string::npos);
+  // Metrics as {name, value, unit} records.
+  EXPECT_NE(json.find("\"name\": \"run_p99_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"seconds\""), std::string::npos);
+  // Raw sections appended at the top level.
+  EXPECT_NE(json.find("\"rows\": [{\"shards\": 2}]"), std::string::npos);
+  // Balanced braces: metadata before metrics, both before the raw section.
+  EXPECT_LT(json.find("\"metadata\""), json.find("\"metrics\""));
+  EXPECT_LT(json.find("\"metrics\""), json.find("\"rows\""));
+}
+
+TEST(BenchJsonWriterTest, EscapesMetadataAndNames) {
+  BenchJsonWriter writer("quo\"te", false);
+  writer.AddMetadata("note", "line1\nline2");
+  writer.AddMetric("a\"b", 1.0, "count");
+  const std::string json = writer.ToJson();
+  EXPECT_NE(json.find("\"bench\": \"quo\\\"te\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"a\\\"b\""), std::string::npos);
+}
+
+TEST(BenchJsonWriterTest, EmptyWriterIsStillValidEnvelope) {
+  BenchJsonWriter writer("empty", false);
+  const std::string json = writer.ToJson();
+  EXPECT_NE(json.find("\"bench\": \"empty\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kbt::bench

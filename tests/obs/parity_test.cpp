@@ -1,0 +1,111 @@
+// The determinism contract of the observability layer: obs is
+// observation-only. Toggling metrics and tracing on/off around
+// Pipeline::Run must leave every score bit unchanged — the instrumented
+// seams (stage timers, service counters, shard gauges) never feed back
+// into inference.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kbt/kbt.h"
+
+namespace kbt {
+namespace {
+
+exp::SyntheticConfig ParitySynthetic() {
+  exp::SyntheticConfig config;
+  config.num_sources = 25;
+  config.num_extractors = 5;
+  config.num_subjects = 30;
+  config.seed = 123;
+  return config;
+}
+
+void ExpectVectorsBitEqual(const std::vector<double>& a,
+                           const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << "[" << i << "]";
+  }
+}
+
+api::TrustReport RunOnce() {
+  api::Options options;
+  options.granularity = api::Granularity::kPageSource;
+  options.multilayer.min_source_support = 1;
+  options.multilayer.min_extractor_support = 1;
+  auto pipeline = api::PipelineBuilder()
+                      .FromSynthetic(ParitySynthetic())
+                      .WithOptions(options)
+                      .Build();
+  EXPECT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  auto report = pipeline->Run();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(*report);
+}
+
+TEST(ObsParityTest, TogglingObsNeverChangesAScoreBit) {
+  obs::SetMetricsEnabled(true);
+  obs::SetTracingEnabled(true);
+  const api::TrustReport on = RunOnce();
+  obs::SetMetricsEnabled(false);
+  obs::SetTracingEnabled(false);
+  const api::TrustReport off = RunOnce();
+  obs::SetMetricsEnabled(true);  // restore the process default
+
+  ExpectVectorsBitEqual(on.inference.slot_value_prob,
+                        off.inference.slot_value_prob, "slot_value_prob");
+  ExpectVectorsBitEqual(on.inference.slot_correct_prob,
+                        off.inference.slot_correct_prob,
+                        "slot_correct_prob");
+  ExpectVectorsBitEqual(on.inference.source_accuracy,
+                        off.inference.source_accuracy, "source_accuracy");
+  ExpectVectorsBitEqual(on.inference.extractor_q, off.inference.extractor_q,
+                        "extractor_q");
+  ASSERT_EQ(on.website_kbt.size(), off.website_kbt.size());
+  for (size_t w = 0; w < on.website_kbt.size(); ++w) {
+    ASSERT_EQ(on.website_kbt[w].kbt, off.website_kbt[w].kbt) << w;
+    ASSERT_EQ(on.website_kbt[w].evidence, off.website_kbt[w].evidence) << w;
+  }
+  ASSERT_EQ(on.predictions.size(), off.predictions.size());
+  for (size_t i = 0; i < on.predictions.size(); ++i) {
+    ASSERT_EQ(on.predictions[i].item, off.predictions[i].item);
+    ASSERT_EQ(on.predictions[i].probability, off.predictions[i].probability);
+  }
+  ASSERT_EQ(on.iterations(), off.iterations());
+  ASSERT_EQ(on.converged(), off.converged());
+
+  // And the report still carries its stage timings in BOTH modes: the
+  // timing of the run is the report's own contract (ungated clock reads),
+  // only the obs exports are switched.
+  EXPECT_FALSE(on.stage_seconds.empty());
+  EXPECT_FALSE(off.stage_seconds.empty());
+}
+
+// The disabled macros must also be side-effect free on the registry: no
+// counter moves while metrics are off.
+TEST(ObsParityTest, DisabledMacrosLeaveMetricsUntouched) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("kbt_test_gate_total");
+  obs::Gauge* gauge = registry.GetGauge("kbt_test_gate_depth");
+  obs::Histogram* hist = registry.GetHistogram("kbt_test_gate_seconds");
+  obs::SetMetricsEnabled(false);
+  KBT_OBS_INC(counter);
+  KBT_OBS_ADD(counter, 5);
+  KBT_OBS_GAUGE_SET(gauge, 9.0);
+  KBT_OBS_GAUGE_ADD(gauge, 1.0);
+  KBT_OBS_RECORD(hist, 0.5);
+  { obs::ScopedTimer timer(hist); }
+  obs::SetMetricsEnabled(true);
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+  EXPECT_EQ(hist->Snapshot().samples, 0u);
+  // Direct method calls are NOT gated — analysis code always records.
+  obs::SetMetricsEnabled(false);
+  counter->Increment();
+  EXPECT_EQ(counter->Value(), 1u);
+  obs::SetMetricsEnabled(true);
+}
+
+}  // namespace
+}  // namespace kbt

@@ -1,0 +1,213 @@
+// MetricsRegistry tests: handle stability (same pointer forever), label
+// normalization, type-mismatch safety, snapshot/merge semantics, reset,
+// and a concurrent registration + recording hammer (runs under the
+// TSan/ASan CI matrix).
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kbt/obs.h"
+
+namespace kbt::obs {
+namespace {
+
+TEST(MetricsRegistryTest, SamePointerOnReRegistration) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("kbt_test_events_total");
+  Counter* b = registry.GetCounter("kbt_test_events_total");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+  a->Increment(3);
+  EXPECT_EQ(b->Value(), 3u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotDistinguish) {
+  MetricsRegistry registry;
+  Histogram* a = registry.GetHistogram(
+      "kbt_test_wait_seconds", {{"kind", "run"}, {"service", "svc0"}});
+  Histogram* b = registry.GetHistogram(
+      "kbt_test_wait_seconds", {{"service", "svc0"}, {"kind", "run"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+  // Different label VALUES are different metrics.
+  Histogram* c = registry.GetHistogram("kbt_test_wait_seconds",
+                                       {{"kind", "append"},
+                                        {"service", "svc0"}});
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchReturnsDetachedDummy) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("kbt_test_thing_total");
+  counter->Increment();
+  // Re-requesting as a gauge must not crash or corrupt the counter.
+  Gauge* gauge = registry.GetGauge("kbt_test_thing_total");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(99.0);
+  EXPECT_EQ(counter->Value(), 1u);
+  // The registry still has exactly the original metric.
+  const RegistrySnapshot snap = registry.Snapshot();
+  const MetricSnapshot* found = snap.Find("kbt_test_thing_total");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->type, MetricType::kCounter);
+  EXPECT_EQ(found->counter_value, 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramEdgesApplyOnFirstRegistrationOnly) {
+  MetricsRegistry registry;
+  Histogram* a =
+      registry.GetHistogram("kbt_test_size_bytes", {}, {1.0, 2.0, 4.0});
+  EXPECT_EQ(a->num_buckets(), 3u);
+  // Later edges are ignored: the existing histogram comes back.
+  Histogram* b =
+      registry.GetHistogram("kbt_test_size_bytes", {}, {10.0, 20.0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b->num_buckets(), 3u);
+  // Empty edges select the latency defaults.
+  Histogram* lat = registry.GetHistogram("kbt_test_wait_seconds");
+  EXPECT_EQ(lat->edges(), LatencyBucketEdges());
+}
+
+TEST(MetricsRegistryTest, SnapshotIsOrderedAndFindable) {
+  MetricsRegistry registry;
+  registry.GetCounter("kbt_test_b_total")->Increment(2);
+  registry.GetGauge("kbt_test_a_depth")->Set(7.0);
+  registry.GetCounter("kbt_test_b_total", {{"kind", "x"}})->Increment();
+  const RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  // Ordered by (name, labels): a_depth, b_total{}, b_total{kind=x}.
+  EXPECT_EQ(snap.metrics[0].name, "kbt_test_a_depth");
+  EXPECT_EQ(snap.metrics[1].name, "kbt_test_b_total");
+  EXPECT_TRUE(snap.metrics[1].labels.empty());
+  EXPECT_EQ(snap.metrics[2].labels.size(), 1u);
+
+  const MetricSnapshot* gauge = snap.Find("kbt_test_a_depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->gauge_value, 7.0);
+  const MetricSnapshot* labeled =
+      snap.Find("kbt_test_b_total", {{"kind", "x"}});
+  ASSERT_NE(labeled, nullptr);
+  EXPECT_EQ(labeled->counter_value, 1u);
+  EXPECT_EQ(snap.Find("kbt_test_missing_total"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeSumsAndAdopts) {
+  MetricsRegistry shard0;
+  MetricsRegistry shard1;
+  shard0.GetCounter("kbt_test_runs_total")->Increment(3);
+  shard1.GetCounter("kbt_test_runs_total")->Increment(4);
+  shard0.GetGauge("kbt_test_queue_depth")->Set(2.0);
+  shard1.GetGauge("kbt_test_queue_depth")->Set(5.0);
+  shard0.GetHistogram("kbt_test_run_seconds")->Record(0.5);
+  shard1.GetHistogram("kbt_test_run_seconds")->Record(0.25);
+  shard1.GetCounter("kbt_test_only_in_one_total")->Increment();
+
+  RegistrySnapshot merged = shard0.Snapshot();
+  ASSERT_TRUE(merged.MergeFrom(shard1.Snapshot()));
+  EXPECT_EQ(merged.Find("kbt_test_runs_total")->counter_value, 7u);
+  EXPECT_DOUBLE_EQ(merged.Find("kbt_test_queue_depth")->gauge_value, 7.0);
+  const MetricSnapshot* hist = merged.Find("kbt_test_run_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->histogram.samples, 2u);
+  // Adopted from shard1.
+  const MetricSnapshot* adopted = merged.Find("kbt_test_only_in_one_total");
+  ASSERT_NE(adopted, nullptr);
+  EXPECT_EQ(adopted->counter_value, 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotMergeSkipsTypeConflicts) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("kbt_test_conflict_total")->Increment(1);
+  b.GetGauge("kbt_test_conflict_total")->Set(9.0);
+  a.GetCounter("kbt_test_clean_total")->Increment(1);
+  b.GetCounter("kbt_test_clean_total")->Increment(1);
+  RegistrySnapshot merged = a.Snapshot();
+  EXPECT_FALSE(merged.MergeFrom(b.Snapshot()));
+  // The conflicting metric kept its original state; the clean one merged.
+  EXPECT_EQ(merged.Find("kbt_test_conflict_total")->counter_value, 1u);
+  EXPECT_EQ(merged.Find("kbt_test_clean_total")->counter_value, 2u);
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("kbt_test_events_total");
+  Gauge* gauge = registry.GetGauge("kbt_test_depth");
+  Histogram* hist = registry.GetHistogram("kbt_test_wait_seconds");
+  counter->Increment(5);
+  gauge->Set(3.0);
+  hist->Record(0.1);
+  registry.ResetValues();
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+  EXPECT_EQ(hist->Snapshot().samples, 0u);
+  // Handles still live.
+  counter->Increment();
+  EXPECT_EQ(registry.GetCounter("kbt_test_events_total")->Value(), 1u);
+}
+
+TEST(MetricsRegistryTest, GaugeAddIsLossless) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge.Add(1.0);
+        gauge.Add(-1.0);
+      }
+      gauge.Add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.Value(), static_cast<double>(kThreads));
+}
+
+// Concurrent registration of the SAME names plus lock-free recording:
+// every thread must get the same handle, and no increment may be lost.
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndRecordingHammer) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25000;
+  std::atomic<Counter*> first{nullptr};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &first, t] {
+      Counter* counter =
+          registry.GetCounter("kbt_test_hammer_total", {{"kind", "x"}});
+      Counter* expected = nullptr;
+      if (!first.compare_exchange_strong(expected, counter)) {
+        EXPECT_EQ(expected, counter);
+      }
+      Histogram* hist = registry.GetHistogram("kbt_test_hammer_seconds");
+      Gauge* gauge = registry.GetGauge("kbt_test_hammer_depth");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        hist->Record(1e-6 * static_cast<double>((t * kPerThread + i) % 97));
+        gauge->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(first.load()->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("kbt_test_hammer_seconds")
+                ->Snapshot()
+                .samples,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, DefaultIsProcessWideSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace kbt::obs

@@ -1,0 +1,110 @@
+// Golden-file tests of the two text export surfaces: the Prometheus
+// exposition format and the JSON dump must stay byte-stable for a fixed
+// registry state (scrapers and the perf-trend tooling parse them).
+//
+// To regenerate after an intentional format change:
+//   KBT_UPDATE_GOLDENS=1 ./build/tests/kbt_obs_tests
+//   (with --gtest_filter='RenderGolden*')
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "kbt/obs.h"
+
+namespace kbt::obs {
+namespace {
+
+std::string GoldenPath(const char* file) {
+  return std::string(KBT_SOURCE_DIR) + "/tests/obs/testdata/" + file;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void CompareToGolden(const std::string& actual, const char* golden_file) {
+  const std::string path = GoldenPath(golden_file);
+  if (std::getenv("KBT_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "cannot update " << path;
+    GTEST_SKIP() << "updated " << path;
+  }
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden " << path
+      << " — regenerate with KBT_UPDATE_GOLDENS=1";
+  EXPECT_EQ(actual, expected) << "render drifted from " << golden_file
+                              << "; if intentional, regenerate with "
+                                 "KBT_UPDATE_GOLDENS=1";
+}
+
+/// A fixed registry state covering all three metric types, labels, and a
+/// small hand-picked histogram (3 edges so the golden stays readable).
+RegistrySnapshot FixedSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("kbt_test_requests_total")->Increment(42);
+  registry.GetCounter("kbt_test_requests_total", {{"kind", "run"}})
+      ->Increment(7);
+  registry.GetGauge("kbt_test_queue_depth", {{"service", "svc0"}})
+      ->Set(3.0);
+  Histogram* hist = registry.GetHistogram("kbt_test_wait_seconds", {},
+                                          {0.001, 0.01, 0.1});
+  hist->Record(0.0005);  // clamps into bucket 0
+  hist->Record(0.005);
+  hist->Record(0.005);
+  hist->Record(0.05);
+  hist->Record(0.5);  // catch-all
+  return registry.Snapshot();
+}
+
+TEST(RenderGoldenTest, Prometheus) {
+  CompareToGolden(FixedSnapshot().RenderPrometheus(), "registry.prom");
+}
+
+TEST(RenderGoldenTest, Json) {
+  CompareToGolden(FixedSnapshot().RenderJson(), "registry.json");
+}
+
+// Structural (non-golden) checks that pin the parts parsers rely on, so a
+// failure localizes the break even when the golden diff is noisy.
+TEST(RenderTest, PrometheusStructure) {
+  const std::string text = FixedSnapshot().RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE kbt_test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE kbt_test_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE kbt_test_wait_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("kbt_test_requests_total 42"), std::string::npos);
+  EXPECT_NE(text.find("kbt_test_requests_total{kind=\"run\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("kbt_test_queue_depth{service=\"svc0\"} 3"),
+            std::string::npos);
+  // Cumulative buckets ending in the +Inf catch-all, plus _sum/_count.
+  EXPECT_NE(text.find("kbt_test_wait_seconds_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("kbt_test_wait_seconds_count 5"), std::string::npos);
+  EXPECT_NE(text.find("kbt_test_wait_seconds_sum"), std::string::npos);
+}
+
+TEST(RenderTest, JsonStructure) {
+  const std::string json = FixedSnapshot().RenderJson();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"kbt_test_requests_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kbt::obs
